@@ -1,0 +1,81 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table benchmark binaries: sort-set
+/// pretty-printing and the Yosys-style "import at gate level" pipeline
+/// (the paper analyzed flattened BLIF, so the timed inference in Tables
+/// 1 and 2 runs over bit-blasted modules, not RTL).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_BENCH_BENCHUTIL_H
+#define WIRESORT_BENCH_BENCHUTIL_H
+
+#include "analysis/SortInference.h"
+#include "ir/Design.h"
+#include "support/Timer.h"
+#include "synth/Lower.h"
+
+#include <cstdio>
+#include <string>
+
+namespace wiresort::bench {
+
+/// Per-module measurement mirroring the paper's evaluation pipeline:
+/// synthesize to primitive gates (as Yosys-to-BLIF did), then time sort
+/// inference over the gate-level module.
+struct GateLevelRun {
+  size_t PrimGates = 0;
+  size_t Ports = 0;
+  double InferSeconds = 0.0;
+  analysis::ModuleSummary Summary;
+  ir::Module Gates;
+};
+
+inline GateLevelRun runGateLevel(const ir::Design &D, ir::ModuleId Id) {
+  GateLevelRun Run;
+  Run.Gates = synth::lower(D, Id);
+  for (const ir::Net &N : Run.Gates.Nets)
+    Run.PrimGates += N.Operation != ir::Op::Buf;
+  Run.Ports = Run.Gates.numPorts();
+
+  ir::Design Flat;
+  ir::ModuleId FlatId = Flat.addModule(Run.Gates);
+  Timer T;
+  std::map<ir::ModuleId, analysis::ModuleSummary> Out;
+  auto Loop = analysis::analyzeDesign(Flat, Out);
+  Run.InferSeconds = T.seconds();
+  if (!Loop)
+    Run.Summary = std::move(Out.at(FlatId));
+  return Run;
+}
+
+/// "{a, b}" or the empty-set glyph for port sets.
+inline std::string portSetString(const ir::Module &M,
+                                 const std::vector<ir::WireId> &Set) {
+  if (Set.empty())
+    return "{}";
+  std::string Out = "{";
+  for (size_t I = 0; I != Set.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += M.wire(Set[I]).Name;
+  }
+  return Out + "}";
+}
+
+/// True when the benchmark was invoked with --quick (CI-scale designs).
+inline bool quickMode(int ArgC, char **ArgV) {
+  for (int I = 1; I < ArgC; ++I)
+    if (std::string(ArgV[I]) == "--quick")
+      return true;
+  return false;
+}
+
+} // namespace wiresort::bench
+
+#endif // WIRESORT_BENCH_BENCHUTIL_H

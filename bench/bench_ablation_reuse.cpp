@@ -1,0 +1,94 @@
+//===- bench/bench_ablation_reuse.cpp - Summary-reuse ablation ------------===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// Ablation called out in DESIGN.md: how much of the wire-sort pipeline's
+// advantage comes from computing each definition's summary once and
+// reusing it across instantiations ("every instantiation of the same
+// module in the larger design reuses the same wire sort information",
+// Section 4)? We analyze a design holding N instances of one SRAM bank
+// definition twice: once as-is (reuse on) and once with the definition
+// physically duplicated per instance (reuse off), at gate level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "analysis/SortInference.h"
+#include "gen/Catalog.h"
+#include "ir/Builder.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::bench;
+using namespace wiresort::ir;
+
+namespace {
+
+/// A top module instantiating \p N banks; \p Share picks whether they
+/// share one definition.
+ModuleId buildBankFarm(Design &D, size_t N, bool Share, uint16_t AddrW) {
+  std::vector<ModuleId> Defs;
+  for (size_t I = 0; I != (Share ? 1 : N); ++I) {
+    Module M = gen::makeSyncRam(AddrW, 32);
+    M.Name += Share ? "" : "$copy" + std::to_string(I);
+    M.Contracts.clear(); // Not under test here.
+    Defs.push_back(D.addModule(std::move(M)));
+  }
+  Builder B(std::string("farm_") + (Share ? "shared" : "copied"));
+  V Addr = B.input("addr_i", AddrW);
+  V WData = B.input("wdata_i", 32);
+  V Wen = B.input("wen_i", 1);
+  V Acc = B.lit(0, 32);
+  for (size_t I = 0; I != N; ++I) {
+    auto Outs = B.instantiate(D, Defs[Share ? 0 : I],
+                              "bank" + std::to_string(I),
+                              {{"raddr_i", Addr},
+                               {"waddr_i", Addr},
+                               {"wdata_i", WData},
+                               {"wen_i", Wen}});
+    Acc = B.xorv(Acc, Outs.at("rdata_o"));
+  }
+  B.output("checksum_o", B.reg(Acc, "sum_r"));
+  return D.addModule(B.finish());
+}
+
+double timeHierAnalysis(const Design &D, ModuleId Top) {
+  synth::HierLowered Hier = synth::lowerHierarchical(D, Top);
+  Timer T;
+  std::map<ModuleId, ModuleSummary> Out;
+  if (analyzeDesign(Hier.Design, Out))
+    return -1.0;
+  return T.seconds();
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  uint16_t AddrW = quickMode(ArgC, ArgV) ? 6 : 9;
+
+  std::printf("=== Ablation: per-definition summary reuse ===\n"
+              "(N synchronous-RAM banks; 'reuse on' shares one "
+              "definition, 'reuse off' duplicates it per instance)\n\n");
+  Table T({"Banks", "Reuse on (s)", "Reuse off (s)", "Reuse benefit"});
+  for (size_t N : {2u, 4u, 8u, 16u}) {
+    Design DShared, DCopied;
+    ModuleId SharedTop = buildBankFarm(DShared, N, /*Share=*/true, AddrW);
+    ModuleId CopiedTop =
+        buildBankFarm(DCopied, N, /*Share=*/false, AddrW);
+    double On = timeHierAnalysis(DShared, SharedTop);
+    double Off = timeHierAnalysis(DCopied, CopiedTop);
+    if (On < 0 || Off < 0)
+      return 1;
+    T.addRow({std::to_string(N), Table::secondsStr(On, 3),
+              Table::secondsStr(Off, 3), Table::speedupStr(Off / On)});
+  }
+  T.print();
+  std::printf("\n(reuse benefit should track the instance count: the "
+              "copied variant re-analyzes the same gates N times)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+//===- bench/bench_micro.cpp - google-benchmark microbenchmarks -----------===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// Microbenchmarks of the individual analysis phases, for regression
+// tracking: sort inference, port-graph construction, SCC checking,
+// lowering, and netlist cycle detection, each across design sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "gen/Fifo.h"
+#include "synth/CycleDetect.h"
+#include "synth/Lower.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+void BM_SortInferenceRtl(benchmark::State &State) {
+  Design D;
+  D.addModule(gen::makeFifo(
+      {64, static_cast<uint16_t>(State.range(0)), /*Forwarding=*/true}));
+  for (auto _ : State) {
+    std::map<ModuleId, ModuleSummary> Out;
+    benchmark::DoNotOptimize(analyzeDesign(D, Out));
+  }
+  State.SetLabel("depth=2^" + std::to_string(State.range(0)));
+}
+BENCHMARK(BM_SortInferenceRtl)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_SortInferenceGateLevel(benchmark::State &State) {
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo(
+      {64, static_cast<uint16_t>(State.range(0)), /*Forwarding=*/true}));
+  Design Flat;
+  Flat.addModule(synth::lower(D, Id));
+  for (auto _ : State) {
+    std::map<ModuleId, ModuleSummary> Out;
+    benchmark::DoNotOptimize(analyzeDesign(Flat, Out));
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          Flat.module(0).Nets.size());
+}
+BENCHMARK(BM_SortInferenceGateLevel)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Lowering(benchmark::State &State) {
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo(
+      {64, static_cast<uint16_t>(State.range(0)), /*Forwarding=*/false}));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(synth::lower(D, Id));
+}
+BENCHMARK(BM_Lowering)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_NetlistCycleDetection(benchmark::State &State) {
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo(
+      {64, static_cast<uint16_t>(State.range(0)), /*Forwarding=*/true}));
+  Module Gates = synth::lower(D, Id);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(synth::detectCycles(Gates));
+  State.SetItemsProcessed(State.iterations() * Gates.Nets.size());
+}
+BENCHMARK(BM_NetlistCycleDetection)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CircuitCheckScc(benchmark::State &State) {
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, /*Forwarding=*/true}));
+  std::map<ModuleId, ModuleSummary> Summaries;
+  if (analyzeDesign(D, Summaries))
+    return;
+  Circuit Circ(D, "chain");
+  std::vector<InstId> Insts;
+  const size_t N = State.range(0);
+  for (size_t I = 0; I != N; ++I)
+    Insts.push_back(Circ.addInstance(Fwd, "q" + std::to_string(I)));
+  for (size_t I = 0; I + 1 != N; ++I)
+    Circ.connect(Insts[I], "v_o", Insts[I + 1], "v_i");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkCircuit(Circ, Summaries));
+  State.SetItemsProcessed(State.iterations() * Circ.connections().size());
+}
+BENCHMARK(BM_CircuitCheckScc)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_CircuitCheckPairwise(benchmark::State &State) {
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, /*Forwarding=*/true}));
+  std::map<ModuleId, ModuleSummary> Summaries;
+  if (analyzeDesign(D, Summaries))
+    return;
+  Circuit Circ(D, "chain");
+  std::vector<InstId> Insts;
+  const size_t N = State.range(0);
+  for (size_t I = 0; I != N; ++I)
+    Insts.push_back(Circ.addInstance(Fwd, "q" + std::to_string(I)));
+  for (size_t I = 0; I + 1 != N; ++I)
+    Circ.connect(Insts[I], "v_o", Insts[I + 1], "v_i");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkCircuitPairwise(Circ, Summaries));
+}
+BENCHMARK(BM_CircuitCheckPairwise)->Arg(16)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+//===- bench/bench_riscv_case_study.cpp - Section 5.3 numbers -------------===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// Regenerates the Section 5.3 case-study measurements for the
+// multithreaded RV32I CPU: total primitive gates, per-module inference
+// time, total inference time (with repeated-trial bounds, as the paper
+// reports), per-gate inference rate, and the whole-circuit connection
+// check time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "riscv/Cpu.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::bench;
+using namespace wiresort::ir;
+
+int main(int ArgC, char **ArgV) {
+  const int Trials = quickMode(ArgC, ArgV) ? 3 : 10;
+
+  Design D;
+  riscv::Cpu C = riscv::buildCpu(D);
+  std::printf("=== Section 5.3: multithreaded RV32I CPU (%zu modules, "
+              "%u threads) ===\n\n",
+              C.Modules.size(), C.Config.NumThreads);
+
+  // Per-module gate counts and gate-level inference time (the paper's
+  // pipeline analyzed each module once at design time).
+  Table PerModule({"Module", "Prim. Gates", "Ports", "Infer (ms)"});
+  size_t TotalGates = 0;
+  double PerModuleTotalSeconds = 0.0;
+  for (ModuleId Id : C.Modules) {
+    GateLevelRun Run = runGateLevel(D, Id);
+    TotalGates += Run.PrimGates;
+    PerModuleTotalSeconds += Run.InferSeconds;
+    PerModule.addRow({D.module(Id).Name,
+                      Table::withCommas(Run.PrimGates),
+                      std::to_string(D.module(Id).numPorts()),
+                      Table::secondsStr(Run.InferSeconds * 1e3, 2)});
+  }
+  PerModule.print();
+  std::printf("\ntotal primitive gates: %s (paper: 229,011 for 5 threads "
+              "/ 5 stages)\n",
+              Table::withCommas(TotalGates).c_str());
+  std::printf("average per-module inference: %.1f ms (paper: 13.5 ms at "
+              "RTL granularity)\n",
+              1e3 * PerModuleTotalSeconds / C.Modules.size());
+
+  // Whole-design inference, repeated: report avg / min / max like the
+  // paper's "162.7 ms, lower bound 148.9, upper bound 194.2".
+  std::vector<double> InferRuns, CheckRuns;
+  for (int Trial = 0; Trial != Trials; ++Trial) {
+    Timer T;
+    std::map<ModuleId, ModuleSummary> Summaries;
+    if (analyzeDesign(D, Summaries))
+      return 1;
+    InferRuns.push_back(T.seconds());
+
+    Timer T2;
+    CircuitCheckResult Result = checkCircuit(C.Circ, Summaries);
+    CheckRuns.push_back(T2.seconds());
+    if (!Result.WellConnected)
+      return 1;
+  }
+  auto stats = [](std::vector<double> &Runs) {
+    std::sort(Runs.begin(), Runs.end());
+    double Sum = 0;
+    for (double R : Runs)
+      Sum += R;
+    return std::make_tuple(Sum / Runs.size(), Runs.front(), Runs.back());
+  };
+  auto [InferAvg, InferMin, InferMax] = stats(InferRuns);
+  auto [CheckAvg, CheckMin, CheckMax] = stats(CheckRuns);
+  std::printf("\nall-module sort inference (RTL, %d trials): avg %.3f ms "
+              "[%.3f, %.3f]\n",
+              Trials, 1e3 * InferAvg, 1e3 * InferMin, 1e3 * InferMax);
+  std::printf("inference rate: %.0f ns per primitive gate (paper: 298 "
+              "ns/gate)\n",
+              1e9 * InferAvg / TotalGates);
+  std::printf("whole-circuit connection check (%zu connections): avg "
+              "%.3f ms [%.3f, %.3f] (paper: 67.1 ms avg)\n",
+              C.Circ.connections().size(), 1e3 * CheckAvg, 1e3 * CheckMin,
+              1e3 * CheckMax);
+  return 0;
+}

@@ -1,0 +1,126 @@
+//===- bench/bench_table4_distribution.cpp - Table 4 ----------------------===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// Regenerates Table 4: the number of port annotations per sort across
+// the three corpora (BaseJump-style catalog, OPDB stand-ins, RISC-V
+// CPU), plus the Section 5.5.3 headline percentages: how many ports can
+// raise "late surprises" (to-port/from-port) versus how many are
+// discharged by sorts alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "analysis/SortInference.h"
+#include "gen/Catalog.h"
+#include "gen/Opdb.h"
+#include "riscv/Cpu.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::bench;
+using namespace wiresort::ir;
+
+namespace {
+
+struct SortCounts {
+  size_t Modules = 0;
+  size_t Counts[4] = {0, 0, 0, 0};
+
+  void addModule(const Design &D, ModuleId Id,
+                 const ModuleSummary &Summary) {
+    ++Modules;
+    const Module &M = D.module(Id);
+    for (WireId In : M.Inputs)
+      ++Counts[static_cast<int>(Summary.sortOf(In))];
+    for (WireId Out : M.Outputs)
+      ++Counts[static_cast<int>(Summary.sortOf(Out))];
+  }
+
+  size_t at(Sort S) const { return Counts[static_cast<int>(S)]; }
+};
+
+std::vector<std::string> row(const char *Source, const SortCounts &C) {
+  return {Source,
+          std::to_string(C.Modules),
+          std::to_string(C.at(Sort::ToSync)),
+          std::to_string(C.at(Sort::ToPort)),
+          std::to_string(C.at(Sort::FromSync)),
+          std::to_string(C.at(Sort::FromPort))};
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  gen::OpdbOptions Options;
+  if (quickMode(ArgC, ArgV))
+    Options.ShrinkAddrBits = 6;
+
+  std::printf("=== Table 4: annotations per sort ===\n\n");
+
+  SortCounts Catalog, Opdb, Riscv, Total;
+
+  // BaseJump-style catalog corpus.
+  for (const gen::CatalogEntry &E : gen::catalog()) {
+    Design D;
+    ModuleId Id = D.addModule(E.Build());
+    std::map<ModuleId, ModuleSummary> Out;
+    if (analyzeDesign(D, Out))
+      continue;
+    Catalog.addModule(D, Id, Out.at(Id));
+    Total.addModule(D, Id, Out.at(Id));
+  }
+
+  // OPDB stand-ins.
+  {
+    Design D;
+    std::vector<gen::OpdbEntry> Entries = gen::buildOpdb(D, Options);
+    std::map<ModuleId, ModuleSummary> Out;
+    if (!analyzeDesign(D, Out)) {
+      for (const gen::OpdbEntry &E : Entries) {
+        Opdb.addModule(D, E.Top, Out.at(E.Top));
+        Total.addModule(D, E.Top, Out.at(E.Top));
+      }
+    }
+  }
+
+  // RISC-V CPU modules.
+  {
+    Design D;
+    riscv::Cpu C = riscv::buildCpu(D);
+    std::map<ModuleId, ModuleSummary> Out;
+    if (!analyzeDesign(D, Out)) {
+      for (ModuleId Id : C.Modules) {
+        Riscv.addModule(D, Id, Out.at(Id));
+        Total.addModule(D, Id, Out.at(Id));
+      }
+    }
+  }
+
+  Table T({"Source", "Modules", "TS", "TP", "FS", "FP"});
+  T.addRow(row("BaseJump-style catalog", Catalog));
+  T.addRow(row("OpenPiton DB stand-ins", Opdb));
+  T.addRow(row("RISC-V", Riscv));
+  T.addRow(row("Total", Total));
+  T.print();
+
+  size_t Inputs = Total.at(Sort::ToSync) + Total.at(Sort::ToPort);
+  size_t Outputs = Total.at(Sort::FromSync) + Total.at(Sort::FromPort);
+  size_t Surprising = Total.at(Sort::ToPort) + Total.at(Sort::FromPort);
+  size_t All = Inputs + Outputs;
+  std::printf("\nto-sync inputs: %.1f%% of inputs (paper 62.5%%)\n",
+              100.0 * Total.at(Sort::ToSync) / Inputs);
+  std::printf("from-sync outputs: %.1f%% of outputs (paper 59.8%%)\n",
+              100.0 * Total.at(Sort::FromSync) / Outputs);
+  std::printf("ports that can raise a \"late surprise\": %.1f%% "
+              "(paper 38.7%%)\n",
+              100.0 * Surprising / All);
+  std::printf("(paper totals over 172 modules: TS 594, TP 357, FS 426, "
+              "FP 286)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- analysis/Ascription.h - Designer sort annotations --------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4's lightweight syntactic annotations: a designer may declare
+/// what they believe a port's sort (and, for port sorts, its
+/// output-port-set / input-port-set) should be. Computed sorts are checked
+/// against these declarations; opaque modules — whose internals are
+/// unavailable, e.g. encrypted IP — must be fully ascribed, and their
+/// summaries are constructed from the ascriptions alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_ASCRIPTION_H
+#define WIRESORT_ANALYSIS_ASCRIPTION_H
+
+#include "analysis/Summary.h"
+#include "ir/Module.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wiresort::analysis {
+
+/// One designer-supplied port annotation.
+struct Ascription {
+  ir::WireId Port = ir::InvalidId;
+  Sort DeclaredSort = Sort::ToSync;
+  /// For to-port: the declared output-port-set; for from-port: the
+  /// declared input-port-set. Ignored for sync sorts.
+  std::vector<ir::WireId> DeclaredPortSet;
+  /// Optional subsort declaration for sync sorts.
+  SubSort DeclaredSubSort = SubSort::None;
+};
+
+/// A mismatch between a computed summary and a declaration.
+struct AscriptionMismatch {
+  ir::WireId Port = ir::InvalidId;
+  std::string Message;
+};
+
+/// Checks \p Declared against the computed \p Summary. Declared port sets
+/// must match exactly; a declared sync subsort must match the computed
+/// one. Ports without ascriptions are accepted silently (they keep their
+/// computed sorts, as in the paper's implementation).
+std::vector<AscriptionMismatch>
+checkAscriptions(const ir::Module &M, const ModuleSummary &Summary,
+                 const std::vector<Ascription> &Declared);
+
+/// Builds a summary for an opaque module (ports only, no internals) from
+/// full ascriptions. Every port of \p M must be ascribed; for port sorts
+/// the port set must be supplied. \returns std::nullopt with \p Error set
+/// when the ascriptions are incomplete or inconsistent (e.g. a declared
+/// output-port-set that is inconsistent with the declared input-port-sets
+/// of the outputs it names).
+std::optional<ModuleSummary>
+summaryFromAscriptions(const ir::Module &M, ir::ModuleId Id,
+                       const std::vector<Ascription> &Declared,
+                       std::string &Error);
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_ASCRIPTION_H

@@ -1,0 +1,31 @@
+//===- analysis/BaseJump.cpp - The helpful/demanding baseline -------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BaseJump.h"
+
+#include <algorithm>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+static bool contains(const std::vector<WireId> &Set, WireId W) {
+  return std::binary_search(Set.begin(), Set.end(), W);
+}
+
+Temperament analysis::classifyProducer(const ModuleSummary &Summary,
+                                       const ProducerEndpoint &E) {
+  return contains(Summary.inputPortSet(E.ValidOut), E.ReadyIn)
+             ? Temperament::Demanding
+             : Temperament::Helpful;
+}
+
+Temperament analysis::classifyConsumer(const ModuleSummary &Summary,
+                                       const ConsumerEndpoint &E) {
+  return contains(Summary.inputPortSet(E.ReadyOut), E.ValidIn)
+             ? Temperament::Demanding
+             : Temperament::Helpful;
+}

@@ -1,0 +1,75 @@
+//===- analysis/BaseJump.h - The helpful/demanding baseline -----*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BaseJump STL's informal endpoint taxonomy (Section 2.1), formalized
+/// exactly as the paper does in Section 3.6:
+///
+///  * a producer endpoint (ready_in, valid_out, data_out) is \b helpful
+///    iff ready_in is not in input-ports(M, valid_out), else demanding;
+///  * a consumer endpoint (ready_out, valid_in, data_in) is \b helpful
+///    iff valid_in is not in input-ports(M, ready_out), else demanding.
+///
+/// BaseJump's rule forbids only demanding-demanding connections. The
+/// paper shows (Figure 3, Section 3.6) that this is unsound: a
+/// helpful-helpful connection can still close a combinational loop
+/// through a third module. We implement the classifier so the test and
+/// benchmark suites can demonstrate the gap against the wire-sort
+/// checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_BASEJUMP_H
+#define WIRESORT_ANALYSIS_BASEJUMP_H
+
+#include "analysis/Summary.h"
+
+#include <cstdint>
+
+namespace wiresort::analysis {
+
+/// BaseJump's two endpoint temperaments.
+enum class Temperament : uint8_t { Helpful, Demanding };
+
+inline const char *temperamentName(Temperament T) {
+  return T == Temperament::Helpful ? "helpful" : "demanding";
+}
+
+/// A ready-valid producer endpoint of a module: sends data out.
+struct ProducerEndpoint {
+  ir::WireId ReadyIn = ir::InvalidId;
+  ir::WireId ValidOut = ir::InvalidId;
+  ir::WireId DataOut = ir::InvalidId;
+};
+
+/// A ready-valid consumer endpoint of a module: receives data.
+struct ConsumerEndpoint {
+  ir::WireId ReadyOut = ir::InvalidId;
+  ir::WireId ValidIn = ir::InvalidId;
+  ir::WireId DataIn = ir::InvalidId;
+};
+
+/// Section 3.6: producer is helpful iff ready_in is not in
+/// input-ports(M, valid_out).
+Temperament classifyProducer(const ModuleSummary &Summary,
+                             const ProducerEndpoint &E);
+
+/// Section 3.6: consumer is helpful iff valid_in is not in
+/// input-ports(M, ready_out).
+Temperament classifyConsumer(const ModuleSummary &Summary,
+                             const ConsumerEndpoint &E);
+
+/// BaseJump's connection rule: only demanding-demanding is unsafe.
+inline bool baseJumpAllowsConnection(Temperament Producer,
+                                     Temperament Consumer) {
+  return Producer == Temperament::Helpful ||
+         Consumer == Temperament::Helpful;
+}
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_BASEJUMP_H

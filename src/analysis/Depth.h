@@ -1,0 +1,86 @@
+//===- analysis/Depth.h - Combinational-depth analysis ----------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's named future work ("Our techniques could potentially also
+/// reason about properties related to timing", Section 1), realized with
+/// the same modular machinery: alongside each port's sort, record the
+/// worst-case combinational *depth* (gate levels) between state and the
+/// port, and between port pairs. Circuit-level composition then bounds
+/// the longest register-to-register path spanning module boundaries —
+/// without reopening any module, exactly as well-connectedness checking
+/// does.
+///
+/// Depth is measured in primitive-gate levels of the lowered form:
+/// multi-bit RTL operations count as their bit-blasted critical path
+/// (e.g. an N-bit ripple adder contributes ~2N levels), Buf is free.
+/// Requires an acyclic module/circuit (run the well-connectedness check
+/// first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_DEPTH_H
+#define WIRESORT_ANALYSIS_DEPTH_H
+
+#include "analysis/Summary.h"
+#include "ir/Circuit.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace wiresort::analysis {
+
+/// Per-module worst-case combinational depths, the timing analog of
+/// ModuleSummary.
+struct DepthSummary {
+  ir::ModuleId Id = ir::InvalidId;
+
+  /// Gate levels from input port to output port; present exactly for
+  /// the pairs in the sort summary's port sets.
+  std::map<std::pair<ir::WireId, ir::WireId>, uint32_t> PairDepth;
+  /// Gate levels from state (register Q / memory read) to each output.
+  std::map<ir::WireId, uint32_t> FromStateDepth;
+  /// Gate levels from each input to the deepest state pin it feeds.
+  std::map<ir::WireId, uint32_t> ToStateDepth;
+  /// Longest internal register-to-register path.
+  uint32_t InternalDepth = 0;
+
+  uint32_t pairDepth(ir::WireId In, ir::WireId Out) const {
+    auto It = PairDepth.find({In, Out});
+    return It == PairDepth.end() ? 0 : It->second;
+  }
+};
+
+/// Computes depths for module \p Id; summaries and depth summaries of
+/// every instantiated definition must already be present. \returns
+/// std::nullopt if the module's combinational graph is cyclic (check
+/// well-connectedness first).
+std::optional<DepthSummary>
+inferDepths(const ir::Design &D, ir::ModuleId Id,
+            const std::map<ir::ModuleId, ModuleSummary> &Summaries,
+            const std::map<ir::ModuleId, DepthSummary> &SubDepths);
+
+/// Computes depth summaries for every module of \p D in dependency
+/// order. \returns std::nullopt on a combinational cycle.
+std::optional<std::map<ir::ModuleId, DepthSummary>>
+inferAllDepths(const ir::Design &D,
+               const std::map<ir::ModuleId, ModuleSummary> &Summaries);
+
+/// The longest register-to-register combinational path through the
+/// circuit, crossing module boundaries via the depth summaries. The
+/// circuit must be well-connected. \returns the depth in gate levels
+/// (0 for an empty or fully registered circuit).
+uint32_t
+circuitCriticalDepth(const ir::Circuit &Circ,
+                     const std::map<ir::ModuleId, ModuleSummary>
+                         &Summaries,
+                     const std::map<ir::ModuleId, DepthSummary> &Depths);
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_DEPTH_H

@@ -1,0 +1,45 @@
+//===- analysis/Dot.h - Graphviz export --------------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz renderings of the two graphs the paper reasons about:
+///
+///  * a module's intra-modular combinational dependency graph (ports
+///    colored by sort, state elements as boxes), and
+///  * a circuit's port graph (one cluster per instance; connection and
+///    summary edges; the combinational loop, if any, highlighted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_DOT_H
+#define WIRESORT_ANALYSIS_DOT_H
+
+#include "analysis/Summary.h"
+#include "ir/Circuit.h"
+
+#include <map>
+#include <string>
+
+namespace wiresort {
+
+/// Renders a module's ports and combinational skeleton. Only interface
+/// wires and state elements are shown (internals collapse to edges) so
+/// even large modules stay readable.
+std::string moduleDot(const ir::Module &M,
+                      const analysis::ModuleSummary &Summary);
+
+/// Renders a circuit's port graph, with sorts as colors, connection
+/// edges solid and summary edges dashed; nodes on the loop in \p Loop
+/// (may be empty) are drawn red.
+std::string
+circuitDot(const ir::Circuit &Circ,
+           const std::map<ir::ModuleId, analysis::ModuleSummary> &Summaries,
+           const std::vector<std::string> &LoopLabels = {});
+
+} // namespace wiresort
+
+#endif // WIRESORT_ANALYSIS_DOT_H

@@ -1,0 +1,56 @@
+//===- analysis/MemoryChecks.cpp - Sync-memory composition rules ----------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryChecks.h"
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+std::vector<ContractViolation>
+analysis::checkMemoryContracts(const Circuit &Circ,
+                               const std::map<ModuleId, ModuleSummary>
+                                   &Summaries) {
+  std::vector<ContractViolation> Violations;
+
+  for (const Connection &C : Circ.connections()) {
+    const Module &FromDef = Circ.defOf(C.From.Inst);
+    const Module &ToDef = Circ.defOf(C.To.Inst);
+    const ModuleSummary &FromSummary =
+        Summaries.at(Circ.instances()[C.From.Inst].Def);
+    const ModuleSummary &ToSummary =
+        Summaries.at(Circ.instances()[C.To.Inst].Def);
+
+    // The input side demands a from-sync-direct driver (Figure 8: the
+    // read address line of a synchronous memory).
+    for (const PortContract &Contract : ToDef.Contracts) {
+      if (Contract.Port != C.To.Port || !Contract.RequireDriverFromSyncDirect)
+        continue;
+      bool Ok = FromSummary.sortOf(C.From.Port) == Sort::FromSync &&
+                FromSummary.subSortOf(C.From.Port) == SubSort::Direct;
+      if (!Ok)
+        Violations.push_back(ContractViolation{
+            C, "input '" + Circ.portLabel(C.To) +
+                   "' requires a from-sync-direct driver but '" +
+                   Circ.portLabel(C.From) + "' is not"});
+    }
+
+    // The output side demands a to-sync-direct sink (memories whose read
+    // data must be fed directly into a register).
+    for (const PortContract &Contract : FromDef.Contracts) {
+      if (Contract.Port != C.From.Port || !Contract.RequireSinkToSyncDirect)
+        continue;
+      bool Ok = ToSummary.sortOf(C.To.Port) == Sort::ToSync &&
+                ToSummary.subSortOf(C.To.Port) == SubSort::Direct;
+      if (!Ok)
+        Violations.push_back(ContractViolation{
+            C, "output '" + Circ.portLabel(C.From) +
+                   "' requires a to-sync-direct sink but '" +
+                   Circ.portLabel(C.To) + "' is not"});
+    }
+  }
+  return Violations;
+}

@@ -1,0 +1,49 @@
+//===- analysis/MemoryChecks.h - Sync-memory composition rules --*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.7's extension: synchronous memories impose composition
+/// requirements beyond loop freedom. A read address that must be stable
+/// at the start of the cycle requires its external driver to be
+/// \b from-sync-direct (fed straight from a register, through no gates);
+/// dually, a memory whose read data must land in a register requires its
+/// external sink to be \b to-sync-direct.
+///
+/// Modules express these requirements as PortContracts (ir/Module.h);
+/// this pass verifies every circuit connection against the contracts of
+/// both endpoints using the inferred subsorts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_MEMORYCHECKS_H
+#define WIRESORT_ANALYSIS_MEMORYCHECKS_H
+
+#include "analysis/Summary.h"
+#include "ir/Circuit.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wiresort::analysis {
+
+/// One contract violation found at circuit level.
+struct ContractViolation {
+  ir::Connection Conn;
+  std::string Message;
+};
+
+/// Checks every connection of \p Circ against both endpoints' contracts.
+/// \returns all violations (empty means the circuit honors all
+/// synchronous-memory interface requirements).
+std::vector<ContractViolation>
+checkMemoryContracts(const ir::Circuit &Circ,
+                     const std::map<ir::ModuleId, ModuleSummary> &Summaries);
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_MEMORYCHECKS_H

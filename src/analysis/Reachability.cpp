@@ -1,0 +1,182 @@
+//===- analysis/Reachability.cpp - Intra-module comb reachability ---------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Reachability.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+CombGraph CombGraph::build(const Module &M,
+                           const std::map<ModuleId, ModuleSummary>
+                               &SubSummaries) {
+  CombGraph CG;
+  CG.M = &M;
+  CG.SubSummaries = &SubSummaries;
+  CG.G = Graph(M.numWires());
+  CG.Drivers.assign(M.numWires(), DriverRec{});
+  CG.Fanouts.assign(M.numWires(), FanoutRec{});
+
+  for (WireId W = 0; W != M.numWires(); ++W) {
+    switch (M.wire(W).Kind) {
+    case WireKind::Const:
+      CG.Drivers[W].Kind = DriverKind::Const;
+      break;
+    case WireKind::Input:
+      CG.Drivers[W].Kind = DriverKind::InputPort;
+      break;
+    default:
+      break;
+    }
+  }
+
+  for (NetId N = 0; N != M.Nets.size(); ++N) {
+    const Net &Gate = M.Nets[N];
+    CG.Drivers[Gate.Output] = DriverRec{DriverKind::NetOut, N, InvalidId};
+    for (WireId In : Gate.Inputs) {
+      CG.G.addEdge(In, Gate.Output);
+      CG.Fanouts[In].Nets.push_back(N);
+    }
+  }
+
+  for (const Register &R : M.Registers) {
+    CG.Drivers[R.Q].Kind = DriverKind::RegQ;
+    CG.Fanouts[R.D].StatePins += 1;
+  }
+
+  for (const Memory &Mem : M.Memories) {
+    if (Mem.SyncRead) {
+      CG.Drivers[Mem.RData].Kind = DriverKind::MemSync;
+      CG.Fanouts[Mem.RAddr].StatePins += 1;
+    } else {
+      CG.Drivers[Mem.RData].Kind = DriverKind::MemAsync;
+      CG.G.addEdge(Mem.RAddr, Mem.RData);
+      CG.Fanouts[Mem.RAddr].AsyncMemAddrPins += 1;
+    }
+    CG.Fanouts[Mem.WAddr].StatePins += 1;
+    CG.Fanouts[Mem.WData].StatePins += 1;
+    CG.Fanouts[Mem.WEnable].StatePins += 1;
+  }
+
+  for (uint32_t InstIdx = 0; InstIdx != M.Instances.size(); ++InstIdx) {
+    const SubInstance &Inst = M.Instances[InstIdx];
+    auto SummaryIt = SubSummaries.find(Inst.Def);
+    assert(SummaryIt != SubSummaries.end() &&
+           "instance definition must be summarized first");
+    const ModuleSummary &Sub = SummaryIt->second;
+
+    // Map the definition's output ports to the local wires bound to them.
+    std::map<WireId, WireId> OutLocal;
+    for (const auto &[DefPort, Local] : Inst.Bindings) {
+      auto OutSet = Sub.InputPortSets.find(DefPort);
+      if (OutSet != Sub.InputPortSets.end()) {
+        OutLocal[DefPort] = Local;
+        CG.Drivers[Local] = DriverRec{DriverKind::InstOut, InstIdx, DefPort};
+      }
+    }
+    for (const auto &[DefPort, Local] : Inst.Bindings) {
+      auto It = Sub.OutputPortSets.find(DefPort);
+      if (It == Sub.OutputPortSets.end())
+        continue; // An output binding.
+      CG.Fanouts[Local].InstInputs.emplace_back(InstIdx, DefPort);
+      for (WireId DefOut : It->second) {
+        auto LocalIt = OutLocal.find(DefOut);
+        assert(LocalIt != OutLocal.end() && "output port left unbound");
+        CG.G.addEdge(Local, LocalIt->second);
+      }
+    }
+  }
+  return CG;
+}
+
+std::vector<WireId> CombGraph::reachableOutputPorts(WireId From) const {
+  std::vector<bool> Seen = G.reachableFrom(From);
+  std::vector<WireId> Result;
+  for (WireId Out : M->Outputs)
+    if (Seen[Out] && Out != From)
+      Result.push_back(Out);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::optional<LoopDiagnostic> CombGraph::findCombLoop() const {
+  std::optional<std::vector<uint32_t>> Cycle = G.findCycle();
+  if (!Cycle)
+    return std::nullopt;
+  LoopDiagnostic Diag;
+  for (uint32_t Node : *Cycle)
+    Diag.PathLabels.push_back(M->Name + "::" + M->wire(Node).Name);
+  return Diag;
+}
+
+bool CombGraph::feedsStateDirectly(WireId In) const {
+  // BFS over the Buf-closure of In: every consumer must be state, a
+  // transparent Buf, or a submodule input port that is itself
+  // to-sync-direct.
+  std::vector<WireId> Work{In};
+  std::vector<bool> Seen(M->numWires(), false);
+  Seen[In] = true;
+  while (!Work.empty()) {
+    WireId W = Work.back();
+    Work.pop_back();
+    if (M->wire(W).Kind == WireKind::Output)
+      return false; // Reaches a port: the wire is not to-sync at all.
+    const FanoutRec &F = Fanouts[W];
+    if (F.AsyncMemAddrPins != 0)
+      return false; // Asynchronous read is combinational logic.
+    for (NetId N : F.Nets) {
+      const Net &Gate = M->Nets[N];
+      if (Gate.Operation != Op::Buf)
+        return false; // Real combinational logic in the way.
+      if (!Seen[Gate.Output]) {
+        Seen[Gate.Output] = true;
+        Work.push_back(Gate.Output);
+      }
+    }
+    for (const auto &[InstIdx, DefPort] : F.InstInputs) {
+      const ModuleSummary &Sub =
+          SubSummaries->at(M->Instances[InstIdx].Def);
+      if (Sub.sortOf(DefPort) != Sort::ToSync ||
+          Sub.subSortOf(DefPort) != SubSort::Direct)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool CombGraph::drivenByStateDirectly(WireId Out) const {
+  // Walk backward through Buf chains to the originating driver.
+  WireId W = Out;
+  while (true) {
+    const DriverRec &D = Drivers[W];
+    switch (D.Kind) {
+    case DriverKind::RegQ:
+    case DriverKind::Const:
+    case DriverKind::MemSync:
+      return true;
+    case DriverKind::InstOut: {
+      const ModuleSummary &Sub =
+          SubSummaries->at(M->Instances[D.Index].Def);
+      return Sub.sortOf(D.DefPort) == Sort::FromSync &&
+             Sub.subSortOf(D.DefPort) == SubSort::Direct;
+    }
+    case DriverKind::NetOut: {
+      const Net &Gate = M->Nets[D.Index];
+      if (Gate.Operation != Op::Buf)
+        return false;
+      W = Gate.Inputs.front();
+      continue;
+    }
+    case DriverKind::InputPort:
+    case DriverKind::MemAsync:
+    case DriverKind::None:
+      return false;
+    }
+  }
+}

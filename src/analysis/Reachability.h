@@ -1,0 +1,115 @@
+//===- analysis/Reachability.h - Intra-module comb reachability -*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's reachable(M, w) relation (Section 3.2): the set
+/// of wires reachable from w through nets without passing through any
+/// register. State elements are absorbing:
+///
+///  * register D pins and synchronous-memory pins terminate forward
+///    traversal (their effects appear only next cycle);
+///  * register Q pins, constants, and synchronous-memory read data are
+///    sources, never pass-throughs;
+///  * asynchronous-memory reads contribute a combinational RAddr -> RData
+///    edge.
+///
+/// Submodule instances are traversed through their ModuleSummary — an
+/// instance input combinationally reaches exactly the instance outputs in
+/// its definition's output-port-set. This is how Section 3.1's
+/// "supermodule" generalization is realized: the internals of instantiated
+/// definitions are never revisited.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_REACHABILITY_H
+#define WIRESORT_ANALYSIS_REACHABILITY_H
+
+#include "analysis/Summary.h"
+#include "ir/Module.h"
+#include "support/Graph.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace wiresort::analysis {
+
+/// How a wire is driven; used by the Section 3.7 -direct classification.
+enum class DriverKind : uint8_t {
+  None,     ///< Undriven (inputs, constants treated separately).
+  Const,    ///< Constant wire.
+  InputPort,///< The wire is a module input.
+  NetOut,   ///< Output of a net.
+  RegQ,     ///< Register Q pin.
+  MemSync,  ///< Synchronous-memory read data.
+  MemAsync, ///< Asynchronous-memory read data (combinational).
+  InstOut,  ///< Bound to a submodule instance's output port.
+};
+
+/// The combinational dependency graph of one module, with submodule
+/// instances abstracted by their summaries.
+class CombGraph {
+public:
+  /// Builds the graph. Every instance's definition must have an entry in
+  /// \p SubSummaries (guaranteed when summaries are computed in
+  /// dependency order; see DesignAnalysis).
+  static CombGraph build(const ir::Module &M,
+                         const std::map<ir::ModuleId, ModuleSummary>
+                             &SubSummaries);
+
+  /// Node ids coincide with WireIds of the module.
+  const Graph &graph() const { return G; }
+
+  /// Forward-reachable module \b output ports from \p From, sorted.
+  /// This is output-ports(M, From) when \p From is an input port.
+  std::vector<ir::WireId> reachableOutputPorts(ir::WireId From) const;
+
+  /// \returns a loop diagnostic if the module (including instance
+  /// summaries) contains a combinational cycle, else std::nullopt.
+  std::optional<LoopDiagnostic> findCombLoop() const;
+
+  /// Section 3.7: true iff input \p In feeds only state, reached through
+  /// nothing but transparent Buf nets — the to-sync-direct test. Only
+  /// meaningful when \p In is to-sync.
+  bool feedsStateDirectly(ir::WireId In) const;
+
+  /// Section 3.7: true iff output \p Out is driven from state through
+  /// nothing but transparent Buf nets — the from-sync-direct test. Only
+  /// meaningful when \p Out is from-sync.
+  bool drivenByStateDirectly(ir::WireId Out) const;
+
+  DriverKind driverKind(ir::WireId W) const { return Drivers[W].Kind; }
+
+private:
+  struct DriverRec {
+    DriverKind Kind = DriverKind::None;
+    /// NetOut: the net id. InstOut: the instance id.
+    uint32_t Index = 0;
+    /// InstOut: the definition's output port id.
+    ir::WireId DefPort = ir::InvalidId;
+  };
+  struct FanoutRec {
+    /// Nets consuming the wire.
+    std::vector<ir::NetId> Nets;
+    /// (instance id, definition input port) pairs consuming the wire.
+    std::vector<std::pair<uint32_t, ir::WireId>> InstInputs;
+    /// Number of state pins consuming the wire (reg D, sync-mem pins).
+    uint32_t StatePins = 0;
+    /// Number of asynchronous-memory read-address pins consuming it.
+    uint32_t AsyncMemAddrPins = 0;
+  };
+
+  const ir::Module *M = nullptr;
+  const std::map<ir::ModuleId, ModuleSummary> *SubSummaries = nullptr;
+  Graph G;
+  std::vector<DriverRec> Drivers;
+  std::vector<FanoutRec> Fanouts;
+};
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_REACHABILITY_H

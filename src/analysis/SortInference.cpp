@@ -1,0 +1,88 @@
+//===- analysis/SortInference.cpp - Stage-1 sort inference ----------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SortInference.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+InferenceResult
+analysis::inferSummary(const Design &D, ModuleId Id,
+                       const std::map<ModuleId, ModuleSummary>
+                           &SubSummaries) {
+  Timer T;
+  const Module &M = D.module(Id);
+  CombGraph CG = CombGraph::build(M, SubSummaries);
+
+  // A module whose internals (or instance summaries) form a cycle can
+  // never be summarized; report the loop instead.
+  if (std::optional<LoopDiagnostic> Loop = CG.findCombLoop())
+    return *Loop;
+
+  ModuleSummary Summary;
+  Summary.Id = Id;
+  Summary.ModuleName = M.Name;
+
+  // Forward pass per input port: O(|inputs| * |edges|) total.
+  for (WireId In : M.Inputs)
+    Summary.OutputPortSets[In] = CG.reachableOutputPorts(In);
+
+  // Output sets by inversion — no second traversal (Section 5.5.1).
+  for (WireId Out : M.Outputs)
+    Summary.InputPortSets[Out] = {};
+  for (const auto &[In, Outs] : Summary.OutputPortSets)
+    for (WireId Out : Outs)
+      Summary.InputPortSets[Out].push_back(In);
+  for (auto &[Out, Ins] : Summary.InputPortSets)
+    std::sort(Ins.begin(), Ins.end());
+
+  // Section 3.7 subsorts for the sync ports.
+  for (WireId In : M.Inputs) {
+    if (!Summary.OutputPortSets[In].empty())
+      Summary.SubSorts[In] = SubSort::None;
+    else
+      Summary.SubSorts[In] = CG.feedsStateDirectly(In) ? SubSort::Direct
+                                                       : SubSort::Indirect;
+  }
+  for (WireId Out : M.Outputs) {
+    if (!Summary.InputPortSets[Out].empty())
+      Summary.SubSorts[Out] = SubSort::None;
+    else
+      Summary.SubSorts[Out] = CG.drivenByStateDirectly(Out)
+                                  ? SubSort::Direct
+                                  : SubSort::Indirect;
+  }
+
+  Summary.InferenceSeconds = T.seconds();
+  return Summary;
+}
+
+std::optional<LoopDiagnostic>
+analysis::analyzeDesign(const Design &D,
+                        std::map<ModuleId, ModuleSummary> &Out,
+                        const std::map<ModuleId, ModuleSummary> &Ascribed) {
+  std::optional<std::vector<ModuleId>> Order = D.topologicalModuleOrder();
+  assert(Order && "module instantiation must be acyclic");
+
+  for (ModuleId Id : *Order) {
+    auto AscribedIt = Ascribed.find(Id);
+    if (AscribedIt != Ascribed.end()) {
+      Out[Id] = AscribedIt->second;
+      continue;
+    }
+    InferenceResult Result = inferSummary(D, Id, Out);
+    if (auto *Loop = std::get_if<LoopDiagnostic>(&Result))
+      return *Loop;
+    Out[Id] = std::move(std::get<ModuleSummary>(Result));
+  }
+  return std::nullopt;
+}

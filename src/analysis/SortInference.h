@@ -1,0 +1,56 @@
+//===- analysis/SortInference.h - Stage-1 sort inference --------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 1 of the paper's three-stage process (Section 3.5): at module
+/// design time, compute the sort of every interface wire together with
+/// the output-port-set / input-port-set annotations. Complexity is
+/// O(|inputs| * |edges|) per module (Section 5.5.1); output sorts are
+/// recovered by inverting the input-side sets without re-traversing the
+/// module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_SORTINFERENCE_H
+#define WIRESORT_ANALYSIS_SORTINFERENCE_H
+
+#include "analysis/Reachability.h"
+#include "analysis/Summary.h"
+#include "ir/Design.h"
+
+#include <map>
+#include <optional>
+#include <variant>
+
+namespace wiresort::analysis {
+
+/// Result of inferring one module: either a summary or the first
+/// intra-module (or instance-summary-level) combinational loop found.
+using InferenceResult = std::variant<ModuleSummary, LoopDiagnostic>;
+
+/// Infers the interface summary of \p Id in \p D. Summaries for every
+/// (transitively) instantiated definition must already be present in
+/// \p SubSummaries.
+InferenceResult inferSummary(const ir::Design &D, ir::ModuleId Id,
+                             const std::map<ir::ModuleId, ModuleSummary>
+                                 &SubSummaries);
+
+/// Analyzes every module of \p D in dependency order, reusing each
+/// definition's summary across instantiations (the Table 3 "unique
+/// modules" reuse). Modules whose summary is supplied in \p Ascribed
+/// (opaque IP; Section 4) are taken as-is and not analyzed.
+///
+/// On success, \p Out maps every ModuleId to its summary. On failure the
+/// first combinational loop found is returned.
+std::optional<LoopDiagnostic>
+analyzeDesign(const ir::Design &D,
+              std::map<ir::ModuleId, ModuleSummary> &Out,
+              const std::map<ir::ModuleId, ModuleSummary> &Ascribed = {});
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_SORTINFERENCE_H

@@ -1,0 +1,67 @@
+//===- analysis/Sorts.h - The wire-sort taxonomy ----------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's key contribution (Section 3.3): every module interface wire
+/// is assigned one of four sorts.
+///
+///  * An input win is \b to-sync when output-ports(M, win) is empty — it
+///    cannot combinationally affect any module output — and \b to-port
+///    otherwise.
+///  * An output wout is \b from-sync when input-ports(M, wout) is empty —
+///    it does not combinationally depend on any module input — and
+///    \b from-port otherwise.
+///
+/// Section 3.7 refines the sync sorts with -direct/-indirect subsorts for
+/// synchronous-memory composition: a from-sync-direct output is fed
+/// straight from state with no intervening combinational logic, and a
+/// to-sync-direct input feeds straight into state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_SORTS_H
+#define WIRESORT_ANALYSIS_SORTS_H
+
+#include <cstdint>
+
+namespace wiresort::analysis {
+
+/// The four wire sorts of Section 3.3.
+enum class Sort : uint8_t {
+  ToSync,   ///< Input; combinationally affects no output port.
+  ToPort,   ///< Input; combinationally affects at least one output port.
+  FromSync, ///< Output; combinationally depends on no input port.
+  FromPort, ///< Output; combinationally depends on at least one input port.
+};
+
+/// Section 3.7 subsort refinement; meaningful only for the sync sorts.
+enum class SubSort : uint8_t {
+  None,     ///< Not a sync sort (to-port / from-port).
+  Direct,   ///< No combinational logic between the port and state.
+  Indirect, ///< Sync, but through combinational logic.
+};
+
+/// \returns "to-sync", "to-port", "from-sync", or "from-port".
+const char *sortName(Sort S);
+
+/// \returns the paper's table abbreviation: TS, TP, FS, or FP.
+const char *sortAbbrev(Sort S);
+
+/// \returns true for the sorts that can never participate in a
+/// combinational loop (Property 1).
+inline bool isSyncSort(Sort S) {
+  return S == Sort::ToSync || S == Sort::FromSync;
+}
+
+/// \returns true for input-side sorts.
+inline bool isInputSort(Sort S) {
+  return S == Sort::ToSync || S == Sort::ToPort;
+}
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_SORTS_H

@@ -1,0 +1,241 @@
+//===- analysis/SummaryIO.cpp - Summary (de)serialization -----------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryIO.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+const char *subSortSuffix(SubSort S) {
+  switch (S) {
+  case SubSort::Direct:
+    return " direct";
+  case SubSort::Indirect:
+    return " indirect";
+  case SubSort::None:
+    return "";
+  }
+  return "";
+}
+
+void writePortSet(std::ostringstream &OS, const Module &M,
+                  const std::vector<WireId> &Set) {
+  OS << " {";
+  for (size_t I = 0; I != Set.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << M.wire(Set[I]).Name;
+  }
+  OS << '}';
+}
+
+} // namespace
+
+std::string
+analysis::writeSummaries(const Design &D,
+                         const std::map<ModuleId, ModuleSummary>
+                             &Summaries) {
+  std::ostringstream OS;
+  for (const auto &[Id, Summary] : Summaries) {
+    const Module &M = D.module(Id);
+    OS << "module " << M.Name << '\n';
+    for (WireId In : M.Inputs) {
+      OS << "  input " << M.wire(In).Name << ' '
+         << sortName(Summary.sortOf(In));
+      if (Summary.sortOf(In) == Sort::ToPort)
+        writePortSet(OS, M, Summary.outputPortSet(In));
+      else
+        OS << subSortSuffix(Summary.subSortOf(In));
+      OS << '\n';
+    }
+    for (WireId Out : M.Outputs) {
+      OS << "  output " << M.wire(Out).Name << ' '
+         << sortName(Summary.sortOf(Out));
+      if (Summary.sortOf(Out) == Sort::FromPort)
+        writePortSet(OS, M, Summary.inputPortSet(Out));
+      else
+        OS << subSortSuffix(Summary.subSortOf(Out));
+      OS << '\n';
+    }
+    OS << "end\n";
+  }
+  return OS.str();
+}
+
+std::optional<std::map<ModuleId, ModuleSummary>>
+analysis::parseSummaries(const std::string &Text, const Design &D,
+                         std::string &Error) {
+  std::map<ModuleId, ModuleSummary> Result;
+  std::istringstream Stream(Text);
+  std::string Line;
+  size_t LineNo = 0;
+
+  const Module *M = nullptr;
+  ModuleId CurId = InvalidId;
+  ModuleSummary Cur;
+
+  auto fail = [&](const std::string &Msg) {
+    Error = "summaries line " + std::to_string(LineNo) + ": " + Msg;
+    return std::nullopt;
+  };
+
+  auto finishModule = [&]() -> std::optional<std::string> {
+    if (!M)
+      return std::nullopt;
+    // Invert the input-side sets to fill any output sets not declared,
+    // and cross-check declared output sets.
+    std::map<WireId, std::vector<WireId>> Inverted;
+    for (WireId Out : M->Outputs)
+      Inverted[Out] = {};
+    for (const auto &[In, Outs] : Cur.OutputPortSets)
+      for (WireId Out : Outs) {
+        if (!Inverted.count(Out))
+          return "module '" + M->Name +
+                 "': output-port-set names non-output wire";
+        Inverted[Out].push_back(In);
+      }
+    for (auto &[Out, Ins] : Inverted)
+      std::sort(Ins.begin(), Ins.end());
+    for (WireId Out : M->Outputs) {
+      auto It = Cur.InputPortSets.find(Out);
+      if (It == Cur.InputPortSets.end())
+        return "module '" + M->Name + "': output '" +
+               M->wire(Out).Name + "' missing";
+      if (It->second != Inverted[Out])
+        return "module '" + M->Name + "': output '" +
+               M->wire(Out).Name +
+               "' set inconsistent with input declarations";
+    }
+    for (WireId In : M->Inputs)
+      if (!Cur.OutputPortSets.count(In))
+        return "module '" + M->Name + "': input '" + M->wire(In).Name +
+               "' missing";
+    Result[CurId] = std::move(Cur);
+    M = nullptr;
+    return std::nullopt;
+  };
+
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    std::istringstream LS(Line);
+    std::string Tok;
+    if (!(LS >> Tok) || Tok[0] == '#')
+      continue;
+
+    if (Tok == "module") {
+      if (M)
+        return fail("missing 'end' before new module");
+      std::string Name;
+      if (!(LS >> Name))
+        return fail("module expects a name");
+      ModuleId Id = D.findModule(Name);
+      if (Id == InvalidId)
+        return fail("unknown module '" + Name + "'");
+      M = &D.module(Id);
+      CurId = Id;
+      Cur = ModuleSummary();
+      Cur.Id = Id;
+      Cur.ModuleName = Name;
+      continue;
+    }
+    if (Tok == "end") {
+      if (!M)
+        return fail("'end' without module");
+      if (auto Err = finishModule())
+        return fail(*Err);
+      continue;
+    }
+    if (Tok != "input" && Tok != "output")
+      return fail("expected input/output/module/end, got '" + Tok + "'");
+    if (!M)
+      return fail("port line outside a module block");
+
+    bool IsInput = Tok == "input";
+    std::string PortName, SortToken;
+    if (!(LS >> PortName >> SortToken))
+      return fail("port line expects a name and a sort");
+    WireId Port = M->findPort(PortName);
+    if (Port == InvalidId)
+      return fail("module '" + M->Name + "' has no port '" + PortName +
+                  "'");
+    if (M->isInput(Port) != IsInput)
+      return fail("port '" + PortName + "' direction mismatch");
+
+    // Rest of line: either a subsort keyword or a {set}.
+    std::string Rest;
+    std::getline(LS, Rest);
+    SubSort Sub = SubSort::None;
+    std::vector<WireId> Set;
+    size_t Open = Rest.find('{');
+    if (Open != std::string::npos) {
+      size_t Close = Rest.find('}', Open);
+      if (Close == std::string::npos)
+        return fail("unterminated port set");
+      std::string Inner = Rest.substr(Open + 1, Close - Open - 1);
+      std::replace(Inner.begin(), Inner.end(), ',', ' ');
+      std::istringstream SetStream(Inner);
+      std::string Member;
+      while (SetStream >> Member) {
+        WireId W = M->findPort(Member);
+        if (W == InvalidId)
+          return fail("unknown port '" + Member + "' in set");
+        Set.push_back(W);
+      }
+      std::sort(Set.begin(), Set.end());
+      Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+    } else {
+      std::istringstream SubStream(Rest);
+      std::string SubTok;
+      if (SubStream >> SubTok) {
+        if (SubTok == "direct")
+          Sub = SubSort::Direct;
+        else if (SubTok == "indirect")
+          Sub = SubSort::Indirect;
+        else
+          return fail("expected direct/indirect, got '" + SubTok + "'");
+      }
+    }
+
+    if (IsInput) {
+      if (SortToken == "to-sync") {
+        if (!Set.empty())
+          return fail("to-sync input must not carry a port set");
+        Cur.OutputPortSets[Port] = {};
+        Cur.SubSorts[Port] = Sub == SubSort::None ? SubSort::Indirect : Sub;
+      } else if (SortToken == "to-port") {
+        if (Set.empty())
+          return fail("to-port input needs a nonempty port set");
+        Cur.OutputPortSets[Port] = std::move(Set);
+        Cur.SubSorts[Port] = SubSort::None;
+      } else {
+        return fail("input sort must be to-sync or to-port");
+      }
+    } else {
+      if (SortToken == "from-sync") {
+        if (!Set.empty())
+          return fail("from-sync output must not carry a port set");
+        Cur.InputPortSets[Port] = {};
+        Cur.SubSorts[Port] = Sub == SubSort::None ? SubSort::Indirect : Sub;
+      } else if (SortToken == "from-port") {
+        if (Set.empty())
+          return fail("from-port output needs a nonempty port set");
+        Cur.InputPortSets[Port] = std::move(Set);
+        Cur.SubSorts[Port] = SubSort::None;
+      } else {
+        return fail("output sort must be from-sync or from-port");
+      }
+    }
+  }
+  if (M)
+    return fail("missing final 'end'");
+  return Result;
+}

@@ -1,0 +1,60 @@
+//===- analysis/SummaryIO.h - Summary (de)serialization ---------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain-text sidecar format for module interface summaries, so sorts
+/// inferred once at module design time (Stage 1) can ship alongside a
+/// module — including opaque/encrypted IP whose internals are never
+/// shared (Section 4's ascription scenario). One module per block:
+///
+/// \code
+/// module fifo_fwd_w8_d4
+///   input data_i to-port {data_o}
+///   input v_i to-port {data_o, v_o}
+///   input yumi_i to-sync indirect
+///   output data_o from-port {data_i, v_i}
+///   output v_o from-port {v_i}
+///   output ready_o from-sync indirect
+/// end
+/// \endcode
+///
+/// Ports are referenced by name, making the files stable across wire-id
+/// renumbering. parseSummaries() resolves them against the module's
+/// interface and cross-checks the two directions for consistency (an
+/// input's output-port-set must invert to the outputs' input-port-sets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_SUMMARYIO_H
+#define WIRESORT_ANALYSIS_SUMMARYIO_H
+
+#include "analysis/Summary.h"
+#include "ir/Design.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace wiresort::analysis {
+
+/// Serializes the summaries of every module of \p D present in
+/// \p Summaries, in module-id order.
+std::string writeSummaries(const ir::Design &D,
+                           const std::map<ir::ModuleId, ModuleSummary>
+                               &Summaries);
+
+/// Parses summary blocks and resolves them against same-named modules of
+/// \p D (modules absent from the text are simply not populated).
+/// \returns std::nullopt and sets \p Error (with a line number) on
+/// malformed or inconsistent input.
+std::optional<std::map<ir::ModuleId, ModuleSummary>>
+parseSummaries(const std::string &Text, const ir::Design &D,
+               std::string &Error);
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_SUMMARYIO_H

@@ -1,0 +1,154 @@
+//===- analysis/WellConnected.cpp - Circuit-level checking ----------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/WellConnected.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+ConnectionSafety
+analysis::classifyConnection(const Circuit &Circ,
+                             const std::map<ModuleId, ModuleSummary>
+                                 &Summaries,
+                             const Connection &C) {
+  const ModuleSummary &FromSummary =
+      Summaries.at(Circ.instances()[C.From.Inst].Def);
+  const ModuleSummary &ToSummary =
+      Summaries.at(Circ.instances()[C.To.Inst].Def);
+  if (FromSummary.sortOf(C.From.Port) == Sort::FromSync ||
+      ToSummary.sortOf(C.To.Port) == Sort::ToSync)
+    return ConnectionSafety::SafeBySort;
+  return ConnectionSafety::NeedsCircuitCheck;
+}
+
+PortGraph PortGraph::build(const Circuit &Circ,
+                           const std::map<ModuleId, ModuleSummary>
+                               &Summaries) {
+  PortGraph PG;
+  const auto &Insts = Circ.instances();
+  PG.NodeIndex.resize(Insts.size());
+
+  for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
+    const Module &Def = Circ.design().module(Insts[Inst].Def);
+    for (WireId Port : Def.Inputs)
+      PG.NodeIndex[Inst][Port] = static_cast<uint32_t>(PG.Refs.size()),
+      PG.Refs.push_back(PortRef{Inst, Port});
+    for (WireId Port : Def.Outputs)
+      PG.NodeIndex[Inst][Port] = static_cast<uint32_t>(PG.Refs.size()),
+      PG.Refs.push_back(PortRef{Inst, Port});
+  }
+  PG.G = Graph(PG.Refs.size());
+
+  // Summary edges: input -> each member of its output-port-set.
+  for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
+    const ModuleSummary &Summary = Summaries.at(Insts[Inst].Def);
+    for (const auto &[In, Outs] : Summary.OutputPortSets) {
+      uint32_t InNode = PG.NodeIndex[Inst].at(In);
+      for (WireId Out : Outs) {
+        PG.G.addEdge(InNode, PG.NodeIndex[Inst].at(Out));
+        ++PG.SummaryEdges;
+      }
+    }
+  }
+
+  // Connection edges.
+  for (const Connection &C : Circ.connections()) {
+    PG.G.addEdge(PG.NodeIndex[C.From.Inst].at(C.From.Port),
+                 PG.NodeIndex[C.To.Inst].at(C.To.Port));
+    ++PG.ConnectionEdges;
+  }
+  return PG;
+}
+
+uint32_t PortGraph::nodeOf(PortRef Ref) const {
+  return NodeIndex[Ref.Inst].at(Ref.Port);
+}
+
+bool PortGraph::transitivelyAffects(PortRef W1, PortRef W2) const {
+  return G.reachableFrom(nodeOf(W1))[nodeOf(W2)];
+}
+
+CircuitCheckResult
+analysis::checkCircuit(const Circuit &Circ,
+                       const std::map<ModuleId, ModuleSummary> &Summaries) {
+  Timer T;
+  CircuitCheckResult Result;
+
+  for (const Connection &C : Circ.connections()) {
+    if (classifyConnection(Circ, Summaries, C) ==
+        ConnectionSafety::SafeBySort)
+      ++Result.SafeBySort;
+    else
+      ++Result.NeedsCheck;
+  }
+
+  PortGraph PG = PortGraph::build(Circ, Summaries);
+  if (std::optional<std::vector<uint32_t>> Cycle = PG.graph().findCycle()) {
+    LoopDiagnostic Diag;
+    for (uint32_t Node : *Cycle)
+      Diag.PathLabels.push_back(Circ.portLabel(PG.refOf(Node)));
+    Result.Loop = std::move(Diag);
+    Result.WellConnected = false;
+  } else {
+    Result.WellConnected = true;
+  }
+  Result.Seconds = T.seconds();
+  return Result;
+}
+
+bool analysis::isWellConnectedPair(const PortGraph &PG, const Circuit &Circ,
+                                   const std::map<ModuleId, ModuleSummary>
+                                       &Summaries,
+                                   const Connection &C) {
+  const ModuleSummary &FromSummary =
+      Summaries.at(Circ.instances()[C.From.Inst].Def);
+  const ModuleSummary &ToSummary =
+      Summaries.at(Circ.instances()[C.To.Inst].Def);
+  // For all w1 in input-ports(M1, wout), w2 in output-ports(M2, win):
+  // require w2 does not transitively affect w1 (Definition 3.1).
+  for (WireId W2 : ToSummary.outputPortSet(C.To.Port)) {
+    std::vector<bool> Reach =
+        PG.graph().reachableFrom(PG.nodeOf(PortRef{C.To.Inst, W2}));
+    for (WireId W1 : FromSummary.inputPortSet(C.From.Port))
+      if (Reach[PG.nodeOf(PortRef{C.From.Inst, W1})])
+        return false;
+  }
+  return true;
+}
+
+CircuitCheckResult
+analysis::checkCircuitPairwise(const Circuit &Circ,
+                               const std::map<ModuleId, ModuleSummary>
+                                   &Summaries) {
+  Timer T;
+  CircuitCheckResult Result;
+  PortGraph PG = PortGraph::build(Circ, Summaries);
+
+  Result.WellConnected = true;
+  for (const Connection &C : Circ.connections()) {
+    if (classifyConnection(Circ, Summaries, C) ==
+        ConnectionSafety::SafeBySort) {
+      ++Result.SafeBySort;
+      continue;
+    }
+    ++Result.NeedsCheck;
+    if (!isWellConnectedPair(PG, Circ, Summaries, C)) {
+      Result.WellConnected = false;
+      LoopDiagnostic Diag;
+      Diag.PathLabels.push_back(Circ.portLabel(C.From));
+      Diag.PathLabels.push_back(Circ.portLabel(C.To));
+      if (!Result.Loop)
+        Result.Loop = std::move(Diag);
+    }
+  }
+  Result.Seconds = T.seconds();
+  return Result;
+}

@@ -1,0 +1,116 @@
+//===- gen/CacheDma.cpp - Cache DMA engine --------------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/CacheDma.h"
+
+#include "ir/Builder.h"
+
+#include <cassert>
+#include <string>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+Module gen::makeCacheDma(const CacheDmaParams &P) {
+  assert(P.Ways >= 2 && P.Ways <= 16 && "way count out of range");
+  std::string Name = "cache_dma_w" + std::to_string(P.DataWidth) + "_a" +
+                     std::to_string(P.AddrWidth);
+  Builder B(Name);
+
+  uint16_t WayW = 1;
+  while ((1u << WayW) < P.Ways)
+    ++WayW;
+
+  // Command side (from the cache controller).
+  V DmaCmd = B.input("dma_cmd_i", 2);   // 0 idle, 1 fill, 2 evict.
+  V DmaAddr = B.input("dma_addr_i", P.AddrWidth);
+  V DmaWay = B.input("dma_way_i", WayW);
+  V DmaPktYumi = B.input("dma_pkt_yumi_i", 1);
+  // Data streams.
+  V DmaDataIn = B.input("dma_data_i", P.DataWidth);
+  V DmaDataV = B.input("dma_data_v_i", 1);
+  V DmaDataYumi = B.input("dma_data_yumi_i", 1);
+  V MemDataIn = B.input("data_mem_data_i", P.DataWidth);
+
+  // FSM: 0 idle, 1 filling, 2 evicting, 3 done.
+  V State = B.regLoop("state", 2);
+  V Counter = B.regLoop("burst_ctr", P.LineLog2);
+  V FillActive = B.regLoop("fill_active", 1);
+  V EvictActive = B.regLoop("evict_active", 1);
+
+  V Idle = B.eqConst(State, 0);
+  V DoneState = B.eqConst(State, 3);
+  V CmdValid = B.notv(B.eqConst(DmaCmd, 0));
+  V CmdIsEvict = B.eqConst(DmaCmd, 2);
+
+  // --- Outputs whose Table 1 sets are {dma_cmd_i, ...} ------------------
+  // The DMA packet is offered the same cycle the command arrives.
+  V PktVOut = B.andv(CmdValid, Idle);
+  V PktOut = B.concat({CmdIsEvict, DmaAddr});
+  // Acceptance of the final packet completes the command combinationally.
+  V DoneOut = B.orv(DoneState, B.andv(B.andv(CmdValid, Idle), DmaPktYumi));
+
+  // --- Cache data-memory command side -----------------------------------
+  uint16_t LineAddrHi = static_cast<uint16_t>(P.AddrWidth - 1);
+  V LineBase = B.slice(DmaAddr, LineAddrHi, P.LineLog2);
+  V MemAddrOut = B.concat({LineBase, Counter}); // {dma_addr_i} only.
+  V MemVOut = B.andv(CmdValid, B.orv(Idle, B.notv(Idle)));
+  // The mask decodes the requested way, qualified by registered state.
+  V OneHot = B.shl(B.zext(B.lit(1, 1), P.Ways), DmaWay);
+  V FillMaskGate = B.concat(std::vector<V>(P.Ways, FillActive));
+  V MemWMaskOut = B.andv(OneHot, FillMaskGate);
+  V MemWOut = FillActive;
+
+  // --- Fully registered streaming paths (from-sync side) ----------------
+  // Fill: DMA data is buffered one cycle, then written to the data memory.
+  V FillBuf = B.reg(DmaDataIn, "fill_buf");
+  V MemDataOut = FillBuf;
+  // Evict: cache data is buffered one cycle, then offered on the DMA bus.
+  V EvictBuf = B.reg(MemDataIn, "evict_buf");
+  V DmaDataOut = EvictBuf;
+  V DmaDataVOut = B.reg(B.andv(EvictActive, B.notv(DmaDataYumi)),
+                        "dma_data_v_r");
+  V DmaDataReadyOut = B.reg(B.andv(FillActive, DmaDataV),
+                            "dma_data_ready_r");
+  V EvictOut = EvictActive;
+  V SnoopWord = B.reg(MemDataIn, "snoop_word_r");
+
+  // --- Next-state logic (uses inputs freely; they stay to-sync because
+  // --- every path ends in a register D pin) ------------------------------
+  V Accept = B.andv(B.andv(Idle, CmdValid), DmaPktYumi);
+  V CtrLast = B.eqConst(Counter, (1u << P.LineLog2) - 1);
+  V StreamBeat = B.orv(B.andv(FillActive, DmaDataV),
+                       B.andv(EvictActive, DmaDataYumi));
+  V CtrNext = B.mux(Accept, B.lit(0, P.LineLog2),
+                    B.mux(StreamBeat, B.inc(Counter), Counter));
+  B.drive(Counter, CtrNext);
+
+  V BurstDone = B.andv(StreamBeat, CtrLast);
+  V StateAfterRun = B.mux(BurstDone, B.lit(3, 2), State);
+  V StateNext =
+      B.mux(Accept, B.mux(CmdIsEvict, B.lit(2, 2), B.lit(1, 2)),
+            B.mux(DoneState, B.lit(0, 2), StateAfterRun));
+  B.drive(State, StateNext);
+  B.drive(FillActive, B.andv(B.eqConst(StateNext, 1), B.lit(1, 1)));
+  B.drive(EvictActive, B.andv(B.eqConst(StateNext, 2), B.lit(1, 1)));
+
+  // --- Port list in Table 1 order ----------------------------------------
+  B.output("data_mem_data_o", MemDataOut);
+  B.output("dma_data_o", DmaDataOut);
+  B.output("dma_data_v_o", DmaDataVOut);
+  B.output("dma_data_ready_o", DmaDataReadyOut);
+  B.output("dma_pkt_v_o", PktVOut);
+  B.output("data_mem_addr_o", MemAddrOut);
+  B.output("data_mem_v_o", MemVOut);
+  B.output("data_mem_w_mask_o", MemWMaskOut);
+  B.output("dma_pkt_o", PktOut);
+  B.output("done_o", DoneOut);
+  B.output("data_mem_w_o", MemWOut);
+  B.output("dma_evict_o", EvictOut);
+  B.output("snoop_word_o", SnoopWord);
+  return B.finish();
+}

@@ -1,0 +1,43 @@
+//===- gen/CacheDma.h - Cache DMA engine ------------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cache DMA engine with the interface and combinational dependence
+/// structure of Table 1's fourth row (BaseJump's bsg_cache_dma): a
+/// command-driven engine moving lines between the cache data memory and a
+/// DMA packet channel. Its to-port/from-port structure is rich —
+/// dma_cmd_i fans out combinationally to done_o, dma_pkt_o, dma_pkt_v_o,
+/// and data_mem_v_o, while the streaming data paths are fully registered
+/// (from-sync).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_GEN_CACHEDMA_H
+#define WIRESORT_GEN_CACHEDMA_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace wiresort::gen {
+
+/// Cache DMA shape parameters.
+struct CacheDmaParams {
+  uint16_t DataWidth = 32;
+  uint16_t AddrWidth = 16;
+  /// Number of cache ways; sets the width of dma_way_i / the write mask.
+  uint16_t Ways = 4;
+  /// log2 of the words per cache line (burst counter width).
+  uint16_t LineLog2 = 3;
+};
+
+/// Builds "cache_dma_w<W>_a<A>" with the Table 1 port list.
+ir::Module makeCacheDma(const CacheDmaParams &P);
+
+} // namespace wiresort::gen
+
+#endif // WIRESORT_GEN_CACHEDMA_H

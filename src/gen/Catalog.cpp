@@ -1,0 +1,663 @@
+//===- gen/Catalog.cpp - The module corpus --------------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Catalog.h"
+
+#include "gen/CacheDma.h"
+#include "gen/Fifo.h"
+#include "gen/ShiftReg.h"
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+Module gen::makeCounter(uint16_t Width) {
+  Builder B("counter_w" + std::to_string(Width));
+  V En = B.input("en_i", 1);
+  V Clear = B.input("clear_i", 1);
+  V Count = B.regLoop("count", Width);
+  V Next = B.mux(Clear, B.lit(0, Width), B.mux(En, B.inc(Count), Count));
+  B.drive(Count, Next);
+  B.output("count_o", Count);
+  B.output("overflow_o", B.reg(B.andv(En, B.eqConst(Count, (Width >= 64 ? ~0ull : (1ull << Width) - 1))), "ovf"));
+  return B.finish();
+}
+
+Module gen::makeLfsr(uint16_t Width) {
+  assert(Width >= 4 && "LFSR needs at least 4 bits");
+  Builder B("lfsr_w" + std::to_string(Width));
+  V En = B.input("en_i", 1);
+  V State = B.regLoop("lfsr", Width, 1);
+  // Fibonacci feedback from the two top taps (not maximal for every
+  // width, but structurally representative).
+  V Tap = B.xorv(B.bit(State, Width - 1), B.bit(State, Width - 3));
+  V Shifted = B.concat({B.slice(State, Width - 2, 0), Tap});
+  B.drive(State, B.mux(En, Shifted, State));
+  B.output("value_o", State);
+  return B.finish();
+}
+
+Module gen::makeShiftChain(uint16_t Width, uint16_t Depth) {
+  Builder B("shift_chain_w" + std::to_string(Width) + "_d" +
+            std::to_string(Depth));
+  V Data = B.input("data_i", Width);
+  V En = B.input("en_i", 1);
+  V Cur = Data;
+  for (uint16_t S = 0; S != Depth; ++S) {
+    V Stage = B.regLoop("stage" + std::to_string(S), Width);
+    B.drive(Stage, B.mux(En, Cur, Stage));
+    Cur = Stage;
+  }
+  B.output("data_o", Cur);
+  return B.finish();
+}
+
+Module gen::makeRoundRobinArb(uint16_t NRequesters) {
+  Builder B("rr_arb_n" + std::to_string(NRequesters));
+  uint16_t PtrW = 1;
+  while ((1u << PtrW) < NRequesters)
+    ++PtrW;
+  V Reqs = B.input("reqs_i", NRequesters);
+  V Ptr = B.regLoop("rr_ptr", PtrW);
+
+  // Grant the first requester at or after the pointer: rotate, priority
+  // encode, rotate back — all combinational from reqs_i (to-port).
+  std::vector<V> GrantBits(NRequesters);
+  // grant[i] = req[i] & none of the (rotationally) earlier reqs.
+  for (uint16_t I = 0; I != NRequesters; ++I) {
+    V Take = B.bit(Reqs, I);
+    // Earlier-in-rotation requesters, a chain of at most N-1 terms.
+    V Blocked = B.lit(0, 1);
+    for (uint16_t J = 0; J != NRequesters; ++J) {
+      if (J == I)
+        continue;
+      // J precedes I in rotation order iff (J - Ptr) mod N < (I - Ptr).
+      V JOff = B.sub(B.lit(J, PtrW), Ptr);
+      V IOff = B.sub(B.lit(I, PtrW), Ptr);
+      V JFirst = B.lt(JOff, IOff);
+      Blocked = B.orv(Blocked, B.andv(JFirst, B.bit(Reqs, J)));
+    }
+    GrantBits[I] = B.andv(Take, B.notv(Blocked));
+  }
+  std::vector<V> Rev(GrantBits.rbegin(), GrantBits.rend());
+  V Grants = B.concat(Rev);
+  V AnyGrant = B.orr(Reqs);
+  B.drive(Ptr, B.mux(AnyGrant, B.inc(Ptr), Ptr));
+  B.output("grants_o", Grants);
+  B.output("v_o", AnyGrant);
+  return B.finish();
+}
+
+Module gen::makePriorityEncoder(uint16_t NRequesters) {
+  Builder B("prio_enc_n" + std::to_string(NRequesters));
+  V Reqs = B.input("reqs_i", NRequesters);
+  std::vector<V> GrantBits(NRequesters);
+  V Blocked = B.lit(0, 1);
+  for (uint16_t I = 0; I != NRequesters; ++I) {
+    V Req = B.bit(Reqs, I);
+    GrantBits[I] = B.andv(Req, B.notv(Blocked));
+    Blocked = B.orv(Blocked, Req);
+  }
+  std::vector<V> Rev(GrantBits.rbegin(), GrantBits.rend());
+  B.output("grants_o", B.concat(Rev));
+  B.output("v_o", B.orr(Reqs));
+  return B.finish();
+}
+
+Module gen::makeMuxReg(uint16_t Width, uint16_t NInputs) {
+  Builder B("mux_reg_w" + std::to_string(Width) + "_n" +
+            std::to_string(NInputs));
+  uint16_t SelW = 1;
+  while ((1u << SelW) < NInputs)
+    ++SelW;
+  std::vector<V> Ins;
+  for (uint16_t I = 0; I != NInputs; ++I)
+    Ins.push_back(B.input("data" + std::to_string(I) + "_i", Width));
+  V Sel = B.input("sel_i", SelW);
+  B.output("data_o", B.reg(B.muxN(Sel, Ins), "out_r"));
+  return B.finish();
+}
+
+Module gen::makeMuxComb(uint16_t Width, uint16_t NInputs) {
+  Builder B("mux_comb_w" + std::to_string(Width) + "_n" +
+            std::to_string(NInputs));
+  uint16_t SelW = 1;
+  while ((1u << SelW) < NInputs)
+    ++SelW;
+  std::vector<V> Ins;
+  for (uint16_t I = 0; I != NInputs; ++I)
+    Ins.push_back(B.input("data" + std::to_string(I) + "_i", Width));
+  V Sel = B.input("sel_i", SelW);
+  B.output("data_o", B.muxN(Sel, Ins));
+  return B.finish();
+}
+
+Module gen::makeDemux(uint16_t Width, uint16_t NOutputs) {
+  Builder B("demux_w" + std::to_string(Width) + "_n" +
+            std::to_string(NOutputs));
+  uint16_t SelW = 1;
+  while ((1u << SelW) < NOutputs)
+    ++SelW;
+  V Data = B.input("data_i", Width);
+  V Sel = B.input("sel_i", SelW);
+  V Zero = B.lit(0, Width);
+  for (uint16_t O = 0; O != NOutputs; ++O)
+    B.output("data" + std::to_string(O) + "_o",
+             B.mux(B.eqConst(Sel, O), Data, Zero));
+  return B.finish();
+}
+
+Module gen::makeCrossbar(uint16_t Width, uint16_t NPorts) {
+  Builder B("xbar_w" + std::to_string(Width) + "_n" +
+            std::to_string(NPorts));
+  uint16_t SelW = 1;
+  while ((1u << SelW) < NPorts)
+    ++SelW;
+  std::vector<V> Ins;
+  for (uint16_t I = 0; I != NPorts; ++I)
+    Ins.push_back(B.input("in" + std::to_string(I) + "_i", Width));
+  for (uint16_t O = 0; O != NPorts; ++O) {
+    V Sel = B.input("sel" + std::to_string(O) + "_i", SelW);
+    B.output("out" + std::to_string(O) + "_o", B.muxN(Sel, Ins));
+  }
+  return B.finish();
+}
+
+Module gen::makeAdderPipe(uint16_t Width, uint16_t Stages) {
+  Builder B("adder_pipe_w" + std::to_string(Width) + "_s" +
+            std::to_string(Stages));
+  V A = B.input("a_i", Width);
+  V Bv = B.input("b_i", Width);
+  V VIn = B.input("v_i", 1);
+  V Sum = B.reg(B.add(A, Bv), "sum0");
+  V Valid = B.reg(VIn, "v0");
+  for (uint16_t S = 1; S != Stages; ++S) {
+    Sum = B.reg(B.add(Sum, B.lit(0, Width)), "sum" + std::to_string(S));
+    Valid = B.reg(Valid, "v" + std::to_string(S));
+  }
+  B.output("sum_o", Sum);
+  B.output("v_o", Valid);
+  return B.finish();
+}
+
+Module gen::makeIterMul(uint16_t Width) {
+  Builder B("iter_mul_w" + std::to_string(Width));
+  uint16_t CtrW = 1;
+  while ((1u << CtrW) < Width)
+    ++CtrW;
+  V A = B.input("a_i", Width);
+  V Bv = B.input("b_i", Width);
+  V VIn = B.input("v_i", 1);
+  V Yumi = B.input("yumi_i", 1);
+
+  V Busy = B.regLoop("busy", 1);
+  V Done = B.regLoop("done", 1);
+  V Ctr = B.regLoop("ctr", CtrW);
+  V Acc = B.regLoop("acc", Width);
+  V Multiplicand = B.regLoop("mcand", Width);
+  V Multiplier = B.regLoop("mplier", Width);
+
+  V Idle = B.notv(B.orv(Busy, Done));
+  V Start = B.andv(Idle, VIn);
+  // A demanding producer: ready for the next operand pair only once the
+  // result is being taken — ready_o depends combinationally on yumi_i.
+  V ReadyOut = B.orv(Idle, B.andv(Done, Yumi));
+
+  V StepAdd = B.mux(B.bit(Multiplier, 0), Multiplicand, B.lit(0, Width));
+  V AccNext = B.add(Acc, StepAdd);
+  V LastStep = B.eqConst(Ctr, Width - 1);
+
+  B.drive(Acc, B.mux(Start, B.lit(0, Width),
+                     B.mux(Busy, AccNext, Acc)));
+  B.drive(Multiplicand,
+          B.mux(Start, A, B.mux(Busy, B.shlConst(Multiplicand, 1),
+                                Multiplicand)));
+  B.drive(Multiplier,
+          B.mux(Start, Bv, B.mux(Busy, B.shrConst(Multiplier, 1),
+                                 Multiplier)));
+  B.drive(Ctr, B.mux(Start, B.lit(0, CtrW),
+                     B.mux(Busy, B.inc(Ctr), Ctr)));
+  B.drive(Busy, B.mux(Start, B.lit(1, 1),
+                      B.mux(B.andv(Busy, LastStep), B.lit(0, 1), Busy)));
+  B.drive(Done, B.mux(B.andv(Busy, LastStep), B.lit(1, 1),
+                      B.mux(Yumi, B.lit(0, 1), Done)));
+
+  B.output("result_o", Acc);
+  B.output("v_o", Done);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}
+
+Module gen::makeTwoFifo(uint16_t Width) {
+  Builder B("two_fifo_w" + std::to_string(Width));
+  V DataIn = B.input("data_i", Width);
+  V VIn = B.input("v_i", 1);
+  V Yumi = B.input("yumi_i", 1);
+
+  V Slot0 = B.regLoop("slot0", Width);
+  V Slot1 = B.regLoop("slot1", Width);
+  V Count = B.regLoop("count", 2);
+
+  V Empty = B.eqConst(Count, 0);
+  V Full = B.eqConst(Count, 2);
+  V ReadyOut = B.notv(Full);
+  V Enq = B.andv(VIn, ReadyOut);
+  // Bypass: an empty two-fifo forwards combinationally, like the
+  // forwarding FIFO of Figure 2.
+  V Bypass = B.andv(Empty, VIn);
+  V VOut = B.orv(B.notv(Empty), VIn);
+  V DataOut = B.mux(Bypass, DataIn, Slot0);
+  V Deq = B.andv(Yumi, B.notv(Empty));
+  V BypassTaken = B.andv(Bypass, Yumi);
+  V EnqKeep = B.andv(Enq, B.notv(BypassTaken));
+
+  B.drive(Slot0, B.mux(Deq, Slot1,
+                       B.mux(B.andv(EnqKeep, Empty), DataIn, Slot0)));
+  B.drive(Slot1, B.mux(B.andv(EnqKeep, B.eqConst(Count, 1)), DataIn,
+                       Slot1));
+  V Up = B.zext(EnqKeep, 2);
+  V Down = B.zext(Deq, 2);
+  B.drive(Count, B.sub(B.add(Count, Up), Down));
+
+  B.output("data_o", DataOut);
+  B.output("v_o", VOut);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}
+
+Module gen::makeGrayCoder(uint16_t Width, bool Decode) {
+  Builder B(std::string(Decode ? "gray_dec" : "gray_enc") + "_w" +
+            std::to_string(Width));
+  V In = B.input("data_i", Width);
+  V Out;
+  if (!Decode) {
+    Out = B.xorv(In, B.shrConst(In, 1));
+  } else {
+    // Binary from Gray: prefix XOR from the top bit down.
+    std::vector<V> Bits(Width);
+    V Acc = B.bit(In, Width - 1);
+    Bits[Width - 1] = Acc;
+    for (uint16_t I = Width - 1; I-- > 0;) {
+      Acc = B.xorv(Acc, B.bit(In, I));
+      Bits[I] = Acc;
+    }
+    std::vector<V> Rev(Bits.rbegin(), Bits.rend());
+    Out = B.concat(Rev);
+  }
+  B.output("data_o", Out);
+  return B.finish();
+}
+
+Module gen::makeParity(uint16_t Width) {
+  Builder B("parity_w" + std::to_string(Width));
+  V In = B.input("data_i", Width);
+  B.output("parity_o", B.xorr(In));
+  return B.finish();
+}
+
+Module gen::makeSyncRam(uint16_t AddrWidth, uint16_t DataWidth) {
+  Builder B("sync_ram_a" + std::to_string(AddrWidth) + "_w" +
+            std::to_string(DataWidth));
+  V RAddr = B.input("raddr_i", AddrWidth);
+  V WAddr = B.input("waddr_i", AddrWidth);
+  V WData = B.input("wdata_i", DataWidth);
+  V WEn = B.input("wen_i", 1);
+  V RData = B.memory("ram", /*SyncRead=*/true, RAddr, WAddr, WData, WEn);
+  B.output("rdata_o", RData);
+  // Section 3.7: the synchronous read address must come straight from a
+  // register in the producing module.
+  B.requireDriverFromSyncDirect(RAddr);
+  return B.finish();
+}
+
+Module gen::makeAsyncRam(uint16_t AddrWidth, uint16_t DataWidth) {
+  Builder B("async_ram_a" + std::to_string(AddrWidth) + "_w" +
+            std::to_string(DataWidth));
+  V RAddr = B.input("raddr_i", AddrWidth);
+  V WAddr = B.input("waddr_i", AddrWidth);
+  V WData = B.input("wdata_i", DataWidth);
+  V WEn = B.input("wen_i", 1);
+  V RData = B.memory("ram", /*SyncRead=*/false, RAddr, WAddr, WData, WEn);
+  B.output("rdata_o", RData);
+  return B.finish();
+}
+
+Module gen::makeAddrStage(uint16_t AddrWidth) {
+  Builder B("addr_stage_a" + std::to_string(AddrWidth));
+  V Next = B.input("next_i", AddrWidth);
+  V En = B.input("en_i", 1);
+  V Addr = B.regLoop("addr_r", AddrWidth);
+  B.drive(Addr, B.mux(En, Next, Addr));
+  // Fed straight from the register: from-sync-direct.
+  B.output("raddr_o", Addr);
+  return B.finish();
+}
+
+Module gen::makeCreditSender(uint16_t Width, uint16_t MaxCredit) {
+  Builder B("credit_sender_w" + std::to_string(Width) + "_c" +
+            std::to_string(MaxCredit));
+  uint16_t CW = 1;
+  while ((1u << CW) < static_cast<unsigned>(MaxCredit + 1))
+    ++CW;
+  V Data = B.input("data_i", Width);
+  V VIn = B.input("v_i", 1);
+  V CreditRet = B.input("credit_i", 1);
+
+  V Credits = B.regLoop("credits", CW, MaxCredit);
+  V HaveCredit = B.lt(B.lit(0, CW), Credits);
+  V Send = B.reg(B.andv(VIn, HaveCredit), "send_r");
+  V DataR = B.reg(Data, "data_r");
+  V Spent = B.andv(VIn, HaveCredit);
+  V Up = B.zext(CreditRet, CW);
+  V Down = B.zext(Spent, CW);
+  B.drive(Credits, B.sub(B.add(Credits, Up), Down));
+
+  B.output("data_o", DataR);
+  B.output("v_o", Send);
+  B.output("ready_o", B.reg(HaveCredit, "ready_r"));
+  return B.finish();
+}
+
+Module gen::makeSkidBuffer(uint16_t Width) {
+  Builder B("skid_buffer_w" + std::to_string(Width));
+  V DataIn = B.input("data_i", Width);
+  V VIn = B.input("v_i", 1);
+  V ReadyIn = B.input("ready_i", 1);
+
+  V Full = B.regLoop("full", 1);
+  V Buf = B.regLoop("buf", Width);
+
+  // Registered ready (helpful consumer), bypassing data path: when the
+  // skid slot is empty the input flows straight through (from-port).
+  V ReadyOut = B.notv(Full);
+  V VOut = B.orv(Full, VIn);
+  V DataOut = B.mux(Full, Buf, DataIn);
+
+  V Stall = B.andv(VOut, B.notv(ReadyIn));
+  V Capture = B.andv(B.andv(VIn, ReadyOut), Stall);
+  V Drain = B.andv(Full, ReadyIn);
+  B.drive(Full, B.mux(Capture, B.lit(1, 1),
+                      B.mux(Drain, B.lit(0, 1), Full)));
+  B.drive(Buf, B.mux(Capture, DataIn, Buf));
+
+  B.output("data_o", DataOut);
+  B.output("v_o", VOut);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}
+
+Module gen::makePassthrough(uint16_t Width) {
+  Builder B("passthrough_w" + std::to_string(Width));
+  V In = B.input("data_i", Width);
+  B.output("data_o", B.buf(In));
+  return B.finish();
+}
+
+Module gen::makeCombAnd(uint16_t Width) {
+  Builder B("comb_and_w" + std::to_string(Width));
+  V A = B.input("a_i", Width);
+  V Bv = B.input("b_i", Width);
+  B.output("data_o", B.andv(A, Bv));
+  return B.finish();
+}
+
+Module gen::makeOneHot(uint16_t SelWidth) {
+  Builder B("onehot_s" + std::to_string(SelWidth));
+  V Sel = B.input("sel_i", SelWidth);
+  uint16_t OutW = static_cast<uint16_t>(1u << SelWidth);
+  B.output("onehot_o", B.shl(B.zext(B.lit(1, 1), OutW), Sel));
+  return B.finish();
+}
+
+Module gen::makeRegSlice(uint16_t Width) {
+  Builder B("reg_slice_w" + std::to_string(Width));
+  V DataIn = B.input("data_i", Width);
+  V VIn = B.input("v_i", 1);
+  V Yumi = B.input("yumi_i", 1);
+
+  V Full = B.regLoop("full", 1);
+  V Buf = B.regLoop("buf", Width);
+  V ReadyOut = B.notv(Full);
+  V Take = B.andv(VIn, ReadyOut);
+  B.drive(Buf, B.mux(Take, DataIn, Buf));
+  B.drive(Full, B.mux(Take, B.lit(1, 1),
+                      B.mux(Yumi, B.lit(0, 1), Full)));
+  B.output("data_o", Buf);
+  B.output("v_o", Full);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}
+
+Module gen::makeFunnel(uint16_t HalfWidth) {
+  Builder B("funnel_w" + std::to_string(HalfWidth));
+  uint16_t InW = static_cast<uint16_t>(2 * HalfWidth);
+  V DataIn = B.input("data_i", InW);
+  V VIn = B.input("v_i", 1);
+  V Yumi = B.input("yumi_i", 1);
+
+  V Phase = B.regLoop("phase", 1); // 0: empty/low half, 1: high half.
+  V Word = B.regLoop("word", InW);
+  V Valid = B.regLoop("valid", 1);
+
+  V ReadyOut = B.notv(Valid);
+  V Load = B.andv(VIn, ReadyOut);
+  B.drive(Word, B.mux(Load, DataIn, Word));
+  V LastBeat = B.andv(Phase, Yumi);
+  B.drive(Valid, B.mux(Load, B.lit(1, 1),
+                       B.mux(LastBeat, B.lit(0, 1), Valid)));
+  B.drive(Phase, B.mux(Load, B.lit(0, 1),
+                       B.mux(Yumi, B.notv(Phase), Phase)));
+  V Low = B.slice(Word, HalfWidth - 1, 0);
+  V High = B.slice(Word, InW - 1, HalfWidth);
+  B.output("data_o", B.mux(Phase, High, Low));
+  B.output("v_o", Valid);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}
+
+Module gen::makeChecksum(uint16_t Width) {
+  Builder B("checksum_w" + std::to_string(Width));
+  V DataIn = B.input("data_i", Width);
+  V VIn = B.input("v_i", 1);
+  V Clear = B.input("clear_i", 1);
+  V Sum = B.regLoop("sum", Width);
+  V Next = B.mux(Clear, B.lit(0, Width),
+                 B.mux(VIn, B.add(Sum, DataIn), Sum));
+  B.drive(Sum, Next);
+  B.output("sum_o", Sum);
+  return B.finish();
+}
+
+Module gen::makeTimer(uint16_t Width) {
+  Builder B("timer_w" + std::to_string(Width));
+  V LoadVal = B.input("load_i", Width);
+  V LoadEn = B.input("load_v_i", 1);
+  V Count = B.regLoop("count", Width);
+  V Expired = B.eqConst(Count, 0);
+  V Next = B.mux(LoadEn, LoadVal,
+                 B.mux(Expired, Count, B.sub(Count, B.lit(1, Width))));
+  B.drive(Count, Next);
+  B.output("expired_o", B.reg(Expired, "expired_r"));
+  B.output("count_o", Count);
+  return B.finish();
+}
+
+Module gen::makeSyncFifo(uint16_t Width, uint16_t DepthLog2) {
+  Builder B("sync_fifo_w" + std::to_string(Width) + "_d" +
+            std::to_string(1u << DepthLog2));
+  V DataIn = B.input("data_i", Width);
+  V VIn = B.input("v_i", 1);
+  V Yumi = B.input("yumi_i", 1);
+
+  uint16_t PtrW = DepthLog2;
+  uint16_t CntW = static_cast<uint16_t>(DepthLog2 + 1);
+  V Count = B.regLoop("count", CntW);
+  V RPtr = B.regLoop("rptr", PtrW);
+  V WPtr = B.regLoop("wptr", PtrW);
+
+  V NotFull = B.lt(Count, B.lit(1u << DepthLog2, CntW));
+  // v_o tracks whether the rdata register holds a live word: an entry
+  // existed before this edge and was not consumed at it. This gives the
+  // two-cycle enqueue-to-visible latency inherent to synchronous reads
+  // and drops v_o the same edge the last word is taken (no stale beat).
+  V VOut = B.regLoop("v_o_r", 1);
+  V ReadyOut = NotFull;
+  V Enq = B.andv(VIn, ReadyOut);
+  V Deq = B.andv(Yumi, VOut);
+  B.drive(VOut, B.lt(B.zext(Deq, CntW), Count));
+
+  V RPtrNext = B.mux(Deq, B.inc(RPtr), RPtr);
+  B.drive(RPtr, RPtrNext);
+  B.drive(WPtr, B.mux(Enq, B.inc(WPtr), WPtr));
+  B.drive(Count, B.sub(B.add(Count, B.zext(Enq, CntW)),
+                       B.zext(Deq, CntW)));
+
+  // Synchronous-read store addressed by the *next* read pointer so the
+  // head word is available the cycle after it is claimed.
+  V DataOut =
+      B.memory("store", /*SyncRead=*/true, RPtrNext, WPtr, DataIn, Enq);
+  B.output("data_o", DataOut);
+  B.output("v_o", VOut);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}
+
+Module gen::makeMajority(uint16_t Width) {
+  Builder B("majority_w" + std::to_string(Width));
+  V A = B.input("a_i", Width);
+  V Bv = B.input("b_i", Width);
+  V C = B.input("c_i", Width);
+  V AB = B.andv(A, Bv);
+  V AC = B.andv(A, C);
+  V BC = B.andv(Bv, C);
+  B.output("vote_o", B.orv(B.orv(AB, AC), BC));
+  return B.finish();
+}
+
+Module gen::makePopcount(uint16_t Width) {
+  Builder B("popcount_w" + std::to_string(Width));
+  V In = B.input("data_i", Width);
+  uint16_t OutW = 1;
+  while ((1u << OutW) < static_cast<unsigned>(Width + 1))
+    ++OutW;
+  V Sum = B.lit(0, OutW);
+  for (uint16_t I = 0; I != Width; ++I)
+    Sum = B.add(Sum, B.zext(B.bit(In, I), OutW));
+  B.output("count_o", Sum);
+  return B.finish();
+}
+
+Module gen::makeEdgeDetect() {
+  Builder B("edge_detect");
+  V In = B.input("d_i", 1);
+  V Prev = B.reg(In, "prev");
+  B.output("rise_o", B.andv(In, B.notv(Prev)));
+  return B.finish();
+}
+
+Module gen::makePulseSync() {
+  Builder B("pulse_sync");
+  V In = B.input("d_i", 1);
+  V S1 = B.reg(In, "sync1");
+  V S2 = B.reg(S1, "sync2");
+  B.output("d_o", S2);
+  return B.finish();
+}
+
+std::vector<CatalogEntry> gen::catalog() {
+  std::vector<CatalogEntry> Entries;
+  auto add = [&](std::string Family, std::function<Module()> Build) {
+    Module Probe = Build();
+    Entries.push_back(
+        CatalogEntry{std::move(Family), Probe.Name, std::move(Build)});
+  };
+
+  for (uint16_t W : {8, 16, 32, 64})
+    for (uint16_t D : {2, 4, 6}) {
+      add("fifo", [=] { return makeFifo({W, D, false}); });
+      add("fifo_fwd", [=] { return makeFifo({W, D, true}); });
+    }
+  for (uint16_t N : {2, 4, 8})
+    for (uint16_t SW : {4, 8}) {
+      add("piso", [=] { return makePiso({N, SW, false}); });
+      add("piso_fixed", [=] { return makePiso({N, SW, true}); });
+      add("sipo", [=] { return makeSipo({N, SW}); });
+    }
+  for (uint16_t W : {16, 32})
+    for (uint16_t A : {12, 16})
+      add("cache_dma", [=] { return makeCacheDma({W, A, 4, 3}); });
+  for (uint16_t W : {8, 16, 32, 64})
+    add("counter", [=] { return makeCounter(W); });
+  for (uint16_t W : {8, 16, 32})
+    add("lfsr", [=] { return makeLfsr(W); });
+  for (uint16_t W : {8, 32})
+    for (uint16_t D : {2, 8})
+      add("shift_chain", [=] { return makeShiftChain(W, D); });
+  for (uint16_t N : {2, 4, 8})
+    add("rr_arb", [=] { return makeRoundRobinArb(N); });
+  for (uint16_t N : {4, 8, 16})
+    add("prio_enc", [=] { return makePriorityEncoder(N); });
+  for (uint16_t W : {8, 32})
+    for (uint16_t N : {2, 4}) {
+      add("mux_reg", [=] { return makeMuxReg(W, N); });
+      add("mux_comb", [=] { return makeMuxComb(W, N); });
+      add("demux", [=] { return makeDemux(W, N); });
+    }
+  for (uint16_t W : {8, 16})
+    for (uint16_t N : {2, 4})
+      add("xbar", [=] { return makeCrossbar(W, N); });
+  for (uint16_t W : {16, 32})
+    for (uint16_t S : {2, 4})
+      add("adder_pipe", [=] { return makeAdderPipe(W, S); });
+  for (uint16_t W : {8, 16, 32})
+    add("iter_mul", [=] { return makeIterMul(W); });
+  for (uint16_t W : {8, 16, 32, 64})
+    add("two_fifo", [=] { return makeTwoFifo(W); });
+  for (uint16_t W : {8, 16})
+    for (bool Dec : {false, true})
+      add("gray", [=] { return makeGrayCoder(W, Dec); });
+  for (uint16_t W : {8, 16, 32, 64})
+    add("parity", [=] { return makeParity(W); });
+  for (uint16_t A : {4, 6, 8})
+    add("sync_ram", [=] { return makeSyncRam(A, 16); });
+  for (uint16_t A : {4, 6})
+    add("async_ram", [=] { return makeAsyncRam(A, 16); });
+  for (uint16_t A : {4, 8, 12})
+    add("addr_stage", [=] { return makeAddrStage(A); });
+  for (uint16_t W : {8, 32})
+    for (uint16_t C : {2, 4})
+      add("credit_sender", [=] { return makeCreditSender(W, C); });
+  for (uint16_t W : {8, 16, 32, 64})
+    add("skid_buffer", [=] { return makeSkidBuffer(W); });
+  for (uint16_t W : {1, 8, 32})
+    add("passthrough", [=] { return makePassthrough(W); });
+  for (uint16_t W : {1, 8})
+    add("comb_and", [=] { return makeCombAnd(W); });
+  for (uint16_t S : {2, 3, 4})
+    add("onehot", [=] { return makeOneHot(S); });
+  for (uint16_t W : {8, 16, 32, 64})
+    add("reg_slice", [=] { return makeRegSlice(W); });
+  for (uint16_t W : {8, 16, 32})
+    add("funnel", [=] { return makeFunnel(W); });
+  for (uint16_t W : {8, 16, 32})
+    add("checksum", [=] { return makeChecksum(W); });
+  for (uint16_t W : {8, 16, 32})
+    add("timer", [=] { return makeTimer(W); });
+  for (uint16_t W : {8, 32})
+    for (uint16_t D : {2, 4})
+      add("sync_fifo", [=] { return makeSyncFifo(W, D); });
+  for (uint16_t W : {1, 8, 32})
+    add("majority", [=] { return makeMajority(W); });
+  for (uint16_t W : {8, 16, 32})
+    add("popcount", [=] { return makePopcount(W); });
+  add("edge_detect", [] { return makeEdgeDetect(); });
+  add("pulse_sync", [] { return makePulseSync(); });
+
+  return Entries;
+}

@@ -1,0 +1,155 @@
+//===- gen/Catalog.h - The module corpus ------------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A corpus of parameterized module generators standing in for the
+/// BaseJump STL sweep of Section 5.1 (144 unique modules / 533
+/// instantiations in the paper). Each family mirrors a common hardware
+/// library shape — FIFOs, shift registers, arbiters, crossbars, encoders,
+/// pipelines — with interface styles spanning the whole sort taxonomy so
+/// the Table 4 distribution is meaningfully exercised.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_GEN_CATALOG_H
+#define WIRESORT_GEN_CATALOG_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wiresort::gen {
+
+// --- Individual families --------------------------------------------------
+
+/// Up-counter with enable and clear; all outputs registered.
+ir::Module makeCounter(uint16_t Width);
+
+/// Fibonacci LFSR; enable in, value out (from-sync).
+ir::Module makeLfsr(uint16_t Width);
+
+/// Plain shift register chain of the given depth.
+ir::Module makeShiftChain(uint16_t Width, uint16_t Depth);
+
+/// Round-robin arbiter: grants are a combinational function of the
+/// request vector (reqs_i to-port, grants_o from-port) with registered
+/// rotation state.
+ir::Module makeRoundRobinArb(uint16_t NRequesters);
+
+/// Fixed-priority encoder: valid/one-hot grant combinationally from
+/// requests (purely to-port/from-port).
+ir::Module makePriorityEncoder(uint16_t NRequesters);
+
+/// N-to-1 mux with registered output (to-sync inputs, from-sync output).
+ir::Module makeMuxReg(uint16_t Width, uint16_t NInputs);
+
+/// N-to-1 mux, purely combinational (to-port inputs, from-port output).
+ir::Module makeMuxComb(uint16_t Width, uint16_t NInputs);
+
+/// 1-to-N demux, combinational.
+ir::Module makeDemux(uint16_t Width, uint16_t NOutputs);
+
+/// Full crossbar: NPorts data inputs, per-output select inputs,
+/// combinational outputs.
+ir::Module makeCrossbar(uint16_t Width, uint16_t NPorts);
+
+/// K-stage registered adder pipeline (to-sync / from-sync everywhere).
+ir::Module makeAdderPipe(uint16_t Width, uint16_t Stages);
+
+/// Iterative shift-and-add multiplier FSM with ready/valid handshakes;
+/// ready_o waits on yumi_i combinationally (a "demanding" producer).
+ir::Module makeIterMul(uint16_t Width);
+
+/// Two-element bypassing FIFO ("two-fifo"): like the forwarding FIFO but
+/// register-based, with the same to-port/from-port endpoint coupling.
+ir::Module makeTwoFifo(uint16_t Width);
+
+/// Gray-code encoder (combinational) or decoder.
+ir::Module makeGrayCoder(uint16_t Width, bool Decode);
+
+/// Parity generator over a word, combinational.
+ir::Module makeParity(uint16_t Width);
+
+/// Synchronous-read RAM wrapper that publishes the Section 3.7 contract:
+/// its raddr_i input requires a from-sync-direct driver.
+ir::Module makeSyncRam(uint16_t AddrWidth, uint16_t DataWidth);
+
+/// Asynchronous-read register file (combinational read path).
+ir::Module makeAsyncRam(uint16_t AddrWidth, uint16_t DataWidth);
+
+/// Address-stage module whose raddr_o output is fed straight from a
+/// register — a from-sync-direct producer suitable for makeSyncRam.
+ir::Module makeAddrStage(uint16_t AddrWidth);
+
+/// Credit-based flow-control sender: credits counted in registers,
+/// valid_o offered from state (helpful producer, all-sync interface).
+ir::Module makeCreditSender(uint16_t Width, uint16_t MaxCredit);
+
+/// Skid buffer: registered ready with a bypass path making data_o
+/// from-port.
+ir::Module makeSkidBuffer(uint16_t Width);
+
+/// Pure combinational glue: out = f(in) one-liner modules used as the
+/// "module X" of Figure 3.
+ir::Module makePassthrough(uint16_t Width);
+
+/// Combinational AND-gate glue with two inputs.
+ir::Module makeCombAnd(uint16_t Width);
+
+/// Binary-to-one-hot encoder, combinational.
+ir::Module makeOneHot(uint16_t SelWidth);
+
+/// Ready/valid register slice: both directions fully registered (the
+/// classic timing-closure helper; an all-sync universal interface).
+ir::Module makeRegSlice(uint16_t Width);
+
+/// 2:1 width funnel: accepts a double-width word, emits halves.
+ir::Module makeFunnel(uint16_t HalfWidth);
+
+/// Accumulating checksum over a valid-qualified stream (all-sync).
+ir::Module makeChecksum(uint16_t Width);
+
+/// Countdown timer with load; expired_o is registered.
+ir::Module makeTimer(uint16_t Width);
+
+/// FIFO built on a synchronous-read RAM: one-cycle read latency, all
+/// ports sync (contrast with makeFifo's asynchronous-read store).
+ir::Module makeSyncFifo(uint16_t Width, uint16_t DepthLog2);
+
+/// Majority voter over three words, combinational.
+ir::Module makeMajority(uint16_t Width);
+
+/// Population count, combinational.
+ir::Module makePopcount(uint16_t Width);
+
+/// Rising-edge detector: out = in & ~delayed(in) — a module whose input
+/// is simultaneously to-port (combinational AND) and state-feeding.
+ir::Module makeEdgeDetect();
+
+/// Two-flop pulse synchronizer (all-sync).
+ir::Module makePulseSync();
+
+// --- Corpus enumeration ----------------------------------------------------
+
+/// One generator instantiation in the corpus sweep.
+struct CatalogEntry {
+  std::string Family;
+  std::string Name;
+  std::function<ir::Module()> Build;
+};
+
+/// The full sweep: every family at several parameter points. Mirrors the
+/// paper's "each module was instantiated one to four times to test
+/// various combinations of its parameters".
+std::vector<CatalogEntry> catalog();
+
+} // namespace wiresort::gen
+
+#endif // WIRESORT_GEN_CATALOG_H

@@ -1,0 +1,78 @@
+//===- gen/Fifo.cpp - FIFO queue generators -------------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Fifo.h"
+
+#include "ir/Builder.h"
+
+#include <string>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+Module gen::makeFifo(const FifoParams &P) {
+  std::string Name = std::string("fifo") + (P.Forwarding ? "_fwd" : "") +
+                     "_w" + std::to_string(P.Width) + "_d" +
+                     std::to_string(1u << P.DepthLog2);
+  Builder B(Name);
+
+  // Consumer endpoint: the upstream module pushes data in.
+  V DataIn = B.input("data_i", P.Width);
+  V ValidIn = B.input("v_i", 1);
+  // Producer endpoint: the downstream module pulls data out; yumi_i
+  // acknowledges that the presented word was consumed this cycle.
+  V YumiIn = B.input("yumi_i", 1);
+
+  uint16_t PtrW = P.DepthLog2;
+  uint16_t CntW = static_cast<uint16_t>(P.DepthLog2 + 1);
+  V Count = B.regLoop("count", CntW);
+  V RPtr = B.regLoop("rptr", PtrW);
+  V WPtr = B.regLoop("wptr", PtrW);
+
+  V Depth = B.lit(1u << P.DepthLog2, CntW);
+  V NotFull = B.lt(Count, Depth);
+  V NotEmpty = B.lt(B.lit(0, CntW), Count);
+  V Empty = B.eqConst(Count, 0);
+
+  V ReadyOut = NotFull;
+  V Enq = B.andv(ValidIn, ReadyOut);
+
+  // Control first, storage after, so the write enable is final before the
+  // memory is created.
+  V ValidOut, EnqMem, Deq, Fwd;
+  if (P.Forwarding) {
+    // Figure 2: an empty queue presents incoming data the same cycle.
+    Fwd = B.andv(Empty, ValidIn);
+    ValidOut = B.orv(NotEmpty, B.andv(ValidIn, ReadyOut));
+    // A word forwarded and consumed in the same cycle never lands in the
+    // queue store.
+    V FwdTaken = B.andv(Fwd, YumiIn);
+    EnqMem = B.andv(Enq, B.notv(FwdTaken));
+    Deq = B.andv(YumiIn, NotEmpty);
+  } else {
+    ValidOut = NotEmpty;
+    EnqMem = Enq;
+    Deq = B.andv(YumiIn, NotEmpty);
+  }
+
+  V StoredData =
+      B.memory("store", /*SyncRead=*/false, RPtr, WPtr, DataIn, EnqMem);
+  V DataOut =
+      P.Forwarding ? B.mux(Fwd, DataIn, StoredData) : StoredData;
+
+  // Pointer and occupancy updates.
+  B.drive(WPtr, B.mux(EnqMem, B.inc(WPtr), WPtr));
+  B.drive(RPtr, B.mux(Deq, B.inc(RPtr), RPtr));
+  V CountUp = B.zext(EnqMem, CntW);
+  V CountDown = B.zext(Deq, CntW);
+  B.drive(Count, B.sub(B.add(Count, CountUp), CountDown));
+
+  B.output("data_o", DataOut);
+  B.output("v_o", ValidOut);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}

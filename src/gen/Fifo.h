@@ -1,0 +1,55 @@
+//===- gen/Fifo.h - FIFO queue generators -----------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Section 2): ready-valid FIFO queues.
+///
+/// The \b normal FIFO's endpoints are combinationally independent — every
+/// path between them is interrupted by state — which makes it a
+/// "universal interface": all inputs are to-sync and all outputs
+/// from-sync (Table 1, first row).
+///
+/// The \b forwarding FIFO passes data arriving into an empty queue
+/// straight through within the same cycle, introducing the combinational
+/// endpoint-to-endpoint paths of Figure 2:
+///
+///   valid_o = (count > 0) or (valid_i and ready_o)
+///
+/// so valid_i/data_i become to-port and valid_o/data_o from-port. The two
+/// FIFOs share an identical interface; only the sorts tell them apart —
+/// which is exactly the paper's motivation.
+///
+/// Port names follow BaseJump conventions: consumer endpoint
+/// (data_i, v_i, ready_o), producer endpoint (data_o, v_o, yumi_i).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_GEN_FIFO_H
+#define WIRESORT_GEN_FIFO_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace wiresort::gen {
+
+/// FIFO shape parameters.
+struct FifoParams {
+  uint16_t Width = 32;
+  /// Capacity is 2^DepthLog2 entries.
+  uint16_t DepthLog2 = 4;
+  /// Enables same-cycle forwarding through an empty queue (Figure 2).
+  bool Forwarding = false;
+};
+
+/// Builds a ready-valid FIFO queue module named
+/// "fifo[_fwd]_w<W>_d<2^D>".
+ir::Module makeFifo(const FifoParams &P);
+
+} // namespace wiresort::gen
+
+#endif // WIRESORT_GEN_FIFO_H

@@ -1,0 +1,66 @@
+//===- gen/LoopInjector.cpp - Multi-module loop injection -----------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/LoopInjector.h"
+
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+ModuleId gen::addFeedthrough(Design &D, ModuleId Def) {
+  Module Copy = D.module(Def);
+  assert(!Copy.Outputs.empty() && "feed-through target needs an output");
+  Copy.Name += "_looped";
+
+  WireId LoopIn = Copy.addInput("loop_i", 1);
+  // Tap bit 0 of the first output so the new path is entangled with the
+  // module's existing combinational cone.
+  WireId Tap = Copy.addWire("loop_tap", WireKind::Basic, 1);
+  Copy.addNet(Op::Select, {Copy.Outputs.front()}, Tap, /*Aux=*/0);
+  WireId Mixed = Copy.addWire("loop_mix", WireKind::Basic, 1);
+  Copy.addNet(Op::Xor, {LoopIn, Tap}, Mixed);
+  WireId LoopOut = Copy.addOutput("loop_o", 1);
+  Copy.addNet(Op::Buf, {Mixed}, LoopOut);
+  // An observer output keeps the injected path live through synthesis
+  // optimization (otherwise dead-gate removal would silently delete the
+  // ring — the very hazard Section 2 warns about).
+  WireId Observer = Copy.addOutput("loop_obs_o", 1);
+  Copy.addNet(Op::Not, {Mixed}, Observer);
+  return D.addModule(std::move(Copy));
+}
+
+static Circuit buildChain(Design &D, const std::vector<ModuleId> &Defs,
+                          const std::string &Name, bool CloseRing) {
+  assert(!Defs.empty());
+  Circuit Circ(D, Name);
+  std::vector<InstId> Insts;
+  for (size_t I = 0; I != Defs.size(); ++I) {
+    ModuleId Looped = addFeedthrough(D, Defs[I]);
+    Insts.push_back(
+        Circ.addInstance(Looped, "u" + std::to_string(I) + "_" +
+                                     D.module(Defs[I]).Name));
+  }
+  size_t Last = Insts.size() - 1;
+  for (size_t I = 0; I != Insts.size(); ++I) {
+    if (I == Last && !CloseRing)
+      break;
+    Circ.connect(Insts[I], "loop_o", Insts[(I + 1) % Insts.size()],
+                 "loop_i");
+  }
+  return Circ;
+}
+
+Circuit gen::buildLoopedRing(Design &D, const std::vector<ModuleId> &Defs,
+                             const std::string &Name) {
+  return buildChain(D, Defs, Name, /*CloseRing=*/true);
+}
+
+Circuit gen::buildOpenChain(Design &D, const std::vector<ModuleId> &Defs,
+                            const std::string &Name) {
+  return buildChain(D, Defs, Name, /*CloseRing=*/false);
+}

@@ -1,0 +1,53 @@
+//===- gen/LoopInjector.h - Multi-module loop injection ---------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.4 methodology: "finding broken designs in the wild is
+/// difficult because most designers don't publish broken designs. So
+/// instead, we altered the ... designs slightly by introducing
+/// multi-module loops". Each target module gains a combinational
+/// feed-through (loop_i -> loop_o, entangled with existing output logic),
+/// and the modified modules are wired in a ring, producing a
+/// combinational loop that spans every module in the chain — the kind of
+/// bug that requires the composition of many modules to exist at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_GEN_LOOPINJECTOR_H
+#define WIRESORT_GEN_LOOPINJECTOR_H
+
+#include "ir/Circuit.h"
+#include "ir/Design.h"
+
+#include <string>
+#include <vector>
+
+namespace wiresort::gen {
+
+/// Clones \p Def adding a 1-bit combinational feed-through: a new input
+/// loop_i and output loop_o with loop_o = loop_i xor (bit 0 of the first
+/// existing output), so the new path runs through the module's real
+/// logic cone. \returns the id of the "<name>_looped" clone.
+ir::ModuleId addFeedthrough(ir::Design &D, ir::ModuleId Def);
+
+/// Instantiates one feed-through clone of each definition in \p Defs and
+/// connects their loop ports in a ring — a combinational loop spanning
+/// Defs.size() modules. Other ports are left open (the checkers treat
+/// them as the circuit's external interface).
+ir::Circuit buildLoopedRing(ir::Design &D,
+                            const std::vector<ir::ModuleId> &Defs,
+                            const std::string &Name);
+
+/// The loop-free control: same instances, ring broken between the last
+/// and first instance.
+ir::Circuit buildOpenChain(ir::Design &D,
+                           const std::vector<ir::ModuleId> &Defs,
+                           const std::string &Name);
+
+} // namespace wiresort::gen
+
+#endif // WIRESORT_GEN_LOOPINJECTOR_H

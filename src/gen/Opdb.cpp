@@ -1,0 +1,771 @@
+//===- gen/Opdb.cpp - OpenPiton Design Benchmark stand-ins ----------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Opdb.h"
+
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+namespace {
+
+/// Clamped address width: the paper-scale geometry minus the shrink knob.
+uint16_t effAddr(uint16_t Base, const OpdbOptions &O) {
+  return Base > O.ShrinkAddrBits + 2 ? Base - O.ShrinkAddrBits : 2;
+}
+
+/// Adds \p N one-bit configuration inputs that only feed registers
+/// (to-sync), returning the registered values OR-reduced for reuse.
+V addConfigPorts(Builder &B, uint16_t N, const std::string &Prefix) {
+  V Acc = B.lit(0, 1);
+  for (uint16_t I = 0; I != N; ++I) {
+    V Cfg = B.input(Prefix + std::to_string(I) + "_i", 1);
+    Acc = B.orv(Acc, B.reg(Cfg, Prefix + std::to_string(I) + "_r"));
+  }
+  return Acc;
+}
+
+/// Adds \p N one-bit status outputs fed from a register chain seeded by
+/// \p Seed (all from-sync).
+void addStatusPorts(Builder &B, uint16_t N, V Seed,
+                    const std::string &Prefix) {
+  V Cur = Seed;
+  for (uint16_t I = 0; I != N; ++I) {
+    Cur = B.reg(Cur, Prefix + std::to_string(I) + "_r");
+    B.output(Prefix + std::to_string(I) + "_o", Cur);
+  }
+}
+
+/// A reusable synchronous SRAM bank definition ("sram_a<A>_w<W>"); banks
+/// dominate the gate counts of the cache-like designs, exactly as array
+/// macros do in the real OPDB netlists. Returns the id, creating the
+/// definition on first use.
+ModuleId sramBank(Design &D, uint16_t AddrW, uint16_t DataW) {
+  std::string Name =
+      "sram_a" + std::to_string(AddrW) + "_w" + std::to_string(DataW);
+  ModuleId Existing = D.findModule(Name);
+  if (Existing != InvalidId)
+    return Existing;
+  Builder B(Name);
+  V RAddr = B.input("raddr_i", AddrW);
+  V WAddr = B.input("waddr_i", AddrW);
+  V WData = B.input("wdata_i", DataW);
+  V WEn = B.input("wen_i", 1);
+  V RData = B.memory("mem", /*SyncRead=*/true, RAddr, WAddr, WData, WEn);
+  B.output("rdata_o", RData);
+  return D.addModule(B.finish());
+}
+
+/// A width-64 shift-and-add multiplier producing the low 64 product bits;
+/// shared by fpu, sparc_mul, and sparc_ffu.
+ModuleId mulArray(Design &D, uint16_t Width) {
+  std::string Name = "mul_array_w" + std::to_string(Width);
+  ModuleId Existing = D.findModule(Name);
+  if (Existing != InvalidId)
+    return Existing;
+  Builder B(Name);
+  V A = B.input("a_i", Width);
+  V Bv = B.input("b_i", Width);
+  V Acc = B.lit(0, Width);
+  for (uint16_t I = 0; I != Width; ++I) {
+    V Partial = B.mux(B.bit(Bv, I), B.shlConst(A, I), B.lit(0, Width));
+    Acc = B.add(Acc, Partial);
+  }
+  B.output("p_o", Acc);
+  return D.addModule(B.finish());
+}
+
+} // namespace
+
+ModuleId gen::buildDynamicNode(Design &D, const OpdbOptions &O) {
+  // A 5-port cut-through NoC router: per-port buffer instances, a
+  // combinational route computation from the incoming header, and a
+  // crossbar. The cut-through path is what gives it to-port inputs.
+  const uint16_t Flit = 64;
+  const uint16_t NPorts = 5;
+  uint16_t BufA = effAddr(5, O);
+
+  ModuleId Buf = sramBank(D, BufA, Flit);
+
+  Builder B("dynamic_node");
+  std::vector<V> DataIn, ValidIn, YumiIn;
+  for (uint16_t P = 0; P != NPorts; ++P) {
+    DataIn.push_back(B.input("data" + std::to_string(P) + "_i", Flit));
+    ValidIn.push_back(B.input("v" + std::to_string(P) + "_i", 1));
+    YumiIn.push_back(B.input("yumi" + std::to_string(P) + "_i", 1));
+  }
+
+  // Buffer occupancy pointers per port.
+  std::vector<V> RPtr, WPtr;
+  std::vector<V> BufData;
+  for (uint16_t P = 0; P != NPorts; ++P) {
+    V RP = B.regLoop("rptr" + std::to_string(P), BufA);
+    V WP = B.regLoop("wptr" + std::to_string(P), BufA);
+    auto Outs = B.instantiate(D, Buf, "buf" + std::to_string(P),
+                              {{"raddr_i", RP},
+                               {"waddr_i", WP},
+                               {"wdata_i", DataIn[P]},
+                               {"wen_i", ValidIn[P]}});
+    BufData.push_back(Outs.at("rdata_o"));
+    B.drive(WP, B.mux(ValidIn[P], B.inc(WP), WP));
+    B.drive(RP, B.mux(YumiIn[P], B.inc(RP), RP));
+    RPtr.push_back(RP);
+    WPtr.push_back(WP);
+  }
+
+  // Route: destination port from the flit header (cut-through, so the
+  // output valid depends combinationally on the input valid).
+  for (uint16_t P = 0; P != NPorts; ++P) {
+    V Dest = B.slice(DataIn[P], 2, 0);
+    V CutThrough = B.andv(ValidIn[P], B.eqConst(Dest, P));
+    V Stored = BufData[P];
+    V DataOut = B.mux(CutThrough, DataIn[P], Stored);
+    V Occupied = B.notv(B.eq(RPtr[P], WPtr[P]));
+    V ValidOut = B.orv(Occupied, CutThrough);
+    B.output("data" + std::to_string(P) + "_o", DataOut);
+    B.output("v" + std::to_string(P) + "_o", ValidOut);
+  }
+  addStatusPorts(B, 5, B.orr(DataIn[0]), "router_status");
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildFpu(Design &D, const OpdbOptions &O) {
+  // Iterative FPU: the 64x64 mantissa product is decomposed into four
+  // 32x32 lane multipliers sharing one definition (real FPUs share
+  // datapath macros the same way), plus coefficient/rounding ROMs.
+  ModuleId Mul = mulArray(D, 32);
+  uint16_t RomAW = effAddr(9, O);
+  ModuleId Rom = sramBank(D, RomAW, 64);
+
+  Builder B("fpu");
+  V A = B.input("a_i", 64);
+  V Bv = B.input("b_i", 64);
+  V OpIn = B.input("op_i", 2);
+  V VIn = B.input("v_i", 1);
+  V Yumi = B.input("yumi_i", 1);
+
+  V Busy = B.regLoop("busy", 1);
+  V ARk = B.reg(A, "a_r");
+  V BRk = B.reg(Bv, "b_r");
+  V OpR = B.reg(OpIn, "op_r");
+
+  // Low 64 bits of the full product: ll + ((lh + hl) << 32).
+  V ALo = B.slice(ARk, 31, 0), AHi = B.slice(ARk, 63, 32);
+  V BLo = B.slice(BRk, 31, 0), BHi = B.slice(BRk, 63, 32);
+  auto LL = B.instantiate(D, Mul, "lane_ll", {{"a_i", ALo}, {"b_i", BLo}});
+  auto LH = B.instantiate(D, Mul, "lane_lh", {{"a_i", ALo}, {"b_i", BHi}});
+  auto HL = B.instantiate(D, Mul, "lane_hl", {{"a_i", AHi}, {"b_i", BLo}});
+  auto HH = B.instantiate(D, Mul, "lane_hh", {{"a_i", AHi}, {"b_i", BHi}});
+  V Cross = B.add(LH.at("p_o"), HL.at("p_o"));
+  V Product = B.add(B.zext(LL.at("p_o"), 64),
+                    B.concat({Cross, B.lit(0, 32)}));
+  // The hh lane feeds the sticky/overflow logic.
+  V Sticky = B.reg(B.orr(HH.at("p_o")), "sticky_r");
+
+  V RomAddr = B.reg(B.slice(ARk, RomAW - 1, 0), "rom_addr_r");
+  V Zero64 = B.lit(0, 64);
+  auto Coeff = B.instantiate(D, Rom, "coeff_rom",
+                             {{"raddr_i", RomAddr},
+                              {"waddr_i", B.reg(B.slice(BRk, RomAW - 1, 0),
+                                                "rom_wa_r")},
+                              {"wdata_i", Zero64},
+                              {"wen_i", B.lit(0, 1)}});
+  auto Round = B.instantiate(D, Rom, "round_rom",
+                             {{"raddr_i", RomAddr},
+                              {"waddr_i", RomAddr},
+                              {"wdata_i", Zero64},
+                              {"wen_i", B.lit(0, 1)}});
+
+  V Sum = B.add(ARk, BRk);
+  V IsMul = B.eqConst(OpR, 1);
+  V IsDiv = B.eqConst(OpR, 2);
+  V Datapath = B.mux(IsMul, Product,
+                     B.mux(IsDiv, B.xorv(Coeff.at("rdata_o"),
+                                         Round.at("rdata_o")),
+                           Sum));
+  V Result = B.reg(Datapath, "result_r");
+
+  B.drive(Busy, B.mux(VIn, B.lit(1, 1),
+                      B.mux(Yumi, B.lit(0, 1), Busy)));
+  B.output("result_o", Result);
+  B.output("v_o", Busy);
+  B.output("ready_o", B.notv(Busy));
+  B.output("exc_o", B.reg(B.orv(B.orr(Result), Sticky), "exc_r"));
+  addStatusPorts(B, 4, B.xorr(Result), "fpu_flag");
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildIfuEslCounter(Design &D) {
+  Builder B("ifu_esl_counter");
+  V En = B.input("en_i", 1);
+  V Clr = B.input("clr_i", 1);
+  V Count = B.regLoop("count", 32);
+  B.drive(Count, B.mux(Clr, B.lit(0, 32),
+                       B.mux(En, B.inc(Count), Count)));
+  B.output("count_o", Count);
+  B.output("wrapped_o", B.reg(B.andr(Count), "wrap_r"));
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildIfuEslLfsr(Design &D) {
+  Builder B("ifu_esl_lfsr");
+  V En = B.input("en_i", 1);
+  V SeedV = B.input("seed_i", 16);
+  V Ld = B.input("seed_v_i", 1);
+  V State = B.regLoop("lfsr", 16, 0xACE1);
+  V Tap = B.xorv(B.xorv(B.bit(State, 15), B.bit(State, 13)),
+                 B.xorv(B.bit(State, 12), B.bit(State, 10)));
+  V Next = B.concat({B.slice(State, 14, 0), Tap});
+  B.drive(State, B.mux(Ld, SeedV, B.mux(En, Next, State)));
+  B.output("value_o", State);
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildIfuEslShiftreg(Design &D) {
+  Builder B("ifu_esl_shiftreg");
+  V Data = B.input("d_i", 1);
+  V En = B.input("en_i", 1);
+  V Cur = Data;
+  for (uint16_t S = 0; S != 16; ++S) {
+    V Stage = B.regLoop("bit" + std::to_string(S), 1);
+    B.drive(Stage, B.mux(En, Cur, Stage));
+    Cur = Stage;
+  }
+  B.output("d_o", Cur);
+  return D.addModule(B.finish());
+}
+
+namespace {
+
+/// Common scaffold for the ifu_esl_* thread-selection FSMs: a state
+/// register, per-thread ready inputs, one-hot thread-select outputs, and
+/// a configurable amount of decision logic.
+ModuleId buildThreadFsm(Design &D, const std::string &Name,
+                        uint16_t NThreads, uint16_t StateBits,
+                        uint16_t ExtraCfg, uint16_t HistWidth = 0) {
+  Builder B(Name);
+  std::vector<V> Ready;
+  for (uint16_t T = 0; T != NThreads; ++T)
+    Ready.push_back(B.input("thr" + std::to_string(T) + "_ready_i", 1));
+  V Stall = B.input("stall_i", 1);
+  V Replay = B.input("replay_i", 1);
+  V Cfg = addConfigPorts(B, ExtraCfg, Name + "_cfg");
+
+  V State = B.regLoop("state", StateBits);
+  V Rotate = B.regLoop("rotate", 2);
+
+  // Pick the first ready thread at or after the rotation pointer.
+  std::vector<V> Sel(NThreads);
+  V Any = B.lit(0, 1);
+  for (uint16_t T = 0; T != NThreads; ++T) {
+    V Before = B.lit(0, 1);
+    for (uint16_t U = 0; U != NThreads; ++U) {
+      if (U == T)
+        continue;
+      V UOff = B.sub(B.lit(U, 2), Rotate);
+      V TOff = B.sub(B.lit(T, 2), Rotate);
+      Before = B.orv(Before, B.andv(B.lt(UOff, TOff), Ready[U]));
+    }
+    Sel[T] = B.andv(Ready[T], B.notv(Before));
+    Any = B.orv(Any, Ready[T]);
+  }
+
+  V Go = B.andv(Any, B.notv(Stall));
+  B.drive(Rotate, B.mux(Go, B.inc(Rotate), Rotate));
+  // Optional per-thread history datapath (the larger FSMs keep
+  // per-thread fetch-history counters).
+  V HistParity = B.lit(0, 1);
+  if (HistWidth) {
+    for (uint16_t T = 0; T != NThreads; ++T) {
+      V Hist = B.regLoop("hist" + std::to_string(T), HistWidth);
+      V Bump = B.andv(Sel[T], Go);
+      B.drive(Hist, B.mux(Bump, B.add(Hist, B.zext(Ready[T], HistWidth)),
+                          Hist));
+      HistParity = B.xorv(HistParity, B.xorr(Hist));
+      B.output("thr" + std::to_string(T) + "_hist_o", Hist);
+    }
+  }
+  V StateNext =
+      B.mux(Replay, B.lit(0, StateBits),
+            B.mux(Go, B.inc(State), State));
+  B.drive(State, StateNext);
+
+  for (uint16_t T = 0; T != NThreads; ++T) {
+    // Registered grant (from-sync) plus a combinational preview
+    // (from-port) — both styles appear in the real thread FSMs.
+    B.output("thr" + std::to_string(T) + "_sel_o",
+             B.reg(Sel[T], "sel" + std::to_string(T) + "_r"));
+    B.output("thr" + std::to_string(T) + "_preview_o",
+             B.andv(Sel[T], B.notv(Stall)));
+  }
+  B.output("active_o", B.reg(B.orv(B.orv(Go, Cfg), HistParity),
+                             "active_r"));
+  B.output("state_o", State);
+  return D.addModule(B.finish());
+}
+
+} // namespace
+
+ModuleId gen::buildIfuEslFsm(Design &D) {
+  return buildThreadFsm(D, "ifu_esl_fsm", 4, 6, 8, 16);
+}
+ModuleId gen::buildIfuEslHtsm(Design &D) {
+  return buildThreadFsm(D, "ifu_esl_htsm", 4, 3, 6, 2);
+}
+ModuleId gen::buildIfuEslRtsm(Design &D) {
+  return buildThreadFsm(D, "ifu_esl_rtsm", 4, 2, 2);
+}
+ModuleId gen::buildIfuEslStsm(Design &D) {
+  return buildThreadFsm(D, "ifu_esl_stsm", 4, 2, 4, 1);
+}
+
+ModuleId gen::buildIfuEsl(Design &D, const OpdbOptions &O) {
+  // The enhanced-security thread selector: instantiates the counter,
+  // LFSR, shift register, and all four selection FSMs, plus a history
+  // table.
+  ModuleId Counter = buildIfuEslCounter(D);
+  ModuleId Lfsr = buildIfuEslLfsr(D);
+  ModuleId ShiftReg = buildIfuEslShiftreg(D);
+  ModuleId Fsm = buildIfuEslFsm(D);
+  ModuleId Htsm = buildIfuEslHtsm(D);
+  ModuleId Rtsm = buildIfuEslRtsm(D);
+  ModuleId Stsm = buildIfuEslStsm(D);
+  ModuleId History = sramBank(D, effAddr(7, O), 32);
+
+  Builder B("ifu_esl");
+  std::vector<V> Ready;
+  for (uint16_t T = 0; T != 4; ++T)
+    Ready.push_back(B.input("thr" + std::to_string(T) + "_ready_i", 1));
+  V Stall = B.input("stall_i", 1);
+  V Replay = B.input("replay_i", 1);
+  V Mode = B.input("mode_i", 2);
+  V Cfg = addConfigPorts(B, 8, "esl_cfg");
+
+  auto Cnt = B.instantiate(D, Counter, "cnt",
+                           {{"en_i", B.notv(Stall)}, {"clr_i", Replay}});
+  auto Rnd = B.instantiate(D, Lfsr, "rng",
+                           {{"en_i", B.lit(1, 1)},
+                            {"seed_i", B.slice(Cnt.at("count_o"), 15, 0)},
+                            {"seed_v_i", Replay}});
+  auto Shf = B.instantiate(D, ShiftReg, "shadow",
+                           {{"d_i", B.bit(Rnd.at("value_o"), 0)},
+                            {"en_i", B.lit(1, 1)}});
+
+  std::map<std::string, V> FsmIns;
+  for (uint16_t T = 0; T != 4; ++T)
+    FsmIns["thr" + std::to_string(T) + "_ready_i"] = Ready[T];
+  FsmIns["stall_i"] = Stall;
+  FsmIns["replay_i"] = Replay;
+  auto bindFsm = [&](ModuleId Id, const std::string &Name,
+                     uint16_t NCfg) {
+    std::map<std::string, V> Ins = FsmIns;
+    for (uint16_t I = 0; I != NCfg; ++I)
+      Ins[D.module(Id).wire(D.module(Id).Inputs[6 + I]).Name] =
+          B.bit(Rnd.at("value_o"), I);
+    return B.instantiate(D, Id, Name, Ins);
+  };
+  auto F0 = bindFsm(Fsm, "fsm", 8);
+  auto F1 = bindFsm(Htsm, "htsm", 6);
+  auto F2 = bindFsm(Rtsm, "rtsm", 2);
+  auto F3 = bindFsm(Stsm, "stsm", 4);
+
+  V HAddr = B.reg(B.slice(Cnt.at("count_o"), effAddr(7, O) - 1, 0),
+                  "haddr_r");
+  auto Hist = B.instantiate(D, History, "history",
+                            {{"raddr_i", HAddr},
+                             {"waddr_i", HAddr},
+                             {"wdata_i", Cnt.at("count_o")},
+                             {"wen_i", B.notv(Stall)}});
+
+  for (uint16_t T = 0; T != 4; ++T) {
+    std::string Port = "thr" + std::to_string(T) + "_sel_o";
+    V Pick = B.muxN(Mode, {F0.at(Port), F1.at(Port), F2.at(Port),
+                           F3.at(Port)});
+    B.output(Port, Pick);
+  }
+  B.output("entropy_o", B.reg(B.xorv(B.bit(Shf.at("d_o"), 0),
+                                     B.xorr(Hist.at("rdata_o"))),
+                              "entropy_r"));
+  B.output("active_o", B.reg(B.orv(F0.at("active_o"), Cfg), "act_r"));
+  addStatusPorts(B, 6, B.xorr(Rnd.at("value_o")), "esl_status");
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildL2(Design &D, const OpdbOptions &O) {
+  // Four shared-definition data banks plus a tag bank; the standard
+  // cache-pipeline FSM. Bank sharing is what gives the wire-sort path
+  // its unique-module reuse in Table 3.
+  ModuleId DataBank = sramBank(D, effAddr(11, O), 64);
+  ModuleId TagBank = sramBank(D, effAddr(11, O), 24);
+
+  Builder B("l2");
+  V ReqAddr = B.input("req_addr_i", 40);
+  V ReqData = B.input("req_data_i", 64);
+  V ReqV = B.input("req_v_i", 1);
+  V ReqRw = B.input("req_rw_i", 1);
+  V RespYumi = B.input("resp_yumi_i", 1);
+  V Cfg = addConfigPorts(B, 3, "l2_cfg");
+
+  uint16_t AW = effAddr(11, O);
+  V Index = B.reg(B.slice(ReqAddr, AW - 1, 0), "index_r");
+  V TagIn = B.reg(B.slice(ReqAddr, 39, 16), "tag_r");
+  V DataR = B.reg(ReqData, "wdata_r");
+  V VR = B.reg(ReqV, "v_r");
+  V RwR = B.reg(ReqRw, "rw_r");
+
+  auto Tag = B.instantiate(D, TagBank, "tags",
+                           {{"raddr_i", Index},
+                            {"waddr_i", Index},
+                            {"wdata_i", TagIn},
+                            {"wen_i", B.andv(VR, RwR)}});
+  V Hit = B.reg(B.eq(Tag.at("rdata_o"), TagIn), "hit_r");
+
+  // Four ways share one bank definition.
+  V Way = B.slice(Index, 1, 0);
+  std::vector<V> WayData;
+  for (uint16_t W = 0; W != 4; ++W) {
+    V Wen = B.andv(B.andv(VR, RwR), B.eqConst(Way, W));
+    auto Bank = B.instantiate(D, DataBank, "data" + std::to_string(W),
+                              {{"raddr_i", Index},
+                               {"waddr_i", Index},
+                               {"wdata_i", DataR},
+                               {"wen_i", Wen}});
+    WayData.push_back(Bank.at("rdata_o"));
+  }
+  V ReadData = B.muxN(Way, WayData);
+
+  V RespV = B.regLoop("resp_v", 1);
+  B.drive(RespV, B.mux(VR, B.lit(1, 1),
+                       B.mux(RespYumi, B.lit(0, 1), RespV)));
+
+  B.output("resp_data_o", B.reg(ReadData, "resp_data_r"));
+  B.output("resp_v_o", RespV);
+  B.output("hit_o", B.andv(Hit, B.orv(VR, Cfg)));
+  B.output("ready_o", B.notv(RespV));
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildL15(Design &D, const OpdbOptions &O) {
+  // The L1.5: four data banks, two tag banks, a directory bank, and both
+  // a core-side and a NoC-side interface (hence the port count).
+  ModuleId DataBank = sramBank(D, effAddr(11, O), 64);
+  ModuleId TagBank = sramBank(D, effAddr(11, O), 24);
+  ModuleId DirBank = sramBank(D, effAddr(10, O), 64);
+
+  Builder B("l15");
+  V CoreAddr = B.input("core_addr_i", 40);
+  V CoreData = B.input("core_data_i", 64);
+  V CoreV = B.input("core_v_i", 1);
+  V CoreRw = B.input("core_rw_i", 1);
+  V CoreYumi = B.input("core_yumi_i", 1);
+  V NocData = B.input("noc_data_i", 64);
+  V NocV = B.input("noc_v_i", 1);
+  V NocYumi = B.input("noc_yumi_i", 1);
+  V Inval = B.input("inval_i", 1);
+  V InvalAddr = B.input("inval_addr_i", 40);
+  V Cfg = addConfigPorts(B, 20, "l15_csr");
+
+  uint16_t AW = effAddr(11, O);
+  V Index = B.reg(B.slice(CoreAddr, AW - 1, 0), "index_r");
+  V InvIndex = B.reg(B.slice(InvalAddr, AW - 1, 0), "inv_index_r");
+  V TagIn = B.reg(B.slice(CoreAddr, 39, 16), "tag_r");
+  V DataR = B.reg(CoreData, "wdata_r");
+  V VR = B.reg(CoreV, "v_r");
+  V RwR = B.reg(CoreRw, "rw_r");
+  V InvR = B.reg(Inval, "inv_r");
+
+  auto T0 = B.instantiate(D, TagBank, "tag0",
+                          {{"raddr_i", Index},
+                           {"waddr_i", B.mux(InvR, InvIndex, Index)},
+                           {"wdata_i", TagIn},
+                           {"wen_i", B.orv(InvR, B.andv(VR, RwR))}});
+  auto T1 = B.instantiate(D, TagBank, "tag1",
+                          {{"raddr_i", Index},
+                           {"waddr_i", InvIndex},
+                           {"wdata_i", TagIn},
+                           {"wen_i", InvR}});
+  V Hit0 = B.eq(T0.at("rdata_o"), TagIn);
+  V Hit1 = B.eq(T1.at("rdata_o"), TagIn);
+  V Hit = B.reg(B.orv(Hit0, Hit1), "hit_r");
+
+  // Four ways share one data-bank definition.
+  V Way = B.slice(Index, 1, 0);
+  std::vector<V> WayData;
+  for (uint16_t W = 0; W != 4; ++W) {
+    V WData = W == 3 ? B.mux(NocV, NocData, DataR) : DataR;
+    V Wen = B.andv(B.andv(VR, RwR), B.eqConst(Way, W));
+    auto Bank = B.instantiate(D, DataBank, "data" + std::to_string(W),
+                              {{"raddr_i", Index},
+                               {"waddr_i", Index},
+                               {"wdata_i", WData},
+                               {"wen_i", Wen}});
+    WayData.push_back(Bank.at("rdata_o"));
+  }
+  V DirAddr = B.reg(B.slice(CoreAddr, effAddr(10, O) - 1, 0), "dir_r");
+  auto Dir = B.instantiate(D, DirBank, "dir",
+                           {{"raddr_i", DirAddr},
+                            {"waddr_i", DirAddr},
+                            {"wdata_i", NocData},
+                            {"wen_i", B.reg(NocV, "noc_v_r")}});
+
+  V RespV = B.regLoop("resp_v", 1);
+  B.drive(RespV, B.mux(VR, B.lit(1, 1),
+                       B.mux(CoreYumi, B.lit(0, 1), RespV)));
+  V NocReqV = B.regLoop("noc_req_v", 1);
+  B.drive(NocReqV, B.mux(B.andv(VR, B.notv(Hit)), B.lit(1, 1),
+                         B.mux(NocYumi, B.lit(0, 1), NocReqV)));
+
+  V ReadData = B.muxN(Way, WayData);
+  B.output("core_data_o", B.reg(ReadData, "core_data_r"));
+  B.output("core_v_o", RespV);
+  B.output("core_ready_o", B.notv(RespV));
+  B.output("noc_data_o", B.reg(B.xorv(ReadData, Dir.at("rdata_o")),
+                               "noc_data_r"));
+  B.output("noc_v_o", NocReqV);
+  B.output("hit_o", B.andv(Hit, B.orv(VR, Cfg)));
+  addStatusPorts(B, 30, B.xorr(Dir.at("rdata_o")), "l15_status");
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildPico(Design &D, const OpdbOptions &O) {
+  // A minimal in-order core stand-in: instruction and data memories plus
+  // a register file and a small ALU.
+  ModuleId IMem = sramBank(D, effAddr(8, O), 32);
+  ModuleId DMem = sramBank(D, effAddr(8, O), 32);
+  ModuleId RegFile = sramBank(D, 5, 32);
+
+  Builder B("pico");
+  V IrqIn = B.input("irq_i", 1);
+  V MemStall = B.input("mem_stall_i", 1);
+  V ExtData = B.input("ext_data_i", 32);
+  V ExtV = B.input("ext_v_i", 1);
+  V Cfg = addConfigPorts(B, 6, "pico_cfg");
+
+  uint16_t AW = effAddr(8, O);
+  V Pc = B.regLoop("pc", AW);
+  auto Fetch = B.instantiate(D, IMem, "imem",
+                             {{"raddr_i", Pc},
+                              {"waddr_i", Pc},
+                              {"wdata_i", ExtData},
+                              {"wen_i", ExtV}});
+  V Inst = Fetch.at("rdata_o");
+  V Rs = B.reg(B.slice(Inst, 4, 0), "rs_r");
+  auto Rf = B.instantiate(D, RegFile, "rf",
+                          {{"raddr_i", Rs},
+                           {"waddr_i", B.reg(B.slice(Inst, 9, 5), "rd_r")},
+                           {"wdata_i", B.reg(Inst, "wb_r")},
+                           {"wen_i", B.reg(B.bit(Inst, 31), "wen_r")}});
+  V Operand = Rf.at("rdata_o");
+  V Alu = B.add(Operand, B.sext(B.slice(Inst, 20, 10), 32));
+  V MemAddr = B.reg(B.slice(Alu, AW - 1, 0), "maddr_r");
+  auto Mem = B.instantiate(D, DMem, "dmem",
+                           {{"raddr_i", MemAddr},
+                            {"waddr_i", MemAddr},
+                            {"wdata_i", Operand},
+                            {"wen_i", B.reg(B.bit(Inst, 30), "st_r")}});
+  V Advance = B.notv(B.orv(MemStall, IrqIn));
+  B.drive(Pc, B.mux(Advance, B.inc(Pc), Pc));
+
+  B.output("result_o", B.reg(B.xorv(Alu, Mem.at("rdata_o")), "res_r"));
+  B.output("trap_o", B.reg(B.andv(IrqIn, Cfg), "trap_r"));
+  B.output("pc_o", Pc);
+  addStatusPorts(B, 8, B.xorr(Inst), "pico_status");
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildSparcMul(Design &D, const OpdbOptions &) {
+  ModuleId Mul = mulArray(D, 64);
+  Builder B("sparc_mul");
+  V Rs1 = B.input("rs1_data_i", 64);
+  V Rs2 = B.input("rs2_data_i", 64);
+  V VIn = B.input("valid_i", 1);
+  auto P = B.instantiate(D, Mul, "array", {{"a_i", Rs1}, {"b_i", Rs2}});
+  B.output("out_data_o", B.reg(P.at("p_o"), "out_r"));
+  B.output("out_v_o", B.reg(VIn, "v_r"));
+  // The bypass result is offered combinationally — a from-port path.
+  B.output("bypass_o", B.slice(P.at("p_o"), 31, 0));
+  B.output("parity_o", B.reg(B.xorr(P.at("p_o")), "par_r"));
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildSparcFfu(Design &D, const OpdbOptions &O) {
+  // Floating-point frontend unit: two FP register-file banks (even/odd
+  // doubles) sharing one definition + two 32-bit multiplier lanes.
+  ModuleId Frf = sramBank(D, effAddr(9, O), 32);
+  ModuleId Mul = mulArray(D, 32);
+
+  Builder B("sparc_ffu");
+  V OpIn = B.input("op_i", 4);
+  V Rs1 = B.input("rs1_i", 32);
+  V Rs2 = B.input("rs2_i", 32);
+  V VIn = B.input("v_i", 1);
+  V Kill = B.input("kill_i", 1);
+  V Cfg = addConfigPorts(B, 30, "ffu_csr");
+
+  V OpR = B.reg(OpIn, "op_r");
+  V R1 = B.reg(Rs1, "rs1_r");
+  V R2 = B.reg(Rs2, "rs2_r");
+  auto P = B.instantiate(D, Mul, "fmul_lo", {{"a_i", R1}, {"b_i", R2}});
+  auto PHi = B.instantiate(D, Mul, "fmul_hi",
+                           {{"a_i", R2}, {"b_i", B.notv(R1)}});
+  uint16_t AW = effAddr(9, O);
+  V FAddr = B.reg(B.slice(R1, AW - 1, 0), "faddr_r");
+  V Wen = B.reg(B.andv(VIn, B.notv(Kill)), "fwen_r");
+  auto RegEven = B.instantiate(D, Frf, "frf_even",
+                               {{"raddr_i", FAddr},
+                                {"waddr_i", FAddr},
+                                {"wdata_i", P.at("p_o")},
+                                {"wen_i", Wen}});
+  auto RegOdd = B.instantiate(D, Frf, "frf_odd",
+                              {{"raddr_i", FAddr},
+                               {"waddr_i", FAddr},
+                               {"wdata_i", PHi.at("p_o")},
+                               {"wen_i", Wen}});
+  V IsMul = B.eqConst(OpR, 1);
+  V RegPair = B.xorv(RegEven.at("rdata_o"), RegOdd.at("rdata_o"));
+  V Result = B.mux(IsMul, P.at("p_o"), B.add(RegPair, R2));
+
+  B.output("result_o", B.reg(Result, "result_r"));
+  B.output("v_o", B.reg(B.andv(B.reg(VIn, "v1_r"), B.notv(Kill)), "v2_r"));
+  B.output("cc_o", B.reg(B.concat({B.eqConst(Result, 0), B.bit(Result, 31)}),
+                         "cc_r"));
+  B.output("busy_o", B.reg(Cfg, "busy_r"));
+  addStatusPorts(B, 34, B.xorr(Result), "ffu_status");
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildSparcExu(Design &D, const OpdbOptions &O) {
+  // Execution unit: four register-window banks sharing one definition
+  // dominate; an ALU, a barrel shifter, and bypass muxing provide
+  // combinational breadth.
+  ModuleId Windows = sramBank(D, effAddr(9, O), 64);
+
+  Builder B("sparc_exu");
+  V Rs1Addr = B.input("rs1_addr_i", 11);
+  V Rs2Addr = B.input("rs2_addr_i", 11);
+  V RdAddr = B.input("rd_addr_i", 11);
+  V Imm = B.input("imm_i", 32);
+  V UseImm = B.input("use_imm_i", 1);
+  V AluOp = B.input("alu_op_i", 3);
+  V VIn = B.input("v_i", 1);
+  V BypassData = B.input("bypass_data_i", 64);
+  V UseBypass = B.input("use_bypass_i", 1);
+  V Cfg = addConfigPorts(B, 50, "exu_csr");
+
+  uint16_t AW = effAddr(9, O);
+  V R1Addr = B.reg(B.slice(Rs1Addr, AW - 1, 0), "r1a_r");
+  V RdR = B.reg(B.slice(RdAddr, AW - 1, 0), "rd_r");
+  V WinSel = B.reg(B.slice(Rs1Addr, 10, 9), "win_r");
+  std::vector<V> WinData;
+  for (uint16_t W = 0; W != 4; ++W) {
+    V Wen = B.andv(B.reg(VIn, "wen" + std::to_string(W) + "_r"),
+                   B.eqConst(WinSel, W));
+    auto Bank = B.instantiate(D, Windows, "regwin" + std::to_string(W),
+                              {{"raddr_i", R1Addr},
+                               {"waddr_i", RdR},
+                               {"wdata_i", BypassData},
+                               {"wen_i", Wen}});
+    WinData.push_back(Bank.at("rdata_o"));
+  }
+  V Op1 = B.mux(UseBypass, BypassData, B.muxN(WinSel, WinData));
+  V Op2 = B.mux(UseImm, B.sext(Imm, 64), B.reg(B.zext(Rs2Addr, 64),
+                                               "rs2_r"));
+  V Sum = B.add(Op1, Op2);
+  V Diff = B.sub(Op1, Op2);
+  V AndV = B.andv(Op1, Op2);
+  V OrV = B.orv(Op1, Op2);
+  V XorV = B.xorv(Op1, Op2);
+  V Shl = B.shl(Op1, B.slice(Op2, 5, 0));
+  V Shr = B.shr(Op1, B.slice(Op2, 5, 0), /*Arithmetic=*/true);
+  V Result = B.muxN(AluOp, {Sum, Diff, AndV, OrV, XorV, Shl, Shr, Op1});
+
+  B.output("result_o", Result); // Bypass network: combinational.
+  B.output("result_r_o", B.reg(Result, "result_r"));
+  B.output("zero_o", B.eqConst(Result, 0));
+  B.output("v_o", B.reg(B.andv(VIn, B.notv(Cfg)), "v_r"));
+  addStatusPorts(B, 60, B.xorr(Result), "exu_status");
+  return D.addModule(B.finish());
+}
+
+ModuleId gen::buildSparcTlu(Design &D, const OpdbOptions &O) {
+  // Trap logic unit: per-thread trap-stack banks plus wide trap-vector
+  // decoding; its 214-port interface is mostly per-thread 1-bit wires.
+  ModuleId TrapStack = sramBank(D, effAddr(10, O), 64);
+
+  Builder B("sparc_tlu");
+  std::vector<V> TrapReq, TrapType;
+  for (uint16_t T = 0; T != 4; ++T) {
+    TrapReq.push_back(B.input("thr" + std::to_string(T) + "_trap_i", 1));
+    TrapType.push_back(
+        B.input("thr" + std::to_string(T) + "_ttype_i", 9));
+  }
+  V Pc = B.input("pc_i", 48);
+  V Npc = B.input("npc_i", 48);
+  V Cfg = addConfigPorts(B, 60, "tlu_csr");
+
+  uint16_t AW = effAddr(10, O);
+  V SavedPc = B.reg(B.slice(Pc, 47, 0), "pc_r");
+  V SavedNpc = B.reg(B.slice(Npc, 47, 0), "npc_r");
+  V AnyTrap = B.lit(0, 1);
+  for (uint16_t T = 0; T != 4; ++T) {
+    V Sp = B.regLoop("tsp" + std::to_string(T), AW);
+    V Take = B.reg(TrapReq[T], "take" + std::to_string(T) + "_r");
+    V Entry = B.concat({B.slice(SavedPc, 47, 41),
+                        B.reg(TrapType[T],
+                              "ttype" + std::to_string(T) + "_r"),
+                        B.slice(SavedNpc, 47, 0)});
+    auto Stack = B.instantiate(D, TrapStack, "tstack" + std::to_string(T),
+                               {{"raddr_i", Sp},
+                                {"waddr_i", Sp},
+                                {"wdata_i", Entry},
+                                {"wen_i", Take}});
+    B.drive(Sp, B.mux(Take, B.inc(Sp), Sp));
+    AnyTrap = B.orv(AnyTrap, TrapReq[T]);
+
+    // Per-thread outputs: registered trap state (from-sync) plus a
+    // combinational taken preview (from-port, depends on the request).
+    B.output("thr" + std::to_string(T) + "_trap_pc_o",
+             B.reg(B.slice(Stack.at("rdata_o"), 47, 0),
+                   "tpc" + std::to_string(T) + "_r"));
+    B.output("thr" + std::to_string(T) + "_trap_taken_o",
+             B.andv(TrapReq[T], B.notv(Cfg)));
+    B.output("thr" + std::to_string(T) + "_tl_o",
+             B.slice(Sp, 2, 0));
+  }
+  // A wide block of per-vector status ports (registered).
+  addStatusPorts(B, 170, AnyTrap, "tlu_int");
+  B.output("any_trap_o", B.reg(AnyTrap, "any_trap_r"));
+  return D.addModule(B.finish());
+}
+
+std::vector<OpdbEntry> gen::buildOpdb(Design &D, const OpdbOptions &O) {
+  std::vector<OpdbEntry> Entries;
+  auto add = [&](const std::string &Name, ModuleId Id) {
+    Entries.push_back(OpdbEntry{Name, Id});
+  };
+  add("dynamic_node", buildDynamicNode(D, O));
+  add("fpu", buildFpu(D, O));
+  add("ifu_esl", buildIfuEsl(D, O));
+  add("ifu_esl_counter", buildIfuEslCounter(D));
+  add("ifu_esl_fsm", buildIfuEslFsm(D));
+  add("ifu_esl_htsm", buildIfuEslHtsm(D));
+  add("ifu_esl_lfsr", buildIfuEslLfsr(D));
+  add("ifu_esl_rtsm", buildIfuEslRtsm(D));
+  add("ifu_esl_shiftreg", buildIfuEslShiftreg(D));
+  add("ifu_esl_stsm", buildIfuEslStsm(D));
+  add("l2", buildL2(D, O));
+  add("l15", buildL15(D, O));
+  add("pico", buildPico(D, O));
+  add("sparc_ffu", buildSparcFfu(D, O));
+  add("sparc_mul", buildSparcMul(D, O));
+  add("sparc_exu", buildSparcExu(D, O));
+  add("sparc_tlu", buildSparcTlu(D, O));
+  return Entries;
+}

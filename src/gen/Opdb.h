@@ -1,0 +1,68 @@
+//===- gen/Opdb.h - OpenPiton Design Benchmark stand-ins --------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the 17 OpenPiton Design Benchmark modules of
+/// Table 2. We cannot ship OpenPiton's Verilog, so each stand-in
+/// reproduces the *shape* that drives the paper's measurements: the same
+/// role (NoC router, FPU, caches, thread FSMs, SPARC units), hierarchical
+/// structure (submodule instances reused across the design, the source of
+/// Table 3's unique-module speedups), interface-port scale, and a
+/// primitive-gate count in the same ballpark (dominated, as in real
+/// designs, by memory macros expanded to registers + decoders + mux
+/// trees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_GEN_OPDB_H
+#define WIRESORT_GEN_OPDB_H
+
+#include "ir/Design.h"
+
+#include <string>
+#include <vector>
+
+namespace wiresort::gen {
+
+/// One OPDB stand-in added to a design.
+struct OpdbEntry {
+  std::string Name;
+  ir::ModuleId Top = ir::InvalidId;
+};
+
+/// Scale factor for the memory-heavy designs; 1.0 targets the paper's
+/// gate counts, smaller values make CI-friendly corpora.
+struct OpdbOptions {
+  /// Shrinks memory address widths by this many bits (0 = paper scale).
+  uint16_t ShrinkAddrBits = 0;
+};
+
+// Individual builders (each may add submodule definitions to \p D).
+ir::ModuleId buildDynamicNode(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildFpu(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildIfuEsl(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildIfuEslCounter(ir::Design &D);
+ir::ModuleId buildIfuEslFsm(ir::Design &D);
+ir::ModuleId buildIfuEslHtsm(ir::Design &D);
+ir::ModuleId buildIfuEslLfsr(ir::Design &D);
+ir::ModuleId buildIfuEslRtsm(ir::Design &D);
+ir::ModuleId buildIfuEslShiftreg(ir::Design &D);
+ir::ModuleId buildIfuEslStsm(ir::Design &D);
+ir::ModuleId buildL2(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildL15(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildPico(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildSparcFfu(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildSparcMul(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildSparcExu(ir::Design &D, const OpdbOptions &O = {});
+ir::ModuleId buildSparcTlu(ir::Design &D, const OpdbOptions &O = {});
+
+/// Builds all 17 stand-ins (in Table 2 order) into \p D.
+std::vector<OpdbEntry> buildOpdb(ir::Design &D, const OpdbOptions &O = {});
+
+} // namespace wiresort::gen
+
+#endif // WIRESORT_GEN_OPDB_H

@@ -1,0 +1,97 @@
+//===- gen/Random.cpp - Seeded random designs -----------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Random.h"
+
+#include "ir/Builder.h"
+
+#include <vector>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+Module gen::randomModule(std::mt19937 &Rng, const RandomModuleParams &P,
+                         const std::string &Name) {
+  Builder B(Name);
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+
+  std::vector<V> Pool;
+  for (uint16_t I = 0; I != P.NInputs; ++I)
+    Pool.push_back(B.input("in" + std::to_string(I), 1));
+  Pool.push_back(B.lit(0, 1));
+  Pool.push_back(B.lit(1, 1));
+
+  auto pick = [&]() {
+    std::uniform_int_distribution<size_t> Idx(0, Pool.size() - 1);
+    return Pool[Idx(Rng)];
+  };
+
+  for (uint16_t G = 0; G != P.NGates; ++G) {
+    std::uniform_int_distribution<int> OpPick(0, 5);
+    V Out;
+    switch (OpPick(Rng)) {
+    case 0:
+      Out = B.andv(pick(), pick());
+      break;
+    case 1:
+      Out = B.orv(pick(), pick());
+      break;
+    case 2:
+      Out = B.xorv(pick(), pick());
+      break;
+    case 3:
+      Out = B.notv(pick());
+      break;
+    case 4:
+      Out = B.mux(pick(), pick(), pick());
+      break;
+    default:
+      Out = B.nandv(pick(), pick());
+      break;
+    }
+    if (Coin(Rng) < P.PReg)
+      Out = B.reg(Out, "r" + std::to_string(G));
+    Pool.push_back(Out);
+  }
+
+  for (uint16_t O = 0; O != P.NOutputs; ++O)
+    B.output("out" + std::to_string(O), pick());
+  return B.finish();
+}
+
+Circuit gen::randomCircuit(std::mt19937 &Rng, Design &D,
+                           const RandomCircuitParams &P,
+                           const std::string &Name) {
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+  std::vector<ModuleId> Defs;
+  for (uint16_t M = 0; M != P.NModuleDefs; ++M)
+    Defs.push_back(D.addModule(randomModule(
+        Rng, P.ModuleShape, Name + "_def" + std::to_string(M))));
+
+  Circuit Circ(D, Name);
+  std::vector<InstId> Insts;
+  std::uniform_int_distribution<size_t> DefPick(0, Defs.size() - 1);
+  for (uint16_t I = 0; I != P.NInstances; ++I)
+    Insts.push_back(Circ.addInstance(Defs[DefPick(Rng)],
+                                     "u" + std::to_string(I)));
+
+  // Enumerate all output ports once so connections draw uniformly.
+  std::vector<PortRef> AllOutputs;
+  for (InstId Inst = 0; Inst != Insts.size(); ++Inst)
+    for (WireId Out : Circ.defOf(Inst).Outputs)
+      AllOutputs.push_back(PortRef{Inst, Out});
+  std::uniform_int_distribution<size_t> OutPick(0, AllOutputs.size() - 1);
+
+  for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
+    for (WireId In : Circ.defOf(Inst).Inputs) {
+      if (Coin(Rng) >= P.PConnect)
+        continue;
+      Circ.connectPorts(AllOutputs[OutPick(Rng)], PortRef{Inst, In});
+    }
+  }
+  return Circ;
+}

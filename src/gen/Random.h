@@ -1,0 +1,63 @@
+//===- gen/Random.h - Seeded random designs ---------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random module and circuit generation, used by the property test
+/// suites to validate the paper's soundness theorem empirically: on any
+/// circuit, the modular wire-sort checker and flat gate-level cycle
+/// detection must agree about the existence of combinational loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_GEN_RANDOM_H
+#define WIRESORT_GEN_RANDOM_H
+
+#include "ir/Circuit.h"
+#include "ir/Design.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace wiresort::gen {
+
+/// Shape of a random module.
+struct RandomModuleParams {
+  uint16_t NInputs = 4;
+  uint16_t NOutputs = 4;
+  uint16_t NGates = 24;
+  /// Probability that a gate's output is registered (raising it pushes
+  /// the interface toward the sync sorts).
+  double PReg = 0.3;
+};
+
+/// Generates a random 1-bit-wire module: a gate DAG over the inputs,
+/// constants, and register outputs, with outputs tapped from random
+/// wires. Always acyclic internally (gates only consume existing wires).
+ir::Module randomModule(std::mt19937 &Rng, const RandomModuleParams &P,
+                        const std::string &Name);
+
+/// Shape of a random circuit.
+struct RandomCircuitParams {
+  uint16_t NModuleDefs = 4;
+  uint16_t NInstances = 8;
+  /// Probability that any given instance input gets connected to some
+  /// instance output (unconnected ports stay open).
+  double PConnect = 0.8;
+  RandomModuleParams ModuleShape;
+};
+
+/// Generates defs into \p D and wires up a random circuit over them.
+/// Connections are unconstrained, so combinational loops arise naturally
+/// with substantial probability — which is the point.
+ir::Circuit randomCircuit(std::mt19937 &Rng, ir::Design &D,
+                          const RandomCircuitParams &P,
+                          const std::string &Name);
+
+} // namespace wiresort::gen
+
+#endif // WIRESORT_GEN_RANDOM_H

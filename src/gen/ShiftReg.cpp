@@ -1,0 +1,125 @@
+//===- gen/ShiftReg.cpp - PISO / SIPO shift registers ---------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ShiftReg.h"
+
+#include "ir/Builder.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+Module gen::makePiso(const PisoParams &P) {
+  assert(P.NSlots >= 2 && P.NSlots * P.SlotWidth <= 64 &&
+         "PISO input word must fit in 64 bits");
+  std::string Name = std::string("piso") + (P.Fixed ? "_fixed" : "") +
+                     "_n" + std::to_string(P.NSlots) + "_w" +
+                     std::to_string(P.SlotWidth);
+  Builder B(Name);
+
+  uint16_t InW = static_cast<uint16_t>(P.NSlots * P.SlotWidth);
+  uint16_t CtrW = 1;
+  while ((1u << CtrW) < P.NSlots)
+    ++CtrW;
+
+  V ValidIn = B.input("valid_i", 1);
+  V DataIn = B.input("data_i", InW);
+  V YumiIn = B.input("yumi_i", 1);
+
+  // state: 0 = stateRcv (accepting a word), 1 = stateTsmt (draining).
+  V State = B.regLoop("state", 1);
+  V Ctr = B.regLoop("shiftCtr", CtrW);
+  std::vector<V> Slots;
+  for (uint16_t S = 0; S != P.NSlots; ++S)
+    Slots.push_back(B.regLoop("slot" + std::to_string(S), P.SlotWidth));
+
+  V InRcv = B.eqConst(State, 0);
+  V InTsmt = B.eqConst(State, 1);
+  V LastSlot = B.eqConst(Ctr, P.NSlots - 1);
+  V DrainDone = B.andv(B.andv(InTsmt, LastSlot), YumiIn);
+
+  // The quoted Section 5.1 logic — the pre-fix module computes ready_o
+  // combinationally from yumi_i; the fixed one offers it from state only.
+  V ReadyOut = P.Fixed ? InRcv : B.orv(InRcv, DrainDone);
+
+  V Load = B.andv(InRcv, ValidIn);
+  for (uint16_t S = 0; S != P.NSlots; ++S) {
+    V Incoming = B.slice(DataIn, static_cast<uint16_t>((S + 1) * P.SlotWidth - 1),
+                         static_cast<uint16_t>(S * P.SlotWidth));
+    B.drive(Slots[S], B.mux(Load, Incoming, Slots[S]));
+  }
+
+  V NextCtr = B.mux(Load, B.lit(0, CtrW),
+                    B.mux(B.andv(InTsmt, YumiIn), B.inc(Ctr), Ctr));
+  B.drive(Ctr, B.mux(DrainDone, B.lit(0, CtrW), NextCtr));
+  // rcv -> tsmt on load; tsmt -> rcv when the last slot is taken.
+  B.drive(State, B.mux(Load, B.lit(1, 1),
+                       B.mux(DrainDone, B.lit(0, 1), State)));
+
+  V ValidOut = InTsmt;
+  V DataOut = B.muxN(Ctr, Slots);
+
+  B.output("valid_o", ValidOut);
+  B.output("data_o", DataOut);
+  B.output("ready_o", ReadyOut);
+  return B.finish();
+}
+
+Module gen::makeSipo(const SipoParams &P) {
+  assert(P.NSlots >= 2 && P.NSlots * P.SlotWidth <= 64 &&
+         "SIPO output word must fit in 64 bits");
+  std::string Name = "sipo_n" + std::to_string(P.NSlots) + "_w" +
+                     std::to_string(P.SlotWidth);
+  Builder B(Name);
+
+  uint16_t CntW = 1;
+  while ((1u << CntW) < static_cast<unsigned>(P.NSlots + 1))
+    ++CntW;
+
+  V ValidIn = B.input("valid_i", 1);
+  V DataIn = B.input("data_i", P.SlotWidth);
+  V YumiCnt = B.input("yumi_cnt_i", CntW);
+
+  V Count = B.regLoop("count", CntW);
+  std::vector<V> Slots; // Older words, slot0 oldest.
+  for (uint16_t S = 0; S + 1 < P.NSlots; ++S)
+    Slots.push_back(B.regLoop("slot" + std::to_string(S), P.SlotWidth));
+
+  V NotFull = B.lt(Count, B.lit(P.NSlots, CntW));
+  V ReadyOut = NotFull; // From state only: from-sync (Table 1).
+  V Enq = B.andv(ValidIn, ReadyOut);
+
+  // Shift the incoming word into the register chain on enqueue.
+  V Prev = DataIn;
+  for (size_t S = Slots.size(); S-- > 0;) {
+    B.drive(Slots[S], B.mux(Enq, Prev, Slots[S]));
+    Prev = Slots[S];
+  }
+
+  // Occupancy: add the enqueue, subtract however many words the consumer
+  // reports taking (yumi_cnt_i affects state only: to-sync).
+  V NextCount = B.sub(B.add(Count, B.zext(Enq, CntW)), YumiCnt);
+  B.drive(Count, NextCount);
+
+  // The freshly arriving word completes the parallel output
+  // combinationally — this is what makes data_o from-port {data_i} and
+  // valid_o from-port {valid_i}.
+  std::vector<V> OutParts{DataIn}; // Most-significant: newest word.
+  for (size_t S = Slots.size(); S-- > 0;)
+    OutParts.push_back(Slots[S]);
+  V DataOut = B.concat(OutParts);
+  V AlmostFull = B.eqConst(Count, P.NSlots - 1);
+  V ValidOut = B.andv(AlmostFull, ValidIn);
+
+  B.output("ready_o", ReadyOut);
+  B.output("valid_o", ValidOut);
+  B.output("data_o", DataOut);
+  return B.finish();
+}

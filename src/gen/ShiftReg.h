@@ -1,0 +1,66 @@
+//===- gen/ShiftReg.h - PISO / SIPO shift registers -------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel-in serial-out (PISO) and serial-in parallel-out (SIPO)
+/// shift registers of Table 1 and Section 5.1.
+///
+/// The PISO is the paper's star witness: its consumer endpoint is
+/// "helpful" under BaseJump's classification (ready_o does not depend on
+/// valid_i), yet ready_o *does* combinationally depend on yumi_i from the
+/// producer endpoint:
+///
+///   ready_o = (state == stateRcv) or
+///             ((state == stateTsmt) and (shiftCtr == nSlots-1) and yumi_i)
+///
+/// making yumi_i to-port and ready_o from-port — a hazard BaseJump's
+/// model cannot see. After the paper's authors reported it, the upstream
+/// module was changed so yumi_i is to-sync; \c PisoParams::Fixed selects
+/// that repaired variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_GEN_SHIFTREG_H
+#define WIRESORT_GEN_SHIFTREG_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace wiresort::gen {
+
+/// PISO shape parameters.
+struct PisoParams {
+  /// Number of output words per input word.
+  uint16_t NSlots = 4;
+  /// Width of each output word; input width is NSlots * SlotWidth (<=64).
+  uint16_t SlotWidth = 8;
+  /// Use the post-fix logic where ready_o no longer awaits yumi_i.
+  bool Fixed = false;
+};
+
+/// Builds "piso[_fixed]_n<N>_w<W>" with ports valid_i, data_i, yumi_i /
+/// valid_o, data_o, ready_o.
+ir::Module makePiso(const PisoParams &P);
+
+/// SIPO shape parameters.
+struct SipoParams {
+  /// Number of input words per output word.
+  uint16_t NSlots = 4;
+  /// Width of each input word; output width is NSlots * SlotWidth (<=64).
+  uint16_t SlotWidth = 8;
+};
+
+/// Builds "sipo_n<N>_w<W>" with ports valid_i, data_i, yumi_cnt_i /
+/// valid_o, data_o, ready_o. The incoming word is forwarded into the
+/// parallel output combinationally, giving the Table 1 sorts
+/// (valid_i/data_i to-port, valid_o/data_o from-port).
+ir::Module makeSipo(const SipoParams &P);
+
+} // namespace wiresort::gen
+
+#endif // WIRESORT_GEN_SHIFTREG_H

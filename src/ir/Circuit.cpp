@@ -1,0 +1,117 @@
+//===- ir/Circuit.cpp - Circuits of connected module instances ------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Circuit.h"
+
+#include <cassert>
+#include <map>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+
+InstId Circuit::addInstance(ModuleId Def, std::string InstName) {
+  assert(Def < D->numModules() && "unknown module definition");
+  Insts.push_back(Instance{Def, std::move(InstName)});
+  return static_cast<InstId>(Insts.size() - 1);
+}
+
+void Circuit::connect(InstId From, const std::string &OutPort, InstId To,
+                      const std::string &InPort) {
+  WireId Out = defOf(From).findPort(OutPort);
+  WireId In = defOf(To).findPort(InPort);
+  assert(Out != InvalidId && "unknown output port name");
+  assert(In != InvalidId && "unknown input port name");
+  connectPorts(PortRef{From, Out}, PortRef{To, In});
+}
+
+void Circuit::connectPorts(PortRef From, PortRef To) {
+  assert(From.Inst < Insts.size() && To.Inst < Insts.size());
+  const Module &FromDef = defOf(From.Inst);
+  const Module &ToDef = defOf(To.Inst);
+  assert(FromDef.isOutput(From.Port) && "connection source must be output");
+  assert(ToDef.isInput(To.Port) && "connection target must be input");
+  assert(FromDef.wire(From.Port).Width == ToDef.wire(To.Port).Width &&
+         "connection width mismatch");
+  for (const Connection &C : Conns)
+    assert(!(C.To == To) && "input port already driven");
+  Conns.push_back(Connection{From, To});
+}
+
+bool Circuit::isComplete() const {
+  for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
+    const Module &Def = defOf(Inst);
+    for (WireId Port : Def.Inputs) {
+      bool Found = false;
+      for (const Connection &C : Conns)
+        Found |= C.To == PortRef{Inst, Port};
+      if (!Found)
+        return false;
+    }
+    for (WireId Port : Def.Outputs) {
+      bool Found = false;
+      for (const Connection &C : Conns)
+        Found |= C.From == PortRef{Inst, Port};
+      if (!Found)
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string Circuit::portLabel(PortRef Ref) const {
+  return Insts[Ref.Inst].Name + "." + defOf(Ref.Inst).wire(Ref.Port).Name;
+}
+
+ModuleId Circuit::seal() {
+  Module Top(Name);
+
+  // One local wire per driving output port (fan-out shares the wire).
+  std::map<std::pair<InstId, WireId>, WireId> OutWire;
+  for (const Connection &C : Conns) {
+    auto Key = std::make_pair(C.From.Inst, C.From.Port);
+    if (!OutWire.count(Key)) {
+      const Wire &PortWire = defOf(C.From.Inst).wire(C.From.Port);
+      OutWire[Key] = Top.addWire(portLabel(C.From), WireKind::Basic,
+                                 PortWire.Width);
+    }
+  }
+
+  std::map<std::pair<InstId, WireId>, WireId> InWire;
+  for (const Connection &C : Conns)
+    InWire[{C.To.Inst, C.To.Port}] = OutWire[{C.From.Inst, C.From.Port}];
+
+  for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
+    const Module &Def = defOf(Inst);
+    SubInstance Sub;
+    Sub.Def = Insts[Inst].Def;
+    Sub.Name = Insts[Inst].Name;
+    for (WireId Port : Def.Inputs) {
+      auto It = InWire.find({Inst, Port});
+      WireId Local;
+      if (It != InWire.end()) {
+        Local = It->second;
+      } else {
+        // Unconnected input: promote to a top-level input port.
+        Local = Top.addInput(portLabel({Inst, Port}), Def.wire(Port).Width);
+      }
+      Sub.Bindings.emplace_back(Port, Local);
+    }
+    for (WireId Port : Def.Outputs) {
+      auto It = OutWire.find({Inst, Port});
+      WireId Local;
+      if (It != OutWire.end()) {
+        Local = It->second;
+      } else {
+        // Unconnected output: promote to a top-level output port.
+        Local = Top.addOutput(portLabel({Inst, Port}), Def.wire(Port).Width);
+      }
+      Sub.Bindings.emplace_back(Port, Local);
+    }
+    Top.addInstance(std::move(Sub));
+  }
+
+  return D->addModule(std::move(Top));
+}

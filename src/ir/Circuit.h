@@ -1,0 +1,107 @@
+//===- ir/Circuit.h - Circuits of connected module instances ----*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's circuit domain: a set of module instances plus direct
+/// output-to-input connections (Section 3.1). Per the paper's footnote 2,
+/// extra-modular glue logic can always be wrapped into its own module, so
+/// direct connections lose no generality; the Builder's instantiate()
+/// support covers the glue-module idiom, and seal() turns a Circuit into
+/// an ordinary (hierarchical) Module so that circuits compose into
+/// "supermodules" ad infinitum, as Section 3.1 describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_IR_CIRCUIT_H
+#define WIRESORT_IR_CIRCUIT_H
+
+#include "ir/Design.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wiresort::ir {
+
+/// A reference to one port of one instance in a Circuit.
+struct PortRef {
+  InstId Inst = InvalidId;
+  /// WireId of the port within the instance's defining module.
+  WireId Port = InvalidId;
+
+  bool operator==(const PortRef &O) const {
+    return Inst == O.Inst && Port == O.Port;
+  }
+};
+
+/// A directed connection from an instance output port to an instance
+/// input port (wout ->C win in the paper's notation).
+struct Connection {
+  PortRef From;
+  PortRef To;
+};
+
+/// A circuit under construction: instances of modules from a Design, plus
+/// connections. Query helpers resolve ports by name; \ref seal lowers the
+/// circuit to a hierarchical Module added to the Design.
+class Circuit {
+public:
+  struct Instance {
+    ModuleId Def = InvalidId;
+    std::string Name;
+  };
+
+  Circuit(Design &D, std::string Name) : D(&D), Name(std::move(Name)) {}
+
+  /// Adds an instance of \p Def named \p InstName.
+  InstId addInstance(ModuleId Def, std::string InstName);
+
+  /// Connects an output port to an input port, resolving names against
+  /// the instances' defining modules. Asserts if a name does not resolve,
+  /// the direction is wrong, widths differ, or the input is already
+  /// driven.
+  void connect(InstId From, const std::string &OutPort, InstId To,
+               const std::string &InPort);
+
+  /// Port-id flavored connect for callers that already hold WireIds.
+  void connectPorts(PortRef From, PortRef To);
+
+  // --- Queries ---------------------------------------------------------------
+
+  const Design &design() const { return *D; }
+  const std::vector<Instance> &instances() const { return Insts; }
+  const std::vector<Connection> &connections() const { return Conns; }
+  const std::string &name() const { return Name; }
+
+  const Module &defOf(InstId Inst) const {
+    return D->module(Insts[Inst].Def);
+  }
+
+  /// True iff every port of every instance participates in a connection —
+  /// the paper's "complete circuit" precondition for Property 3.
+  bool isComplete() const;
+
+  /// Human-readable "inst.port" label, for diagnostics.
+  std::string portLabel(PortRef Ref) const;
+
+  /// Lowers to a hierarchical Module in the Design: each connection
+  /// becomes a shared local wire; unconnected instance inputs/outputs are
+  /// promoted to ports of the sealed module (named "inst.port"), so
+  /// incomplete circuits become open supermodules. \returns the new
+  /// module's id.
+  ModuleId seal();
+
+private:
+  Design *D;
+  std::string Name;
+  std::vector<Instance> Insts;
+  std::vector<Connection> Conns;
+};
+
+} // namespace wiresort::ir
+
+#endif // WIRESORT_IR_CIRCUIT_H

@@ -1,0 +1,60 @@
+//===- ir/Design.h - A library of module definitions ------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Design owns a set of module definitions that may instantiate each
+/// other (acyclically). The per-module analyses of the paper are computed
+/// once per definition and shared by every instantiation, which is the
+/// source of the reuse speedups in Table 3 ("each unique module type only
+/// needs to be analyzed once").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_IR_DESIGN_H
+#define WIRESORT_IR_DESIGN_H
+
+#include "ir/Module.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wiresort::ir {
+
+/// An ordered collection of module definitions.
+class Design {
+public:
+  /// Adds \p M and returns its id. Names should be unique; \ref findModule
+  /// returns the first match.
+  ModuleId addModule(Module M);
+
+  Module &module(ModuleId Id) { return Modules[Id]; }
+  const Module &module(ModuleId Id) const { return Modules[Id]; }
+  size_t numModules() const { return Modules.size(); }
+
+  /// Finds a module by name; InvalidId when absent.
+  ModuleId findModule(const std::string &Name) const;
+
+  /// Validates every module plus the cross-module properties local
+  /// validation cannot see: instance definitions exist, instantiation is
+  /// acyclic, bindings name real ports with matching widths, every
+  /// instance input port is bound, and every local wire has exactly one
+  /// driver once instance outputs are counted.
+  std::optional<std::string> validate() const;
+
+  /// \returns module ids in dependency order (instantiated definitions
+  /// before their instantiators), or std::nullopt if instantiation is
+  /// cyclic.
+  std::optional<std::vector<ModuleId>> topologicalModuleOrder() const;
+
+private:
+  std::vector<Module> Modules;
+};
+
+} // namespace wiresort::ir
+
+#endif // WIRESORT_IR_DESIGN_H

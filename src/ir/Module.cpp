@@ -1,0 +1,303 @@
+//===- ir/Module.cpp - Hardware module definitions ------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+
+const char *ir::wireKindName(WireKind Kind) {
+  switch (Kind) {
+  case WireKind::Const:
+    return "const";
+  case WireKind::Reg:
+    return "reg";
+  case WireKind::Input:
+    return "in";
+  case WireKind::Output:
+    return "out";
+  case WireKind::Basic:
+    return "basic";
+  }
+  return "?";
+}
+
+const char *ir::opName(Op Operation) {
+  switch (Operation) {
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Xor:
+    return "xor";
+  case Op::Nand:
+    return "nand";
+  case Op::Nor:
+    return "nor";
+  case Op::Xnor:
+    return "xnor";
+  case Op::Not:
+    return "not";
+  case Op::Buf:
+    return "buf";
+  case Op::Mux:
+    return "mux";
+  case Op::Lut:
+    return "lut";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Eq:
+    return "eq";
+  case Op::Lt:
+    return "lt";
+  case Op::Concat:
+    return "concat";
+  case Op::Select:
+    return "select";
+  case Op::AndR:
+    return "andr";
+  case Op::OrR:
+    return "orr";
+  case Op::XorR:
+    return "xorr";
+  }
+  return "?";
+}
+
+bool ir::isPrimitiveOp(Op Operation) {
+  switch (Operation) {
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Nand:
+  case Op::Nor:
+  case Op::Xnor:
+  case Op::Not:
+  case Op::Buf:
+  case Op::Mux:
+  case Op::Lut:
+    return true;
+  default:
+    return false;
+  }
+}
+
+WireId Module::addWire(std::string Name, WireKind Kind, uint16_t Width,
+                       uint64_t ConstValue) {
+  assert(Width >= 1 && Width <= 64 && "wire width must be in [1, 64]");
+  Wires.push_back(Wire{std::move(Name), Kind, Width, ConstValue});
+  return static_cast<WireId>(Wires.size() - 1);
+}
+
+WireId Module::addInput(std::string Name, uint16_t Width) {
+  WireId Id = addWire(std::move(Name), WireKind::Input, Width);
+  Inputs.push_back(Id);
+  return Id;
+}
+
+WireId Module::addOutput(std::string Name, uint16_t Width) {
+  WireId Id = addWire(std::move(Name), WireKind::Output, Width);
+  Outputs.push_back(Id);
+  return Id;
+}
+
+NetId Module::addNet(Op Operation, std::vector<WireId> Inputs, WireId Output,
+                     uint32_t Aux, std::vector<std::string> Cover) {
+  Nets.push_back(
+      Net{Operation, std::move(Inputs), Output, Aux, std::move(Cover)});
+  return static_cast<NetId>(Nets.size() - 1);
+}
+
+RegId Module::addRegister(WireId D, WireId Q, uint64_t Init) {
+  assert(Wires[Q].Kind == WireKind::Reg && "register Q must be a reg wire");
+  Registers.push_back(Register{D, Q, Init});
+  return static_cast<RegId>(Registers.size() - 1);
+}
+
+MemId Module::addMemory(Memory Mem) {
+  Memories.push_back(std::move(Mem));
+  return static_cast<MemId>(Memories.size() - 1);
+}
+
+InstId Module::addInstance(SubInstance Inst) {
+  Instances.push_back(std::move(Inst));
+  return static_cast<InstId>(Instances.size() - 1);
+}
+
+WireId Module::findPort(const std::string &Name) const {
+  for (WireId Id : Inputs)
+    if (Wires[Id].Name == Name)
+      return Id;
+  for (WireId Id : Outputs)
+    if (Wires[Id].Name == Name)
+      return Id;
+  return InvalidId;
+}
+
+WireId Module::findWire(const std::string &Name) const {
+  for (WireId Id = 0; Id != Wires.size(); ++Id)
+    if (Wires[Id].Name == Name)
+      return Id;
+  return InvalidId;
+}
+
+std::optional<uint16_t>
+Module::resultWidth(Op Operation, const std::vector<uint16_t> &Widths,
+                    uint32_t Aux, uint16_t OutWidth) {
+  auto allEqual = [&]() {
+    for (uint16_t W : Widths)
+      if (W != Widths.front())
+        return false;
+    return true;
+  };
+  switch (Operation) {
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Nand:
+  case Op::Nor:
+  case Op::Xnor:
+    if (Widths.size() != 2 || !allEqual())
+      return std::nullopt;
+    return Widths.front();
+  case Op::Not:
+  case Op::Buf:
+    if (Widths.size() != 1)
+      return std::nullopt;
+    return Widths.front();
+  case Op::Mux:
+    if (Widths.size() != 3 || Widths[0] != 1 || Widths[1] != Widths[2])
+      return std::nullopt;
+    return Widths[1];
+  case Op::Lut:
+    for (uint16_t W : Widths)
+      if (W != 1)
+        return std::nullopt;
+    return 1;
+  case Op::Add:
+  case Op::Sub:
+    if (Widths.size() != 2 || !allEqual())
+      return std::nullopt;
+    return Widths.front();
+  case Op::Eq:
+  case Op::Lt:
+    if (Widths.size() != 2 || !allEqual())
+      return std::nullopt;
+    return 1;
+  case Op::Concat: {
+    if (Widths.empty())
+      return std::nullopt;
+    uint32_t Sum = 0;
+    for (uint16_t W : Widths)
+      Sum += W;
+    if (Sum > 64)
+      return std::nullopt;
+    return static_cast<uint16_t>(Sum);
+  }
+  case Op::Select:
+    if (Widths.size() != 1 || OutWidth == 0 ||
+        Aux + OutWidth > Widths.front())
+      return std::nullopt;
+    return OutWidth;
+  case Op::AndR:
+  case Op::OrR:
+  case Op::XorR:
+    if (Widths.size() != 1)
+      return std::nullopt;
+    return 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Module::validate() const {
+  auto fail = [&](const std::string &Msg) {
+    return std::optional<std::string>("module '" + Name + "': " + Msg);
+  };
+
+  // Count drivers per wire.
+  std::vector<uint32_t> Drivers(Wires.size(), 0);
+  for (const Net &N : Nets) {
+    if (N.Output >= Wires.size())
+      return fail("net output wire id out of range");
+    for (WireId In : N.Inputs)
+      if (In >= Wires.size())
+        return fail("net input wire id out of range");
+    ++Drivers[N.Output];
+
+    std::vector<uint16_t> Widths;
+    Widths.reserve(N.Inputs.size());
+    for (WireId In : N.Inputs)
+      Widths.push_back(Wires[In].Width);
+    std::optional<uint16_t> Result =
+        resultWidth(N.Operation, Widths, N.Aux, Wires[N.Output].Width);
+    if (!Result)
+      return fail(std::string("ill-typed ") + opName(N.Operation) +
+                  " net driving '" + Wires[N.Output].Name + "'");
+    if (*Result != Wires[N.Output].Width)
+      return fail(std::string("width mismatch on ") + opName(N.Operation) +
+                  " net driving '" + Wires[N.Output].Name + "'");
+  }
+  for (const Register &R : Registers) {
+    if (R.D >= Wires.size() || R.Q >= Wires.size())
+      return fail("register pin out of range");
+    if (Wires[R.Q].Kind != WireKind::Reg)
+      return fail("register Q wire '" + Wires[R.Q].Name + "' is not reg-kind");
+    if (Wires[R.D].Width != Wires[R.Q].Width)
+      return fail("register width mismatch on '" + Wires[R.Q].Name + "'");
+    ++Drivers[R.Q];
+  }
+  for (const Memory &M : Memories) {
+    for (WireId Pin : {M.RAddr, M.RData, M.WAddr, M.WData, M.WEnable})
+      if (Pin >= Wires.size())
+        return fail("memory '" + M.Name + "' pin out of range");
+    if (Wires[M.RAddr].Width != M.AddrWidth ||
+        Wires[M.WAddr].Width != M.AddrWidth)
+      return fail("memory '" + M.Name + "' address width mismatch");
+    if (Wires[M.RData].Width != M.DataWidth ||
+        Wires[M.WData].Width != M.DataWidth)
+      return fail("memory '" + M.Name + "' data width mismatch");
+    if (Wires[M.WEnable].Width != 1)
+      return fail("memory '" + M.Name + "' write enable must be 1 bit");
+    if (M.SyncRead && Wires[M.RData].Kind != WireKind::Reg)
+      return fail("sync memory '" + M.Name + "' RData must be reg-kind");
+    ++Drivers[M.RData];
+  }
+  // Instance output bindings drive local wires; widths are validated by
+  // Design::validate which can see the instantiated definitions.
+  for (const SubInstance &Inst : Instances)
+    for (const auto &[DefPort, Local] : Inst.Bindings)
+      if (Local >= Wires.size())
+        return fail("instance '" + Inst.Name + "' binds out-of-range wire");
+
+  for (WireId Id = 0; Id != Wires.size(); ++Id) {
+    const Wire &W = Wires[Id];
+    bool MayBeUndriven =
+        W.Kind == WireKind::Input || W.Kind == WireKind::Const;
+    if (MayBeUndriven && Drivers[Id] != 0)
+      return fail("wire '" + W.Name + "' of kind " + wireKindName(W.Kind) +
+                  " must not be driven");
+    // Non-port basic wires may be driven by instance outputs, which this
+    // local pass cannot count; Design::validate finishes the job. Here we
+    // only reject multiple drivers.
+    if (Drivers[Id] > 1)
+      return fail("wire '" + W.Name + "' has multiple drivers");
+  }
+
+  for (WireId Id : Inputs)
+    if (Wires[Id].Kind != WireKind::Input)
+      return fail("input list contains non-input wire '" + Wires[Id].Name +
+                  "'");
+  for (WireId Id : Outputs)
+    if (Wires[Id].Kind != WireKind::Output)
+      return fail("output list contains non-output wire '" + Wires[Id].Name +
+                  "'");
+  return std::nullopt;
+}

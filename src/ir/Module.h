@@ -1,0 +1,174 @@
+//===- ir/Module.h - Hardware module definitions ----------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Module class: the paper's tuple (inputs, outputs, nets) extended
+/// with the stateful elements the formalism abstracts (registers,
+/// memories) and with submodule instances, which Section 3.1 argues the
+/// analysis generalizes to ("a circuit ... can essentially define a larger
+/// module composed of submodules").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_IR_MODULE_H
+#define WIRESORT_IR_MODULE_H
+
+#include "ir/Net.h"
+#include "ir/Wire.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wiresort::ir {
+
+/// A D flip-flop: Q is latched from D on each rising clock edge. All
+/// registers share the single implicit design clock (paper Section 3.1
+/// assumes a single clock driving all stateful elements).
+struct Register {
+  WireId D = InvalidId;
+  /// The latched output; must be a wire of kind WireKind::Reg.
+  WireId Q = InvalidId;
+  uint64_t Init = 0;
+};
+
+/// A word-addressed memory with one read and one write port.
+///
+/// The write port is always synchronous. The read port is combinational
+/// (\c SyncRead == false, giving a combinational RAddr -> RData
+/// dependency) or synchronous (\c SyncRead == true, in which case RData
+/// behaves like a register output and RAddr like a register input; this is
+/// the class of memories Section 3.7 is concerned with).
+struct Memory {
+  std::string Name;
+  bool SyncRead = false;
+  uint16_t AddrWidth = 0;
+  uint16_t DataWidth = 0;
+  WireId RAddr = InvalidId;
+  /// Read data; must be of kind WireKind::Reg when SyncRead, else Basic.
+  WireId RData = InvalidId;
+  WireId WAddr = InvalidId;
+  WireId WData = InvalidId;
+  WireId WEnable = InvalidId;
+};
+
+/// An instantiation of another module definition inside this one.
+///
+/// Bindings pair a port wire of the instantiated definition with a local
+/// wire of the enclosing module. Input ports read the local wire; output
+/// ports drive it.
+struct SubInstance {
+  ModuleId Def = InvalidId;
+  std::string Name;
+  /// (definition port WireId, local WireId) pairs.
+  std::vector<std::pair<WireId, WireId>> Bindings;
+};
+
+/// A composition requirement a module places on one of its ports, used by
+/// the synchronous-memory extension of Section 3.7.
+struct PortContract {
+  WireId Port = InvalidId;
+  /// For an input port: whatever drives this port must be
+  /// from-sync-direct (e.g. a synchronous memory's read address).
+  bool RequireDriverFromSyncDirect = false;
+  /// For an output port: whatever consumes this port must be
+  /// to-sync-direct (e.g. a memory whose read data must feed a register).
+  bool RequireSinkToSyncDirect = false;
+};
+
+/// A hardware module: ports, internal wires, gates, state, and submodule
+/// instances.
+///
+/// Invariants (checked by \ref validate):
+///  * every non-input, non-const wire has exactly one driver (a net
+///    output, a register Q, a memory RData, or an instance output
+///    binding);
+///  * input and const wires have no driver;
+///  * widths agree with each operation's typing rules;
+///  * instance bindings refer to ports of the instantiated definition
+///    with matching widths (validated by Design::validate, which can see
+///    other modules).
+class Module {
+public:
+  std::string Name;
+
+  std::vector<Wire> Wires;
+  std::vector<Net> Nets;
+  std::vector<Register> Registers;
+  std::vector<Memory> Memories;
+  std::vector<SubInstance> Instances;
+  std::vector<PortContract> Contracts;
+
+  /// Interface ports, in declaration order.
+  std::vector<WireId> Inputs;
+  std::vector<WireId> Outputs;
+
+  Module() = default;
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  // --- Construction -----------------------------------------------------
+
+  /// Creates a wire and returns its id.
+  WireId addWire(std::string Name, WireKind Kind, uint16_t Width = 1,
+                 uint64_t ConstValue = 0);
+
+  /// Creates an input port of the given width.
+  WireId addInput(std::string Name, uint16_t Width = 1);
+
+  /// Creates an output port of the given width. The port must later be
+  /// driven (typically via \ref addNet with Op::Buf).
+  WireId addOutput(std::string Name, uint16_t Width = 1);
+
+  /// Creates a net; \returns the id of the new net.
+  NetId addNet(Op Operation, std::vector<WireId> Inputs, WireId Output,
+               uint32_t Aux = 0, std::vector<std::string> Cover = {});
+
+  /// Creates a register latching \p D into \p Q.
+  RegId addRegister(WireId D, WireId Q, uint64_t Init = 0);
+
+  /// Creates a memory; wires for its pins must already exist.
+  MemId addMemory(Memory Mem);
+
+  /// Creates a submodule instance.
+  InstId addInstance(SubInstance Inst);
+
+  // --- Queries ------------------------------------------------------------
+
+  const Wire &wire(WireId Id) const { return Wires[Id]; }
+  size_t numWires() const { return Wires.size(); }
+
+  bool isInput(WireId Id) const { return Wires[Id].Kind == WireKind::Input; }
+  bool isOutput(WireId Id) const { return Wires[Id].Kind == WireKind::Output; }
+
+  /// Looks up a port (input or output) by name. \returns InvalidId when no
+  /// such port exists.
+  WireId findPort(const std::string &Name) const;
+
+  /// Looks up any wire by name (linear scan; intended for tests and
+  /// import tooling, not hot paths). \returns InvalidId when absent.
+  WireId findWire(const std::string &Name) const;
+
+  /// Total interface port count (paper Table 2's "Ports" column).
+  size_t numPorts() const { return Inputs.size() + Outputs.size(); }
+
+  /// Checks local structural invariants. \returns std::nullopt on success
+  /// or a human-readable description of the first violation.
+  std::optional<std::string> validate() const;
+
+  /// \returns the expected result width of \p Operation applied to wires
+  /// of the given widths, or std::nullopt if the operand widths are
+  /// ill-typed. \p Aux and \p OutWidth are consulted for Op::Select.
+  static std::optional<uint16_t>
+  resultWidth(Op Operation, const std::vector<uint16_t> &Widths, uint32_t Aux,
+              uint16_t OutWidth);
+};
+
+} // namespace wiresort::ir
+
+#endif // WIRESORT_IR_MODULE_H

@@ -1,0 +1,92 @@
+//===- ir/Net.h - Nets (gates) and operations -------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A net is the paper's gate tuple (inputs, output, op): multiple wires in,
+/// a single wire out, and a combinational operation. The operation set has
+/// two strata: 1-bit primitive gates (the only ops that survive
+/// synth::lower, and the ops BLIF import produces) and multi-bit RTL ops
+/// produced by the Builder EDSL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_IR_NET_H
+#define WIRESORT_IR_NET_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wiresort::ir {
+
+/// Combinational operation computed by a net.
+enum class Op : uint8_t {
+  // --- Primitive gates (1-bit operands after lowering; the Builder also
+  // --- applies them bitwise to equal-width vectors).
+  And,
+  Or,
+  Xor,
+  Nand,
+  Nor,
+  Xnor,
+  Not,
+  /// Identity. Used for port bindings and aliases; treated as transparent
+  /// (zero combinational logic) by the -direct subsort classification.
+  Buf,
+  /// 2:1 multiplexer; inputs are [sel, a, b], computing sel ? a : b.
+  Mux,
+  /// Generic truth-table gate imported from BLIF .names; inputs are 1-bit,
+  /// the single-output cover rows live in Net::Cover.
+  Lut,
+
+  // --- Multi-bit RTL operations (removed by synth::lower).
+  /// Unsigned addition; operands and result share a width (carry-out is
+  /// dropped).
+  Add,
+  /// Unsigned subtraction (two's complement; borrow dropped).
+  Sub,
+  /// Equality compare; result is 1 bit.
+  Eq,
+  /// Unsigned less-than; result is 1 bit.
+  Lt,
+  /// Concatenation; inputs listed most-significant first, result width is
+  /// the sum of input widths.
+  Concat,
+  /// Bit slice [Aux + resultWidth - 1 : Aux] of the single input.
+  Select,
+  /// AND-reduce a vector to 1 bit.
+  AndR,
+  /// OR-reduce a vector to 1 bit.
+  OrR,
+  /// XOR-reduce a vector to 1 bit.
+  XorR,
+};
+
+/// \returns a short mnemonic ("and", "mux", ...) for \p Operation.
+const char *opName(Op Operation);
+
+/// \returns true for operations that survive lowering to primitive gates.
+bool isPrimitiveOp(Op Operation);
+
+/// A gate: Output = Operation(Inputs).
+struct Net {
+  Op Operation;
+  std::vector<WireId> Inputs;
+  WireId Output = InvalidId;
+  /// Operation-specific immediate: for Select, the low bit index.
+  uint32_t Aux = 0;
+  /// For Lut: single-output cover rows in BLIF syntax, e.g. "1-0 1". Each
+  /// row is "<input-plane> <output-bit>" with the space removed at parse
+  /// time; see parse/Blif.h for the exact encoding.
+  std::vector<std::string> Cover;
+};
+
+} // namespace wiresort::ir
+
+#endif // WIRESORT_IR_NET_H

@@ -1,0 +1,55 @@
+//===- ir/Wire.h - Wires and wire kinds -------------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Wire record and its kind taxonomy. Section 3.1 of the paper denotes
+/// a wire w_sigma with sigma in {const, reg, in, out, basic}; WireKind is
+/// the direct encoding of that set.
+///
+/// Wires carry a width so that designs can be described at the RTL level
+/// with multi-bit "wire vectors" (as in PyRTL); see synth::lower for the
+/// expansion to 1-bit primitive gates. Following Section 4 of the paper,
+/// the analyses treat an N-bit wire as one unit, which over-approximates
+/// per-bit dependencies but remains sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_IR_WIRE_H
+#define WIRESORT_IR_WIRE_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <string>
+
+namespace wiresort::ir {
+
+/// The sigma tag of a wire (paper Section 3.1).
+enum class WireKind : uint8_t {
+  Const, ///< Produces a constant value.
+  Reg,   ///< The latched output (Q pin) of a register.
+  Input, ///< A module input port.
+  Output,///< A module output port.
+  Basic, ///< An internal wire connecting nets together.
+};
+
+/// Returns a short printable name for \p Kind ("const", "reg", ...).
+const char *wireKindName(WireKind Kind);
+
+/// A (possibly multi-bit) wire inside a module.
+struct Wire {
+  std::string Name;
+  WireKind Kind = WireKind::Basic;
+  /// Bit width; the Builder enforces 1 <= Width <= 64.
+  uint16_t Width = 1;
+  /// Value produced when Kind == Const; low Width bits are significant.
+  uint64_t ConstValue = 0;
+};
+
+} // namespace wiresort::ir
+
+#endif // WIRESORT_IR_WIRE_H

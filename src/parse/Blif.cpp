@@ -1,0 +1,347 @@
+//===- parse/Blif.cpp - BLIF import/export --------------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Blif.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+using namespace wiresort::parse;
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::istringstream SS(Line);
+  std::string Tok;
+  while (SS >> Tok)
+    Tokens.push_back(Tok);
+  return Tokens;
+}
+
+/// One .model under construction; wires are created on demand by name.
+struct ModelBuilder {
+  Module M;
+  std::map<std::string, WireId> ByName;
+  std::set<WireId> Driven;
+  /// Unresolved .subckt records: (definition name, formal=actual pairs).
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, std::string>>>>
+      Subckts;
+
+  WireId wireFor(const std::string &Name) {
+    auto It = ByName.find(Name);
+    if (It != ByName.end())
+      return It->second;
+    WireId W = M.addWire(Name, WireKind::Basic, 1);
+    ByName[Name] = W;
+    return W;
+  }
+};
+
+} // namespace
+
+std::optional<BlifFile> parse::parseBlif(const std::string &Text,
+                                         std::string &Error) {
+  std::vector<ModelBuilder> Models;
+  ModelBuilder *Cur = nullptr;
+  // Pending .names cover collection.
+  Net *PendingLut = nullptr;
+
+  auto fail = [&](size_t LineNo, const std::string &Msg) {
+    Error = "blif line " + std::to_string(LineNo) + ": " + Msg;
+    return std::nullopt;
+  };
+
+  std::istringstream Stream(Text);
+  std::string Raw;
+  size_t LineNo = 0;
+  std::string Line;
+  while (std::getline(Stream, Raw)) {
+    ++LineNo;
+    // Strip comments; honor trailing-backslash continuations.
+    size_t Hash = Raw.find('#');
+    if (Hash != std::string::npos)
+      Raw.resize(Hash);
+    Line += Raw;
+    if (!Line.empty() && Line.back() == '\\') {
+      Line.pop_back();
+      continue;
+    }
+    std::vector<std::string> Tok = tokenize(Line);
+    Line.clear();
+    if (Tok.empty())
+      continue;
+
+    const std::string &Cmd = Tok[0];
+    if (Cmd == ".model") {
+      if (Tok.size() != 2)
+        return fail(LineNo, ".model expects a name");
+      Models.emplace_back();
+      Cur = &Models.back();
+      Cur->M.Name = Tok[1];
+      PendingLut = nullptr;
+      continue;
+    }
+    if (!Cur)
+      return fail(LineNo, "directive before .model");
+
+    if (Cmd == ".inputs") {
+      for (size_t I = 1; I != Tok.size(); ++I) {
+        if (Cur->ByName.count(Tok[I]))
+          return fail(LineNo, "duplicate signal '" + Tok[I] + "'");
+        WireId W = Cur->M.addInput(Tok[I], 1);
+        Cur->ByName[Tok[I]] = W;
+      }
+      PendingLut = nullptr;
+    } else if (Cmd == ".outputs") {
+      for (size_t I = 1; I != Tok.size(); ++I) {
+        if (Cur->ByName.count(Tok[I]))
+          return fail(LineNo, "duplicate signal '" + Tok[I] + "'");
+        WireId W = Cur->M.addOutput(Tok[I], 1);
+        Cur->ByName[Tok[I]] = W;
+      }
+      PendingLut = nullptr;
+    } else if (Cmd == ".names") {
+      if (Tok.size() < 2)
+        return fail(LineNo, ".names expects at least an output");
+      std::vector<WireId> Ins;
+      for (size_t I = 1; I + 1 < Tok.size(); ++I)
+        Ins.push_back(Cur->wireFor(Tok[I]));
+      WireId Out = Cur->wireFor(Tok.back());
+      if (Cur->Driven.count(Out))
+        return fail(LineNo, "signal '" + Tok.back() + "' driven twice");
+      Cur->Driven.insert(Out);
+      NetId Id = Cur->M.addNet(Op::Lut, std::move(Ins), Out);
+      PendingLut = &Cur->M.Nets[Id];
+    } else if (Cmd == ".latch") {
+      if (Tok.size() < 3)
+        return fail(LineNo, ".latch expects input and output");
+      WireId D = Cur->wireFor(Tok[1]);
+      WireId Q = Cur->wireFor(Tok[2]);
+      if (Cur->Driven.count(Q))
+        return fail(LineNo, "signal '" + Tok[2] + "' driven twice");
+      Cur->Driven.insert(Q);
+      if (Cur->M.Wires[Q].Kind == WireKind::Input)
+        return fail(LineNo, "latch drives input '" + Tok[2] + "'");
+      if (Cur->M.Wires[Q].Kind == WireKind::Output) {
+        // Latched output port: latch into an internal reg wire and
+        // buffer it out to the port.
+        WireId Inner =
+            Cur->M.addWire(Tok[2] + "$latch", WireKind::Reg, 1);
+        Cur->M.addNet(Op::Buf, {Inner}, Q);
+        Q = Inner;
+      } else {
+        Cur->M.Wires[Q].Kind = WireKind::Reg;
+      }
+      uint64_t Init = 0;
+      // Optional trailing init value (possibly after "<type> <control>").
+      const std::string &Last = Tok.back();
+      if (Tok.size() > 3 && (Last == "0" || Last == "1"))
+        Init = Last == "1" ? 1 : 0;
+      Cur->M.addRegister(D, Q, Init);
+      PendingLut = nullptr;
+    } else if (Cmd == ".subckt") {
+      if (Tok.size() < 2)
+        return fail(LineNo, ".subckt expects a model name");
+      std::vector<std::pair<std::string, std::string>> Pairs;
+      for (size_t I = 2; I != Tok.size(); ++I) {
+        size_t EqPos = Tok[I].find('=');
+        if (EqPos == std::string::npos)
+          return fail(LineNo, "malformed formal=actual '" + Tok[I] + "'");
+        Pairs.emplace_back(Tok[I].substr(0, EqPos), Tok[I].substr(EqPos + 1));
+      }
+      Cur->Subckts.emplace_back(Tok[1], std::move(Pairs));
+      PendingLut = nullptr;
+    } else if (Cmd == ".end") {
+      PendingLut = nullptr;
+    } else if (Cmd[0] != '.') {
+      // A cover row for the pending .names.
+      if (!PendingLut)
+        return fail(LineNo, "cover row outside .names");
+      std::string Plane = Tok.size() == 2 ? Tok[0] : "";
+      std::string Output = Tok.size() == 2 ? Tok[1] : Tok[0];
+      if (Output != "0" && Output != "1")
+        return fail(LineNo, "cover output must be 0 or 1");
+      if (Plane.size() != PendingLut->Inputs.size())
+        return fail(LineNo, "cover row arity mismatch");
+      PendingLut->Cover.push_back(Plane + Output);
+    } else {
+      // Unsupported directives (.clock, .exdc, ...) are rejected loudly:
+      // silently skipping them could change semantics.
+      return fail(LineNo, "unsupported directive '" + Cmd + "'");
+    }
+  }
+
+  if (Models.empty()) {
+    Error = "blif: no .model found";
+    return std::nullopt;
+  }
+
+  // Second pass: resolve subcircuit references across models.
+  BlifFile Result;
+  std::map<std::string, ModuleId> IdByName;
+  for (ModelBuilder &MB : Models) {
+    ModuleId Id = Result.Design.addModule(Module(MB.M.Name));
+    if (IdByName.count(MB.M.Name)) {
+      Error = "blif: duplicate model '" + MB.M.Name + "'";
+      return std::nullopt;
+    }
+    IdByName[MB.M.Name] = Id;
+  }
+  for (size_t I = 0; I != Models.size(); ++I) {
+    ModelBuilder &MB = Models[I];
+    for (const auto &[DefName, Pairs] : MB.Subckts) {
+      auto It = IdByName.find(DefName);
+      if (It == IdByName.end()) {
+        Error = "blif: .subckt references unknown model '" + DefName + "'";
+        return std::nullopt;
+      }
+      // Formal names are resolved against the referenced model's ports.
+      SubInstance Inst;
+      Inst.Def = It->second;
+      Inst.Name = DefName + "$" + std::to_string(MB.M.Instances.size());
+      const Module &Def = Models[It->second].M;
+      for (const auto &[Formal, Actual] : Pairs) {
+        WireId Port = Def.findPort(Formal);
+        if (Port == InvalidId) {
+          Error = "blif: model '" + DefName + "' has no port '" + Formal +
+                  "'";
+          return std::nullopt;
+        }
+        WireId Local = MB.wireFor(Actual);
+        if (Def.isOutput(Port)) {
+          if (MB.Driven.count(Local)) {
+            Error = "blif: signal '" + Actual + "' driven twice";
+            return std::nullopt;
+          }
+          MB.Driven.insert(Local);
+        }
+        Inst.Bindings.emplace_back(Port, Local);
+      }
+      MB.M.addInstance(std::move(Inst));
+    }
+    Result.Design.module(IdByName[MB.M.Name]) = std::move(MB.M);
+  }
+  Result.Top = 0; // Models are added in file order; the first is top.
+
+  if (auto Err = Result.Design.validate()) {
+    Error = "blif: " + *Err;
+    return std::nullopt;
+  }
+  return Result;
+}
+
+namespace {
+
+void writeModel(std::ostringstream &OS, const Design &D, const Module &M) {
+  OS << ".model " << M.Name << "\n.inputs";
+  for (WireId In : M.Inputs)
+    OS << ' ' << M.wire(In).Name;
+  OS << "\n.outputs";
+  for (WireId Out : M.Outputs)
+    OS << ' ' << M.wire(Out).Name;
+  OS << '\n';
+
+  // Constants become zero-input covers.
+  for (WireId W = 0; W != M.numWires(); ++W) {
+    const Wire &Wr = M.wire(W);
+    assert(Wr.Width == 1 && "writeBlif requires a bit-level module");
+    if (Wr.Kind != WireKind::Const)
+      continue;
+    OS << ".names " << Wr.Name << '\n';
+    if (Wr.ConstValue & 1)
+      OS << "1\n";
+  }
+
+  auto name = [&](WireId W) -> const std::string & {
+    return M.wire(W).Name;
+  };
+  for (const Net &N : M.Nets) {
+    if (N.Operation == Op::Lut) {
+      OS << ".names";
+      for (WireId In : N.Inputs)
+        OS << ' ' << name(In);
+      OS << ' ' << name(N.Output) << '\n';
+      for (const std::string &Row : N.Cover) {
+        if (Row.size() == 1)
+          OS << Row << '\n';
+        else
+          OS << Row.substr(0, Row.size() - 1) << ' ' << Row.back() << '\n';
+      }
+      continue;
+    }
+    OS << ".names";
+    for (WireId In : N.Inputs)
+      OS << ' ' << name(In);
+    OS << ' ' << name(N.Output) << '\n';
+    switch (N.Operation) {
+    case Op::And:
+      OS << "11 1\n";
+      break;
+    case Op::Or:
+      OS << "1- 1\n-1 1\n";
+      break;
+    case Op::Xor:
+      OS << "10 1\n01 1\n";
+      break;
+    case Op::Nand:
+      OS << "0- 1\n-0 1\n";
+      break;
+    case Op::Nor:
+      OS << "00 1\n";
+      break;
+    case Op::Xnor:
+      OS << "11 1\n00 1\n";
+      break;
+    case Op::Not:
+      OS << "0 1\n";
+      break;
+    case Op::Buf:
+      OS << "1 1\n";
+      break;
+    case Op::Mux:
+      OS << "11- 1\n0-1 1\n";
+      break;
+    default:
+      assert(false && "writeBlif requires primitive operations");
+    }
+  }
+  for (const Register &R : M.Registers)
+    OS << ".latch " << name(R.D) << ' ' << name(R.Q) << " re clk "
+       << (R.Init & 1) << '\n';
+  for (const SubInstance &Inst : M.Instances) {
+    const Module &Def = D.module(Inst.Def);
+    OS << ".subckt " << Def.Name;
+    for (const auto &[DefPort, Local] : Inst.Bindings)
+      OS << ' ' << Def.wire(DefPort).Name << '=' << name(Local);
+    OS << '\n';
+  }
+  OS << ".end\n";
+}
+
+} // namespace
+
+std::string parse::writeBlif(const Design &D, ModuleId Top) {
+  // Emit top first, then every reachable definition once.
+  std::vector<ModuleId> Order{Top};
+  std::set<ModuleId> Seen{Top};
+  for (size_t I = 0; I != Order.size(); ++I)
+    for (const SubInstance &Inst : D.module(Order[I]).Instances)
+      if (Seen.insert(Inst.Def).second)
+        Order.push_back(Inst.Def);
+
+  std::ostringstream OS;
+  for (ModuleId Id : Order)
+    writeModel(OS, D, D.module(Id));
+  return OS.str();
+}

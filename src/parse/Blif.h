@@ -1,0 +1,50 @@
+//===- parse/Blif.h - BLIF import/export ------------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader and writer for the Berkeley Logic Interchange Format, the
+/// interchange the paper's evaluation pipeline uses: BaseJump STL and
+/// OPDB designs were synthesized by Yosys to (hierarchical or flattened)
+/// BLIF and imported into PyRTL (Sections 5.1, 5.2, 5.4).
+///
+/// Supported constructs: .model/.inputs/.outputs/.names (single-output
+/// covers)/.latch/.subckt/.end, comments, and line continuations. Every
+/// BLIF signal is a 1-bit wire; .names becomes an Op::Lut net, .latch a
+/// Register, .subckt a SubInstance (resolved across models in the file).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_PARSE_BLIF_H
+#define WIRESORT_PARSE_BLIF_H
+
+#include "ir/Design.h"
+
+#include <optional>
+#include <string>
+
+namespace wiresort::parse {
+
+/// A parsed BLIF file: a design holding one module per .model, plus the
+/// id of the first (top) model.
+struct BlifFile {
+  ir::Design Design;
+  ir::ModuleId Top = ir::InvalidId;
+};
+
+/// Parses BLIF text. \returns std::nullopt and fills \p Error (with a
+/// line number) on malformed input; the result validates on success.
+std::optional<BlifFile> parseBlif(const std::string &Text,
+                                  std::string &Error);
+
+/// Serializes \p Top and every definition it (transitively) instantiates.
+/// All reachable modules must be bit-level (1-bit wires) and contain only
+/// primitive operations — run synth::lower first for RTL modules.
+std::string writeBlif(const ir::Design &D, ir::ModuleId Top);
+
+} // namespace wiresort::parse
+
+#endif // WIRESORT_PARSE_BLIF_H

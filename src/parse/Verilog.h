@@ -1,0 +1,35 @@
+//===- parse/Verilog.h - Structural Verilog export --------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writes bit-level (lowered) modules as synthesizable structural
+/// Verilog-2001, closing the loop with real tool flows: designs built or
+/// analyzed here can be handed to an external synthesizer or simulator.
+/// Like writeBlif, this requires primitive operations and 1-bit wires;
+/// run synth::lower / synth::lowerHierarchical first. Registers become a
+/// single always @(posedge clk) block with initial values; hierarchy
+/// becomes module instantiations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_PARSE_VERILOG_H
+#define WIRESORT_PARSE_VERILOG_H
+
+#include "ir/Design.h"
+
+#include <string>
+
+namespace wiresort::parse {
+
+/// Serializes \p Top and every definition it (transitively)
+/// instantiates. All reachable modules must be bit-level with primitive
+/// operations only.
+std::string writeVerilog(const ir::Design &D, ir::ModuleId Top);
+
+} // namespace wiresort::parse
+
+#endif // WIRESORT_PARSE_VERILOG_H

@@ -1,0 +1,196 @@
+//===- parse/VerilogLexer.cpp - Tokenizer for the Verilog subset ----------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/VerilogLexer.h"
+
+#include <cctype>
+
+using namespace wiresort;
+using namespace wiresort::parse;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '$';
+}
+
+/// Decodes the digits of a based literal; \returns false on a bad digit.
+bool decodeDigits(const std::string &Digits, int Base, uint64_t &Value) {
+  Value = 0;
+  for (char C : Digits) {
+    if (C == '_')
+      continue;
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      return false;
+    if (Digit >= Base)
+      return false;
+    Value = Value * Base + Digit;
+  }
+  return true;
+}
+
+} // namespace
+
+bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
+                       std::string &Error) {
+  size_t Pos = 0;
+  size_t Line = 1;
+  const size_t N = Text.size();
+
+  auto fail = [&](const std::string &Msg) {
+    Error = "verilog line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  };
+
+  while (Pos < N) {
+    char C = Text[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Pos + 1 < N && Text[Pos + 1] == '/') {
+      while (Pos < N && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < N && Text[Pos + 1] == '*') {
+      Pos += 2;
+      while (Pos + 1 < N &&
+             !(Text[Pos] == '*' && Text[Pos + 1] == '/')) {
+        if (Text[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (Pos + 1 >= N)
+        return fail("unterminated block comment");
+      Pos += 2;
+      continue;
+    }
+    // Escaped identifier: backslash to whitespace.
+    if (C == '\\') {
+      size_t Start = ++Pos;
+      while (Pos < N &&
+             !std::isspace(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      if (Pos == Start)
+        return fail("empty escaped identifier");
+      Out.push_back(
+          {TokKind::Ident, Text.substr(Start, Pos - Start), 0, 0, Line});
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < N && isIdentChar(Text[Pos]))
+        ++Pos;
+      Out.push_back(
+          {TokKind::Ident, Text.substr(Start, Pos - Start), 0, 0, Line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      // Leading decimal: either a plain number or the size of a based
+      // literal.
+      size_t Start = Pos;
+      while (Pos < N && (std::isdigit(static_cast<unsigned char>(
+                             Text[Pos])) ||
+                         Text[Pos] == '_'))
+        ++Pos;
+      uint64_t Lead;
+      if (!decodeDigits(Text.substr(Start, Pos - Start), 10, Lead))
+        return fail("bad decimal literal");
+      size_t Mark = Pos;
+      while (Mark < N &&
+             std::isspace(static_cast<unsigned char>(Text[Mark])) &&
+             Text[Mark] != '\n')
+        ++Mark;
+      if (Mark < N && Text[Mark] == '\'') {
+        Pos = Mark + 1;
+        if (Pos >= N)
+          return fail("truncated based literal");
+        char BaseChar =
+            static_cast<char>(std::tolower(Text[Pos]));
+        int Base = BaseChar == 'b'   ? 2
+                   : BaseChar == 'o' ? 8
+                   : BaseChar == 'd' ? 10
+                   : BaseChar == 'h' ? 16
+                                     : 0;
+        if (Base == 0)
+          return fail("unknown literal base");
+        ++Pos;
+        while (Pos < N &&
+               std::isspace(static_cast<unsigned char>(Text[Pos])) &&
+               Text[Pos] != '\n')
+          ++Pos;
+        size_t DigStart = Pos;
+        while (Pos < N && (isIdentChar(Text[Pos])))
+          ++Pos;
+        uint64_t Value;
+        if (DigStart == Pos ||
+            !decodeDigits(Text.substr(DigStart, Pos - DigStart), Base,
+                          Value))
+          return fail("bad digits in based literal");
+        if (Lead == 0 || Lead > 64)
+          return fail("literal width must be in [1, 64]");
+        Token T;
+        T.Kind = TokKind::Number;
+        T.Text = Text.substr(Start, Pos - Start);
+        T.Value = Value;
+        T.Width = static_cast<uint16_t>(Lead);
+        T.Line = Line;
+        Out.push_back(T);
+      } else {
+        Token T;
+        T.Kind = TokKind::Number;
+        T.Text = Text.substr(Start, Pos - Start);
+        T.Value = Lead;
+        T.Width = 0; // Unsized.
+        T.Line = Line;
+        Out.push_back(T);
+      }
+      continue;
+    }
+    // Multi-character operators first.
+    static const char *Multi[] = {"<=", ">=", "==", "!=", "<<", ">>",
+                                  "&&", "||"};
+    bool Matched = false;
+    for (const char *Op : Multi) {
+      size_t Len = 2;
+      if (Pos + Len <= N && Text.compare(Pos, Len, Op) == 0) {
+        Out.push_back({TokKind::Punct, Op, 0, 0, Line});
+        Pos += Len;
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+    static const std::string Single = "()[]{},;.:=&|^~?<>!@#+-*";
+    if (Single.find(C) != std::string::npos) {
+      Out.push_back({TokKind::Punct, std::string(1, C), 0, 0, Line});
+      ++Pos;
+      continue;
+    }
+    return fail(std::string("unexpected character '") + C + "'");
+  }
+  Out.push_back({TokKind::End, "", 0, 0, Line});
+  return true;
+}

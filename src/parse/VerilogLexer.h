@@ -1,0 +1,51 @@
+//===- parse/VerilogLexer.h - Tokenizer for the Verilog subset --*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the structural Verilog-2001 subset accepted by
+/// parse::parseVerilog: identifiers (plain and escaped), sized and plain
+/// numeric literals, punctuation/operators, with // and /* */ comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_PARSE_VERILOGLEXER_H
+#define WIRESORT_PARSE_VERILOGLEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wiresort::parse {
+
+/// Token kinds; keywords arrive as Ident and are matched by spelling.
+enum class TokKind : uint8_t {
+  Ident,   ///< Identifier or keyword (escaped identifiers unescaped).
+  Number,  ///< Numeric literal; value/width decoded by the lexer.
+  Punct,   ///< Operator or punctuation, possibly multi-character.
+  End,     ///< End of input.
+};
+
+/// One token with its source line for diagnostics.
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  /// For Number: the decoded value and the declared width (0 if the
+  /// literal was unsized).
+  uint64_t Value = 0;
+  uint16_t Width = 0;
+  size_t Line = 0;
+};
+
+/// Tokenizes \p Text. On a lexical error, returns false and sets
+/// \p Error (with a line number); otherwise fills \p Out ending with an
+/// End token.
+bool lexVerilog(const std::string &Text, std::vector<Token> &Out,
+                std::string &Error);
+
+} // namespace wiresort::parse
+
+#endif // WIRESORT_PARSE_VERILOGLEXER_H

@@ -1,0 +1,422 @@
+//===- riscv/Cpu.cpp - Multithreaded RV32I CPU ----------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "riscv/Cpu.h"
+
+#include "ir/Builder.h"
+#include "riscv/Encoding.h"
+
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+using namespace wiresort::riscv;
+
+namespace {
+
+uint16_t threadIdWidth(const CpuConfig &C) {
+  uint16_t W = 1;
+  while ((1u << W) < C.NumThreads)
+    ++W;
+  return W;
+}
+
+} // namespace
+
+Module riscv::makeThreadSched(const CpuConfig &C) {
+  uint16_t TW = threadIdWidth(C);
+  Builder B("thread_sched");
+  V Run = B.input("run_i", 1);
+  V Thread = B.regLoop("thread", TW);
+  V Active = B.regLoop("active", 1);
+  V Last = B.eqConst(Thread, C.NumThreads - 1);
+  V Next = B.mux(Last, B.lit(0, TW), B.inc(Thread));
+  B.drive(Thread, B.mux(Run, Next, Thread));
+  B.drive(Active, Run);
+  B.output("thread_o", Thread);
+  B.output("active_o", Active);
+  return B.finish();
+}
+
+Module riscv::makePcUnit(const CpuConfig &C) {
+  uint16_t TW = threadIdWidth(C);
+  Builder B("pc_unit");
+  V Thread = B.input("thread_i", TW);
+  V NextPc = B.input("next_pc_i", 32);
+  V Wen = B.input("wen_i", 1);
+  // Per-thread program counters live in a small asynchronous-read array:
+  // the active thread's pc is available combinationally (pc_o is
+  // from-port {thread_i}).
+  V Pc = B.memory("pcs", /*SyncRead=*/false, Thread, Thread, NextPc, Wen);
+  B.output("pc_o", Pc);
+  return B.finish();
+}
+
+Module riscv::makeFetch(const CpuConfig &C) {
+  Builder B("fetch");
+  V Pc = B.input("pc_i", 32);
+  V WAddr = B.input("imem_waddr_i", C.IMemAddrWidth);
+  V WData = B.input("imem_wdata_i", 32);
+  V Wen = B.input("imem_wen_i", 1);
+  V WordAddr = B.slice(Pc, static_cast<uint16_t>(C.IMemAddrWidth + 1), 2);
+  V Inst = B.memory("imem", /*SyncRead=*/false, WordAddr, WAddr, WData,
+                    Wen);
+  B.output("inst_o", Inst);
+  return B.finish();
+}
+
+Module riscv::makeDecode() {
+  Builder B("decode");
+  V Inst = B.input("inst_i", 32);
+
+  V Opcode = B.slice(Inst, 6, 0);
+  V Rd = B.slice(Inst, 11, 7);
+  V Funct3 = B.slice(Inst, 14, 12);
+  V Rs1 = B.slice(Inst, 19, 15);
+  V Rs2 = B.slice(Inst, 24, 20);
+  V Funct7 = B.slice(Inst, 31, 25);
+
+  auto isOpc = [&](uint32_t Opc) { return B.eqConst(Opcode, Opc); };
+  V IsLui = isOpc(OpcLui);
+  V IsAuipc = isOpc(OpcAuipc);
+  V IsJal = isOpc(OpcJal);
+  V IsJalr = isOpc(OpcJalr);
+  V IsBranch = isOpc(OpcBranch);
+  V IsLoad = isOpc(OpcLoad);
+  V IsStore = isOpc(OpcStore);
+  V IsOpImm = isOpc(OpcOpImm);
+  V IsOp = isOpc(OpcOp);
+
+  V RegWrite = B.orv(
+      B.orv(B.orv(IsLui, IsAuipc), B.orv(IsJal, IsJalr)),
+      B.orv(IsLoad, B.orv(IsOpImm, IsOp)));
+
+  // ALU operation: 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 sll, 6 srl,
+  // 7 sra, 8 slt, 9 sltu.
+  V F7b5 = B.bit(Funct7, 5);
+  V ArithOp =
+      B.muxN(Funct3,
+             {/*000*/ B.mux(B.andv(IsOp, F7b5), B.lit(1, 4), B.lit(0, 4)),
+              /*001*/ B.lit(5, 4),
+              /*010*/ B.lit(8, 4),
+              /*011*/ B.lit(9, 4),
+              /*100*/ B.lit(4, 4),
+              /*101*/ B.mux(F7b5, B.lit(7, 4), B.lit(6, 4)),
+              /*110*/ B.lit(3, 4),
+              /*111*/ B.lit(2, 4)});
+  V IsArith = B.orv(IsOp, IsOpImm);
+  V AluOp = B.mux(IsArith, ArithOp, B.lit(0, 4)); // Others add.
+
+  // Operand selects: a_sel 0 rs1, 1 pc, 2 zero; b from imm unless OP.
+  V ASel = B.mux(B.orv(IsAuipc, IsJal), B.lit(1, 2),
+                 B.mux(IsLui, B.lit(2, 2), B.lit(0, 2)));
+  V BImm = B.notv(B.orv(IsOp, IsBranch));
+
+  // Writeback select: 0 alu, 1 load, 2 pc+4.
+  V WbSel = B.mux(IsLoad, B.lit(1, 2),
+                  B.mux(B.orv(IsJal, IsJalr), B.lit(2, 2), B.lit(0, 2)));
+
+  B.output("opcode_o", Opcode);
+  B.output("rd_o", Rd);
+  B.output("rs1_o", Rs1);
+  B.output("rs2_o", Rs2);
+  B.output("funct3_o", Funct3);
+  B.output("funct7_o", Funct7);
+  B.output("reg_write_o", RegWrite);
+  B.output("mem_read_o", IsLoad);
+  B.output("mem_write_o", IsStore);
+  B.output("is_branch_o", IsBranch);
+  B.output("is_jal_o", IsJal);
+  B.output("is_jalr_o", IsJalr);
+  B.output("a_sel_o", ASel);
+  B.output("b_imm_o", BImm);
+  B.output("wb_sel_o", WbSel);
+  B.output("alu_op_o", AluOp);
+  return B.finish();
+}
+
+Module riscv::makeImmGen() {
+  Builder B("imm_gen");
+  V Inst = B.input("inst_i", 32);
+  V Opcode = B.slice(Inst, 6, 0);
+  V Sign = B.bit(Inst, 31);
+
+  V ImmI = B.sext(B.slice(Inst, 31, 20), 32);
+  V ImmS = B.sext(B.concat({B.slice(Inst, 31, 25), B.slice(Inst, 11, 7)}),
+                  32);
+  V ImmB = B.sext(B.concat({Sign, B.bit(Inst, 7), B.slice(Inst, 30, 25),
+                            B.slice(Inst, 11, 8), B.lit(0, 1)}),
+                  32);
+  V ImmU = B.concat({B.slice(Inst, 31, 12), B.lit(0, 12)});
+  V ImmJ = B.sext(B.concat({Sign, B.slice(Inst, 19, 12), B.bit(Inst, 20),
+                            B.slice(Inst, 30, 21), B.lit(0, 1)}),
+                  32);
+
+  auto isOpc = [&](uint32_t Opc) { return B.eqConst(Opcode, Opc); };
+  V Imm = B.mux(
+      B.orv(isOpc(OpcLui), isOpc(OpcAuipc)), ImmU,
+      B.mux(isOpc(OpcJal), ImmJ,
+            B.mux(isOpc(OpcBranch), ImmB,
+                  B.mux(isOpc(OpcStore), ImmS, ImmI))));
+  B.output("imm_o", Imm);
+  return B.finish();
+}
+
+Module riscv::makeRegFile(const CpuConfig &C) {
+  uint16_t TW = threadIdWidth(C);
+  uint16_t AW = static_cast<uint16_t>(TW + 5);
+  Builder B("regfile");
+  V Thread = B.input("thread_i", TW);
+  V Rs1 = B.input("rs1_i", 5);
+  V Rs2 = B.input("rs2_i", 5);
+  V Rd = B.input("rd_i", 5);
+  V WData = B.input("wdata_i", 32);
+  V Wen = B.input("wen_i", 1);
+
+  V A1 = B.concat({Thread, Rs1});
+  V A2 = B.concat({Thread, Rs2});
+  V AW3 = B.concat({Thread, Rd});
+  V WenEff = B.andv(Wen, B.notv(B.eqConst(Rd, 0)));
+
+  // Two mirrored banks give two asynchronous read ports.
+  V R1 = B.memory("bank0", /*SyncRead=*/false, A1, AW3, WData, WenEff);
+  V R2 = B.memory("bank1", /*SyncRead=*/false, A2, AW3, WData, WenEff);
+  (void)AW;
+
+  V Zero = B.lit(0, 32);
+  B.output("rs1_data_o", B.mux(B.eqConst(Rs1, 0), Zero, R1));
+  B.output("rs2_data_o", B.mux(B.eqConst(Rs2, 0), Zero, R2));
+  return B.finish();
+}
+
+Module riscv::makeAlu() {
+  Builder B("alu");
+  V Rs1Data = B.input("rs1_data_i", 32);
+  V Rs2Data = B.input("rs2_data_i", 32);
+  V Imm = B.input("imm_i", 32);
+  V Pc = B.input("pc_i", 32);
+  V ASel = B.input("a_sel_i", 2);
+  V BImm = B.input("b_imm_i", 1);
+  V Op = B.input("op_i", 4);
+
+  V A = B.muxN(ASel, {Rs1Data, Pc, B.lit(0, 32)});
+  V Bop = B.mux(BImm, Imm, Rs2Data);
+  V Shamt = B.slice(Bop, 4, 0);
+
+  V Sum = B.add(A, Bop);
+  V Diff = B.sub(A, Bop);
+  V AndV = B.andv(A, Bop);
+  V OrV = B.orv(A, Bop);
+  V XorV = B.xorv(A, Bop);
+  V Sll = B.shl(A, Shamt);
+  V Srl = B.shr(A, Shamt, /*Arithmetic=*/false);
+  V Sra = B.shr(A, Shamt, /*Arithmetic=*/true);
+  V Slt = B.zext(B.slt(A, Bop), 32);
+  V Sltu = B.zext(B.lt(A, Bop), 32);
+
+  V Result = B.muxN(
+      Op, {Sum, Diff, AndV, OrV, XorV, Sll, Srl, Sra, Slt, Sltu});
+  B.output("result_o", Result);
+  return B.finish();
+}
+
+Module riscv::makeBranchUnit() {
+  Builder B("branch_unit");
+  V Rs1Data = B.input("rs1_data_i", 32);
+  V Rs2Data = B.input("rs2_data_i", 32);
+  V Funct3 = B.input("funct3_i", 3);
+  V IsBranch = B.input("is_branch_i", 1);
+  V IsJal = B.input("is_jal_i", 1);
+  V IsJalr = B.input("is_jalr_i", 1);
+  V Pc = B.input("pc_i", 32);
+  V Imm = B.input("imm_i", 32);
+
+  V EqV = B.eq(Rs1Data, Rs2Data);
+  V LtS = B.slt(Rs1Data, Rs2Data);
+  V LtU = B.lt(Rs1Data, Rs2Data);
+  V Cond = B.muxN(Funct3, {EqV, B.notv(EqV), B.lit(0, 1), B.lit(0, 1),
+                           LtS, B.notv(LtS), LtU, B.notv(LtU)});
+  V Taken = B.andv(IsBranch, Cond);
+
+  V PcPlus4 = B.add(Pc, B.lit(4, 32));
+  V PcRel = B.add(Pc, Imm);
+  V JalrTarget = B.andv(B.add(Rs1Data, Imm),
+                        B.notv(B.lit(1, 32))); // Clear bit 0.
+  V NextPc = B.mux(IsJal, PcRel,
+                   B.mux(IsJalr, JalrTarget,
+                         B.mux(Taken, PcRel, PcPlus4)));
+  B.output("next_pc_o", NextPc);
+  B.output("pc_plus4_o", PcPlus4);
+  B.output("taken_o", Taken);
+  return B.finish();
+}
+
+Module riscv::makeLsu(const CpuConfig &C) {
+  Builder B("lsu");
+  V Addr = B.input("addr_i", 32);
+  V WData = B.input("wdata_i", 32);
+  V Funct3 = B.input("funct3_i", 3);
+  V MemRead = B.input("mem_read_i", 1);
+  V MemWrite = B.input("mem_write_i", 1);
+  V En = B.input("en_i", 1);
+
+  V WordAddr = B.slice(Addr, static_cast<uint16_t>(C.DMemAddrWidth + 1), 2);
+  V ByteOff = B.slice(Addr, 1, 0);
+  V BitShift = B.concat({ByteOff, B.lit(0, 3)}); // off * 8, 5 bits.
+
+  // Sub-word stores are read-modify-write over the addressed word.
+  V Size = B.slice(Funct3, 1, 0); // 0 byte, 1 half, 2 word.
+  V ByteMask = B.muxN(Size, {B.lit(0xFF, 32), B.lit(0xFFFF, 32),
+                             B.lit(0xFFFFFFFF, 32)});
+  V Mask = B.shl(ByteMask, BitShift);
+  V ShiftedData = B.shl(WData, BitShift);
+
+  // One combinational-read memory serves the load and the read-modify-
+  // write store. The store word depends on the currently read word, but
+  // the write lands at the clock edge, so there is no combinational
+  // cycle. The memory is created with the raw store data and its write
+  // pin is re-pointed at the merged word below.
+  V Wen = B.andv(MemWrite, En);
+  V ReadWord =
+      B.memory("dmem", /*SyncRead=*/false, WordAddr, WordAddr, WData, Wen);
+  V StoreWord = B.orv(B.andv(ReadWord, B.notv(Mask)),
+                      B.andv(ShiftedData, Mask));
+  B.raw().Memories[0].WData = StoreWord.Id;
+
+  // Load path: shift down, then size/sign adjust.
+  V LoadShifted = B.shr(ReadWord, BitShift);
+  V Byte = B.slice(LoadShifted, 7, 0);
+  V Half = B.slice(LoadShifted, 15, 0);
+  V SignExtend = B.notv(B.bit(Funct3, 2));
+  V ByteExt = B.mux(SignExtend, B.sext(Byte, 32), B.zext(Byte, 32));
+  V HalfExt = B.mux(SignExtend, B.sext(Half, 32), B.zext(Half, 32));
+  V LoadData = B.muxN(Size, {ByteExt, HalfExt, LoadShifted});
+
+  B.output("load_data_o", B.mux(MemRead, LoadData, B.lit(0, 32)));
+  return B.finish();
+}
+
+Module riscv::makeWriteback() {
+  Builder B("writeback");
+  V AluResult = B.input("alu_result_i", 32);
+  V LoadData = B.input("load_data_i", 32);
+  V PcPlus4 = B.input("pc_plus4_i", 32);
+  V WbSel = B.input("wb_sel_i", 2);
+  V RegWrite = B.input("reg_write_i", 1);
+  V En = B.input("en_i", 1);
+
+  B.output("wdata_o", B.muxN(WbSel, {AluResult, LoadData, PcPlus4}));
+  B.output("wen_o", B.andv(RegWrite, En));
+  return B.finish();
+}
+
+Module riscv::makeCsrUnit(const CpuConfig &C) {
+  uint16_t TW = threadIdWidth(C);
+  Builder B("csr_unit");
+  V Thread = B.input("thread_i", TW);
+  V Retire = B.input("retire_i", 1);
+
+  V Cycle = B.regLoop("mcycle", 32);
+  B.drive(Cycle, B.inc(Cycle));
+
+  // Per-thread retired-instruction counters.
+  V Count = B.memory("instret", /*SyncRead=*/false, Thread, Thread,
+                     B.lit(0, 32), Retire);
+  V Next = B.inc(Count);
+  B.raw().Memories[0].WData = Next.Id;
+
+  B.output("cycle_o", Cycle);
+  B.output("instret_o", Count);
+  return B.finish();
+}
+
+Cpu riscv::buildCpu(Design &D, const CpuConfig &C) {
+  std::vector<ModuleId> Mods;
+  Mods.push_back(D.addModule(makeThreadSched(C)));
+  Mods.push_back(D.addModule(makePcUnit(C)));
+  Mods.push_back(D.addModule(makeFetch(C)));
+  Mods.push_back(D.addModule(makeDecode()));
+  Mods.push_back(D.addModule(makeImmGen()));
+  Mods.push_back(D.addModule(makeRegFile(C)));
+  Mods.push_back(D.addModule(makeAlu()));
+  Mods.push_back(D.addModule(makeBranchUnit()));
+  Mods.push_back(D.addModule(makeLsu(C)));
+  Mods.push_back(D.addModule(makeWriteback()));
+  Mods.push_back(D.addModule(makeCsrUnit(C)));
+
+  Circuit Circ(D, "rv32i_mt");
+  enum { Sched, PcU, Fetch, Dec, Imm, Rf, Alu, Br, Lsu, Wb, Csr };
+  std::vector<InstId> I;
+  const char *Names[] = {"sched", "pc_unit", "fetch",  "decode",
+                         "imm_gen", "regfile", "alu",   "branch",
+                         "lsu",    "writeback", "csr"};
+  for (size_t K = 0; K != Mods.size(); ++K)
+    I.push_back(Circ.addInstance(Mods[K], Names[K]));
+
+  // Thread selection fans out to every per-thread structure.
+  Circ.connect(I[Sched], "thread_o", I[PcU], "thread_i");
+  Circ.connect(I[Sched], "thread_o", I[Rf], "thread_i");
+  Circ.connect(I[Sched], "thread_o", I[Csr], "thread_i");
+  Circ.connect(I[Sched], "active_o", I[PcU], "wen_i");
+  Circ.connect(I[Sched], "active_o", I[Lsu], "en_i");
+  Circ.connect(I[Sched], "active_o", I[Wb], "en_i");
+  Circ.connect(I[Sched], "active_o", I[Csr], "retire_i");
+
+  // Fetch.
+  Circ.connect(I[PcU], "pc_o", I[Fetch], "pc_i");
+  Circ.connect(I[PcU], "pc_o", I[Br], "pc_i");
+  Circ.connect(I[PcU], "pc_o", I[Alu], "pc_i");
+  Circ.connect(I[Fetch], "inst_o", I[Dec], "inst_i");
+  Circ.connect(I[Fetch], "inst_o", I[Imm], "inst_i");
+
+  // Decode fan-out.
+  Circ.connect(I[Dec], "rs1_o", I[Rf], "rs1_i");
+  Circ.connect(I[Dec], "rs2_o", I[Rf], "rs2_i");
+  Circ.connect(I[Dec], "rd_o", I[Rf], "rd_i");
+  Circ.connect(I[Dec], "a_sel_o", I[Alu], "a_sel_i");
+  Circ.connect(I[Dec], "b_imm_o", I[Alu], "b_imm_i");
+  Circ.connect(I[Dec], "alu_op_o", I[Alu], "op_i");
+  Circ.connect(I[Dec], "funct3_o", I[Br], "funct3_i");
+  Circ.connect(I[Dec], "is_branch_o", I[Br], "is_branch_i");
+  Circ.connect(I[Dec], "is_jal_o", I[Br], "is_jal_i");
+  Circ.connect(I[Dec], "is_jalr_o", I[Br], "is_jalr_i");
+  Circ.connect(I[Dec], "mem_read_o", I[Lsu], "mem_read_i");
+  Circ.connect(I[Dec], "mem_write_o", I[Lsu], "mem_write_i");
+  Circ.connect(I[Dec], "reg_write_o", I[Wb], "reg_write_i");
+  Circ.connect(I[Dec], "wb_sel_o", I[Wb], "wb_sel_i");
+
+  // Immediate.
+  Circ.connect(I[Imm], "imm_o", I[Alu], "imm_i");
+  Circ.connect(I[Imm], "imm_o", I[Br], "imm_i");
+
+  // Register data.
+  Circ.connect(I[Rf], "rs1_data_o", I[Alu], "rs1_data_i");
+  Circ.connect(I[Rf], "rs1_data_o", I[Br], "rs1_data_i");
+  Circ.connect(I[Rf], "rs2_data_o", I[Alu], "rs2_data_i");
+  Circ.connect(I[Rf], "rs2_data_o", I[Br], "rs2_data_i");
+  // LSU funct3 is shared with the branch unit's.
+  Circ.connect(I[Dec], "funct3_o", I[Lsu], "funct3_i");
+
+  // Execute and memory.
+  Circ.connect(I[Alu], "result_o", I[Lsu], "addr_i");
+  Circ.connect(I[Alu], "result_o", I[Wb], "alu_result_i");
+  Circ.connect(I[Rf], "rs2_data_o", I[Lsu], "wdata_i");
+  Circ.connect(I[Lsu], "load_data_o", I[Wb], "load_data_i");
+  Circ.connect(I[Br], "pc_plus4_o", I[Wb], "pc_plus4_i");
+
+  // Writeback and next pc.
+  Circ.connect(I[Wb], "wdata_o", I[Rf], "wdata_i");
+  Circ.connect(I[Wb], "wen_o", I[Rf], "wen_i");
+  Circ.connect(I[Br], "next_pc_o", I[PcU], "next_pc_i");
+
+  Cpu Result(D, std::move(Circ));
+  Result.Modules = std::move(Mods);
+  Result.Instances = std::move(I);
+  Result.Config = C;
+  return Result;
+}
+
+ModuleId riscv::sealCpu(Cpu &C) { return C.Circ.seal(); }

@@ -1,0 +1,82 @@
+//===- riscv/Cpu.h - Multithreaded RV32I CPU --------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.3 case study: a multithreaded single-cycle RISC-V CPU
+/// (RV32I base integer instruction set) built out of 11 modules and
+/// composed as a Circuit, so the wire-sort pipeline — per-module
+/// inference followed by whole-circuit well-connectedness checking — runs
+/// on a complete processor. Fine-grained multithreading rotates among
+/// NumThreads hardware threads, one instruction per cycle.
+///
+/// The 11 modules: thread_sched, pc_unit, fetch, decode, imm_gen,
+/// regfile, alu, branch_unit, lsu, writeback, csr_unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_RISCV_CPU_H
+#define WIRESORT_RISCV_CPU_H
+
+#include "ir/Circuit.h"
+#include "ir/Design.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wiresort::riscv {
+
+/// CPU configuration.
+struct CpuConfig {
+  /// Hardware thread count (the paper's case study uses five).
+  uint16_t NumThreads = 5;
+  /// log2 words of instruction memory.
+  uint16_t IMemAddrWidth = 8;
+  /// log2 words of data memory.
+  uint16_t DMemAddrWidth = 8;
+};
+
+/// The built CPU: the definitions, the circuit, and the instance ids of
+/// interest for wiring tests and benches.
+struct Cpu {
+  ir::Design *D = nullptr;
+  ir::Circuit Circ;
+  /// Module ids in build order (11 entries).
+  std::vector<ir::ModuleId> Modules;
+  /// Instance ids keyed like Modules.
+  std::vector<ir::InstId> Instances;
+  CpuConfig Config;
+
+  Cpu(ir::Design &D, ir::Circuit Circ) : D(&D), Circ(std::move(Circ)) {}
+};
+
+// Individual module builders (exposed for per-module tests/benches).
+ir::Module makeThreadSched(const CpuConfig &C);
+ir::Module makePcUnit(const CpuConfig &C);
+ir::Module makeFetch(const CpuConfig &C);
+ir::Module makeDecode();
+ir::Module makeImmGen();
+ir::Module makeRegFile(const CpuConfig &C);
+ir::Module makeAlu();
+ir::Module makeBranchUnit();
+ir::Module makeLsu(const CpuConfig &C);
+ir::Module makeWriteback();
+ir::Module makeCsrUnit(const CpuConfig &C);
+
+/// Builds all 11 modules into \p D and wires the full CPU circuit.
+/// External ports (left open in the circuit): instruction-memory load
+/// interface (imem_waddr/imem_wdata/imem_wen on fetch), a run enable,
+/// and observation outputs (retired counter, current pc, debug result).
+Cpu buildCpu(ir::Design &D, const CpuConfig &C = {});
+
+/// Seals the CPU circuit into a module and returns its id (for lowering,
+/// simulation, and gate counting).
+ir::ModuleId sealCpu(Cpu &C);
+
+} // namespace wiresort::riscv
+
+#endif // WIRESORT_RISCV_CPU_H

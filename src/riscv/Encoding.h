@@ -1,0 +1,195 @@
+//===- riscv/Encoding.h - RV32I instruction encoders ------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoders for the RV32I base integer instruction set, used by the test
+/// programs that validate the Section 5.3 CPU case study. Field layouts
+/// follow the RISC-V unprivileged ISA specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_RISCV_ENCODING_H
+#define WIRESORT_RISCV_ENCODING_H
+
+#include <cstdint>
+
+namespace wiresort::riscv {
+
+// Opcode constants.
+inline constexpr uint32_t OpcLui = 0b0110111;
+inline constexpr uint32_t OpcAuipc = 0b0010111;
+inline constexpr uint32_t OpcJal = 0b1101111;
+inline constexpr uint32_t OpcJalr = 0b1100111;
+inline constexpr uint32_t OpcBranch = 0b1100011;
+inline constexpr uint32_t OpcLoad = 0b0000011;
+inline constexpr uint32_t OpcStore = 0b0100011;
+inline constexpr uint32_t OpcOpImm = 0b0010011;
+inline constexpr uint32_t OpcOp = 0b0110011;
+inline constexpr uint32_t OpcMiscMem = 0b0001111;
+inline constexpr uint32_t OpcSystem = 0b1110011;
+
+// --- Format encoders --------------------------------------------------------
+
+inline uint32_t encR(uint32_t Funct7, uint32_t Rs2, uint32_t Rs1,
+                     uint32_t Funct3, uint32_t Rd, uint32_t Opc) {
+  return (Funct7 << 25) | (Rs2 << 20) | (Rs1 << 15) | (Funct3 << 12) |
+         (Rd << 7) | Opc;
+}
+
+inline uint32_t encI(int32_t Imm, uint32_t Rs1, uint32_t Funct3,
+                     uint32_t Rd, uint32_t Opc) {
+  return (static_cast<uint32_t>(Imm & 0xFFF) << 20) | (Rs1 << 15) |
+         (Funct3 << 12) | (Rd << 7) | Opc;
+}
+
+inline uint32_t encS(int32_t Imm, uint32_t Rs2, uint32_t Rs1,
+                     uint32_t Funct3, uint32_t Opc) {
+  uint32_t U = static_cast<uint32_t>(Imm & 0xFFF);
+  return ((U >> 5) << 25) | (Rs2 << 20) | (Rs1 << 15) | (Funct3 << 12) |
+         ((U & 0x1F) << 7) | Opc;
+}
+
+inline uint32_t encB(int32_t Imm, uint32_t Rs2, uint32_t Rs1,
+                     uint32_t Funct3) {
+  uint32_t U = static_cast<uint32_t>(Imm);
+  return (((U >> 12) & 1) << 31) | (((U >> 5) & 0x3F) << 25) |
+         (Rs2 << 20) | (Rs1 << 15) | (Funct3 << 12) |
+         (((U >> 1) & 0xF) << 8) | (((U >> 11) & 1) << 7) | OpcBranch;
+}
+
+inline uint32_t encU(int32_t Imm, uint32_t Rd, uint32_t Opc) {
+  return (static_cast<uint32_t>(Imm) & 0xFFFFF000u) | (Rd << 7) | Opc;
+}
+
+inline uint32_t encJ(int32_t Imm, uint32_t Rd) {
+  uint32_t U = static_cast<uint32_t>(Imm);
+  return (((U >> 20) & 1) << 31) | (((U >> 1) & 0x3FF) << 21) |
+         (((U >> 11) & 1) << 20) | (((U >> 12) & 0xFF) << 12) | (Rd << 7) |
+         OpcJal;
+}
+
+// --- Mnemonic helpers --------------------------------------------------------
+
+inline uint32_t addi(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b000, Rd, OpcOpImm);
+}
+inline uint32_t slti(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b010, Rd, OpcOpImm);
+}
+inline uint32_t sltiu(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b011, Rd, OpcOpImm);
+}
+inline uint32_t xori(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b100, Rd, OpcOpImm);
+}
+inline uint32_t ori(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b110, Rd, OpcOpImm);
+}
+inline uint32_t andi(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b111, Rd, OpcOpImm);
+}
+inline uint32_t slli(uint32_t Rd, uint32_t Rs1, uint32_t Shamt) {
+  return encI(static_cast<int32_t>(Shamt & 31), Rs1, 0b001, Rd, OpcOpImm);
+}
+inline uint32_t srli(uint32_t Rd, uint32_t Rs1, uint32_t Shamt) {
+  return encI(static_cast<int32_t>(Shamt & 31), Rs1, 0b101, Rd, OpcOpImm);
+}
+inline uint32_t srai(uint32_t Rd, uint32_t Rs1, uint32_t Shamt) {
+  return encI(static_cast<int32_t>(0x400 | (Shamt & 31)), Rs1, 0b101, Rd,
+              OpcOpImm);
+}
+
+inline uint32_t add(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b000, Rd, OpcOp);
+}
+inline uint32_t sub(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0b0100000, Rs2, Rs1, 0b000, Rd, OpcOp);
+}
+inline uint32_t sll(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b001, Rd, OpcOp);
+}
+inline uint32_t slt(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b010, Rd, OpcOp);
+}
+inline uint32_t sltu(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b011, Rd, OpcOp);
+}
+inline uint32_t xor_(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b100, Rd, OpcOp);
+}
+inline uint32_t srl(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b101, Rd, OpcOp);
+}
+inline uint32_t sra(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0b0100000, Rs2, Rs1, 0b101, Rd, OpcOp);
+}
+inline uint32_t or_(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b110, Rd, OpcOp);
+}
+inline uint32_t and_(uint32_t Rd, uint32_t Rs1, uint32_t Rs2) {
+  return encR(0, Rs2, Rs1, 0b111, Rd, OpcOp);
+}
+
+inline uint32_t lb(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b000, Rd, OpcLoad);
+}
+inline uint32_t lh(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b001, Rd, OpcLoad);
+}
+inline uint32_t lw(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b010, Rd, OpcLoad);
+}
+inline uint32_t lbu(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b100, Rd, OpcLoad);
+}
+inline uint32_t lhu(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b101, Rd, OpcLoad);
+}
+inline uint32_t sb(uint32_t Rs2, uint32_t Rs1, int32_t Imm) {
+  return encS(Imm, Rs2, Rs1, 0b000, OpcStore);
+}
+inline uint32_t sh(uint32_t Rs2, uint32_t Rs1, int32_t Imm) {
+  return encS(Imm, Rs2, Rs1, 0b001, OpcStore);
+}
+inline uint32_t sw(uint32_t Rs2, uint32_t Rs1, int32_t Imm) {
+  return encS(Imm, Rs2, Rs1, 0b010, OpcStore);
+}
+
+inline uint32_t beq(uint32_t Rs1, uint32_t Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, 0b000);
+}
+inline uint32_t bne(uint32_t Rs1, uint32_t Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, 0b001);
+}
+inline uint32_t blt(uint32_t Rs1, uint32_t Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, 0b100);
+}
+inline uint32_t bge(uint32_t Rs1, uint32_t Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, 0b101);
+}
+inline uint32_t bltu(uint32_t Rs1, uint32_t Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, 0b110);
+}
+inline uint32_t bgeu(uint32_t Rs1, uint32_t Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, 0b111);
+}
+
+inline uint32_t lui(uint32_t Rd, int32_t Imm) {
+  return encU(Imm, Rd, OpcLui);
+}
+inline uint32_t auipc(uint32_t Rd, int32_t Imm) {
+  return encU(Imm, Rd, OpcAuipc);
+}
+inline uint32_t jal(uint32_t Rd, int32_t Off) { return encJ(Off, Rd); }
+inline uint32_t jalr(uint32_t Rd, uint32_t Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, 0b000, Rd, OpcJalr);
+}
+inline uint32_t nop() { return addi(0, 0, 0); }
+
+} // namespace wiresort::riscv
+
+#endif // WIRESORT_RISCV_ENCODING_H

@@ -1,0 +1,54 @@
+//===- sim/Vcd.h - Value-change-dump tracing --------------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VCD (IEEE 1364 value change dump) tracing for the simulator, so
+/// simulations of the generated designs can be inspected in standard
+/// waveform viewers (GTKWave etc.). Attach a trace to a set of wires,
+/// call \ref sample once per cycle after evaluation, and serialize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SIM_VCD_H
+#define WIRESORT_SIM_VCD_H
+
+#include "ir/Module.h"
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wiresort::sim {
+
+/// Accumulates value changes for a chosen set of wires.
+class VcdTrace {
+public:
+  /// Traces \p Signals of \p M (empty means: all ports).
+  VcdTrace(const ir::Module &M, std::vector<ir::WireId> Signals = {});
+
+  /// Records the current values at time step \p Time (typically the
+  /// simulator's cycle count). Only changed signals are emitted.
+  void sample(const Simulator &S, uint64_t Time);
+
+  /// Renders the complete VCD document.
+  std::string str() const;
+
+private:
+  /// Short printable VCD identifier for signal \p Index.
+  static std::string idFor(size_t Index);
+
+  const ir::Module *M;
+  std::vector<ir::WireId> Signals;
+  std::vector<uint64_t> Last;
+  std::vector<bool> Seen;
+  std::string Body;
+};
+
+} // namespace wiresort::sim
+
+#endif // WIRESORT_SIM_VCD_H

@@ -1,0 +1,183 @@
+//===- support/Graph.cpp - Directed-graph algorithms ----------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Graph.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+
+using namespace wiresort;
+
+namespace {
+constexpr uint32_t Unvisited = std::numeric_limits<uint32_t>::max();
+} // namespace
+
+std::vector<uint32_t> Graph::tarjanScc(uint32_t &NumComponents) const {
+  const size_t N = numNodes();
+  std::vector<uint32_t> Index(N, Unvisited);
+  std::vector<uint32_t> LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<uint32_t> Component(N, Unvisited);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+  NumComponents = 0;
+
+  // Iterative Tarjan: each frame records the node and the position within
+  // its successor list so the DFS can resume after returning from a child.
+  struct Frame {
+    uint32_t Node;
+    size_t SuccPos;
+  };
+  std::vector<Frame> CallStack;
+
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    CallStack.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      const auto &Out = Succs[F.Node];
+      if (F.SuccPos < Out.size()) {
+        uint32_t Child = Out[F.SuccPos++];
+        if (Index[Child] == Unvisited) {
+          Index[Child] = LowLink[Child] = NextIndex++;
+          Stack.push_back(Child);
+          OnStack[Child] = true;
+          CallStack.push_back({Child, 0});
+        } else if (OnStack[Child] && Index[Child] < LowLink[F.Node]) {
+          LowLink[F.Node] = Index[Child];
+        }
+        continue;
+      }
+      // All successors done: maybe pop an SCC, then return to parent.
+      if (LowLink[F.Node] == Index[F.Node]) {
+        uint32_t Member;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = false;
+          Component[Member] = NumComponents;
+        } while (Member != F.Node);
+        ++NumComponents;
+      }
+      uint32_t Done = F.Node;
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        uint32_t Parent = CallStack.back().Node;
+        if (LowLink[Done] < LowLink[Parent])
+          LowLink[Parent] = LowLink[Done];
+      }
+    }
+  }
+  return Component;
+}
+
+bool Graph::hasCycle() const {
+  uint32_t NumComponents = 0;
+  std::vector<uint32_t> Component = tarjanScc(NumComponents);
+  std::vector<uint32_t> Size(NumComponents, 0);
+  for (uint32_t C : Component)
+    ++Size[C];
+  for (uint32_t Node = 0; Node != numNodes(); ++Node) {
+    if (Size[Component[Node]] > 1)
+      return true;
+    for (uint32_t Succ : Succs[Node])
+      if (Succ == Node)
+        return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<uint32_t>> Graph::findCycle() const {
+  uint32_t NumComponents = 0;
+  std::vector<uint32_t> Component = tarjanScc(NumComponents);
+  std::vector<uint32_t> Size(NumComponents, 0);
+  for (uint32_t C : Component)
+    ++Size[C];
+
+  // Self-loop: the smallest possible cycle.
+  for (uint32_t Node = 0; Node != numNodes(); ++Node)
+    for (uint32_t Succ : Succs[Node])
+      if (Succ == Node)
+        return std::vector<uint32_t>{Node};
+
+  // Otherwise find a node in a nontrivial SCC and walk within the SCC
+  // until a node repeats; the walk can never escape an SCC if we only
+  // follow intra-SCC edges.
+  for (uint32_t Start = 0; Start != numNodes(); ++Start) {
+    if (Size[Component[Start]] <= 1)
+      continue;
+    std::vector<uint32_t> Path;
+    std::vector<uint32_t> PosInPath(numNodes(), Unvisited);
+    uint32_t Cur = Start;
+    while (true) {
+      if (PosInPath[Cur] != Unvisited)
+        return std::vector<uint32_t>(Path.begin() + PosInPath[Cur],
+                                     Path.end());
+      PosInPath[Cur] = static_cast<uint32_t>(Path.size());
+      Path.push_back(Cur);
+      uint32_t Next = Unvisited;
+      for (uint32_t Succ : Succs[Cur]) {
+        if (Component[Succ] == Component[Cur]) {
+          Next = Succ;
+          break;
+        }
+      }
+      assert(Next != Unvisited && "nontrivial SCC node lacks intra-SCC edge");
+      Cur = Next;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint32_t>> Graph::topoSort() const {
+  const size_t N = numNodes();
+  std::vector<uint32_t> InDegree(N, 0);
+  for (uint32_t Node = 0; Node != N; ++Node)
+    for (uint32_t Succ : Succs[Node])
+      ++InDegree[Succ];
+
+  std::deque<uint32_t> Ready;
+  for (uint32_t Node = 0; Node != N; ++Node)
+    if (InDegree[Node] == 0)
+      Ready.push_back(Node);
+
+  std::vector<uint32_t> Order;
+  Order.reserve(N);
+  while (!Ready.empty()) {
+    uint32_t Node = Ready.front();
+    Ready.pop_front();
+    Order.push_back(Node);
+    for (uint32_t Succ : Succs[Node])
+      if (--InDegree[Succ] == 0)
+        Ready.push_back(Succ);
+  }
+  if (Order.size() != N)
+    return std::nullopt;
+  return Order;
+}
+
+std::vector<bool> Graph::reachableFrom(uint32_t Start) const {
+  std::vector<bool> Seen(numNodes(), false);
+  std::vector<uint32_t> Work{Start};
+  Seen[Start] = true;
+  while (!Work.empty()) {
+    uint32_t Node = Work.back();
+    Work.pop_back();
+    for (uint32_t Succ : Succs[Node]) {
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Work.push_back(Succ);
+      }
+    }
+  }
+  return Seen;
+}

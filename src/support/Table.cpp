@@ -1,0 +1,77 @@
+//===- support/Table.cpp - Plain-text table formatting --------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace wiresort;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity must match header");
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Width[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      if (Row[I].size() > Width[I])
+        Width[I] = Row[I].size();
+
+  std::ostringstream OS;
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      OS << Row[I];
+      if (I + 1 == Row.size())
+        break;
+      OS << std::string(Width[I] - Row[I].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  emitRow(Header);
+  size_t Total = 0;
+  for (size_t I = 0; I != Width.size(); ++I)
+    Total += Width[I] + (I + 1 == Width.size() ? 0 : 2);
+  OS << std::string(Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    emitRow(Row);
+  return OS.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string Table::withCommas(uint64_t N) {
+  std::string Raw = std::to_string(N);
+  std::string Out;
+  int Count = 0;
+  for (auto It = Raw.rbegin(); It != Raw.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Count;
+  }
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string Table::secondsStr(double Seconds, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Seconds);
+  return Buf;
+}
+
+std::string Table::speedupStr(double Ratio) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2fx", Ratio);
+  return Buf;
+}

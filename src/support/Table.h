@@ -1,0 +1,58 @@
+//===- support/Table.h - Plain-text table formatting ------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table printer used by the benchmark binaries to
+/// emit the same rows the paper's tables report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_TABLE_H
+#define WIRESORT_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wiresort {
+
+/// Column-aligned plain-text table with a header row.
+///
+/// Cells are free-form strings; numeric helpers format counts with
+/// thousands separators and times with fixed precision so benchmark output
+/// visually matches the paper's tables.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; the row is padded or an assertion fires if the arity
+  /// does not match the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table, header first, followed by a separator rule.
+  std::string str() const;
+
+  /// Prints \ref str to stdout.
+  void print() const;
+
+  /// Formats \p N with thousands separators, e.g. 1517073 -> "1,517,073".
+  static std::string withCommas(uint64_t N);
+
+  /// Formats \p Seconds as a fixed-precision seconds string, e.g. "30.176".
+  static std::string secondsStr(double Seconds, int Precision = 3);
+
+  /// Formats \p Ratio as a speedup string, e.g. "33.93x".
+  static std::string speedupStr(double Ratio);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace wiresort
+
+#endif // WIRESORT_SUPPORT_TABLE_H

@@ -1,0 +1,60 @@
+//===- support/Timer.h - Wall-clock timing utilities ------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight wall-clock timers used by the benchmark harnesses to report
+/// analysis and synthesis times in the same units the paper uses (seconds
+/// with millisecond precision).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_TIMER_H
+#define WIRESORT_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace wiresort {
+
+/// A stopwatch over std::chrono::steady_clock.
+///
+/// The timer starts running on construction; \ref seconds and friends read
+/// the elapsed time without stopping it. Use \ref restart to reuse one
+/// instance across benchmark phases.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { Start = Clock::now(); }
+
+  /// \returns elapsed wall-clock time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// \returns elapsed wall-clock time in milliseconds.
+  double milliseconds() const { return seconds() * 1e3; }
+
+  /// \returns elapsed wall-clock time in nanoseconds.
+  double nanoseconds() const { return seconds() * 1e9; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn once and returns the wall-clock seconds it took.
+template <typename Callable> double timeSeconds(Callable &&Fn) {
+  Timer T;
+  Fn();
+  return T.seconds();
+}
+
+} // namespace wiresort
+
+#endif // WIRESORT_SUPPORT_TIMER_H

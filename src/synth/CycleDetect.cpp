@@ -1,0 +1,41 @@
+//===- synth/CycleDetect.cpp - Netlist-level cycle detection --------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/CycleDetect.h"
+
+#include "support/Graph.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+using namespace wiresort::synth;
+
+NetlistCycleResult synth::detectCycles(const Module &Flat) {
+  assert(Flat.Instances.empty() && "cycle detection needs a flat netlist");
+  Timer T;
+  Graph G(Flat.numWires());
+  for (const Net &N : Flat.Nets)
+    for (WireId In : N.Inputs)
+      G.addEdge(In, N.Output);
+  for (const Memory &Mem : Flat.Memories)
+    if (!Mem.SyncRead)
+      G.addEdge(Mem.RAddr, Mem.RData);
+
+  NetlistCycleResult Result;
+  Result.NumWires = Flat.numWires();
+  Result.NumGates = Flat.Nets.size();
+  if (std::optional<std::vector<uint32_t>> Cycle = G.findCycle()) {
+    Result.HasLoop = true;
+    analysis::LoopDiagnostic Diag;
+    for (uint32_t Node : *Cycle)
+      Diag.PathLabels.push_back(Flat.wire(Node).Name);
+    Result.Loop = std::move(Diag);
+  }
+  Result.Seconds = T.seconds();
+  return Result;
+}

@@ -1,0 +1,31 @@
+//===- synth/Flatten.h - RTL-level hierarchy inlining -----------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inlines submodule instances while keeping multi-bit RTL operations —
+/// the "RTL, on the other hand, has fewer gate dependencies to analyze
+/// while still representing the same dataflow graph" observation of
+/// Section 2. Used by the simulator (which wants one flat module) and by
+/// benchmarks contrasting RTL-level with gate-level costs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SYNTH_FLATTEN_H
+#define WIRESORT_SYNTH_FLATTEN_H
+
+#include "ir/Design.h"
+
+namespace wiresort::synth {
+
+/// Recursively inlines every instance of module \p Id, producing an
+/// instance-free module with the same interface and behavior. Multi-bit
+/// nets are preserved; instance port bindings become Buf nets.
+ir::Module inlineInstances(const ir::Design &D, ir::ModuleId Id);
+
+} // namespace wiresort::synth
+
+#endif // WIRESORT_SYNTH_FLATTEN_H

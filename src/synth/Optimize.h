@@ -1,0 +1,50 @@
+//===- synth/Optimize.h - Netlist cleanup passes ----------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Light netlist optimization: constant folding and dead-gate removal,
+/// plus an opt-in BreakLoops mode that silently severs combinational
+/// cycles. BreakLoops reproduces the hazard the paper observed in real
+/// synthesis tools ("under certain combinations of flags ... tools like
+/// Yosys fail to detect loops or silently delete them, 'successfully'
+/// synthesizing the offending circuit", Section 2) — running cycle
+/// detection *after* an optimizing pass with loop breaking enabled
+/// reports a clean design even though the source was broken.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SYNTH_OPTIMIZE_H
+#define WIRESORT_SYNTH_OPTIMIZE_H
+
+#include "ir/Module.h"
+
+#include <cstddef>
+
+namespace wiresort::synth {
+
+/// Knobs for \ref optimize.
+struct OptimizeOptions {
+  bool FoldConstants = true;
+  bool RemoveDeadGates = true;
+  /// Sever combinational cycles by grounding one wire per cycle. Unsafe
+  /// by design; exists to demonstrate the synthesis-time hazard.
+  bool BreakLoops = false;
+};
+
+/// What \ref optimize did.
+struct OptimizeStats {
+  size_t GatesFolded = 0;
+  size_t GatesRemoved = 0;
+  size_t LoopsBroken = 0;
+};
+
+/// Optimizes a flat primitive-gate module in place.
+OptimizeStats optimize(ir::Module &Flat, const OptimizeOptions &Opts = {});
+
+} // namespace wiresort::synth
+
+#endif // WIRESORT_SYNTH_OPTIMIZE_H

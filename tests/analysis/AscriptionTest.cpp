@@ -1,0 +1,176 @@
+//===- tests/analysis/AscriptionTest.cpp - Annotation check tests ---------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Ascription.h"
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "gen/Fifo.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+TEST(AscriptionTest, MatchingDeclarationsAccepted) {
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo({8, 2, true}));
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  const Module &M = D.module(Id);
+
+  std::vector<Ascription> Decl;
+  Decl.push_back({M.findPort("yumi_i"), Sort::ToSync, {}, SubSort::None});
+  Decl.push_back({M.findPort("v_i"), Sort::ToPort,
+                  Out.at(Id).outputPortSet(M.findPort("v_i")),
+                  SubSort::None});
+  Decl.push_back(
+      {M.findPort("ready_o"), Sort::FromSync, {}, SubSort::None});
+  EXPECT_TRUE(checkAscriptions(M, Out.at(Id), Decl).empty());
+}
+
+TEST(AscriptionTest, WrongSortReported) {
+  // A designer believing the forwarding FIFO's v_i is to-sync — exactly
+  // the misunderstanding wire sorts exist to catch.
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo({8, 2, true}));
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  const Module &M = D.module(Id);
+
+  std::vector<Ascription> Decl;
+  Decl.push_back({M.findPort("v_i"), Sort::ToSync, {}, SubSort::None});
+  auto Mismatches = checkAscriptions(M, Out.at(Id), Decl);
+  ASSERT_EQ(Mismatches.size(), 1u);
+  EXPECT_NE(Mismatches[0].Message.find("declared to-sync"),
+            std::string::npos);
+  EXPECT_NE(Mismatches[0].Message.find("computed to-port"),
+            std::string::npos);
+}
+
+TEST(AscriptionTest, WrongPortSetReported) {
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo({8, 2, true}));
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  const Module &M = D.module(Id);
+
+  std::vector<Ascription> Decl;
+  // Claim v_i only reaches v_o when it actually also reaches data_o.
+  Decl.push_back({M.findPort("v_i"), Sort::ToPort,
+                  {M.findPort("v_o")}, SubSort::None});
+  auto Mismatches = checkAscriptions(M, Out.at(Id), Decl);
+  ASSERT_EQ(Mismatches.size(), 1u);
+  EXPECT_NE(Mismatches[0].Message.find("port set"), std::string::npos);
+}
+
+TEST(AscriptionTest, WrongSubsortReported) {
+  Builder B("after_logic");
+  V A = B.input("a", 8);
+  B.output("y", B.notv(B.reg(A, "r")));
+  Design D;
+  ModuleId Id = D.addModule(B.finish());
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  const Module &M = D.module(Id);
+
+  std::vector<Ascription> Decl;
+  Decl.push_back(
+      {M.findPort("y"), Sort::FromSync, {}, SubSort::Direct});
+  auto Mismatches = checkAscriptions(M, Out.at(Id), Decl);
+  ASSERT_EQ(Mismatches.size(), 1u);
+  EXPECT_NE(Mismatches[0].Message.find("subsort"), std::string::npos);
+}
+
+namespace {
+
+/// An opaque (empty-body) module shaped like the forwarding FIFO's
+/// interface, as encrypted IP would appear.
+Module opaqueFifoInterface() {
+  Module M("opaque_fwd_fifo");
+  M.addInput("data_i", 8);
+  M.addInput("v_i", 1);
+  M.addInput("yumi_i", 1);
+  M.addOutput("data_o", 8);
+  M.addOutput("v_o", 1);
+  M.addOutput("ready_o", 1);
+  return M;
+}
+
+} // namespace
+
+TEST(AscriptionTest, OpaqueModuleSummaryFromFullAscriptions) {
+  Module M = opaqueFifoInterface();
+  std::vector<Ascription> Decl;
+  Decl.push_back({M.findPort("data_i"), Sort::ToPort,
+                  {M.findPort("data_o")}, SubSort::None});
+  Decl.push_back({M.findPort("v_i"), Sort::ToPort,
+                  {M.findPort("v_o"), M.findPort("data_o")},
+                  SubSort::None});
+  Decl.push_back({M.findPort("yumi_i"), Sort::ToSync, {}, SubSort::None});
+  Decl.push_back({M.findPort("data_o"), Sort::FromPort, {},
+                  SubSort::None});
+  Decl.push_back({M.findPort("v_o"), Sort::FromPort, {}, SubSort::None});
+  Decl.push_back(
+      {M.findPort("ready_o"), Sort::FromSync, {}, SubSort::None});
+
+  std::string Error;
+  auto Summary = summaryFromAscriptions(M, 0, Decl, Error);
+  ASSERT_TRUE(Summary.has_value()) << Error;
+  EXPECT_EQ(Summary->sortOf(M.findPort("v_i")), Sort::ToPort);
+  EXPECT_EQ(Summary->sortOf(M.findPort("v_o")), Sort::FromPort);
+  // input-port-sets derived by inversion.
+  EXPECT_EQ(Summary->inputPortSet(M.findPort("v_o")),
+            std::vector<WireId>{M.findPort("v_i")});
+
+  // The opaque summary plugs into the circuit checker like any other:
+  // a ring of two opaque forwarding FIFOs still reports the loop.
+  Design D;
+  ModuleId Id = D.addModule(M);
+  Circuit Circ(D, "opaque_ring");
+  InstId U0 = Circ.addInstance(Id, "u0");
+  InstId U1 = Circ.addInstance(Id, "u1");
+  Circ.connect(U0, "v_o", U1, "v_i");
+  Circ.connect(U1, "v_o", U0, "v_i");
+  std::map<ModuleId, ModuleSummary> S{{Id, *Summary}};
+  EXPECT_FALSE(checkCircuit(Circ, S).WellConnected);
+}
+
+TEST(AscriptionTest, OpaqueModuleMissingAscriptionRejected) {
+  Module M = opaqueFifoInterface();
+  std::vector<Ascription> Decl; // Nothing declared.
+  std::string Error;
+  EXPECT_FALSE(summaryFromAscriptions(M, 0, Decl, Error).has_value());
+  EXPECT_NE(Error.find("lacks an ascription"), std::string::npos);
+}
+
+TEST(AscriptionTest, OpaqueToPortWithoutSetRejected) {
+  Module M = opaqueFifoInterface();
+  std::vector<Ascription> Decl;
+  Decl.push_back({M.findPort("data_i"), Sort::ToPort, {}, SubSort::None});
+  std::string Error;
+  EXPECT_FALSE(summaryFromAscriptions(M, 0, Decl, Error).has_value());
+  EXPECT_NE(Error.find("output-port-set"), std::string::npos);
+}
+
+TEST(AscriptionTest, OpaqueInconsistentOutputSortRejected) {
+  Module M = opaqueFifoInterface();
+  std::vector<Ascription> Decl;
+  Decl.push_back({M.findPort("data_i"), Sort::ToSync, {}, SubSort::None});
+  Decl.push_back({M.findPort("v_i"), Sort::ToSync, {}, SubSort::None});
+  Decl.push_back({M.findPort("yumi_i"), Sort::ToSync, {}, SubSort::None});
+  // Declares v_o from-port although no input reaches it.
+  Decl.push_back({M.findPort("data_o"), Sort::FromSync, {},
+                  SubSort::None});
+  Decl.push_back({M.findPort("v_o"), Sort::FromPort, {}, SubSort::None});
+  Decl.push_back(
+      {M.findPort("ready_o"), Sort::FromSync, {}, SubSort::None});
+  std::string Error;
+  EXPECT_FALSE(summaryFromAscriptions(M, 0, Decl, Error).has_value());
+  EXPECT_NE(Error.find("imply"), std::string::npos);
+}

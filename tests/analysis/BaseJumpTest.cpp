@@ -1,0 +1,144 @@
+//===- tests/analysis/BaseJumpTest.cpp - Helpful/demanding baseline -------===//
+//
+// Part of the wiresort project. Validates the Section 3.6 formalization
+// of BaseJump STL's endpoint taxonomy and demonstrates the unsoundness
+// the paper identifies: a helpful-helpful connection that still loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BaseJump.h"
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "gen/Catalog.h"
+#include "gen/Fifo.h"
+#include "gen/ShiftReg.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+ModuleSummary summarize(const Design &D, ModuleId Id) {
+  std::map<ModuleId, ModuleSummary> Out;
+  auto Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.has_value());
+  return Out.at(Id);
+}
+
+} // namespace
+
+TEST(BaseJumpTest, NormalFifoBothEndpointsHelpful) {
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo({8, 2, false}));
+  ModuleSummary S = summarize(D, Id);
+  const Module &M = D.module(Id);
+
+  ProducerEndpoint Prod{M.findPort("yumi_i"), M.findPort("v_o"),
+                        M.findPort("data_o")};
+  ConsumerEndpoint Cons{M.findPort("ready_o"), M.findPort("v_i"),
+                        M.findPort("data_i")};
+  EXPECT_EQ(classifyProducer(S, Prod), Temperament::Helpful);
+  EXPECT_EQ(classifyConsumer(S, Cons), Temperament::Helpful);
+}
+
+TEST(BaseJumpTest, ForwardingFifoStillLooksHelpful) {
+  // The crux of Section 3.6: the forwarding FIFO's producer endpoint is
+  // "helpful" (valid_o does not await readyin/yumi_i) even though
+  // valid_o is from-port via the *consumer-side* valid_i.
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo({8, 2, true}));
+  ModuleSummary S = summarize(D, Id);
+  const Module &M = D.module(Id);
+
+  ProducerEndpoint Prod{M.findPort("yumi_i"), M.findPort("v_o"),
+                        M.findPort("data_o")};
+  ConsumerEndpoint Cons{M.findPort("ready_o"), M.findPort("v_i"),
+                        M.findPort("data_i")};
+  EXPECT_EQ(classifyProducer(S, Prod), Temperament::Helpful);
+  EXPECT_EQ(classifyConsumer(S, Cons), Temperament::Helpful);
+  // And yet:
+  EXPECT_EQ(S.sortOf(M.findPort("v_o")), Sort::FromPort);
+}
+
+TEST(BaseJumpTest, PrefixPisoConsumerHelpfulButUnsafe) {
+  // Section 5.1: the PISO's consumer endpoint is helpful by BaseJump's
+  // rules (ready_o does not depend on valid_i), but ready_o awaits
+  // yumi_i from the *producer* endpoint, which BaseJump cannot express.
+  Design D;
+  ModuleId Id = D.addModule(gen::makePiso({4, 8, /*Fixed=*/false}));
+  ModuleSummary S = summarize(D, Id);
+  const Module &M = D.module(Id);
+
+  ConsumerEndpoint Cons{M.findPort("ready_o"), M.findPort("valid_i"),
+                        M.findPort("data_i")};
+  EXPECT_EQ(classifyConsumer(S, Cons), Temperament::Helpful);
+  EXPECT_EQ(S.sortOf(M.findPort("ready_o")), Sort::FromPort);
+  EXPECT_EQ(S.outputPortSet(M.findPort("yumi_i")),
+            std::vector<WireId>{M.findPort("ready_o")});
+}
+
+TEST(BaseJumpTest, DemandingProducerDetected) {
+  // The iterative multiplier's ready_o awaits yumi_i: demanding.
+  Design D;
+  ModuleId Id = D.addModule(gen::makeIterMul(8));
+  ModuleSummary S = summarize(D, Id);
+  const Module &M = D.module(Id);
+  ProducerEndpoint Prod{M.findPort("yumi_i"), M.findPort("v_o"),
+                        M.findPort("result_o")};
+  // v_o itself is registered, so the producer is helpful; ready_o is the
+  // wire that depends on yumi. Model ready as the consumer-ish signal:
+  EXPECT_EQ(classifyProducer(S, Prod), Temperament::Helpful);
+  EXPECT_EQ(S.sortOf(M.findPort("ready_o")), Sort::FromPort);
+}
+
+TEST(BaseJumpTest, HelpfulHelpfulConnectionStillLoops) {
+  // The paper's headline counterexample, end to end: both FIFO endpoints
+  // in the Figure 3 circuit are helpful, BaseJump allows the connection,
+  // and the circuit contains a combinational loop our checker finds.
+  Design D;
+  ModuleId Normal = D.addModule(gen::makeFifo({8, 2, false}));
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  ModuleId Pass = D.addModule(gen::makePassthrough(1));
+
+  std::map<ModuleId, ModuleSummary> Summaries;
+  ASSERT_FALSE(analyzeDesign(D, Summaries).has_value());
+
+  const Module &FwdM = D.module(Fwd);
+  const Module &NormalM = D.module(Normal);
+  ProducerEndpoint FwdProd{FwdM.findPort("yumi_i"), FwdM.findPort("v_o"),
+                           FwdM.findPort("data_o")};
+  ConsumerEndpoint NormalCons{NormalM.findPort("ready_o"),
+                              NormalM.findPort("v_i"),
+                              NormalM.findPort("data_i")};
+  Temperament P = classifyProducer(Summaries.at(Fwd), FwdProd);
+  Temperament C = classifyConsumer(Summaries.at(Normal), NormalCons);
+  EXPECT_EQ(P, Temperament::Helpful);
+  EXPECT_EQ(C, Temperament::Helpful);
+  EXPECT_TRUE(baseJumpAllowsConnection(P, C)); // BaseJump says fine.
+
+  Circuit Circ(D, "fig3");
+  InstId NormalInst = Circ.addInstance(Normal, "fifo_normal");
+  InstId FwdInst = Circ.addInstance(Fwd, "fifo_fwd");
+  InstId Mon = Circ.addInstance(Pass, "monitor");
+  InstId X = Circ.addInstance(Pass, "module_x");
+  Circ.connect(FwdInst, "v_o", NormalInst, "v_i");
+  Circ.connect(FwdInst, "v_o", Mon, "data_i");
+  Circ.connect(Mon, "data_o", X, "data_i");
+  Circ.connect(X, "data_o", FwdInst, "v_i");
+  EXPECT_FALSE(checkCircuit(Circ, Summaries).WellConnected); // We say no.
+}
+
+TEST(BaseJumpTest, DemandingDemandingIsTheOnlyPairBaseJumpRejects) {
+  EXPECT_TRUE(baseJumpAllowsConnection(Temperament::Helpful,
+                                       Temperament::Helpful));
+  EXPECT_TRUE(baseJumpAllowsConnection(Temperament::Helpful,
+                                       Temperament::Demanding));
+  EXPECT_TRUE(baseJumpAllowsConnection(Temperament::Demanding,
+                                       Temperament::Helpful));
+  EXPECT_FALSE(baseJumpAllowsConnection(Temperament::Demanding,
+                                        Temperament::Demanding));
+}

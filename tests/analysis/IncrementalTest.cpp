@@ -1,0 +1,135 @@
+//===- tests/analysis/IncrementalTest.cpp - Section 4 trigger tests -------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Incremental.h"
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "gen/Catalog.h"
+#include "gen/Fifo.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+using Summaries = std::map<ModuleId, ModuleSummary>;
+
+Summaries analyzeOrDie(const Design &D) {
+  Summaries Out;
+  auto Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.has_value());
+  return Out;
+}
+
+} // namespace
+
+TEST(IncrementalTest, SyncConnectionsNeverTrigger) {
+  // Wiring normal FIFOs: all ports sync, so the Section 4 condition
+  // ("forward reach includes a to-port input AND backward reach includes
+  // a from-port output") never fires.
+  Design D;
+  ModuleId Normal = D.addModule(gen::makeFifo({8, 2, false}));
+  Circuit Circ(D, "pipe");
+  std::vector<InstId> Insts;
+  for (int I = 0; I != 5; ++I)
+    Insts.push_back(Circ.addInstance(Normal, "q" + std::to_string(I)));
+  Summaries S = analyzeOrDie(D);
+
+  IncrementalChecker Checker(Circ, S);
+  for (int I = 0; I + 1 != 5; ++I) {
+    Circ.connect(Insts[I], "v_o", Insts[I + 1], "v_i");
+    auto Step = Checker.addConnection(Circ.connections().back());
+    EXPECT_FALSE(Step.CheckTriggered);
+    EXPECT_FALSE(Step.Loop.has_value());
+  }
+  EXPECT_EQ(Checker.numChecksTriggered(), 0u);
+  EXPECT_EQ(Checker.numChecksSkipped(), 4u);
+}
+
+TEST(IncrementalTest, LoopFoundTheMomentItExists) {
+  // Ring of forwarding FIFOs: the first three connections trigger checks
+  // (port sorts on both sides) but find nothing; the closing connection
+  // reports the loop immediately.
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  Circuit Circ(D, "ring");
+  std::vector<InstId> Insts;
+  for (int I = 0; I != 4; ++I)
+    Insts.push_back(Circ.addInstance(Fwd, "q" + std::to_string(I)));
+  Summaries S = analyzeOrDie(D);
+
+  IncrementalChecker Checker(Circ, S);
+  for (int I = 0; I != 3; ++I) {
+    Circ.connect(Insts[I], "v_o", Insts[I + 1], "v_i");
+    auto Step = Checker.addConnection(Circ.connections().back());
+    EXPECT_FALSE(Step.Loop.has_value()) << "premature loop at " << I;
+  }
+  Circ.connect(Insts[3], "v_o", Insts[0], "v_i");
+  auto Step = Checker.addConnection(Circ.connections().back());
+  EXPECT_TRUE(Step.CheckTriggered);
+  ASSERT_TRUE(Step.Loop.has_value());
+  EXPECT_NE(Step.Loop->describe().find("q0"), std::string::npos);
+
+  // The incremental verdict agrees with the whole-circuit checker.
+  EXPECT_FALSE(checkCircuit(Circ, S).WellConnected);
+}
+
+TEST(IncrementalTest, TriggerRequiresBothDirections) {
+  // from-port output into a to-sync input: backward condition holds but
+  // forward does not; no check.
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  Circuit Circ(D, "mixed");
+  InstId A = Circ.addInstance(Fwd, "a");
+  InstId B = Circ.addInstance(Fwd, "b");
+  Summaries S = analyzeOrDie(D);
+  IncrementalChecker Checker(Circ, S);
+
+  // a.v_o (from-port) -> b.yumi_i (to-sync): no forward to-port.
+  Circ.connect(A, "v_o", B, "yumi_i");
+  auto Step1 = Checker.addConnection(Circ.connections().back());
+  EXPECT_FALSE(Step1.CheckTriggered);
+
+  // a.ready_o (from-sync) -> b.v_i (to-port): no backward from-port.
+  Circ.connect(A, "ready_o", B, "v_i");
+  auto Step2 = Checker.addConnection(Circ.connections().back());
+  EXPECT_FALSE(Step2.CheckTriggered);
+
+  // b.v_o (from-port) -> a.v_i (to-port): both conditions; check runs,
+  // no loop yet.
+  Circ.connect(B, "v_o", A, "v_i");
+  auto Step3 = Checker.addConnection(Circ.connections().back());
+  EXPECT_TRUE(Step3.CheckTriggered);
+  EXPECT_FALSE(Step3.Loop.has_value());
+}
+
+TEST(IncrementalTest, TransitiveTriggerAcrossModules) {
+  // The trigger walks through module summaries: a from-port output
+  // reaches a to-port input through an intermediate passthrough.
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  ModuleId Pass = D.addModule(gen::makePassthrough(1));
+  Circuit Circ(D, "transitive");
+  InstId A = Circ.addInstance(Fwd, "a");
+  InstId P = Circ.addInstance(Pass, "p");
+  Summaries S = analyzeOrDie(D);
+  IncrementalChecker Checker(Circ, S);
+
+  Circ.connect(A, "v_o", P, "data_i");
+  auto Step1 = Checker.addConnection(Circ.connections().back());
+  // p.data_i is to-port (combinational passthrough) — triggers.
+  EXPECT_TRUE(Step1.CheckTriggered);
+  EXPECT_FALSE(Step1.Loop.has_value());
+
+  Circ.connect(P, "data_o", A, "v_i");
+  auto Step2 = Checker.addConnection(Circ.connections().back());
+  EXPECT_TRUE(Step2.CheckTriggered);
+  ASSERT_TRUE(Step2.Loop.has_value());
+}

@@ -1,0 +1,143 @@
+//===- tests/analysis/MemoryChecksTest.cpp - Section 3.7 contract tests ---===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryChecks.h"
+
+#include "analysis/SortInference.h"
+#include "gen/Catalog.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+using Summaries = std::map<ModuleId, ModuleSummary>;
+
+Summaries analyzeOrDie(const Design &D) {
+  Summaries Out;
+  auto Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.has_value());
+  return Out;
+}
+
+/// A producer whose addr_o goes through an adder: from-sync-indirect.
+ModuleId indirectAddrStage(Design &D, uint16_t AW) {
+  Builder B("indirect_addr");
+  V En = B.input("en_i", 1);
+  V Addr = B.regLoop("addr_r", AW);
+  B.drive(Addr, B.mux(En, B.inc(Addr), Addr));
+  // The increment on the output path makes it indirect (Figure 8's
+  // violation: combinational logic between register and raddr).
+  B.output("raddr_o", B.inc(Addr));
+  return D.addModule(B.finish());
+}
+
+} // namespace
+
+TEST(MemoryChecksTest, DirectDriverAccepted) {
+  // Figure 8's good case: a register-direct address into the sync RAM.
+  Design D;
+  ModuleId Ram = D.addModule(gen::makeSyncRam(8, 16));
+  ModuleId Stage = D.addModule(gen::makeAddrStage(8));
+  Circuit Circ(D, "good");
+  InstId S = Circ.addInstance(Stage, "stage");
+  InstId R = Circ.addInstance(Ram, "ram");
+  Circ.connect(S, "raddr_o", R, "raddr_i");
+  Summaries Sum = analyzeOrDie(D);
+  EXPECT_TRUE(checkMemoryContracts(Circ, Sum).empty());
+}
+
+TEST(MemoryChecksTest, IndirectDriverRejected) {
+  Design D;
+  ModuleId Ram = D.addModule(gen::makeSyncRam(8, 16));
+  ModuleId Stage = indirectAddrStage(D, 8);
+  Circuit Circ(D, "bad");
+  InstId S = Circ.addInstance(Stage, "stage");
+  InstId R = Circ.addInstance(Ram, "ram");
+  Circ.connect(S, "raddr_o", R, "raddr_i");
+  Summaries Sum = analyzeOrDie(D);
+  auto Violations = checkMemoryContracts(Circ, Sum);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_NE(Violations[0].Message.find("from-sync-direct"),
+            std::string::npos);
+}
+
+TEST(MemoryChecksTest, FromPortDriverRejected) {
+  // A combinational passthrough driving the read address is even worse.
+  Design D;
+  ModuleId Ram = D.addModule(gen::makeSyncRam(8, 16));
+  ModuleId Pass = D.addModule(gen::makePassthrough(8));
+  Circuit Circ(D, "worse");
+  InstId P = Circ.addInstance(Pass, "glue");
+  InstId R = Circ.addInstance(Ram, "ram");
+  Circ.connect(P, "data_o", R, "raddr_i");
+  Summaries Sum = analyzeOrDie(D);
+  EXPECT_EQ(checkMemoryContracts(Circ, Sum).size(), 1u);
+}
+
+TEST(MemoryChecksTest, SinkContractChecked) {
+  // A memory requiring its read data to land directly in a register.
+  Design D;
+  Builder MemB("latched_rom");
+  {
+    V RAddr = MemB.input("raddr_i", 4);
+    V WAddr = MemB.input("waddr_i", 4);
+    V WData = MemB.input("wdata_i", 8);
+    V Wen = MemB.input("wen_i", 1);
+    V Out = MemB.output(
+        "rdata_o", MemB.memory("rom", true, RAddr, WAddr, WData, Wen));
+    MemB.requireSinkToSyncDirect(Out);
+  }
+  ModuleId Rom = D.addModule(MemB.finish());
+
+  // Good sink: data_i feeds a register directly (no enable mux).
+  Builder SinkB("direct_sink");
+  {
+    V In = SinkB.input("data_i", 8);
+    SinkB.output("data_o", SinkB.reg(In, "r"));
+  }
+  ModuleId GoodSink = D.addModule(SinkB.finish());
+  // Bad sink: combinational passthrough.
+  ModuleId BadSink = D.addModule(gen::makePassthrough(8));
+
+  {
+    Circuit Circ(D, "good_sink");
+    InstId R = Circ.addInstance(Rom, "rom");
+    InstId S = Circ.addInstance(GoodSink, "sink");
+    Circ.connect(R, "rdata_o", S, "data_i");
+    Summaries Sum = analyzeOrDie(D);
+    EXPECT_TRUE(checkMemoryContracts(Circ, Sum).empty());
+  }
+  {
+    Circuit Circ(D, "bad_sink");
+    InstId R = Circ.addInstance(Rom, "rom");
+    InstId S = Circ.addInstance(BadSink, "sink");
+    Circ.connect(R, "rdata_o", S, "data_i");
+    Summaries Sum = analyzeOrDie(D);
+    auto Violations = checkMemoryContracts(Circ, Sum);
+    ASSERT_EQ(Violations.size(), 1u);
+    EXPECT_NE(Violations[0].Message.find("to-sync-direct"),
+              std::string::npos);
+  }
+}
+
+TEST(MemoryChecksTest, UncontractedPortsUnchecked) {
+  // Connecting anything to an async RAM (no contract) is fine as far as
+  // the Section 3.7 pass is concerned.
+  Design D;
+  ModuleId Ram = D.addModule(gen::makeAsyncRam(8, 16));
+  ModuleId Pass = D.addModule(gen::makePassthrough(8));
+  Circuit Circ(D, "nocontract");
+  InstId P = Circ.addInstance(Pass, "glue");
+  InstId R = Circ.addInstance(Ram, "ram");
+  Circ.connect(P, "data_o", R, "raddr_i");
+  Summaries Sum = analyzeOrDie(D);
+  EXPECT_TRUE(checkMemoryContracts(Circ, Sum).empty());
+}

@@ -1,0 +1,181 @@
+//===- tests/analysis/SummaryIOTest.cpp - Summary sidecar tests -----------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryIO.h"
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "gen/Catalog.h"
+#include "gen/Fifo.h"
+#include "gen/Random.h"
+#include "gen/ShiftReg.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+using Summaries = std::map<ModuleId, ModuleSummary>;
+
+Summaries analyzeOrDie(const Design &D) {
+  Summaries Out;
+  auto Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.has_value());
+  return Out;
+}
+
+void expectEquivalent(const Design &D, const Summaries &A,
+                      const Summaries &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (const auto &[Id, SA] : A) {
+    const ModuleSummary &SB = B.at(Id);
+    const Module &M = D.module(Id);
+    for (WireId In : M.Inputs) {
+      EXPECT_EQ(SA.sortOf(In), SB.sortOf(In)) << M.wire(In).Name;
+      EXPECT_EQ(SA.outputPortSet(In), SB.outputPortSet(In))
+          << M.wire(In).Name;
+    }
+    for (WireId Out : M.Outputs) {
+      EXPECT_EQ(SA.sortOf(Out), SB.sortOf(Out)) << M.wire(Out).Name;
+      EXPECT_EQ(SA.inputPortSet(Out), SB.inputPortSet(Out))
+          << M.wire(Out).Name;
+    }
+  }
+}
+
+} // namespace
+
+TEST(SummaryIOTest, RoundTripFifoAndPiso) {
+  Design D;
+  D.addModule(gen::makeFifo({8, 2, false}));
+  D.addModule(gen::makeFifo({8, 2, true}));
+  D.addModule(gen::makePiso({4, 8, false}));
+  Summaries Original = analyzeOrDie(D);
+
+  std::string Text = writeSummaries(D, Original);
+  std::string Error;
+  auto Parsed = parseSummaries(Text, D, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  expectEquivalent(D, Original, *Parsed);
+}
+
+TEST(SummaryIOTest, SubsortsSurviveTheTrip) {
+  Design D;
+  ModuleId Id = D.addModule(gen::makeAddrStage(8));
+  Summaries Original = analyzeOrDie(D);
+  std::string Text = writeSummaries(D, Original);
+  EXPECT_NE(Text.find("from-sync direct"), std::string::npos) << Text;
+
+  std::string Error;
+  auto Parsed = parseSummaries(Text, D, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  const Module &M = D.module(Id);
+  EXPECT_EQ(Parsed->at(Id).subSortOf(M.findPort("raddr_o")),
+            SubSort::Direct);
+}
+
+TEST(SummaryIOTest, ParsedSummariesDriveTheChecker) {
+  // The whole point: shipping a .wsort next to opaque IP is enough to
+  // check compositions.
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  Summaries Original = analyzeOrDie(D);
+  std::string Text = writeSummaries(D, Original);
+  std::string Error;
+  auto Parsed = parseSummaries(Text, D, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+
+  Circuit Circ(D, "ring");
+  InstId A = Circ.addInstance(Fwd, "a");
+  InstId B = Circ.addInstance(Fwd, "b");
+  Circ.connect(A, "v_o", B, "v_i");
+  Circ.connect(B, "v_o", A, "v_i");
+  EXPECT_FALSE(checkCircuit(Circ, *Parsed).WellConnected);
+}
+
+TEST(SummaryIOTest, InconsistentDeclarationsRejected) {
+  Design D;
+  D.addModule(gen::makeFifo({8, 2, true}));
+  std::string Error;
+
+  // v_o claims no dependencies while v_i claims to reach it.
+  const char *Bad = R"(module fifo_fwd_w8_d4
+  input data_i to-sync
+  input v_i to-port {v_o}
+  input yumi_i to-sync
+  output data_o from-sync
+  output v_o from-sync
+  output ready_o from-sync
+end
+)";
+  EXPECT_FALSE(parseSummaries(Bad, D, Error).has_value());
+  EXPECT_NE(Error.find("inconsistent"), std::string::npos) << Error;
+}
+
+TEST(SummaryIOTest, ErrorsNameLinesAndPorts) {
+  Design D;
+  D.addModule(gen::makeFifo({8, 2, false}));
+  std::string Error;
+
+  EXPECT_FALSE(
+      parseSummaries("module nope\nend\n", D, Error).has_value());
+  EXPECT_NE(Error.find("unknown module"), std::string::npos);
+
+  EXPECT_FALSE(parseSummaries("module fifo_w8_d4\n  input bogus to-sync\n"
+                              "end\n",
+                              D, Error)
+                   .has_value());
+  EXPECT_NE(Error.find("no port"), std::string::npos);
+
+  EXPECT_FALSE(parseSummaries("module fifo_w8_d4\n  input v_i to-port\n"
+                              "end\n",
+                              D, Error)
+                   .has_value());
+  EXPECT_NE(Error.find("nonempty"), std::string::npos);
+
+  EXPECT_FALSE(parseSummaries("module fifo_w8_d4\n", D, Error)
+                   .has_value());
+  EXPECT_NE(Error.find("missing final"), std::string::npos);
+}
+
+TEST(SummaryIOTest, MissingPortRejected) {
+  Design D;
+  D.addModule(gen::makeFifo({8, 2, false}));
+  std::string Error;
+  const char *Partial = R"(module fifo_w8_d4
+  input data_i to-sync
+  output data_o from-sync
+  output v_o from-sync
+  output ready_o from-sync
+end
+)";
+  EXPECT_FALSE(parseSummaries(Partial, D, Error).has_value());
+  EXPECT_NE(Error.find("missing"), std::string::npos);
+}
+
+TEST(SummaryIOTest, RandomModulesRoundTrip) {
+  std::mt19937 Rng(2024);
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    Design D;
+    gen::RandomModuleParams P;
+    P.NInputs = 3 + Trial % 5;
+    P.NOutputs = 2 + Trial % 4;
+    P.NGates = 10 + Trial;
+    D.addModule(
+        gen::randomModule(Rng, P, "rt" + std::to_string(Trial)));
+    Summaries Original = analyzeOrDie(D);
+    std::string Text = writeSummaries(D, Original);
+    std::string Error;
+    auto Parsed = parseSummaries(Text, D, Error);
+    ASSERT_TRUE(Parsed.has_value()) << Error << "\n" << Text;
+    expectEquivalent(D, Original, *Parsed);
+  }
+}

@@ -1,0 +1,149 @@
+//===- tests/analysis/SupermoduleTest.cpp - Composition ad infinitum ------===//
+//
+// Part of the wiresort project. Section 3.1: "a circuit ... can
+// essentially define a larger module composed of submodules. A circuit
+// composed of many of these supermodules connected together in turn
+// makes an even larger module, ad infinitum." These tests seal circuits
+// into modules, summarize them through their instance summaries alone,
+// and keep composing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "analysis/Dot.h"
+#include "gen/Catalog.h"
+#include "gen/Fifo.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+using Summaries = std::map<ModuleId, ModuleSummary>;
+
+Summaries analyzeOrDie(const Design &D) {
+  Summaries Out;
+  auto Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  return Out;
+}
+
+} // namespace
+
+TEST(SupermoduleTest, SealedCircuitInheritsPortSorts) {
+  // A two-queue supermodule: forwarding FIFO feeding a normal FIFO.
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  ModuleId Normal = D.addModule(gen::makeFifo({8, 2, false}));
+  Circuit Circ(D, "super");
+  InstId A = Circ.addInstance(Fwd, "front");
+  InstId B = Circ.addInstance(Normal, "back");
+  Circ.connect(A, "v_o", B, "v_i");
+  Circ.connect(A, "data_o", B, "data_i");
+  Circ.connect(B, "ready_o", A, "yumi_i");
+  ModuleId Super = Circ.seal();
+
+  Summaries S = analyzeOrDie(D);
+  const Module &M = D.module(Super);
+  // The forwarding FIFO's coupling is absorbed: its v_i reaches only the
+  // internal connection (now severed from the interface by the normal
+  // FIFO's state), so the supermodule is a universal interface again.
+  EXPECT_EQ(S.at(Super).sortOf(M.findPort("front.v_i")), Sort::ToSync);
+  EXPECT_EQ(S.at(Super).sortOf(M.findPort("front.data_i")), Sort::ToSync);
+  EXPECT_EQ(S.at(Super).sortOf(M.findPort("back.v_o")), Sort::FromSync);
+  EXPECT_EQ(S.at(Super).sortOf(M.findPort("back.ready_o")),
+            Sort::FromSync);
+  EXPECT_EQ(S.at(Super).sortOf(M.findPort("back.yumi_i")), Sort::ToSync);
+}
+
+TEST(SupermoduleTest, SealedForwardingPairStaysCoupled) {
+  // Two forwarding FIFOs back to back: the coupling survives sealing.
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  Circuit Circ(D, "super_fwd");
+  InstId A = Circ.addInstance(Fwd, "front");
+  InstId B = Circ.addInstance(Fwd, "back");
+  Circ.connect(A, "v_o", B, "v_i");
+  Circ.connect(A, "data_o", B, "data_i");
+  ModuleId Super = Circ.seal();
+
+  Summaries S = analyzeOrDie(D);
+  const Module &M = D.module(Super);
+  EXPECT_EQ(S.at(Super).sortOf(M.findPort("front.v_i")), Sort::ToPort);
+  EXPECT_EQ(S.at(Super).sortOf(M.findPort("back.v_o")), Sort::FromPort);
+  // The combinational path tunnels through both queues.
+  auto Set = S.at(Super).outputPortSet(M.findPort("front.v_i"));
+  bool ReachesVo = false;
+  for (WireId Out : Set)
+    ReachesVo |= M.wire(Out).Name == "back.v_o";
+  EXPECT_TRUE(ReachesVo);
+}
+
+TEST(SupermoduleTest, ThreeLevelsOfComposition) {
+  // supermodule -> circuit of supermodules -> sealed again; a loop
+  // created at the outermost level is still caught, and the diagnostic
+  // names outermost ports.
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+
+  // Level 1: pair of forwarding FIFOs (still coupled).
+  Circuit Pair(D, "pair");
+  InstId P0 = Pair.addInstance(Fwd, "q0");
+  InstId P1 = Pair.addInstance(Fwd, "q1");
+  Pair.connect(P0, "v_o", P1, "v_i");
+  ModuleId PairId = Pair.seal();
+
+  // Level 2: ring of two pairs.
+  Circuit Ring(D, "ring_of_pairs");
+  InstId R0 = Ring.addInstance(PairId, "left");
+  InstId R1 = Ring.addInstance(PairId, "right");
+  const Module &PairM = D.module(PairId);
+  WireId In = PairM.findPort("q0.v_i");
+  WireId Out = PairM.findPort("q1.v_o");
+  ASSERT_NE(In, InvalidId);
+  ASSERT_NE(Out, InvalidId);
+  Ring.connectPorts(PortRef{R0, Out}, PortRef{R1, In});
+  Ring.connectPorts(PortRef{R1, Out}, PortRef{R0, In});
+
+  Summaries S = analyzeOrDie(D);
+  CircuitCheckResult Result = checkCircuit(Ring, S);
+  EXPECT_FALSE(Result.WellConnected);
+  ASSERT_TRUE(Result.Loop.has_value());
+  EXPECT_NE(Result.Loop->describe().find("left.q"), std::string::npos)
+      << Result.Loop->describe();
+
+  // Level 3: sealing the looped ring and summarizing reports the loop.
+  ModuleId Sealed = Ring.seal();
+  Summaries S2;
+  auto Loop = analyzeDesign(D, S2);
+  ASSERT_TRUE(Loop.has_value());
+  (void)Sealed;
+}
+
+TEST(SupermoduleTest, DotExportsRender) {
+  Design D;
+  ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
+  ModuleId Pass = D.addModule(gen::makePassthrough(1));
+  Summaries S = analyzeOrDie(D);
+
+  std::string ModDot = moduleDot(D.module(Fwd), S.at(Fwd));
+  EXPECT_NE(ModDot.find("digraph"), std::string::npos);
+  EXPECT_NE(ModDot.find("v_i"), std::string::npos);
+  EXPECT_NE(ModDot.find("state"), std::string::npos);
+
+  Circuit Circ(D, "dotring");
+  InstId A = Circ.addInstance(Fwd, "a");
+  InstId G = Circ.addInstance(Pass, "glue");
+  Circ.connect(A, "v_o", G, "data_i");
+  Circ.connect(G, "data_o", A, "v_i");
+  CircuitCheckResult Result = checkCircuit(Circ, S);
+  ASSERT_TRUE(Result.Loop.has_value());
+  std::string CircDot = circuitDot(Circ, S, Result.Loop->PathLabels);
+  EXPECT_NE(CircDot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(CircDot.find("#e31a1c"), std::string::npos); // Loop red.
+  EXPECT_NE(CircDot.find("style=dashed"), std::string::npos);
+}

@@ -1,0 +1,99 @@
+//===- tests/gen/CatalogTest.cpp - Corpus-wide sanity tests ---------------===//
+//
+// Part of the wiresort project. Parameterized over the whole catalog:
+// every corpus module must validate, simulate (be loop-free), and
+// summarize. This is the Section 5.1 sweep in miniature.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Catalog.h"
+
+#include "analysis/SortInference.h"
+#include "sim/Simulator.h"
+#include "synth/CycleDetect.h"
+#include "synth/Lower.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+namespace {
+
+class CatalogParamTest : public ::testing::TestWithParam<size_t> {
+protected:
+  static const std::vector<CatalogEntry> &entries() {
+    static const std::vector<CatalogEntry> Entries = catalog();
+    return Entries;
+  }
+  const CatalogEntry &entry() const { return entries()[GetParam()]; }
+};
+
+std::string paramName(const ::testing::TestParamInfo<size_t> &Info) {
+  std::string Name = catalog()[Info.param].Name;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(CatalogParamTest, ValidatesAndSummarizes) {
+  Design D;
+  ModuleId Id = D.addModule(entry().Build());
+  ASSERT_FALSE(D.validate().has_value());
+  std::map<ModuleId, ModuleSummary> Out;
+  auto Loop = analyzeDesign(D, Out);
+  ASSERT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  // Every port is covered by the summary.
+  const Module &M = D.module(Id);
+  EXPECT_EQ(Out.at(Id).OutputPortSets.size(), M.Inputs.size());
+  EXPECT_EQ(Out.at(Id).InputPortSets.size(), M.Outputs.size());
+}
+
+TEST_P(CatalogParamTest, IsSimulatableAndLoopFreeAtGateLevel) {
+  Design D;
+  ModuleId Id = D.addModule(entry().Build());
+  Module Gates = synth::lower(D, Id);
+  EXPECT_FALSE(synth::detectCycles(Gates).HasLoop);
+  std::string Error;
+  EXPECT_TRUE(sim::Simulator::create(Gates, Error).has_value()) << Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CatalogParamTest,
+                         ::testing::Range<size_t>(0, catalog().size()),
+                         paramName);
+
+TEST(CatalogTest, CorpusIsLargeAndUnique) {
+  const std::vector<CatalogEntry> Entries = catalog();
+  EXPECT_GE(Entries.size(), 100u);
+  std::set<std::string> Names;
+  for (const CatalogEntry &E : Entries)
+    EXPECT_TRUE(Names.insert(E.Name).second)
+        << "duplicate corpus module " << E.Name;
+}
+
+TEST(CatalogTest, SortDistributionCoversTheTaxonomy) {
+  // Table 4's premise: real corpora exercise all four sorts.
+  size_t Counts[4] = {0, 0, 0, 0};
+  for (const CatalogEntry &E : catalog()) {
+    Design D;
+    ModuleId Id = D.addModule(E.Build());
+    std::map<ModuleId, ModuleSummary> Out;
+    ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+    const Module &M = D.module(Id);
+    for (WireId In : M.Inputs)
+      ++Counts[static_cast<int>(Out.at(Id).sortOf(In))];
+    for (WireId O : M.Outputs)
+      ++Counts[static_cast<int>(Out.at(Id).sortOf(O))];
+  }
+  EXPECT_GT(Counts[static_cast<int>(Sort::ToSync)], 0u);
+  EXPECT_GT(Counts[static_cast<int>(Sort::ToPort)], 0u);
+  EXPECT_GT(Counts[static_cast<int>(Sort::FromSync)], 0u);
+  EXPECT_GT(Counts[static_cast<int>(Sort::FromPort)], 0u);
+}

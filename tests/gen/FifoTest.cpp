@@ -1,0 +1,183 @@
+//===- tests/gen/FifoTest.cpp - FIFO behavioral tests ---------------------===//
+//
+// Part of the wiresort project. The FIFOs are the paper's running
+// example; these tests pin down their cycle-level behavior so the sort
+// results rest on hardware that actually works.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Fifo.h"
+
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+using namespace wiresort::sim;
+
+namespace {
+
+struct FifoHarness {
+  Module M;
+  std::optional<Simulator> S;
+
+  explicit FifoHarness(const FifoParams &P) : M(makeFifo(P)) {
+    std::string Error;
+    S = Simulator::create(M, Error);
+    EXPECT_TRUE(S.has_value()) << Error;
+  }
+};
+
+} // namespace
+
+TEST(FifoTest, PushThenPop) {
+  FifoHarness H({8, 2, false});
+  Simulator &S = *H.S;
+  S.setInput("v_i", 1);
+  S.setInput("data_i", 0xAB);
+  S.setInput("yumi_i", 0);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 0u); // Normal FIFO: nothing same-cycle.
+  EXPECT_EQ(S.value("ready_o"), 1u);
+  S.step();
+
+  S.setInput("v_i", 0);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 1u);
+  EXPECT_EQ(S.value("data_o"), 0xABu);
+  S.setInput("yumi_i", 1);
+  S.step();
+  S.setInput("yumi_i", 0);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 0u); // Drained.
+}
+
+TEST(FifoTest, FillsToCapacityThenStalls) {
+  FifoHarness H({8, 2, false}); // Capacity 4.
+  Simulator &S = *H.S;
+  S.setInput("yumi_i", 0);
+  for (int I = 0; I != 4; ++I) {
+    S.setInput("v_i", 1);
+    S.setInput("data_i", I);
+    S.evaluate();
+    EXPECT_EQ(S.value("ready_o"), 1u) << "push " << I;
+    S.step();
+  }
+  S.evaluate();
+  EXPECT_EQ(S.value("ready_o"), 0u); // Full.
+  // Pop everything in order.
+  S.setInput("v_i", 0);
+  for (int I = 0; I != 4; ++I) {
+    S.evaluate();
+    EXPECT_EQ(S.value("v_o"), 1u);
+    EXPECT_EQ(S.value("data_o"), static_cast<uint64_t>(I));
+    S.setInput("yumi_i", 1);
+    S.step();
+  }
+  S.setInput("yumi_i", 0);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 0u);
+}
+
+TEST(FifoTest, ForwardingFifoPassesThroughEmpty) {
+  FifoHarness H({8, 2, true});
+  Simulator &S = *H.S;
+  // Empty queue, data arrives: visible the same cycle (Figure 2).
+  S.setInput("v_i", 1);
+  S.setInput("data_i", 0x5A);
+  S.setInput("yumi_i", 1);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 1u);
+  EXPECT_EQ(S.value("data_o"), 0x5Au);
+  S.step();
+  // Consumed in flight: the queue stays empty.
+  S.setInput("v_i", 0);
+  S.setInput("yumi_i", 0);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 0u);
+}
+
+TEST(FifoTest, ForwardingFifoBuffersWhenNotTaken) {
+  FifoHarness H({8, 2, true});
+  Simulator &S = *H.S;
+  // Data arrives but downstream is not ready: it must be enqueued.
+  S.setInput("v_i", 1);
+  S.setInput("data_i", 0x77);
+  S.setInput("yumi_i", 0);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 1u); // Offered...
+  S.step();
+  S.setInput("v_i", 0);
+  S.evaluate();
+  EXPECT_EQ(S.value("v_o"), 1u); // ...and still there next cycle.
+  EXPECT_EQ(S.value("data_o"), 0x77u);
+}
+
+namespace {
+
+/// Randomized conformance against a std::deque reference model.
+void fuzzFifo(const FifoParams &P, uint32_t Seed, int Cycles) {
+  FifoHarness H(P);
+  Simulator &S = *H.S;
+  std::deque<uint64_t> Model;
+  const size_t Capacity = size_t(1) << P.DepthLog2;
+  std::mt19937 Rng(Seed);
+
+  for (int Cycle = 0; Cycle != Cycles; ++Cycle) {
+    uint64_t Push = Rng() & 1;
+    uint64_t Pop = Rng() & 1;
+    uint64_t Data = Rng() & ((1ull << P.Width) - 1);
+    S.setInput("v_i", Push);
+    S.setInput("yumi_i", Pop);
+    S.setInput("data_i", Data);
+    S.evaluate();
+
+    bool Ready = Model.size() < Capacity;
+    EXPECT_EQ(S.value("ready_o"), Ready) << "cycle " << Cycle;
+
+    // Expected same-cycle visibility.
+    bool Offered;
+    uint64_t Offer = 0;
+    if (P.Forwarding && Model.empty()) {
+      Offered = Push;
+      Offer = Data;
+    } else {
+      Offered = !Model.empty();
+      if (Offered)
+        Offer = Model.front();
+    }
+    EXPECT_EQ(S.value("v_o"), Offered) << "cycle " << Cycle;
+    if (Offered) {
+      EXPECT_EQ(S.value("data_o"), Offer) << "cycle " << Cycle;
+    }
+
+    // Commit the reference model with the same rules as the hardware.
+    bool Taken = Pop && Offered;
+    bool Enq = Push && Ready;
+    if (P.Forwarding && Model.empty()) {
+      if (Enq && !Taken)
+        Model.push_back(Data);
+    } else {
+      if (Taken)
+        Model.pop_front();
+      if (Enq)
+        Model.push_back(Data);
+    }
+    S.step();
+  }
+}
+
+} // namespace
+
+TEST(FifoTest, RandomizedAgainstReferenceModel) {
+  fuzzFifo({8, 2, false}, 100, 2000);
+  fuzzFifo({8, 2, true}, 101, 2000);
+  fuzzFifo({16, 4, false}, 102, 1000);
+  fuzzFifo({16, 4, true}, 103, 1000);
+  fuzzFifo({1, 1, true}, 104, 1000);
+}

@@ -1,0 +1,166 @@
+//===- tests/gen/OpdbTest.cpp - OPDB stand-in tests -----------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Opdb.h"
+
+#include "analysis/SortInference.h"
+#include "gen/LoopInjector.h"
+#include "analysis/WellConnected.h"
+#include "sim/Simulator.h"
+#include "synth/CycleDetect.h"
+#include "synth/Lower.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+TEST(OpdbTest, AllSeventeenBuildAndValidate) {
+  Design D;
+  std::vector<OpdbEntry> Entries = buildOpdb(D, {/*ShrinkAddrBits=*/6});
+  EXPECT_EQ(Entries.size(), 17u);
+  ASSERT_FALSE(D.validate().has_value());
+  std::set<std::string> Names;
+  for (const OpdbEntry &E : Entries)
+    EXPECT_TRUE(Names.insert(E.Name).second) << E.Name;
+}
+
+TEST(OpdbTest, AllAnalyzeWithoutLoops) {
+  Design D;
+  std::vector<OpdbEntry> Entries = buildOpdb(D, {/*ShrinkAddrBits=*/6});
+  std::map<ModuleId, ModuleSummary> Out;
+  auto Loop = analyzeDesign(D, Out);
+  ASSERT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  for (const OpdbEntry &E : Entries)
+    EXPECT_TRUE(Out.count(E.Top)) << E.Name;
+}
+
+TEST(OpdbTest, SharedBankDefinitionsAreReused) {
+  // The Table 3 reuse premise: l2 and l15 share sram bank definitions;
+  // summaries are computed once per unique definition.
+  Design D;
+  buildL2(D, {});
+  size_t AfterL2 = D.numModules();
+  buildL15(D, {});
+  // l15 adds itself plus at most the banks l2 did not already create.
+  EXPECT_LE(D.numModules(), AfterL2 + 3);
+}
+
+TEST(OpdbTest, GateCountsLandInPaperBallpark) {
+  // Only the small modules at full scale (the big caches are checked at
+  // reduced scale elsewhere; their geometry is exact, 2^12-word banks).
+  Design D;
+  ModuleId Counter = buildIfuEslCounter(D);
+  ModuleId Lfsr = buildIfuEslLfsr(D);
+  ModuleId Rtsm = buildIfuEslRtsm(D);
+  size_t CounterGates = synth::primitiveGateCount(D, Counter);
+  size_t LfsrGates = synth::primitiveGateCount(D, Lfsr);
+  size_t RtsmGates = synth::primitiveGateCount(D, Rtsm);
+  // Table 2: 310 / 213 / 170 gates. Same order of magnitude.
+  EXPECT_GT(CounterGates, 50u);
+  EXPECT_LT(CounterGates, 2000u);
+  EXPECT_GT(LfsrGates, 20u);
+  EXPECT_LT(LfsrGates, 1500u);
+  EXPECT_GT(RtsmGates, 50u);
+  EXPECT_LT(RtsmGates, 3000u);
+}
+
+TEST(OpdbTest, IfuEslIsHierarchical) {
+  Design D;
+  ModuleId Top = buildIfuEsl(D, {/*ShrinkAddrBits=*/3});
+  const Module &M = D.module(Top);
+  EXPECT_GE(M.Instances.size(), 8u); // Counter, lfsr, shiftreg, 4 FSMs...
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+}
+
+TEST(OpdbTest, ShrunkDesignsLowerAndStayLoopFree) {
+  Design D;
+  std::vector<OpdbEntry> Entries = buildOpdb(D, {/*ShrinkAddrBits=*/7});
+  for (const OpdbEntry &E : Entries) {
+    Module Gates = synth::lower(D, E.Top);
+    EXPECT_FALSE(synth::detectCycles(Gates).HasLoop) << E.Name;
+  }
+}
+
+TEST(OpdbTest, PortCountsScaleLikeTable2) {
+  Design D;
+  std::vector<OpdbEntry> Entries = buildOpdb(D, {/*ShrinkAddrBits=*/6});
+  std::map<std::string, size_t> Ports;
+  for (const OpdbEntry &E : Entries)
+    Ports[E.Name] = D.module(E.Top).numPorts();
+  // sparc_tlu has by far the most ports; the small FSM helpers few.
+  EXPECT_GT(Ports["sparc_tlu"], 100u);
+  EXPECT_GT(Ports["l15"], 30u);
+  EXPECT_LT(Ports["ifu_esl_shiftreg"], 10u);
+  EXPECT_LT(Ports["ifu_esl_counter"], 10u);
+}
+
+TEST(OpdbTest, LoopInjectionIntoOpdbDetectedModularly) {
+  // The full Table 3 flow at reduced scale: inject a ring across several
+  // OPDB stand-ins and find it with summaries only.
+  Design D;
+  OpdbOptions O{/*ShrinkAddrBits=*/7};
+  ModuleId Fpu = buildFpu(D, O);
+  ModuleId Ffu = buildSparcFfu(D, O);
+  ModuleId Exu = buildSparcExu(D, O);
+  Circuit Circ = buildLoopedRing(D, {Fpu, Ffu, Exu}, "t3ring");
+
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  CircuitCheckResult R = checkCircuit(Circ, Out);
+  EXPECT_FALSE(R.WellConnected);
+
+  // And the gate-level baseline agrees.
+  ModuleId Top = Circ.seal();
+  Module Gates = synth::lower(D, Top);
+  EXPECT_TRUE(synth::detectCycles(Gates).HasLoop);
+}
+
+// --- Parameterized per-module sweep (reduced scale) -------------------------
+
+class OpdbModuleSweep : public ::testing::TestWithParam<size_t> {
+protected:
+  static const std::vector<std::string> &names() {
+    static const std::vector<std::string> Names = [] {
+      Design D;
+      std::vector<std::string> Out;
+      for (const OpdbEntry &E : buildOpdb(D, {/*ShrinkAddrBits=*/7}))
+        Out.push_back(E.Name);
+      return Out;
+    }();
+    return Names;
+  }
+};
+
+TEST_P(OpdbModuleSweep, LowersSimulatesAndSummarizes) {
+  Design D;
+  std::vector<OpdbEntry> Entries = buildOpdb(D, {/*ShrinkAddrBits=*/7});
+  const OpdbEntry &E = Entries[GetParam()];
+
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  const Module &M = D.module(E.Top);
+  EXPECT_EQ(Out.at(E.Top).OutputPortSets.size(), M.Inputs.size());
+  EXPECT_EQ(Out.at(E.Top).InputPortSets.size(), M.Outputs.size());
+
+  Module Gates = synth::lower(D, E.Top);
+  EXPECT_FALSE(synth::detectCycles(Gates).HasLoop);
+  std::string Error;
+  EXPECT_TRUE(sim::Simulator::create(Gates, Error).has_value()) << Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeventeen, OpdbModuleSweep,
+    ::testing::Range<size_t>(0, 17),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      Design D;
+      return gen::buildOpdb(D, {7})[Info.param].Name;
+    });

@@ -1,0 +1,140 @@
+//===- tests/gen/ShiftRegTest.cpp - PISO/SIPO behavioral tests ------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ShiftReg.h"
+
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+using namespace wiresort::sim;
+
+TEST(PisoTest, DeserializesOneWord) {
+  Module M = makePiso({4, 8, /*Fixed=*/false});
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+
+  // Idle: ready, not valid.
+  S->setInput("valid_i", 0);
+  S->setInput("yumi_i", 0);
+  S->evaluate();
+  EXPECT_EQ(S->value("ready_o"), 1u);
+  EXPECT_EQ(S->value("valid_o"), 0u);
+
+  // Load 0xDDCCBBAA: slots come out LSB-first (AA, BB, CC, DD).
+  S->setInput("valid_i", 1);
+  S->setInput("data_i", 0xDDCCBBAAull);
+  S->step();
+  S->setInput("valid_i", 0);
+
+  const uint64_t Expected[] = {0xAA, 0xBB, 0xCC, 0xDD};
+  for (int Slot = 0; Slot != 4; ++Slot) {
+    S->setInput("yumi_i", 0);
+    S->evaluate();
+    EXPECT_EQ(S->value("valid_o"), 1u) << "slot " << Slot;
+    EXPECT_EQ(S->value("data_o"), Expected[Slot]) << "slot " << Slot;
+    S->setInput("yumi_i", 1);
+    S->step();
+  }
+  S->setInput("yumi_i", 0);
+  S->evaluate();
+  EXPECT_EQ(S->value("valid_o"), 0u);
+  EXPECT_EQ(S->value("ready_o"), 1u);
+}
+
+TEST(PisoTest, PrefixReadyAssertsCombinationallyOnLastYumi) {
+  // The Section 5.1 logic: during the final transmit slot, ready_o rises
+  // within the same cycle that yumi_i arrives.
+  Module M = makePiso({2, 8, /*Fixed=*/false});
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+
+  S->setInput("valid_i", 1);
+  S->setInput("data_i", 0xBBAA);
+  S->setInput("yumi_i", 0);
+  S->step();
+  S->setInput("valid_i", 0);
+  S->setInput("yumi_i", 1);
+  S->step(); // Consume slot 0.
+  // Now in the last slot: ready_o tracks yumi_i combinationally.
+  S->setInput("yumi_i", 0);
+  S->evaluate();
+  EXPECT_EQ(S->value("ready_o"), 0u);
+  S->setInput("yumi_i", 1);
+  S->evaluate();
+  EXPECT_EQ(S->value("ready_o"), 1u); // Same cycle!
+}
+
+TEST(PisoTest, FixedReadyWaitsForTheNextCycle) {
+  Module M = makePiso({2, 8, /*Fixed=*/true});
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+
+  S->setInput("valid_i", 1);
+  S->setInput("data_i", 0xBBAA);
+  S->setInput("yumi_i", 0);
+  S->step();
+  S->setInput("valid_i", 0);
+  S->setInput("yumi_i", 1);
+  S->step();
+  // Last slot, yumi high: the fixed module keeps ready low this cycle.
+  S->evaluate();
+  EXPECT_EQ(S->value("ready_o"), 0u);
+  S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("ready_o"), 1u); // Only after the edge.
+}
+
+TEST(SipoTest, AccumulatesWordsAndPresentsThem) {
+  Module M = makeSipo({4, 8});
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+
+  const uint64_t Words[] = {0xAA, 0xBB, 0xCC, 0xDD};
+  S->setInput("yumi_cnt_i", 0);
+  for (int I = 0; I != 3; ++I) {
+    S->setInput("valid_i", 1);
+    S->setInput("data_i", Words[I]);
+    S->evaluate();
+    EXPECT_EQ(S->value("valid_o"), 0u) << "word " << I;
+    S->step();
+  }
+  // Fourth word completes the batch combinationally (data_i is to-port).
+  S->setInput("data_i", Words[3]);
+  S->evaluate();
+  EXPECT_EQ(S->value("valid_o"), 1u);
+  EXPECT_EQ(S->value("data_o"), 0xDDCCBBAAull);
+
+  // Consumer takes all four: count resets through yumi_cnt_i.
+  S->setInput("yumi_cnt_i", 4);
+  S->step();
+  S->setInput("valid_i", 0);
+  S->setInput("yumi_cnt_i", 0);
+  S->evaluate();
+  EXPECT_EQ(S->value("valid_o"), 0u);
+  EXPECT_EQ(S->value("ready_o"), 1u);
+}
+
+TEST(SipoTest, ReadyDropsWhenFull) {
+  Module M = makeSipo({2, 4});
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->setInput("yumi_cnt_i", 0);
+  S->setInput("valid_i", 1);
+  S->setInput("data_i", 1);
+  S->step();
+  S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("ready_o"), 0u); // Two words in a 2-slot SIPO.
+}

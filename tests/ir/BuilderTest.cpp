@@ -1,0 +1,168 @@
+//===- tests/ir/BuilderTest.cpp - Builder EDSL tests ----------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+
+namespace {
+
+/// Builds a module, simulates it combinationally with the given inputs,
+/// and returns the value of output port "y".
+uint64_t evalComb(Module M, const std::vector<std::pair<std::string,
+                                                        uint64_t>> &Ins) {
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  EXPECT_TRUE(S.has_value()) << Error;
+  for (const auto &[Name, Value] : Ins)
+    S->setInput(Name, Value);
+  S->evaluate();
+  return S->value("y");
+}
+
+} // namespace
+
+TEST(BuilderTest, ArithmeticOps) {
+  {
+    Builder B("add");
+    V A = B.input("a", 8), Bv = B.input("b", 8);
+    B.output("y", B.add(A, Bv));
+    EXPECT_EQ(evalComb(B.finish(), {{"a", 200}, {"b", 100}}), 44u);
+  }
+  {
+    Builder B("sub");
+    V A = B.input("a", 8), Bv = B.input("b", 8);
+    B.output("y", B.sub(A, Bv));
+    EXPECT_EQ(evalComb(B.finish(), {{"a", 5}, {"b", 7}}), 254u);
+  }
+}
+
+TEST(BuilderTest, Comparisons) {
+  Builder B("cmp");
+  V A = B.input("a", 8), Bv = B.input("b", 8);
+  B.output("y", B.concat({B.eq(A, Bv), B.lt(A, Bv), B.slt(A, Bv)}));
+  Module M = B.finish();
+  // a = 200 (-56 signed), b = 100: eq=0, ltu=0, slt=1.
+  EXPECT_EQ(evalComb(M, {{"a", 200}, {"b", 100}}), 0b001u);
+  // a = b.
+  EXPECT_EQ(evalComb(M, {{"a", 7}, {"b", 7}}), 0b100u);
+  // a = 3 < b = 100 both ways.
+  EXPECT_EQ(evalComb(M, {{"a", 3}, {"b", 100}}), 0b011u);
+}
+
+TEST(BuilderTest, ShiftsConstAndBarrel) {
+  Builder B("sh");
+  V A = B.input("a", 16);
+  V Amt = B.input("amt", 4);
+  B.output("y", B.concat({B.shlConst(A, 4), B.shl(A, Amt)}));
+  Module M = B.finish();
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->setInput("a", 0x00FF);
+  S->setInput("amt", 8);
+  S->evaluate();
+  uint64_t Y = S->value("y");
+  EXPECT_EQ(Y >> 16, 0x0FF0u);      // shlConst 4.
+  EXPECT_EQ(Y & 0xFFFF, 0xFF00u);   // barrel shl 8.
+}
+
+TEST(BuilderTest, ArithmeticShiftRight) {
+  Builder B("sra");
+  V A = B.input("a", 8);
+  V Amt = B.input("amt", 3);
+  B.output("y", B.shr(A, Amt, /*Arithmetic=*/true));
+  Module M = B.finish();
+  EXPECT_EQ(evalComb(M, {{"a", 0x80}, {"amt", 3}}), 0xF0u);
+  EXPECT_EQ(evalComb(M, {{"a", 0x40}, {"amt", 3}}), 0x08u);
+}
+
+TEST(BuilderTest, MuxNClampsToLastCase) {
+  Builder B("muxn");
+  V Sel = B.input("sel", 2);
+  std::vector<V> Cases{B.lit(10, 8), B.lit(20, 8), B.lit(30, 8)};
+  B.output("y", B.muxN(Sel, Cases));
+  Module M = B.finish();
+  EXPECT_EQ(evalComb(M, {{"sel", 0}}), 10u);
+  EXPECT_EQ(evalComb(M, {{"sel", 1}}), 20u);
+  EXPECT_EQ(evalComb(M, {{"sel", 2}}), 30u);
+  EXPECT_EQ(evalComb(M, {{"sel", 3}}), 30u); // Clamped.
+}
+
+TEST(BuilderTest, SignZeroExtension) {
+  Builder B("ext");
+  V A = B.input("a", 4);
+  B.output("y", B.concat({B.sext(A, 8), B.zext(A, 8)}));
+  Module M = B.finish();
+  EXPECT_EQ(evalComb(M, {{"a", 0x9}}), 0xF909u);
+  EXPECT_EQ(evalComb(M, {{"a", 0x5}}), 0x0505u);
+}
+
+TEST(BuilderTest, Reductions) {
+  Builder B("red");
+  V A = B.input("a", 4);
+  B.output("y", B.concat({B.andr(A), B.orr(A), B.xorr(A)}));
+  Module M = B.finish();
+  EXPECT_EQ(evalComb(M, {{"a", 0xF}}), 0b110u); // and=1 or=1 xor=0.
+  EXPECT_EQ(evalComb(M, {{"a", 0x0}}), 0b000u);
+  EXPECT_EQ(evalComb(M, {{"a", 0x7}}), 0b011u);
+}
+
+TEST(BuilderTest, RegisterLoopCounter) {
+  Builder B("cnt");
+  V En = B.input("en", 1);
+  V Q = B.regLoop("q", 4, 0);
+  B.drive(Q, B.mux(En, B.inc(Q), Q));
+  B.output("y", Q);
+  Module M = B.finish();
+
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->setInput("en", 1);
+  for (int I = 0; I != 5; ++I)
+    S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 5u);
+  S->setInput("en", 0);
+  S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 5u);
+}
+
+TEST(BuilderTest, RegisterInitValue) {
+  Builder B("init");
+  V Q = B.regLoop("q", 8, 42);
+  B.drive(Q, Q);
+  B.output("y", Q);
+  Module M = B.finish();
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 42u);
+}
+
+TEST(BuilderTest, InstantiateBindsPortsByName) {
+  Design D;
+  Builder Sub("adder");
+  V A = Sub.input("a", 8), Bv = Sub.input("b", 8);
+  Sub.output("sum", Sub.add(A, Bv));
+  ModuleId SubId = D.addModule(Sub.finish());
+
+  Builder Top("top");
+  V X = Top.input("x", 8);
+  auto Outs = Top.instantiate(D, SubId, "u0",
+                              {{"a", X}, {"b", Top.lit(3, 8)}});
+  Top.output("y", Outs.at("sum"));
+  D.addModule(Top.finish());
+  EXPECT_FALSE(D.validate().has_value());
+}

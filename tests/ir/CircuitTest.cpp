@@ -1,0 +1,101 @@
+//===- tests/ir/CircuitTest.cpp - Circuit construction tests --------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Circuit.h"
+
+#include "ir/Builder.h"
+#include "synth/Flatten.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+
+namespace {
+
+/// y = reg(a): the simplest sync module.
+ModuleId pipeStage(Design &D, const std::string &Name) {
+  Builder B(Name);
+  V A = B.input("a", 8);
+  B.output("y", B.reg(A, "r"));
+  return D.addModule(B.finish());
+}
+
+} // namespace
+
+TEST(CircuitTest, ConnectByName) {
+  Design D;
+  ModuleId Stage = pipeStage(D, "stage");
+  Circuit C(D, "pipe2");
+  InstId U0 = C.addInstance(Stage, "u0");
+  InstId U1 = C.addInstance(Stage, "u1");
+  C.connect(U0, "y", U1, "a");
+  EXPECT_EQ(C.connections().size(), 1u);
+  EXPECT_EQ(C.portLabel(C.connections()[0].From), "u0.y");
+  EXPECT_EQ(C.portLabel(C.connections()[0].To), "u1.a");
+}
+
+TEST(CircuitTest, CompletenessDetection) {
+  Design D;
+  ModuleId Stage = pipeStage(D, "stage");
+  Circuit C(D, "ring");
+  InstId U0 = C.addInstance(Stage, "u0");
+  InstId U1 = C.addInstance(Stage, "u1");
+  C.connect(U0, "y", U1, "a");
+  EXPECT_FALSE(C.isComplete());
+  C.connect(U1, "y", U0, "a");
+  EXPECT_TRUE(C.isComplete());
+}
+
+TEST(CircuitTest, SealPromotesOpenPorts) {
+  Design D;
+  ModuleId Stage = pipeStage(D, "stage");
+  Circuit C(D, "pipe2");
+  InstId U0 = C.addInstance(Stage, "u0");
+  InstId U1 = C.addInstance(Stage, "u1");
+  C.connect(U0, "y", U1, "a");
+  ModuleId Top = C.seal();
+  ASSERT_FALSE(D.validate().has_value());
+  const Module &M = D.module(Top);
+  // u0.a promoted to input, u1.y to output.
+  EXPECT_EQ(M.Inputs.size(), 1u);
+  EXPECT_EQ(M.Outputs.size(), 1u);
+  EXPECT_EQ(M.wire(M.Inputs[0]).Name, "u0.a");
+  EXPECT_EQ(M.wire(M.Outputs[0]).Name, "u1.y");
+}
+
+TEST(CircuitTest, SealedCircuitFlattensAndSimulates) {
+  Design D;
+  ModuleId Stage = pipeStage(D, "stage");
+  Circuit C(D, "pipe3");
+  InstId U0 = C.addInstance(Stage, "u0");
+  InstId U1 = C.addInstance(Stage, "u1");
+  InstId U2 = C.addInstance(Stage, "u2");
+  C.connect(U0, "y", U1, "a");
+  C.connect(U1, "y", U2, "a");
+  ModuleId Top = C.seal();
+
+  Module Flat = synth::inlineInstances(D, Top);
+  EXPECT_TRUE(Flat.Instances.empty());
+  EXPECT_EQ(Flat.Registers.size(), 3u);
+}
+
+TEST(CircuitTest, FanOutSharesOneWire) {
+  Design D;
+  ModuleId Stage = pipeStage(D, "stage");
+  Circuit C(D, "fan");
+  InstId U0 = C.addInstance(Stage, "u0");
+  InstId U1 = C.addInstance(Stage, "u1");
+  InstId U2 = C.addInstance(Stage, "u2");
+  C.connect(U0, "y", U1, "a");
+  C.connect(U0, "y", U2, "a");
+  ModuleId Top = C.seal();
+  ASSERT_FALSE(D.validate().has_value());
+  // One shared local wire + no promoted wire for u0.y.
+  const Module &M = D.module(Top);
+  EXPECT_EQ(M.Inputs.size(), 1u);  // u0.a.
+  EXPECT_EQ(M.Outputs.size(), 2u); // u1.y, u2.y.
+}

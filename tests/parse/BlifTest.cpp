@@ -1,0 +1,222 @@
+//===- tests/parse/BlifTest.cpp - BLIF reader/writer tests ----------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Blif.h"
+
+#include "analysis/SortInference.h"
+#include "gen/Fifo.h"
+#include "sim/Simulator.h"
+#include "synth/CycleDetect.h"
+#include "synth/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+using namespace wiresort::parse;
+
+TEST(BlifTest, ParsesSimpleCombinationalModel) {
+  const char *Text = R"(
+# A half adder.
+.model half_adder
+.inputs a b
+.outputs sum carry
+.names a b sum
+10 1
+01 1
+.names a b carry
+11 1
+.end
+)";
+  std::string Error;
+  auto File = parseBlif(Text, Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  const Module &M = File->Design.module(File->Top);
+  EXPECT_EQ(M.Name, "half_adder");
+  EXPECT_EQ(M.Inputs.size(), 2u);
+  EXPECT_EQ(M.Outputs.size(), 2u);
+  EXPECT_EQ(M.Nets.size(), 2u);
+
+  std::string SimError;
+  auto S = sim::Simulator::create(M, SimError);
+  ASSERT_TRUE(S.has_value()) << SimError;
+  for (unsigned A = 0; A != 2; ++A)
+    for (unsigned B = 0; B != 2; ++B) {
+      S->setInput("a", A);
+      S->setInput("b", B);
+      S->evaluate();
+      EXPECT_EQ(S->value("sum"), static_cast<uint64_t>(A ^ B));
+      EXPECT_EQ(S->value("carry"), static_cast<uint64_t>(A & B));
+    }
+}
+
+TEST(BlifTest, ParsesLatchesAndConstants) {
+  const char *Text = R"(
+.model toggler
+.inputs en
+.outputs q
+.names one
+1
+.names en q nq
+10 1
+01 1
+.latch nq q re clk 0
+.end
+)";
+  std::string Error;
+  auto File = parseBlif(Text, Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  const Module &M = File->Design.module(File->Top);
+  EXPECT_EQ(M.Registers.size(), 1u);
+
+  std::string SimError;
+  auto S = sim::Simulator::create(M, SimError);
+  ASSERT_TRUE(S.has_value()) << SimError;
+  S->setInput("en", 1);
+  S->evaluate();
+  EXPECT_EQ(S->value("q"), 0u);
+  S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("q"), 1u);
+  S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("q"), 0u);
+}
+
+TEST(BlifTest, ParsesHierarchySubckt) {
+  const char *Text = R"(
+.model top
+.inputs x
+.outputs y
+.subckt inv a=x y=mid
+.subckt inv a=mid y=y
+.end
+.model inv
+.inputs a
+.outputs y
+.names a y
+0 1
+.end
+)";
+  std::string Error;
+  auto File = parseBlif(Text, Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  EXPECT_EQ(File->Design.numModules(), 2u);
+  const Module &Top = File->Design.module(File->Top);
+  EXPECT_EQ(Top.Instances.size(), 2u);
+
+  // Double inversion: y == x after flattening.
+  Module Gates = synth::lower(File->Design, File->Top);
+  std::string SimError;
+  auto S = sim::Simulator::create(Gates, SimError);
+  ASSERT_TRUE(S.has_value()) << SimError;
+  S->setInput("x[0]", 1);
+  S->evaluate();
+  EXPECT_EQ(S->value("y[0]"), 1u);
+}
+
+TEST(BlifTest, LineContinuationsAndComments) {
+  const char *Text =
+      ".model wide # trailing comment\n"
+      ".inputs a \\\nb\n"
+      ".outputs y\n"
+      ".names a b y\n11 1\n.end\n";
+  std::string Error;
+  auto File = parseBlif(Text, Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  EXPECT_EQ(File->Design.module(File->Top).Inputs.size(), 2u);
+}
+
+TEST(BlifTest, ErrorsCarryLineNumbers) {
+  std::string Error;
+  EXPECT_FALSE(parseBlif(".model m\n.bogus\n.end\n", Error).has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parseBlif(".inputs a\n", Error).has_value());
+  EXPECT_NE(Error.find("before .model"), std::string::npos);
+  EXPECT_FALSE(
+      parseBlif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n"
+                ".names a y\n0 1\n.end\n",
+                Error)
+          .has_value());
+  EXPECT_NE(Error.find("driven twice"), std::string::npos);
+}
+
+TEST(BlifTest, CoverRowArityChecked) {
+  std::string Error;
+  EXPECT_FALSE(parseBlif(".model m\n.inputs a b\n.outputs y\n"
+                         ".names a b y\n1 1\n.end\n",
+                         Error)
+                   .has_value());
+  EXPECT_NE(Error.find("arity"), std::string::npos);
+}
+
+TEST(BlifTest, RoundTripPreservesBehaviorAndLoops) {
+  // Lower a forwarding FIFO, export, reimport, and compare both the
+  // simulated behavior and the cycle-detection verdict.
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo({4, 2, true}));
+  Module Gates = synth::lower(D, Id);
+  std::string Text = [&] {
+    Design Flat;
+    ModuleId FlatId = Flat.addModule(Gates);
+    return writeBlif(Flat, FlatId);
+  }();
+
+  std::string Error;
+  auto File = parseBlif(Text, Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  const Module &Reimported = File->Design.module(File->Top);
+  EXPECT_EQ(Reimported.Registers.size(), Gates.Registers.size());
+
+  std::string SimError;
+  auto S1 = sim::Simulator::create(Gates, SimError);
+  ASSERT_TRUE(S1.has_value()) << SimError;
+  auto S2 = sim::Simulator::create(Reimported, SimError);
+  ASSERT_TRUE(S2.has_value()) << SimError;
+  // Drive a push/pop sequence and compare outputs cycle by cycle.
+  for (int Cycle = 0; Cycle != 40; ++Cycle) {
+    uint64_t Push = (Cycle % 3) == 0;
+    uint64_t Pop = (Cycle % 2) == 0;
+    for (auto *S : {&*S1, &*S2}) {
+      S->setInput("v_i[0]", Push);
+      S->setInput("yumi_i[0]", Pop);
+      for (int Bit = 0; Bit != 4; ++Bit)
+        S->setInput("data_i[" + std::to_string(Bit) + "]",
+                    (Cycle >> Bit) & 1);
+    }
+    S1->step();
+    S2->step();
+    for (WireId Out : Gates.Outputs)
+      EXPECT_EQ(S1->value(Gates.wire(Out).Name),
+                S2->value(Gates.wire(Out).Name))
+          << Gates.wire(Out).Name;
+  }
+
+  EXPECT_FALSE(synth::detectCycles(Reimported).HasLoop);
+}
+
+TEST(BlifTest, ImportedDesignIsAnalyzable) {
+  // The paper's pipeline: BLIF in, sorts out.
+  const char *Text = R"(
+.model fwdish
+.inputs v_i
+.outputs v_o
+.names count_q v_i v_o
+1- 1
+-1 1
+.latch v_i count_q re clk 0
+.end
+)";
+  std::string Error;
+  auto File = parseBlif(Text, Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(File->Design, Out).has_value());
+  const Module &M = File->Design.module(File->Top);
+  EXPECT_EQ(Out.at(File->Top).sortOf(M.findPort("v_i")), Sort::ToPort);
+  EXPECT_EQ(Out.at(File->Top).sortOf(M.findPort("v_o")), Sort::FromPort);
+}

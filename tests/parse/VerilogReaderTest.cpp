@@ -1,0 +1,300 @@
+//===- tests/parse/VerilogReaderTest.cpp - Verilog import tests -----------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/VerilogReader.h"
+
+#include "analysis/SortInference.h"
+#include "gen/Fifo.h"
+#include "parse/Verilog.h"
+#include "sim/Simulator.h"
+#include "synth/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+using namespace wiresort::parse;
+
+namespace {
+
+VerilogFile parseOrDie(const std::string &Text) {
+  std::string Error;
+  auto File = parseVerilog(Text, Error);
+  EXPECT_TRUE(File.has_value()) << Error;
+  return File ? std::move(*File) : VerilogFile{};
+}
+
+} // namespace
+
+TEST(VerilogReaderTest, AnsiPortsAndAssigns) {
+  VerilogFile File = parseOrDie(R"(
+// A little ALU slice.
+module alu_slice(input wire [7:0] a, input wire [7:0] b,
+                 input wire sel, output wire [7:0] y,
+                 output wire eq);
+  wire [7:0] sum;
+  wire [7:0] diff;
+  assign sum = a + b;
+  assign diff = a - b;
+  assign y = sel ? sum : diff;
+  assign eq = a == b;
+endmodule
+)");
+  const Module &M = File.Design.module(File.Top);
+  EXPECT_EQ(M.Inputs.size(), 3u);
+  EXPECT_EQ(M.Outputs.size(), 2u);
+
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->setInput("a", 20);
+  S->setInput("b", 22);
+  S->setInput("sel", 1);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 42u);
+  EXPECT_EQ(S->value("eq"), 0u);
+  S->setInput("sel", 0);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 254u); // 20 - 22 mod 256.
+}
+
+TEST(VerilogReaderTest, ClassicPortsAndRegs) {
+  VerilogFile File = parseOrDie(R"(
+module counter(clk, en, count);
+  input clk;
+  input en;
+  output [3:0] count;
+  reg [3:0] count_q = 4'd0;
+  always @(posedge clk) begin
+    count_q <= en ? count_q + 4'd1 : count_q;
+  end
+  assign count = count_q;
+endmodule
+)");
+  const Module &M = File.Design.module(File.Top);
+  EXPECT_EQ(M.Registers.size(), 1u);
+
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->setInput("en", 1);
+  S->setInput("clk", 0); // The explicit clk port is ignored by sim.
+  for (int I = 0; I != 5; ++I)
+    S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("count"), 5u);
+}
+
+TEST(VerilogReaderTest, OperatorsAndSelects) {
+  VerilogFile File = parseOrDie(R"(
+module ops(input wire [7:0] a, input wire [7:0] b,
+           output wire [7:0] o_logic, output wire o_red,
+           output wire [7:0] o_shift, output wire o_rel,
+           output wire [7:0] o_cat);
+  assign o_logic = (a & b) | (a ^ ~b);
+  assign o_red = &a | ^b | !a;
+  assign o_shift = (a << 2) | (b >> 3);
+  assign o_rel = (a < b) && (a != b) || (a >= b);
+  assign o_cat = {a[3:0], b[7:4]};
+endmodule
+)");
+  const Module &M = File.Design.module(File.Top);
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  auto check = [&](uint64_t A, uint64_t B) {
+    S->setInput("a", A);
+    S->setInput("b", B);
+    S->evaluate();
+    uint64_t Logic = ((A & B) | (A ^ (~B & 0xFF))) & 0xFF;
+    EXPECT_EQ(S->value("o_logic"), Logic);
+    uint64_t Red = (A == 0xFF) | (__builtin_popcountll(B) & 1) |
+                   (A == 0);
+    EXPECT_EQ(S->value("o_red"), Red & 1);
+    EXPECT_EQ(S->value("o_shift"), ((A << 2) | (B >> 3)) & 0xFF);
+    uint64_t Rel = ((A < B) && (A != B)) || (A >= B);
+    EXPECT_EQ(S->value("o_rel"), Rel);
+    EXPECT_EQ(S->value("o_cat"), ((A & 0xF) << 4) | ((B >> 4) & 0xF));
+  };
+  check(0x0F, 0xF0);
+  check(0xFF, 0x01);
+  check(0x00, 0x00);
+  check(0xAA, 0xAA);
+}
+
+TEST(VerilogReaderTest, HierarchyWithForwardReference) {
+  VerilogFile File = parseOrDie(R"(
+module top(input wire [3:0] x, output wire [3:0] y);
+  wire [3:0] mid;
+  inv u0 (.a(x), .y(mid));
+  inv u1 (.a(mid), .y(y));
+endmodule
+
+module inv(input wire [3:0] a, output wire [3:0] y);
+  assign y = ~a;
+endmodule
+)");
+  EXPECT_EQ(File.Design.numModules(), 2u);
+  const Module &Top = File.Design.module(File.Top);
+  EXPECT_EQ(Top.Instances.size(), 2u);
+
+  Module Flat = synth::lower(File.Design, File.Top);
+  std::string Error;
+  auto S = sim::Simulator::create(Flat, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  for (int Bit = 0; Bit != 4; ++Bit)
+    S->setInput("x[" + std::to_string(Bit) + "]", (5 >> Bit) & 1);
+  S->evaluate();
+  uint64_t Y = 0;
+  for (int Bit = 0; Bit != 4; ++Bit)
+    Y |= S->value("y[" + std::to_string(Bit) + "]") << Bit;
+  EXPECT_EQ(Y, 5u); // Double inversion.
+}
+
+TEST(VerilogReaderTest, ForwardingFifoSortsFromVerilogSource) {
+  // The paper's Figure 2 module written directly in Verilog: the reader
+  // feeds the analysis and the sorts come out right.
+  VerilogFile File = parseOrDie(R"(
+module fwd_fifo(input wire clk, input wire v_i,
+                input wire [7:0] data_i, input wire yumi_i,
+                output wire v_o, output wire [7:0] data_o,
+                output wire ready_o);
+  reg [2:0] count = 3'd0;
+  reg [7:0] store = 8'd0;
+  wire empty;
+  wire enq;
+  wire deq;
+  assign empty = count == 3'd0;
+  assign ready_o = count < 3'd4;
+  assign v_o = (count != 3'd0) | (v_i & ready_o);
+  assign data_o = (empty & v_i) ? data_i : store;
+  assign enq = v_i & ready_o;
+  assign deq = yumi_i & (count != 3'd0);
+  always @(posedge clk) begin
+    count <= count + {2'b00, enq} - {2'b00, deq};
+    store <= enq ? data_i : store;
+  end
+endmodule
+)");
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(File.Design, Out).has_value());
+  const Module &M = File.Design.module(File.Top);
+  const ModuleSummary &S = Out.at(File.Top);
+  EXPECT_EQ(S.sortOf(M.findPort("v_i")), Sort::ToPort);
+  EXPECT_EQ(S.sortOf(M.findPort("data_i")), Sort::ToPort);
+  EXPECT_EQ(S.sortOf(M.findPort("yumi_i")), Sort::ToSync);
+  EXPECT_EQ(S.sortOf(M.findPort("v_o")), Sort::FromPort);
+  EXPECT_EQ(S.sortOf(M.findPort("data_o")), Sort::FromPort);
+  EXPECT_EQ(S.sortOf(M.findPort("ready_o")), Sort::FromSync);
+}
+
+TEST(VerilogReaderTest, WriterOutputRoundTrips) {
+  // Full circle: generate, lower, write Verilog, reparse, co-simulate.
+  Design D;
+  ModuleId Id = D.addModule(gen::makeFifo({4, 2, true}));
+  Design Flat;
+  ModuleId FlatId = Flat.addModule(synth::lower(D, Id));
+  std::string Text = writeVerilog(Flat, FlatId);
+
+  VerilogFile File = parseOrDie(Text);
+  const Module &Reparsed = File.Design.module(File.Top);
+  const Module &Original = Flat.module(FlatId);
+  EXPECT_EQ(Reparsed.Registers.size(), Original.Registers.size());
+
+  std::string Error;
+  auto S1 = sim::Simulator::create(Original, Error);
+  ASSERT_TRUE(S1.has_value()) << Error;
+  auto S2 = sim::Simulator::create(Reparsed, Error);
+  ASSERT_TRUE(S2.has_value()) << Error;
+  for (int Cycle = 0; Cycle != 60; ++Cycle) {
+    uint64_t Push = (Cycle % 3) != 0;
+    uint64_t Pop = (Cycle % 2) != 0;
+    for (auto *S : {&*S1, &*S2}) {
+      S->setInput("v_i[0]", Push);
+      S->setInput("yumi_i[0]", Pop);
+      for (int Bit = 0; Bit != 4; ++Bit)
+        S->setInput("data_i[" + std::to_string(Bit) + "]",
+                    (Cycle >> Bit) & 1);
+    }
+    // The reparsed module gained an explicit clk input.
+    S2->setInput("clk", 0);
+    S1->step();
+    S2->step();
+    for (WireId Out : Original.Outputs)
+      EXPECT_EQ(S1->value(Original.wire(Out).Name),
+                S2->value(Original.wire(Out).Name))
+          << Original.wire(Out).Name << " cycle " << Cycle;
+  }
+}
+
+TEST(VerilogReaderTest, ErrorsAreSpecific) {
+  std::string Error;
+  EXPECT_FALSE(parseVerilog("", Error).has_value());
+  EXPECT_NE(Error.find("no modules"), std::string::npos);
+
+  Error.clear();
+  EXPECT_FALSE(parseVerilog("module m(input wire a); assign b = a; "
+                            "endmodule",
+                            Error)
+                   .has_value());
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+
+  Error.clear();
+  EXPECT_FALSE(parseVerilog("module m(input wire a, output wire y);\n"
+                            "  assign y = a + 2'b11;\nendmodule",
+                            Error)
+                   .has_value());
+  EXPECT_NE(Error.find("width mismatch"), std::string::npos);
+
+  Error.clear();
+  EXPECT_FALSE(parseVerilog("module m(input wire a, output wire y);\n"
+                            "  initial y = 0;\nendmodule",
+                            Error)
+                   .has_value());
+  EXPECT_NE(Error.find("initial"), std::string::npos);
+
+  Error.clear();
+  EXPECT_FALSE(parseVerilog("module m(input wire a, output wire y);\n"
+                            "  assign y = q;\nendmodule",
+                            Error)
+                   .has_value());
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+}
+
+TEST(VerilogReaderTest, CombinationalLoopInSourceIsCaught) {
+  VerilogFile File = parseOrDie(R"(
+module loopy(input wire a, output wire y);
+  wire p;
+  wire q;
+  assign p = q & a;
+  assign q = p;
+  assign y = p;
+endmodule
+)");
+  std::map<ModuleId, ModuleSummary> Out;
+  auto Loop = analyzeDesign(File.Design, Out);
+  ASSERT_TRUE(Loop.has_value());
+  EXPECT_NE(Loop->describe().find("loopy"), std::string::npos);
+}
+
+TEST(VerilogReaderTest, UnsizedLiteralsAdaptToContext) {
+  VerilogFile File = parseOrDie(R"(
+module lits(input wire [15:0] a, output wire [15:0] y,
+            output wire z);
+  assign y = a + 1;
+  assign z = a == 1234;
+endmodule
+)");
+  const Module &M = File.Design.module(File.Top);
+  std::string Error;
+  auto S = sim::Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->setInput("a", 1234);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 1235u);
+  EXPECT_EQ(S->value("z"), 1u);
+}

@@ -1,0 +1,450 @@
+//===- tests/riscv/CpuTest.cpp - RV32I CPU case-study tests ---------------===//
+//
+// Part of the wiresort project. Behavioral ISA tests for the Section 5.3
+// CPU plus the wire-sort results the case study reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "riscv/Cpu.h"
+
+#include "ir/Builder.h"
+
+#include "analysis/SortInference.h"
+#include "analysis/WellConnected.h"
+#include "riscv/Encoding.h"
+#include "sim/Simulator.h"
+#include "synth/CycleDetect.h"
+#include "synth/Flatten.h"
+#include "synth/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+using namespace wiresort::riscv;
+
+namespace {
+
+/// Builds, seals, flattens, and simulates the CPU with a program image.
+class CpuHarness {
+public:
+  explicit CpuHarness(const std::vector<uint32_t> &Program,
+                      uint16_t NumThreads = 5) {
+    CpuConfig Config;
+    Config.NumThreads = NumThreads;
+    Cpu C = buildCpu(D, Config);
+    ModuleId Top = sealCpu(C);
+    Flat = synth::inlineInstances(D, Top);
+    std::string Error;
+    Sim = sim::Simulator::create(Flat, Error);
+    EXPECT_TRUE(Sim.has_value()) << Error;
+
+    IMem = findMem("fetch.imem");
+    Bank0 = findMem("regfile.bank0");
+    DMem = findMem("lsu.dmem");
+    Instret = findMem("csr.instret");
+
+    std::vector<uint64_t> Image(Program.begin(), Program.end());
+    Sim->loadMemory(IMem, Image);
+    Sim->setInput("sched.run_i", 1);
+    Sim->setInput("fetch.imem_wen_i", 0);
+    Sim->setInput("fetch.imem_waddr_i", 0);
+    Sim->setInput("fetch.imem_wdata_i", 0);
+  }
+
+  void run(size_t Cycles) {
+    for (size_t I = 0; I != Cycles; ++I)
+      Sim->step();
+  }
+
+  /// Architectural register \p Reg of hardware thread \p Thread.
+  uint32_t reg(uint16_t Thread, uint16_t Reg) const {
+    return static_cast<uint32_t>(
+        Sim->memoryWord(Bank0, (uint64_t(Thread) << 5) | Reg));
+  }
+
+  uint32_t dataWord(uint32_t WordAddr) const {
+    return static_cast<uint32_t>(Sim->memoryWord(DMem, WordAddr));
+  }
+
+  uint32_t instret(uint16_t Thread) const {
+    return static_cast<uint32_t>(Sim->memoryWord(Instret, Thread));
+  }
+
+  Design D;
+  Module Flat;
+  std::optional<sim::Simulator> Sim;
+  MemId IMem = 0, Bank0 = 0, DMem = 0, Instret = 0;
+
+private:
+  MemId findMem(const std::string &Name) {
+    for (MemId M = 0; M != Flat.Memories.size(); ++M)
+      if (Flat.Memories[M].Name == Name)
+        return M;
+    ADD_FAILURE() << "memory " << Name << " not found";
+    return 0;
+  }
+};
+
+/// Halt: spin on a self-jump.
+uint32_t halt() { return jal(0, 0); }
+
+/// Enough cycles for every thread to run \p PerThread instructions.
+size_t cyclesFor(size_t PerThread, uint16_t Threads = 5) {
+  return (PerThread + 4) * Threads + Threads;
+}
+
+} // namespace
+
+TEST(CpuTest, AddiAndRegisterZero) {
+  CpuHarness H({
+      addi(1, 0, 42),   // x1 = 42
+      addi(2, 1, -2),   // x2 = 40
+      addi(0, 0, 99),   // x0 stays 0
+      halt(),
+  });
+  H.run(cyclesFor(4));
+  for (uint16_t T = 0; T != 5; ++T) {
+    EXPECT_EQ(H.reg(T, 1), 42u) << "thread " << T;
+    EXPECT_EQ(H.reg(T, 2), 40u) << "thread " << T;
+    EXPECT_EQ(H.reg(T, 0), 0u) << "thread " << T;
+  }
+}
+
+TEST(CpuTest, ArithmeticRType) {
+  CpuHarness H({
+      addi(1, 0, 21),
+      addi(2, 0, 2),
+      add(3, 1, 2),    // 23
+      sub(4, 1, 2),    // 19
+      and_(5, 1, 2),   // 21 & 2 = 0
+      or_(6, 1, 2),    // 23
+      xor_(7, 1, 2),   // 23
+      halt(),
+  });
+  H.run(cyclesFor(8));
+  EXPECT_EQ(H.reg(0, 3), 23u);
+  EXPECT_EQ(H.reg(0, 4), 19u);
+  EXPECT_EQ(H.reg(0, 5), 0u);
+  EXPECT_EQ(H.reg(0, 6), 23u);
+  EXPECT_EQ(H.reg(0, 7), 23u);
+}
+
+TEST(CpuTest, ShiftsIncludingArithmetic) {
+  CpuHarness H({
+      addi(1, 0, -8),      // 0xFFFFFFF8
+      addi(2, 0, 2),
+      sll(3, 1, 2),        // 0xFFFFFFE0
+      srl(4, 1, 2),        // 0x3FFFFFFE
+      sra(5, 1, 2),        // 0xFFFFFFFE
+      slli(6, 2, 4),       // 32
+      srai(7, 1, 1),       // 0xFFFFFFFC
+      halt(),
+  });
+  H.run(cyclesFor(8));
+  EXPECT_EQ(H.reg(0, 3), 0xFFFFFFE0u);
+  EXPECT_EQ(H.reg(0, 4), 0x3FFFFFFEu);
+  EXPECT_EQ(H.reg(0, 5), 0xFFFFFFFEu);
+  EXPECT_EQ(H.reg(0, 6), 32u);
+  EXPECT_EQ(H.reg(0, 7), 0xFFFFFFFCu);
+}
+
+TEST(CpuTest, ComparisonsSignedAndUnsigned) {
+  CpuHarness H({
+      addi(1, 0, -1),       // Signed -1 / unsigned max.
+      addi(2, 0, 1),
+      slt(3, 1, 2),         // -1 < 1: 1.
+      sltu(4, 1, 2),        // max < 1: 0.
+      slti(5, 1, 0),        // -1 < 0: 1.
+      sltiu(6, 2, 2),       // 1 < 2: 1.
+      halt(),
+  });
+  H.run(cyclesFor(7));
+  EXPECT_EQ(H.reg(0, 3), 1u);
+  EXPECT_EQ(H.reg(0, 4), 0u);
+  EXPECT_EQ(H.reg(0, 5), 1u);
+  EXPECT_EQ(H.reg(0, 6), 1u);
+}
+
+TEST(CpuTest, LuiAuipcJalLinkage) {
+  CpuHarness H({
+      lui(1, 0x12345000),   // x1 = 0x12345000.
+      auipc(2, 0x1000),     // x2 = 4 + 0x1000.
+      jal(3, 8),            // x3 = 12; skip next.
+      addi(4, 0, 111),      // Skipped.
+      addi(5, 0, 7),
+      halt(),
+  });
+  H.run(cyclesFor(6));
+  EXPECT_EQ(H.reg(0, 1), 0x12345000u);
+  EXPECT_EQ(H.reg(0, 2), 0x1004u);
+  EXPECT_EQ(H.reg(0, 3), 12u);
+  EXPECT_EQ(H.reg(0, 4), 0u); // Never executed.
+  EXPECT_EQ(H.reg(0, 5), 7u);
+}
+
+TEST(CpuTest, JalrComputedTarget) {
+  CpuHarness H({
+      addi(1, 0, 16),       // Target = 16.
+      jalr(2, 1, 0),        // Jump to 16, x2 = 8.
+      addi(3, 0, 1),        // Skipped.
+      addi(3, 0, 2),        // Skipped.
+      addi(4, 0, 9),        // At 16.
+      halt(),
+  });
+  H.run(cyclesFor(6));
+  EXPECT_EQ(H.reg(0, 2), 8u);
+  EXPECT_EQ(H.reg(0, 3), 0u);
+  EXPECT_EQ(H.reg(0, 4), 9u);
+}
+
+TEST(CpuTest, BranchesTakenAndNot) {
+  CpuHarness H({
+      addi(1, 0, 5),
+      addi(2, 0, 5),
+      beq(1, 2, 8),         // Taken: skip poison.
+      addi(3, 0, 111),      // Skipped.
+      bne(1, 2, 8),         // Not taken.
+      addi(4, 0, 22),       // Executed.
+      blt(1, 2, 8),         // Not taken (5 < 5 false).
+      addi(5, 0, 33),       // Executed.
+      bge(1, 2, 8),         // Taken.
+      addi(6, 0, 111),      // Skipped.
+      addi(7, 0, 44),
+      halt(),
+  });
+  H.run(cyclesFor(12));
+  EXPECT_EQ(H.reg(0, 3), 0u);
+  EXPECT_EQ(H.reg(0, 4), 22u);
+  EXPECT_EQ(H.reg(0, 5), 33u);
+  EXPECT_EQ(H.reg(0, 6), 0u);
+  EXPECT_EQ(H.reg(0, 7), 44u);
+}
+
+TEST(CpuTest, UnsignedBranches) {
+  CpuHarness H({
+      addi(1, 0, -1),       // Unsigned max.
+      addi(2, 0, 1),
+      bltu(2, 1, 8),        // 1 < max: taken.
+      addi(3, 0, 111),      // Skipped.
+      bgeu(2, 1, 8),        // Not taken.
+      addi(4, 0, 55),       // Executed.
+      halt(),
+  });
+  H.run(cyclesFor(7));
+  EXPECT_EQ(H.reg(0, 3), 0u);
+  EXPECT_EQ(H.reg(0, 4), 55u);
+}
+
+TEST(CpuTest, WordLoadsAndStores) {
+  CpuHarness H({
+      addi(1, 0, 0x123),
+      sw(1, 0, 16),         // mem[16] = 0x123.
+      lw(2, 0, 16),         // x2 = 0x123.
+      addi(3, 2, 1),
+      halt(),
+  });
+  H.run(cyclesFor(5));
+  EXPECT_EQ(H.dataWord(4), 0x123u);
+  EXPECT_EQ(H.reg(0, 2), 0x123u);
+  EXPECT_EQ(H.reg(0, 3), 0x124u);
+}
+
+TEST(CpuTest, SubWordLoadsSignAndZeroExtend) {
+  CpuHarness H({
+      lui(1, static_cast<int32_t>(0x8F6E4000)),
+      addi(1, 1, 0x4D2),    // x1 = 0x8F6E44D2.
+      sw(1, 0, 0),
+      lb(2, 0, 0),
+      lbu(3, 0, 0),
+      lh(4, 0, 0),
+      lhu(5, 0, 0),
+      lb(6, 0, 1),
+      halt(),
+  });
+  H.run(cyclesFor(9));
+  // x1 = 0x8F6E5000 + (0x4D2 - 0x1000) = 0x8F6E44D2.
+  EXPECT_EQ(H.reg(0, 1), 0x8F6E44D2u);
+  EXPECT_EQ(H.reg(0, 2), 0xFFFFFFD2u); // LB sign-extends 0xD2.
+  EXPECT_EQ(H.reg(0, 3), 0xD2u);       // LBU.
+  EXPECT_EQ(H.reg(0, 4), 0x44D2u);     // LH of 0x44D2 (positive).
+  EXPECT_EQ(H.reg(0, 5), 0x44D2u);     // LHU.
+  EXPECT_EQ(H.reg(0, 6), 0x44u);       // Byte 1.
+}
+
+TEST(CpuTest, SubWordStoresMergeIntoWord) {
+  CpuHarness H({
+      addi(1, 0, 0x7F),     // Pattern bytes.
+      sw(0, 0, 0),          // Clear word 0.
+      sb(1, 0, 2),          // Byte 2 = 0x7F.
+      addi(2, 0, 0x5A),
+      sb(2, 0, 0),          // Byte 0 = 0x5A.
+      addi(3, 0, 0x666),
+      sh(3, 0, 4),          // Halfword at word 1, offset 0.
+      halt(),
+  });
+  H.run(cyclesFor(8));
+  EXPECT_EQ(H.dataWord(0), 0x007F005Au);
+  EXPECT_EQ(H.dataWord(1), 0x0666u);
+}
+
+TEST(CpuTest, FibonacciLoop) {
+  // fib(10) = 55 via an iterative loop.
+  CpuHarness H({
+      addi(1, 0, 0),        // a = 0.
+      addi(2, 0, 1),        // b = 1.
+      addi(3, 0, 10),       // i = 10.
+      // loop:
+      beq(3, 0, 24),        // While i != 0... exit to halt.
+      add(4, 1, 2),         // t = a + b.
+      addi(1, 2, 0),        // a = b.
+      addi(2, 4, 0),        // b = t.
+      addi(3, 3, -1),       // --i.
+      jal(0, -20),          // Back to loop head.
+      halt(),
+  });
+  H.run(cyclesFor(80));
+  for (uint16_t T = 0; T != 5; ++T)
+    EXPECT_EQ(H.reg(T, 1), 55u) << "thread " << T;
+}
+
+TEST(CpuTest, ThreadsProgressIndependently) {
+  // Every thread increments a private counter; a shared memory cell is
+  // bumped by whoever reaches it, demonstrating interleaving.
+  CpuHarness H({
+      addi(1, 1, 1),        // Private counter (regs are per thread).
+      lw(2, 0, 0),
+      addi(2, 2, 1),
+      sw(2, 0, 0),          // Shared cell.
+      jal(0, -16),
+  });
+  H.run(500);
+  uint32_t Total = 0;
+  uint32_t PerThread[5];
+  for (uint16_t T = 0; T != 5; ++T) {
+    PerThread[T] = H.reg(T, 1);
+    EXPECT_GT(PerThread[T], 10u) << "thread " << T;
+    Total += PerThread[T];
+  }
+  // Fair round-robin: lap counts stay within a small window.
+  for (uint16_t T = 1; T != 5; ++T)
+    EXPECT_LE(std::max(PerThread[T], PerThread[0]) -
+                  std::min(PerThread[T], PerThread[0]),
+              2u);
+  // The shared cell saw updates, but fine-grained interleaving loses
+  // some increments (each thread's load and store are 10 cycles apart):
+  // a classic data race the CPU must exhibit faithfully.
+  EXPECT_GT(H.dataWord(0), 0u);
+  EXPECT_LE(H.dataWord(0), Total);
+  // Retired-instruction counters advance with the laps (5 per lap).
+  EXPECT_GT(H.instret(0), PerThread[0]);
+}
+
+TEST(CpuTest, CircuitIsWellConnected) {
+  // The Section 5.3 headline: all 11 modules summarized, the circuit
+  // checks clean, and the flat netlist agrees.
+  Design D;
+  Cpu C = buildCpu(D);
+  std::map<ModuleId, ModuleSummary> Out;
+  auto Loop = analyzeDesign(D, Out);
+  ASSERT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  EXPECT_EQ(C.Modules.size(), 11u);
+
+  CircuitCheckResult R = checkCircuit(C.Circ, Out);
+  EXPECT_TRUE(R.WellConnected);
+  EXPECT_TRUE(checkCircuitPairwise(C.Circ, Out).WellConnected);
+
+  ModuleId Top = sealCpu(C);
+  Module Gates = synth::lower(D, Top);
+  EXPECT_FALSE(synth::detectCycles(Gates).HasLoop);
+}
+
+TEST(CpuTest, SingleCycleSortsAreMostlyPortSorts) {
+  // Table 4's RISC-V row: a single-cycle CPU's module interfaces are
+  // dominated by to-port/from-port wires.
+  Design D;
+  Cpu C = buildCpu(D);
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+
+  size_t PortSorted = 0, Total = 0;
+  for (ModuleId Id : C.Modules) {
+    const Module &M = D.module(Id);
+    for (WireId In : M.Inputs) {
+      ++Total;
+      PortSorted += Out.at(Id).sortOf(In) == Sort::ToPort;
+    }
+    for (WireId O : M.Outputs) {
+      ++Total;
+      PortSorted += Out.at(Id).sortOf(O) == Sort::FromPort;
+    }
+  }
+  EXPECT_GT(PortSorted * 2, Total); // More than half are port sorts.
+}
+
+TEST(CpuTest, MisWiringIsCaughtBeforeSynthesis) {
+  // Wire the ALU result back into the LSU *and* the LSU's load data into
+  // the writeback whose output loops into the regfile is fine — but
+  // short-circuiting branch.next_pc into the pc_unit is safe while
+  // feeding alu.result into its own imm port would loop. Construct the
+  // buggy variant explicitly.
+  Design D;
+  CpuConfig Config;
+  Module AluM = makeAlu();
+  ModuleId AluId = D.addModule(std::move(AluM));
+  ModuleId Pass = [&] {
+    Builder B("glue");
+    V In = B.input("data_i", 32);
+    B.output("data_o", B.notv(In));
+    return D.addModule(B.finish());
+  }();
+
+  Circuit Circ(D, "buggy");
+  InstId A = Circ.addInstance(AluId, "alu");
+  InstId G = Circ.addInstance(Pass, "glue");
+  Circ.connect(A, "result_o", G, "data_i");
+  Circ.connect(G, "data_o", A, "imm_i"); // Combinational loop.
+
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  CircuitCheckResult R = checkCircuit(Circ, Out);
+  EXPECT_FALSE(R.WellConnected);
+  ASSERT_TRUE(R.Loop.has_value());
+  EXPECT_NE(R.Loop->describe().find("alu"), std::string::npos);
+}
+
+// --- Parameterized thread-count sweep --------------------------------------
+
+class CpuThreadSweep : public ::testing::TestWithParam<uint16_t> {};
+
+TEST_P(CpuThreadSweep, FibonacciOnEveryThread) {
+  const uint16_t Threads = GetParam();
+  CpuHarness H(
+      {
+          addi(1, 0, 0), addi(2, 0, 1), addi(3, 0, 9),
+          beq(3, 0, 24), add(4, 1, 2), addi(1, 2, 0),
+          addi(2, 4, 0), addi(3, 3, -1), jal(0, -20),
+          halt(),
+      },
+      Threads);
+  H.run((9 * 6 + 10 + 4) * Threads + Threads);
+  for (uint16_t T = 0; T != Threads; ++T)
+    EXPECT_EQ(H.reg(T, 1), 34u) << "thread " << T; // fib(9).
+}
+
+TEST_P(CpuThreadSweep, WellConnectedAtEveryThreadCount) {
+  Design D;
+  CpuConfig Config;
+  Config.NumThreads = GetParam();
+  Cpu C = buildCpu(D, Config);
+  std::map<ModuleId, ModuleSummary> Out;
+  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  EXPECT_TRUE(checkCircuit(C.Circ, Out).WellConnected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, CpuThreadSweep,
+                         ::testing::Values<uint16_t>(1, 2, 3, 4, 5, 8),
+                         [](const ::testing::TestParamInfo<uint16_t> &I) {
+                           return "t" + std::to_string(I.param);
+                         });

@@ -1,0 +1,136 @@
+//===- tests/sim/SimulatorTest.cpp - Simulator substrate tests ------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::ir;
+using namespace wiresort::sim;
+
+TEST(SimulatorTest, RejectsCombinationalLoop) {
+  Module M("loopy");
+  WireId A = M.addWire("a", WireKind::Basic, 1);
+  WireId In = M.addInput("x", 1);
+  WireId Out = M.addOutput("y", 1);
+  M.addNet(Op::And, {A, In}, A);
+  M.addNet(Op::Buf, {A}, Out);
+  std::string Error;
+  EXPECT_FALSE(Simulator::create(M, Error).has_value());
+  EXPECT_NE(Error.find("combinational loop"), std::string::npos);
+}
+
+TEST(SimulatorTest, RejectsHierarchy) {
+  Module M("withinst");
+  SubInstance Inst;
+  Inst.Def = 0;
+  M.addInstance(std::move(Inst));
+  std::string Error;
+  EXPECT_FALSE(Simulator::create(M, Error).has_value());
+  EXPECT_NE(Error.find("flatten"), std::string::npos);
+}
+
+TEST(SimulatorTest, MemoryReadBeforeWriteSemantics) {
+  Builder B("rmw");
+  V Addr = B.input("addr", 2);
+  V WData = B.input("wdata", 8);
+  V Wen = B.input("wen", 1);
+  B.output("y", B.memory("m", /*SyncRead=*/false, Addr, Addr, WData, Wen));
+  Module M = B.finish();
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+
+  S->setInput("addr", 1);
+  S->setInput("wdata", 42);
+  S->setInput("wen", 1);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 0u); // Write has not landed yet.
+  S->step();
+  S->setInput("wen", 0);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 42u); // Next cycle it has.
+}
+
+TEST(SimulatorTest, SyncReadLatchesPreWriteContents) {
+  Builder B("sync");
+  V RAddr = B.input("raddr", 2);
+  V WAddr = B.input("waddr", 2);
+  V WData = B.input("wdata", 8);
+  V Wen = B.input("wen", 1);
+  B.output("y",
+           B.memory("m", /*SyncRead=*/true, RAddr, WAddr, WData, Wen));
+  Module M = B.finish();
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+
+  // Write 7 to address 2 while reading address 2: the synchronous read
+  // must return the old contents (0) on the next cycle.
+  S->setInput("raddr", 2);
+  S->setInput("waddr", 2);
+  S->setInput("wdata", 7);
+  S->setInput("wen", 1);
+  S->step();
+  S->setInput("wen", 0);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 0u);
+  // One more cycle: now the write is visible.
+  S->step();
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 7u);
+}
+
+TEST(SimulatorTest, LoadMemoryPreloadsWords) {
+  Builder B("rom");
+  V Addr = B.input("addr", 3);
+  B.output("y", B.memory("m", /*SyncRead=*/false, Addr, B.lit(0, 3),
+                         B.lit(0, 16), B.lit(0, 1)));
+  Module M = B.finish();
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->loadMemory(0, {10, 20, 30});
+  for (uint64_t A = 0; A != 3; ++A) {
+    S->setInput("addr", A);
+    S->evaluate();
+    EXPECT_EQ(S->value("y"), (A + 1) * 10);
+  }
+  EXPECT_EQ(S->memoryWord(0, 1), 20u);
+}
+
+TEST(SimulatorTest, WideArithmeticMasks) {
+  Builder B("mask");
+  V A = B.input("a", 64);
+  B.output("y", B.add(A, B.lit(1, 64)));
+  Module M = B.finish();
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  S->setInput("a", ~0ull);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 0u);
+}
+
+TEST(SimulatorTest, CycleCounterAdvances) {
+  Builder B("cnt");
+  V Q = B.regLoop("q", 8);
+  B.drive(Q, B.inc(Q));
+  B.output("y", Q);
+  Module M = B.finish();
+  std::string Error;
+  auto S = Simulator::create(M, Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  EXPECT_EQ(S->cycles(), 0u);
+  for (int I = 0; I != 3; ++I)
+    S->step();
+  EXPECT_EQ(S->cycles(), 3u);
+  S->evaluate();
+  EXPECT_EQ(S->value("y"), 3u);
+}

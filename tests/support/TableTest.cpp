@@ -1,0 +1,41 @@
+//===- tests/support/TableTest.cpp - Table formatter tests ----------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+
+TEST(TableTest, WithCommasFormatsGroups) {
+  EXPECT_EQ(Table::withCommas(0), "0");
+  EXPECT_EQ(Table::withCommas(999), "999");
+  EXPECT_EQ(Table::withCommas(1000), "1,000");
+  EXPECT_EQ(Table::withCommas(1517073), "1,517,073");
+  EXPECT_EQ(Table::withCommas(1234567890123ull), "1,234,567,890,123");
+}
+
+TEST(TableTest, SecondsAndSpeedupFormatting) {
+  EXPECT_EQ(Table::secondsStr(30.1764), "30.176");
+  EXPECT_EQ(Table::secondsStr(0.0005, 3), "0.001");
+  EXPECT_EQ(Table::speedupStr(33.93), "33.93x");
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table T({"Module", "Gates"});
+  T.addRow({"fifo", "148272"});
+  T.addRow({"x", "1"});
+  std::string S = T.str();
+  // Header, rule, and both rows present.
+  EXPECT_NE(S.find("Module"), std::string::npos);
+  EXPECT_NE(S.find("fifo"), std::string::npos);
+  EXPECT_NE(S.find("---"), std::string::npos);
+  // Every line of a column-aligned table starts the second column at the
+  // same offset: "Gates" and "148272" share a column start.
+  size_t HeaderCol = S.find("Gates") - S.rfind('\n', S.find("Gates")) - 1;
+  size_t RowCol = S.find("148272") - S.rfind('\n', S.find("148272")) - 1;
+  EXPECT_EQ(HeaderCol, RowCol);
+}

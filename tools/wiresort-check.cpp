@@ -1,0 +1,259 @@
+//===- tools/wiresort-check.cpp - The wiresort command-line tool ----------===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// A Yosys-pass-style command-line front end for the library: read a
+// (possibly hierarchical) BLIF netlist or structural Verilog file
+// (dispatched on the .v/.sv extension), infer every module's wire sorts,
+// check the design for combinational loops through the module-interface
+// analysis, and optionally emit sort annotations and Graphviz renderings.
+//
+//   wiresort-check design.blif                 # sorts + verdict
+//   wiresort-check design.blif --summaries out.wsort
+//   wiresort-check design.blif --check out.wsort   # ascription check
+//   wiresort-check design.blif --dot out.dot   # top module, colored
+//   wiresort-check design.blif --quiet         # verdict only
+//   wiresort-check design.blif --depth         # timing extension
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Ascription.h"
+#include "analysis/Depth.h"
+#include "analysis/Dot.h"
+#include "analysis/SortInference.h"
+#include "analysis/SummaryIO.h"
+#include "parse/Blif.h"
+#include "parse/VerilogReader.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <design.blif> [--summaries FILE] "
+               "[--check FILE] [--dot FILE] [--quiet] [--depth]\n",
+               Argv0);
+  return 2;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << Text;
+  return Out.good();
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  std::string BlifPath, SummariesOut, CheckPath, DotPath;
+  bool Quiet = false;
+  bool ShowDepth = false;
+  for (int I = 1; I < ArgC; ++I) {
+    std::string Arg = ArgV[I];
+    auto takeValue = [&](std::string &Slot) {
+      if (I + 1 >= ArgC)
+        return false;
+      Slot = ArgV[++I];
+      return true;
+    };
+    if (Arg == "--summaries") {
+      if (!takeValue(SummariesOut))
+        return usage(ArgV[0]);
+    } else if (Arg == "--check") {
+      if (!takeValue(CheckPath))
+        return usage(ArgV[0]);
+    } else if (Arg == "--dot") {
+      if (!takeValue(DotPath))
+        return usage(ArgV[0]);
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--depth") {
+      ShowDepth = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage(ArgV[0]);
+    } else if (BlifPath.empty()) {
+      BlifPath = Arg;
+    } else {
+      return usage(ArgV[0]);
+    }
+  }
+  if (BlifPath.empty())
+    return usage(ArgV[0]);
+
+  std::optional<std::string> Text = readFile(BlifPath);
+  if (!Text) {
+    std::fprintf(stderr, "error: cannot read %s\n", BlifPath.c_str());
+    return 2;
+  }
+
+  std::string Error;
+  bool IsVerilog =
+      BlifPath.size() >= 2 &&
+      (BlifPath.rfind(".v") == BlifPath.size() - 2 ||
+       (BlifPath.size() >= 3 &&
+        BlifPath.rfind(".sv") == BlifPath.size() - 3));
+  std::optional<parse::BlifFile> File;
+  if (IsVerilog) {
+    auto VFile = parse::parseVerilog(*Text, Error);
+    if (VFile) {
+      File.emplace();
+      File->Design = std::move(VFile->Design);
+      File->Top = VFile->Top;
+    }
+  } else {
+    File = parse::parseBlif(*Text, Error);
+  }
+  if (!File) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  Timer T;
+  std::map<ModuleId, ModuleSummary> Summaries;
+  std::optional<LoopDiagnostic> Loop =
+      analyzeDesign(File->Design, Summaries);
+  double Ms = T.milliseconds();
+
+  if (Loop) {
+    std::printf("LOOPED: %s\n", Loop->describe().c_str());
+    return 1;
+  }
+
+  if (!Quiet) {
+    for (ModuleId Id = 0; Id != File->Design.numModules(); ++Id) {
+      const Module &M = File->Design.module(Id);
+      const ModuleSummary &S = Summaries.at(Id);
+      std::printf("module %s (%zu gates, %zu regs, %zu instances)\n",
+                  M.Name.c_str(), M.Nets.size(), M.Registers.size(),
+                  M.Instances.size());
+      Table PortTable({"Dir", "Port", "Sort", "Depends on / affects"});
+      auto setOf = [&](WireId Port) {
+        const auto &Set = M.isInput(Port) ? S.outputPortSet(Port)
+                                          : S.inputPortSet(Port);
+        std::string Out;
+        for (size_t I = 0; I != Set.size(); ++I) {
+          if (I)
+            Out += ", ";
+          Out += M.wire(Set[I]).Name;
+        }
+        return Out;
+      };
+      for (WireId In : M.Inputs)
+        PortTable.addRow(
+            {"in", M.wire(In).Name, sortName(S.sortOf(In)), setOf(In)});
+      for (WireId Out : M.Outputs)
+        PortTable.addRow({"out", M.wire(Out).Name,
+                          sortName(S.sortOf(Out)), setOf(Out)});
+      PortTable.print();
+      std::printf("\n");
+    }
+  }
+  std::printf("well-connected: %zu module(s) analyzed in %.2f ms\n",
+              File->Design.numModules(), Ms);
+
+  if (ShowDepth) {
+    auto Depths = inferAllDepths(File->Design, Summaries);
+    if (!Depths) {
+      std::fprintf(stderr, "error: depth analysis needs an acyclic "
+                           "design\n");
+      return 2;
+    }
+    Table DepthTable({"Module", "Reg-to-reg depth", "Deepest in->out"});
+    for (ModuleId Id = 0; Id != File->Design.numModules(); ++Id) {
+      const DepthSummary &Depth = Depths->at(Id);
+      uint32_t DeepestPair = 0;
+      for (const auto &[Pair, Levels] : Depth.PairDepth)
+        DeepestPair = std::max(DeepestPair, Levels);
+      DepthTable.addRow({File->Design.module(Id).Name,
+                         std::to_string(Depth.InternalDepth),
+                         std::to_string(DeepestPair)});
+    }
+    DepthTable.print();
+  }
+
+  if (!SummariesOut.empty()) {
+    if (!writeFile(SummariesOut,
+                   writeSummaries(File->Design, Summaries))) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   SummariesOut.c_str());
+      return 2;
+    }
+    std::printf("summaries written to %s\n", SummariesOut.c_str());
+  }
+
+  if (!CheckPath.empty()) {
+    std::optional<std::string> Declared = readFile(CheckPath);
+    if (!Declared) {
+      std::fprintf(stderr, "error: cannot read %s\n", CheckPath.c_str());
+      return 2;
+    }
+    auto DeclaredSummaries =
+        parseSummaries(*Declared, File->Design, Error);
+    if (!DeclaredSummaries) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    size_t Mismatches = 0;
+    for (const auto &[Id, Declared] : *DeclaredSummaries) {
+      const Module &M = File->Design.module(Id);
+      const ModuleSummary &Computed = Summaries.at(Id);
+      auto reportMismatch = [&](WireId Port, const char *What) {
+        std::printf("MISMATCH %s.%s: %s\n", M.Name.c_str(),
+                    M.wire(Port).Name.c_str(), What);
+        ++Mismatches;
+      };
+      for (WireId Port : M.Inputs) {
+        if (Declared.sortOf(Port) != Computed.sortOf(Port))
+          reportMismatch(Port, "declared sort differs from computed");
+        else if (Declared.outputPortSet(Port) !=
+                 Computed.outputPortSet(Port))
+          reportMismatch(Port, "declared output-port-set differs");
+      }
+      for (WireId Port : M.Outputs) {
+        if (Declared.sortOf(Port) != Computed.sortOf(Port))
+          reportMismatch(Port, "declared sort differs from computed");
+        else if (Declared.inputPortSet(Port) !=
+                 Computed.inputPortSet(Port))
+          reportMismatch(Port, "declared input-port-set differs");
+      }
+    }
+    if (Mismatches) {
+      std::printf("%zu ascription mismatch(es)\n", Mismatches);
+      return 1;
+    }
+    std::printf("all ascriptions match\n");
+  }
+
+  if (!DotPath.empty()) {
+    const Module &Top = File->Design.module(File->Top);
+    if (!writeFile(DotPath, moduleDot(Top, Summaries.at(File->Top)))) {
+      std::fprintf(stderr, "error: cannot write %s\n", DotPath.c_str());
+      return 2;
+    }
+    std::printf("dot written to %s\n", DotPath.c_str());
+  }
+  return 0;
+}
