@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_basejump"
+  "../bench/bench_table1_basejump.pdb"
+  "CMakeFiles/bench_table1_basejump.dir/bench_table1_basejump.cpp.o"
+  "CMakeFiles/bench_table1_basejump.dir/bench_table1_basejump.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_basejump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

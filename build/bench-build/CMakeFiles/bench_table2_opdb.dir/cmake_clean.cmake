@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_opdb"
+  "../bench/bench_table2_opdb.pdb"
+  "CMakeFiles/bench_table2_opdb.dir/bench_table2_opdb.cpp.o"
+  "CMakeFiles/bench_table2_opdb.dir/bench_table2_opdb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_opdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_distribution"
+  "../bench/bench_table4_distribution.pdb"
+  "CMakeFiles/bench_table4_distribution.dir/bench_table4_distribution.cpp.o"
+  "CMakeFiles/bench_table4_distribution.dir/bench_table4_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

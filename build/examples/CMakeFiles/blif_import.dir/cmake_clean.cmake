@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blif_import.dir/blif_import.cpp.o"
+  "CMakeFiles/blif_import.dir/blif_import.cpp.o.d"
+  "blif_import"
+  "blif_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blif_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

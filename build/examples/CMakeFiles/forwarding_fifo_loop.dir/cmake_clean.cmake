@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_fifo_loop.dir/forwarding_fifo_loop.cpp.o"
+  "CMakeFiles/forwarding_fifo_loop.dir/forwarding_fifo_loop.cpp.o.d"
+  "forwarding_fifo_loop"
+  "forwarding_fifo_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_fifo_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/riscv_soc.cpp" "examples/CMakeFiles/riscv_soc.dir/riscv_soc.cpp.o" "gcc" "examples/CMakeFiles/riscv_soc.dir/riscv_soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/ws_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ws_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/ws_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ws_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ws_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ws_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_soc.dir/riscv_soc.cpp.o"
+  "CMakeFiles/riscv_soc.dir/riscv_soc.cpp.o.d"
+  "riscv_soc"
+  "riscv_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

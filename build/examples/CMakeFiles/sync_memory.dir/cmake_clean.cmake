@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_memory.dir/sync_memory.cpp.o"
+  "CMakeFiles/sync_memory.dir/sync_memory.cpp.o.d"
+  "sync_memory"
+  "sync_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Ascription.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/Ascription.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/Ascription.cpp.o.d"
+  "/root/repo/src/analysis/BaseJump.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/BaseJump.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/BaseJump.cpp.o.d"
+  "/root/repo/src/analysis/Depth.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/Depth.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/Depth.cpp.o.d"
+  "/root/repo/src/analysis/Dot.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/Dot.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/Dot.cpp.o.d"
+  "/root/repo/src/analysis/Incremental.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/Incremental.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/Incremental.cpp.o.d"
+  "/root/repo/src/analysis/MemoryChecks.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/MemoryChecks.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/MemoryChecks.cpp.o.d"
+  "/root/repo/src/analysis/Reachability.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/Reachability.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/Reachability.cpp.o.d"
+  "/root/repo/src/analysis/SortInference.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/SortInference.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/SortInference.cpp.o.d"
+  "/root/repo/src/analysis/SummaryIO.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/SummaryIO.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/SummaryIO.cpp.o.d"
+  "/root/repo/src/analysis/WellConnected.cpp" "src/analysis/CMakeFiles/ws_analysis.dir/WellConnected.cpp.o" "gcc" "src/analysis/CMakeFiles/ws_analysis.dir/WellConnected.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ws_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_analysis.dir/Ascription.cpp.o"
+  "CMakeFiles/ws_analysis.dir/Ascription.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/BaseJump.cpp.o"
+  "CMakeFiles/ws_analysis.dir/BaseJump.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/Depth.cpp.o"
+  "CMakeFiles/ws_analysis.dir/Depth.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/Dot.cpp.o"
+  "CMakeFiles/ws_analysis.dir/Dot.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/Incremental.cpp.o"
+  "CMakeFiles/ws_analysis.dir/Incremental.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/MemoryChecks.cpp.o"
+  "CMakeFiles/ws_analysis.dir/MemoryChecks.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/Reachability.cpp.o"
+  "CMakeFiles/ws_analysis.dir/Reachability.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/SortInference.cpp.o"
+  "CMakeFiles/ws_analysis.dir/SortInference.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/SummaryIO.cpp.o"
+  "CMakeFiles/ws_analysis.dir/SummaryIO.cpp.o.d"
+  "CMakeFiles/ws_analysis.dir/WellConnected.cpp.o"
+  "CMakeFiles/ws_analysis.dir/WellConnected.cpp.o.d"
+  "libws_analysis.a"
+  "libws_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

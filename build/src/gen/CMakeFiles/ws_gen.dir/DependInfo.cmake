@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/CacheDma.cpp" "src/gen/CMakeFiles/ws_gen.dir/CacheDma.cpp.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/CacheDma.cpp.o.d"
+  "/root/repo/src/gen/Catalog.cpp" "src/gen/CMakeFiles/ws_gen.dir/Catalog.cpp.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/Catalog.cpp.o.d"
+  "/root/repo/src/gen/Fifo.cpp" "src/gen/CMakeFiles/ws_gen.dir/Fifo.cpp.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/Fifo.cpp.o.d"
+  "/root/repo/src/gen/LoopInjector.cpp" "src/gen/CMakeFiles/ws_gen.dir/LoopInjector.cpp.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/LoopInjector.cpp.o.d"
+  "/root/repo/src/gen/Opdb.cpp" "src/gen/CMakeFiles/ws_gen.dir/Opdb.cpp.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/Opdb.cpp.o.d"
+  "/root/repo/src/gen/Random.cpp" "src/gen/CMakeFiles/ws_gen.dir/Random.cpp.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/Random.cpp.o.d"
+  "/root/repo/src/gen/ShiftReg.cpp" "src/gen/CMakeFiles/ws_gen.dir/ShiftReg.cpp.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/ShiftReg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ws_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

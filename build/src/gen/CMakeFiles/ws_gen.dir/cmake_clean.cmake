@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_gen.dir/CacheDma.cpp.o"
+  "CMakeFiles/ws_gen.dir/CacheDma.cpp.o.d"
+  "CMakeFiles/ws_gen.dir/Catalog.cpp.o"
+  "CMakeFiles/ws_gen.dir/Catalog.cpp.o.d"
+  "CMakeFiles/ws_gen.dir/Fifo.cpp.o"
+  "CMakeFiles/ws_gen.dir/Fifo.cpp.o.d"
+  "CMakeFiles/ws_gen.dir/LoopInjector.cpp.o"
+  "CMakeFiles/ws_gen.dir/LoopInjector.cpp.o.d"
+  "CMakeFiles/ws_gen.dir/Opdb.cpp.o"
+  "CMakeFiles/ws_gen.dir/Opdb.cpp.o.d"
+  "CMakeFiles/ws_gen.dir/Random.cpp.o"
+  "CMakeFiles/ws_gen.dir/Random.cpp.o.d"
+  "CMakeFiles/ws_gen.dir/ShiftReg.cpp.o"
+  "CMakeFiles/ws_gen.dir/ShiftReg.cpp.o.d"
+  "libws_gen.a"
+  "libws_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

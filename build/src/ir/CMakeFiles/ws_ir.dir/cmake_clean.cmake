@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_ir.dir/Builder.cpp.o"
+  "CMakeFiles/ws_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/ws_ir.dir/Circuit.cpp.o"
+  "CMakeFiles/ws_ir.dir/Circuit.cpp.o.d"
+  "CMakeFiles/ws_ir.dir/Design.cpp.o"
+  "CMakeFiles/ws_ir.dir/Design.cpp.o.d"
+  "CMakeFiles/ws_ir.dir/Module.cpp.o"
+  "CMakeFiles/ws_ir.dir/Module.cpp.o.d"
+  "libws_ir.a"
+  "libws_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

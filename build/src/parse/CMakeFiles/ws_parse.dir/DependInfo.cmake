@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parse/Blif.cpp" "src/parse/CMakeFiles/ws_parse.dir/Blif.cpp.o" "gcc" "src/parse/CMakeFiles/ws_parse.dir/Blif.cpp.o.d"
+  "/root/repo/src/parse/Verilog.cpp" "src/parse/CMakeFiles/ws_parse.dir/Verilog.cpp.o" "gcc" "src/parse/CMakeFiles/ws_parse.dir/Verilog.cpp.o.d"
+  "/root/repo/src/parse/VerilogLexer.cpp" "src/parse/CMakeFiles/ws_parse.dir/VerilogLexer.cpp.o" "gcc" "src/parse/CMakeFiles/ws_parse.dir/VerilogLexer.cpp.o.d"
+  "/root/repo/src/parse/VerilogReader.cpp" "src/parse/CMakeFiles/ws_parse.dir/VerilogReader.cpp.o" "gcc" "src/parse/CMakeFiles/ws_parse.dir/VerilogReader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ws_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_parse.dir/Blif.cpp.o"
+  "CMakeFiles/ws_parse.dir/Blif.cpp.o.d"
+  "CMakeFiles/ws_parse.dir/Verilog.cpp.o"
+  "CMakeFiles/ws_parse.dir/Verilog.cpp.o.d"
+  "CMakeFiles/ws_parse.dir/VerilogLexer.cpp.o"
+  "CMakeFiles/ws_parse.dir/VerilogLexer.cpp.o.d"
+  "CMakeFiles/ws_parse.dir/VerilogReader.cpp.o"
+  "CMakeFiles/ws_parse.dir/VerilogReader.cpp.o.d"
+  "libws_parse.a"
+  "libws_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

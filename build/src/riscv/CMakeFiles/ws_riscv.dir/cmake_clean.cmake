@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_riscv.dir/Cpu.cpp.o"
+  "CMakeFiles/ws_riscv.dir/Cpu.cpp.o.d"
+  "libws_riscv.a"
+  "libws_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

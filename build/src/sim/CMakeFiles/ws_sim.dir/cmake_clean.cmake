@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/ws_sim.dir/Simulator.cpp.o.d"
+  "CMakeFiles/ws_sim.dir/Vcd.cpp.o"
+  "CMakeFiles/ws_sim.dir/Vcd.cpp.o.d"
+  "libws_sim.a"
+  "libws_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

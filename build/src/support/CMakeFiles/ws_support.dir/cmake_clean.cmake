@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_support.dir/Graph.cpp.o"
+  "CMakeFiles/ws_support.dir/Graph.cpp.o.d"
+  "CMakeFiles/ws_support.dir/Table.cpp.o"
+  "CMakeFiles/ws_support.dir/Table.cpp.o.d"
+  "libws_support.a"
+  "libws_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/CycleDetect.cpp" "src/synth/CMakeFiles/ws_synth.dir/CycleDetect.cpp.o" "gcc" "src/synth/CMakeFiles/ws_synth.dir/CycleDetect.cpp.o.d"
+  "/root/repo/src/synth/Flatten.cpp" "src/synth/CMakeFiles/ws_synth.dir/Flatten.cpp.o" "gcc" "src/synth/CMakeFiles/ws_synth.dir/Flatten.cpp.o.d"
+  "/root/repo/src/synth/Lower.cpp" "src/synth/CMakeFiles/ws_synth.dir/Lower.cpp.o" "gcc" "src/synth/CMakeFiles/ws_synth.dir/Lower.cpp.o.d"
+  "/root/repo/src/synth/Optimize.cpp" "src/synth/CMakeFiles/ws_synth.dir/Optimize.cpp.o" "gcc" "src/synth/CMakeFiles/ws_synth.dir/Optimize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ws_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ws_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_synth.dir/CycleDetect.cpp.o"
+  "CMakeFiles/ws_synth.dir/CycleDetect.cpp.o.d"
+  "CMakeFiles/ws_synth.dir/Flatten.cpp.o"
+  "CMakeFiles/ws_synth.dir/Flatten.cpp.o.d"
+  "CMakeFiles/ws_synth.dir/Lower.cpp.o"
+  "CMakeFiles/ws_synth.dir/Lower.cpp.o.d"
+  "CMakeFiles/ws_synth.dir/Optimize.cpp.o"
+  "CMakeFiles/ws_synth.dir/Optimize.cpp.o.d"
+  "libws_synth.a"
+  "libws_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

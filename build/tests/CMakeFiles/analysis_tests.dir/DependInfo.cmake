@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/AscriptionTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/AscriptionTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/AscriptionTest.cpp.o.d"
+  "/root/repo/tests/analysis/BaseJumpTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/BaseJumpTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/BaseJumpTest.cpp.o.d"
+  "/root/repo/tests/analysis/DepthTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DepthTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DepthTest.cpp.o.d"
+  "/root/repo/tests/analysis/IncrementalTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/IncrementalTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/IncrementalTest.cpp.o.d"
+  "/root/repo/tests/analysis/MemoryChecksTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/MemoryChecksTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/MemoryChecksTest.cpp.o.d"
+  "/root/repo/tests/analysis/SortInferenceTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/SortInferenceTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/SortInferenceTest.cpp.o.d"
+  "/root/repo/tests/analysis/SummaryIOTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/SummaryIOTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/SummaryIOTest.cpp.o.d"
+  "/root/repo/tests/analysis/SupermoduleTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/SupermoduleTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/SupermoduleTest.cpp.o.d"
+  "/root/repo/tests/analysis/WellConnectedTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/WellConnectedTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/WellConnectedTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/ws_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ws_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/ws_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ws_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ws_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ws_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

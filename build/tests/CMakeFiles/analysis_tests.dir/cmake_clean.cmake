@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/AscriptionTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/AscriptionTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/BaseJumpTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/BaseJumpTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/DepthTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/DepthTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/IncrementalTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/IncrementalTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/MemoryChecksTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/MemoryChecksTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/SortInferenceTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/SortInferenceTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/SummaryIOTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/SummaryIOTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/SupermoduleTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/SupermoduleTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/WellConnectedTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/WellConnectedTest.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_tests.dir/gen/CatalogTest.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/CatalogTest.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/FifoTest.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/FifoTest.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/NewFamiliesTest.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/NewFamiliesTest.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/OpdbTest.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/OpdbTest.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/ShiftRegTest.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/ShiftRegTest.cpp.o.d"
+  "gen_tests"
+  "gen_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/ir/BuilderTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/BuilderTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/CircuitTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/CircuitTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/ModuleTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/ModuleTest.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parse/BlifTest.cpp" "tests/CMakeFiles/parse_tests.dir/parse/BlifTest.cpp.o" "gcc" "tests/CMakeFiles/parse_tests.dir/parse/BlifTest.cpp.o.d"
+  "/root/repo/tests/parse/VerilogReaderTest.cpp" "tests/CMakeFiles/parse_tests.dir/parse/VerilogReaderTest.cpp.o" "gcc" "tests/CMakeFiles/parse_tests.dir/parse/VerilogReaderTest.cpp.o.d"
+  "/root/repo/tests/parse/VerilogTest.cpp" "tests/CMakeFiles/parse_tests.dir/parse/VerilogTest.cpp.o" "gcc" "tests/CMakeFiles/parse_tests.dir/parse/VerilogTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/ws_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ws_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/ws_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ws_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ws_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ws_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_tests.dir/parse/BlifTest.cpp.o"
+  "CMakeFiles/parse_tests.dir/parse/BlifTest.cpp.o.d"
+  "CMakeFiles/parse_tests.dir/parse/VerilogReaderTest.cpp.o"
+  "CMakeFiles/parse_tests.dir/parse/VerilogReaderTest.cpp.o.d"
+  "CMakeFiles/parse_tests.dir/parse/VerilogTest.cpp.o"
+  "CMakeFiles/parse_tests.dir/parse/VerilogTest.cpp.o.d"
+  "parse_tests"
+  "parse_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

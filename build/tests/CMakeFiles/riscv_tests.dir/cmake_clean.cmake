@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_tests.dir/riscv/CpuTest.cpp.o"
+  "CMakeFiles/riscv_tests.dir/riscv/CpuTest.cpp.o.d"
+  "riscv_tests"
+  "riscv_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/SimulatorTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/SimulatorTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/VcdTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/VcdTest.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_tests.dir/synth/CycleDetectTest.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/CycleDetectTest.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/synth/LowerTest.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/LowerTest.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/synth/OptimizeTest.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/OptimizeTest.cpp.o.d"
+  "synth_tests"
+  "synth_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

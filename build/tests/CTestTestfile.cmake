@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_tests "/root/repo/build/tests/support_tests")
+set_tests_properties(support_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_tests "/root/repo/build/tests/ir_tests")
+set_tests_properties(ir_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_tests "/root/repo/build/tests/analysis_tests")
+set_tests_properties(analysis_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(synth_tests "/root/repo/build/tests/synth_tests")
+set_tests_properties(synth_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;27;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parse_tests "/root/repo/build/tests/parse_tests")
+set_tests_properties(parse_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;31;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_tests "/root/repo/build/tests/sim_tests")
+set_tests_properties(sim_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;35;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gen_tests "/root/repo/build/tests/gen_tests")
+set_tests_properties(gen_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;38;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(riscv_tests "/root/repo/build/tests/riscv_tests")
+set_tests_properties(riscv_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;44;ws_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_tests "/root/repo/build/tests/property_tests")
+set_tests_properties(property_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;46;ws_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiresort-check.dir/wiresort-check.cpp.o"
+  "CMakeFiles/wiresort-check.dir/wiresort-check.cpp.o.d"
+  "wiresort-check"
+  "wiresort-check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiresort-check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wiresort-check.
+# This may be replaced when dependencies are built.
