@@ -16,6 +16,7 @@
 #define WIRESORT_BENCH_BENCHUTIL_H
 
 #include "analysis/SortInference.h"
+#include "analysis/SummaryEngine.h"
 #include "ir/Design.h"
 #include "support/Timer.h"
 #include "synth/Lower.h"
@@ -36,7 +37,12 @@ struct GateLevelRun {
   ir::Module Gates;
 };
 
-inline GateLevelRun runGateLevel(const ir::Design &D, ir::ModuleId Id) {
+/// When \p Engine is null a throwaway serial engine is used (every call
+/// infers from scratch — the paper's cold-measurement methodology);
+/// passing an engine lets sweeps share its cache and thread pool
+/// configuration, in which case InferSeconds reflects hits.
+inline GateLevelRun runGateLevel(const ir::Design &D, ir::ModuleId Id,
+                                 analysis::SummaryEngine *Engine = nullptr) {
   GateLevelRun Run;
   Run.Gates = synth::lower(D, Id);
   for (const ir::Net &N : Run.Gates.Nets)
@@ -45,9 +51,13 @@ inline GateLevelRun runGateLevel(const ir::Design &D, ir::ModuleId Id) {
 
   ir::Design Flat;
   ir::ModuleId FlatId = Flat.addModule(Run.Gates);
+  analysis::EngineOptions SerialOpts;
+  SerialOpts.Threads = 1;
+  analysis::SummaryEngine Local(SerialOpts);
+  analysis::SummaryEngine &E = Engine ? *Engine : Local;
   Timer T;
   std::map<ir::ModuleId, analysis::ModuleSummary> Out;
-  auto Loop = analysis::analyzeDesign(Flat, Out);
+  auto Loop = E.analyze(Flat, Out);
   Run.InferSeconds = T.seconds();
   if (!Loop)
     Run.Summary = std::move(Out.at(FlatId));

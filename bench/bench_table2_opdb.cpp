@@ -36,11 +36,16 @@ int main(int ArgC, char **ArgV) {
   Design D;
   std::vector<OpdbEntry> Entries = buildOpdb(D, Options);
 
+  // All 17 entries run through one SummaryEngine; identical flattened
+  // bodies (shared submodule shapes) are served from its
+  // content-addressed cache, and a warm re-run of the whole table is
+  // almost free — the engine's repeated-check story.
+  analysis::SummaryEngine Engine;
   Table T({"Module", "Prim. Gates", "Time (s)", "Ports"});
   size_t TotalGates = 0;
   double TotalSeconds = 0.0;
   for (const OpdbEntry &E : Entries) {
-    GateLevelRun Run = runGateLevel(D, E.Top);
+    GateLevelRun Run = runGateLevel(D, E.Top, &Engine);
     T.addRow({E.Name, Table::withCommas(Run.PrimGates),
               Table::secondsStr(Run.InferSeconds),
               std::to_string(D.module(E.Top).numPorts())});
@@ -51,6 +56,16 @@ int main(int ArgC, char **ArgV) {
   std::printf("\naverage gates: %s  average time: %.3f s\n",
               Table::withCommas(TotalGates / Entries.size()).c_str(),
               TotalSeconds / Entries.size());
+
+  double WarmSeconds = 0.0;
+  for (const OpdbEntry &E : Entries)
+    WarmSeconds += runGateLevel(D, E.Top, &Engine).InferSeconds;
+  std::printf("warm re-run of all %zu entries: %.3f s (cache size %zu, "
+              "%zux speedup)\n",
+              Entries.size(), WarmSeconds, Engine.cache().size(),
+              static_cast<size_t>(WarmSeconds > 0
+                                      ? TotalSeconds / WarmSeconds
+                                      : 0));
   std::printf("(paper: average 232,788 gates, min 170 / max 1,518,073; "
               "average 4.067 s, min 0.001 / max 30.176)\n");
   return 0;

@@ -6,11 +6,23 @@
 
 #include "analysis/Incremental.h"
 
+#include "analysis/SummaryEngine.h"
+
+#include <cassert>
 #include <set>
 
 using namespace wiresort;
 using namespace wiresort::analysis;
 using namespace wiresort::ir;
+
+IncrementalChecker::IncrementalChecker(const ir::Circuit &Circ,
+                                       SummaryEngine &Engine)
+    : Circ(&Circ), Summaries(&OwnedSummaries) {
+  std::optional<LoopDiagnostic> Loop =
+      Engine.analyze(Circ.design(), OwnedSummaries);
+  assert(!Loop && "incremental sessions need loop-free module libraries");
+  (void)Loop;
+}
 
 namespace {
 /// DFS frame used by the path-reconstructing search.

@@ -67,6 +67,17 @@ struct ModuleSummary {
   }
 };
 
+/// Structural equality of two summaries: every field Stage-2/3 checking
+/// can observe. InferenceSeconds is excluded (wall-clock, run-dependent),
+/// which is what lets the determinism suite demand bitwise-equal results
+/// from serial, parallel, and cache-served inference.
+inline bool structurallyEqual(const ModuleSummary &A,
+                              const ModuleSummary &B) {
+  return A.Id == B.Id && A.ModuleName == B.ModuleName &&
+         A.OutputPortSets == B.OutputPortSets &&
+         A.InputPortSets == B.InputPortSets && A.SubSorts == B.SubSorts;
+}
+
 /// A combinational loop rendered as a path of human-readable labels
 /// ("fifo1.valid_i", "fwd.valid_o", ...) plus the structured ids needed
 /// to trace it programmatically. The path is cyclic: the last element

@@ -1,0 +1,434 @@
+//===- analysis/SummaryEngine.cpp - Parallel cached Stage-1 ---------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryEngine.h"
+
+#include "analysis/SummaryIO.h"
+#include "ir/StructuralHash.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+// --- SummaryCache -----------------------------------------------------------
+
+std::optional<ModuleSummary>
+SummaryCache::lookup(uint64_t Key, ModuleId Id, const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  ModuleSummary S = It->second;
+  // Content addressing is design-independent; only the owning design's
+  // module id (and, pedantically, the name) need rebinding.
+  S.Id = Id;
+  S.ModuleName = Name;
+  return S;
+}
+
+void SummaryCache::insert(uint64_t Key, const ModuleSummary &S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.emplace(Key, S);
+}
+
+size_t SummaryCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+void SummaryCache::resetCounters() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Hits = Misses = 0;
+}
+
+void SummaryCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+  Hits = Misses = 0;
+}
+
+// --- Cache keys -------------------------------------------------------------
+
+namespace {
+
+/// Content hash of a summary, used to key ascribed modules (whose bodies
+/// are opaque — the summary IS the content).
+uint64_t summaryContentHash(const ModuleSummary &S) {
+  uint64_t H = 0x5ca1ab1e;
+  for (const auto &[In, Outs] : S.OutputPortSets) {
+    H = hashCombine(H, In);
+    for (WireId Out : Outs)
+      H = hashCombine(H, Out);
+    H = hashCombine(H, 0xffffffffULL); // Set delimiter.
+  }
+  for (const auto &[Out, Ins] : S.InputPortSets) {
+    H = hashCombine(H, Out);
+    for (WireId In : Ins)
+      H = hashCombine(H, In);
+    H = hashCombine(H, 0xffffffffULL);
+  }
+  for (const auto &[Port, Sub] : S.SubSorts)
+    H = hashCombine(H, (uint64_t(Port) << 8) | uint64_t(Sub));
+  return H;
+}
+
+/// Scheduler state for one analyze() call. All mutable members are
+/// guarded by Mutex once the parallel phase starts; Out is pre-populated
+/// with every module id so tasks read/write disjoint mapped values
+/// without ever mutating the map structure.
+struct Run {
+  const Design &D;
+  const std::map<ModuleId, ModuleSummary> &Ascribed;
+  std::map<ModuleId, ModuleSummary> &Out;
+  SummaryCache *Cache; // Null when the cache is disabled.
+  const std::vector<uint64_t> &Keys;
+
+  enum class State : uint8_t { Waiting, Done, Looped, Skipped };
+
+  std::vector<State> States;
+  std::vector<uint32_t> DepsLeft;
+  std::vector<std::vector<ModuleId>> Dependents;
+  std::vector<uint32_t> TopoPos;
+  std::vector<std::optional<LoopDiagnostic>> Loops;
+  size_t Hits = 0, Inferred = 0, AscribedCount = 0;
+
+  std::mutex Mutex;
+
+  Run(const Design &D, const std::map<ModuleId, ModuleSummary> &Ascribed,
+      std::map<ModuleId, ModuleSummary> &Out, SummaryCache *Cache,
+      const std::vector<uint64_t> &Keys)
+      : D(D), Ascribed(Ascribed), Out(Out), Cache(Cache), Keys(Keys) {}
+
+  /// Distinct instantiated definitions of module \p Id.
+  static std::vector<ModuleId> depsOf(const Module &M) {
+    std::vector<ModuleId> Deps;
+    for (const SubInstance &Inst : M.Instances)
+      Deps.push_back(Inst.Def);
+    std::sort(Deps.begin(), Deps.end());
+    Deps.erase(std::unique(Deps.begin(), Deps.end()), Deps.end());
+    return Deps;
+  }
+
+  /// Resolves \p Id without inference (ascription or cache hit) if
+  /// possible. Caller holds Mutex. \returns true when resolved.
+  bool tryResolveCheaply(ModuleId Id) {
+    auto AscIt = Ascribed.find(Id);
+    if (AscIt != Ascribed.end()) {
+      Out[Id] = AscIt->second;
+      ++AscribedCount;
+      return true;
+    }
+    if (Cache) {
+      if (auto Hit =
+              Cache->lookup(Keys[Id], Id, D.module(Id).Name)) {
+        Out[Id] = std::move(*Hit);
+        ++Hits;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Marks \p Id finished and returns the dependents that became ready.
+  /// Caller holds Mutex.
+  std::vector<ModuleId> finish(ModuleId Id, State S) {
+    States[Id] = S;
+    std::vector<ModuleId> Ready;
+    for (ModuleId Dep : Dependents[Id]) {
+      // A dependent of an unsummarizable module can never be summarized
+      // itself; the skip propagates transitively when the dependent is
+      // later "finished" as Skipped (which releases its own dependents).
+      if (S != State::Done)
+        States[Dep] = State::Skipped;
+      if (--DepsLeft[Dep] == 0)
+        Ready.push_back(Dep);
+    }
+    return Ready;
+  }
+};
+
+} // namespace
+
+// --- SummaryEngine ----------------------------------------------------------
+
+std::optional<LoopDiagnostic>
+SummaryEngine::analyze(const Design &D,
+                       std::map<ModuleId, ModuleSummary> &Out,
+                       const std::map<ModuleId, ModuleSummary> &Ascribed) {
+  Timer T;
+  Stats = EngineStats();
+  Stats.Modules = D.numModules();
+
+  std::optional<std::vector<ModuleId>> Order =
+      D.topologicalModuleOrder();
+  assert(Order && "module instantiation must be acyclic");
+
+  // --- Cache keys, serially in dependency order (cheap: one hash pass
+  // --- over the design). A module's key folds the keys of its
+  // --- instantiated definitions in instance order, so content
+  // --- addressing is transitive.
+  Keys.assign(D.numModules(), 0);
+  for (ModuleId Id : *Order) {
+    auto AscIt = Ascribed.find(Id);
+    if (AscIt != Ascribed.end()) {
+      Keys[Id] = hashCombine(0xa5c81bed, summaryContentHash(AscIt->second));
+      continue;
+    }
+    const Module &M = D.module(Id);
+    uint64_t Key = structuralHash(M);
+    for (const SubInstance &Inst : M.Instances)
+      Key = hashCombine(Key, Keys[Inst.Def]);
+    Keys[Id] = Key;
+  }
+
+  // --- Scheduler state.
+  Out.clear();
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id)
+    Out[Id]; // Pre-insert every slot: map structure stays frozen below.
+
+  Run R(D, Ascribed, Out, Opts.UseCache ? &Cache : nullptr, Keys);
+  R.States.assign(D.numModules(), Run::State::Waiting);
+  R.DepsLeft.assign(D.numModules(), 0);
+  R.Dependents.assign(D.numModules(), {});
+  R.TopoPos.assign(D.numModules(), 0);
+  R.Loops.assign(D.numModules(), std::nullopt);
+  for (size_t Pos = 0; Pos != Order->size(); ++Pos)
+    R.TopoPos[(*Order)[Pos]] = static_cast<uint32_t>(Pos);
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id) {
+    std::vector<ModuleId> Deps = Run::depsOf(D.module(Id));
+    R.DepsLeft[Id] = static_cast<uint32_t>(Deps.size());
+    for (ModuleId Dep : Deps)
+      R.Dependents[Dep].push_back(Id);
+  }
+
+  unsigned Threads = Opts.Threads != 0
+                         ? Opts.Threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  Stats.ThreadsUsed = Threads;
+
+  if (Threads <= 1) {
+    // Serial path: plain topological sweep, no pool, no locking. Kept
+    // separate both as the baseline the determinism suite compares
+    // against and because it is what a 1-thread engine should cost.
+    for (ModuleId Id : *Order) {
+      if (R.States[Id] == Run::State::Skipped) {
+        R.finish(Id, Run::State::Skipped); // Propagate to dependents.
+        continue;
+      }
+      if (R.tryResolveCheaply(Id)) {
+        R.finish(Id, Run::State::Done);
+        continue;
+      }
+      InferenceResult Result = inferSummary(D, Id, Out);
+      if (auto *Loop = std::get_if<LoopDiagnostic>(&Result)) {
+        R.Loops[Id] = *Loop;
+        R.finish(Id, Run::State::Looped);
+        continue;
+      }
+      ModuleSummary &S = std::get<ModuleSummary>(Result);
+      if (R.Cache)
+        R.Cache->insert(Keys[Id], S);
+      Out[Id] = std::move(S);
+      ++R.Inferred;
+      R.finish(Id, Run::State::Done);
+    }
+  } else {
+    ThreadPool Pool(Threads);
+
+    // Submitting a module either resolves it on the spot (ascribed /
+    // cache hit / already-skipped) or hands inference to the pool; the
+    // completion path re-enters schedule() for the dependents it
+    // releases. The worklist keeps resolution iterative: a chain of a
+    // thousand cache hits must not recurse a thousand frames deep.
+    std::function<void(std::vector<ModuleId>)> schedule =
+        [&](std::vector<ModuleId> Work) {
+          std::vector<ModuleId> ToInfer;
+          {
+            std::lock_guard<std::mutex> Lock(R.Mutex);
+            while (!Work.empty()) {
+              ModuleId Id = Work.back();
+              Work.pop_back();
+              if (R.States[Id] == Run::State::Skipped) {
+                std::vector<ModuleId> Ready =
+                    R.finish(Id, Run::State::Skipped);
+                Work.insert(Work.end(), Ready.begin(), Ready.end());
+                continue;
+              }
+              if (R.tryResolveCheaply(Id)) {
+                std::vector<ModuleId> Ready =
+                    R.finish(Id, Run::State::Done);
+                Work.insert(Work.end(), Ready.begin(), Ready.end());
+                continue;
+              }
+              ToInfer.push_back(Id);
+            }
+          }
+          for (ModuleId Id : ToInfer)
+            Pool.submit([&, Id] {
+              // Reads dep slots of Out; they were written before this
+              // task was submitted (happens-before via R.Mutex and the
+              // pool queue), and the map structure is frozen.
+              InferenceResult Result = inferSummary(R.D, Id, R.Out);
+              std::vector<ModuleId> Ready;
+              {
+                std::lock_guard<std::mutex> Lock(R.Mutex);
+                if (auto *Loop = std::get_if<LoopDiagnostic>(&Result)) {
+                  R.Loops[Id] = *Loop;
+                  Ready = R.finish(Id, Run::State::Looped);
+                } else {
+                  ModuleSummary &S = std::get<ModuleSummary>(Result);
+                  if (R.Cache)
+                    R.Cache->insert(Keys[Id], S);
+                  R.Out[Id] = std::move(S);
+                  ++R.Inferred;
+                  Ready = R.finish(Id, Run::State::Done);
+                }
+              }
+              if (!Ready.empty())
+                schedule(std::move(Ready));
+            });
+        };
+
+    std::vector<ModuleId> Roots;
+    for (ModuleId Id = 0; Id != D.numModules(); ++Id)
+      if (R.DepsLeft[Id] == 0)
+        Roots.push_back(Id);
+    schedule(std::move(Roots));
+    Pool.wait();
+  }
+
+  // --- Verdict: the loop serial analyzeDesign would report — minimal
+  // --- topological position among modules whose own inference looped.
+  std::optional<LoopDiagnostic> Verdict;
+  uint32_t BestPos = 0;
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id) {
+    if (!R.Loops[Id])
+      continue;
+    if (!Verdict || R.TopoPos[Id] < BestPos) {
+      Verdict = R.Loops[Id];
+      BestPos = R.TopoPos[Id];
+    }
+  }
+
+  // Unresolved slots (looped modules and their transitive dependents)
+  // must not leak placeholder summaries.
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id)
+    if (R.States[Id] != Run::State::Done)
+      Out.erase(Id);
+
+  Stats.CacheHits = R.Hits;
+  Stats.Inferred = R.Inferred;
+  Stats.Ascribed = R.AscribedCount;
+  Stats.Seconds = T.seconds();
+  return Verdict;
+}
+
+// --- Disk persistence -------------------------------------------------------
+
+bool SummaryEngine::saveCache(
+    const std::string &Path, const Design &D,
+    const std::map<ModuleId, ModuleSummary> &Summaries) const {
+  std::ostringstream OS;
+  OS << "# wiresort summary cache (SummaryIO sidecar + content keys)\n";
+  for (const auto &[Id, S] : Summaries) {
+    (void)S;
+    if (Id < Keys.size())
+      OS << "# key " << D.module(Id).Name << " " << std::hex << Keys[Id]
+         << std::dec << "\n";
+  }
+  OS << writeSummaries(D, Summaries);
+  std::ofstream File(Path);
+  if (!File)
+    return false;
+  File << OS.str();
+  return File.good();
+}
+
+std::optional<size_t> SummaryEngine::loadCache(const std::string &Path,
+                                               const Design &D,
+                                               std::string &Error) {
+  std::ifstream File(Path);
+  if (!File)
+    return 0; // Cold start: a missing sidecar is not an error.
+  std::stringstream SS;
+  SS << File.rdbuf();
+  std::string Text = SS.str();
+
+  // Keys are recorded as "# key <module-name> <hex>" comment lines,
+  // which parseSummaries skips. Collect them, and split the rest of the
+  // file into module...end blocks. Each block is then parsed on its own:
+  // a cache's job is to never block a check, so blocks that no longer
+  // resolve against this design (module renamed away, interface changed,
+  // bit-rotted text) are simply skipped — they are stale entries, and
+  // stale entries never hit. Only a file that is not sidecar-shaped at
+  // all (content outside any block, an unterminated block) is an error,
+  // since that means --cache points at something else entirely.
+  std::map<std::string, uint64_t> KeyOfName;
+  std::vector<std::string> Blocks;
+  std::string Block;
+  bool InBlock = false;
+  size_t LineNo = 0;
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    std::istringstream LS(Line);
+    std::string First;
+    if (!(LS >> First))
+      continue; // Blank.
+    if (First[0] == '#') {
+      std::string KeyWord, Name;
+      uint64_t Key;
+      if (First == "#" && LS >> KeyWord && KeyWord == "key" &&
+          LS >> Name >> std::hex >> Key)
+        KeyOfName[Name] = Key;
+      continue;
+    }
+    if (!InBlock && First != "module") {
+      Error = "cache line " + std::to_string(LineNo) +
+              ": expected 'module', got '" + First + "'";
+      return std::nullopt;
+    }
+    InBlock = First != "end";
+    Block += Line;
+    Block += '\n';
+    if (!InBlock) {
+      Blocks.push_back(std::move(Block));
+      Block.clear();
+    }
+  }
+  if (InBlock) {
+    Error = "cache: unterminated module block (missing 'end')";
+    return std::nullopt;
+  }
+
+  size_t Loaded = 0;
+  for (const std::string &B : Blocks) {
+    std::string BlockError; // Stale blocks are skipped, not reported.
+    auto Parsed = parseSummaries(B, D, BlockError);
+    if (!Parsed)
+      continue;
+    for (const auto &[Id, S] : *Parsed) {
+      auto It = KeyOfName.find(D.module(Id).Name);
+      if (It == KeyOfName.end())
+        continue;
+      Cache.insert(It->second, S);
+      ++Loaded;
+    }
+  }
+  return Loaded;
+}

@@ -6,6 +6,7 @@
 
 #include "analysis/WellConnected.h"
 
+#include "analysis/SummaryEngine.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -101,6 +102,25 @@ analysis::checkCircuit(const Circuit &Circ,
     Result.WellConnected = true;
   }
   Result.Seconds = T.seconds();
+  return Result;
+}
+
+CircuitCheckResult analysis::checkCircuit(const Circuit &Circ,
+                                          SummaryEngine &Engine) {
+  Timer T;
+  std::map<ModuleId, ModuleSummary> Summaries;
+  if (std::optional<LoopDiagnostic> Loop =
+          Engine.analyze(Circ.design(), Summaries)) {
+    // The design's own modules already contain a loop; the circuit can
+    // never be well-connected, and the diagnostic names the culprit.
+    CircuitCheckResult Result;
+    Result.WellConnected = false;
+    Result.Loop = std::move(Loop);
+    Result.Seconds = T.seconds();
+    return Result;
+  }
+  CircuitCheckResult Result = checkCircuit(Circ, Summaries);
+  Result.Seconds = T.seconds(); // Include Stage 1 in the reported time.
   return Result;
 }
 

@@ -98,6 +98,16 @@ CircuitCheckResult checkCircuit(const ir::Circuit &Circ,
                                 const std::map<ir::ModuleId, ModuleSummary>
                                     &Summaries);
 
+class SummaryEngine;
+
+/// Engine-driven flavor of the production check: Stage 1 runs through
+/// \p Engine (parallel, cache-served on repeats), then checkCircuit runs
+/// over the resulting summaries. If the design itself contains a
+/// combinational loop the result reports it without a circuit pass.
+/// Repeated checks with the same engine hit its summary cache.
+CircuitCheckResult checkCircuit(const ir::Circuit &Circ,
+                                SummaryEngine &Engine);
+
 /// Definition 3.1: is \p C's output wire well-connected to its input wire?
 /// I.e., no w2 in the input's output-port-set transitively affects any w1
 /// in the output's input-port-set.

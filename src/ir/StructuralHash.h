@@ -1,0 +1,55 @@
+//===- ir/StructuralHash.h - Content hashing of module bodies ---*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 64-bit content hash of a module definition, used by the
+/// analysis::SummaryEngine to address its summary cache: two modules with
+/// equal structural hashes (and equal sub-summary keys) have identical
+/// interface summaries, because Stage-1 inference consumes nothing else
+/// (Section 3.5's modularity argument, operationalized).
+///
+/// The hash covers everything inferSummary reads from the body — wires
+/// (kinds, widths, constants), nets (op, operands, aux, LUT covers),
+/// registers, memories, instances (bindings and order), port lists, and
+/// contracts. It deliberately excludes two things a summary cannot depend
+/// on. Names (module, wire, memory, instance): summaries are expressed
+/// purely in WireIds, so renames are hash-neutral and identically-shaped
+/// bodies share a cache entry. Instance \c Def module ids: those are
+/// indices into a particular Design, so including them would break
+/// content addressing across designs (and across sessions). Instance
+/// definitions instead contribute through their own summary keys, which
+/// the SummaryEngine mixes in per instance, in instance order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_IR_STRUCTURALHASH_H
+#define WIRESORT_IR_STRUCTURALHASH_H
+
+#include <cstdint>
+
+namespace wiresort::ir {
+
+class Module;
+
+/// FNV-1a-based 64-bit hash of \p M's body. Deterministic across runs and
+/// platforms; independent of the Design the module lives in.
+uint64_t structuralHash(const Module &M);
+
+/// Order-dependent combiner for chaining hashes (e.g. a body hash with
+/// per-instance sub-summary keys). Not commutative.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  // 64-bit splitmix-style mixing of Value into Seed.
+  Value += 0x9e3779b97f4a7c15ULL;
+  Value = (Value ^ (Value >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Value = (Value ^ (Value >> 27)) * 0x94d049bb133111ebULL;
+  Value ^= Value >> 31;
+  return (Seed ^ Value) * 0x2545f4914f6cdd1dULL;
+}
+
+} // namespace wiresort::ir
+
+#endif // WIRESORT_IR_STRUCTURALHASH_H

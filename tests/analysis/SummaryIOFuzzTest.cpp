@@ -1,0 +1,199 @@
+//===- tests/analysis/SummaryIOFuzzTest.cpp - Sidecar parser fuzzing ------===//
+//
+// Part of the wiresort project. SummaryIOTest covers the happy path and
+// hand-written rejections; this suite drives parseSummaries through
+// seeded random mutations of valid sidecars — truncations, dropped and
+// duplicated lines, token corruption, byte noise — and demands a total
+// parser: every input either yields summaries or a diagnostic, never a
+// crash, and whatever parses must serialize back to a fixpoint. The
+// SummaryEngine trusts this parser for loadCache, so a crash here is a
+// crash on any stale cache file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryIO.h"
+
+#include "analysis/SortInference.h"
+#include "gen/Fifo.h"
+#include "gen/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+using Summaries = std::map<ModuleId, ModuleSummary>;
+
+/// A small design with interesting summaries (coupled, sync, subsorted
+/// ports) plus a random module, and its valid serialization.
+struct Corpus {
+  Design D;
+  Summaries Original;
+  std::string Text;
+};
+
+Corpus makeCorpus(uint32_t Seed) {
+  Corpus C;
+  C.D.addModule(gen::makeFifo({8, 2, /*Forwarding=*/true}));
+  std::mt19937 Rng(Seed);
+  gen::RandomModuleParams P;
+  P.NInputs = 3 + Seed % 4;
+  P.NOutputs = 2 + Seed % 3;
+  P.NGates = 12 + Seed % 16;
+  C.D.addModule(gen::randomModule(Rng, P, "fuzz"));
+  EXPECT_FALSE(analyzeDesign(C.D, C.Original).has_value());
+  C.Text = writeSummaries(C.D, C.Original);
+  return C;
+}
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::istringstream In(Text);
+  std::string L;
+  while (std::getline(In, L))
+    Lines.push_back(L);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// One of several structured mutations of \p Text, chosen by \p Rng.
+std::string mutate(const std::string &Text, std::mt19937 &Rng) {
+  std::vector<std::string> Lines = splitLines(Text);
+  auto lineIndex = [&] {
+    return std::uniform_int_distribution<size_t>(0, Lines.size() - 1)(Rng);
+  };
+  switch (Rng() % 6) {
+  case 0: // Truncate mid-file (possibly mid-block).
+    return Text.substr(
+        0, std::uniform_int_distribution<size_t>(0, Text.size())(Rng));
+  case 1: // Drop a line.
+    Lines.erase(Lines.begin() + lineIndex());
+    return joinLines(Lines);
+  case 2: // Duplicate a line.
+    Lines.insert(Lines.begin() + lineIndex(), Lines[lineIndex()]);
+    return joinLines(Lines);
+  case 3: { // Corrupt one byte of a line.
+    std::string &L = Lines[lineIndex()];
+    if (!L.empty())
+      L[Rng() % L.size()] =
+          static_cast<char>(' ' + Rng() % 95); // Printable noise.
+    return joinLines(Lines);
+  }
+  case 4: { // Swap two lines (can move `end`/`module` boundaries).
+    size_t A = lineIndex(), B = lineIndex();
+    std::swap(Lines[A], Lines[B]);
+    return joinLines(Lines);
+  }
+  default: { // Splice random garbage tokens into a line.
+    static const char *Garbage[] = {"to-port", "from-sync", "{", "}",
+                                    "module", "end", "direct", "%%%"};
+    std::string &L = Lines[lineIndex()];
+    L += ' ';
+    L += Garbage[Rng() % (sizeof(Garbage) / sizeof(Garbage[0]))];
+    return joinLines(Lines);
+  }
+  }
+}
+
+class SidecarFuzzTrial : public ::testing::TestWithParam<uint32_t> {};
+
+} // namespace
+
+TEST_P(SidecarFuzzTrial, MutatedSidecarsParseOrDiagnoseButNeverCrash) {
+  const uint32_t Seed = GetParam();
+  Corpus C = makeCorpus(Seed);
+  std::mt19937 Rng(0xf00d + Seed);
+
+  for (int Round = 0; Round != 40; ++Round) {
+    std::string Mutant = mutate(C.Text, Rng);
+    // Pile a second mutation on half the time.
+    if (Rng() % 2)
+      Mutant = mutate(Mutant, Rng);
+
+    std::string Error;
+    auto Parsed = parseSummaries(Mutant, C.D, Error);
+    if (!Parsed.has_value()) {
+      EXPECT_FALSE(Error.empty())
+          << "rejection without a diagnostic (seed " << Seed << " round "
+          << Round << "):\n"
+          << Mutant;
+      continue;
+    }
+    // Accepted mutants must be internally consistent: re-serializing and
+    // re-parsing is a fixpoint.
+    std::string Text2 = writeSummaries(C.D, *Parsed);
+    std::string Error2;
+    auto Reparsed = parseSummaries(Text2, C.D, Error2);
+    ASSERT_TRUE(Reparsed.has_value())
+        << "accepted mutant failed to round-trip (seed " << Seed
+        << " round " << Round << "): " << Error2 << "\n"
+        << Mutant;
+    EXPECT_EQ(writeSummaries(C.D, *Reparsed), Text2)
+        << "seed " << Seed << " round " << Round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MutationSoak, SidecarFuzzTrial,
+                         ::testing::Range<uint32_t>(0, 25));
+
+TEST(SummaryIOFuzzTest, RandomSummariesRoundTripExactly) {
+  // Unlike SummaryIOTest's equivalence check, demand byte-for-byte
+  // serialization stability: write -> parse -> write is the identity on
+  // the text, across 40 random modules.
+  std::mt19937 Rng(99);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    Design D;
+    gen::RandomModuleParams P;
+    P.NInputs = 2 + Trial % 6;
+    P.NOutputs = 2 + Trial % 5;
+    P.NGates = 8 + Trial;
+    P.PReg = (Trial % 10) / 10.0;
+    D.addModule(gen::randomModule(Rng, P, "x" + std::to_string(Trial)));
+    Summaries Original;
+    ASSERT_FALSE(analyzeDesign(D, Original).has_value());
+
+    std::string Text = writeSummaries(D, Original);
+    std::string Error;
+    auto Parsed = parseSummaries(Text, D, Error);
+    ASSERT_TRUE(Parsed.has_value()) << Error << "\n" << Text;
+    EXPECT_EQ(writeSummaries(D, *Parsed), Text) << "trial " << Trial;
+  }
+}
+
+TEST(SummaryIOFuzzTest, EngineKeyCommentsAreIgnoredByTheParser) {
+  // SummaryEngine::saveCache prepends `# key <name> <hex>` lines; the
+  // parser must treat any comment soup as whitespace.
+  Design D;
+  D.addModule(gen::makeFifo({8, 2, true}));
+  Summaries Original;
+  ASSERT_FALSE(analyzeDesign(D, Original).has_value());
+  std::string Text = writeSummaries(D, Original);
+
+  std::string Annotated = "# key fifo_fwd_w8_d4 deadbeefcafef00d\n"
+                          "# not a key line at all\n#\n";
+  std::vector<std::string> Lines = splitLines(Text);
+  for (const std::string &L : Lines) {
+    Annotated += L;
+    Annotated += "\n# interleaved comment\n";
+  }
+
+  std::string Error;
+  auto Parsed = parseSummaries(Annotated, D, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(writeSummaries(D, *Parsed), Text);
+}

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Two-stage test driver:
+#
+#   1. the regular suite in the default build tree (configured if absent);
+#   2. a ThreadSanitizer build of the SummaryEngine suites — the engine's
+#      scheduler/cache locking (docs/ENGINE.md) is a correctness claim, so
+#      the concurrency-heavy tests rerun under -fsanitize=thread.
+#
+# Usage: tools/run_tests.sh [--skip-slow]
+#   --skip-slow  excludes the ctest label `slow` (the 200-seed
+#                differential soak) from the regular stage; the TSan stage
+#                always runs it, since races love randomized schedules.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD="$ROOT/build"
+TSAN_BUILD="$ROOT/build-tsan"
+
+LABEL_ARGS=""
+for Arg in "$@"; do
+  case "$Arg" in
+  --skip-slow) LABEL_ARGS="-LE slow" ;;
+  *)
+    echo "unknown argument: $Arg" >&2
+    exit 2
+    ;;
+  esac
+done
+
+echo "=== stage 1: full suite ($BUILD) ==="
+[ -f "$BUILD/CMakeCache.txt" ] || cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$(nproc)"
+# shellcheck disable=SC2086 # LABEL_ARGS is intentionally word-split.
+(cd "$BUILD" && ctest --output-on-failure $LABEL_ARGS)
+
+echo
+echo "=== stage 2: SummaryEngine suites under ThreadSanitizer ($TSAN_BUILD) ==="
+[ -f "$TSAN_BUILD/CMakeCache.txt" ] || cmake -B "$TSAN_BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+  --target engine_tests differential_tests
+# halt_on_error so a single race fails the run instead of scrolling by.
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/engine_tests"
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/differential_tests"
+
+echo
+echo "all suites passed (regular + TSan)"

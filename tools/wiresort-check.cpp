@@ -15,6 +15,13 @@
 //   wiresort-check design.blif --dot out.dot   # top module, colored
 //   wiresort-check design.blif --quiet         # verdict only
 //   wiresort-check design.blif --depth         # timing extension
+//   wiresort-check design.blif --threads 8     # parallel inference
+//   wiresort-check design.blif --cache d.wscache   # warm-start repeats
+//
+// Inference runs through analysis::SummaryEngine: independent modules of
+// the instantiation DAG are inferred concurrently, and --cache persists
+// the content-addressed summary cache so an unchanged module costs a
+// hash lookup on the next invocation (docs/ENGINE.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +29,7 @@
 #include "analysis/Depth.h"
 #include "analysis/Dot.h"
 #include "analysis/SortInference.h"
+#include "analysis/SummaryEngine.h"
 #include "analysis/SummaryIO.h"
 #include "parse/Blif.h"
 #include "parse/VerilogReader.h"
@@ -29,6 +37,7 @@
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -43,7 +52,8 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <design.blif> [--summaries FILE] "
-               "[--check FILE] [--dot FILE] [--quiet] [--depth]\n",
+               "[--check FILE] [--dot FILE] [--quiet] [--depth] "
+               "[--threads N] [--cache FILE]\n",
                Argv0);
   return 2;
 }
@@ -68,9 +78,10 @@ bool writeFile(const std::string &Path, const std::string &Text) {
 } // namespace
 
 int main(int ArgC, char **ArgV) {
-  std::string BlifPath, SummariesOut, CheckPath, DotPath;
+  std::string BlifPath, SummariesOut, CheckPath, DotPath, CachePath;
   bool Quiet = false;
   bool ShowDepth = false;
+  unsigned Threads = 0; // 0 = hardware concurrency.
   for (int I = 1; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
     auto takeValue = [&](std::string &Slot) {
@@ -87,6 +98,16 @@ int main(int ArgC, char **ArgV) {
         return usage(ArgV[0]);
     } else if (Arg == "--dot") {
       if (!takeValue(DotPath))
+        return usage(ArgV[0]);
+    } else if (Arg == "--cache") {
+      if (!takeValue(CachePath))
+        return usage(ArgV[0]);
+    } else if (Arg == "--threads") {
+      std::string Value;
+      if (!takeValue(Value))
+        return usage(ArgV[0]);
+      Threads = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (Threads == 0)
         return usage(ArgV[0]);
     } else if (Arg == "--quiet") {
       Quiet = true;
@@ -131,16 +152,35 @@ int main(int ArgC, char **ArgV) {
     return 2;
   }
 
+  EngineOptions EngineOpts;
+  EngineOpts.Threads = Threads;
+  SummaryEngine Engine(EngineOpts);
+  if (!CachePath.empty()) {
+    auto Loaded = Engine.loadCache(CachePath, File->Design, Error);
+    if (!Loaded) {
+      std::fprintf(stderr, "error: bad cache file: %s\n", Error.c_str());
+      return 2;
+    }
+    if (!Quiet && *Loaded)
+      std::printf("cache: %zu summaries loaded from %s\n", *Loaded,
+                  CachePath.c_str());
+  }
+
   Timer T;
   std::map<ModuleId, ModuleSummary> Summaries;
   std::optional<LoopDiagnostic> Loop =
-      analyzeDesign(File->Design, Summaries);
+      Engine.analyze(File->Design, Summaries);
   double Ms = T.milliseconds();
 
   if (Loop) {
     std::printf("LOOPED: %s\n", Loop->describe().c_str());
     return 1;
   }
+
+  if (!CachePath.empty() &&
+      !Engine.saveCache(CachePath, File->Design, Summaries))
+    std::fprintf(stderr, "warning: cannot write cache %s\n",
+                 CachePath.c_str());
 
   if (!Quiet) {
     for (ModuleId Id = 0; Id != File->Design.numModules(); ++Id) {
@@ -171,8 +211,11 @@ int main(int ArgC, char **ArgV) {
       std::printf("\n");
     }
   }
-  std::printf("well-connected: %zu module(s) analyzed in %.2f ms\n",
-              File->Design.numModules(), Ms);
+  const EngineStats &Stats = Engine.stats();
+  std::printf("well-connected: %zu module(s) analyzed in %.2f ms "
+              "(%u thread(s), %zu inferred, %zu cache hit(s))\n",
+              File->Design.numModules(), Ms, Stats.ThreadsUsed,
+              Stats.Inferred, Stats.CacheHits);
 
   if (ShowDepth) {
     auto Depths = inferAllDepths(File->Design, Summaries);
