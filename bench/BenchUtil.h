@@ -21,8 +21,11 @@
 #include "support/Timer.h"
 #include "synth/Lower.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace wiresort::bench {
 
@@ -85,6 +88,85 @@ inline bool quickMode(int ArgC, char **ArgV) {
       return true;
   return false;
 }
+
+/// The path following `--json <path>` on the command line, or "" when the
+/// flag is absent. Benches that support it mirror their table rows into a
+/// machine-readable JSON report there (e.g. bench_kernel writes
+/// BENCH_kernel.json for the perf-trajectory tooling).
+inline std::string jsonPath(int ArgC, char **ArgV) {
+  for (int I = 1; I + 1 < ArgC; ++I)
+    if (std::string(ArgV[I]) == "--json")
+      return ArgV[I + 1];
+  return {};
+}
+
+/// Tiny JSON emitter for bench reports: an array of flat objects with
+/// string and number fields — just enough for trend tooling to diff runs
+/// without scraping the human tables.
+class JsonReport {
+public:
+  JsonReport &beginRecord() {
+    Records.emplace_back();
+    return *this;
+  }
+  JsonReport &field(const std::string &Key, const std::string &Value) {
+    Records.back().emplace_back(Key, "\"" + escape(Value) + "\"");
+    return *this;
+  }
+  JsonReport &field(const std::string &Key, double Value) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof Buf, "%.9g", Value);
+    Records.back().emplace_back(Key, Buf);
+    return *this;
+  }
+  JsonReport &field(const std::string &Key, uint64_t Value) {
+    Records.back().emplace_back(Key, std::to_string(Value));
+    return *this;
+  }
+
+  std::string str() const {
+    std::string Out = "[\n";
+    for (size_t R = 0; R != Records.size(); ++R) {
+      Out += "  {";
+      for (size_t F = 0; F != Records[R].size(); ++F) {
+        if (F)
+          Out += ", ";
+        Out += "\"" + escape(Records[R][F].first) +
+               "\": " + Records[R][F].second;
+      }
+      Out += R + 1 != Records.size() ? "},\n" : "}\n";
+    }
+    return Out + "]\n";
+  }
+
+  /// Writes \ref str to \p Path; \returns false (with a stderr note) on
+  /// I/O failure so benches can surface it without aborting the run.
+  bool writeTo(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", Path.c_str());
+      return false;
+    }
+    const std::string Body = str();
+    const bool Ok = std::fwrite(Body.data(), 1, Body.size(), F) ==
+                    Body.size();
+    std::fclose(F);
+    return Ok;
+  }
+
+private:
+  static std::string escape(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    return Out;
+  }
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> Records;
+};
 
 } // namespace wiresort::bench
 

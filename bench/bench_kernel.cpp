@@ -1,0 +1,228 @@
+//===- bench/bench_kernel.cpp - Serial BFS vs bit-parallel Stage-1 --------===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// Head-to-head of the two Stage-1 reachability implementations over the
+// bit-blasted corpus (the paper's Tables 1-2 methodology: modules are
+// lowered to primitive gates before inference, so port counts are wire
+// bits, not RTL vectors). Each path runs cold — the timed region is the
+// per-module graph analysis Stage-1 performs after the comb graph is
+// built:
+//
+//  * serial — the seed implementation: Graph::findCycle for the
+//    combinational-loop check plus one allocating BFS per input port
+//    (CombGraph::reachableOutputPorts, kept as the differential oracle);
+//  * kernel — one ForwardOnly CSR freeze (Kahn orders the graph and
+//    settles the loop verdict; docs/KERNEL.md) shared by
+//    CombGraph::findCombLoop and the bit-parallel closure
+//    (CombGraph::allOutputPortSets, 64 input ports per machine word).
+//
+// Both paths must produce identical loop verdicts and port sets; the
+// bench refuses to report numbers otherwise. Sub-millisecond modules are
+// re-run enough times for the clock to resolve. `--json <path>` mirrors
+// the rows into a machine-readable report (CI writes BENCH_kernel.json)
+// so the perf trajectory of the kernel is diffable across commits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "analysis/Reachability.h"
+#include "gen/Catalog.h"
+#include "gen/Fifo.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "synth/Lower.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::bench;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+namespace {
+
+struct KernelRun {
+  size_t Gates = 0;
+  size_t Inputs = 0;
+  size_t Outputs = 0;
+  double SerialSeconds = 0.0;
+  double KernelSeconds = 0.0;
+  bool Identical = false;
+};
+
+/// The serial Stage-1 analysis over an already-built comb graph: the
+/// seed's loop check plus one BFS per input port.
+std::map<WireId, std::vector<WireId>> serialStage1(const Module &Gates,
+                                                   const CombGraph &CG,
+                                                   bool &Loop) {
+  Loop = CG.graph().findCycle().has_value();
+  std::map<WireId, std::vector<WireId>> Sets;
+  for (WireId In : Gates.Inputs)
+    Sets[In] = CG.reachableOutputPorts(In);
+  return Sets;
+}
+
+/// Times both cold Stage-1 paths over the gate-level form of \p M.
+///
+/// Every repetition rebuilds the comb graph outside the timed region so
+/// the kernel path pays its freeze cold each time; repetitions are scaled
+/// until the faster path accumulates enough time for the clock.
+KernelRun runModule(const Module &M) {
+  Design D;
+  ModuleId Id = D.addModule(M);
+  Module Gates = synth::lower(D, Id);
+
+  KernelRun Run;
+  for (const Net &N : Gates.Nets)
+    Run.Gates += N.Operation != Op::Buf;
+  Run.Inputs = Gates.Inputs.size();
+  Run.Outputs = Gates.Outputs.size();
+
+  const std::map<ModuleId, analysis::ModuleSummary> NoSubs;
+
+  // Correctness gate first: identical port sets and loop verdicts.
+  bool SerialLoop = false;
+  std::map<WireId, std::vector<WireId>> Serial, Batched;
+  {
+    CombGraph CG = CombGraph::build(Gates, NoSubs);
+    Serial = serialStage1(Gates, CG, SerialLoop);
+  }
+  {
+    CombGraph CG = CombGraph::build(Gates, NoSubs);
+    const bool KernelLoop = CG.findCombLoop().has_value();
+    Batched = CG.allOutputPortSets();
+    Run.Identical = Serial == Batched && SerialLoop == KernelLoop;
+  }
+  if (!Run.Identical)
+    return Run;
+
+  // Calibrate the repetition count on the kernel path (the faster one),
+  // then time both paths over the same number of cold runs.
+  int Reps = 1;
+  {
+    CombGraph CG = CombGraph::build(Gates, NoSubs);
+    Timer T;
+    (void)CG.findCombLoop();
+    (void)CG.allOutputPortSets();
+    const double Once = T.seconds();
+    Reps = static_cast<int>(
+        std::clamp(0.02 / std::max(Once, 1e-7), 1.0, 2000.0));
+  }
+
+  Timer T;
+  for (int R = 0; R != Reps; ++R) {
+    CombGraph CG = CombGraph::build(Gates, NoSubs);
+    T.restart();
+    bool Loop;
+    (void)serialStage1(Gates, CG, Loop);
+    Run.SerialSeconds += T.seconds();
+  }
+  for (int R = 0; R != Reps; ++R) {
+    CombGraph CG = CombGraph::build(Gates, NoSubs);
+    T.restart();
+    (void)CG.findCombLoop();
+    (void)CG.allOutputPortSets();
+    Run.KernelSeconds += T.seconds();
+  }
+  Run.SerialSeconds /= Reps;
+  Run.KernelSeconds /= Reps;
+  return Run;
+}
+
+void addRow(Table &T, JsonReport &Json, const std::string &Name,
+            const KernelRun &R) {
+  T.addRow({Name, Table::withCommas(R.Gates),
+            std::to_string(R.Inputs) + "/" + std::to_string(R.Outputs),
+            Table::secondsStr(R.SerialSeconds, 6),
+            Table::secondsStr(R.KernelSeconds, 6),
+            Table::speedupStr(R.SerialSeconds / R.KernelSeconds)});
+  Json.beginRecord()
+      .field("module", Name)
+      .field("prim_gates", static_cast<uint64_t>(R.Gates))
+      .field("inputs", static_cast<uint64_t>(R.Inputs))
+      .field("outputs", static_cast<uint64_t>(R.Outputs))
+      .field("serial_stage1_seconds", R.SerialSeconds)
+      .field("kernel_stage1_seconds", R.KernelSeconds)
+      .field("speedup", R.SerialSeconds / R.KernelSeconds);
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  const bool Quick = quickMode(ArgC, ArgV);
+  const std::string JsonOut = jsonPath(ArgC, ArgV);
+
+  std::printf("=== Stage-1 reachability: serial (findCycle + per-port BFS) "
+              "vs bit-parallel CSR kernel ===\n"
+              "(gate-level modules, cold per run; both paths verified "
+              "identical before any row is reported)\n\n");
+
+  Table T({"Module", "Prim gates", "In/Out ports", "Serial Stage-1 (s)",
+           "Kernel Stage-1 (s)", "Speedup"});
+  JsonReport Json;
+
+  auto report = [&](const std::string &Name, const Module &M) {
+    KernelRun R = runModule(M);
+    if (!R.Identical) {
+      std::printf("%s: serial and kernel Stage-1 diverge!\n", Name.c_str());
+      return false;
+    }
+    addRow(T, Json, Name, R);
+    return true;
+  };
+
+  size_t Count = 0;
+  for (const CatalogEntry &E : catalog()) {
+    if (Quick && ++Count > 8)
+      break;
+    if (!report(E.Name, E.Build()))
+      return 1;
+  }
+
+  // Wide combinational modules: >=64 input bits whose closures span most
+  // of the gate network, so the serial path pays |inputs| full BFS
+  // traversals where the kernel pays ceil(|inputs|/64) sweeps. This is
+  // the workload the bit-parallel kernel exists for.
+  struct WideEntry {
+    std::string Name;
+    Module M;
+  };
+  std::vector<WideEntry> Wide;
+  Wide.push_back({"mux_comb_w64_n16", makeMuxComb(64, 16)});
+  if (!Quick) {
+    Wide.push_back({"crossbar_w32_p8", makeCrossbar(32, 8)});
+    Wide.push_back({"crossbar_w64_p16", makeCrossbar(64, 16)});
+    Wide.push_back({"popcount_w64", makePopcount(64)});
+    Wide.push_back({"majority_w64", makeMajority(64)});
+    Wide.push_back({"checksum_w64", makeChecksum(64)});
+    Wide.push_back({"gray_decode_w64", makeGrayCoder(64, /*Decode=*/true)});
+    Wide.push_back({"prio_enc_n64", makePriorityEncoder(64)});
+  }
+  for (const WideEntry &E : Wide)
+    if (!report(E.Name, E.M))
+      return 1;
+
+  // The large bit-blasted forwarding FIFOs: ~70 input bits over a
+  // register-dominated netlist. Closures here are small (state absorbs
+  // reachability), so Stage-1 is bound by the loop check / freeze — the
+  // kernel's job on these is to not regress while the wide modules win.
+  for (uint16_t DepthLog2 : {6, 8, 10}) {
+    if (Quick && DepthLog2 > 6)
+      break;
+    if (!report("fifo_fwd_w64_d2^" + std::to_string(DepthLog2),
+                makeFifo({64, DepthLog2, /*Forwarding=*/true})))
+      return 1;
+  }
+
+  T.print();
+
+  if (!JsonOut.empty() && Json.writeTo(JsonOut))
+    std::printf("\nJSON report written to %s\n", JsonOut.c_str());
+  return 0;
+}

@@ -6,7 +6,10 @@
 
 #include "analysis/Reachability.h"
 
+#include "support/CsrGraph.h"
+
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 using namespace wiresort;
@@ -72,10 +75,14 @@ CombGraph CombGraph::build(const Module &M,
     const ModuleSummary &Sub = SummaryIt->second;
 
     // Map the definition's output ports to the local wires bound to them.
-    std::map<WireId, WireId> OutLocal;
+    // Definition port ids are dense, so a flat vector sized to the largest
+    // bound port beats a map in this hot build loop.
+    WireId MaxDefPort = 0;
+    for (const auto &[DefPort, Local] : Inst.Bindings)
+      MaxDefPort = std::max(MaxDefPort, DefPort);
+    std::vector<WireId> OutLocal(MaxDefPort + 1, InvalidId);
     for (const auto &[DefPort, Local] : Inst.Bindings) {
-      auto OutSet = Sub.InputPortSets.find(DefPort);
-      if (OutSet != Sub.InputPortSets.end()) {
+      if (Sub.InputPortSets.count(DefPort)) {
         OutLocal[DefPort] = Local;
         CG.Drivers[Local] = DriverRec{DriverKind::InstOut, InstIdx, DefPort};
       }
@@ -86,13 +93,19 @@ CombGraph CombGraph::build(const Module &M,
         continue; // An output binding.
       CG.Fanouts[Local].InstInputs.emplace_back(InstIdx, DefPort);
       for (WireId DefOut : It->second) {
-        auto LocalIt = OutLocal.find(DefOut);
-        assert(LocalIt != OutLocal.end() && "output port left unbound");
-        CG.G.addEdge(Local, LocalIt->second);
+        assert(DefOut < OutLocal.size() && OutLocal[DefOut] != InvalidId &&
+               "output port left unbound");
+        CG.G.addEdge(Local, OutLocal[DefOut]);
       }
     }
   }
   return CG;
+}
+
+const CsrGraph &CombGraph::frozen() const {
+  if (!Frozen)
+    Frozen = CsrGraph::freeze(G, CsrGraph::ForwardOnly);
+  return *Frozen;
 }
 
 std::vector<WireId> CombGraph::reachableOutputPorts(WireId From) const {
@@ -105,10 +118,49 @@ std::vector<WireId> CombGraph::reachableOutputPorts(WireId From) const {
   return Result;
 }
 
+std::map<WireId, std::vector<WireId>> CombGraph::allOutputPortSets() const {
+  std::map<WireId, std::vector<WireId>> Result;
+  // Inputs reaching nothing still get their (empty, i.e. to-sync) set.
+  for (WireId In : M->Inputs)
+    Result.emplace(In, std::vector<WireId>{});
+  if (M->Inputs.empty() || M->Outputs.empty())
+    return Result;
+
+  ReachabilityKernel Kernel(frozen());
+  const std::vector<WireId> &Ins = M->Inputs;
+  // Decode each sweep's masks into flat per-lane vectors and move them
+  // into the map once per input — a map lookup per (input, output) pair
+  // would dominate small modules.
+  std::vector<std::vector<WireId>> LaneSets;
+  for (size_t Base = 0; Base < Ins.size();
+       Base += ReachabilityKernel::WordBits) {
+    const uint32_t Count = static_cast<uint32_t>(
+        std::min<size_t>(ReachabilityKernel::WordBits, Ins.size() - Base));
+    Kernel.sweep(Ins.data() + Base, Count);
+    LaneSets.assign(Count, {});
+    for (WireId Out : M->Outputs) {
+      uint64_t Mask = Kernel.mask(Out);
+      while (Mask) {
+        const uint32_t K = static_cast<uint32_t>(std::countr_zero(Mask));
+        Mask &= Mask - 1;
+        if (Ins[Base + K] != Out)
+          LaneSets[K].push_back(Out);
+      }
+    }
+    for (uint32_t K = 0; K != Count; ++K) {
+      std::sort(LaneSets[K].begin(), LaneSets[K].end());
+      Result.find(Ins[Base + K])->second = std::move(LaneSets[K]);
+    }
+  }
+  return Result;
+}
+
 std::optional<LoopDiagnostic> CombGraph::findCombLoop() const {
-  std::optional<std::vector<uint32_t>> Cycle = G.findCycle();
-  if (!Cycle)
+  if (frozen().isAcyclic())
     return std::nullopt;
+  // A loop exists; pay for the cycle walk only on this error path.
+  std::optional<std::vector<uint32_t>> Cycle = G.findCycle();
+  assert(Cycle && "frozen snapshot says cyclic but no cycle found");
   LoopDiagnostic Diag;
   for (uint32_t Node : *Cycle)
     Diag.PathLabels.push_back(M->Name + "::" + M->wire(Node).Name);

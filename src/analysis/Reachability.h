@@ -30,6 +30,7 @@
 
 #include "analysis/Summary.h"
 #include "ir/Module.h"
+#include "support/CsrGraph.h"
 #include "support/Graph.h"
 
 #include <map>
@@ -64,12 +65,34 @@ public:
   /// Node ids coincide with WireIds of the module.
   const Graph &graph() const { return G; }
 
+  /// The frozen CSR snapshot of \ref graph, built lazily on first use and
+  /// shared by every query that needs the graph's structure settled:
+  /// \ref findCombLoop reads its acyclicity verdict and
+  /// \ref allOutputPortSets sweeps its condensation, so Stage-1 inference
+  /// pays for one freeze (one ordering pass), not one per query. Not
+  /// thread-safe: a CombGraph belongs to a single inference task.
+  const CsrGraph &frozen() const;
+
   /// Forward-reachable module \b output ports from \p From, sorted.
   /// This is output-ports(M, From) when \p From is an input port.
+  ///
+  /// One allocating BFS per call; kept as the differential oracle the
+  /// property suites pin \ref allOutputPortSets against. Production
+  /// Stage-1 inference uses the batched form.
   std::vector<ir::WireId> reachableOutputPorts(ir::WireId From) const;
 
+  /// output-ports(M, win) for every input port at once, via the
+  /// bit-parallel CSR kernel (support/CsrGraph.h): the graph is frozen
+  /// once and a module with K inputs costs ceil(K/64) sweeps over the
+  /// edge array instead of K BFS traversals. Bit-identical to calling
+  /// \ref reachableOutputPorts per input.
+  std::map<ir::WireId, std::vector<ir::WireId>> allOutputPortSets() const;
+
   /// \returns a loop diagnostic if the module (including instance
-  /// summaries) contains a combinational cycle, else std::nullopt.
+  /// summaries) contains a combinational cycle, else std::nullopt. The
+  /// acyclic fast path is free once the graph is \ref frozen; the cycle
+  /// walk (Graph::findCycle) runs only on the error path, where a
+  /// readable diagnostic is worth a second traversal.
   std::optional<LoopDiagnostic> findCombLoop() const;
 
   /// Section 3.7: true iff input \p In feeds only state, reached through
@@ -106,6 +129,8 @@ private:
   const ir::Module *M = nullptr;
   const std::map<ir::ModuleId, ModuleSummary> *SubSummaries = nullptr;
   Graph G;
+  /// Lazy CSR snapshot; see \ref frozen.
+  mutable std::optional<CsrGraph> Frozen;
   std::vector<DriverRec> Drivers;
   std::vector<FanoutRec> Fanouts;
 };

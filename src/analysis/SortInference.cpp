@@ -32,9 +32,10 @@ analysis::inferSummary(const Design &D, ModuleId Id,
   Summary.Id = Id;
   Summary.ModuleName = M.Name;
 
-  // Forward pass per input port: O(|inputs| * |edges|) total.
-  for (WireId In : M.Inputs)
-    Summary.OutputPortSets[In] = CG.reachableOutputPorts(In);
+  // Forward pass, batched 64 input ports per machine word: ceil(K/64)
+  // sweeps over the frozen CSR edge array instead of K BFS traversals
+  // (bit-identical to the per-port BFS; see docs/KERNEL.md).
+  Summary.OutputPortSets = CG.allOutputPortSets();
 
   // Output sets by inversion — no second traversal (Section 5.5.1).
   for (WireId Out : M.Outputs)
@@ -45,16 +46,19 @@ analysis::inferSummary(const Design &D, ModuleId Id,
   for (auto &[Out, Ins] : Summary.InputPortSets)
     std::sort(Ins.begin(), Ins.end());
 
-  // Section 3.7 subsorts for the sync ports.
+  // Section 3.7 subsorts for the sync ports. Read the batched results
+  // through at(): the sets were fully populated above, and mutating
+  // operator[] on a read would grow the map on a port-id typo instead of
+  // failing loudly.
   for (WireId In : M.Inputs) {
-    if (!Summary.OutputPortSets[In].empty())
+    if (!Summary.OutputPortSets.at(In).empty())
       Summary.SubSorts[In] = SubSort::None;
     else
       Summary.SubSorts[In] = CG.feedsStateDirectly(In) ? SubSort::Direct
                                                        : SubSort::Indirect;
   }
   for (WireId Out : M.Outputs) {
-    if (!Summary.InputPortSets[Out].empty())
+    if (!Summary.InputPortSets.at(Out).empty())
       Summary.SubSorts[Out] = SubSort::None;
     else
       Summary.SubSorts[Out] = CG.drivenByStateDirectly(Out)

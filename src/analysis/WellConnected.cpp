@@ -35,15 +35,30 @@ PortGraph PortGraph::build(const Circuit &Circ,
                                &Summaries) {
   PortGraph PG;
   const auto &Insts = Circ.instances();
-  PG.NodeIndex.resize(Insts.size());
+  const Design &D = Circ.design();
+  PG.InstBase.resize(Insts.size());
+  PG.InstDef.resize(Insts.size());
+  PG.DefSlots.resize(D.numModules());
 
   for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
-    const Module &Def = Circ.design().module(Insts[Inst].Def);
+    const ModuleId DefId = Insts[Inst].Def;
+    const Module &Def = D.module(DefId);
+    PG.InstDef[Inst] = DefId;
+    PG.InstBase[Inst] = static_cast<uint32_t>(PG.Refs.size());
+    // Port -> slot mapping, built once per definition and shared by all
+    // of its instances (dense vector; maps here were a profile hot spot).
+    std::vector<uint32_t> &Slots = PG.DefSlots[DefId];
+    if (Slots.empty() && Def.numPorts() != 0) {
+      Slots.assign(Def.numWires(), InvalidId);
+      uint32_t Next = 0;
+      for (WireId Port : Def.Inputs)
+        Slots[Port] = Next++;
+      for (WireId Port : Def.Outputs)
+        Slots[Port] = Next++;
+    }
     for (WireId Port : Def.Inputs)
-      PG.NodeIndex[Inst][Port] = static_cast<uint32_t>(PG.Refs.size()),
       PG.Refs.push_back(PortRef{Inst, Port});
     for (WireId Port : Def.Outputs)
-      PG.NodeIndex[Inst][Port] = static_cast<uint32_t>(PG.Refs.size()),
       PG.Refs.push_back(PortRef{Inst, Port});
   }
   PG.G = Graph(PG.Refs.size());
@@ -52,9 +67,9 @@ PortGraph PortGraph::build(const Circuit &Circ,
   for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
     const ModuleSummary &Summary = Summaries.at(Insts[Inst].Def);
     for (const auto &[In, Outs] : Summary.OutputPortSets) {
-      uint32_t InNode = PG.NodeIndex[Inst].at(In);
+      uint32_t InNode = PG.nodeOf(PortRef{Inst, In});
       for (WireId Out : Outs) {
-        PG.G.addEdge(InNode, PG.NodeIndex[Inst].at(Out));
+        PG.G.addEdge(InNode, PG.nodeOf(PortRef{Inst, Out}));
         ++PG.SummaryEdges;
       }
     }
@@ -62,20 +77,47 @@ PortGraph PortGraph::build(const Circuit &Circ,
 
   // Connection edges.
   for (const Connection &C : Circ.connections()) {
-    PG.G.addEdge(PG.NodeIndex[C.From.Inst].at(C.From.Port),
-                 PG.NodeIndex[C.To.Inst].at(C.To.Port));
+    PG.G.addEdge(PG.nodeOf(C.From), PG.nodeOf(C.To));
     ++PG.ConnectionEdges;
   }
+
+  // Freeze for the Stage-3 closure kernel: one ordering pass up front
+  // (Kahn; Tarjan only if the port graph turns out cyclic) that also
+  // settles checkCircuit's loop verdict. The pairwise checker then
+  // sweeps 64 ports per word over the CSR arrays.
+  PG.Csr = CsrGraph::freeze(PG.G, CsrGraph::ForwardOnly);
   return PG;
 }
 
-uint32_t PortGraph::nodeOf(PortRef Ref) const {
-  return NodeIndex[Ref.Inst].at(Ref.Port);
+bool PortGraph::transitivelyAffects(PortRef W1, PortRef W2) const {
+  return G.reaches(nodeOf(W1), nodeOf(W2));
 }
 
-bool PortGraph::transitivelyAffects(PortRef W1, PortRef W2) const {
-  return G.reachableFrom(nodeOf(W1))[nodeOf(W2)];
+namespace {
+
+/// Per-instance summary pointers, resolved once per circuit so the
+/// per-connection loops below stop paying a map lookup per endpoint.
+std::vector<const ModuleSummary *>
+instanceSummaries(const Circuit &Circ,
+                  const std::map<ModuleId, ModuleSummary> &Summaries) {
+  const auto &Insts = Circ.instances();
+  std::vector<const ModuleSummary *> Result(Insts.size());
+  for (InstId Inst = 0; Inst != Insts.size(); ++Inst)
+    Result[Inst] = &Summaries.at(Insts[Inst].Def);
+  return Result;
 }
+
+/// classifyConnection over pre-resolved summary pointers.
+ConnectionSafety
+classifyCached(const std::vector<const ModuleSummary *> &InstSummary,
+               const Connection &C) {
+  if (InstSummary[C.From.Inst]->sortOf(C.From.Port) == Sort::FromSync ||
+      InstSummary[C.To.Inst]->sortOf(C.To.Port) == Sort::ToSync)
+    return ConnectionSafety::SafeBySort;
+  return ConnectionSafety::NeedsCircuitCheck;
+}
+
+} // namespace
 
 CircuitCheckResult
 analysis::checkCircuit(const Circuit &Circ,
@@ -83,23 +125,27 @@ analysis::checkCircuit(const Circuit &Circ,
   Timer T;
   CircuitCheckResult Result;
 
+  const std::vector<const ModuleSummary *> InstSummary =
+      instanceSummaries(Circ, Summaries);
   for (const Connection &C : Circ.connections()) {
-    if (classifyConnection(Circ, Summaries, C) ==
-        ConnectionSafety::SafeBySort)
+    if (classifyCached(InstSummary, C) == ConnectionSafety::SafeBySort)
       ++Result.SafeBySort;
     else
       ++Result.NeedsCheck;
   }
 
   PortGraph PG = PortGraph::build(Circ, Summaries);
-  if (std::optional<std::vector<uint32_t>> Cycle = PG.graph().findCycle()) {
+  if (PG.csr().isAcyclic()) {
+    Result.WellConnected = true;
+  } else {
+    // A loop exists; walk it only on this error path for the diagnostic.
+    std::optional<std::vector<uint32_t>> Cycle = PG.graph().findCycle();
+    assert(Cycle && "frozen snapshot says cyclic but no cycle found");
     LoopDiagnostic Diag;
     for (uint32_t Node : *Cycle)
       Diag.PathLabels.push_back(Circ.portLabel(PG.refOf(Node)));
     Result.Loop = std::move(Diag);
     Result.WellConnected = false;
-  } else {
-    Result.WellConnected = true;
   }
   Result.Seconds = T.seconds();
   return Result;
@@ -133,12 +179,27 @@ bool analysis::isWellConnectedPair(const PortGraph &PG, const Circuit &Circ,
   const ModuleSummary &ToSummary =
       Summaries.at(Circ.instances()[C.To.Inst].Def);
   // For all w1 in input-ports(M1, wout), w2 in output-ports(M2, win):
-  // require w2 does not transitively affect w1 (Definition 3.1).
-  for (WireId W2 : ToSummary.outputPortSet(C.To.Port)) {
-    std::vector<bool> Reach =
-        PG.graph().reachableFrom(PG.nodeOf(PortRef{C.To.Inst, W2}));
-    for (WireId W1 : FromSummary.inputPortSet(C.From.Port))
-      if (Reach[PG.nodeOf(PortRef{C.From.Inst, W1})])
+  // require w2 does not transitively affect w1 (Definition 3.1). The w2
+  // closures run 64-per-word through the bit-parallel kernel instead of
+  // one BFS per w2.
+  const std::vector<WireId> &W2s = ToSummary.outputPortSet(C.To.Port);
+  const std::vector<WireId> &W1s = FromSummary.inputPortSet(C.From.Port);
+  if (W2s.empty() || W1s.empty())
+    return true;
+  ReachabilityKernel Kernel(PG.csr());
+  std::vector<uint32_t> Sources;
+  Sources.reserve(std::min<size_t>(ReachabilityKernel::WordBits,
+                                   W2s.size()));
+  for (size_t Base = 0; Base < W2s.size();
+       Base += ReachabilityKernel::WordBits) {
+    const size_t Count =
+        std::min<size_t>(ReachabilityKernel::WordBits, W2s.size() - Base);
+    Sources.clear();
+    for (size_t K = 0; K != Count; ++K)
+      Sources.push_back(PG.nodeOf(PortRef{C.To.Inst, W2s[Base + K]}));
+    Kernel.sweep(Sources.data(), static_cast<uint32_t>(Count));
+    for (WireId W1 : W1s)
+      if (Kernel.mask(PG.nodeOf(PortRef{C.From.Inst, W1})) != 0)
         return false;
   }
   return true;
@@ -151,23 +212,66 @@ analysis::checkCircuitPairwise(const Circuit &Circ,
   Timer T;
   CircuitCheckResult Result;
   PortGraph PG = PortGraph::build(Circ, Summaries);
+  const std::vector<const ModuleSummary *> InstSummary =
+      instanceSummaries(Circ, Summaries);
+  const auto &Conns = Circ.connections();
 
-  Result.WellConnected = true;
-  for (const Connection &C : Circ.connections()) {
-    if (classifyConnection(Circ, Summaries, C) ==
-        ConnectionSafety::SafeBySort) {
+  // Stage 2 plus query collection: one (connection, w2) query per member
+  // of each checked connection's output-port-set. All queries across all
+  // connections share the kernel's chunked sweeps, so the whole pairwise
+  // pass costs ceil(|queries|/64) passes over the port graph's edges.
+  struct PairQuery {
+    uint32_t Conn;
+    uint32_t SrcNode;
+  };
+  std::vector<PairQuery> Queries;
+  std::vector<uint8_t> Failed(Conns.size(), 0);
+  for (uint32_t I = 0; I != Conns.size(); ++I) {
+    const Connection &C = Conns[I];
+    if (classifyCached(InstSummary, C) == ConnectionSafety::SafeBySort) {
       ++Result.SafeBySort;
       continue;
     }
     ++Result.NeedsCheck;
-    if (!isWellConnectedPair(PG, Circ, Summaries, C)) {
-      Result.WellConnected = false;
-      LoopDiagnostic Diag;
-      Diag.PathLabels.push_back(Circ.portLabel(C.From));
-      Diag.PathLabels.push_back(Circ.portLabel(C.To));
-      if (!Result.Loop)
-        Result.Loop = std::move(Diag);
+    for (WireId W2 : InstSummary[C.To.Inst]->outputPortSet(C.To.Port))
+      Queries.push_back({I, PG.nodeOf(PortRef{C.To.Inst, W2})});
+  }
+
+  ReachabilityKernel Kernel(PG.csr());
+  std::vector<uint32_t> Sources;
+  for (size_t Base = 0; Base < Queries.size();
+       Base += ReachabilityKernel::WordBits) {
+    const size_t Count =
+        std::min<size_t>(ReachabilityKernel::WordBits, Queries.size() - Base);
+    Sources.clear();
+    for (size_t K = 0; K != Count; ++K)
+      Sources.push_back(Queries[Base + K].SrcNode);
+    Kernel.sweep(Sources.data(), static_cast<uint32_t>(Count));
+    for (size_t K = 0; K != Count; ++K) {
+      const uint32_t ConnIdx = Queries[Base + K].Conn;
+      if (Failed[ConnIdx])
+        continue;
+      const Connection &C = Conns[ConnIdx];
+      const ModuleSummary &FromSummary = *InstSummary[C.From.Inst];
+      for (WireId W1 : FromSummary.inputPortSet(C.From.Port)) {
+        if ((Kernel.mask(PG.nodeOf(PortRef{C.From.Inst, W1})) >> K) & 1) {
+          Failed[ConnIdx] = 1;
+          break;
+        }
+      }
     }
+  }
+
+  Result.WellConnected = true;
+  for (uint32_t I = 0; I != Conns.size(); ++I) {
+    if (!Failed[I])
+      continue;
+    Result.WellConnected = false;
+    LoopDiagnostic Diag;
+    Diag.PathLabels.push_back(Circ.portLabel(Conns[I].From));
+    Diag.PathLabels.push_back(Circ.portLabel(Conns[I].To));
+    if (!Result.Loop)
+      Result.Loop = std::move(Diag);
   }
   Result.Seconds = T.seconds();
   return Result;

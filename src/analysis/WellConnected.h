@@ -31,8 +31,10 @@
 
 #include "analysis/Summary.h"
 #include "ir/Circuit.h"
+#include "support/CsrGraph.h"
 #include "support/Graph.h"
 
+#include <cassert>
 #include <map>
 #include <optional>
 #include <vector>
@@ -65,7 +67,17 @@ public:
                              &Summaries);
 
   const Graph &graph() const { return G; }
-  uint32_t nodeOf(ir::PortRef Ref) const;
+
+  /// Frozen CSR snapshot of \ref graph, taken at build time: the
+  /// bit-parallel closure kernel (support/CsrGraph.h) runs Stage-3
+  /// pairwise checking over it.
+  const CsrGraph &csr() const { return Csr; }
+
+  uint32_t nodeOf(ir::PortRef Ref) const {
+    const uint32_t Slot = DefSlots[InstDef[Ref.Inst]][Ref.Port];
+    assert(Slot != ir::InvalidId && "wire is not a port of the instance");
+    return InstBase[Ref.Inst] + Slot;
+  }
   ir::PortRef refOf(uint32_t Node) const { return Refs[Node]; }
   size_t numSummaryEdges() const { return SummaryEdges; }
   size_t numConnectionEdges() const { return ConnectionEdges; }
@@ -75,9 +87,14 @@ public:
 
 private:
   Graph G;
+  CsrGraph Csr;
   std::vector<ir::PortRef> Refs;
-  /// Per instance, port WireId -> node base mapping.
-  std::vector<std::map<ir::WireId, uint32_t>> NodeIndex;
+  /// Flat node index: node id = InstBase[inst] + DefSlots[def][port].
+  /// DefSlots is shared across instances of the same definition; slots
+  /// run inputs-then-outputs in declaration order.
+  std::vector<uint32_t> InstBase;
+  std::vector<ir::ModuleId> InstDef;
+  std::vector<std::vector<uint32_t>> DefSlots;
   size_t SummaryEdges = 0;
   size_t ConnectionEdges = 0;
 };

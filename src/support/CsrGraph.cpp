@@ -1,0 +1,223 @@
+//===- support/CsrGraph.cpp - Frozen CSR graph + bit-parallel reach -------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CsrGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace wiresort;
+
+CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
+  CsrGraph C;
+  const size_t N = G.numNodes();
+
+  // Forward CSR: count, prefix-sum, fill. The fill pass doubles as the
+  // reverse-edge count (in-degrees), saving one scan of the edge array.
+  C.FwdRow.assign(N + 1, 0);
+  for (uint32_t Node = 0; Node != N; ++Node)
+    C.FwdRow[Node + 1] =
+        C.FwdRow[Node] + static_cast<uint32_t>(G.successors(Node).size());
+  C.FwdCol.resize(C.FwdRow[N]);
+  C.RevRow.assign(N + 1, 0);
+  std::vector<uint32_t> DescTargets;
+  for (uint32_t Node = 0, At = 0; Node != N; ++Node)
+    for (uint32_t Succ : G.successors(Node)) {
+      C.FwdCol[At++] = Succ;
+      ++C.RevRow[Succ + 1];
+      if (Succ <= Node)
+        DescTargets.push_back(Succ);
+    }
+
+  // Reverse row offsets (in-degrees) always — counted during the fill.
+  // The reverse column fill is a full extra pass over the edges, so it
+  // is materialized only when the caller asked for predecessors.
+  for (uint32_t Node = 0; Node != N; ++Node)
+    C.RevRow[Node + 1] += C.RevRow[Node];
+  if (Dirs == ForwardAndReverse) {
+    C.RevCol.resize(C.FwdCol.size());
+    std::vector<uint32_t> Next(C.RevRow.begin(), C.RevRow.end() - 1);
+    for (uint32_t Node = 0; Node != N; ++Node)
+      for (uint32_t Idx = C.FwdRow[Node]; Idx != C.FwdRow[Node + 1]; ++Idx)
+        C.RevCol[Next[C.FwdCol[Idx]]++] = Node;
+  }
+
+  // Synthesized netlists create wires in dependency order, so comb edges
+  // usually ascend — node ids then ARE a topological order, the graph is
+  // proven acyclic by the fill pass above, and TopoOrder/TopoPos stay
+  // empty (identity). Every cycle must contain a descending edge, so an
+  // all-ascending graph needs no further proof.
+  if (DescTargets.empty())
+    return C;
+
+  // Near-sorted repair: only nodes downstream of a descending edge can
+  // be mis-placed by the identity order. That repair set R (the forward
+  // closure of the descending-edge targets) is successor-closed, so a
+  // valid order is "non-R nodes by ascending id, then R topologically":
+  // edges inside non-R ascend (a descending one would put its target in
+  // R), edges leaving non-R land in R, and edges inside R never escape.
+  // Any cycle lies entirely inside R, so ordering R alone also settles
+  // acyclicity — on a netlist with a handful of late-bound output wires
+  // this replaces a full Kahn pass with work proportional to |R|.
+  bool Cyclic = false;
+  {
+    std::vector<uint8_t> InR(N, 0);
+    std::vector<uint32_t> RNodes, Work;
+    auto enter = [&](uint32_t Node) {
+      if (!InR[Node]) {
+        InR[Node] = 1;
+        RNodes.push_back(Node);
+        Work.push_back(Node);
+      }
+    };
+    for (uint32_t Target : DescTargets)
+      enter(Target);
+    while (!Work.empty()) {
+      const uint32_t Node = Work.back();
+      Work.pop_back();
+      for (uint32_t Idx = C.FwdRow[Node]; Idx != C.FwdRow[Node + 1]; ++Idx)
+        enter(C.FwdCol[Idx]);
+    }
+
+    // In-R in-degrees: edges from outside R are satisfied by the time R
+    // starts, so only R-internal edges (whose sources are all in R,
+    // successor-closedness again) gate a node's readiness.
+    std::vector<uint32_t> InDegR(N, 0);
+    for (uint32_t Node : RNodes)
+      for (uint32_t Idx = C.FwdRow[Node]; Idx != C.FwdRow[Node + 1]; ++Idx)
+        ++InDegR[C.FwdCol[Idx]];
+    std::vector<uint32_t> ROrder;
+    ROrder.reserve(RNodes.size());
+    for (uint32_t Node : RNodes)
+      if (InDegR[Node] == 0)
+        ROrder.push_back(Node);
+    for (size_t At = 0; At != ROrder.size(); ++At) {
+      const uint32_t Node = ROrder[At];
+      for (uint32_t Idx = C.FwdRow[Node]; Idx != C.FwdRow[Node + 1]; ++Idx)
+        if (--InDegR[C.FwdCol[Idx]] == 0)
+          ROrder.push_back(C.FwdCol[Idx]);
+    }
+    Cyclic = ROrder.size() != RNodes.size();
+
+    if (!Cyclic) {
+      C.TopoOrder.reserve(N);
+      for (uint32_t Node = 0; Node != N; ++Node)
+        if (!InR[Node])
+          C.TopoOrder.push_back(Node);
+      C.TopoOrder.insert(C.TopoOrder.end(), ROrder.begin(), ROrder.end());
+      C.TopoPos.resize(N);
+      for (uint32_t At = 0; At != N; ++At)
+        C.TopoPos[C.TopoOrder[At]] = At;
+      return C;
+    }
+  }
+
+  // Cyclic: condense once with Tarjan. Component ids come out in reverse
+  // topological order of the condensation — exactly the sweep order —
+  // and the member nodes are grouped for mask scatter.
+  C.Acyclic = false;
+  C.Comp = G.tarjanScc(C.NumComps);
+  C.CompRow.assign(C.NumComps + 1, 0);
+  for (uint32_t CompId : C.Comp)
+    ++C.CompRow[CompId + 1];
+  for (uint32_t CompId = 0; CompId != C.NumComps; ++CompId)
+    C.CompRow[CompId + 1] += C.CompRow[CompId];
+  C.CompNodes.resize(N);
+  {
+    std::vector<uint32_t> Next(C.CompRow.begin(), C.CompRow.end() - 1);
+    for (uint32_t Node = 0; Node != N; ++Node)
+      C.CompNodes[Next[C.Comp[Node]]++] = Node;
+  }
+  return C;
+}
+
+void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
+  assert(Count <= WordBits && "a sweep carries at most 64 source lanes");
+
+  // Sparse reset of the previous sweep's footprint: between sweeps the
+  // scratch arrays are all-zero except at Dirty positions.
+  for (uint32_t B : Dirty) {
+    BlockMask[B] = 0;
+    Seen[B] = 0;
+  }
+  Dirty.clear();
+  if (Count == 0)
+    return;
+
+  // Blocks are condensation components: plain nodes on acyclic graphs
+  // (identity condensation), Tarjan components otherwise.
+  const bool Acyclic = G->isAcyclic();
+  auto scatterFrom = [&](uint32_t Block, auto &&Touch) {
+    if (Acyclic) {
+      for (uint32_t Succ : G->successors(Block))
+        Touch(Succ);
+    } else {
+      for (uint32_t Node : G->componentNodes(Block))
+        for (uint32_t Succ : G->successors(Node))
+          Touch(G->Comp[Succ]);
+    }
+  };
+
+  // Phase 1: seed the lane bits and discover every block reachable from
+  // the sources. Dirty doubles as the reset list for the next sweep.
+  auto visit = [&](uint32_t B) {
+    if (!Seen[B]) {
+      Seen[B] = 1;
+      Dirty.push_back(B);
+      Work.push_back(B);
+    }
+  };
+  for (uint32_t K = 0; K != Count; ++K) {
+    const uint32_t B = G->componentOf(Sources[K]);
+    BlockMask[B] |= uint64_t{1} << K;
+    visit(B);
+  }
+  while (!Work.empty()) {
+    const uint32_t B = Work.back();
+    Work.pop_back();
+    scatterFrom(B, visit);
+  }
+
+  // Phase 2: propagate lane masks over exactly the discovered blocks in
+  // topological order (predecessors first), so one scatter pass settles
+  // the closure. When the sources reach most of the graph a linear scan
+  // of the full order beats sorting the discovery list; when they reach
+  // a sliver, sorting the sliver wins.
+  const uint32_t NumBlocks = G->numComponents();
+  auto propagate = [&](uint32_t B) {
+    const uint64_t Mask = BlockMask[B];
+    scatterFrom(B, [&](uint32_t Succ) { BlockMask[Succ] |= Mask; });
+  };
+  if (Dirty.size() >= NumBlocks / 8) {
+    if (!Acyclic) {
+      // Tarjan ids are reverse-topological: walk them downward.
+      for (uint32_t B = NumBlocks; B-- > 0;)
+        if (Seen[B])
+          propagate(B);
+    } else if (G->TopoOrder.empty()) {
+      // Identity order: node ids are already topological.
+      for (uint32_t Node = 0; Node != NumBlocks; ++Node)
+        if (Seen[Node])
+          propagate(Node);
+    } else {
+      for (uint32_t Node : G->TopoOrder)
+        if (Seen[Node])
+          propagate(Node);
+    }
+  } else {
+    if (!Acyclic)
+      std::sort(Dirty.begin(), Dirty.end(), std::greater<uint32_t>());
+    else if (G->TopoPos.empty())
+      std::sort(Dirty.begin(), Dirty.end());
+    else
+      std::sort(Dirty.begin(), Dirty.end(), [&](uint32_t A, uint32_t B) {
+        return G->TopoPos[A] < G->TopoPos[B];
+      });
+    for (uint32_t B : Dirty)
+      propagate(B);
+  }
+}

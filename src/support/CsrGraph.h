@@ -1,0 +1,185 @@
+//===- support/CsrGraph.h - Frozen CSR graph + bit-parallel reach -*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A frozen compressed-sparse-row snapshot of a \ref Graph plus a
+/// bit-parallel multi-source reachability kernel (see docs/KERNEL.md).
+///
+/// \ref Graph stores adjacency as one heap vector per node, which is the
+/// right shape while edges are still being inserted but a poor one for the
+/// closure sweeps Stage-1 inference runs over it: every traversal chases a
+/// pointer per node and every source pays a fresh visited-set allocation.
+/// \ref CsrGraph::freeze packs the edges into two flat arrays (forward and
+/// reverse CSR), caches the edge count, and settles the graph's order
+/// once. Synthesized netlists create wires in dependency order, so the
+/// fill pass usually proves node ids are already topological; the few
+/// descending edges that do occur (late-bound output-port wires) are
+/// repaired locally by topologically ordering just their downstream
+/// closure, which also settles acyclicity. Only genuinely cyclic graphs
+/// pay for a Tarjan pass, whose SCC ids come out reverse-topological.
+/// Either way, every later closure query walks the condensation in
+/// topological order for free, and \ref isAcyclic doubles as a
+/// combinational-loop verdict.
+///
+/// \ref ReachabilityKernel answers "which of these K sources reach node
+/// n?" for up to 64 sources per sweep: one machine word per condensation
+/// block, seeded with the sources' bits and OR-folded over successors in
+/// one topological pass. A module with K inputs costs ceil(K/64) sweeps
+/// instead of K BFS traversals. Sweeps are sparse — only blocks actually
+/// reachable from the chunk's sources are visited, and scratch is reset
+/// through a dirty list — so a sweep over a register-dominated graph
+/// costs the size of the reached region, not of the whole module. No
+/// per-source allocation anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_CSRGRAPH_H
+#define WIRESORT_SUPPORT_CSRGRAPH_H
+
+#include "support/Graph.h"
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wiresort {
+
+/// An immutable compressed-sparse-row snapshot of a \ref Graph.
+///
+/// Freezing settles acyclicity (ascending-ids proof plus a local repair
+/// of any descending edges) and, for cyclic graphs only, the SCC
+/// condensation (Tarjan). Parallel edges survive the freeze unchanged;
+/// they are harmless to every consumer.
+class CsrGraph {
+public:
+  /// Which adjacency arrays \ref freeze materializes. Reverse row
+  /// offsets (in-degrees) are cheap — counted during the forward fill —
+  /// but filling the reverse column array is a full extra pass over the
+  /// edges, so closure-only consumers (Stage-1 inference, the circuit
+  /// checkers) skip it.
+  enum Edges { ForwardOnly, ForwardAndReverse };
+
+  CsrGraph() = default;
+
+  /// Packs \p G into CSR form and orders it.
+  static CsrGraph freeze(const Graph &G, Edges Dirs = ForwardAndReverse);
+
+  size_t numNodes() const { return FwdRow.empty() ? 0 : FwdRow.size() - 1; }
+
+  /// Total edge count, cached at freeze time (Graph::numEdges is a full
+  /// scan of the per-node vectors).
+  size_t numEdges() const { return FwdCol.size(); }
+
+  std::span<const uint32_t> successors(uint32_t Node) const {
+    return {FwdCol.data() + FwdRow[Node], FwdCol.data() + FwdRow[Node + 1]};
+  }
+  std::span<const uint32_t> predecessors(uint32_t Node) const {
+    assert(RevCol.size() == FwdCol.size() &&
+           "reverse adjacency was not materialized (ForwardOnly freeze)");
+    return {RevCol.data() + RevRow[Node], RevCol.data() + RevRow[Node + 1]};
+  }
+
+  /// True iff the graph has no cycle (equivalently: no SCC of size > 1
+  /// and no self-edge). Settled at freeze time, so this is a
+  /// combinational-loop verdict for free.
+  bool isAcyclic() const { return Acyclic; }
+
+  /// Number of strongly connected components. Acyclic graphs have the
+  /// identity condensation (every node its own component) without ever
+  /// running Tarjan.
+  uint32_t numComponents() const {
+    return Acyclic ? static_cast<uint32_t>(numNodes()) : NumComps;
+  }
+
+  /// SCC id of \p Node (the node itself when \ref isAcyclic). For cyclic
+  /// graphs, ids follow Tarjan's numbering: reverse topological order of
+  /// the condensation, i.e. for every edge u -> v crossing components,
+  /// componentOf(v) < componentOf(u).
+  uint32_t componentOf(uint32_t Node) const {
+    return Acyclic ? Node : Comp[Node];
+  }
+
+  /// The nodes of component \p C, grouped at freeze time. Only available
+  /// on cyclic graphs — acyclic condensations are the identity and never
+  /// materialize member lists.
+  std::span<const uint32_t> componentNodes(uint32_t C) const {
+    assert(!Acyclic && "acyclic condensations are the identity");
+    return {CompNodes.data() + CompRow[C], CompNodes.data() + CompRow[C + 1]};
+  }
+
+private:
+  // Forward and reverse CSR: Row has numNodes()+1 offsets into Col.
+  std::vector<uint32_t> FwdRow, FwdCol;
+  std::vector<uint32_t> RevRow, RevCol;
+  bool Acyclic = true;
+  /// Acyclic only: nodes in topological order, and each node's position
+  /// in that order (the sweep's sort key). Both stay EMPTY when node ids
+  /// are already topological (every edge ascends) — the common shape for
+  /// synthesized netlists, whose wires are created in dependency order —
+  /// in which case the identity order is used. With descending edges the
+  /// order is materialized by the repair pass in \ref freeze.
+  std::vector<uint32_t> TopoOrder, TopoPos;
+  /// Cyclic only: node -> component, plus nodes grouped by component.
+  std::vector<uint32_t> Comp;
+  std::vector<uint32_t> CompRow, CompNodes;
+  uint32_t NumComps = 0;
+
+  friend class ReachabilityKernel;
+};
+
+/// Bit-parallel multi-source reachability over a frozen \ref CsrGraph.
+///
+/// One \ref sweep computes the forward closure of up to 64 source nodes
+/// simultaneously: afterwards, bit k of \ref mask(n) is set iff
+/// Sources[k] reaches n — with the same convention as
+/// Graph::reachableFrom, so a source always reaches itself. Callers with
+/// more than 64 sources block them into chunks and sweep per chunk.
+///
+/// Scratch (one uint64_t lane word and one visited byte per condensation
+/// block) is allocated once per kernel; each sweep discovers the blocks
+/// reachable from its sources, propagates lane masks over exactly those
+/// in topological order, and sparsely resets them on the next sweep via
+/// a dirty list. The kernel is exact on cyclic graphs: masks live on the
+/// condensation, so every member of an SCC shares its component's
+/// closure.
+class ReachabilityKernel {
+public:
+  /// Sources per sweep — one bit lane per machine-word bit.
+  static constexpr uint32_t WordBits = 64;
+
+  /// \p G must outlive the kernel.
+  explicit ReachabilityKernel(const CsrGraph &G)
+      : G(&G), BlockMask(G.numComponents(), 0),
+        Seen(G.numComponents(), 0) {}
+
+  /// Computes the closure of \p Sources[0..Count) (Count <= 64),
+  /// replacing any previous sweep's results.
+  void sweep(const uint32_t *Sources, uint32_t Count);
+
+  /// Post-sweep: bit k set iff Sources[k] reaches \p Node (inclusive of
+  /// Node == Sources[k]).
+  uint64_t mask(uint32_t Node) const {
+    return BlockMask[G->componentOf(Node)];
+  }
+
+private:
+  const CsrGraph *G;
+  /// One lane word per condensation block, all-zero between sweeps
+  /// except at Dirty positions.
+  std::vector<uint64_t> BlockMask;
+  /// Discovery marks for the current sweep, reset through Dirty.
+  std::vector<uint8_t> Seen;
+  /// Blocks touched by the previous sweep: the sparse reset set.
+  std::vector<uint32_t> Dirty;
+  /// Discovery worklist, reused across sweeps.
+  std::vector<uint32_t> Work;
+};
+
+} // namespace wiresort
+
+#endif // WIRESORT_SUPPORT_CSRGRAPH_H

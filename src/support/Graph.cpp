@@ -165,6 +165,27 @@ std::optional<std::vector<uint32_t>> Graph::topoSort() const {
   return Order;
 }
 
+bool Graph::reaches(uint32_t From, uint32_t To) const {
+  if (From == To)
+    return true;
+  std::vector<bool> Seen(numNodes(), false);
+  std::vector<uint32_t> Work{From};
+  Seen[From] = true;
+  while (!Work.empty()) {
+    uint32_t Node = Work.back();
+    Work.pop_back();
+    for (uint32_t Succ : Succs[Node]) {
+      if (Succ == To)
+        return true;
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Work.push_back(Succ);
+      }
+    }
+  }
+  return false;
+}
+
 std::vector<bool> Graph::reachableFrom(uint32_t Start) const {
   std::vector<bool> Seen(numNodes(), false);
   std::vector<uint32_t> Work{Start};

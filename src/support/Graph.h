@@ -77,6 +77,11 @@ public:
   /// returned as a dense boolean mask.
   std::vector<bool> reachableFrom(uint32_t Start) const;
 
+  /// Single membership query: does \p From reach \p To? Equivalent to
+  /// reachableFrom(From)[To] (so reaches(X, X) is always true) but exits
+  /// as soon as \p To is found instead of materializing the full set.
+  bool reaches(uint32_t From, uint32_t To) const;
+
 private:
   std::vector<std::vector<uint32_t>> Succs;
 };

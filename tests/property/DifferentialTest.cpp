@@ -20,6 +20,7 @@
 
 #include "analysis/SummaryEngine.h"
 
+#include "analysis/Reachability.h"
 #include "analysis/SortInference.h"
 #include "gen/LoopInjector.h"
 #include "gen/Random.h"
@@ -91,6 +92,7 @@ uint16_t shrinkInstanceCap(uint32_t Seed, unsigned Threads) {
 class DifferentialTrial : public ::testing::TestWithParam<uint32_t> {};
 class MutationTrial : public ::testing::TestWithParam<uint32_t> {};
 class DeterminismTrial : public ::testing::TestWithParam<uint32_t> {};
+class KernelOracleTrial : public ::testing::TestWithParam<uint32_t> {};
 
 } // namespace
 
@@ -205,3 +207,28 @@ TEST_P(DeterminismTrial, ParallelAndCachedRunsAreStructurallyIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(RandomDesigns, DeterminismTrial,
                          ::testing::Range<uint32_t>(0, 60));
+
+TEST_P(KernelOracleTrial, BatchedClosureMatchesPerSourceBfs) {
+  // Stage-1 inference now routes output-port-sets through the
+  // bit-parallel CSR kernel (docs/KERNEL.md); the per-source BFS
+  // CombGraph::reachableOutputPorts stays in the tree exactly so this
+  // trial can demand bit-identical summaries on every seed.
+  const uint32_t Seed = GetParam();
+  Design D;
+  Circuit Circ = buildTrial(D, Seed, 0xffff);
+  Circ.seal();
+
+  Summaries Out;
+  if (analyzeDesign(D, Out))
+    return; // Looped design: inference stops at the diagnostic.
+
+  for (const auto &[Id, Summary] : Out) {
+    CombGraph CG = CombGraph::build(D.module(Id), Out);
+    for (WireId In : D.module(Id).Inputs)
+      EXPECT_EQ(Summary.OutputPortSets.at(In), CG.reachableOutputPorts(In))
+          << "seed " << Seed << " module " << Id << " input " << In;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDesigns, KernelOracleTrial,
+                         ::testing::Range<uint32_t>(0, 200));

@@ -1,10 +1,14 @@
 #!/bin/sh
-# Two-stage test driver:
+# Three-stage test driver:
 #
 #   1. the regular suite in the default build tree (configured if absent);
 #   2. a ThreadSanitizer build of the SummaryEngine suites — the engine's
 #      scheduler/cache locking (docs/ENGINE.md) is a correctness claim, so
-#      the concurrency-heavy tests rerun under -fsanitize=thread.
+#      the concurrency-heavy tests rerun under -fsanitize=thread; the
+#      bit-parallel kernel suite rides along (its masks feed the engine);
+#   3. an UndefinedBehaviorSanitizer build of the kernel suite — the CSR
+#      sweep (docs/KERNEL.md) lives on shifts and index arithmetic, which
+#      is exactly UBSan's beat.
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
@@ -40,10 +44,21 @@ echo "=== stage 2: SummaryEngine suites under ThreadSanitizer ($TSAN_BUILD) ==="
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-  --target engine_tests differential_tests
+  --target engine_tests differential_tests kernel_tests
 # halt_on_error so a single race fails the run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/engine_tests"
 TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/differential_tests"
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/kernel_tests"
 
 echo
-echo "all suites passed (regular + TSan)"
+echo "=== stage 3: kernel suite under UndefinedBehaviorSanitizer ($ROOT/build-ubsan) ==="
+UBSAN_BUILD="$ROOT/build-ubsan"
+[ -f "$UBSAN_BUILD/CMakeCache.txt" ] || cmake -B "$UBSAN_BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+cmake --build "$UBSAN_BUILD" -j "$(nproc)" --target kernel_tests
+"$UBSAN_BUILD/tests/kernel_tests"
+
+echo
+echo "all suites passed (regular + TSan + UBSan)"
