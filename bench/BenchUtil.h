@@ -62,7 +62,7 @@ inline GateLevelRun runGateLevel(const ir::Design &D, ir::ModuleId Id,
   std::map<ir::ModuleId, analysis::ModuleSummary> Out;
   auto Loop = E.analyze(Flat, Out);
   Run.InferSeconds = T.seconds();
-  if (!Loop)
+  if (!Loop.hasError())
     Run.Summary = std::move(Out.at(FlatId));
   return Run;
 }

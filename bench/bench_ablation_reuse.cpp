@@ -61,7 +61,7 @@ double timeHierAnalysis(const Design &D, ModuleId Top) {
   synth::HierLowered Hier = synth::lowerHierarchical(D, Top);
   Timer T;
   std::map<ModuleId, ModuleSummary> Out;
-  if (analyzeDesign(Hier.Design, Out))
+  if (analyzeDesign(Hier.Design, Out).hasError())
     return -1.0;
   return T.seconds();
 }

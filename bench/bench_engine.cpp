@@ -64,7 +64,7 @@ bool runProtocol(const Design &D, FamilyResult &R) {
   SummaryEngine Serial(SerialOpts);
   std::map<ModuleId, ModuleSummary> SerialOut;
   Timer T;
-  if (Serial.analyze(D, SerialOut))
+  if (Serial.analyze(D, SerialOut).hasError())
     return false;
   R.SerialCold = T.seconds();
 
@@ -73,7 +73,7 @@ bool runProtocol(const Design &D, FamilyResult &R) {
   SummaryEngine Parallel(ParallelOpts);
   std::map<ModuleId, ModuleSummary> ParallelOut;
   T.restart();
-  if (Parallel.analyze(D, ParallelOut))
+  if (Parallel.analyze(D, ParallelOut).hasError())
     return false;
   R.ParallelCold = T.seconds();
 
@@ -84,7 +84,7 @@ bool runProtocol(const Design &D, FamilyResult &R) {
   // Warm re-check against the parallel engine's now-populated cache.
   std::map<ModuleId, ModuleSummary> WarmOut;
   T.restart();
-  if (Parallel.analyze(D, WarmOut))
+  if (Parallel.analyze(D, WarmOut).hasError())
     return false;
   R.Warm = T.seconds();
   R.WarmHits = Parallel.stats().CacheHits;
@@ -181,7 +181,7 @@ int main(int ArgC, char **ArgV) {
 
     SummaryEngine Engine;
     std::map<ModuleId, ModuleSummary> Out;
-    if (Engine.analyze(D, Out)) {
+    if (Engine.analyze(D, Out).hasError()) {
       std::printf("opdb: unexpected loop\n");
       return 1;
     }
@@ -196,7 +196,7 @@ int main(int ArgC, char **ArgV) {
     M.addNet(Op::Not, {A}, B);
 
     Timer T2;
-    if (Engine.analyze(D, Out)) {
+    if (Engine.analyze(D, Out).hasError()) {
       std::printf("opdb after edit: unexpected loop\n");
       return 1;
     }

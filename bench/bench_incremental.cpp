@@ -88,7 +88,7 @@ int main(int ArgC, char **ArgV) {
   ModuleId Normal = D.addModule(gen::makeFifo({8, 2, false}));
   ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (analyzeDesign(D, Summaries))
+  if (analyzeDesign(D, Summaries).hasError())
     return 1;
 
   std::printf("=== Section 4: incremental design-time checking "

@@ -74,7 +74,7 @@ void BM_CircuitCheckScc(benchmark::State &State) {
   Design D;
   ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, /*Forwarding=*/true}));
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (analyzeDesign(D, Summaries))
+  if (analyzeDesign(D, Summaries).hasError())
     return;
   Circuit Circ(D, "chain");
   std::vector<InstId> Insts;
@@ -93,7 +93,7 @@ void BM_CircuitCheckPairwise(benchmark::State &State) {
   Design D;
   ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, /*Forwarding=*/true}));
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (analyzeDesign(D, Summaries))
+  if (analyzeDesign(D, Summaries).hasError())
     return;
   Circuit Circ(D, "chain");
   std::vector<InstId> Insts;

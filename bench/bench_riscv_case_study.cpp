@@ -63,7 +63,7 @@ int main(int ArgC, char **ArgV) {
   for (int Trial = 0; Trial != Trials; ++Trial) {
     Timer T;
     std::map<ModuleId, ModuleSummary> Summaries;
-    if (analyzeDesign(D, Summaries))
+    if (analyzeDesign(D, Summaries).hasError())
       return 1;
     InferRuns.push_back(T.seconds());
 

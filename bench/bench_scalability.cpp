@@ -83,7 +83,7 @@ int main(int ArgC, char **ArgV) {
       D.addModule(B.finish());
       Timer T2;
       std::map<ModuleId, ModuleSummary> Out;
-      if (analyzeDesign(D, Out))
+      if (analyzeDesign(D, Out).hasError())
         return 1;
       double Ms = T2.milliseconds();
       T.addRow({std::to_string(Inputs), std::to_string(ConeLength),
@@ -103,7 +103,7 @@ int main(int ArgC, char **ArgV) {
     Design D;
     ModuleId Fwd = D.addModule(makeFifo({8, 2, /*Forwarding=*/true}));
     std::map<ModuleId, ModuleSummary> Summaries;
-    if (analyzeDesign(D, Summaries))
+    if (analyzeDesign(D, Summaries).hasError())
       return 1;
 
     for (size_t N : {50u, 100u, 200u, 400u, 800u}) {

@@ -35,7 +35,7 @@ void reportModule(const char *Label, Module M) {
   // Sorts and port sets are reported at RTL granularity (vector-level),
   // matching Table 1's presentation.
   std::map<ModuleId, ModuleSummary> Rtl;
-  if (analysis::analyzeDesign(D, Rtl)) {
+  if (analysis::analyzeDesign(D, Rtl).hasError()) {
     std::printf("%s: combinational loop?!\n", Label);
     return;
   }

@@ -70,7 +70,7 @@ int main(int ArgC, char **ArgV) {
     Design D;
     ModuleId Id = D.addModule(E.Build());
     std::map<ModuleId, ModuleSummary> Out;
-    if (analyzeDesign(D, Out))
+    if (analyzeDesign(D, Out).hasError())
       continue;
     Catalog.addModule(D, Id, Out.at(Id));
     Total.addModule(D, Id, Out.at(Id));
@@ -81,7 +81,7 @@ int main(int ArgC, char **ArgV) {
     Design D;
     std::vector<gen::OpdbEntry> Entries = gen::buildOpdb(D, Options);
     std::map<ModuleId, ModuleSummary> Out;
-    if (!analyzeDesign(D, Out)) {
+    if (!analyzeDesign(D, Out).hasError()) {
       for (const gen::OpdbEntry &E : Entries) {
         Opdb.addModule(D, E.Top, Out.at(E.Top));
         Total.addModule(D, E.Top, Out.at(E.Top));
@@ -94,7 +94,7 @@ int main(int ArgC, char **ArgV) {
     Design D;
     riscv::Cpu C = riscv::buildCpu(D);
     std::map<ModuleId, ModuleSummary> Out;
-    if (!analyzeDesign(D, Out)) {
+    if (!analyzeDesign(D, Out).hasError()) {
       for (ModuleId Id : C.Modules) {
         Riscv.addModule(D, Id, Out.at(Id));
         Total.addModule(D, Id, Out.at(Id));

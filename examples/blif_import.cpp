@@ -50,18 +50,18 @@ int main(int ArgC, char **ArgV) {
                 Text.size());
   }
 
-  std::string Error;
-  auto File = parse::parseBlif(Text, Error);
+  auto File = parse::parseBlif(Text, ArgC > 1 ? ArgV[1] : "demo.blif");
   if (!File) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+    std::fprintf(stderr, "%s\n", File.describe().c_str());
     return 1;
   }
 
   Timer T;
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (auto Loop = analyzeDesign(File->Design, Summaries)) {
+  if (wiresort::support::Status Loop = analyzeDesign(File->Design, Summaries);
+      Loop.hasError()) {
     std::printf("combinational loop found:\n  %s\n",
-                Loop->describe().c_str());
+                Loop.describe().c_str());
     return 1;
   }
   double Ms = T.milliseconds();

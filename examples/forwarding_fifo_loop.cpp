@@ -37,8 +37,9 @@ int main() {
   ModuleId Pass = D.addModule(gen::makePassthrough(1));
 
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (auto Loop = analyzeDesign(D, Summaries)) {
-    std::printf("unexpected: %s\n", Loop->describe().c_str());
+  if (wiresort::support::Status Loop = analyzeDesign(D, Summaries);
+      Loop.hasError()) {
+    std::printf("unexpected: %s\n", Loop.describe().c_str());
     return 1;
   }
 
@@ -71,8 +72,8 @@ int main() {
 
   // 2. Wire sorts at the HDL level.
   CircuitCheckResult Result = checkCircuit(Circ, Summaries);
-  if (!Result.WellConnected && Result.Loop) {
-    std::printf("wire sorts: %s\n", Result.Loop->describe().c_str());
+  if (!Result.WellConnected && Result.Diags.hasError()) {
+    std::printf("wire sorts: %s\n", Result.Diags.describe().c_str());
   } else {
     std::printf("wire sorts: no loop (unexpected!)\n");
     return 1;
@@ -85,13 +86,14 @@ int main() {
   std::printf("synthesis: %zu primitive gates; loop %s", Gates.Nets.size(),
               Netlist.HasLoop ? "found, e.g. through gate-level wires:\n"
                               : "missed\n");
-  if (Netlist.HasLoop && Netlist.Loop) {
+  if (Netlist.HasLoop && Netlist.Diags.hasError()) {
     size_t Shown = 0;
-    for (const std::string &Label : Netlist.Loop->PathLabels) {
+    std::vector<std::string> Labels =
+        Netlist.Diags.firstError().witnessLabels();
+    for (const std::string &Label : Labels) {
       std::printf("  %s\n", Label.c_str());
-      if (++Shown == 6 && Netlist.Loop->PathLabels.size() > 6) {
-        std::printf("  ... (%zu more)\n",
-                    Netlist.Loop->PathLabels.size() - 6);
+      if (++Shown == 6 && Labels.size() > 6) {
+        std::printf("  ... (%zu more)\n", Labels.size() - 6);
         break;
       }
     }

@@ -31,8 +31,9 @@ int main() {
 
   // --- Stage 1: per-module sort inference ---------------------------------
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (auto Loop = analyzeDesign(D, Summaries)) {
-    std::printf("module-internal loop: %s\n", Loop->describe().c_str());
+  if (wiresort::support::Status Loop = analyzeDesign(D, Summaries);
+      Loop.hasError()) {
+    std::printf("module-internal loop: %s\n", Loop.describe().c_str());
     return 1;
   }
   for (ModuleId Id : {Normal, Fwd}) {

@@ -33,8 +33,9 @@ int main() {
   // Stage 1: infer all 11 module summaries.
   Timer InferTimer;
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (auto Loop = analyzeDesign(D, Summaries)) {
-    std::printf("loop inside a module: %s\n", Loop->describe().c_str());
+  if (wiresort::support::Status Loop = analyzeDesign(D, Summaries);
+      Loop.hasError()) {
+    std::printf("loop inside a module: %s\n", Loop.describe().c_str());
     return 1;
   }
   double InferMs = InferTimer.milliseconds();
@@ -64,10 +65,9 @@ int main() {
   // Execute fib(12) on the checked design.
   ModuleId Top = sealCpu(C);
   Module Flat = synth::inlineInstances(D, Top);
-  std::string Error;
-  auto Sim = sim::Simulator::create(Flat, Error);
+  auto Sim = sim::Simulator::create(Flat);
   if (!Sim) {
-    std::printf("simulator: %s\n", Error.c_str());
+    std::printf("simulator: %s\n", Sim.describe().c_str());
     return 1;
   }
   std::vector<uint64_t> Program = {

@@ -44,7 +44,7 @@ void report(const Design &D, const Circuit &Circ,
     return;
   }
   for (const auto &Violation : Violations)
-    std::printf("  -> VIOLATION: %s\n", Violation.Message.c_str());
+    std::printf("  -> VIOLATION: %s\n", Violation.message().c_str());
   (void)D;
 }
 
@@ -67,8 +67,9 @@ int main() {
   }();
 
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (auto Loop = analyzeDesign(D, Summaries)) {
-    std::printf("loop: %s\n", Loop->describe().c_str());
+  if (wiresort::support::Status Loop = analyzeDesign(D, Summaries);
+      Loop.hasError()) {
+    std::printf("loop: %s\n", Loop.describe().c_str());
     return 1;
   }
 

@@ -40,12 +40,16 @@ const char *analysis::sortAbbrev(Sort S) {
   return "?";
 }
 
-std::vector<AscriptionMismatch>
+support::DiagList
 analysis::checkAscriptions(const Module &M, const ModuleSummary &Summary,
                            const std::vector<Ascription> &Declared) {
-  std::vector<AscriptionMismatch> Mismatches;
+  support::DiagList Mismatches;
   auto report = [&](WireId Port, std::string Msg) {
-    Mismatches.push_back(AscriptionMismatch{Port, std::move(Msg)});
+    Mismatches.add(
+        support::Diag(support::DiagCode::WS102_ASCRIPTION_MISMATCH,
+                      std::move(Msg))
+            .withNote("module", M.Name)
+            .withNote("port", M.wire(Port).Name));
   };
 
   for (const Ascription &A : Declared) {
@@ -77,13 +81,18 @@ analysis::checkAscriptions(const Module &M, const ModuleSummary &Summary,
   return Mismatches;
 }
 
-std::optional<ModuleSummary>
+support::Expected<ModuleSummary>
 analysis::summaryFromAscriptions(const Module &M, ModuleId Id,
-                                 const std::vector<Ascription> &Declared,
-                                 std::string &Error) {
+                                 const std::vector<Ascription> &Declared) {
   ModuleSummary Summary;
   Summary.Id = Id;
   Summary.ModuleName = M.Name;
+
+  auto fail = [&](const std::string &Msg) {
+    return support::Diag(support::DiagCode::WS103_ASCRIPTION_INCOMPLETE,
+                         Msg)
+        .withNote("module", M.Name);
+  };
 
   auto findAscription = [&](WireId Port) -> const Ascription * {
     for (const Ascription &A : Declared)
@@ -95,21 +104,19 @@ analysis::summaryFromAscriptions(const Module &M, ModuleId Id,
   for (WireId In : M.Inputs) {
     const Ascription *A = findAscription(In);
     if (!A) {
-      Error = "opaque module '" + M.Name + "': input '" +
-              M.wire(In).Name + "' lacks an ascription";
-      return std::nullopt;
+      return fail("opaque module '" + M.Name + "': input '" +
+                  M.wire(In).Name + "' lacks an ascription");
     }
     if (!isInputSort(A->DeclaredSort)) {
-      Error = "opaque module '" + M.Name + "': input '" +
-              M.wire(In).Name + "' ascribed an output sort";
-      return std::nullopt;
+      return fail("opaque module '" + M.Name + "': input '" +
+                  M.wire(In).Name + "' ascribed an output sort");
     }
     std::vector<WireId> Set = A->DeclaredPortSet;
     std::sort(Set.begin(), Set.end());
     if (A->DeclaredSort == Sort::ToPort && Set.empty()) {
-      Error = "opaque module '" + M.Name + "': to-port input '" +
-              M.wire(In).Name + "' needs an explicit output-port-set";
-      return std::nullopt;
+      return fail("opaque module '" + M.Name + "': to-port input '" +
+                  M.wire(In).Name +
+                  "' needs an explicit output-port-set");
     }
     if (A->DeclaredSort == Sort::ToSync)
       Set.clear();
@@ -127,9 +134,8 @@ analysis::summaryFromAscriptions(const Module &M, ModuleId Id,
   for (const auto &[In, Outs] : Summary.OutputPortSets) {
     for (WireId Out : Outs) {
       if (Summary.InputPortSets.find(Out) == Summary.InputPortSets.end()) {
-        Error = "opaque module '" + M.Name +
-                "': output-port-set names a non-output wire";
-        return std::nullopt;
+        return fail("opaque module '" + M.Name +
+                    "': output-port-set names a non-output wire");
       }
       Summary.InputPortSets[Out].push_back(In);
     }
@@ -140,26 +146,24 @@ analysis::summaryFromAscriptions(const Module &M, ModuleId Id,
   for (WireId Out : M.Outputs) {
     const Ascription *A = findAscription(Out);
     if (!A) {
-      Error = "opaque module '" + M.Name + "': output '" +
-              M.wire(Out).Name + "' lacks an ascription";
-      return std::nullopt;
+      return fail("opaque module '" + M.Name + "': output '" +
+                  M.wire(Out).Name + "' lacks an ascription");
     }
     Sort Derived =
         Summary.InputPortSets[Out].empty() ? Sort::FromSync : Sort::FromPort;
     if (A->DeclaredSort != Derived) {
-      Error = "opaque module '" + M.Name + "': output '" +
-              M.wire(Out).Name + "' ascribed " + sortName(A->DeclaredSort) +
-              " but the input ascriptions imply " + sortName(Derived);
-      return std::nullopt;
+      return fail("opaque module '" + M.Name + "': output '" +
+                  M.wire(Out).Name + "' ascribed " +
+                  sortName(A->DeclaredSort) +
+                  " but the input ascriptions imply " + sortName(Derived));
     }
     if (Derived == Sort::FromPort && !A->DeclaredPortSet.empty()) {
       std::vector<WireId> DeclaredSet = A->DeclaredPortSet;
       std::sort(DeclaredSet.begin(), DeclaredSet.end());
       if (DeclaredSet != Summary.InputPortSets[Out]) {
-        Error = "opaque module '" + M.Name + "': output '" +
-                M.wire(Out).Name + "' declared input-port-set is "
-                "inconsistent with the input ascriptions";
-        return std::nullopt;
+        return fail("opaque module '" + M.Name + "': output '" +
+                    M.wire(Out).Name + "' declared input-port-set is "
+                    "inconsistent with the input ascriptions");
       }
     }
     Summary.SubSorts[Out] = Derived == Sort::FromSync

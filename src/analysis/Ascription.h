@@ -20,8 +20,8 @@
 
 #include "analysis/Summary.h"
 #include "ir/Module.h"
+#include "support/Diag.h"
 
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,30 +38,26 @@ struct Ascription {
   SubSort DeclaredSubSort = SubSort::None;
 };
 
-/// A mismatch between a computed summary and a declaration.
-struct AscriptionMismatch {
-  ir::WireId Port = ir::InvalidId;
-  std::string Message;
-};
-
 /// Checks \p Declared against the computed \p Summary. Declared port sets
 /// must match exactly; a declared sync subsort must match the computed
 /// one. Ports without ascriptions are accepted silently (they keep their
-/// computed sorts, as in the paper's implementation).
-std::vector<AscriptionMismatch>
+/// computed sorts, as in the paper's implementation). \returns one
+/// WS102_ASCRIPTION_MISMATCH diagnostic per mismatching port (in
+/// declaration order; "module"/"port" notes carry the names), empty when
+/// every ascription holds.
+support::DiagList
 checkAscriptions(const ir::Module &M, const ModuleSummary &Summary,
                  const std::vector<Ascription> &Declared);
 
 /// Builds a summary for an opaque module (ports only, no internals) from
 /// full ascriptions. Every port of \p M must be ascribed; for port sorts
-/// the port set must be supplied. \returns std::nullopt with \p Error set
-/// when the ascriptions are incomplete or inconsistent (e.g. a declared
-/// output-port-set that is inconsistent with the declared input-port-sets
-/// of the outputs it names).
-std::optional<ModuleSummary>
+/// the port set must be supplied. On incomplete or inconsistent
+/// ascriptions (e.g. a declared output-port-set inconsistent with the
+/// declared input-port-sets of the outputs it names) the result carries a
+/// WS103_ASCRIPTION_INCOMPLETE diagnostic.
+support::Expected<ModuleSummary>
 summaryFromAscriptions(const ir::Module &M, ir::ModuleId Id,
-                       const std::vector<Ascription> &Declared,
-                       std::string &Error);
+                       const std::vector<Ascription> &Declared);
 
 } // namespace wiresort::analysis
 

@@ -18,10 +18,10 @@ using namespace wiresort::ir;
 IncrementalChecker::IncrementalChecker(const ir::Circuit &Circ,
                                        SummaryEngine &Engine)
     : Circ(&Circ), Summaries(&OwnedSummaries) {
-  std::optional<LoopDiagnostic> Loop =
-      Engine.analyze(Circ.design(), OwnedSummaries);
-  assert(!Loop && "incremental sessions need loop-free module libraries");
-  (void)Loop;
+  support::Status Stage1 = Engine.analyze(Circ.design(), OwnedSummaries);
+  assert(!Stage1.hasError() &&
+         "incremental sessions need loop-free module libraries");
+  (void)Stage1;
 }
 
 namespace {
@@ -149,10 +149,12 @@ IncrementalChecker::addConnection(const Connection &C) {
   // exists iff the target reaches back to the source.
   std::vector<PortRef> Path;
   if (reaches(C.To, C.From, &Path)) {
-    LoopDiagnostic Diag;
+    support::Diag Diag(support::DiagCode::WS101_COMB_LOOP,
+                       "connection closes a combinational loop");
     for (PortRef Ref : Path)
-      Diag.PathLabels.push_back(Circ->portLabel(Ref));
-    Result.Loop = std::move(Diag);
+      Diag.addHop(Circ->instances()[Ref.Inst].Name,
+                  Circ->defOf(Ref.Inst).wire(Ref.Port).Name);
+    Result.Diags.add(std::move(Diag));
   }
   return Result;
 }

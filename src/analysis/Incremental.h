@@ -25,9 +25,9 @@
 
 #include "analysis/Summary.h"
 #include "ir/Circuit.h"
+#include "support/Diag.h"
 
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,8 +42,9 @@ public:
   struct Step {
     /// Whether the Section 4 trigger condition fired.
     bool CheckTriggered = false;
-    /// Loop found (only possible when CheckTriggered).
-    std::optional<LoopDiagnostic> Loop;
+    /// WS101_COMB_LOOP diagnostics for loops found (only possible when
+    /// CheckTriggered); empty otherwise.
+    support::DiagList Diags;
   };
 
   IncrementalChecker(const ir::Circuit &Circ,

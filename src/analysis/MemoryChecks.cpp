@@ -10,11 +10,21 @@ using namespace wiresort;
 using namespace wiresort::analysis;
 using namespace wiresort::ir;
 
-std::vector<ContractViolation>
+support::DiagList
 analysis::checkMemoryContracts(const Circuit &Circ,
                                const std::map<ModuleId, ModuleSummary>
                                    &Summaries) {
-  std::vector<ContractViolation> Violations;
+  support::DiagList Violations;
+
+  auto report = [&](const Connection &C, std::string Msg) {
+    Violations.add(
+        support::Diag(support::DiagCode::WS104_CONTRACT_VIOLATION,
+                      std::move(Msg))
+            .withHop(Circ.instances()[C.From.Inst].Name,
+                     Circ.defOf(C.From.Inst).wire(C.From.Port).Name)
+            .withHop(Circ.instances()[C.To.Inst].Name,
+                     Circ.defOf(C.To.Inst).wire(C.To.Port).Name));
+  };
 
   for (const Connection &C : Circ.connections()) {
     const Module &FromDef = Circ.defOf(C.From.Inst);
@@ -32,10 +42,9 @@ analysis::checkMemoryContracts(const Circuit &Circ,
       bool Ok = FromSummary.sortOf(C.From.Port) == Sort::FromSync &&
                 FromSummary.subSortOf(C.From.Port) == SubSort::Direct;
       if (!Ok)
-        Violations.push_back(ContractViolation{
-            C, "input '" + Circ.portLabel(C.To) +
-                   "' requires a from-sync-direct driver but '" +
-                   Circ.portLabel(C.From) + "' is not"});
+        report(C, "input '" + Circ.portLabel(C.To) +
+                      "' requires a from-sync-direct driver but '" +
+                      Circ.portLabel(C.From) + "' is not");
     }
 
     // The output side demands a to-sync-direct sink (memories whose read
@@ -46,10 +55,9 @@ analysis::checkMemoryContracts(const Circuit &Circ,
       bool Ok = ToSummary.sortOf(C.To.Port) == Sort::ToSync &&
                 ToSummary.subSortOf(C.To.Port) == SubSort::Direct;
       if (!Ok)
-        Violations.push_back(ContractViolation{
-            C, "output '" + Circ.portLabel(C.From) +
-                   "' requires a to-sync-direct sink but '" +
-                   Circ.portLabel(C.To) + "' is not"});
+        report(C, "output '" + Circ.portLabel(C.From) +
+                      "' requires a to-sync-direct sink but '" +
+                      Circ.portLabel(C.To) + "' is not");
     }
   }
   return Violations;

@@ -24,23 +24,18 @@
 
 #include "analysis/Summary.h"
 #include "ir/Circuit.h"
+#include "support/Diag.h"
 
 #include <map>
-#include <string>
-#include <vector>
 
 namespace wiresort::analysis {
 
-/// One contract violation found at circuit level.
-struct ContractViolation {
-  ir::Connection Conn;
-  std::string Message;
-};
-
 /// Checks every connection of \p Circ against both endpoints' contracts.
-/// \returns all violations (empty means the circuit honors all
-/// synchronous-memory interface requirements).
-std::vector<ContractViolation>
+/// \returns one WS104_CONTRACT_VIOLATION diagnostic per violated contract
+/// (in connection order; the witness carries the driver hop then the sink
+/// hop). Empty means the circuit honors all synchronous-memory interface
+/// requirements.
+support::DiagList
 checkMemoryContracts(const ir::Circuit &Circ,
                      const std::map<ir::ModuleId, ModuleSummary> &Summaries);
 

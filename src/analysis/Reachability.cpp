@@ -155,16 +155,17 @@ std::map<WireId, std::vector<WireId>> CombGraph::allOutputPortSets() const {
   return Result;
 }
 
-std::optional<LoopDiagnostic> CombGraph::findCombLoop() const {
+std::optional<support::Diag> CombGraph::findCombLoop() const {
   if (frozen().isAcyclic())
     return std::nullopt;
   // A loop exists; pay for the cycle walk only on this error path.
   std::optional<std::vector<uint32_t>> Cycle = G.findCycle();
   assert(Cycle && "frozen snapshot says cyclic but no cycle found");
-  LoopDiagnostic Diag;
+  support::Diag D(support::DiagCode::WS101_COMB_LOOP,
+                  "combinational loop in module '" + M->Name + "'");
   for (uint32_t Node : *Cycle)
-    Diag.PathLabels.push_back(M->Name + "::" + M->wire(Node).Name);
-  return Diag;
+    D.addHop(M->Name, M->wire(Node).Name);
+  return D;
 }
 
 bool CombGraph::feedsStateDirectly(WireId In) const {

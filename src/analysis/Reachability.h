@@ -31,6 +31,7 @@
 #include "analysis/Summary.h"
 #include "ir/Module.h"
 #include "support/CsrGraph.h"
+#include "support/Diag.h"
 #include "support/Graph.h"
 
 #include <map>
@@ -88,12 +89,14 @@ public:
   /// \ref reachableOutputPorts per input.
   std::map<ir::WireId, std::vector<ir::WireId>> allOutputPortSets() const;
 
-  /// \returns a loop diagnostic if the module (including instance
-  /// summaries) contains a combinational cycle, else std::nullopt. The
-  /// acyclic fast path is free once the graph is \ref frozen; the cycle
-  /// walk (Graph::findCycle) runs only on the error path, where a
+  /// \returns a WS101_COMB_LOOP diagnostic if the module (including
+  /// instance summaries) contains a combinational cycle, else
+  /// std::nullopt. The witness path is cyclic — hop i feeds hop i+1 and
+  /// the last hop feeds the first — with each hop (ModuleName, wireName).
+  /// The acyclic fast path is free once the graph is \ref frozen; the
+  /// cycle walk (Graph::findCycle) runs only on the error path, where a
   /// readable diagnostic is worth a second traversal.
-  std::optional<LoopDiagnostic> findCombLoop() const;
+  std::optional<support::Diag> findCombLoop() const;
 
   /// Section 3.7: true iff input \p In feeds only state, reached through
   /// nothing but transparent Buf nets — the to-sync-direct test. Only

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 using namespace wiresort;
 using namespace wiresort::analysis;
@@ -25,8 +26,8 @@ analysis::inferSummary(const Design &D, ModuleId Id,
 
   // A module whose internals (or instance summaries) form a cycle can
   // never be summarized; report the loop instead.
-  if (std::optional<LoopDiagnostic> Loop = CG.findCombLoop())
-    return *Loop;
+  if (std::optional<support::Diag> Loop = CG.findCombLoop())
+    return *std::move(Loop);
 
   ModuleSummary Summary;
   Summary.Id = Id;
@@ -70,23 +71,50 @@ analysis::inferSummary(const Design &D, ModuleId Id,
   return Summary;
 }
 
-std::optional<LoopDiagnostic>
+support::Status
 analysis::analyzeDesign(const Design &D,
                         std::map<ModuleId, ModuleSummary> &Out,
                         const std::map<ModuleId, ModuleSummary> &Ascribed) {
   std::optional<std::vector<ModuleId>> Order = D.topologicalModuleOrder();
   assert(Order && "module instantiation must be acyclic");
 
+  // Analyze every module whose dependencies all summarized; skip (and
+  // taint) dependents of failures. Collecting per-module diagnostics and
+  // sorting by module id afterwards makes the list independent of the
+  // traversal order, which is the determinism contract SummaryEngine's
+  // parallel schedule is held to.
+  std::set<ModuleId> Failed;
+  std::vector<std::pair<ModuleId, support::Diag>> Found;
   for (ModuleId Id : *Order) {
     auto AscribedIt = Ascribed.find(Id);
     if (AscribedIt != Ascribed.end()) {
       Out[Id] = AscribedIt->second;
       continue;
     }
+    bool DepFailed = false;
+    for (const SubInstance &Inst : D.module(Id).Instances)
+      if (Failed.count(Inst.Def))
+        DepFailed = true;
+    if (DepFailed) {
+      Failed.insert(Id);
+      continue;
+    }
     InferenceResult Result = inferSummary(D, Id, Out);
-    if (auto *Loop = std::get_if<LoopDiagnostic>(&Result))
-      return *Loop;
-    Out[Id] = std::move(std::get<ModuleSummary>(Result));
+    if (!Result) {
+      Failed.insert(Id);
+      for (const support::Diag &Dg : Result.diags())
+        Found.emplace_back(Id, Dg);
+      continue;
+    }
+    Out[Id] = std::move(*Result);
   }
-  return std::nullopt;
+
+  std::stable_sort(Found.begin(), Found.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first < B.first;
+                   });
+  support::Status S;
+  for (auto &[Id, Dg] : Found)
+    S.add(std::move(Dg));
+  return S;
 }

@@ -21,16 +21,16 @@
 #include "analysis/Reachability.h"
 #include "analysis/Summary.h"
 #include "ir/Design.h"
+#include "support/Diag.h"
 
 #include <map>
-#include <optional>
-#include <variant>
 
 namespace wiresort::analysis {
 
-/// Result of inferring one module: either a summary or the first
-/// intra-module (or instance-summary-level) combinational loop found.
-using InferenceResult = std::variant<ModuleSummary, LoopDiagnostic>;
+/// Result of inferring one module: a summary, or the WS101_COMB_LOOP
+/// diagnostic for the first intra-module (or instance-summary-level)
+/// combinational loop found.
+using InferenceResult = support::Expected<ModuleSummary>;
 
 /// Infers the interface summary of \p Id in \p D. Summaries for every
 /// (transitively) instantiated definition must already be present in
@@ -44,9 +44,14 @@ InferenceResult inferSummary(const ir::Design &D, ir::ModuleId Id,
 /// modules" reuse). Modules whose summary is supplied in \p Ascribed
 /// (opaque IP; Section 4) are taken as-is and not analyzed.
 ///
-/// On success, \p Out maps every ModuleId to its summary. On failure the
-/// first combinational loop found is returned.
-std::optional<LoopDiagnostic>
+/// Every module whose dependencies all summarized successfully is
+/// analyzed; modules downstream of a failure are skipped silently (their
+/// verdict would be noise — the root cause is already reported). The
+/// returned diagnostics are sorted by module id, so serial, parallel
+/// (SummaryEngine), and cache-warm runs emit identical lists. \p Out
+/// maps every successfully analyzed ModuleId to its summary; an empty
+/// Status (check hasError()) means the whole design summarized.
+support::Status
 analyzeDesign(const ir::Design &D,
               std::map<ir::ModuleId, ModuleSummary> &Out,
               const std::map<ir::ModuleId, ModuleSummary> &Ascribed = {});

@@ -78,25 +78,6 @@ inline bool structurallyEqual(const ModuleSummary &A,
          A.InputPortSets == B.InputPortSets && A.SubSorts == B.SubSorts;
 }
 
-/// A combinational loop rendered as a path of human-readable labels
-/// ("fifo1.valid_i", "fwd.valid_o", ...) plus the structured ids needed
-/// to trace it programmatically. The path is cyclic: the last element
-/// feeds the first.
-struct LoopDiagnostic {
-  std::vector<std::string> PathLabels;
-
-  std::string describe() const {
-    std::string Out = "combinational loop: ";
-    for (size_t I = 0; I != PathLabels.size(); ++I) {
-      Out += PathLabels[I];
-      Out += " -> ";
-    }
-    if (!PathLabels.empty())
-      Out += PathLabels.front();
-    return Out;
-  }
-};
-
 } // namespace wiresort::analysis
 
 #endif // WIRESORT_ANALYSIS_SUMMARY_H

@@ -102,8 +102,10 @@ struct Run {
   std::vector<State> States;
   std::vector<uint32_t> DepsLeft;
   std::vector<std::vector<ModuleId>> Dependents;
-  std::vector<uint32_t> TopoPos;
-  std::vector<std::optional<LoopDiagnostic>> Loops;
+  /// Per-module loop diagnostics (empty for clean modules). Indexed by
+  /// module id, which is also the order the final list is emitted in —
+  /// the thread schedule can never reorder it.
+  std::vector<support::DiagList> Loops;
   size_t Hits = 0, Inferred = 0, AscribedCount = 0;
 
   std::mutex Mutex;
@@ -165,7 +167,7 @@ struct Run {
 
 // --- SummaryEngine ----------------------------------------------------------
 
-std::optional<LoopDiagnostic>
+support::Status
 SummaryEngine::analyze(const Design &D,
                        std::map<ModuleId, ModuleSummary> &Out,
                        const std::map<ModuleId, ModuleSummary> &Ascribed) {
@@ -204,10 +206,7 @@ SummaryEngine::analyze(const Design &D,
   R.States.assign(D.numModules(), Run::State::Waiting);
   R.DepsLeft.assign(D.numModules(), 0);
   R.Dependents.assign(D.numModules(), {});
-  R.TopoPos.assign(D.numModules(), 0);
-  R.Loops.assign(D.numModules(), std::nullopt);
-  for (size_t Pos = 0; Pos != Order->size(); ++Pos)
-    R.TopoPos[(*Order)[Pos]] = static_cast<uint32_t>(Pos);
+  R.Loops.assign(D.numModules(), {});
   for (ModuleId Id = 0; Id != D.numModules(); ++Id) {
     std::vector<ModuleId> Deps = Run::depsOf(D.module(Id));
     R.DepsLeft[Id] = static_cast<uint32_t>(Deps.size());
@@ -234,12 +233,12 @@ SummaryEngine::analyze(const Design &D,
         continue;
       }
       InferenceResult Result = inferSummary(D, Id, Out);
-      if (auto *Loop = std::get_if<LoopDiagnostic>(&Result)) {
-        R.Loops[Id] = *Loop;
+      if (!Result) {
+        R.Loops[Id] = Result.diags();
         R.finish(Id, Run::State::Looped);
         continue;
       }
-      ModuleSummary &S = std::get<ModuleSummary>(Result);
+      ModuleSummary &S = *Result;
       if (R.Cache)
         R.Cache->insert(Keys[Id], S);
       Out[Id] = std::move(S);
@@ -286,11 +285,11 @@ SummaryEngine::analyze(const Design &D,
               std::vector<ModuleId> Ready;
               {
                 std::lock_guard<std::mutex> Lock(R.Mutex);
-                if (auto *Loop = std::get_if<LoopDiagnostic>(&Result)) {
-                  R.Loops[Id] = *Loop;
+                if (!Result) {
+                  R.Loops[Id] = Result.diags();
                   Ready = R.finish(Id, Run::State::Looped);
                 } else {
-                  ModuleSummary &S = std::get<ModuleSummary>(Result);
+                  ModuleSummary &S = *Result;
                   if (R.Cache)
                     R.Cache->insert(Keys[Id], S);
                   R.Out[Id] = std::move(S);
@@ -311,18 +310,11 @@ SummaryEngine::analyze(const Design &D,
     Pool.wait();
   }
 
-  // --- Verdict: the loop serial analyzeDesign would report — minimal
-  // --- topological position among modules whose own inference looped.
-  std::optional<LoopDiagnostic> Verdict;
-  uint32_t BestPos = 0;
-  for (ModuleId Id = 0; Id != D.numModules(); ++Id) {
-    if (!R.Loops[Id])
-      continue;
-    if (!Verdict || R.TopoPos[Id] < BestPos) {
-      Verdict = R.Loops[Id];
-      BestPos = R.TopoPos[Id];
-    }
-  }
+  // --- Verdict: every looped module's diagnostics, in module-id order —
+  // --- the same list serial analyzeDesign emits, whatever the schedule.
+  support::Status Verdict;
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id)
+    Verdict.append(R.Loops[Id]);
 
   // Unresolved slots (looped modules and their transitive dependents)
   // must not leak placeholder summaries.
@@ -358,12 +350,11 @@ bool SummaryEngine::saveCache(
   return File.good();
 }
 
-std::optional<size_t> SummaryEngine::loadCache(const std::string &Path,
-                                               const Design &D,
-                                               std::string &Error) {
+support::Expected<size_t> SummaryEngine::loadCache(const std::string &Path,
+                                                   const Design &D) {
   std::ifstream File(Path);
   if (!File)
-    return 0; // Cold start: a missing sidecar is not an error.
+    return size_t{0}; // Cold start: a missing sidecar is not an error.
   std::stringstream SS;
   SS << File.rdbuf();
   std::string Text = SS.str();
@@ -399,9 +390,9 @@ std::optional<size_t> SummaryEngine::loadCache(const std::string &Path,
       continue;
     }
     if (!InBlock && First != "module") {
-      Error = "cache line " + std::to_string(LineNo) +
-              ": expected 'module', got '" + First + "'";
-      return std::nullopt;
+      return support::Diag(support::DiagCode::WS502_CACHE_FORMAT,
+                           "expected 'module', got '" + First + "'")
+          .withLoc(support::SrcLoc{Path, LineNo, 0});
     }
     InBlock = First != "end";
     Block += Line;
@@ -412,14 +403,15 @@ std::optional<size_t> SummaryEngine::loadCache(const std::string &Path,
     }
   }
   if (InBlock) {
-    Error = "cache: unterminated module block (missing 'end')";
-    return std::nullopt;
+    return support::Diag(support::DiagCode::WS502_CACHE_FORMAT,
+                         "unterminated module block (missing 'end')")
+        .withLoc(support::SrcLoc{Path, 0, 0});
   }
 
   size_t Loaded = 0;
   for (const std::string &B : Blocks) {
-    std::string BlockError; // Stale blocks are skipped, not reported.
-    auto Parsed = parseSummaries(B, D, BlockError);
+    // Stale blocks are skipped, not reported.
+    auto Parsed = parseSummaries(B, D);
     if (!Parsed)
       continue;
     for (const auto &[Id, S] : *Parsed) {

@@ -25,12 +25,12 @@
 ///    module and its transitive instantiators.
 ///
 /// Determinism contract: for the same design, analyze() produces
-/// structurallyEqual summaries and the same verdict regardless of thread
-/// count or cache state. On loop-containing designs the reported
-/// diagnostic is the one serial analyzeDesign would report (the loop in
-/// the earliest module in topological order whose dependencies are all
-/// loop-free). The differential and property suites under tests/ enforce
-/// both halves of this contract.
+/// structurallyEqual summaries and byte-identical diagnostics regardless
+/// of thread count or cache state. On loop-containing designs every
+/// module whose dependencies summarized cleanly is analyzed and its loop
+/// reported, sorted by module id — exactly the list serial analyzeDesign
+/// emits. The differential and property suites under tests/ enforce both
+/// halves of this contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -107,10 +107,12 @@ public:
   /// Analyzes every module of \p D, filling \p Out (cleared first) with a
   /// summary per module exactly as serial analyzeDesign would. Modules
   /// present in \p Ascribed are taken as-is (opaque IP; Section 4).
-  /// \returns the first (in topological order) combinational loop, or
-  /// std::nullopt on success; on loop, \p Out holds the summaries of the
-  /// modules that were summarized before/independently of the loop.
-  std::optional<LoopDiagnostic>
+  /// \returns the combinational-loop diagnostics of every module whose
+  /// dependencies summarized cleanly, sorted by module id (empty — check
+  /// hasError() — on success); dependents of failed modules are skipped
+  /// silently and \p Out holds the summaries of everything that did
+  /// summarize.
+  support::Status
   analyze(const ir::Design &D, std::map<ir::ModuleId, ModuleSummary> &Out,
           const std::map<ir::ModuleId, ModuleSummary> &Ascribed = {});
 
@@ -135,11 +137,11 @@ public:
   /// recorded key no longer matches the design never hit, and blocks that
   /// no longer resolve (module renamed away, interface changed, corrupted
   /// text) are skipped rather than loaded. \returns the number of entries
-  /// loaded, or std::nullopt with \p Error set when the file is not
+  /// loaded, or a WS502_CACHE_FORMAT diagnostic when the file is not
   /// sidecar-shaped at all (--cache pointed at something else). A missing
   /// file is not an error (returns 0).
-  std::optional<size_t> loadCache(const std::string &Path,
-                                  const ir::Design &D, std::string &Error);
+  support::Expected<size_t> loadCache(const std::string &Path,
+                                      const ir::Design &D);
 
 private:
   EngineOptions Opts;

@@ -7,6 +7,7 @@
 #include "analysis/SummaryIO.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 using namespace wiresort;
@@ -71,9 +72,9 @@ analysis::writeSummaries(const Design &D,
   return OS.str();
 }
 
-std::optional<std::map<ModuleId, ModuleSummary>>
+support::Expected<std::map<ModuleId, ModuleSummary>>
 analysis::parseSummaries(const std::string &Text, const Design &D,
-                         std::string &Error) {
+                         const std::string &FileName) {
   std::map<ModuleId, ModuleSummary> Result;
   std::istringstream Stream(Text);
   std::string Line;
@@ -84,8 +85,8 @@ analysis::parseSummaries(const std::string &Text, const Design &D,
   ModuleSummary Cur;
 
   auto fail = [&](const std::string &Msg) {
-    Error = "summaries line " + std::to_string(LineNo) + ": " + Msg;
-    return std::nullopt;
+    return support::Diag(support::DiagCode::WS221_SUMMARY_SYNTAX, Msg)
+        .withLoc(support::SrcLoc{FileName, LineNo, 0});
   };
 
   auto finishModule = [&]() -> std::optional<std::string> {

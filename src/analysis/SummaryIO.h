@@ -34,9 +34,9 @@
 
 #include "analysis/Summary.h"
 #include "ir/Design.h"
+#include "support/Diag.h"
 
 #include <map>
-#include <optional>
 #include <string>
 
 namespace wiresort::analysis {
@@ -49,11 +49,12 @@ std::string writeSummaries(const ir::Design &D,
 
 /// Parses summary blocks and resolves them against same-named modules of
 /// \p D (modules absent from the text are simply not populated).
-/// \returns std::nullopt and sets \p Error (with a line number) on
-/// malformed or inconsistent input.
-std::optional<std::map<ir::ModuleId, ModuleSummary>>
+/// On malformed or inconsistent input the result carries a
+/// WS221_SUMMARY_SYNTAX diagnostic whose location names \p FileName and
+/// the offending line.
+support::Expected<std::map<ir::ModuleId, ModuleSummary>>
 parseSummaries(const std::string &Text, const ir::Design &D,
-               std::string &Error);
+               const std::string &FileName = "");
 
 } // namespace wiresort::analysis
 

@@ -141,10 +141,15 @@ analysis::checkCircuit(const Circuit &Circ,
     // A loop exists; walk it only on this error path for the diagnostic.
     std::optional<std::vector<uint32_t>> Cycle = PG.graph().findCycle();
     assert(Cycle && "frozen snapshot says cyclic but no cycle found");
-    LoopDiagnostic Diag;
-    for (uint32_t Node : *Cycle)
-      Diag.PathLabels.push_back(Circ.portLabel(PG.refOf(Node)));
-    Result.Loop = std::move(Diag);
+    support::Diag Diag(support::DiagCode::WS101_COMB_LOOP,
+                       "combinational loop in circuit '" + Circ.name() +
+                           "'");
+    for (uint32_t Node : *Cycle) {
+      PortRef Ref = PG.refOf(Node);
+      Diag.addHop(Circ.instances()[Ref.Inst].Name,
+                  Circ.defOf(Ref.Inst).wire(Ref.Port).Name);
+    }
+    Result.Diags.add(std::move(Diag));
     Result.WellConnected = false;
   }
   Result.Seconds = T.seconds();
@@ -155,13 +160,13 @@ CircuitCheckResult analysis::checkCircuit(const Circuit &Circ,
                                           SummaryEngine &Engine) {
   Timer T;
   std::map<ModuleId, ModuleSummary> Summaries;
-  if (std::optional<LoopDiagnostic> Loop =
-          Engine.analyze(Circ.design(), Summaries)) {
-    // The design's own modules already contain a loop; the circuit can
-    // never be well-connected, and the diagnostic names the culprit.
+  support::Status Stage1 = Engine.analyze(Circ.design(), Summaries);
+  if (Stage1.hasError()) {
+    // The design's own modules already contain loops; the circuit can
+    // never be well-connected, and the diagnostics name the culprits.
     CircuitCheckResult Result;
     Result.WellConnected = false;
-    Result.Loop = std::move(Loop);
+    Result.Diags = std::move(Stage1);
     Result.Seconds = T.seconds();
     return Result;
   }
@@ -267,11 +272,14 @@ analysis::checkCircuitPairwise(const Circuit &Circ,
     if (!Failed[I])
       continue;
     Result.WellConnected = false;
-    LoopDiagnostic Diag;
-    Diag.PathLabels.push_back(Circ.portLabel(Conns[I].From));
-    Diag.PathLabels.push_back(Circ.portLabel(Conns[I].To));
-    if (!Result.Loop)
-      Result.Loop = std::move(Diag);
+    const Connection &C = Conns[I];
+    Result.Diags.add(
+        support::Diag(support::DiagCode::WS101_COMB_LOOP,
+                      "connection is not well-connected")
+            .withHop(Circ.instances()[C.From.Inst].Name,
+                     Circ.defOf(C.From.Inst).wire(C.From.Port).Name)
+            .withHop(Circ.instances()[C.To.Inst].Name,
+                     Circ.defOf(C.To.Inst).wire(C.To.Port).Name));
   }
   Result.Seconds = T.seconds();
   return Result;

@@ -32,11 +32,11 @@
 #include "analysis/Summary.h"
 #include "ir/Circuit.h"
 #include "support/CsrGraph.h"
+#include "support/Diag.h"
 #include "support/Graph.h"
 
 #include <cassert>
 #include <map>
-#include <optional>
 #include <vector>
 
 namespace wiresort::analysis {
@@ -102,7 +102,9 @@ private:
 /// Outcome of a whole-circuit check.
 struct CircuitCheckResult {
   bool WellConnected = false;
-  std::optional<LoopDiagnostic> Loop;
+  /// WS101_COMB_LOOP diagnostics when not well-connected; each witness
+  /// hop is an (instance, port) pair of the circuit.
+  support::DiagList Diags;
   /// Connections proven safe by sorts alone (stage 2).
   size_t SafeBySort = 0;
   /// Connections requiring the stage-3 circuit check.

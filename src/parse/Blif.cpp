@@ -7,6 +7,7 @@
 #include "parse/Blif.h"
 
 #include <cassert>
+#include <cctype>
 #include <map>
 #include <set>
 #include <sstream>
@@ -18,25 +19,48 @@ using namespace wiresort::parse;
 
 namespace {
 
-/// Splits a line into whitespace-separated tokens.
-std::vector<std::string> tokenize(const std::string &Line) {
-  std::vector<std::string> Tokens;
-  std::istringstream SS(Line);
-  std::string Tok;
-  while (SS >> Tok)
-    Tokens.push_back(Tok);
-  return Tokens;
+/// One whitespace-separated token with its source position.
+struct BlifTok {
+  std::string Text;
+  size_t Line = 0;
+  size_t Col = 0; // 1-based column of the token's first character.
+};
+
+/// Appends \p Line's tokens (with positions) to \p Out.
+void tokenizeInto(const std::string &Line, size_t LineNo,
+                  std::vector<BlifTok> &Out) {
+  size_t Pos = 0;
+  while (Pos < Line.size()) {
+    while (Pos < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+    if (Pos >= Line.size())
+      break;
+    size_t Start = Pos;
+    while (Pos < Line.size() &&
+           !std::isspace(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+    Out.push_back({Line.substr(Start, Pos - Start), LineNo, Start + 1});
+  }
 }
+
+/// One .subckt awaiting cross-model resolution.
+struct SubcktRec {
+  std::string DefName;
+  std::vector<std::pair<std::string, std::string>> Pairs;
+  size_t Line = 0;
+  size_t Col = 0;
+};
 
 /// One .model under construction; wires are created on demand by name.
 struct ModelBuilder {
   Module M;
   std::map<std::string, WireId> ByName;
   std::set<WireId> Driven;
-  /// Unresolved .subckt records: (definition name, formal=actual pairs).
-  std::vector<std::pair<std::string,
-                        std::vector<std::pair<std::string, std::string>>>>
-      Subckts;
+  std::vector<SubcktRec> Subckts;
+  /// Position of the .model directive (for link-time diagnostics).
+  size_t Line = 0;
+  size_t Col = 0;
 
   WireId wireFor(const std::string &Name) {
     auto It = ByName.find(Name);
@@ -50,94 +74,110 @@ struct ModelBuilder {
 
 } // namespace
 
-std::optional<BlifFile> parse::parseBlif(const std::string &Text,
-                                         std::string &Error) {
+support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
+                                             const std::string &FileName) {
+  using support::Diag;
+  using support::DiagCode;
+  using support::SrcLoc;
+
   std::vector<ModelBuilder> Models;
   ModelBuilder *Cur = nullptr;
   // Pending .names cover collection.
   Net *PendingLut = nullptr;
 
-  auto fail = [&](size_t LineNo, const std::string &Msg) {
-    Error = "blif line " + std::to_string(LineNo) + ": " + Msg;
-    return std::nullopt;
+  auto failAt = [&](DiagCode Code, size_t Line, size_t Col,
+                    const std::string &Msg) {
+    return Diag(Code, Msg).withLoc(SrcLoc{FileName, Line, Col});
+  };
+  auto failTok = [&](const BlifTok &T, const std::string &Msg) {
+    return failAt(DiagCode::WS201_BLIF_SYNTAX, T.Line, T.Col, Msg);
   };
 
   std::istringstream Stream(Text);
   std::string Raw;
   size_t LineNo = 0;
-  std::string Line;
+  std::vector<BlifTok> Tok;
+  bool Continuing = false;
   while (std::getline(Stream, Raw)) {
     ++LineNo;
     // Strip comments; honor trailing-backslash continuations.
     size_t Hash = Raw.find('#');
     if (Hash != std::string::npos)
       Raw.resize(Hash);
-    Line += Raw;
-    if (!Line.empty() && Line.back() == '\\') {
-      Line.pop_back();
+    bool Continue = !Raw.empty() && Raw.back() == '\\';
+    if (Continue)
+      Raw.pop_back();
+    if (!Continuing)
+      Tok.clear();
+    tokenizeInto(Raw, LineNo, Tok);
+    Continuing = Continue;
+    if (Continuing)
       continue;
-    }
-    std::vector<std::string> Tok = tokenize(Line);
-    Line.clear();
     if (Tok.empty())
       continue;
 
-    const std::string &Cmd = Tok[0];
+    const std::string &Cmd = Tok[0].Text;
     if (Cmd == ".model") {
       if (Tok.size() != 2)
-        return fail(LineNo, ".model expects a name");
+        return failTok(Tok[0], ".model expects a name");
       Models.emplace_back();
       Cur = &Models.back();
-      Cur->M.Name = Tok[1];
+      Cur->M.Name = Tok[1].Text;
+      Cur->Line = Tok[0].Line;
+      Cur->Col = Tok[0].Col;
       PendingLut = nullptr;
       continue;
     }
     if (!Cur)
-      return fail(LineNo, "directive before .model");
+      return failTok(Tok[0], "directive before .model");
 
     if (Cmd == ".inputs") {
       for (size_t I = 1; I != Tok.size(); ++I) {
-        if (Cur->ByName.count(Tok[I]))
-          return fail(LineNo, "duplicate signal '" + Tok[I] + "'");
-        WireId W = Cur->M.addInput(Tok[I], 1);
-        Cur->ByName[Tok[I]] = W;
+        if (Cur->ByName.count(Tok[I].Text))
+          return failTok(Tok[I],
+                         "duplicate signal '" + Tok[I].Text + "'");
+        WireId W = Cur->M.addInput(Tok[I].Text, 1);
+        Cur->ByName[Tok[I].Text] = W;
       }
       PendingLut = nullptr;
     } else if (Cmd == ".outputs") {
       for (size_t I = 1; I != Tok.size(); ++I) {
-        if (Cur->ByName.count(Tok[I]))
-          return fail(LineNo, "duplicate signal '" + Tok[I] + "'");
-        WireId W = Cur->M.addOutput(Tok[I], 1);
-        Cur->ByName[Tok[I]] = W;
+        if (Cur->ByName.count(Tok[I].Text))
+          return failTok(Tok[I],
+                         "duplicate signal '" + Tok[I].Text + "'");
+        WireId W = Cur->M.addOutput(Tok[I].Text, 1);
+        Cur->ByName[Tok[I].Text] = W;
       }
       PendingLut = nullptr;
     } else if (Cmd == ".names") {
       if (Tok.size() < 2)
-        return fail(LineNo, ".names expects at least an output");
+        return failTok(Tok[0], ".names expects at least an output");
       std::vector<WireId> Ins;
       for (size_t I = 1; I + 1 < Tok.size(); ++I)
-        Ins.push_back(Cur->wireFor(Tok[I]));
-      WireId Out = Cur->wireFor(Tok.back());
+        Ins.push_back(Cur->wireFor(Tok[I].Text));
+      WireId Out = Cur->wireFor(Tok.back().Text);
       if (Cur->Driven.count(Out))
-        return fail(LineNo, "signal '" + Tok.back() + "' driven twice");
+        return failTok(Tok.back(),
+                       "signal '" + Tok.back().Text + "' driven twice");
       Cur->Driven.insert(Out);
       NetId Id = Cur->M.addNet(Op::Lut, std::move(Ins), Out);
       PendingLut = &Cur->M.Nets[Id];
     } else if (Cmd == ".latch") {
       if (Tok.size() < 3)
-        return fail(LineNo, ".latch expects input and output");
-      WireId D = Cur->wireFor(Tok[1]);
-      WireId Q = Cur->wireFor(Tok[2]);
+        return failTok(Tok[0], ".latch expects input and output");
+      WireId D = Cur->wireFor(Tok[1].Text);
+      WireId Q = Cur->wireFor(Tok[2].Text);
       if (Cur->Driven.count(Q))
-        return fail(LineNo, "signal '" + Tok[2] + "' driven twice");
+        return failTok(Tok[2],
+                       "signal '" + Tok[2].Text + "' driven twice");
       Cur->Driven.insert(Q);
       if (Cur->M.Wires[Q].Kind == WireKind::Input)
-        return fail(LineNo, "latch drives input '" + Tok[2] + "'");
+        return failTok(Tok[2], "latch drives input '" + Tok[2].Text + "'");
       if (Cur->M.Wires[Q].Kind == WireKind::Output) {
         // Latched output port: latch into an internal reg wire and
         // buffer it out to the port.
         WireId Inner =
-            Cur->M.addWire(Tok[2] + "$latch", WireKind::Reg, 1);
+            Cur->M.addWire(Tok[2].Text + "$latch", WireKind::Reg, 1);
         Cur->M.addNet(Op::Buf, {Inner}, Q);
         Q = Inner;
       } else {
@@ -145,85 +185,85 @@ std::optional<BlifFile> parse::parseBlif(const std::string &Text,
       }
       uint64_t Init = 0;
       // Optional trailing init value (possibly after "<type> <control>").
-      const std::string &Last = Tok.back();
+      const std::string &Last = Tok.back().Text;
       if (Tok.size() > 3 && (Last == "0" || Last == "1"))
         Init = Last == "1" ? 1 : 0;
       Cur->M.addRegister(D, Q, Init);
       PendingLut = nullptr;
     } else if (Cmd == ".subckt") {
       if (Tok.size() < 2)
-        return fail(LineNo, ".subckt expects a model name");
-      std::vector<std::pair<std::string, std::string>> Pairs;
+        return failTok(Tok[0], ".subckt expects a model name");
+      SubcktRec Rec;
+      Rec.DefName = Tok[1].Text;
+      Rec.Line = Tok[0].Line;
+      Rec.Col = Tok[0].Col;
       for (size_t I = 2; I != Tok.size(); ++I) {
-        size_t EqPos = Tok[I].find('=');
+        size_t EqPos = Tok[I].Text.find('=');
         if (EqPos == std::string::npos)
-          return fail(LineNo, "malformed formal=actual '" + Tok[I] + "'");
-        Pairs.emplace_back(Tok[I].substr(0, EqPos), Tok[I].substr(EqPos + 1));
+          return failTok(Tok[I],
+                         "malformed formal=actual '" + Tok[I].Text + "'");
+        Rec.Pairs.emplace_back(Tok[I].Text.substr(0, EqPos),
+                               Tok[I].Text.substr(EqPos + 1));
       }
-      Cur->Subckts.emplace_back(Tok[1], std::move(Pairs));
+      Cur->Subckts.push_back(std::move(Rec));
       PendingLut = nullptr;
     } else if (Cmd == ".end") {
       PendingLut = nullptr;
     } else if (Cmd[0] != '.') {
       // A cover row for the pending .names.
       if (!PendingLut)
-        return fail(LineNo, "cover row outside .names");
-      std::string Plane = Tok.size() == 2 ? Tok[0] : "";
-      std::string Output = Tok.size() == 2 ? Tok[1] : Tok[0];
+        return failTok(Tok[0], "cover row outside .names");
+      std::string Plane = Tok.size() == 2 ? Tok[0].Text : "";
+      std::string Output = Tok.size() == 2 ? Tok[1].Text : Tok[0].Text;
       if (Output != "0" && Output != "1")
-        return fail(LineNo, "cover output must be 0 or 1");
+        return failTok(Tok.back(), "cover output must be 0 or 1");
       if (Plane.size() != PendingLut->Inputs.size())
-        return fail(LineNo, "cover row arity mismatch");
+        return failTok(Tok[0], "cover row arity mismatch");
       PendingLut->Cover.push_back(Plane + Output);
     } else {
       // Unsupported directives (.clock, .exdc, ...) are rejected loudly:
       // silently skipping them could change semantics.
-      return fail(LineNo, "unsupported directive '" + Cmd + "'");
+      return failTok(Tok[0], "unsupported directive '" + Cmd + "'");
     }
   }
 
-  if (Models.empty()) {
-    Error = "blif: no .model found";
-    return std::nullopt;
-  }
+  if (Models.empty())
+    return failAt(DiagCode::WS202_BLIF_STRUCTURE, 0, 0, "no .model found");
 
   // Second pass: resolve subcircuit references across models.
   BlifFile Result;
   std::map<std::string, ModuleId> IdByName;
   for (ModelBuilder &MB : Models) {
     ModuleId Id = Result.Design.addModule(Module(MB.M.Name));
-    if (IdByName.count(MB.M.Name)) {
-      Error = "blif: duplicate model '" + MB.M.Name + "'";
-      return std::nullopt;
-    }
+    if (IdByName.count(MB.M.Name))
+      return failAt(DiagCode::WS202_BLIF_STRUCTURE, MB.Line, MB.Col,
+                    "duplicate model '" + MB.M.Name + "'");
     IdByName[MB.M.Name] = Id;
   }
   for (size_t I = 0; I != Models.size(); ++I) {
     ModelBuilder &MB = Models[I];
-    for (const auto &[DefName, Pairs] : MB.Subckts) {
-      auto It = IdByName.find(DefName);
-      if (It == IdByName.end()) {
-        Error = "blif: .subckt references unknown model '" + DefName + "'";
-        return std::nullopt;
-      }
+    for (const SubcktRec &Rec : MB.Subckts) {
+      auto It = IdByName.find(Rec.DefName);
+      if (It == IdByName.end())
+        return failAt(DiagCode::WS202_BLIF_STRUCTURE, Rec.Line, Rec.Col,
+                      ".subckt references unknown model '" + Rec.DefName +
+                          "'");
       // Formal names are resolved against the referenced model's ports.
       SubInstance Inst;
       Inst.Def = It->second;
-      Inst.Name = DefName + "$" + std::to_string(MB.M.Instances.size());
+      Inst.Name = Rec.DefName + "$" + std::to_string(MB.M.Instances.size());
       const Module &Def = Models[It->second].M;
-      for (const auto &[Formal, Actual] : Pairs) {
+      for (const auto &[Formal, Actual] : Rec.Pairs) {
         WireId Port = Def.findPort(Formal);
-        if (Port == InvalidId) {
-          Error = "blif: model '" + DefName + "' has no port '" + Formal +
-                  "'";
-          return std::nullopt;
-        }
+        if (Port == InvalidId)
+          return failAt(DiagCode::WS202_BLIF_STRUCTURE, Rec.Line, Rec.Col,
+                        "model '" + Rec.DefName + "' has no port '" +
+                            Formal + "'");
         WireId Local = MB.wireFor(Actual);
         if (Def.isOutput(Port)) {
-          if (MB.Driven.count(Local)) {
-            Error = "blif: signal '" + Actual + "' driven twice";
-            return std::nullopt;
-          }
+          if (MB.Driven.count(Local))
+            return failAt(DiagCode::WS202_BLIF_STRUCTURE, Rec.Line,
+                          Rec.Col, "signal '" + Actual + "' driven twice");
           MB.Driven.insert(Local);
         }
         Inst.Bindings.emplace_back(Port, Local);
@@ -234,10 +274,8 @@ std::optional<BlifFile> parse::parseBlif(const std::string &Text,
   }
   Result.Top = 0; // Models are added in file order; the first is top.
 
-  if (auto Err = Result.Design.validate()) {
-    Error = "blif: " + *Err;
-    return std::nullopt;
-  }
+  if (auto Err = Result.Design.validate())
+    return failAt(DiagCode::WS202_BLIF_STRUCTURE, 0, 0, *Err);
   return Result;
 }
 

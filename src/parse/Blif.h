@@ -22,8 +22,8 @@
 #define WIRESORT_PARSE_BLIF_H
 
 #include "ir/Design.h"
+#include "support/Diag.h"
 
-#include <optional>
 #include <string>
 
 namespace wiresort::parse {
@@ -35,10 +35,12 @@ struct BlifFile {
   ir::ModuleId Top = ir::InvalidId;
 };
 
-/// Parses BLIF text. \returns std::nullopt and fills \p Error (with a
-/// line number) on malformed input; the result validates on success.
-std::optional<BlifFile> parseBlif(const std::string &Text,
-                                  std::string &Error);
+/// Parses BLIF text. On malformed input the result carries a
+/// WS201_BLIF_SYNTAX / WS202_BLIF_STRUCTURE diagnostic whose SrcLoc
+/// points at the offending token (1-based line and column in \p Text,
+/// file field set to \p FileName); the result validates on success.
+support::Expected<BlifFile> parseBlif(const std::string &Text,
+                                      const std::string &FileName = "");
 
 /// Serializes \p Top and every definition it (transitively) instantiates.
 /// All reachable modules must be bit-level (1-bit wires) and contain only

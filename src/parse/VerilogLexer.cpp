@@ -45,15 +45,23 @@ bool decodeDigits(const std::string &Digits, int Base, uint64_t &Value) {
 
 } // namespace
 
-bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
-                       std::string &Error) {
+support::Expected<std::vector<Token>>
+parse::lexVerilog(const std::string &Text, const std::string &FileName) {
+  using support::Diag;
+  using support::DiagCode;
+  using support::SrcLoc;
+
+  std::vector<Token> Out;
   size_t Pos = 0;
   size_t Line = 1;
+  size_t LineStart = 0; // Offset of the current line's first character.
   const size_t N = Text.size();
 
-  auto fail = [&](const std::string &Msg) {
-    Error = "verilog line " + std::to_string(Line) + ": " + Msg;
-    return false;
+  // 1-based column of offset \p At on the current line.
+  auto colOf = [&](size_t At) { return At - LineStart + 1; };
+  auto failAt = [&](size_t At, const std::string &Msg) {
+    return Diag(DiagCode::WS211_VERILOG_LEX, Msg)
+        .withLoc(SrcLoc{FileName, Line, colOf(At)});
   };
 
   while (Pos < N) {
@@ -61,6 +69,7 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
     if (C == '\n') {
       ++Line;
       ++Pos;
+      LineStart = Pos;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -74,36 +83,42 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
       continue;
     }
     if (C == '/' && Pos + 1 < N && Text[Pos + 1] == '*') {
+      size_t OpenLine = Line, OpenCol = colOf(Pos);
       Pos += 2;
       while (Pos + 1 < N &&
              !(Text[Pos] == '*' && Text[Pos + 1] == '/')) {
-        if (Text[Pos] == '\n')
+        if (Text[Pos] == '\n') {
           ++Line;
+          LineStart = Pos + 1;
+        }
         ++Pos;
       }
       if (Pos + 1 >= N)
-        return fail("unterminated block comment");
+        return Diag(DiagCode::WS211_VERILOG_LEX,
+                    "unterminated block comment")
+            .withLoc(SrcLoc{FileName, OpenLine, OpenCol});
       Pos += 2;
       continue;
     }
     // Escaped identifier: backslash to whitespace.
     if (C == '\\') {
+      size_t EscPos = Pos;
       size_t Start = ++Pos;
       while (Pos < N &&
              !std::isspace(static_cast<unsigned char>(Text[Pos])))
         ++Pos;
       if (Pos == Start)
-        return fail("empty escaped identifier");
-      Out.push_back(
-          {TokKind::Ident, Text.substr(Start, Pos - Start), 0, 0, Line});
+        return failAt(EscPos, "empty escaped identifier");
+      Out.push_back({TokKind::Ident, Text.substr(Start, Pos - Start), 0,
+                     0, Line, colOf(EscPos)});
       continue;
     }
     if (isIdentStart(C)) {
       size_t Start = Pos;
       while (Pos < N && isIdentChar(Text[Pos]))
         ++Pos;
-      Out.push_back(
-          {TokKind::Ident, Text.substr(Start, Pos - Start), 0, 0, Line});
+      Out.push_back({TokKind::Ident, Text.substr(Start, Pos - Start), 0,
+                     0, Line, colOf(Start)});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(C))) {
@@ -116,7 +131,7 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
         ++Pos;
       uint64_t Lead;
       if (!decodeDigits(Text.substr(Start, Pos - Start), 10, Lead))
-        return fail("bad decimal literal");
+        return failAt(Start, "bad decimal literal");
       size_t Mark = Pos;
       while (Mark < N &&
              std::isspace(static_cast<unsigned char>(Text[Mark])) &&
@@ -125,7 +140,7 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
       if (Mark < N && Text[Mark] == '\'') {
         Pos = Mark + 1;
         if (Pos >= N)
-          return fail("truncated based literal");
+          return failAt(Mark, "truncated based literal");
         char BaseChar =
             static_cast<char>(std::tolower(Text[Pos]));
         int Base = BaseChar == 'b'   ? 2
@@ -134,7 +149,7 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
                    : BaseChar == 'h' ? 16
                                      : 0;
         if (Base == 0)
-          return fail("unknown literal base");
+          return failAt(Pos, "unknown literal base");
         ++Pos;
         while (Pos < N &&
                std::isspace(static_cast<unsigned char>(Text[Pos])) &&
@@ -147,15 +162,16 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
         if (DigStart == Pos ||
             !decodeDigits(Text.substr(DigStart, Pos - DigStart), Base,
                           Value))
-          return fail("bad digits in based literal");
+          return failAt(DigStart, "bad digits in based literal");
         if (Lead == 0 || Lead > 64)
-          return fail("literal width must be in [1, 64]");
+          return failAt(Start, "literal width must be in [1, 64]");
         Token T;
         T.Kind = TokKind::Number;
         T.Text = Text.substr(Start, Pos - Start);
         T.Value = Value;
         T.Width = static_cast<uint16_t>(Lead);
         T.Line = Line;
+        T.Col = colOf(Start);
         Out.push_back(T);
       } else {
         Token T;
@@ -164,6 +180,7 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
         T.Value = Lead;
         T.Width = 0; // Unsized.
         T.Line = Line;
+        T.Col = colOf(Start);
         Out.push_back(T);
       }
       continue;
@@ -175,7 +192,7 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
     for (const char *Op : Multi) {
       size_t Len = 2;
       if (Pos + Len <= N && Text.compare(Pos, Len, Op) == 0) {
-        Out.push_back({TokKind::Punct, Op, 0, 0, Line});
+        Out.push_back({TokKind::Punct, Op, 0, 0, Line, colOf(Pos)});
         Pos += Len;
         Matched = true;
         break;
@@ -185,12 +202,13 @@ bool parse::lexVerilog(const std::string &Text, std::vector<Token> &Out,
       continue;
     static const std::string Single = "()[]{},;.:=&|^~?<>!@#+-*";
     if (Single.find(C) != std::string::npos) {
-      Out.push_back({TokKind::Punct, std::string(1, C), 0, 0, Line});
+      Out.push_back(
+          {TokKind::Punct, std::string(1, C), 0, 0, Line, colOf(Pos)});
       ++Pos;
       continue;
     }
-    return fail(std::string("unexpected character '") + C + "'");
+    return failAt(Pos, std::string("unexpected character '") + C + "'");
   }
-  Out.push_back({TokKind::End, "", 0, 0, Line});
-  return true;
+  Out.push_back({TokKind::End, "", 0, 0, Line, colOf(Pos)});
+  return Out;
 }

@@ -15,6 +15,8 @@
 #ifndef WIRESORT_PARSE_VERILOGLEXER_H
 #define WIRESORT_PARSE_VERILOGLEXER_H
 
+#include "support/Diag.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,7 +31,7 @@ enum class TokKind : uint8_t {
   End,     ///< End of input.
 };
 
-/// One token with its source line for diagnostics.
+/// One token with its source position for diagnostics.
 struct Token {
   TokKind Kind = TokKind::End;
   std::string Text;
@@ -38,13 +40,15 @@ struct Token {
   uint64_t Value = 0;
   uint16_t Width = 0;
   size_t Line = 0;
+  size_t Col = 0; ///< 1-based column of the token's first character.
 };
 
-/// Tokenizes \p Text. On a lexical error, returns false and sets
-/// \p Error (with a line number); otherwise fills \p Out ending with an
+/// Tokenizes \p Text. On a lexical error the result carries a
+/// WS211_VERILOG_LEX diagnostic with a 1-based line:col SrcLoc (file
+/// field set to \p FileName); on success the token stream ends with an
 /// End token.
-bool lexVerilog(const std::string &Text, std::vector<Token> &Out,
-                std::string &Error);
+support::Expected<std::vector<Token>>
+lexVerilog(const std::string &Text, const std::string &FileName = "");
 
 } // namespace wiresort::parse
 

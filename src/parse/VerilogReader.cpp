@@ -45,18 +45,22 @@ struct ModuleShell {
 
 class Parser {
 public:
-  Parser(const std::vector<Token> &Toks, std::string &Error)
-      : Toks(Toks), Error(Error) {}
+  Parser(const std::vector<Token> &Toks, const std::string &FileName)
+      : Toks(Toks), FileName(FileName) {}
 
-  std::optional<VerilogFile> run() {
+  support::Expected<VerilogFile> run() {
     // ---- Phase 1: interfaces and declarations. ----
     while (at("module"))
       if (!parseModuleShell())
-        return std::nullopt;
-    if (!atEnd())
-      return fail("expected 'module', got '" + cur().Text + "'");
-    if (Shells.empty())
-      return fail("no modules found");
+        return takeDiags();
+    if (!atEnd()) {
+      failB("expected 'module', got '" + cur().Text + "'");
+      return takeDiags();
+    }
+    if (Shells.empty()) {
+      failB("no modules found");
+      return takeDiags();
+    }
 
     for (size_t I = 0; I != Shells.size(); ++I)
       IdByName[Shells[I].M.Name] = static_cast<ModuleId>(I);
@@ -64,15 +68,17 @@ public:
     // ---- Phase 2: bodies. ----
     for (ModuleShell &Shell : Shells)
       if (!elaborateBody(Shell))
-        return std::nullopt;
+        return takeDiags();
 
     VerilogFile Result;
     for (ModuleShell &Shell : Shells)
       Result.Design.addModule(std::move(Shell.M));
     Result.Top = 0;
     if (auto Err = Result.Design.validate()) {
-      Error = "verilog: " + *Err;
-      return std::nullopt;
+      Diags.add(support::Diag(support::DiagCode::WS212_VERILOG_SYNTAX,
+                              *Err)
+                    .withLoc(support::SrcLoc{FileName, 0, 0}));
+      return takeDiags();
     }
     return Result;
   }
@@ -96,14 +102,25 @@ private:
     return true;
   }
 
-  std::nullopt_t fail(const std::string &Msg) {
-    if (Error.empty())
-      Error = "verilog line " + std::to_string(cur().Line) + ": " + Msg;
-    return std::nullopt;
+  support::DiagList takeDiags() {
+    assert(Diags.hasError() && "parser failed without a diagnostic");
+    return std::move(Diags);
+  }
+
+  /// Records the first diagnostic at the current token (later failures
+  /// are fallout from the first) and returns false.
+  bool failAs(support::DiagCode Code, const std::string &Msg) {
+    if (Diags.empty())
+      Diags.add(support::Diag(Code, Msg).withLoc(
+          support::SrcLoc{FileName, cur().Line, cur().Col}));
+    return false;
   }
   bool failB(const std::string &Msg) {
-    fail(Msg);
-    return false;
+    return failAs(support::DiagCode::WS212_VERILOG_SYNTAX, Msg);
+  }
+  /// A construct outside the supported subset (valid Verilog we reject).
+  bool failU(const std::string &Msg) {
+    return failAs(support::DiagCode::WS213_VERILOG_UNSUPPORTED, Msg);
   }
 
   bool expect(const std::string &Text) {
@@ -141,7 +158,7 @@ private:
     if (!expect("]"))
       return false;
     if (Lo != 0 || Hi > 63)
-      return failB("only [N:0] ranges up to [63:0] are supported");
+      return failU("only [N:0] ranges up to [63:0] are supported");
     Width = static_cast<uint16_t>(Hi + 1);
     return true;
   }
@@ -366,7 +383,7 @@ private:
   bool emitShift(ModuleShell &Shell, bool Left, Value A, uint64_t By,
                  Value &Out) {
     if (A.Unsized)
-      return failB("shift of an unsized literal");
+      return failU("shift of an unsized literal");
     uint16_t W = A.Width;
     if (By >= W) {
       Out = constValue(Shell, 0, W, false);
@@ -553,7 +570,7 @@ private:
       bool Left = cur().Text == "<<";
       advance();
       if (cur().Kind != TokKind::Number)
-        return failB("only constant shift amounts are supported");
+        return failU("only constant shift amounts are supported");
       uint64_t By = cur().Value;
       advance();
       if (!emitShift(Shell, Left, Out, By, Out))
@@ -654,7 +671,7 @@ private:
         Ids.push_back(Part.Wire);
       }
       if (Total > 64)
-        return failB("concatenation wider than 64 bits");
+        return failU("concatenation wider than 64 bits");
       WireId W = freshWire(Shell, static_cast<uint16_t>(Total));
       Shell.M.addNet(Op::Concat, std::move(Ids), W);
       Out = Value{W, static_cast<uint16_t>(Total), false};
@@ -670,14 +687,14 @@ private:
       if (atPunct("[")) {
         advance();
         if (cur().Kind != TokKind::Number)
-          return failB("only constant selects are supported");
+          return failU("only constant selects are supported");
         uint64_t Hi = cur().Value;
         uint64_t Lo = Hi;
         advance();
         if (atPunct(":")) {
           advance();
           if (cur().Kind != TokKind::Number)
-            return failB("only constant selects are supported");
+            return failU("only constant selects are supported");
           Lo = cur().Value;
           advance();
         }
@@ -704,7 +721,7 @@ private:
     if (!expectIdent(Target))
       return false;
     if (atPunct("["))
-      return failB("bit-select assignment targets are unsupported");
+      return failU("bit-select assignment targets are unsupported");
     auto It = Shell.ByName.find(Target);
     if (It == Shell.ByName.end())
       return failB("assignment to undeclared net '" + Target + "'");
@@ -876,7 +893,7 @@ private:
         continue;
       }
       if (accept("initial"))
-        return failB("'initial' blocks are unsupported; use reg "
+        return failU("'initial' blocks are unsupported; use reg "
                      "initializers");
       if (cur().Kind == TokKind::Ident) {
         if (!elaborateInstance(Shell))
@@ -889,7 +906,8 @@ private:
   }
 
   const std::vector<Token> &Toks;
-  std::string &Error;
+  std::string FileName;
+  support::DiagList Diags;
   size_t Pos = 0;
   uint64_t Temp = 0;
   std::vector<ModuleShell> Shells;
@@ -900,11 +918,11 @@ private:
 
 } // namespace
 
-std::optional<VerilogFile> parse::parseVerilog(const std::string &Text,
-                                               std::string &Error) {
-  std::vector<Token> Toks;
-  if (!lexVerilog(Text, Toks, Error))
-    return std::nullopt;
-  Parser P(Toks, Error);
+support::Expected<VerilogFile>
+parse::parseVerilog(const std::string &Text, const std::string &FileName) {
+  auto Toks = lexVerilog(Text, FileName);
+  if (!Toks)
+    return Toks.diags();
+  Parser P(*Toks, FileName);
   return P.run();
 }

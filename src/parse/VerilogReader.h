@@ -33,8 +33,8 @@
 #define WIRESORT_PARSE_VERILOGREADER_H
 
 #include "ir/Design.h"
+#include "support/Diag.h"
 
-#include <optional>
 #include <string>
 
 namespace wiresort::parse {
@@ -46,11 +46,14 @@ struct VerilogFile {
   ir::ModuleId Top = ir::InvalidId;
 };
 
-/// Parses Verilog text. \returns std::nullopt and fills \p Error (with a
-/// line number) on unsupported or malformed input; the result validates
-/// on success. Forward references between modules are allowed.
-std::optional<VerilogFile> parseVerilog(const std::string &Text,
-                                        std::string &Error);
+/// Parses Verilog text. On malformed input the result carries a
+/// WS211_VERILOG_LEX / WS212_VERILOG_SYNTAX diagnostic — or
+/// WS213_VERILOG_UNSUPPORTED for constructs outside the structural
+/// subset — whose SrcLoc gives the 1-based line:col (file field set to
+/// \p FileName); the result validates on success. Forward references
+/// between modules are allowed.
+support::Expected<VerilogFile> parseVerilog(const std::string &Text,
+                                            const std::string &FileName = "");
 
 } // namespace wiresort::parse
 

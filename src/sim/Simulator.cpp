@@ -15,11 +15,11 @@ using namespace wiresort;
 using namespace wiresort::ir;
 using namespace wiresort::sim;
 
-std::optional<Simulator> Simulator::create(const Module &Flat,
-                                           std::string &Error) {
+support::Expected<Simulator> Simulator::create(const Module &Flat) {
   if (!Flat.Instances.empty()) {
-    Error = "simulator requires an instance-free module (flatten first)";
-    return std::nullopt;
+    return support::Diag(
+        support::DiagCode::WS301_SIM_BUILD,
+        "simulator requires an instance-free module (flatten first)");
   }
 
   Simulator S(Flat);
@@ -35,9 +35,10 @@ std::optional<Simulator> Simulator::create(const Module &Flat,
       G.addEdge(Mem.RAddr, Mem.RData);
   std::optional<std::vector<uint32_t>> WireOrder = G.topoSort();
   if (!WireOrder) {
-    Error = "module '" + Flat.Name +
-            "' has a combinational loop and cannot be levelized";
-    return std::nullopt;
+    return support::Diag(support::DiagCode::WS302_SIM_COMB_LOOP,
+                         "module '" + Flat.Name +
+                             "' has a combinational loop and cannot be "
+                             "levelized");
   }
 
   // Order net evaluations by the topological position of their outputs;

@@ -24,10 +24,10 @@
 #define WIRESORT_SIM_SIMULATOR_H
 
 #include "ir/Module.h"
+#include "support/Diag.h"
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,10 +36,10 @@ namespace wiresort::sim {
 /// Cycle-accurate simulator over a flat module.
 class Simulator {
 public:
-  /// Builds a simulator; \returns std::nullopt and sets \p Error when the
-  /// module contains instances or a combinational cycle.
-  static std::optional<Simulator> create(const ir::Module &Flat,
-                                         std::string &Error);
+  /// Builds a simulator. Failure carries a WS301_SIM_BUILD diagnostic
+  /// when the module still contains instances, or WS302_SIM_COMB_LOOP
+  /// when a combinational cycle prevents levelization.
+  static support::Expected<Simulator> create(const ir::Module &Flat);
 
   /// Drives input port \p In for subsequent evaluations.
   void setInput(ir::WireId In, uint64_t Value);

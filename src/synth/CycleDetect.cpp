@@ -31,10 +31,12 @@ NetlistCycleResult synth::detectCycles(const Module &Flat) {
   Result.NumGates = Flat.Nets.size();
   if (std::optional<std::vector<uint32_t>> Cycle = G.findCycle()) {
     Result.HasLoop = true;
-    analysis::LoopDiagnostic Diag;
+    support::Diag Diag(support::DiagCode::WS401_NETLIST_CYCLE,
+                       "combinational cycle in netlist '" + Flat.Name +
+                           "'");
     for (uint32_t Node : *Cycle)
-      Diag.PathLabels.push_back(Flat.wire(Node).Name);
-    Result.Loop = std::move(Diag);
+      Diag.addHop(Flat.Name, Flat.wire(Node).Name);
+    Result.Diags.add(std::move(Diag));
   }
   Result.Seconds = T.seconds();
   return Result;

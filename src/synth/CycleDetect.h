@@ -18,18 +18,17 @@
 #ifndef WIRESORT_SYNTH_CYCLEDETECT_H
 #define WIRESORT_SYNTH_CYCLEDETECT_H
 
-#include "analysis/Summary.h"
 #include "ir/Module.h"
-
-#include <optional>
+#include "support/Diag.h"
 
 namespace wiresort::synth {
 
 /// Result of gate-level cycle detection.
 struct NetlistCycleResult {
   bool HasLoop = false;
-  /// Gate-level loop path (wire names), when found.
-  std::optional<analysis::LoopDiagnostic> Loop;
+  /// WS401_NETLIST_CYCLE diagnostic when a loop is found; its witness
+  /// names the flat module and the gate-level wires on the cycle.
+  support::DiagList Diags;
   size_t NumWires = 0;
   size_t NumGates = 0;
   double Seconds = 0.0;

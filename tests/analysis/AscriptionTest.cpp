@@ -21,7 +21,7 @@ TEST(AscriptionTest, MatchingDeclarationsAccepted) {
   Design D;
   ModuleId Id = D.addModule(gen::makeFifo({8, 2, true}));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &M = D.module(Id);
 
   std::vector<Ascription> Decl;
@@ -40,16 +40,16 @@ TEST(AscriptionTest, WrongSortReported) {
   Design D;
   ModuleId Id = D.addModule(gen::makeFifo({8, 2, true}));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &M = D.module(Id);
 
   std::vector<Ascription> Decl;
   Decl.push_back({M.findPort("v_i"), Sort::ToSync, {}, SubSort::None});
   auto Mismatches = checkAscriptions(M, Out.at(Id), Decl);
   ASSERT_EQ(Mismatches.size(), 1u);
-  EXPECT_NE(Mismatches[0].Message.find("declared to-sync"),
+  EXPECT_NE(Mismatches[0].message().find("declared to-sync"),
             std::string::npos);
-  EXPECT_NE(Mismatches[0].Message.find("computed to-port"),
+  EXPECT_NE(Mismatches[0].message().find("computed to-port"),
             std::string::npos);
 }
 
@@ -57,7 +57,7 @@ TEST(AscriptionTest, WrongPortSetReported) {
   Design D;
   ModuleId Id = D.addModule(gen::makeFifo({8, 2, true}));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &M = D.module(Id);
 
   std::vector<Ascription> Decl;
@@ -66,7 +66,7 @@ TEST(AscriptionTest, WrongPortSetReported) {
                   {M.findPort("v_o")}, SubSort::None});
   auto Mismatches = checkAscriptions(M, Out.at(Id), Decl);
   ASSERT_EQ(Mismatches.size(), 1u);
-  EXPECT_NE(Mismatches[0].Message.find("port set"), std::string::npos);
+  EXPECT_NE(Mismatches[0].message().find("port set"), std::string::npos);
 }
 
 TEST(AscriptionTest, WrongSubsortReported) {
@@ -76,7 +76,7 @@ TEST(AscriptionTest, WrongSubsortReported) {
   Design D;
   ModuleId Id = D.addModule(B.finish());
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &M = D.module(Id);
 
   std::vector<Ascription> Decl;
@@ -84,7 +84,7 @@ TEST(AscriptionTest, WrongSubsortReported) {
       {M.findPort("y"), Sort::FromSync, {}, SubSort::Direct});
   auto Mismatches = checkAscriptions(M, Out.at(Id), Decl);
   ASSERT_EQ(Mismatches.size(), 1u);
-  EXPECT_NE(Mismatches[0].Message.find("subsort"), std::string::npos);
+  EXPECT_NE(Mismatches[0].message().find("subsort"), std::string::npos);
 }
 
 namespace {
@@ -119,9 +119,8 @@ TEST(AscriptionTest, OpaqueModuleSummaryFromFullAscriptions) {
   Decl.push_back(
       {M.findPort("ready_o"), Sort::FromSync, {}, SubSort::None});
 
-  std::string Error;
-  auto Summary = summaryFromAscriptions(M, 0, Decl, Error);
-  ASSERT_TRUE(Summary.has_value()) << Error;
+  auto Summary = summaryFromAscriptions(M, 0, Decl);
+  ASSERT_TRUE(Summary.hasValue()) << Summary.describe();
   EXPECT_EQ(Summary->sortOf(M.findPort("v_i")), Sort::ToPort);
   EXPECT_EQ(Summary->sortOf(M.findPort("v_o")), Sort::FromPort);
   // input-port-sets derived by inversion.
@@ -144,18 +143,20 @@ TEST(AscriptionTest, OpaqueModuleSummaryFromFullAscriptions) {
 TEST(AscriptionTest, OpaqueModuleMissingAscriptionRejected) {
   Module M = opaqueFifoInterface();
   std::vector<Ascription> Decl; // Nothing declared.
-  std::string Error;
-  EXPECT_FALSE(summaryFromAscriptions(M, 0, Decl, Error).has_value());
-  EXPECT_NE(Error.find("lacks an ascription"), std::string::npos);
+  auto Summary = summaryFromAscriptions(M, 0, Decl);
+  EXPECT_FALSE(Summary.hasValue());
+  EXPECT_NE(Summary.describe().find("lacks an ascription"),
+            std::string::npos);
 }
 
 TEST(AscriptionTest, OpaqueToPortWithoutSetRejected) {
   Module M = opaqueFifoInterface();
   std::vector<Ascription> Decl;
   Decl.push_back({M.findPort("data_i"), Sort::ToPort, {}, SubSort::None});
-  std::string Error;
-  EXPECT_FALSE(summaryFromAscriptions(M, 0, Decl, Error).has_value());
-  EXPECT_NE(Error.find("output-port-set"), std::string::npos);
+  auto Summary = summaryFromAscriptions(M, 0, Decl);
+  EXPECT_FALSE(Summary.hasValue());
+  EXPECT_NE(Summary.describe().find("output-port-set"),
+            std::string::npos);
 }
 
 TEST(AscriptionTest, OpaqueInconsistentOutputSortRejected) {
@@ -170,7 +171,7 @@ TEST(AscriptionTest, OpaqueInconsistentOutputSortRejected) {
   Decl.push_back({M.findPort("v_o"), Sort::FromPort, {}, SubSort::None});
   Decl.push_back(
       {M.findPort("ready_o"), Sort::FromSync, {}, SubSort::None});
-  std::string Error;
-  EXPECT_FALSE(summaryFromAscriptions(M, 0, Decl, Error).has_value());
-  EXPECT_NE(Error.find("imply"), std::string::npos);
+  auto Summary = summaryFromAscriptions(M, 0, Decl);
+  EXPECT_FALSE(Summary.hasValue());
+  EXPECT_NE(Summary.describe().find("imply"), std::string::npos);
 }

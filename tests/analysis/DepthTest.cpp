@@ -32,7 +32,7 @@ struct Analyzed {
 
 Analyzed analyzeOrDie(const Design &D) {
   Analyzed A;
-  EXPECT_FALSE(analyzeDesign(D, A.Summaries).has_value());
+  EXPECT_FALSE(analyzeDesign(D, A.Summaries).hasError());
   auto Depths = inferAllDepths(D, A.Summaries);
   EXPECT_TRUE(Depths.has_value());
   A.Depths = std::move(*Depths);

@@ -22,8 +22,8 @@ using Summaries = std::map<ModuleId, ModuleSummary>;
 
 Summaries analyzeOrDie(const Design &D) {
   Summaries Out;
-  auto Loop = analyzeDesign(D, Out);
-  EXPECT_FALSE(Loop.has_value());
+  wiresort::support::Status Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.hasError());
   return Out;
 }
 
@@ -65,7 +65,7 @@ TEST(MemoryChecksTest, IndirectDriverRejected) {
   Summaries Sum = analyzeOrDie(D);
   auto Violations = checkMemoryContracts(Circ, Sum);
   ASSERT_EQ(Violations.size(), 1u);
-  EXPECT_NE(Violations[0].Message.find("from-sync-direct"),
+  EXPECT_NE(Violations[0].message().find("from-sync-direct"),
             std::string::npos);
 }
 
@@ -123,7 +123,7 @@ TEST(MemoryChecksTest, SinkContractChecked) {
     Summaries Sum = analyzeOrDie(D);
     auto Violations = checkMemoryContracts(Circ, Sum);
     ASSERT_EQ(Violations.size(), 1u);
-    EXPECT_NE(Violations[0].Message.find("to-sync-direct"),
+    EXPECT_NE(Violations[0].message().find("to-sync-direct"),
               std::string::npos);
   }
 }

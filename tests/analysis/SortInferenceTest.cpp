@@ -29,8 +29,8 @@ ModuleSummary summarize(Module M) {
   Design D;
   ModuleId Id = D.addModule(std::move(M));
   std::map<ModuleId, ModuleSummary> Out;
-  auto Loop = analyzeDesign(D, Out);
-  EXPECT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  support::Status Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.hasError()) << Loop.describe();
   return Out.at(Id);
 }
 
@@ -68,7 +68,7 @@ TEST(SortInferenceTest, Figure4PortSets) {
   Design D;
   ModuleId Id = D.addModule(M);
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const ModuleSummary &S = Out.at(Id);
   const Module &Def = D.module(Id);
 
@@ -116,7 +116,7 @@ TEST(SortInferenceTest, ForwardingFifoCouplesEndpoints) {
   Design D;
   ModuleId Id = D.addModule(std::move(M));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const ModuleSummary &S = Out.at(Id);
   const Module &Def = D.module(Id);
 
@@ -141,7 +141,7 @@ TEST(SortInferenceTest, PisoMatchesTable1) {
   Design D;
   ModuleId Id = D.addModule(std::move(M));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const ModuleSummary &S = Out.at(Id);
   const Module &Def = D.module(Id);
 
@@ -164,7 +164,7 @@ TEST(SortInferenceTest, FixedPisoIsAllSync) {
   Design D;
   ModuleId Id = D.addModule(std::move(M));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const ModuleSummary &S = Out.at(Id);
   const Module &Def = D.module(Id);
   EXPECT_EQ(S.sortOf(Def.findPort("yumi_i")), Sort::ToSync);
@@ -178,7 +178,7 @@ TEST(SortInferenceTest, SipoMatchesTable1) {
   Design D;
   ModuleId Id = D.addModule(std::move(M));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const ModuleSummary &S = Out.at(Id);
   const Module &Def = D.module(Id);
 
@@ -201,7 +201,7 @@ TEST(SortInferenceTest, CacheDmaMatchesTable1) {
   Design D;
   ModuleId Id = D.addModule(std::move(M));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const ModuleSummary &S = Out.at(Id);
   const Module &Def = D.module(Id);
 
@@ -257,7 +257,7 @@ TEST(SortInferenceTest, SubsortsDirectVsIndirect) {
     Design D;
     ModuleId Id = D.addModule(std::move(M));
     std::map<ModuleId, ModuleSummary> Out;
-    ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+    ASSERT_FALSE(analyzeDesign(D, Out).hasError());
     const Module &Def = D.module(Id);
     EXPECT_EQ(Out.at(Id).subSortOf(Def.findPort("raddr_o")),
               SubSort::Direct);
@@ -274,7 +274,7 @@ TEST(SortInferenceTest, SubsortsDirectVsIndirect) {
     Design D;
     ModuleId Id = D.addModule(B.finish());
     std::map<ModuleId, ModuleSummary> Out;
-    ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+    ASSERT_FALSE(analyzeDesign(D, Out).hasError());
     const Module &Def = D.module(Id);
     EXPECT_EQ(Out.at(Id).sortOf(Def.findPort("y")), Sort::FromSync);
     EXPECT_EQ(Out.at(Id).subSortOf(Def.findPort("y")), SubSort::Indirect);
@@ -289,7 +289,7 @@ TEST(SortInferenceTest, ConstantOutputIsFromSyncDirect) {
   Design D;
   ModuleId Id = D.addModule(B.finish());
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &Def = D.module(Id);
   EXPECT_EQ(Out.at(Id).sortOf(Def.findPort("y")), Sort::FromSync);
   EXPECT_EQ(Out.at(Id).subSortOf(Def.findPort("y")), SubSort::Direct);
@@ -302,7 +302,7 @@ TEST(SortInferenceTest, UnusedInputIsToSyncDirect) {
   Design D;
   ModuleId Id = D.addModule(B.finish());
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &Def = D.module(Id);
   EXPECT_EQ(Out.at(Id).sortOf(Def.findPort("a")), Sort::ToSync);
   EXPECT_EQ(Out.at(Id).subSortOf(Def.findPort("a")), SubSort::Direct);
@@ -319,7 +319,7 @@ TEST(SortInferenceTest, AsyncMemoryIsACombinationalPath) {
   Design D;
   ModuleId Id = D.addModule(B.finish());
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &Def = D.module(Id);
   EXPECT_EQ(Out.at(Id).sortOf(Def.findPort("raddr")), Sort::ToPort);
   EXPECT_EQ(Out.at(Id).sortOf(Def.findPort("waddr")), Sort::ToSync);
@@ -337,7 +337,7 @@ TEST(SortInferenceTest, SyncMemoryBreaksThePath) {
   Design D;
   ModuleId Id = D.addModule(B.finish());
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &Def = D.module(Id);
   EXPECT_EQ(Out.at(Id).sortOf(Def.findPort("raddr")), Sort::ToSync);
   EXPECT_EQ(Out.at(Id).sortOf(Def.findPort("rdata")), Sort::FromSync);
@@ -366,7 +366,7 @@ TEST(SortInferenceTest, HierarchicalSummaryUsesInstanceSummaries) {
   ModuleId Wrap = D.addModule(B.finish());
 
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &Def = D.module(Wrap);
   const ModuleSummary &S = Out.at(Wrap);
   EXPECT_EQ(S.sortOf(Def.findPort("in_v")), Sort::ToPort);
@@ -386,7 +386,7 @@ TEST(SortInferenceTest, InternalCombLoopReported) {
   Design D;
   D.addModule(std::move(M));
   std::map<ModuleId, ModuleSummary> Out;
-  auto Loop = analyzeDesign(D, Out);
-  ASSERT_TRUE(Loop.has_value());
-  EXPECT_NE(Loop->describe().find("selfloop::a"), std::string::npos);
+  support::Status Loop = analyzeDesign(D, Out);
+  ASSERT_TRUE(Loop.hasError());
+  EXPECT_NE(Loop.describe().find("selfloop.a"), std::string::npos);
 }

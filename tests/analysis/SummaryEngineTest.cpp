@@ -54,7 +54,7 @@ std::vector<ModuleId> buildDiamond(Design &D) {
 Summaries engineAnalyzeOrDie(SummaryEngine &Engine, const Design &D) {
   Summaries Out;
   auto Loop = Engine.analyze(D, Out);
-  EXPECT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  EXPECT_FALSE(Loop.hasError()) << Loop.describe();
   return Out;
 }
 
@@ -83,7 +83,7 @@ TEST(SummaryEngineTest, DiamondMatchesSerialAnalyzeDesign) {
     buildDiamond(D);
 
     Summaries Reference;
-    ASSERT_FALSE(analyzeDesign(D, Reference).has_value());
+    ASSERT_FALSE(analyzeDesign(D, Reference).hasError());
 
     EngineOptions Opts;
     Opts.Threads = Threads;
@@ -220,12 +220,12 @@ TEST(SummaryEngineTest, AscribedModulesAreTakenAsIs) {
   C.seal();
 
   Summaries Reference;
-  ASSERT_FALSE(analyzeDesign(D, Reference).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Reference).hasError());
   Summaries Ascribed = {{Leaf, Reference.at(Leaf)}};
 
   SummaryEngine Engine;
   Summaries Out;
-  ASSERT_FALSE(Engine.analyze(D, Out, Ascribed).has_value());
+  ASSERT_FALSE(Engine.analyze(D, Out, Ascribed).hasError());
   EXPECT_EQ(Engine.stats().Ascribed, 1u);
   expectAllEqual(Reference, Out);
 }
@@ -238,16 +238,16 @@ TEST(SummaryEngineTest, LoopVerdictMatchesSerialDiagnostic) {
     Ring.seal();
 
     Summaries Reference;
-    auto Serial = analyzeDesign(D, Reference);
-    ASSERT_TRUE(Serial.has_value());
+    wiresort::support::Status Serial = analyzeDesign(D, Reference);
+    ASSERT_TRUE(Serial.hasError());
 
     EngineOptions Opts;
     Opts.Threads = Threads;
     SummaryEngine Engine(Opts);
     Summaries Out;
-    auto Verdict = Engine.analyze(D, Out);
-    ASSERT_TRUE(Verdict.has_value());
-    EXPECT_EQ(Verdict->describe(), Serial->describe());
+    support::Status Verdict = Engine.analyze(D, Out);
+    ASSERT_TRUE(Verdict.hasError());
+    EXPECT_EQ(Verdict.describe(), Serial.describe());
   }
 }
 
@@ -262,9 +262,8 @@ TEST(SummaryEngineTest, SidecarRoundTripWarmsAFreshEngine) {
   ASSERT_TRUE(Writer.saveCache(Path, D, Out));
 
   SummaryEngine Reader;
-  std::string Error;
-  auto Loaded = Reader.loadCache(Path, D, Error);
-  ASSERT_TRUE(Loaded.has_value()) << Error;
+  auto Loaded = Reader.loadCache(Path, D);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
   EXPECT_GT(*Loaded, 0u);
 
   Summaries Warm = engineAnalyzeOrDie(Reader, D);
@@ -278,11 +277,10 @@ TEST(SummaryEngineTest, MissingAndStaleSidecarsAreHarmless) {
   Design D;
   buildDiamond(D);
   SummaryEngine Engine;
-  std::string Error;
 
   auto Missing = Engine.loadCache(
-      ::testing::TempDir() + "/does_not_exist.wsort", D, Error);
-  ASSERT_TRUE(Missing.has_value()) << Error;
+      ::testing::TempDir() + "/does_not_exist.wsort", D);
+  ASSERT_TRUE(Missing.hasValue()) << Missing.describe();
   EXPECT_EQ(*Missing, 0u);
 
   // A sidecar written for an older body: keys no longer match, so the
@@ -299,8 +297,8 @@ TEST(SummaryEngineTest, MissingAndStaleSidecarsAreHarmless) {
   Leaf.addNet(Op::Not, {C0}, W);
 
   SummaryEngine Fresh;
-  auto Loaded = Fresh.loadCache(Path, Edited, Error);
-  ASSERT_TRUE(Loaded.has_value()) << Error;
+  auto Loaded = Fresh.loadCache(Path, Edited);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
   engineAnalyzeOrDie(Fresh, Edited);
   EXPECT_EQ(Fresh.stats().CacheHits, 1u); // Only the mid_a/mid_b share.
   std::remove(Path.c_str());
@@ -325,9 +323,8 @@ TEST(SummaryEngineTest, SidecarBlocksForOtherDesignsAreSkipped) {
   }
 
   SummaryEngine Reader;
-  std::string Error;
-  auto Loaded = Reader.loadCache(Path, D, Error);
-  ASSERT_TRUE(Loaded.has_value()) << Error;
+  auto Loaded = Reader.loadCache(Path, D);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
   Summaries Warm = engineAnalyzeOrDie(Reader, D);
   EXPECT_EQ(Reader.stats().Inferred, 0u);
   expectAllEqual(Out, Warm);
@@ -339,14 +336,19 @@ TEST(SummaryEngineTest, NonSidecarFilesAreRejectedByLoadCache) {
   buildDiamond(D);
   SummaryEngine Engine;
   std::string Path = ::testing::TempDir() + "/summary_engine_bogus.wsort";
-  std::string Error;
 
   std::ofstream(Path) << "this is not a sidecar\n";
-  EXPECT_FALSE(Engine.loadCache(Path, D, Error).has_value());
-  EXPECT_NE(Error.find("expected 'module'"), std::string::npos) << Error;
+  auto Bogus = Engine.loadCache(Path, D);
+  ASSERT_FALSE(Bogus.hasValue());
+  EXPECT_EQ(Bogus.diags().firstError().code(),
+            support::DiagCode::WS502_CACHE_FORMAT);
+  EXPECT_NE(Bogus.describe().find("expected 'module'"), std::string::npos)
+      << Bogus.describe();
 
   std::ofstream(Path) << "module truncated\n  input a to-sync\n";
-  EXPECT_FALSE(Engine.loadCache(Path, D, Error).has_value());
-  EXPECT_NE(Error.find("unterminated"), std::string::npos) << Error;
+  auto Trunc = Engine.loadCache(Path, D);
+  ASSERT_FALSE(Trunc.hasValue());
+  EXPECT_NE(Trunc.describe().find("unterminated"), std::string::npos)
+      << Trunc.describe();
   std::remove(Path.c_str());
 }

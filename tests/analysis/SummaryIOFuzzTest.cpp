@@ -48,7 +48,7 @@ Corpus makeCorpus(uint32_t Seed) {
   P.NOutputs = 2 + Seed % 3;
   P.NGates = 12 + Seed % 16;
   C.D.addModule(gen::randomModule(Rng, P, "fuzz"));
-  EXPECT_FALSE(analyzeDesign(C.D, C.Original).has_value());
+  EXPECT_FALSE(analyzeDesign(C.D, C.Original).hasError());
   C.Text = writeSummaries(C.D, C.Original);
   return C;
 }
@@ -125,10 +125,9 @@ TEST_P(SidecarFuzzTrial, MutatedSidecarsParseOrDiagnoseButNeverCrash) {
     if (Rng() % 2)
       Mutant = mutate(Mutant, Rng);
 
-    std::string Error;
-    auto Parsed = parseSummaries(Mutant, C.D, Error);
-    if (!Parsed.has_value()) {
-      EXPECT_FALSE(Error.empty())
+    auto Parsed = parseSummaries(Mutant, C.D);
+    if (!Parsed.hasValue()) {
+      EXPECT_TRUE(Parsed.diags().hasError())
           << "rejection without a diagnostic (seed " << Seed << " round "
           << Round << "):\n"
           << Mutant;
@@ -137,11 +136,10 @@ TEST_P(SidecarFuzzTrial, MutatedSidecarsParseOrDiagnoseButNeverCrash) {
     // Accepted mutants must be internally consistent: re-serializing and
     // re-parsing is a fixpoint.
     std::string Text2 = writeSummaries(C.D, *Parsed);
-    std::string Error2;
-    auto Reparsed = parseSummaries(Text2, C.D, Error2);
-    ASSERT_TRUE(Reparsed.has_value())
+    auto Reparsed = parseSummaries(Text2, C.D);
+    ASSERT_TRUE(Reparsed.hasValue())
         << "accepted mutant failed to round-trip (seed " << Seed
-        << " round " << Round << "): " << Error2 << "\n"
+        << " round " << Round << "): " << Reparsed.describe() << "\n"
         << Mutant;
     EXPECT_EQ(writeSummaries(C.D, *Reparsed), Text2)
         << "seed " << Seed << " round " << Round;
@@ -165,12 +163,11 @@ TEST(SummaryIOFuzzTest, RandomSummariesRoundTripExactly) {
     P.PReg = (Trial % 10) / 10.0;
     D.addModule(gen::randomModule(Rng, P, "x" + std::to_string(Trial)));
     Summaries Original;
-    ASSERT_FALSE(analyzeDesign(D, Original).has_value());
+    ASSERT_FALSE(analyzeDesign(D, Original).hasError());
 
     std::string Text = writeSummaries(D, Original);
-    std::string Error;
-    auto Parsed = parseSummaries(Text, D, Error);
-    ASSERT_TRUE(Parsed.has_value()) << Error << "\n" << Text;
+    auto Parsed = parseSummaries(Text, D);
+    ASSERT_TRUE(Parsed.hasValue()) << Parsed.describe() << "\n" << Text;
     EXPECT_EQ(writeSummaries(D, *Parsed), Text) << "trial " << Trial;
   }
 }
@@ -181,7 +178,7 @@ TEST(SummaryIOFuzzTest, EngineKeyCommentsAreIgnoredByTheParser) {
   Design D;
   D.addModule(gen::makeFifo({8, 2, true}));
   Summaries Original;
-  ASSERT_FALSE(analyzeDesign(D, Original).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Original).hasError());
   std::string Text = writeSummaries(D, Original);
 
   std::string Annotated = "# key fifo_fwd_w8_d4 deadbeefcafef00d\n"
@@ -192,8 +189,7 @@ TEST(SummaryIOFuzzTest, EngineKeyCommentsAreIgnoredByTheParser) {
     Annotated += "\n# interleaved comment\n";
   }
 
-  std::string Error;
-  auto Parsed = parseSummaries(Annotated, D, Error);
-  ASSERT_TRUE(Parsed.has_value()) << Error;
+  auto Parsed = parseSummaries(Annotated, D);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.describe();
   EXPECT_EQ(writeSummaries(D, *Parsed), Text);
 }

@@ -27,8 +27,8 @@ using Summaries = std::map<ModuleId, ModuleSummary>;
 
 Summaries analyzeOrDie(const Design &D) {
   Summaries Out;
-  auto Loop = analyzeDesign(D, Out);
-  EXPECT_FALSE(Loop.has_value());
+  wiresort::support::Status Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.hasError());
   return Out;
 }
 
@@ -61,9 +61,8 @@ TEST(SummaryIOTest, RoundTripFifoAndPiso) {
   Summaries Original = analyzeOrDie(D);
 
   std::string Text = writeSummaries(D, Original);
-  std::string Error;
-  auto Parsed = parseSummaries(Text, D, Error);
-  ASSERT_TRUE(Parsed.has_value()) << Error;
+  auto Parsed = parseSummaries(Text, D);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.describe();
   expectEquivalent(D, Original, *Parsed);
 }
 
@@ -74,9 +73,8 @@ TEST(SummaryIOTest, SubsortsSurviveTheTrip) {
   std::string Text = writeSummaries(D, Original);
   EXPECT_NE(Text.find("from-sync direct"), std::string::npos) << Text;
 
-  std::string Error;
-  auto Parsed = parseSummaries(Text, D, Error);
-  ASSERT_TRUE(Parsed.has_value()) << Error;
+  auto Parsed = parseSummaries(Text, D);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.describe();
   const Module &M = D.module(Id);
   EXPECT_EQ(Parsed->at(Id).subSortOf(M.findPort("raddr_o")),
             SubSort::Direct);
@@ -89,9 +87,8 @@ TEST(SummaryIOTest, ParsedSummariesDriveTheChecker) {
   ModuleId Fwd = D.addModule(gen::makeFifo({8, 2, true}));
   Summaries Original = analyzeOrDie(D);
   std::string Text = writeSummaries(D, Original);
-  std::string Error;
-  auto Parsed = parseSummaries(Text, D, Error);
-  ASSERT_TRUE(Parsed.has_value()) << Error;
+  auto Parsed = parseSummaries(Text, D);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.describe();
 
   Circuit Circ(D, "ring");
   InstId A = Circ.addInstance(Fwd, "a");
@@ -104,7 +101,6 @@ TEST(SummaryIOTest, ParsedSummariesDriveTheChecker) {
 TEST(SummaryIOTest, InconsistentDeclarationsRejected) {
   Design D;
   D.addModule(gen::makeFifo({8, 2, true}));
-  std::string Error;
 
   // v_o claims no dependencies while v_i claims to reach it.
   const char *Bad = R"(module fifo_fwd_w8_d4
@@ -116,40 +112,41 @@ TEST(SummaryIOTest, InconsistentDeclarationsRejected) {
   output ready_o from-sync
 end
 )";
-  EXPECT_FALSE(parseSummaries(Bad, D, Error).has_value());
-  EXPECT_NE(Error.find("inconsistent"), std::string::npos) << Error;
+  auto Parsed = parseSummaries(Bad, D);
+  EXPECT_FALSE(Parsed.hasValue());
+  EXPECT_NE(Parsed.describe().find("inconsistent"), std::string::npos)
+      << Parsed.describe();
 }
 
 TEST(SummaryIOTest, ErrorsNameLinesAndPorts) {
   Design D;
   D.addModule(gen::makeFifo({8, 2, false}));
-  std::string Error;
 
-  EXPECT_FALSE(
-      parseSummaries("module nope\nend\n", D, Error).has_value());
-  EXPECT_NE(Error.find("unknown module"), std::string::npos);
-
-  EXPECT_FALSE(parseSummaries("module fifo_w8_d4\n  input bogus to-sync\n"
-                              "end\n",
-                              D, Error)
-                   .has_value());
-  EXPECT_NE(Error.find("no port"), std::string::npos);
-
-  EXPECT_FALSE(parseSummaries("module fifo_w8_d4\n  input v_i to-port\n"
-                              "end\n",
-                              D, Error)
-                   .has_value());
-  EXPECT_NE(Error.find("nonempty"), std::string::npos);
-
-  EXPECT_FALSE(parseSummaries("module fifo_w8_d4\n", D, Error)
-                   .has_value());
-  EXPECT_NE(Error.find("missing final"), std::string::npos);
+  // Each rejection carries a WS221 diag locating the offending line of
+  // the named sidecar.
+  auto expectRejected = [&](const std::string &Text, const char *Needle,
+                            size_t Line) {
+    auto Parsed = parseSummaries(Text, D, "decl.wsort");
+    ASSERT_FALSE(Parsed.hasValue()) << Text;
+    const support::Diag &Diag = Parsed.diags().firstError();
+    EXPECT_EQ(Diag.code(), support::DiagCode::WS221_SUMMARY_SYNTAX);
+    EXPECT_NE(Diag.message().find(Needle), std::string::npos)
+        << Diag.describe();
+    ASSERT_TRUE(Diag.loc().has_value());
+    EXPECT_EQ(Diag.loc()->File, "decl.wsort");
+    EXPECT_EQ(Diag.loc()->Line, Line);
+  };
+  expectRejected("module nope\nend\n", "unknown module", 1);
+  expectRejected("module fifo_w8_d4\n  input bogus to-sync\nend\n",
+                 "no port", 2);
+  expectRejected("module fifo_w8_d4\n  input v_i to-port\nend\n",
+                 "nonempty", 2);
+  expectRejected("module fifo_w8_d4\n", "missing final", 1);
 }
 
 TEST(SummaryIOTest, MissingPortRejected) {
   Design D;
   D.addModule(gen::makeFifo({8, 2, false}));
-  std::string Error;
   const char *Partial = R"(module fifo_w8_d4
   input data_i to-sync
   output data_o from-sync
@@ -157,8 +154,9 @@ TEST(SummaryIOTest, MissingPortRejected) {
   output ready_o from-sync
 end
 )";
-  EXPECT_FALSE(parseSummaries(Partial, D, Error).has_value());
-  EXPECT_NE(Error.find("missing"), std::string::npos);
+  auto Parsed = parseSummaries(Partial, D);
+  EXPECT_FALSE(Parsed.hasValue());
+  EXPECT_NE(Parsed.describe().find("missing"), std::string::npos);
 }
 
 TEST(SummaryIOTest, RandomModulesRoundTrip) {
@@ -173,9 +171,8 @@ TEST(SummaryIOTest, RandomModulesRoundTrip) {
         gen::randomModule(Rng, P, "rt" + std::to_string(Trial)));
     Summaries Original = analyzeOrDie(D);
     std::string Text = writeSummaries(D, Original);
-    std::string Error;
-    auto Parsed = parseSummaries(Text, D, Error);
-    ASSERT_TRUE(Parsed.has_value()) << Error << "\n" << Text;
+    auto Parsed = parseSummaries(Text, D);
+    ASSERT_TRUE(Parsed.hasValue()) << Parsed.describe() << "\n" << Text;
     expectEquivalent(D, Original, *Parsed);
   }
 }

@@ -27,8 +27,8 @@ using Summaries = std::map<ModuleId, ModuleSummary>;
 
 Summaries analyzeOrDie(const Design &D) {
   Summaries Out;
-  auto Loop = analyzeDesign(D, Out);
-  EXPECT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  wiresort::support::Status Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.hasError()) << Loop.describe();
   return Out;
 }
 
@@ -112,15 +112,15 @@ TEST(SupermoduleTest, ThreeLevelsOfComposition) {
   Summaries S = analyzeOrDie(D);
   CircuitCheckResult Result = checkCircuit(Ring, S);
   EXPECT_FALSE(Result.WellConnected);
-  ASSERT_TRUE(Result.Loop.has_value());
-  EXPECT_NE(Result.Loop->describe().find("left.q"), std::string::npos)
-      << Result.Loop->describe();
+  ASSERT_TRUE(Result.Diags.hasError());
+  EXPECT_NE(Result.Diags.describe().find("left.q"), std::string::npos)
+      << Result.Diags.describe();
 
   // Level 3: sealing the looped ring and summarizing reports the loop.
   ModuleId Sealed = Ring.seal();
   Summaries S2;
-  auto Loop = analyzeDesign(D, S2);
-  ASSERT_TRUE(Loop.has_value());
+  wiresort::support::Status Loop = analyzeDesign(D, S2);
+  ASSERT_TRUE(Loop.hasError());
   (void)Sealed;
 }
 
@@ -141,8 +141,9 @@ TEST(SupermoduleTest, DotExportsRender) {
   Circ.connect(A, "v_o", G, "data_i");
   Circ.connect(G, "data_o", A, "v_i");
   CircuitCheckResult Result = checkCircuit(Circ, S);
-  ASSERT_TRUE(Result.Loop.has_value());
-  std::string CircDot = circuitDot(Circ, S, Result.Loop->PathLabels);
+  ASSERT_TRUE(Result.Diags.hasError());
+  std::string CircDot =
+      circuitDot(Circ, S, Result.Diags[0].witnessLabels());
   EXPECT_NE(CircDot.find("cluster_0"), std::string::npos);
   EXPECT_NE(CircDot.find("#e31a1c"), std::string::npos); // Loop red.
   EXPECT_NE(CircDot.find("style=dashed"), std::string::npos);

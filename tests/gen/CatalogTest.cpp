@@ -48,8 +48,8 @@ TEST_P(CatalogParamTest, ValidatesAndSummarizes) {
   ModuleId Id = D.addModule(entry().Build());
   ASSERT_FALSE(D.validate().has_value());
   std::map<ModuleId, ModuleSummary> Out;
-  auto Loop = analyzeDesign(D, Out);
-  ASSERT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  wiresort::support::Status Loop = analyzeDesign(D, Out);
+  ASSERT_FALSE(Loop.hasError()) << Loop.describe();
   // Every port is covered by the summary.
   const Module &M = D.module(Id);
   EXPECT_EQ(Out.at(Id).OutputPortSets.size(), M.Inputs.size());
@@ -61,8 +61,8 @@ TEST_P(CatalogParamTest, IsSimulatableAndLoopFreeAtGateLevel) {
   ModuleId Id = D.addModule(entry().Build());
   Module Gates = synth::lower(D, Id);
   EXPECT_FALSE(synth::detectCycles(Gates).HasLoop);
-  std::string Error;
-  EXPECT_TRUE(sim::Simulator::create(Gates, Error).has_value()) << Error;
+  auto S = sim::Simulator::create(Gates);
+  EXPECT_TRUE(S.hasValue()) << S.describe();
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, CatalogParamTest,
@@ -85,7 +85,7 @@ TEST(CatalogTest, SortDistributionCoversTheTaxonomy) {
     Design D;
     ModuleId Id = D.addModule(E.Build());
     std::map<ModuleId, ModuleSummary> Out;
-    ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+    ASSERT_FALSE(analyzeDesign(D, Out).hasError());
     const Module &M = D.module(Id);
     for (WireId In : M.Inputs)
       ++Counts[static_cast<int>(Out.at(Id).sortOf(In))];

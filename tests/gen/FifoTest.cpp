@@ -24,12 +24,11 @@ namespace {
 
 struct FifoHarness {
   Module M;
-  std::optional<Simulator> S;
+  support::Expected<Simulator> S;
 
-  explicit FifoHarness(const FifoParams &P) : M(makeFifo(P)) {
-    std::string Error;
-    S = Simulator::create(M, Error);
-    EXPECT_TRUE(S.has_value()) << Error;
+  explicit FifoHarness(const FifoParams &P)
+      : M(makeFifo(P)), S(Simulator::create(M)) {
+    EXPECT_TRUE(S.hasValue()) << S.describe();
   }
 };
 

@@ -19,17 +19,16 @@ using namespace wiresort::ir;
 
 namespace {
 
-std::optional<sim::Simulator> simOf(const Module &M) {
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  EXPECT_TRUE(S.has_value()) << Error;
+support::Expected<sim::Simulator> simOf(const Module &M) {
+  auto S = sim::Simulator::create(M);
+  EXPECT_TRUE(S.hasValue()) << S.describe();
   return S;
 }
 
 ModuleSummary summarize(const Design &D, ModuleId Id) {
   std::map<ModuleId, ModuleSummary> Out;
-  auto Loop = analyzeDesign(D, Out);
-  EXPECT_FALSE(Loop.has_value());
+  wiresort::support::Status Loop = analyzeDesign(D, Out);
+  EXPECT_FALSE(Loop.hasError());
   return Out.at(Id);
 }
 

@@ -36,8 +36,8 @@ TEST(OpdbTest, AllAnalyzeWithoutLoops) {
   Design D;
   std::vector<OpdbEntry> Entries = buildOpdb(D, {/*ShrinkAddrBits=*/6});
   std::map<ModuleId, ModuleSummary> Out;
-  auto Loop = analyzeDesign(D, Out);
-  ASSERT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  wiresort::support::Status Loop = analyzeDesign(D, Out);
+  ASSERT_FALSE(Loop.hasError()) << Loop.describe();
   for (const OpdbEntry &E : Entries)
     EXPECT_TRUE(Out.count(E.Top)) << E.Name;
 }
@@ -78,7 +78,7 @@ TEST(OpdbTest, IfuEslIsHierarchical) {
   const Module &M = D.module(Top);
   EXPECT_GE(M.Instances.size(), 8u); // Counter, lfsr, shiftreg, 4 FSMs...
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
 }
 
 TEST(OpdbTest, ShrunkDesignsLowerAndStayLoopFree) {
@@ -114,7 +114,7 @@ TEST(OpdbTest, LoopInjectionIntoOpdbDetectedModularly) {
   Circuit Circ = buildLoopedRing(D, {Fpu, Ffu, Exu}, "t3ring");
 
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   CircuitCheckResult R = checkCircuit(Circ, Out);
   EXPECT_FALSE(R.WellConnected);
 
@@ -146,15 +146,15 @@ TEST_P(OpdbModuleSweep, LowersSimulatesAndSummarizes) {
   const OpdbEntry &E = Entries[GetParam()];
 
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const Module &M = D.module(E.Top);
   EXPECT_EQ(Out.at(E.Top).OutputPortSets.size(), M.Inputs.size());
   EXPECT_EQ(Out.at(E.Top).InputPortSets.size(), M.Outputs.size());
 
   Module Gates = synth::lower(D, E.Top);
   EXPECT_FALSE(synth::detectCycles(Gates).HasLoop);
-  std::string Error;
-  EXPECT_TRUE(sim::Simulator::create(Gates, Error).has_value()) << Error;
+  auto S = sim::Simulator::create(Gates);
+  EXPECT_TRUE(S.hasValue()) << S.describe();
 }
 
 INSTANTIATE_TEST_SUITE_P(

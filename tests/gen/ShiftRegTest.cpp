@@ -17,9 +17,8 @@ using namespace wiresort::sim;
 
 TEST(PisoTest, DeserializesOneWord) {
   Module M = makePiso({4, 8, /*Fixed=*/false});
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   // Idle: ready, not valid.
   S->setInput("valid_i", 0);
@@ -53,9 +52,8 @@ TEST(PisoTest, PrefixReadyAssertsCombinationallyOnLastYumi) {
   // The Section 5.1 logic: during the final transmit slot, ready_o rises
   // within the same cycle that yumi_i arrives.
   Module M = makePiso({2, 8, /*Fixed=*/false});
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   S->setInput("valid_i", 1);
   S->setInput("data_i", 0xBBAA);
@@ -75,9 +73,8 @@ TEST(PisoTest, PrefixReadyAssertsCombinationallyOnLastYumi) {
 
 TEST(PisoTest, FixedReadyWaitsForTheNextCycle) {
   Module M = makePiso({2, 8, /*Fixed=*/true});
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   S->setInput("valid_i", 1);
   S->setInput("data_i", 0xBBAA);
@@ -96,9 +93,8 @@ TEST(PisoTest, FixedReadyWaitsForTheNextCycle) {
 
 TEST(SipoTest, AccumulatesWordsAndPresentsThem) {
   Module M = makeSipo({4, 8});
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   const uint64_t Words[] = {0xAA, 0xBB, 0xCC, 0xDD};
   S->setInput("yumi_cnt_i", 0);
@@ -127,9 +123,8 @@ TEST(SipoTest, AccumulatesWordsAndPresentsThem) {
 
 TEST(SipoTest, ReadyDropsWhenFull) {
   Module M = makeSipo({2, 4});
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("yumi_cnt_i", 0);
   S->setInput("valid_i", 1);
   S->setInput("data_i", 1);

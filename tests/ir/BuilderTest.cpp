@@ -19,9 +19,8 @@ namespace {
 /// and returns the value of output port "y".
 uint64_t evalComb(Module M, const std::vector<std::pair<std::string,
                                                         uint64_t>> &Ins) {
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  EXPECT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  EXPECT_TRUE(S.hasValue()) << S.describe();
   for (const auto &[Name, Value] : Ins)
     S->setInput(Name, Value);
   S->evaluate();
@@ -64,9 +63,8 @@ TEST(BuilderTest, ShiftsConstAndBarrel) {
   V Amt = B.input("amt", 4);
   B.output("y", B.concat({B.shlConst(A, 4), B.shl(A, Amt)}));
   Module M = B.finish();
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("a", 0x00FF);
   S->setInput("amt", 8);
   S->evaluate();
@@ -124,9 +122,8 @@ TEST(BuilderTest, RegisterLoopCounter) {
   B.output("y", Q);
   Module M = B.finish();
 
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("en", 1);
   for (int I = 0; I != 5; ++I)
     S->step();
@@ -144,9 +141,8 @@ TEST(BuilderTest, RegisterInitValue) {
   B.drive(Q, Q);
   B.output("y", Q);
   Module M = B.finish();
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->evaluate();
   EXPECT_EQ(S->value("y"), 42u);
 }

@@ -32,18 +32,16 @@ TEST(BlifTest, ParsesSimpleCombinationalModel) {
 11 1
 .end
 )";
-  std::string Error;
-  auto File = parseBlif(Text, Error);
-  ASSERT_TRUE(File.has_value()) << Error;
+  auto File = parseBlif(Text);
+  ASSERT_TRUE(File.hasValue()) << File.describe();
   const Module &M = File->Design.module(File->Top);
   EXPECT_EQ(M.Name, "half_adder");
   EXPECT_EQ(M.Inputs.size(), 2u);
   EXPECT_EQ(M.Outputs.size(), 2u);
   EXPECT_EQ(M.Nets.size(), 2u);
 
-  std::string SimError;
-  auto S = sim::Simulator::create(M, SimError);
-  ASSERT_TRUE(S.has_value()) << SimError;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   for (unsigned A = 0; A != 2; ++A)
     for (unsigned B = 0; B != 2; ++B) {
       S->setInput("a", A);
@@ -67,15 +65,13 @@ TEST(BlifTest, ParsesLatchesAndConstants) {
 .latch nq q re clk 0
 .end
 )";
-  std::string Error;
-  auto File = parseBlif(Text, Error);
-  ASSERT_TRUE(File.has_value()) << Error;
+  auto File = parseBlif(Text);
+  ASSERT_TRUE(File.hasValue()) << File.describe();
   const Module &M = File->Design.module(File->Top);
   EXPECT_EQ(M.Registers.size(), 1u);
 
-  std::string SimError;
-  auto S = sim::Simulator::create(M, SimError);
-  ASSERT_TRUE(S.has_value()) << SimError;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("en", 1);
   S->evaluate();
   EXPECT_EQ(S->value("q"), 0u);
@@ -102,18 +98,16 @@ TEST(BlifTest, ParsesHierarchySubckt) {
 0 1
 .end
 )";
-  std::string Error;
-  auto File = parseBlif(Text, Error);
-  ASSERT_TRUE(File.has_value()) << Error;
+  auto File = parseBlif(Text);
+  ASSERT_TRUE(File.hasValue()) << File.describe();
   EXPECT_EQ(File->Design.numModules(), 2u);
   const Module &Top = File->Design.module(File->Top);
   EXPECT_EQ(Top.Instances.size(), 2u);
 
   // Double inversion: y == x after flattening.
   Module Gates = synth::lower(File->Design, File->Top);
-  std::string SimError;
-  auto S = sim::Simulator::create(Gates, SimError);
-  ASSERT_TRUE(S.has_value()) << SimError;
+  auto S = sim::Simulator::create(Gates);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("x[0]", 1);
   S->evaluate();
   EXPECT_EQ(S->value("y[0]"), 1u);
@@ -125,33 +119,39 @@ TEST(BlifTest, LineContinuationsAndComments) {
       ".inputs a \\\nb\n"
       ".outputs y\n"
       ".names a b y\n11 1\n.end\n";
-  std::string Error;
-  auto File = parseBlif(Text, Error);
-  ASSERT_TRUE(File.has_value()) << Error;
+  auto File = parseBlif(Text);
+  ASSERT_TRUE(File.hasValue()) << File.describe();
   EXPECT_EQ(File->Design.module(File->Top).Inputs.size(), 2u);
 }
 
 TEST(BlifTest, ErrorsCarryLineNumbers) {
-  std::string Error;
-  EXPECT_FALSE(parseBlif(".model m\n.bogus\n.end\n", Error).has_value());
-  EXPECT_NE(Error.find("line 2"), std::string::npos);
-  EXPECT_FALSE(parseBlif(".inputs a\n", Error).has_value());
-  EXPECT_NE(Error.find("before .model"), std::string::npos);
-  EXPECT_FALSE(
-      parseBlif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n"
-                ".names a y\n0 1\n.end\n",
-                Error)
-          .has_value());
-  EXPECT_NE(Error.find("driven twice"), std::string::npos);
+  {
+    auto File = parseBlif(".model m\n.bogus\n.end\n", "d.blif");
+    ASSERT_FALSE(File.hasValue());
+    const support::Diag &Diag = File.diags().firstError();
+    ASSERT_TRUE(Diag.loc().has_value());
+    EXPECT_EQ(Diag.loc()->File, "d.blif");
+    EXPECT_EQ(Diag.loc()->Line, 2u);
+  }
+  {
+    auto File = parseBlif(".inputs a\n");
+    ASSERT_FALSE(File.hasValue());
+    EXPECT_NE(File.describe().find("before .model"), std::string::npos);
+  }
+  {
+    auto File =
+        parseBlif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n"
+                  ".names a y\n0 1\n.end\n");
+    ASSERT_FALSE(File.hasValue());
+    EXPECT_NE(File.describe().find("driven twice"), std::string::npos);
+  }
 }
 
 TEST(BlifTest, CoverRowArityChecked) {
-  std::string Error;
-  EXPECT_FALSE(parseBlif(".model m\n.inputs a b\n.outputs y\n"
-                         ".names a b y\n1 1\n.end\n",
-                         Error)
-                   .has_value());
-  EXPECT_NE(Error.find("arity"), std::string::npos);
+  auto File = parseBlif(".model m\n.inputs a b\n.outputs y\n"
+                        ".names a b y\n1 1\n.end\n");
+  ASSERT_FALSE(File.hasValue());
+  EXPECT_NE(File.describe().find("arity"), std::string::npos);
 }
 
 TEST(BlifTest, RoundTripPreservesBehaviorAndLoops) {
@@ -166,17 +166,15 @@ TEST(BlifTest, RoundTripPreservesBehaviorAndLoops) {
     return writeBlif(Flat, FlatId);
   }();
 
-  std::string Error;
-  auto File = parseBlif(Text, Error);
-  ASSERT_TRUE(File.has_value()) << Error;
+  auto File = parseBlif(Text);
+  ASSERT_TRUE(File.hasValue()) << File.describe();
   const Module &Reimported = File->Design.module(File->Top);
   EXPECT_EQ(Reimported.Registers.size(), Gates.Registers.size());
 
-  std::string SimError;
-  auto S1 = sim::Simulator::create(Gates, SimError);
-  ASSERT_TRUE(S1.has_value()) << SimError;
-  auto S2 = sim::Simulator::create(Reimported, SimError);
-  ASSERT_TRUE(S2.has_value()) << SimError;
+  auto S1 = sim::Simulator::create(Gates);
+  ASSERT_TRUE(S1.hasValue()) << S1.describe();
+  auto S2 = sim::Simulator::create(Reimported);
+  ASSERT_TRUE(S2.hasValue()) << S2.describe();
   // Drive a push/pop sequence and compare outputs cycle by cycle.
   for (int Cycle = 0; Cycle != 40; ++Cycle) {
     uint64_t Push = (Cycle % 3) == 0;
@@ -211,11 +209,10 @@ TEST(BlifTest, ImportedDesignIsAnalyzable) {
 .latch v_i count_q re clk 0
 .end
 )";
-  std::string Error;
-  auto File = parseBlif(Text, Error);
-  ASSERT_TRUE(File.has_value()) << Error;
+  auto File = parseBlif(Text);
+  ASSERT_TRUE(File.hasValue()) << File.describe();
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(File->Design, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(File->Design, Out).hasError());
   const Module &M = File->Design.module(File->Top);
   EXPECT_EQ(Out.at(File->Top).sortOf(M.findPort("v_i")), Sort::ToPort);
   EXPECT_EQ(Out.at(File->Top).sortOf(M.findPort("v_o")), Sort::FromPort);

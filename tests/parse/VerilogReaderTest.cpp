@@ -22,9 +22,8 @@ using namespace wiresort::parse;
 namespace {
 
 VerilogFile parseOrDie(const std::string &Text) {
-  std::string Error;
-  auto File = parseVerilog(Text, Error);
-  EXPECT_TRUE(File.has_value()) << Error;
+  auto File = parseVerilog(Text);
+  EXPECT_TRUE(File.hasValue()) << File.describe();
   return File ? std::move(*File) : VerilogFile{};
 }
 
@@ -48,9 +47,8 @@ endmodule
   EXPECT_EQ(M.Inputs.size(), 3u);
   EXPECT_EQ(M.Outputs.size(), 2u);
 
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("a", 20);
   S->setInput("b", 22);
   S->setInput("sel", 1);
@@ -78,9 +76,8 @@ endmodule
   const Module &M = File.Design.module(File.Top);
   EXPECT_EQ(M.Registers.size(), 1u);
 
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("en", 1);
   S->setInput("clk", 0); // The explicit clk port is ignored by sim.
   for (int I = 0; I != 5; ++I)
@@ -103,9 +100,8 @@ module ops(input wire [7:0] a, input wire [7:0] b,
 endmodule
 )");
   const Module &M = File.Design.module(File.Top);
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   auto check = [&](uint64_t A, uint64_t B) {
     S->setInput("a", A);
     S->setInput("b", B);
@@ -143,9 +139,8 @@ endmodule
   EXPECT_EQ(Top.Instances.size(), 2u);
 
   Module Flat = synth::lower(File.Design, File.Top);
-  std::string Error;
-  auto S = sim::Simulator::create(Flat, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(Flat);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   for (int Bit = 0; Bit != 4; ++Bit)
     S->setInput("x[" + std::to_string(Bit) + "]", (5 >> Bit) & 1);
   S->evaluate();
@@ -181,7 +176,7 @@ module fwd_fifo(input wire clk, input wire v_i,
 endmodule
 )");
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(File.Design, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(File.Design, Out).hasError());
   const Module &M = File.Design.module(File.Top);
   const ModuleSummary &S = Out.at(File.Top);
   EXPECT_EQ(S.sortOf(M.findPort("v_i")), Sort::ToPort);
@@ -205,11 +200,10 @@ TEST(VerilogReaderTest, WriterOutputRoundTrips) {
   const Module &Original = Flat.module(FlatId);
   EXPECT_EQ(Reparsed.Registers.size(), Original.Registers.size());
 
-  std::string Error;
-  auto S1 = sim::Simulator::create(Original, Error);
-  ASSERT_TRUE(S1.has_value()) << Error;
-  auto S2 = sim::Simulator::create(Reparsed, Error);
-  ASSERT_TRUE(S2.has_value()) << Error;
+  auto S1 = sim::Simulator::create(Original);
+  ASSERT_TRUE(S1.hasValue()) << S1.describe();
+  auto S2 = sim::Simulator::create(Reparsed);
+  ASSERT_TRUE(S2.hasValue()) << S2.describe();
   for (int Cycle = 0; Cycle != 60; ++Cycle) {
     uint64_t Push = (Cycle % 3) != 0;
     uint64_t Pop = (Cycle % 2) != 0;
@@ -232,37 +226,24 @@ TEST(VerilogReaderTest, WriterOutputRoundTrips) {
 }
 
 TEST(VerilogReaderTest, ErrorsAreSpecific) {
-  std::string Error;
-  EXPECT_FALSE(parseVerilog("", Error).has_value());
-  EXPECT_NE(Error.find("no modules"), std::string::npos);
-
-  Error.clear();
-  EXPECT_FALSE(parseVerilog("module m(input wire a); assign b = a; "
-                            "endmodule",
-                            Error)
-                   .has_value());
-  EXPECT_NE(Error.find("undeclared"), std::string::npos);
-
-  Error.clear();
-  EXPECT_FALSE(parseVerilog("module m(input wire a, output wire y);\n"
-                            "  assign y = a + 2'b11;\nendmodule",
-                            Error)
-                   .has_value());
-  EXPECT_NE(Error.find("width mismatch"), std::string::npos);
-
-  Error.clear();
-  EXPECT_FALSE(parseVerilog("module m(input wire a, output wire y);\n"
-                            "  initial y = 0;\nendmodule",
-                            Error)
-                   .has_value());
-  EXPECT_NE(Error.find("initial"), std::string::npos);
-
-  Error.clear();
-  EXPECT_FALSE(parseVerilog("module m(input wire a, output wire y);\n"
-                            "  assign y = q;\nendmodule",
-                            Error)
-                   .has_value());
-  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+  auto expectError = [](const std::string &Text, const char *Needle) {
+    auto File = parseVerilog(Text);
+    ASSERT_FALSE(File.hasValue()) << Text;
+    EXPECT_NE(File.describe().find(Needle), std::string::npos)
+        << File.describe();
+  };
+  expectError("", "no modules");
+  expectError("module m(input wire a); assign b = a; endmodule",
+              "undeclared");
+  expectError("module m(input wire a, output wire y);\n"
+              "  assign y = a + 2'b11;\nendmodule",
+              "width mismatch");
+  expectError("module m(input wire a, output wire y);\n"
+              "  initial y = 0;\nendmodule",
+              "initial");
+  expectError("module m(input wire a, output wire y);\n"
+              "  assign y = q;\nendmodule",
+              "undeclared");
 }
 
 TEST(VerilogReaderTest, CombinationalLoopInSourceIsCaught) {
@@ -276,9 +257,9 @@ module loopy(input wire a, output wire y);
 endmodule
 )");
   std::map<ModuleId, ModuleSummary> Out;
-  auto Loop = analyzeDesign(File.Design, Out);
-  ASSERT_TRUE(Loop.has_value());
-  EXPECT_NE(Loop->describe().find("loopy"), std::string::npos);
+  wiresort::support::Status Loop = analyzeDesign(File.Design, Out);
+  ASSERT_TRUE(Loop.hasError());
+  EXPECT_NE(Loop.describe().find("loopy"), std::string::npos);
 }
 
 TEST(VerilogReaderTest, UnsizedLiteralsAdaptToContext) {
@@ -290,9 +271,8 @@ module lits(input wire [15:0] a, output wire [15:0] y,
 endmodule
 )");
   const Module &M = File.Design.module(File.Top);
-  std::string Error;
-  auto S = sim::Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("a", 1234);
   S->evaluate();
   EXPECT_EQ(S->value("y"), 1235u);

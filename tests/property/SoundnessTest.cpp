@@ -52,8 +52,8 @@ TEST_P(SoundnessTrial, ModularCheckerAgreesWithNetlistBaseline) {
   ASSERT_FALSE(D.validate().has_value());
 
   std::map<ModuleId, ModuleSummary> Summaries;
-  auto InternalLoop = analyzeDesign(D, Summaries);
-  ASSERT_FALSE(InternalLoop.has_value())
+  wiresort::support::Status InternalLoop = analyzeDesign(D, Summaries);
+  ASSERT_FALSE(InternalLoop.hasError())
       << "random modules are DAGs by construction";
 
   // Modular verdicts (SCC and pairwise must agree with each other).
@@ -72,7 +72,7 @@ TEST_P(SoundnessTrial, ModularCheckerAgreesWithNetlistBaseline) {
     for (const Connection &C : Circ.connections()) {
       Replay.connectPorts(C.From, C.To);
       auto Step = Checker.addConnection(C);
-      if (Step.Loop.has_value()) {
+      if (Step.Diags.hasError()) {
         SawLoop = true;
         break;
       }
@@ -89,8 +89,7 @@ TEST_P(SoundnessTrial, ModularCheckerAgreesWithNetlistBaseline) {
       << ")";
 
   // And the simulator levelizer is a third witness.
-  std::string Error;
-  bool Simulable = sim::Simulator::create(Gates, Error).has_value();
+  bool Simulable = sim::Simulator::create(Gates).hasValue();
   EXPECT_EQ(Simulable, !NetlistLoop);
 }
 
@@ -117,7 +116,7 @@ TEST_P(ModuleLevelTrial, SummaryMatchesExhaustiveGateReachability) {
   ModuleId Id = D.addModule(
       randomModule(Rng, P, "m" + std::to_string(GetParam())));
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   const ModuleSummary &S = Out.at(Id);
   const Module &M = D.module(Id);
 
@@ -157,7 +156,7 @@ TEST(SoundnessTest, SyncSortedPortsNeverOnALoop) {
     P.PConnect = 0.9;
     Circuit Full = randomCircuit(Rng, D, P, "full");
     std::map<ModuleId, ModuleSummary> Summaries;
-    ASSERT_FALSE(analyzeDesign(D, Summaries).has_value());
+    ASSERT_FALSE(analyzeDesign(D, Summaries).hasError());
 
     Circuit SyncOnly(D, "sync_only");
     for (const auto &Inst : Full.instances())
@@ -191,11 +190,10 @@ TEST(SoundnessTest, OptimizerPreservesRandomModuleBehavior) {
     synth::optimize(Optimized);
     ASSERT_FALSE(Optimized.validate().has_value());
 
-    std::string Error;
-    auto S1 = sim::Simulator::create(Reference, Error);
-    ASSERT_TRUE(S1.has_value()) << Error;
-    auto S2 = sim::Simulator::create(Optimized, Error);
-    ASSERT_TRUE(S2.has_value()) << Error;
+    auto S1 = sim::Simulator::create(Reference);
+    ASSERT_TRUE(S1.hasValue()) << S1.describe();
+    auto S2 = sim::Simulator::create(Optimized);
+    ASSERT_TRUE(S2.hasValue()) << S2.describe();
     for (int Cycle = 0; Cycle != 50; ++Cycle) {
       for (WireId In : Reference.Inputs) {
         uint64_t Bit = Rng() & 1;
@@ -228,14 +226,13 @@ TEST(SoundnessTest, BlifRoundTripPreservesSortsOnRandomModules) {
     Design Flat;
     ModuleId FlatId = Flat.addModule(synth::lower(D, Id));
     std::map<ModuleId, ModuleSummary> Before;
-    ASSERT_FALSE(analyzeDesign(Flat, Before).has_value());
+    ASSERT_FALSE(analyzeDesign(Flat, Before).hasError());
 
     std::string Text = parse::writeBlif(Flat, FlatId);
-    std::string Error;
-    auto File = parse::parseBlif(Text, Error);
-    ASSERT_TRUE(File.has_value()) << Error;
+    auto File = parse::parseBlif(Text);
+    ASSERT_TRUE(File.hasValue()) << File.describe();
     std::map<ModuleId, ModuleSummary> After;
-    ASSERT_FALSE(analyzeDesign(File->Design, After).has_value());
+    ASSERT_FALSE(analyzeDesign(File->Design, After).hasError());
 
     const Module &FM = Flat.module(FlatId);
     const Module &RM = File->Design.module(File->Top);
@@ -267,7 +264,7 @@ TEST(SoundnessTest, IncrementalVerdictIndependentOfWiringOrder) {
     P.PConnect = 0.7;
     Circuit Circ = randomCircuit(Rng, D, P, "shuffle");
     std::map<ModuleId, ModuleSummary> Summaries;
-    ASSERT_FALSE(analyzeDesign(D, Summaries).has_value());
+    ASSERT_FALSE(analyzeDesign(D, Summaries).hasError());
     bool Looped = !checkCircuit(Circ, Summaries).WellConnected;
 
     std::vector<Connection> Conns = Circ.connections();
@@ -280,7 +277,7 @@ TEST(SoundnessTest, IncrementalVerdictIndependentOfWiringOrder) {
       bool SawLoop = false;
       for (const Connection &C : Conns) {
         Replay.connectPorts(C.From, C.To);
-        if (Checker.addConnection(C).Loop.has_value()) {
+        if (Checker.addConnection(C).Diags.hasError()) {
           SawLoop = true;
           break;
         }
@@ -331,8 +328,8 @@ TEST(SoundnessTest, SummaryReuseAcrossInstantiationsIsSound) {
     Circuit RingCopies = buildRing(DCopies, Copies);
 
     std::map<ModuleId, ModuleSummary> SShared, SCopies;
-    ASSERT_FALSE(analyzeDesign(DShared, SShared).has_value());
-    ASSERT_FALSE(analyzeDesign(DCopies, SCopies).has_value());
+    ASSERT_FALSE(analyzeDesign(DShared, SShared).hasError());
+    ASSERT_FALSE(analyzeDesign(DCopies, SCopies).hasError());
     EXPECT_EQ(checkCircuit(RingShared, SShared).WellConnected,
               checkCircuit(RingCopies, SCopies).WellConnected)
         << "trial " << Trial;

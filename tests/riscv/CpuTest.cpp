@@ -36,9 +36,10 @@ public:
     Cpu C = buildCpu(D, Config);
     ModuleId Top = sealCpu(C);
     Flat = synth::inlineInstances(D, Top);
-    std::string Error;
-    Sim = sim::Simulator::create(Flat, Error);
-    EXPECT_TRUE(Sim.has_value()) << Error;
+    auto S = sim::Simulator::create(Flat);
+    EXPECT_TRUE(S.hasValue()) << S.describe();
+    if (S)
+      Sim.emplace(std::move(*S));
 
     IMem = findMem("fetch.imem");
     Bank0 = findMem("regfile.bank0");
@@ -347,8 +348,8 @@ TEST(CpuTest, CircuitIsWellConnected) {
   Design D;
   Cpu C = buildCpu(D);
   std::map<ModuleId, ModuleSummary> Out;
-  auto Loop = analyzeDesign(D, Out);
-  ASSERT_FALSE(Loop.has_value()) << (Loop ? Loop->describe() : "");
+  wiresort::support::Status Loop = analyzeDesign(D, Out);
+  ASSERT_FALSE(Loop.hasError()) << Loop.describe();
   EXPECT_EQ(C.Modules.size(), 11u);
 
   CircuitCheckResult R = checkCircuit(C.Circ, Out);
@@ -366,7 +367,7 @@ TEST(CpuTest, SingleCycleSortsAreMostlyPortSorts) {
   Design D;
   Cpu C = buildCpu(D);
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
 
   size_t PortSorted = 0, Total = 0;
   for (ModuleId Id : C.Modules) {
@@ -407,11 +408,11 @@ TEST(CpuTest, MisWiringIsCaughtBeforeSynthesis) {
   Circ.connect(G, "data_o", A, "imm_i"); // Combinational loop.
 
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   CircuitCheckResult R = checkCircuit(Circ, Out);
   EXPECT_FALSE(R.WellConnected);
-  ASSERT_TRUE(R.Loop.has_value());
-  EXPECT_NE(R.Loop->describe().find("alu"), std::string::npos);
+  ASSERT_TRUE(R.Diags.hasError());
+  EXPECT_NE(R.Diags.describe().find("alu"), std::string::npos);
 }
 
 // --- Parameterized thread-count sweep --------------------------------------
@@ -439,7 +440,7 @@ TEST_P(CpuThreadSweep, WellConnectedAtEveryThreadCount) {
   Config.NumThreads = GetParam();
   Cpu C = buildCpu(D, Config);
   std::map<ModuleId, ModuleSummary> Out;
-  ASSERT_FALSE(analyzeDesign(D, Out).has_value());
+  ASSERT_FALSE(analyzeDesign(D, Out).hasError());
   EXPECT_TRUE(checkCircuit(C.Circ, Out).WellConnected);
 }
 

@@ -21,9 +21,11 @@ TEST(SimulatorTest, RejectsCombinationalLoop) {
   WireId Out = M.addOutput("y", 1);
   M.addNet(Op::And, {A, In}, A);
   M.addNet(Op::Buf, {A}, Out);
-  std::string Error;
-  EXPECT_FALSE(Simulator::create(M, Error).has_value());
-  EXPECT_NE(Error.find("combinational loop"), std::string::npos);
+  auto S = Simulator::create(M);
+  EXPECT_FALSE(S.hasValue());
+  EXPECT_EQ(S.diags().firstError().code(),
+            support::DiagCode::WS302_SIM_COMB_LOOP);
+  EXPECT_NE(S.describe().find("combinational loop"), std::string::npos);
 }
 
 TEST(SimulatorTest, RejectsHierarchy) {
@@ -31,9 +33,11 @@ TEST(SimulatorTest, RejectsHierarchy) {
   SubInstance Inst;
   Inst.Def = 0;
   M.addInstance(std::move(Inst));
-  std::string Error;
-  EXPECT_FALSE(Simulator::create(M, Error).has_value());
-  EXPECT_NE(Error.find("flatten"), std::string::npos);
+  auto S = Simulator::create(M);
+  EXPECT_FALSE(S.hasValue());
+  EXPECT_EQ(S.diags().firstError().code(),
+            support::DiagCode::WS301_SIM_BUILD);
+  EXPECT_NE(S.describe().find("flatten"), std::string::npos);
 }
 
 TEST(SimulatorTest, MemoryReadBeforeWriteSemantics) {
@@ -43,9 +47,8 @@ TEST(SimulatorTest, MemoryReadBeforeWriteSemantics) {
   V Wen = B.input("wen", 1);
   B.output("y", B.memory("m", /*SyncRead=*/false, Addr, Addr, WData, Wen));
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   S->setInput("addr", 1);
   S->setInput("wdata", 42);
@@ -67,9 +70,8 @@ TEST(SimulatorTest, SyncReadLatchesPreWriteContents) {
   B.output("y",
            B.memory("m", /*SyncRead=*/true, RAddr, WAddr, WData, Wen));
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   // Write 7 to address 2 while reading address 2: the synchronous read
   // must return the old contents (0) on the next cycle.
@@ -93,9 +95,8 @@ TEST(SimulatorTest, LoadMemoryPreloadsWords) {
   B.output("y", B.memory("m", /*SyncRead=*/false, Addr, B.lit(0, 3),
                          B.lit(0, 16), B.lit(0, 1)));
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->loadMemory(0, {10, 20, 30});
   for (uint64_t A = 0; A != 3; ++A) {
     S->setInput("addr", A);
@@ -110,9 +111,8 @@ TEST(SimulatorTest, WideArithmeticMasks) {
   V A = B.input("a", 64);
   B.output("y", B.add(A, B.lit(1, 64)));
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("a", ~0ull);
   S->evaluate();
   EXPECT_EQ(S->value("y"), 0u);
@@ -124,9 +124,8 @@ TEST(SimulatorTest, CycleCounterAdvances) {
   B.drive(Q, B.inc(Q));
   B.output("y", Q);
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   EXPECT_EQ(S->cycles(), 0u);
   for (int I = 0; I != 3; ++I)
     S->step();

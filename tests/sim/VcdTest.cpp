@@ -20,9 +20,8 @@ TEST(VcdTest, HeaderDeclaresSignals) {
   V Wide = B.input("wide", 8);
   B.output("y", B.andv(A, B.orr(Wide)));
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   VcdTrace Trace(M);
   S->setInput("a", 1);
@@ -46,9 +45,8 @@ TEST(VcdTest, OnlyChangesAreEmitted) {
   (void)Stuck;
   B.output("count", Q);
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
 
   VcdTrace Trace(M);
   for (uint64_t T = 0; T != 4; ++T) {
@@ -87,9 +85,8 @@ TEST(VcdTest, ManySignalsGetDistinctIds) {
     Acc = B.xorv(Acc, In);
   B.output("y", Acc);
   Module M = B.finish();
-  std::string Error;
-  auto S = Simulator::create(M, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = Simulator::create(M);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   VcdTrace Trace(M);
   S->evaluate();
   Trace.sample(*S, 0);

@@ -1,0 +1,184 @@
+//===- tests/support/DiagTest.cpp - Structured diagnostics tests ----------===//
+//
+// Part of the wiresort project. The Diag/DiagList/Expected result model
+// every layer reports through, and the two renderers the CLI contract is
+// golden-tested against. The JSON expectations here are byte-exact on
+// purpose: renderJson feeds `wiresort-check --format json`, whose output
+// is a machine contract (docs/DIAGNOSTICS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+using namespace wiresort;
+using namespace wiresort::support;
+
+TEST(DiagTest, FluentConstructionPopulatesEveryField) {
+  Diag D = Diag(DiagCode::WS101_COMB_LOOP, "combinational loop")
+               .withLoc(SrcLoc{"ring.v", 3, 7})
+               .withHop("fifo1", "v_i")
+               .withHop("fwd", "v_o")
+               .withNote("module", "ring");
+  EXPECT_EQ(D.code(), DiagCode::WS101_COMB_LOOP);
+  EXPECT_EQ(D.severity(), Severity::Error);
+  EXPECT_EQ(D.message(), "combinational loop");
+  ASSERT_TRUE(D.loc().has_value());
+  EXPECT_EQ(D.loc()->File, "ring.v");
+  EXPECT_EQ(D.loc()->Line, 3u);
+  EXPECT_EQ(D.loc()->Col, 7u);
+  ASSERT_EQ(D.witness().size(), 2u);
+  EXPECT_EQ(D.witness()[0].label(), "fifo1.v_i");
+  EXPECT_EQ(D.note("module"), "ring");
+  EXPECT_EQ(D.note("absent"), "");
+  EXPECT_EQ(D.witnessLabels(),
+            (std::vector<std::string>{"fifo1.v_i", "fwd.v_o"}));
+}
+
+TEST(DiagTest, DescribeClosesTheWitnessCycle) {
+  Diag D(DiagCode::WS101_COMB_LOOP, "loop");
+  D.addHop("a", "x");
+  D.addHop("b", "y");
+  // The first hop repeats at the end — the paper's cyclic presentation.
+  EXPECT_EQ(D.describe(), "loop: a.x -> b.y -> a.x");
+}
+
+TEST(DiagTest, DescribePrefixesLocation) {
+  Diag D = Diag(DiagCode::WS201_BLIF_SYNTAX, "bad directive")
+               .withLoc(SrcLoc{"d.blif", 2, 5});
+  EXPECT_EQ(D.describe(), "d.blif:2:5: bad directive");
+  Diag NoCol = Diag(DiagCode::WS221_SUMMARY_SYNTAX, "bad line")
+                   .withLoc(SrcLoc{"s.wsort", 4, 0});
+  EXPECT_EQ(NoCol.describe(), "s.wsort:4: bad line");
+}
+
+TEST(DiagTest, RenderTextMatchesTheDocumentedShape) {
+  Diag D = Diag(DiagCode::WS201_BLIF_SYNTAX, ".model expects a name")
+               .withLoc(SrcLoc{"design.blif", 3, 1});
+  EXPECT_EQ(renderText(D),
+            "design.blif:3:1: error[WS201_BLIF_SYNTAX]: "
+            ".model expects a name");
+}
+
+TEST(DiagTest, RenderTextEchoesSourceWithCaret) {
+  std::string Source = ".model m\n.inputs a a\n.end\n";
+  Diag D = Diag(DiagCode::WS201_BLIF_SYNTAX, "duplicate signal 'a'")
+               .withLoc(SrcLoc{"d.blif", 2, 11});
+  EXPECT_EQ(renderText(D, &Source),
+            "d.blif:2:11: error[WS201_BLIF_SYNTAX]: duplicate signal 'a'"
+            "\n  .inputs a a"
+            "\n            ^");
+}
+
+TEST(DiagTest, RenderTextListsNotesAndWitness) {
+  Diag D = Diag(DiagCode::WS102_ASCRIPTION_MISMATCH, "sort differs")
+               .withNote("module", "fifo")
+               .withNote("port", "v_i");
+  Diag Loop = Diag(DiagCode::WS401_NETLIST_CYCLE, "cycle")
+                  .withHop("top", "w0")
+                  .withHop("top", "w1");
+  EXPECT_EQ(renderText(D), "error[WS102_ASCRIPTION_MISMATCH]: "
+                           "sort differs\n  module: fifo\n  port: v_i");
+  EXPECT_EQ(renderText(Loop),
+            "error[WS401_NETLIST_CYCLE]: cycle"
+            "\n  witness: top.w0 -> top.w1 -> top.w0");
+}
+
+TEST(DiagTest, RenderJsonIsByteStable) {
+  Diag Bare(DiagCode::WS503_USAGE, "unknown flag");
+  EXPECT_EQ(renderJson(Bare),
+            "{\"severity\":\"error\",\"code\":\"WS503_USAGE\","
+            "\"message\":\"unknown flag\"}");
+
+  Diag Full = Diag(DiagCode::WS101_COMB_LOOP, "loop", Severity::Error)
+                  .withLoc(SrcLoc{"ring.blif", 1, 8})
+                  .withHop("top", "x")
+                  .withNote("module", "top");
+  EXPECT_EQ(renderJson(Full),
+            "{\"severity\":\"error\",\"code\":\"WS101_COMB_LOOP\","
+            "\"message\":\"loop\","
+            "\"loc\":{\"file\":\"ring.blif\",\"line\":1,\"col\":8},"
+            "\"witness\":[{\"instance\":\"top\",\"port\":\"x\"}],"
+            "\"notes\":{\"module\":\"top\"}}");
+}
+
+TEST(DiagTest, RenderJsonEscapesControlCharacters) {
+  Diag D(DiagCode::WS501_IO_ERROR, "path \"a\\b\"\nwith\tcontrol\x01");
+  EXPECT_EQ(renderJson(D),
+            "{\"severity\":\"error\",\"code\":\"WS501_IO_ERROR\","
+            "\"message\":\"path \\\"a\\\\b\\\"\\nwith\\tcontrol"
+            "\\u0001\"}");
+}
+
+TEST(DiagTest, DiagListSeverityQueries) {
+  DiagList Ds;
+  EXPECT_TRUE(Ds.empty());
+  EXPECT_FALSE(Ds.hasError());
+
+  Ds.add(Diag(DiagCode::WS104_CONTRACT_VIOLATION, "just advisory",
+              Severity::Warning));
+  EXPECT_FALSE(Ds.hasError());
+
+  Ds.add(Diag(DiagCode::WS101_COMB_LOOP, "the real one"));
+  ASSERT_TRUE(Ds.hasError());
+  // firstError skips the leading warning.
+  EXPECT_EQ(Ds.firstError().message(), "the real one");
+  EXPECT_EQ(Ds.size(), 2u);
+  EXPECT_EQ(Ds.describe(), "just advisory\nthe real one");
+}
+
+TEST(DiagTest, DiagListEqualityIsStructural) {
+  auto make = [](const char *Msg) {
+    DiagList Ds;
+    Ds.add(Diag(DiagCode::WS101_COMB_LOOP, Msg)
+               .withHop("a", "x"));
+    return Ds;
+  };
+  EXPECT_EQ(make("loop"), make("loop"));
+  EXPECT_FALSE(make("loop") == make("other"));
+
+  DiagList Merged = make("loop");
+  Merged.append(make("loop"));
+  EXPECT_EQ(Merged.size(), 2u);
+  EXPECT_FALSE(Merged == make("loop"));
+}
+
+TEST(DiagTest, ExpectedCarriesValueOrDiags) {
+  Expected<int> Ok = 42;
+  ASSERT_TRUE(Ok.hasValue());
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  EXPECT_EQ(*Ok, 42);
+  EXPECT_EQ(Ok.describe(), "");
+  EXPECT_TRUE(Ok.diags().empty());
+
+  Expected<int> Bad = Diag(DiagCode::WS501_IO_ERROR, "cannot read f");
+  EXPECT_FALSE(Bad.hasValue());
+  ASSERT_TRUE(Bad.diags().hasError());
+  EXPECT_EQ(Bad.diags().firstError().code(), DiagCode::WS501_IO_ERROR);
+  EXPECT_EQ(Bad.describe(), "cannot read f");
+}
+
+TEST(DiagTest, ExpectedFromDiagListKeepsEveryDiag) {
+  DiagList Ds;
+  Ds.add(Diag(DiagCode::WS212_VERILOG_SYNTAX, "first",
+              Severity::Warning));
+  Ds.add(Diag(DiagCode::WS212_VERILOG_SYNTAX, "second"));
+  Expected<std::string> E = Ds;
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_EQ(E.diags().size(), 2u);
+  EXPECT_EQ(E.diags(), Ds);
+}
+
+TEST(DiagTest, CodeNamesAreStable) {
+  // These spellings appear in JSON output; they are part of the machine
+  // contract and must never change (docs/DIAGNOSTICS.md).
+  EXPECT_STREQ(diagCodeName(DiagCode::WS101_COMB_LOOP),
+               "WS101_COMB_LOOP");
+  EXPECT_STREQ(diagCodeName(DiagCode::WS221_SUMMARY_SYNTAX),
+               "WS221_SUMMARY_SYNTAX");
+  EXPECT_STREQ(diagCodeName(DiagCode::WS503_USAGE), "WS503_USAGE");
+  EXPECT_EQ(static_cast<uint16_t>(DiagCode::WS101_COMB_LOOP), 101u);
+  EXPECT_EQ(static_cast<uint16_t>(DiagCode::WS401_NETLIST_CYCLE), 401u);
+  EXPECT_STREQ(severityName(Severity::Warning), "warning");
+}

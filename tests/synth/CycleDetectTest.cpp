@@ -36,8 +36,8 @@ TEST(CycleDetectTest, DirectCombLoopFound) {
   M.addNet(Op::Buf, {A}, Out);
   auto R = synth::detectCycles(M);
   EXPECT_TRUE(R.HasLoop);
-  ASSERT_TRUE(R.Loop.has_value());
-  EXPECT_EQ(R.Loop->PathLabels.size(), 2u);
+  ASSERT_TRUE(R.Diags.hasError());
+  EXPECT_EQ(R.Diags[0].witness().size(), 2u);
 }
 
 TEST(CycleDetectTest, RegisterBreaksLoop) {

@@ -30,11 +30,10 @@ void coSimulate(Design &D, ModuleId Id, unsigned Cycles, uint32_t Seed) {
   Module Gates = synth::lower(D, Id);
   ASSERT_FALSE(Gates.validate().has_value());
 
-  std::string Error;
-  auto RtlSim = sim::Simulator::create(Rtl, Error);
-  ASSERT_TRUE(RtlSim.has_value()) << Error;
-  auto GateSim = sim::Simulator::create(Gates, Error);
-  ASSERT_TRUE(GateSim.has_value()) << Error;
+  auto RtlSim = sim::Simulator::create(Rtl);
+  ASSERT_TRUE(RtlSim.hasValue()) << RtlSim.describe();
+  auto GateSim = sim::Simulator::create(Gates);
+  ASSERT_TRUE(GateSim.hasValue()) << GateSim.describe();
 
   std::mt19937 Rng(Seed);
   for (unsigned Cycle = 0; Cycle != Cycles; ++Cycle) {
@@ -213,11 +212,10 @@ TEST(LowerTest, HierarchicalLoweringPreservesBehavior) {
   Module HierFlat = synth::inlineInstances(Hier.Design, Hier.Top);
   Module Flat = synth::lower(D, TopId);
 
-  std::string Error;
-  auto S1 = sim::Simulator::create(HierFlat, Error);
-  ASSERT_TRUE(S1.has_value()) << Error;
-  auto S2 = sim::Simulator::create(Flat, Error);
-  ASSERT_TRUE(S2.has_value()) << Error;
+  auto S1 = sim::Simulator::create(HierFlat);
+  ASSERT_TRUE(S1.hasValue()) << S1.describe();
+  auto S2 = sim::Simulator::create(Flat);
+  ASSERT_TRUE(S2.hasValue()) << S2.describe();
   for (int Cycle = 0; Cycle != 32; ++Cycle) {
     for (int Bit = 0; Bit != 8; ++Bit) {
       uint64_t Value = (Cycle * 37 >> Bit) & 1;
@@ -248,7 +246,7 @@ TEST(LowerTest, HierarchicalLoweringAnalyzable) {
     ModuleId Top = Chain.seal();
     synth::HierLowered Hier = synth::lowerHierarchical(DChain, Top);
     std::map<ModuleId, analysis::ModuleSummary> Out;
-    EXPECT_FALSE(analysis::analyzeDesign(Hier.Design, Out).has_value());
+    EXPECT_FALSE(analysis::analyzeDesign(Hier.Design, Out).hasError());
   }
   // Looped composition must be rejected during summary computation.
   {
@@ -257,8 +255,8 @@ TEST(LowerTest, HierarchicalLoweringAnalyzable) {
     ModuleId Top = Ring.seal();
     synth::HierLowered Hier = synth::lowerHierarchical(DRing, Top);
     std::map<ModuleId, analysis::ModuleSummary> Out;
-    auto Loop = analysis::analyzeDesign(Hier.Design, Out);
-    EXPECT_TRUE(Loop.has_value());
+    support::Status Loop = analysis::analyzeDesign(Hier.Design, Out);
+    EXPECT_TRUE(Loop.hasError());
   }
 }
 

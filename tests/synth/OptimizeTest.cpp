@@ -37,9 +37,8 @@ TEST(OptimizeTest, ConstantsFoldThroughGates) {
   EXPECT_GT(Stats.GatesFolded, 0u);
   ASSERT_FALSE(Gates.validate().has_value());
 
-  std::string Error;
-  auto S = sim::Simulator::create(Gates, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(Gates);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("a[0]", 0);
   S->evaluate();
   EXPECT_EQ(S->value("y[0]"), 1u);
@@ -76,11 +75,10 @@ TEST(OptimizeTest, OptimizationPreservesBehavior) {
   optimize(Optimized);
   ASSERT_FALSE(Optimized.validate().has_value());
 
-  std::string Error;
-  auto RefSim = sim::Simulator::create(Reference, Error);
-  ASSERT_TRUE(RefSim.has_value()) << Error;
-  auto OptSim = sim::Simulator::create(Optimized, Error);
-  ASSERT_TRUE(OptSim.has_value()) << Error;
+  auto RefSim = sim::Simulator::create(Reference);
+  ASSERT_TRUE(RefSim.hasValue()) << RefSim.describe();
+  auto OptSim = sim::Simulator::create(Optimized);
+  ASSERT_TRUE(OptSim.hasValue()) << OptSim.describe();
 
   std::mt19937 Rng(42);
   for (int Cycle = 0; Cycle != 100; ++Cycle) {
@@ -130,9 +128,8 @@ TEST(OptimizeTest, MuxWithKnownSelectFolds) {
   // Mux with constant select does not fold to a constant, but behavior
   // must be preserved regardless.
   optimize(Gates);
-  std::string Error;
-  auto S = sim::Simulator::create(Gates, Error);
-  ASSERT_TRUE(S.has_value()) << Error;
+  auto S = sim::Simulator::create(Gates);
+  ASSERT_TRUE(S.hasValue()) << S.describe();
   S->setInput("a[0]", 1);
   S->setInput("b[0]", 0);
   S->evaluate();

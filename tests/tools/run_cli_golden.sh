@@ -1,0 +1,76 @@
+#!/bin/sh
+# Golden-file tests for the wiresort-check CLI contract
+# (docs/DIAGNOSTICS.md): with --format json the tool emits
+# newline-delimited support::renderJson diagnostics followed by one
+# verdict line, byte-for-byte reproducible, and exits 0 (well-connected),
+# 1 (error-severity diagnostics) or 2 (usage / I/O / cache trouble).
+#
+# Usage: run_cli_golden.sh <wiresort-check-binary> <fixture-dir>
+#
+# Each case runs from the fixture directory (so file names in diags stay
+# relative and the goldens stay machine-independent) and diffs stdout
+# against <name>.golden.json.
+set -u
+
+BIN=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+FIXTURES=$2
+cd "$FIXTURES" || exit 2
+
+Failures=0
+
+# run <name> <expected-exit> <arg...>: diff stdout against the golden
+# and check the exit code. stderr is ignored (usage text, human diags).
+run() {
+  Name=$1
+  WantExit=$2
+  shift 2
+  Out=$("$BIN" "$@" 2>/dev/null)
+  GotExit=$?
+  if [ "$GotExit" -ne "$WantExit" ]; then
+    echo "FAIL $Name: exit $GotExit, want $WantExit" >&2
+    Failures=$((Failures + 1))
+    return
+  fi
+  if ! printf '%s\n' "$Out" | diff -u "$Name.golden.json" - >&2; then
+    echo "FAIL $Name: stdout differs from $Name.golden.json" >&2
+    Failures=$((Failures + 1))
+    return
+  fi
+  echo "ok $Name (exit $GotExit)"
+}
+
+# Exit 0: a loop-free design ends in the well-connected verdict line.
+run loopfree 0 loopfree.blif --format json
+
+# Exit 1: an internal combinational loop, witness rendered as
+# instance.port hops; a malformed BLIF with file:line:col provenance;
+# an ascription sidecar whose declared sorts disagree with computed.
+run loopy 1 loopy.blif --format json
+run malformed 1 malformed.blif --format json
+run badascribe 1 badascribe.blif --format json --check badascribe.wsort
+
+# Exit 2: I/O failure (WS501), bad command line (WS503), and a --cache
+# file that is not a summary sidecar (WS502). No verdict line: the run
+# never got far enough to have one.
+run missing 2 no_such_file.blif --format json
+run badflag 2 loopfree.blif --format json --bogus
+run badcache 2 loopfree.blif --format json --cache bogus.wscache
+
+# The machine contract really is machine-readable: every line of every
+# golden must parse as standalone JSON (jq is in the base image; skip
+# quietly where it is not).
+if command -v jq >/dev/null 2>&1; then
+  for Golden in *.golden.json; do
+    if ! jq -e . "$Golden" >/dev/null 2>&1; then
+      echo "FAIL $Golden is not valid NDJSON" >&2
+      Failures=$((Failures + 1))
+    fi
+  done
+  echo "ok goldens parse as NDJSON (jq)"
+fi
+
+if [ "$Failures" -ne 0 ]; then
+  echo "$Failures golden CLI case(s) failed" >&2
+  exit 1
+fi
+echo "all golden CLI cases passed"

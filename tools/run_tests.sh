@@ -1,14 +1,21 @@
 #!/bin/sh
-# Three-stage test driver:
+# Four-stage test driver:
 #
-#   1. the regular suite in the default build tree (configured if absent);
+#   1. the regular suite in the default build tree (configured if
+#      absent) — includes the structured-diagnostics suites (DiagTest,
+#      ParseDiagTest) and the golden-file CLI contract tests
+#      (tests/tools/run_cli_golden.sh, docs/DIAGNOSTICS.md);
 #   2. a ThreadSanitizer build of the SummaryEngine suites — the engine's
-#      scheduler/cache locking (docs/ENGINE.md) is a correctness claim, so
-#      the concurrency-heavy tests rerun under -fsanitize=thread; the
-#      bit-parallel kernel suite rides along (its masks feed the engine);
+#      scheduler/cache locking (docs/ENGINE.md) is a correctness claim,
+#      and so is the byte-identical serial/parallel/warm diag ordering
+#      the determinism trials assert, so the concurrency-heavy tests
+#      rerun under -fsanitize=thread; the bit-parallel kernel suite
+#      rides along (its masks feed the engine);
 #   3. an UndefinedBehaviorSanitizer build of the kernel suite — the CSR
 #      sweep (docs/KERNEL.md) lives on shifts and index arithmetic, which
-#      is exactly UBSan's beat.
+#      is exactly UBSan's beat;
+#   4. a jq smoke check that live `wiresort-check --format json` output
+#      is valid NDJSON (skipped when jq is absent).
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
@@ -61,4 +68,20 @@ cmake --build "$UBSAN_BUILD" -j "$(nproc)" --target kernel_tests
 "$UBSAN_BUILD/tests/kernel_tests"
 
 echo
-echo "all suites passed (regular + TSan + UBSan)"
+echo "=== stage 4: CLI JSON smoke check (jq) ==="
+if command -v jq >/dev/null 2>&1; then
+  CHECK="$BUILD/tools/wiresort-check"
+  FIXTURES="$ROOT/tests/tools"
+  # Loop-free: one verdict line; loopy: diag lines + verdict. Every line
+  # must parse standalone (the NDJSON contract, docs/DIAGNOSTICS.md).
+  (cd "$FIXTURES" && "$CHECK" loopfree.blif --format json) | jq -e . \
+    >/dev/null
+  (cd "$FIXTURES" && "$CHECK" loopy.blif --format json || [ $? -eq 1 ]) \
+    | jq -e . >/dev/null
+  echo "wiresort-check --format json output parses as NDJSON"
+else
+  echo "jq not found; skipping"
+fi
+
+echo
+echo "all suites passed (regular + TSan + UBSan + CLI smoke)"

@@ -10,6 +10,7 @@
 // analysis, and optionally emit sort annotations and Graphviz renderings.
 //
 //   wiresort-check design.blif                 # sorts + verdict
+//   wiresort-check design.blif --format json   # NDJSON diags + verdict
 //   wiresort-check design.blif --summaries out.wsort
 //   wiresort-check design.blif --check out.wsort   # ascription check
 //   wiresort-check design.blif --dot out.dot   # top module, colored
@@ -17,6 +18,15 @@
 //   wiresort-check design.blif --depth         # timing extension
 //   wiresort-check design.blif --threads 8     # parallel inference
 //   wiresort-check design.blif --cache d.wscache   # warm-start repeats
+//
+// Exit-code contract (docs/DIAGNOSTICS.md): 0 = well-connected and every
+// requested check passed; 1 = analysis/parse diagnostics with severity >=
+// error were emitted; 2 = usage or I/O failure (WS5xx). With
+// --format json all diagnostics go to stdout as newline-delimited JSON
+// (support::renderJson) followed by one deterministic verdict line —
+// {"verdict":"well-connected","modules":N} or
+// {"verdict":"error","errors":K} — with no timing or thread counts, so
+// the output is byte-stable for golden tests.
 //
 // Inference runs through analysis::SummaryEngine: independent modules of
 // the instantiation DAG are inferred concurrently, and --cache persists
@@ -33,6 +43,7 @@
 #include "analysis/SummaryIO.h"
 #include "parse/Blif.h"
 #include "parse/VerilogReader.h"
+#include "support/Diag.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 
@@ -49,12 +60,59 @@ using namespace wiresort::ir;
 
 namespace {
 
-int usage(const char *Argv0) {
+enum class Format { Text, Json };
+
+/// Routes diagnostics to the requested renderer: human text (with caret
+/// echoes when the source text is at hand) on stderr, or NDJSON on
+/// stdout. Tracks the error count for the final verdict line.
+struct Emitter {
+  Format Fmt = Format::Text;
+  /// Source text for caret rendering, keyed by nothing: the CLI reads at
+  /// most one design file, so one buffer suffices.
+  const std::string *SourceText = nullptr;
+  size_t Errors = 0;
+
+  void emit(const support::Diag &D) {
+    if (D.severity() == support::Severity::Error)
+      ++Errors;
+    if (Fmt == Format::Json)
+      std::printf("%s\n", support::renderJson(D).c_str());
+    else
+      std::fprintf(stderr, "%s\n",
+                   support::renderText(D, SourceText).c_str());
+  }
+  void emit(const support::DiagList &Ds) {
+    for (const support::Diag &D : Ds)
+      emit(D);
+  }
+
+  /// The deterministic success verdict: text keeps its human one-liner
+  /// (printed by the caller, with timing); JSON emits the stable line.
+  void verdictOk(size_t Modules) {
+    if (Fmt == Format::Json)
+      std::printf("{\"verdict\":\"well-connected\",\"modules\":%zu}\n",
+                  Modules);
+  }
+  /// The failure verdict; \returns the process exit code (1).
+  int verdictError() {
+    if (Fmt == Format::Json)
+      std::printf("{\"verdict\":\"error\",\"errors\":%zu}\n", Errors);
+    return 1;
+  }
+};
+
+int usage(const char *Argv0, Emitter &E, const std::string &Why) {
+  E.emit(support::Diag(support::DiagCode::WS503_USAGE, Why));
   std::fprintf(stderr,
-               "usage: %s <design.blif> [--summaries FILE] "
-               "[--check FILE] [--dot FILE] [--quiet] [--depth] "
-               "[--threads N] [--cache FILE]\n",
+               "usage: %s <design.blif|design.v> [--summaries FILE] "
+               "[--check FILE] [--dot FILE] [--format text|json] "
+               "[--quiet] [--depth] [--threads N] [--cache FILE]\n",
                Argv0);
+  return 2;
+}
+
+int ioError(Emitter &E, const std::string &Why) {
+  E.emit(support::Diag(support::DiagCode::WS501_IO_ERROR, Why));
   return 2;
 }
 
@@ -75,10 +133,44 @@ bool writeFile(const std::string &Path, const std::string &Text) {
   return Out.good();
 }
 
+/// --check: compare a declared sidecar against the computed summaries,
+/// one WS102 diag per mismatching port (module-id then port order).
+support::DiagList
+checkDeclared(const Design &D,
+              const std::map<ModuleId, ModuleSummary> &Declared,
+              const std::map<ModuleId, ModuleSummary> &Computed) {
+  support::DiagList Mismatches;
+  for (const auto &[Id, Decl] : Declared) {
+    const Module &M = D.module(Id);
+    const ModuleSummary &Comp = Computed.at(Id);
+    auto report = [&](WireId Port, const char *What) {
+      Mismatches.add(
+          support::Diag(support::DiagCode::WS102_ASCRIPTION_MISMATCH,
+                        "port '" + M.wire(Port).Name + "': " + What)
+              .withNote("module", M.Name)
+              .withNote("port", M.wire(Port).Name));
+    };
+    for (WireId Port : M.Inputs) {
+      if (Decl.sortOf(Port) != Comp.sortOf(Port))
+        report(Port, "declared sort differs from computed");
+      else if (Decl.outputPortSet(Port) != Comp.outputPortSet(Port))
+        report(Port, "declared output-port-set differs");
+    }
+    for (WireId Port : M.Outputs) {
+      if (Decl.sortOf(Port) != Comp.sortOf(Port))
+        report(Port, "declared sort differs from computed");
+      else if (Decl.inputPortSet(Port) != Comp.inputPortSet(Port))
+        report(Port, "declared input-port-set differs");
+    }
+  }
+  return Mismatches;
+}
+
 } // namespace
 
 int main(int ArgC, char **ArgV) {
-  std::string BlifPath, SummariesOut, CheckPath, DotPath, CachePath;
+  std::string DesignPath, SummariesOut, CheckPath, DotPath, CachePath;
+  Emitter Emit;
   bool Quiet = false;
   bool ShowDepth = false;
   unsigned Threads = 0; // 0 = hardware concurrency.
@@ -92,89 +184,101 @@ int main(int ArgC, char **ArgV) {
     };
     if (Arg == "--summaries") {
       if (!takeValue(SummariesOut))
-        return usage(ArgV[0]);
+        return usage(ArgV[0], Emit, "--summaries expects a file");
     } else if (Arg == "--check") {
       if (!takeValue(CheckPath))
-        return usage(ArgV[0]);
+        return usage(ArgV[0], Emit, "--check expects a file");
     } else if (Arg == "--dot") {
       if (!takeValue(DotPath))
-        return usage(ArgV[0]);
+        return usage(ArgV[0], Emit, "--dot expects a file");
     } else if (Arg == "--cache") {
       if (!takeValue(CachePath))
-        return usage(ArgV[0]);
+        return usage(ArgV[0], Emit, "--cache expects a file");
+    } else if (Arg == "--format") {
+      std::string Value;
+      if (!takeValue(Value))
+        return usage(ArgV[0], Emit, "--format expects text or json");
+      if (Value == "json")
+        Emit.Fmt = Format::Json;
+      else if (Value == "text")
+        Emit.Fmt = Format::Text;
+      else
+        return usage(ArgV[0], Emit,
+                     "unknown --format '" + Value + "' (text|json)");
     } else if (Arg == "--threads") {
       std::string Value;
       if (!takeValue(Value))
-        return usage(ArgV[0]);
+        return usage(ArgV[0], Emit, "--threads expects a count");
       Threads = static_cast<unsigned>(std::atoi(Value.c_str()));
       if (Threads == 0)
-        return usage(ArgV[0]);
+        return usage(ArgV[0], Emit, "--threads expects a positive count");
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--depth") {
       ShowDepth = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
-      return usage(ArgV[0]);
-    } else if (BlifPath.empty()) {
-      BlifPath = Arg;
+      return usage(ArgV[0], Emit, "unknown option '" + Arg + "'");
+    } else if (DesignPath.empty()) {
+      DesignPath = Arg;
     } else {
-      return usage(ArgV[0]);
+      return usage(ArgV[0], Emit, "more than one design file");
     }
   }
-  if (BlifPath.empty())
-    return usage(ArgV[0]);
+  if (DesignPath.empty())
+    return usage(ArgV[0], Emit, "no design file");
 
-  std::optional<std::string> Text = readFile(BlifPath);
-  if (!Text) {
-    std::fprintf(stderr, "error: cannot read %s\n", BlifPath.c_str());
-    return 2;
-  }
+  std::optional<std::string> Text = readFile(DesignPath);
+  if (!Text)
+    return ioError(Emit, "cannot read '" + DesignPath + "'");
+  Emit.SourceText = &*Text;
 
-  std::string Error;
   bool IsVerilog =
-      BlifPath.size() >= 2 &&
-      (BlifPath.rfind(".v") == BlifPath.size() - 2 ||
-       (BlifPath.size() >= 3 &&
-        BlifPath.rfind(".sv") == BlifPath.size() - 3));
+      DesignPath.size() >= 2 &&
+      (DesignPath.rfind(".v") == DesignPath.size() - 2 ||
+       (DesignPath.size() >= 3 &&
+        DesignPath.rfind(".sv") == DesignPath.size() - 3));
   std::optional<parse::BlifFile> File;
   if (IsVerilog) {
-    auto VFile = parse::parseVerilog(*Text, Error);
-    if (VFile) {
-      File.emplace();
-      File->Design = std::move(VFile->Design);
-      File->Top = VFile->Top;
+    auto VFile = parse::parseVerilog(*Text, DesignPath);
+    if (!VFile) {
+      Emit.emit(VFile.diags());
+      return Emit.verdictError();
     }
+    File.emplace();
+    File->Design = std::move(VFile->Design);
+    File->Top = VFile->Top;
   } else {
-    File = parse::parseBlif(*Text, Error);
-  }
-  if (!File) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 2;
+    auto BFile = parse::parseBlif(*Text, DesignPath);
+    if (!BFile) {
+      Emit.emit(BFile.diags());
+      return Emit.verdictError();
+    }
+    File = std::move(*BFile);
   }
 
   EngineOptions EngineOpts;
   EngineOpts.Threads = Threads;
   SummaryEngine Engine(EngineOpts);
   if (!CachePath.empty()) {
-    auto Loaded = Engine.loadCache(CachePath, File->Design, Error);
+    support::Expected<size_t> Loaded =
+        Engine.loadCache(CachePath, File->Design);
     if (!Loaded) {
-      std::fprintf(stderr, "error: bad cache file: %s\n", Error.c_str());
+      Emit.emit(Loaded.diags());
       return 2;
     }
-    if (!Quiet && *Loaded)
+    if (!Quiet && Emit.Fmt == Format::Text && *Loaded)
       std::printf("cache: %zu summaries loaded from %s\n", *Loaded,
                   CachePath.c_str());
   }
 
   Timer T;
   std::map<ModuleId, ModuleSummary> Summaries;
-  std::optional<LoopDiagnostic> Loop =
-      Engine.analyze(File->Design, Summaries);
+  support::Status Stage1 = Engine.analyze(File->Design, Summaries);
   double Ms = T.milliseconds();
 
-  if (Loop) {
-    std::printf("LOOPED: %s\n", Loop->describe().c_str());
-    return 1;
+  if (Stage1.hasError()) {
+    Emit.emit(Stage1);
+    return Emit.verdictError();
   }
 
   if (!CachePath.empty() &&
@@ -182,7 +286,7 @@ int main(int ArgC, char **ArgV) {
     std::fprintf(stderr, "warning: cannot write cache %s\n",
                  CachePath.c_str());
 
-  if (!Quiet) {
+  if (!Quiet && Emit.Fmt == Format::Text) {
     for (ModuleId Id = 0; Id != File->Design.numModules(); ++Id) {
       const Module &M = File->Design.module(Id);
       const ModuleSummary &S = Summaries.at(Id);
@@ -211,13 +315,15 @@ int main(int ArgC, char **ArgV) {
       std::printf("\n");
     }
   }
-  const EngineStats &Stats = Engine.stats();
-  std::printf("well-connected: %zu module(s) analyzed in %.2f ms "
-              "(%u thread(s), %zu inferred, %zu cache hit(s))\n",
-              File->Design.numModules(), Ms, Stats.ThreadsUsed,
-              Stats.Inferred, Stats.CacheHits);
+  if (Emit.Fmt == Format::Text) {
+    const EngineStats &Stats = Engine.stats();
+    std::printf("well-connected: %zu module(s) analyzed in %.2f ms "
+                "(%u thread(s), %zu inferred, %zu cache hit(s))\n",
+                File->Design.numModules(), Ms, Stats.ThreadsUsed,
+                Stats.Inferred, Stats.CacheHits);
+  }
 
-  if (ShowDepth) {
+  if (ShowDepth && Emit.Fmt == Format::Text) {
     auto Depths = inferAllDepths(File->Design, Summaries);
     if (!Depths) {
       std::fprintf(stderr, "error: depth analysis needs an acyclic "
@@ -239,64 +345,45 @@ int main(int ArgC, char **ArgV) {
 
   if (!SummariesOut.empty()) {
     if (!writeFile(SummariesOut,
-                   writeSummaries(File->Design, Summaries))) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   SummariesOut.c_str());
-      return 2;
-    }
-    std::printf("summaries written to %s\n", SummariesOut.c_str());
+                   writeSummaries(File->Design, Summaries)))
+      return ioError(Emit, "cannot write '" + SummariesOut + "'");
+    if (Emit.Fmt == Format::Text)
+      std::printf("summaries written to %s\n", SummariesOut.c_str());
   }
 
   if (!CheckPath.empty()) {
     std::optional<std::string> Declared = readFile(CheckPath);
-    if (!Declared) {
-      std::fprintf(stderr, "error: cannot read %s\n", CheckPath.c_str());
-      return 2;
-    }
+    if (!Declared)
+      return ioError(Emit, "cannot read '" + CheckPath + "'");
     auto DeclaredSummaries =
-        parseSummaries(*Declared, File->Design, Error);
+        parseSummaries(*Declared, File->Design, CheckPath);
     if (!DeclaredSummaries) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
-      return 2;
+      // The sidecar, not the design, is the malformed text here; skip
+      // the caret echo rather than point it into the wrong buffer.
+      Emit.SourceText = nullptr;
+      Emit.emit(DeclaredSummaries.diags());
+      return Emit.verdictError();
     }
-    size_t Mismatches = 0;
-    for (const auto &[Id, Declared] : *DeclaredSummaries) {
-      const Module &M = File->Design.module(Id);
-      const ModuleSummary &Computed = Summaries.at(Id);
-      auto reportMismatch = [&](WireId Port, const char *What) {
-        std::printf("MISMATCH %s.%s: %s\n", M.Name.c_str(),
-                    M.wire(Port).Name.c_str(), What);
-        ++Mismatches;
-      };
-      for (WireId Port : M.Inputs) {
-        if (Declared.sortOf(Port) != Computed.sortOf(Port))
-          reportMismatch(Port, "declared sort differs from computed");
-        else if (Declared.outputPortSet(Port) !=
-                 Computed.outputPortSet(Port))
-          reportMismatch(Port, "declared output-port-set differs");
-      }
-      for (WireId Port : M.Outputs) {
-        if (Declared.sortOf(Port) != Computed.sortOf(Port))
-          reportMismatch(Port, "declared sort differs from computed");
-        else if (Declared.inputPortSet(Port) !=
-                 Computed.inputPortSet(Port))
-          reportMismatch(Port, "declared input-port-set differs");
-      }
+    support::DiagList Mismatches =
+        checkDeclared(File->Design, *DeclaredSummaries, Summaries);
+    if (Mismatches.hasError()) {
+      Emit.emit(Mismatches);
+      if (Emit.Fmt == Format::Text)
+        std::printf("%zu ascription mismatch(es)\n", Mismatches.size());
+      return Emit.verdictError();
     }
-    if (Mismatches) {
-      std::printf("%zu ascription mismatch(es)\n", Mismatches);
-      return 1;
-    }
-    std::printf("all ascriptions match\n");
+    if (Emit.Fmt == Format::Text)
+      std::printf("all ascriptions match\n");
   }
 
   if (!DotPath.empty()) {
     const Module &Top = File->Design.module(File->Top);
-    if (!writeFile(DotPath, moduleDot(Top, Summaries.at(File->Top)))) {
-      std::fprintf(stderr, "error: cannot write %s\n", DotPath.c_str());
-      return 2;
-    }
-    std::printf("dot written to %s\n", DotPath.c_str());
+    if (!writeFile(DotPath, moduleDot(Top, Summaries.at(File->Top))))
+      return ioError(Emit, "cannot write '" + DotPath + "'");
+    if (Emit.Fmt == Format::Text)
+      std::printf("dot written to %s\n", DotPath.c_str());
   }
+
+  Emit.verdictOk(File->Design.numModules());
   return 0;
 }
