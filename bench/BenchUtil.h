@@ -19,6 +19,7 @@
 #include "analysis/SummaryEngine.h"
 #include "ir/Design.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include "synth/Lower.h"
 
 #include <cstdint>
@@ -54,7 +55,7 @@ inline GateLevelRun runGateLevel(const ir::Design &D, ir::ModuleId Id,
 
   ir::Design Flat;
   ir::ModuleId FlatId = Flat.addModule(Run.Gates);
-  analysis::EngineOptions SerialOpts;
+  analysis::CheckOptions SerialOpts;
   SerialOpts.Threads = 1;
   analysis::SummaryEngine Local(SerialOpts);
   analysis::SummaryEngine &E = Engine ? *Engine : Local;
@@ -152,6 +153,25 @@ public:
                     Body.size();
     std::fclose(F);
     return Ok;
+  }
+
+  /// Mirrors the support::trace registry into this report: one record
+  /// per counter ({"counter": name, "value": N}) and one per histogram
+  /// ({"histogram": name, "count", "sum_us", "min_us", "max_us"}).
+  /// Benches that run their measured section inside a metrics-only
+  /// trace::Session call this after Session::finish() so the report
+  /// carries the engine/kernel counters alongside the timing rows.
+  JsonReport &appendTraceRegistry() {
+    for (const auto &[Name, Value] : trace::counterSnapshot())
+      beginRecord().field("counter", Name).field("value", Value);
+    for (const trace::HistogramSnapshot &H : trace::histogramSnapshot())
+      beginRecord()
+          .field("histogram", H.Name)
+          .field("count", H.Count)
+          .field("sum_us", H.Sum)
+          .field("min_us", H.Min)
+          .field("max_us", H.Max);
+    return *this;
   }
 
 private:

@@ -10,12 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/SortInference.h"
-#include "gen/Fifo.h"
-#include "parse/Blif.h"
-#include "support/Table.h"
-#include "support/Timer.h"
-#include "synth/Lower.h"
+#include "wiresort.h"
 
 #include <cstdio>
 #include <fstream>

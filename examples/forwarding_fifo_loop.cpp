@@ -16,13 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/BaseJump.h"
-#include "analysis/SortInference.h"
-#include "analysis/WellConnected.h"
-#include "gen/Catalog.h"
-#include "gen/Fifo.h"
-#include "synth/CycleDetect.h"
-#include "synth/Lower.h"
+#include "wiresort.h"
 
 #include <cstdio>
 

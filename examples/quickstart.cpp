@@ -9,10 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/SortInference.h"
-#include "analysis/WellConnected.h"
-#include "gen/Fifo.h"
-#include "ir/Builder.h"
+#include "wiresort.h"
 
 #include <cstdio>
 

@@ -8,25 +8,35 @@
 // the cycle-accurate simulator — proving the checked design is real,
 // working hardware.
 //
+// With --emit-blif FILE the hierarchical CPU is also lowered to
+// primitive gates and written as BLIF, which is how the CI trace stage
+// (tools/run_tests.sh) gets a real multi-module netlist to feed
+// wiresort-check --trace-out.
+//
 //===----------------------------------------------------------------------===//
 
-#include "analysis/SortInference.h"
-#include "analysis/WellConnected.h"
-#include "riscv/Cpu.h"
-#include "riscv/Encoding.h"
-#include "sim/Simulator.h"
-#include "support/Timer.h"
-#include "synth/Flatten.h"
-#include "synth/Lower.h"
+#include "wiresort.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 using namespace wiresort;
 using namespace wiresort::analysis;
 using namespace wiresort::ir;
 using namespace wiresort::riscv;
 
-int main() {
+int main(int ArgC, char **ArgV) {
+  std::string BlifOut;
+  for (int I = 1; I < ArgC; ++I) {
+    if (std::strcmp(ArgV[I], "--emit-blif") == 0 && I + 1 < ArgC) {
+      BlifOut = ArgV[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--emit-blif FILE]\n", ArgV[0]);
+      return 2;
+    }
+  }
+
   Design D;
   Cpu C = buildCpu(D);
 
@@ -64,6 +74,24 @@ int main() {
 
   // Execute fib(12) on the checked design.
   ModuleId Top = sealCpu(C);
+
+  if (!BlifOut.empty()) {
+    // Lower the whole sealed hierarchy to gates and export it; the CPU
+    // comes back in through parse::parseBlif as an ordinary multi-module
+    // netlist (the CI trace stage feeds it to wiresort-check).
+    synth::HierLowered Low = synth::lowerHierarchical(D, Top);
+    std::ofstream Out(BlifOut);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", BlifOut.c_str());
+      return 2;
+    }
+    Out << parse::writeBlif(Low.Design, Low.Top);
+    if (!Out.good()) {
+      std::fprintf(stderr, "error writing '%s'\n", BlifOut.c_str());
+      return 2;
+    }
+    std::printf("blif written to %s\n", BlifOut.c_str());
+  }
   Module Flat = synth::inlineInstances(D, Top);
   auto Sim = sim::Simulator::create(Flat);
   if (!Sim) {

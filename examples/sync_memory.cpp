@@ -11,10 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/MemoryChecks.h"
-#include "analysis/SortInference.h"
-#include "gen/Catalog.h"
-#include "ir/Builder.h"
+#include "wiresort.h"
 
 #include <cstdio>
 

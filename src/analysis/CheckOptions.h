@@ -1,0 +1,58 @@
+//===- analysis/CheckOptions.h - The one options struct ---------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single knob surface for running a wire-sort check. Before this
+/// header the knobs were scattered: EngineOptions{Threads,UseCache} on
+/// the engine, a cache-path argument threaded by hand, and ad-hoc
+/// --threads/--cache/--format parsing in the CLI. CheckOptions collapses
+/// them so the engine, wiresort-check, and the benchmark harnesses all
+/// consume one struct — each layer reads the fields that concern it and
+/// ignores the rest (the engine does not open files; the CLI owns
+/// CachePath/TraceOutPath I/O).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_CHECKOPTIONS_H
+#define WIRESORT_ANALYSIS_CHECKOPTIONS_H
+
+#include <string>
+
+namespace wiresort::analysis {
+
+/// Options for one end-to-end check (Stage-1 inference + reporting).
+struct CheckOptions {
+  /// Worker threads for SummaryEngine; 0 = hardware concurrency,
+  /// 1 = serial (no pool).
+  unsigned Threads = 0;
+
+  /// When false, every analyze() call re-infers everything (the
+  /// in-memory summary cache is neither consulted nor populated) — the
+  /// differential-testing baseline.
+  bool UseCache = true;
+
+  /// Persistent summary-cache sidecar ("" = in-memory only). Consumed
+  /// by the CLI/benches via SummaryEngine::loadCache/saveCache; the
+  /// engine itself never opens it implicitly.
+  std::string CachePath;
+
+  /// Diagnostic/verdict rendering (docs/DIAGNOSTICS.md).
+  enum class Format { Text, Json };
+  Format OutputFormat = Format::Text;
+
+  /// Chrome trace-event JSON destination for a trace::Session ("" = no
+  /// tracing). See docs/OBSERVABILITY.md.
+  std::string TraceOutPath;
+
+  /// Collect and render the support::trace counter/histogram registry
+  /// (wiresort-check --stats).
+  bool Stats = false;
+};
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_CHECKOPTIONS_H

@@ -10,6 +10,7 @@
 #include "ir/StructuralHash.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -25,13 +26,18 @@ using namespace wiresort::ir;
 
 std::optional<ModuleSummary>
 SummaryCache::lookup(uint64_t Key, ModuleId Id, const std::string &Name) {
+  static trace::Counter &HitCounter = trace::counter("engine.cache_hits");
+  static trace::Counter &MissCounter =
+      trace::counter("engine.cache_misses");
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Entries.find(Key);
   if (It == Entries.end()) {
     ++Misses;
+    MissCounter.add();
     return std::nullopt;
   }
   ++Hits;
+  HitCounter.add();
   ModuleSummary S = It->second;
   // Content addressing is design-independent; only the owning design's
   // module id (and, pedantically, the name) need rebinding.
@@ -125,24 +131,27 @@ struct Run {
     return Deps;
   }
 
+  /// How a module was resolved without running inference.
+  enum class Cheap : uint8_t { No, Ascribed, Hit };
+
   /// Resolves \p Id without inference (ascription or cache hit) if
-  /// possible. Caller holds Mutex. \returns true when resolved.
-  bool tryResolveCheaply(ModuleId Id) {
+  /// possible. Caller holds Mutex.
+  Cheap tryResolveCheaply(ModuleId Id) {
     auto AscIt = Ascribed.find(Id);
     if (AscIt != Ascribed.end()) {
       Out[Id] = AscIt->second;
       ++AscribedCount;
-      return true;
+      return Cheap::Ascribed;
     }
     if (Cache) {
       if (auto Hit =
               Cache->lookup(Keys[Id], Id, D.module(Id).Name)) {
         Out[Id] = std::move(*Hit);
         ++Hits;
-        return true;
+        return Cheap::Hit;
       }
     }
-    return false;
+    return Cheap::No;
   }
 
   /// Marks \p Id finished and returns the dependents that became ready.
@@ -174,6 +183,15 @@ SummaryEngine::analyze(const Design &D,
   Timer T;
   Stats = EngineStats();
   Stats.Modules = D.numModules();
+
+  trace::Span AnalyzeSpan("engine.analyze", "engine");
+  AnalyzeSpan.note("modules", static_cast<uint64_t>(D.numModules()));
+  // Registry mirrors of EngineStats (docs/OBSERVABILITY.md). The cache
+  // hit/miss counters live in SummaryCache::lookup.
+  static trace::Histogram &InferUs = trace::histogram("engine.infer_us");
+  static trace::Counter &ModulesC = trace::counter("engine.modules");
+  static trace::Counter &InferredC = trace::counter("engine.inferred");
+  static trace::Counter &AscribedC = trace::counter("engine.ascribed");
 
   std::optional<std::vector<ModuleId>> Order =
       D.topologicalModuleOrder();
@@ -228,16 +246,24 @@ SummaryEngine::analyze(const Design &D,
         R.finish(Id, Run::State::Skipped); // Propagate to dependents.
         continue;
       }
-      if (R.tryResolveCheaply(Id)) {
+      trace::Span MSpan("engine.module", "engine");
+      MSpan.note("module", D.module(Id).Name);
+      if (Run::Cheap C = R.tryResolveCheaply(Id); C != Run::Cheap::No) {
+        MSpan.note("result", C == Run::Cheap::Hit ? "hit" : "ascribed");
         R.finish(Id, Run::State::Done);
         continue;
       }
+      Timer InferTimer;
       InferenceResult Result = inferSummary(D, Id, Out);
+      InferUs.record(
+          static_cast<uint64_t>(InferTimer.seconds() * 1e6));
       if (!Result) {
+        MSpan.note("result", "loop");
         R.Loops[Id] = Result.diags();
         R.finish(Id, Run::State::Looped);
         continue;
       }
+      MSpan.note("result", "miss");
       ModuleSummary &S = *Result;
       if (R.Cache)
         R.Cache->insert(Keys[Id], S);
@@ -267,7 +293,15 @@ SummaryEngine::analyze(const Design &D,
                 Work.insert(Work.end(), Ready.begin(), Ready.end());
                 continue;
               }
-              if (R.tryResolveCheaply(Id)) {
+              if (Run::Cheap C = R.tryResolveCheaply(Id);
+                  C != Run::Cheap::No) {
+                // Zero-width marker span: cheap resolutions cost ~no
+                // time but still show up in the trace with their
+                // hit/ascribed attribute.
+                trace::Span CheapSpan("engine.module", "engine");
+                CheapSpan.note("module", R.D.module(Id).Name)
+                    .note("result",
+                          C == Run::Cheap::Hit ? "hit" : "ascribed");
                 std::vector<ModuleId> Ready =
                     R.finish(Id, Run::State::Done);
                 Work.insert(Work.end(), Ready.begin(), Ready.end());
@@ -278,10 +312,16 @@ SummaryEngine::analyze(const Design &D,
           }
           for (ModuleId Id : ToInfer)
             Pool.submit([&, Id] {
+              trace::Span MSpan("engine.module", "engine");
+              MSpan.note("module", R.D.module(Id).Name);
               // Reads dep slots of Out; they were written before this
               // task was submitted (happens-before via R.Mutex and the
               // pool queue), and the map structure is frozen.
+              Timer InferTimer;
               InferenceResult Result = inferSummary(R.D, Id, R.Out);
+              InferUs.record(
+                  static_cast<uint64_t>(InferTimer.seconds() * 1e6));
+              MSpan.note("result", Result ? "miss" : "loop");
               std::vector<ModuleId> Ready;
               {
                 std::lock_guard<std::mutex> Lock(R.Mutex);
@@ -326,6 +366,9 @@ SummaryEngine::analyze(const Design &D,
   Stats.Inferred = R.Inferred;
   Stats.Ascribed = R.AscribedCount;
   Stats.Seconds = T.seconds();
+  ModulesC.add(Stats.Modules);
+  InferredC.add(Stats.Inferred);
+  AscribedC.add(Stats.Ascribed);
   return Verdict;
 }
 

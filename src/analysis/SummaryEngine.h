@@ -37,6 +37,7 @@
 #ifndef WIRESORT_ANALYSIS_SUMMARYENGINE_H
 #define WIRESORT_ANALYSIS_SUMMARYENGINE_H
 
+#include "analysis/CheckOptions.h"
 #include "analysis/SortInference.h"
 #include "ir/Design.h"
 
@@ -45,6 +46,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wiresort::analysis {
@@ -79,16 +81,19 @@ private:
   size_t Misses = 0;
 };
 
-/// Tuning knobs for the engine.
-struct EngineOptions {
-  /// Worker threads; 0 = hardware concurrency, 1 = serial (no pool).
-  unsigned Threads = 0;
-  /// When false, every analyze() call re-infers everything (the cache is
-  /// neither consulted nor populated) — the differential baseline.
-  bool UseCache = true;
-};
+/// Deprecated shim for the pre-CheckOptions spelling; the engine now
+/// consumes analysis::CheckOptions (analysis/CheckOptions.h), which
+/// carries the same Threads/UseCache fields. Kept for one PR.
+using EngineOptions
+    [[deprecated("use analysis::CheckOptions instead")]] = CheckOptions;
 
-/// Counters for one analyze() call.
+/// Per-call counters for the most recent analyze(). The same values are
+/// mirrored into the support::trace registry (counters "engine.modules",
+/// "engine.cache_hits", "engine.inferred", "engine.ascribed", and the
+/// "engine.infer_us" per-module histogram — docs/OBSERVABILITY.md)
+/// whenever a trace::Session is live; this struct is the per-call
+/// snapshot that works even with tracing disabled, the registry is the
+/// session-cumulative view.
 struct EngineStats {
   size_t Modules = 0;    ///< Modules the design required summaries for.
   size_t CacheHits = 0;  ///< Summaries served from the cache.
@@ -102,7 +107,7 @@ struct EngineStats {
 /// production path (wiresort-check, circuit checking, the benches).
 class SummaryEngine {
 public:
-  explicit SummaryEngine(EngineOptions Opts = {}) : Opts(Opts) {}
+  explicit SummaryEngine(CheckOptions Opts = {}) : Opts(std::move(Opts)) {}
 
   /// Analyzes every module of \p D, filling \p Out (cleared first) with a
   /// summary per module exactly as serial analyzeDesign would. Modules
@@ -144,7 +149,7 @@ public:
                                       const ir::Design &D);
 
 private:
-  EngineOptions Opts;
+  CheckOptions Opts;
   SummaryCache Cache;
   EngineStats Stats;
   /// Per-module cache keys of the last analyzed design.

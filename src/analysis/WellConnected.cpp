@@ -8,8 +8,25 @@
 
 #include "analysis/SummaryEngine.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
+
+namespace {
+
+/// Shared Stage-2 bookkeeping for both circuit checkers.
+wiresort::trace::Counter &safeBySortCounter() {
+  static wiresort::trace::Counter &C =
+      wiresort::trace::counter("analysis.safe_by_sort");
+  return C;
+}
+wiresort::trace::Counter &needsCheckCounter() {
+  static wiresort::trace::Counter &C =
+      wiresort::trace::counter("analysis.needs_check");
+  return C;
+}
+
+} // namespace
 
 using namespace wiresort;
 using namespace wiresort::analysis;
@@ -33,6 +50,8 @@ analysis::classifyConnection(const Circuit &Circ,
 PortGraph PortGraph::build(const Circuit &Circ,
                            const std::map<ModuleId, ModuleSummary>
                                &Summaries) {
+  trace::Span BuildSpan("analysis.port_graph", "analysis");
+  BuildSpan.note("circuit", Circ.name());
   PortGraph PG;
   const auto &Insts = Circ.instances();
   const Design &D = Circ.design();
@@ -123,6 +142,8 @@ CircuitCheckResult
 analysis::checkCircuit(const Circuit &Circ,
                        const std::map<ModuleId, ModuleSummary> &Summaries) {
   Timer T;
+  trace::Span CheckSpan("analysis.check_circuit", "analysis");
+  CheckSpan.note("circuit", Circ.name());
   CircuitCheckResult Result;
 
   const std::vector<const ModuleSummary *> InstSummary =
@@ -133,6 +154,8 @@ analysis::checkCircuit(const Circuit &Circ,
     else
       ++Result.NeedsCheck;
   }
+  safeBySortCounter().add(Result.SafeBySort);
+  needsCheckCounter().add(Result.NeedsCheck);
 
   PortGraph PG = PortGraph::build(Circ, Summaries);
   if (PG.csr().isAcyclic()) {
@@ -215,6 +238,8 @@ analysis::checkCircuitPairwise(const Circuit &Circ,
                                const std::map<ModuleId, ModuleSummary>
                                    &Summaries) {
   Timer T;
+  trace::Span CheckSpan("analysis.check_circuit", "analysis");
+  CheckSpan.note("circuit", Circ.name()).note("mode", "pairwise");
   CircuitCheckResult Result;
   PortGraph PG = PortGraph::build(Circ, Summaries);
   const std::vector<const ModuleSummary *> InstSummary =
@@ -241,6 +266,8 @@ analysis::checkCircuitPairwise(const Circuit &Circ,
     for (WireId W2 : InstSummary[C.To.Inst]->outputPortSet(C.To.Port))
       Queries.push_back({I, PG.nodeOf(PortRef{C.To.Inst, W2})});
   }
+  safeBySortCounter().add(Result.SafeBySort);
+  needsCheckCounter().add(Result.NeedsCheck);
 
   ReachabilityKernel Kernel(PG.csr());
   std::vector<uint32_t> Sources;

@@ -6,6 +6,8 @@
 
 #include "parse/Blif.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 #include <cctype>
 #include <map>
@@ -79,6 +81,12 @@ support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
   using support::Diag;
   using support::DiagCode;
   using support::SrcLoc;
+
+  static trace::Counter &ParseBytes = trace::counter("parse.bytes");
+  ParseBytes.add(Text.size());
+  trace::Span ParseSpan("parse.blif", "parse");
+  ParseSpan.note("file", FileName)
+      .note("bytes", static_cast<uint64_t>(Text.size()));
 
   std::vector<ModelBuilder> Models;
   ModelBuilder *Cur = nullptr;

@@ -12,6 +12,7 @@
 #include "parse/VerilogReader.h"
 
 #include "parse/VerilogLexer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <map>
@@ -920,6 +921,11 @@ private:
 
 support::Expected<VerilogFile>
 parse::parseVerilog(const std::string &Text, const std::string &FileName) {
+  static trace::Counter &ParseBytes = trace::counter("parse.bytes");
+  ParseBytes.add(Text.size());
+  trace::Span ParseSpan("parse.verilog", "parse");
+  ParseSpan.note("file", FileName)
+      .note("bytes", static_cast<uint64_t>(Text.size()));
   auto Toks = lexVerilog(Text, FileName);
   if (!Toks)
     return Toks.diags();

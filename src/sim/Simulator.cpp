@@ -7,6 +7,7 @@
 #include "sim/Simulator.h"
 
 #include "support/Graph.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <map>
@@ -16,6 +17,9 @@ using namespace wiresort::ir;
 using namespace wiresort::sim;
 
 support::Expected<Simulator> Simulator::create(const Module &Flat) {
+  trace::Span CreateSpan("sim.create", "sim");
+  CreateSpan.note("module", Flat.Name)
+      .note("wires", static_cast<uint64_t>(Flat.numWires()));
   if (!Flat.Instances.empty()) {
     return support::Diag(
         support::DiagCode::WS301_SIM_BUILD,
@@ -179,6 +183,8 @@ void Simulator::evalNet(const Net &N) {
 }
 
 void Simulator::evaluate() {
+  static trace::Counter &NetEvals = trace::counter("sim.net_evals");
+  NetEvals.add(Order.size());
   const size_t NumNets = M->Nets.size();
   for (NetId Item : Order) {
     if (Item < NumNets) {
@@ -192,6 +198,8 @@ void Simulator::evaluate() {
 }
 
 void Simulator::step() {
+  static trace::Counter &Steps = trace::counter("sim.steps");
+  Steps.add();
   evaluate();
 
   // Capture next-state values before mutating anything so every latch

@@ -6,6 +6,8 @@
 
 #include "support/CsrGraph.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -13,8 +15,14 @@
 using namespace wiresort;
 
 CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
+  static trace::Counter &Freezes = trace::counter("kernel.freezes");
+  static trace::Counter &Repairs =
+      trace::counter("kernel.freeze_repairs");
+  trace::Span FreezeSpan("kernel.freeze", "kernel");
+  Freezes.add();
   CsrGraph C;
   const size_t N = G.numNodes();
+  FreezeSpan.note("nodes", static_cast<uint64_t>(N));
 
   // Forward CSR: count, prefix-sum, fill. The fill pass doubles as the
   // reverse-edge count (in-degrees), saving one scan of the edge array.
@@ -53,6 +61,9 @@ CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
   // all-ascending graph needs no further proof.
   if (DescTargets.empty())
     return C;
+  // Descending edges defeated the identity-order proof; every one is a
+  // repair the near-sorted pass (or Tarjan fallback) must absorb.
+  Repairs.add(DescTargets.size());
 
   // Near-sorted repair: only nodes downstream of a descending edge can
   // be mis-placed by the identity order. That repair set R (the forward
@@ -137,6 +148,10 @@ CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
 
 void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
   assert(Count <= WordBits && "a sweep carries at most 64 source lanes");
+  static trace::Counter &Sweeps = trace::counter("kernel.sweeps");
+  static trace::Counter &WordsSwept =
+      trace::counter("kernel.words_swept");
+  Sweeps.add();
 
   // Sparse reset of the previous sweep's footprint: between sweeps the
   // scratch arrays are all-zero except at Dirty positions.
@@ -181,6 +196,8 @@ void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
     Work.pop_back();
     scatterFrom(B, visit);
   }
+  // One 64-lane mask word per discovered block is what phase 2 settles.
+  WordsSwept.add(Dirty.size());
 
   // Phase 2: propagate lane masks over exactly the discovered blocks in
   // topological order (predecessors first), so one scatter pass settles

@@ -1,0 +1,353 @@
+//===- support/Trace.cpp - Tracing and metrics ----------------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace wiresort;
+using namespace wiresort::trace;
+
+// --- Global state -----------------------------------------------------------
+
+std::atomic<bool> detail::SpansOn{false};
+std::atomic<bool> detail::CountersOn{false};
+
+namespace {
+
+/// One span as recorded on the hot path: literal pointers, raw clock.
+struct RawEvent {
+  const char *Name;
+  const char *Cat;
+  uint64_t StartNs;
+  uint64_t EndNs;
+  std::vector<std::pair<const char *, std::string>> Args;
+};
+
+/// A thread's event buffer. Owned jointly by the thread (thread_local
+/// shared_ptr) and the registry, so events survive thread exit until the
+/// session drains them.
+struct ThreadBuf {
+  std::vector<RawEvent> Events;
+  uint32_t Tid = 0;
+};
+
+/// Registry of thread buffers + named metrics. One mutex guards the
+/// cold paths (thread registration, name interning, session start/stop,
+/// drains); the hot paths — Span::~Span appending to its own buffer,
+/// Counter::add — never take it.
+struct Registry {
+  std::mutex Mutex;
+  std::vector<std::shared_ptr<ThreadBuf>> Buffers;
+  uint32_t NextTid = 0;
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Histogram> Histograms;
+  /// Session time base: StartNs in SpanRecord is relative to this.
+  uint64_t BaseNs = 0;
+  Session *Active = nullptr;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+ThreadBuf &myBuffer() {
+  thread_local std::shared_ptr<ThreadBuf> Buf;
+  if (!Buf) {
+    Buf = std::make_shared<ThreadBuf>();
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    Buf->Tid = R.NextTid++;
+    R.Buffers.push_back(Buf);
+  }
+  return *Buf;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Microseconds with fixed 3-decimal precision (Chrome ts unit).
+std::string microseconds(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof Buf, "%llu.%03llu",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned long long>(Ns % 1000));
+  return Buf;
+}
+
+} // namespace
+
+uint64_t detail::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void detail::record(const char *Name, const char *Cat, uint64_t StartNs,
+                    uint64_t EndNs,
+                    std::vector<std::pair<const char *, std::string>> Args) {
+  // Re-check under the race where a session finishes while a span is
+  // being destroyed: events from a closed window are dropped, never
+  // appended concurrently with a drain. (Production callers join their
+  // workers before finish(); this is belt-and-braces.)
+  if (!spansEnabled())
+    return;
+  myBuffer().Events.push_back(
+      {Name, Cat, StartNs, EndNs, std::move(Args)});
+}
+
+// --- Histogram --------------------------------------------------------------
+
+void Histogram::record(uint64_t Sample) {
+  if (!countersEnabled())
+    return;
+  N.fetch_add(1, std::memory_order_relaxed);
+  S.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Cur = Mn.load(std::memory_order_relaxed);
+  while (Sample < Cur &&
+         !Mn.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+  Cur = Mx.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Mx.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t V = Mn.load(std::memory_order_relaxed);
+  return V == UINT64_MAX ? 0 : V;
+}
+
+void Histogram::reset() {
+  N.store(0, std::memory_order_relaxed);
+  S.store(0, std::memory_order_relaxed);
+  Mn.store(UINT64_MAX, std::memory_order_relaxed);
+  Mx.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Counter &trace::counter(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Counters[Name]; // std::map nodes: stable addresses.
+}
+
+Histogram &trace::histogram(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Histograms[Name];
+}
+
+std::vector<std::pair<std::string, uint64_t>> trace::counterSnapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(R.Counters.size());
+  for (const auto &[Name, C] : R.Counters)
+    Out.emplace_back(Name, C.value());
+  return Out; // std::map iteration order: already sorted by name.
+}
+
+std::vector<HistogramSnapshot> trace::histogramSnapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<HistogramSnapshot> Out;
+  Out.reserve(R.Histograms.size());
+  for (const auto &[Name, H] : R.Histograms)
+    Out.push_back({Name, H.count(), H.sum(), H.min(), H.max()});
+  return Out;
+}
+
+// --- Session ----------------------------------------------------------------
+
+Session::Session(SessionOptions O) : Opts(std::move(O)) {
+  Registry &R = registry();
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    assert(!R.Active && "only one trace::Session may be live at a time");
+    R.Active = this;
+    for (auto &Buf : R.Buffers)
+      Buf->Events.clear();
+    for (auto &[Name, C] : R.Counters)
+      C.reset();
+    for (auto &[Name, H] : R.Histograms)
+      H.reset();
+    R.BaseNs = detail::nowNs();
+  }
+  detail::CountersOn.store(true, std::memory_order_relaxed);
+  if (Opts.CollectSpans)
+    detail::SpansOn.store(true, std::memory_order_relaxed);
+}
+
+Session::~Session() { (void)finish(); }
+
+support::Status Session::finish() {
+  if (Finished)
+    return {};
+  Finished = true;
+  detail::SpansOn.store(false, std::memory_order_relaxed);
+  detail::CountersOn.store(false, std::memory_order_relaxed);
+
+  Registry &R = registry();
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    R.Active = nullptr;
+    for (const auto &Buf : R.Buffers) {
+      for (const RawEvent &E : Buf->Events) {
+        SpanRecord Rec;
+        Rec.Name = E.Name;
+        Rec.Cat = E.Cat;
+        Rec.StartNs = E.StartNs >= R.BaseNs ? E.StartNs - R.BaseNs : 0;
+        Rec.DurNs = E.EndNs - E.StartNs;
+        Rec.Tid = Buf->Tid;
+        for (const auto &[K, V] : E.Args)
+          Rec.Args.emplace_back(K, V);
+        Collected.push_back(std::move(Rec));
+      }
+      Buf->Events.clear();
+    }
+  }
+  // Ascending start time; ties broken longest-first so an enclosing
+  // span precedes the spans it contains. Makes the trace's ts stream
+  // monotonic, which TraceTest and the jq CI stage assert.
+  std::stable_sort(Collected.begin(), Collected.end(),
+                   [](const SpanRecord &A, const SpanRecord &B) {
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     return A.DurNs > B.DurNs;
+                   });
+
+  if (Opts.TraceOutPath.empty())
+    return {};
+  std::ofstream Out(Opts.TraceOutPath);
+  if (!Out) {
+    return support::Diag(support::DiagCode::WS501_IO_ERROR,
+                         "cannot write trace file '" + Opts.TraceOutPath +
+                             "'");
+  }
+  Out << chromeTraceJson();
+  if (!Out.good()) {
+    return support::Diag(support::DiagCode::WS501_IO_ERROR,
+                         "error writing trace file '" + Opts.TraceOutPath +
+                             "'");
+  }
+  return {};
+}
+
+std::string Session::chromeTraceJson() const {
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  uint64_t LastTs = 0;
+  for (const SpanRecord &S : Collected) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"name\":\"" + jsonEscape(S.Name) + "\",\"cat\":\"" +
+           jsonEscape(S.Cat) + "\",\"ph\":\"X\",\"ts\":" +
+           microseconds(S.StartNs) + ",\"dur\":" + microseconds(S.DurNs) +
+           ",\"pid\":1,\"tid\":" + std::to_string(S.Tid);
+    if (!S.Args.empty()) {
+      Out += ",\"args\":{";
+      for (size_t I = 0; I != S.Args.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += "\"" + jsonEscape(S.Args[I].first) + "\":\"" +
+               jsonEscape(S.Args[I].second) + "\"";
+      }
+      Out += "}";
+    }
+    Out += "}";
+    LastTs = std::max(LastTs, S.StartNs);
+  }
+  // Final registry values as Chrome counter events, timestamped at the
+  // end of the window so they render as closing totals.
+  for (const auto &[Name, Value] : counterSnapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"name\":\"" + jsonEscape(Name) +
+           "\",\"ph\":\"C\",\"ts\":" + microseconds(LastTs) +
+           ",\"pid\":1,\"tid\":0,\"args\":{\"value\":" +
+           std::to_string(Value) + "}}";
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+std::string Session::statsText() const {
+  std::string Out = "=== stats (support::trace registry) ===\n";
+  Out += "counters:\n";
+  for (const auto &[Name, Value] : counterSnapshot())
+    Out += "  " + Name + " = " + std::to_string(Value) + "\n";
+  Out += "histograms:\n";
+  for (const HistogramSnapshot &H : histogramSnapshot()) {
+    Out += "  " + H.Name + ": count=" + std::to_string(H.Count) + " sum=" +
+           std::to_string(H.Sum) + "us min=" + std::to_string(H.Min) +
+           "us max=" + std::to_string(H.Max) + "us\n";
+  }
+  return Out;
+}
+
+std::string Session::statsJson() const {
+  std::string Out = "{\"type\":\"stats\",\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : counterSnapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\":" + std::to_string(Value);
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const HistogramSnapshot &H : histogramSnapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(H.Name) + "\":{\"count\":" +
+           std::to_string(H.Count) + ",\"sum\":" + std::to_string(H.Sum) +
+           ",\"min\":" + std::to_string(H.Min) +
+           ",\"max\":" + std::to_string(H.Max) + "}";
+  }
+  Out += "}}";
+  return Out;
+}

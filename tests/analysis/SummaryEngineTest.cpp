@@ -85,7 +85,7 @@ TEST(SummaryEngineTest, DiamondMatchesSerialAnalyzeDesign) {
     Summaries Reference;
     ASSERT_FALSE(analyzeDesign(D, Reference).hasError());
 
-    EngineOptions Opts;
+    CheckOptions Opts;
     Opts.Threads = Threads;
     SummaryEngine Engine(Opts);
     Summaries Out = engineAnalyzeOrDie(Engine, D);
@@ -201,7 +201,7 @@ TEST(SummaryEngineTest, KeysAreDesignIndependent) {
 TEST(SummaryEngineTest, DisabledCacheNeverHits) {
   Design D;
   buildDiamond(D);
-  EngineOptions Opts;
+  CheckOptions Opts;
   Opts.UseCache = false;
   SummaryEngine Engine(Opts);
   Summaries First = engineAnalyzeOrDie(Engine, D);
@@ -241,7 +241,7 @@ TEST(SummaryEngineTest, LoopVerdictMatchesSerialDiagnostic) {
     wiresort::support::Status Serial = analyzeDesign(D, Reference);
     ASSERT_TRUE(Serial.hasError());
 
-    EngineOptions Opts;
+    CheckOptions Opts;
     Opts.Threads = Threads;
     SummaryEngine Engine(Opts);
     Summaries Out;

@@ -72,7 +72,7 @@ bool verdictsAgree(uint32_t Seed, uint16_t InstanceCap, unsigned Threads) {
   Circuit Circ = buildTrial(D, Seed, InstanceCap);
   ModuleId Top = Circ.seal();
 
-  EngineOptions Opts;
+  CheckOptions Opts;
   Opts.Threads = Threads;
   SummaryEngine Engine(Opts);
   Summaries Out;
@@ -154,7 +154,7 @@ TEST_P(DeterminismTrial, ParallelAndCachedRunsAreStructurallyIdentical) {
   Circ.seal();
 
   // Baseline: serial engine, cache off — pure repeated inference.
-  EngineOptions SerialOpts;
+  CheckOptions SerialOpts;
   SerialOpts.Threads = 1;
   SerialOpts.UseCache = false;
   SummaryEngine Serial(SerialOpts);
@@ -183,7 +183,7 @@ TEST_P(DeterminismTrial, ParallelAndCachedRunsAreStructurallyIdentical) {
   // Parallel cold, then warm (all cache hits), then a fresh engine warmed
   // through a shared cache run: all must be structurally identical to the
   // serial reference, verdict included.
-  EngineOptions ParallelOpts;
+  CheckOptions ParallelOpts;
   ParallelOpts.Threads = 4;
   SummaryEngine Parallel(ParallelOpts);
   for (const char *Phase : {"parallel cold", "parallel warm"}) {
@@ -233,7 +233,7 @@ TEST(DeterminismTest, EveryLoopedModuleReportedOnceSortedByModuleId) {
     }
   }
 
-  EngineOptions SerialOpts;
+  CheckOptions SerialOpts;
   SerialOpts.Threads = 1;
   SummaryEngine Serial(SerialOpts);
   Summaries SerialOut;
@@ -248,7 +248,7 @@ TEST(DeterminismTest, EveryLoopedModuleReportedOnceSortedByModuleId) {
   // The loop-free module still got its summary.
   EXPECT_TRUE(SerialOut.count(Ids[1]));
 
-  EngineOptions ParallelOpts;
+  CheckOptions ParallelOpts;
   ParallelOpts.Threads = 4;
   SummaryEngine Parallel(ParallelOpts);
   for (const char *Phase : {"parallel cold", "parallel warm"}) {

@@ -1,0 +1,255 @@
+//===- tests/support/TraceTest.cpp - Tracing & metrics tests --------------===//
+//
+// Part of the wiresort project. Pins the support::trace contract
+// (docs/OBSERVABILITY.md): spans collected across ThreadPool workers nest
+// and rebase correctly, counters and histograms stay exact under
+// concurrent hammering (this suite runs in the TSan stage of
+// tools/run_tests.sh), the disabled path records nothing, sessions reset
+// the registry, and the Chrome trace-event JSON writer emits monotonic
+// timestamps and well-formed documents.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+using namespace wiresort;
+
+namespace {
+
+/// Spans collected by \p S with the given name.
+std::vector<trace::SpanRecord> spansNamed(const trace::Session &S,
+                                          const char *Name) {
+  std::vector<trace::SpanRecord> Out;
+  for (const trace::SpanRecord &R : S.spans())
+    if (R.Name == Name)
+      Out.push_back(R);
+  return Out;
+}
+
+TEST(TraceTest, DisabledInstrumentationRecordsNothing) {
+  // No session live: spans vanish, counters stay put.
+  ASSERT_FALSE(trace::spansEnabled());
+  ASSERT_FALSE(trace::countersEnabled());
+  trace::Counter &C = trace::counter("trace_test.disabled");
+  const uint64_t Before = C.value();
+  C.add(41);
+  EXPECT_EQ(C.value(), Before);
+  trace::Histogram &H = trace::histogram("trace_test.disabled_us");
+  H.record(99);
+  EXPECT_EQ(H.count(), 0u);
+  {
+    trace::Span S("trace_test.orphan", "test");
+    EXPECT_FALSE(S.active());
+  }
+}
+
+TEST(TraceTest, SessionResetsRegistryAndCollectsSpans) {
+  {
+    trace::Session First;
+    trace::counter("trace_test.reset").add(7);
+    ASSERT_EQ(trace::counter("trace_test.reset").value(), 7u);
+  }
+  trace::Session Second;
+  // A new session starts every counter from zero.
+  EXPECT_EQ(trace::counter("trace_test.reset").value(), 0u);
+  {
+    trace::Span S("trace_test.one", "test");
+    EXPECT_TRUE(S.active());
+    S.note("key", "value");
+  }
+  ASSERT_FALSE(Second.finish().hasError());
+  auto Spans = spansNamed(Second, "trace_test.one");
+  ASSERT_EQ(Spans.size(), 1u);
+  ASSERT_EQ(Spans[0].Args.size(), 1u);
+  EXPECT_EQ(Spans[0].Args[0].first, "key");
+  EXPECT_EQ(Spans[0].Args[0].second, "value");
+}
+
+TEST(TraceTest, NestedSpansStayEnclosedAndSortParentFirst) {
+  trace::Session S;
+  {
+    trace::Span Outer("trace_test.outer", "test");
+    {
+      trace::Span Inner("trace_test.inner", "test");
+    }
+  }
+  ASSERT_FALSE(S.finish().hasError());
+  auto Outer = spansNamed(S, "trace_test.outer");
+  auto Inner = spansNamed(S, "trace_test.inner");
+  ASSERT_EQ(Outer.size(), 1u);
+  ASSERT_EQ(Inner.size(), 1u);
+  // Enclosure in rebased time, and flush order parent-before-child.
+  EXPECT_LE(Outer[0].StartNs, Inner[0].StartNs);
+  EXPECT_GE(Outer[0].StartNs + Outer[0].DurNs,
+            Inner[0].StartNs + Inner[0].DurNs);
+  size_t OuterAt = 0, InnerAt = 0;
+  for (size_t I = 0; I != S.spans().size(); ++I) {
+    if (S.spans()[I].Name == "trace_test.outer")
+      OuterAt = I;
+    if (S.spans()[I].Name == "trace_test.inner")
+      InnerAt = I;
+  }
+  EXPECT_LT(OuterAt, InnerAt);
+}
+
+TEST(TraceTest, SpansCollectAcrossThreadPoolWorkers) {
+  constexpr int Tasks = 64;
+  trace::Session S;
+  {
+    ThreadPool Pool(4);
+    for (int I = 0; I != Tasks; ++I)
+      Pool.submit([] {
+        trace::Span Task("trace_test.task", "test");
+        trace::Span Nested("trace_test.nested", "test");
+      });
+    Pool.wait();
+  } // Workers join before finish(): the Session thread discipline.
+  ASSERT_FALSE(S.finish().hasError());
+  EXPECT_EQ(spansNamed(S, "trace_test.task").size(),
+            static_cast<size_t>(Tasks));
+  EXPECT_EQ(spansNamed(S, "trace_test.nested").size(),
+            static_cast<size_t>(Tasks));
+  // Flush order is globally monotonic in start time whatever the
+  // producing thread was.
+  uint64_t LastStart = 0;
+  std::set<uint32_t> Tids;
+  for (const trace::SpanRecord &R : S.spans()) {
+    EXPECT_GE(R.StartNs, LastStart);
+    LastStart = R.StartNs;
+    Tids.insert(R.Tid);
+  }
+  // Session-scoped tids are small and dense, not raw OS ids.
+  for (uint32_t Tid : Tids)
+    EXPECT_LT(Tid, 64u);
+}
+
+TEST(TraceTest, CountersExactUnderConcurrentHammering) {
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  trace::Session S;
+  trace::Counter &C = trace::counter("trace_test.hammer");
+  trace::Histogram &H = trace::histogram("trace_test.hammer_us");
+  {
+    ThreadPool Pool(Threads);
+    for (int T = 0; T != Threads; ++T)
+      Pool.submit([&C, &H, T] {
+        for (uint64_t I = 0; I != PerThread; ++I) {
+          C.add();
+          H.record(uint64_t(T) * PerThread + I);
+        }
+      });
+    Pool.wait();
+  }
+  EXPECT_EQ(C.value(), Threads * PerThread);
+  EXPECT_EQ(H.count(), Threads * PerThread);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), Threads * PerThread - 1);
+  // Sum of 0..N-1.
+  const uint64_t N = Threads * PerThread;
+  EXPECT_EQ(H.sum(), N * (N - 1) / 2);
+}
+
+TEST(TraceTest, ChromeTraceFileIsValidJsonWithMonotonicTimestamps) {
+  const std::string Path =
+      testing::TempDir() + "/wiresort_trace_test.json";
+  {
+    trace::Session S(trace::SessionOptions{Path, true});
+    for (int I = 0; I != 5; ++I) {
+      trace::Span Sp("trace_test.file_span", "test");
+      Sp.note("i", static_cast<uint64_t>(I));
+    }
+    trace::counter("trace_test.file_counter").add(3);
+    ASSERT_FALSE(S.finish().hasError());
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  const std::string Doc = SS.str();
+  std::remove(Path.c_str());
+
+  // Structural spot checks a JSON parser would make (the jq stage of
+  // tools/run_tests.sh does the full parse).
+  EXPECT_EQ(Doc.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"trace_test.file_counter\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Balanced braces => no truncated write.
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I != Doc.size(); ++I) {
+    char Ch = Doc[I];
+    if (InString) {
+      if (Ch == '\\')
+        ++I;
+      else if (Ch == '"')
+        InString = false;
+      continue;
+    }
+    if (Ch == '"')
+      InString = true;
+    else if (Ch == '{')
+      ++Depth;
+    else if (Ch == '}')
+      --Depth;
+    ASSERT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+}
+
+TEST(TraceTest, TraceWriteFailureIsAStructuredDiag) {
+  trace::Session S(
+      trace::SessionOptions{"/no/such/dir/wiresort_trace.json", true});
+  support::Status Result = S.finish();
+  ASSERT_TRUE(Result.hasError());
+  EXPECT_EQ(Result[0].code(), support::DiagCode::WS501_IO_ERROR);
+}
+
+TEST(TraceTest, MetricsOnlySessionCollectsNoSpans) {
+  trace::Session S(trace::SessionOptions{"", /*CollectSpans=*/false});
+  EXPECT_FALSE(trace::spansEnabled());
+  EXPECT_TRUE(trace::countersEnabled());
+  {
+    trace::Span Sp("trace_test.metrics_only", "test");
+    EXPECT_FALSE(Sp.active());
+  }
+  trace::counter("trace_test.metrics_only").add(5);
+  ASSERT_FALSE(S.finish().hasError());
+  EXPECT_TRUE(S.spans().empty());
+  EXPECT_EQ(trace::counter("trace_test.metrics_only").value(), 5u);
+}
+
+TEST(TraceTest, StatsRenderingsAreSortedAndSingleLineJson) {
+  trace::Session S;
+  trace::counter("trace_test.b").add(2);
+  trace::counter("trace_test.a").add(1);
+  trace::histogram("trace_test.h_us").record(10);
+  ASSERT_FALSE(S.finish().hasError());
+
+  const std::string Text = S.statsText();
+  EXPECT_LT(Text.find("trace_test.a = 1"), Text.find("trace_test.b = 2"));
+  EXPECT_NE(Text.find("trace_test.h_us: count=1"), std::string::npos);
+
+  const std::string Json = S.statsJson();
+  EXPECT_EQ(Json.find('\n'), std::string::npos);
+  EXPECT_EQ(Json.rfind("{\"type\":\"stats\"", 0), 0u);
+  EXPECT_NE(Json.find("\"trace_test.a\":1"), std::string::npos);
+  EXPECT_NE(
+      Json.find(
+          "\"trace_test.h_us\":{\"count\":1,\"sum\":10,\"min\":10,\"max\":10}"),
+      std::string::npos);
+}
+
+} // namespace

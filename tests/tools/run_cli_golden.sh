@@ -56,6 +56,39 @@ run missing 2 no_such_file.blif --format json
 run badflag 2 loopfree.blif --format json --bogus
 run badcache 2 loopfree.blif --format json --cache bogus.wscache
 
+# --stats: the NDJSON stats record precedes the verdict line. Counters
+# are deterministic at --threads 1; the histogram timing fields are not,
+# so jq reduces each histogram to its count before the diff (which is
+# why this case needs jq at all).
+if command -v jq >/dev/null 2>&1; then
+  Out=$("$BIN" loopfree.blif --format json --threads 1 --stats \
+        2>/dev/null)
+  GotExit=$?
+  Norm=$(printf '%s\n' "$Out" | jq -c 'if .type == "stats"
+           then .histograms |= with_entries(.value |= {count: .count})
+           else . end')
+  if [ "$GotExit" -ne 0 ]; then
+    echo "FAIL stats: exit $GotExit, want 0" >&2
+    Failures=$((Failures + 1))
+  elif ! printf '%s\n' "$Norm" | diff -u stats.golden.json - >&2; then
+    echo "FAIL stats: stdout differs from stats.golden.json" >&2
+    Failures=$((Failures + 1))
+  else
+    echo "ok stats (exit 0)"
+  fi
+fi
+
+# --stats, human rendering: byte-stable once the wall-clock tokens
+# ("... ms", "sum=..us") are scrubbed.
+Out=$("$BIN" loopfree.blif --quiet --threads 1 --stats 2>/dev/null |
+      sed -e 's/[0-9][0-9.]* ms/NNN ms/g' -e 's/=[0-9][0-9]*us/=NNNus/g')
+if ! printf '%s\n' "$Out" | diff -u statstext.golden.txt - >&2; then
+  echo "FAIL statstext: stdout differs from statstext.golden.txt" >&2
+  Failures=$((Failures + 1))
+else
+  echo "ok statstext"
+fi
+
 # The machine contract really is machine-readable: every line of every
 # golden must parse as standalone JSON (jq is in the base image; skip
 # quietly where it is not).

@@ -15,7 +15,13 @@
 #      sweep (docs/KERNEL.md) lives on shifts and index arithmetic, which
 #      is exactly UBSan's beat;
 #   4. a jq smoke check that live `wiresort-check --format json` output
-#      is valid NDJSON (skipped when jq is absent).
+#      is valid NDJSON (skipped when jq is absent);
+#   5. a trace/stats validation stage (docs/OBSERVABILITY.md): export the
+#      riscv_soc CPU as BLIF, run `wiresort-check --trace-out --stats`
+#      over it, and jq-check the Chrome trace (ph/ts/tid on every event,
+#      monotonic timestamps, engine/kernel/parse categories, cache
+#      hit/miss attributes on engine.module spans), then run the
+#      bench_engine disabled-vs-enabled overhead smoke.
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
@@ -51,11 +57,14 @@ echo "=== stage 2: SummaryEngine suites under ThreadSanitizer ($TSAN_BUILD) ==="
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-  --target engine_tests differential_tests kernel_tests
+  --target engine_tests differential_tests kernel_tests trace_tests
 # halt_on_error so a single race fails the run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/engine_tests"
 TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/differential_tests"
 TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/kernel_tests"
+# The trace layer's per-thread buffers and counter registry are lockless
+# on the hot path; the suite hammers them from a ThreadPool on purpose.
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/trace_tests"
 
 echo
 echo "=== stage 3: kernel suite under UndefinedBehaviorSanitizer ($ROOT/build-ubsan) ==="
@@ -84,4 +93,41 @@ else
 fi
 
 echo
-echo "all suites passed (regular + TSan + UBSan + CLI smoke)"
+echo "=== stage 5: trace & stats validation (jq) ==="
+if command -v jq >/dev/null 2>&1; then
+  TRACE_TMP=$(mktemp -d)
+  trap 'rm -rf "$TRACE_TMP"' EXIT
+  # A real multi-module netlist: the Section 5.3 CPU, lowered and
+  # exported by the example binary itself.
+  "$BUILD/examples/riscv_soc" --emit-blif "$TRACE_TMP/soc.blif" >/dev/null
+  "$BUILD/tools/wiresort-check" "$TRACE_TMP/soc.blif" --quiet \
+    --threads 2 --stats --trace-out "$TRACE_TMP/trace.json" \
+    >"$TRACE_TMP/stats.txt"
+  TRACE="$TRACE_TMP/trace.json"
+  # The document parses, is non-empty, and every event carries the
+  # Chrome trace-event basics.
+  jq -e '.traceEvents | length > 0' "$TRACE" >/dev/null
+  jq -e '[.traceEvents[] | has("ph") and has("ts") and has("pid") and
+          has("tid")] | all' "$TRACE" >/dev/null
+  # Timestamps are monotonic (parents flushed before children).
+  jq -e '[.traceEvents[].ts] as $t | $t == ($t | sort)' "$TRACE" \
+    >/dev/null
+  # Every instrumented layer shows up.
+  jq -e '[.traceEvents[].cat // empty] | unique as $c |
+         (["engine", "kernel", "parse"] - $c) == []' "$TRACE" >/dev/null
+  # engine.module spans carry the cache hit/miss attribute.
+  jq -e '[.traceEvents[] | select(.name == "engine.module") |
+          .args.result] | length > 0 and
+         (unique - ["hit", "miss", "ascribed", "loop"]) == []' \
+    "$TRACE" >/dev/null
+  grep -q 'engine.cache_misses' "$TRACE_TMP/stats.txt"
+  echo "trace-out document passes the jq contract checks"
+  # Disabled-vs-enabled overhead smoke (the < 2% budget is asserted by
+  # eye/trend tooling, not a hard gate: CI machines are noisy).
+  "$BUILD/bench/bench_engine" --quick | grep -A2 "overhead smoke"
+else
+  echo "jq not found; skipping"
+fi
+
+echo
+echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace)"

@@ -18,6 +18,8 @@
 //   wiresort-check design.blif --depth         # timing extension
 //   wiresort-check design.blif --threads 8     # parallel inference
 //   wiresort-check design.blif --cache d.wscache   # warm-start repeats
+//   wiresort-check design.blif --trace-out t.json  # Chrome trace events
+//   wiresort-check design.blif --stats         # registry counter dump
 //
 // Exit-code contract (docs/DIAGNOSTICS.md): 0 = well-connected and every
 // requested check passed; 1 = analysis/parse diagnostics with severity >=
@@ -35,17 +37,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Ascription.h"
-#include "analysis/Depth.h"
-#include "analysis/Dot.h"
-#include "analysis/SortInference.h"
-#include "analysis/SummaryEngine.h"
-#include "analysis/SummaryIO.h"
-#include "parse/Blif.h"
-#include "parse/VerilogReader.h"
-#include "support/Diag.h"
-#include "support/Table.h"
-#include "support/Timer.h"
+#include "wiresort.h"
+
+#include <optional>
 
 #include <cstdio>
 #include <cstdlib>
@@ -60,7 +54,9 @@ using namespace wiresort::ir;
 
 namespace {
 
-enum class Format { Text, Json };
+/// The CLI's rendering switch is CheckOptions::Format — one enum shared
+/// with the engine/bench layers instead of a private copy.
+using Format = CheckOptions::Format;
 
 /// Routes diagnostics to the requested renderer: human text (with caret
 /// echoes when the source text is at hand) on stderr, or NDJSON on
@@ -106,7 +102,8 @@ int usage(const char *Argv0, Emitter &E, const std::string &Why) {
   std::fprintf(stderr,
                "usage: %s <design.blif|design.v> [--summaries FILE] "
                "[--check FILE] [--dot FILE] [--format text|json] "
-               "[--quiet] [--depth] [--threads N] [--cache FILE]\n",
+               "[--quiet] [--depth] [--threads N] [--cache FILE] "
+               "[--trace-out FILE] [--stats]\n",
                Argv0);
   return 2;
 }
@@ -169,11 +166,11 @@ checkDeclared(const Design &D,
 } // namespace
 
 int main(int ArgC, char **ArgV) {
-  std::string DesignPath, SummariesOut, CheckPath, DotPath, CachePath;
+  std::string DesignPath, SummariesOut, CheckPath, DotPath;
+  CheckOptions Opts;
   Emitter Emit;
   bool Quiet = false;
   bool ShowDepth = false;
-  unsigned Threads = 0; // 0 = hardware concurrency.
   for (int I = 1; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
     auto takeValue = [&](std::string &Slot) {
@@ -192,25 +189,31 @@ int main(int ArgC, char **ArgV) {
       if (!takeValue(DotPath))
         return usage(ArgV[0], Emit, "--dot expects a file");
     } else if (Arg == "--cache") {
-      if (!takeValue(CachePath))
+      if (!takeValue(Opts.CachePath))
         return usage(ArgV[0], Emit, "--cache expects a file");
+    } else if (Arg == "--trace-out") {
+      if (!takeValue(Opts.TraceOutPath))
+        return usage(ArgV[0], Emit, "--trace-out expects a file");
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
     } else if (Arg == "--format") {
       std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Emit, "--format expects text or json");
       if (Value == "json")
-        Emit.Fmt = Format::Json;
+        Opts.OutputFormat = Format::Json;
       else if (Value == "text")
-        Emit.Fmt = Format::Text;
+        Opts.OutputFormat = Format::Text;
       else
         return usage(ArgV[0], Emit,
                      "unknown --format '" + Value + "' (text|json)");
+      Emit.Fmt = Opts.OutputFormat;
     } else if (Arg == "--threads") {
       std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Emit, "--threads expects a count");
-      Threads = static_cast<unsigned>(std::atoi(Value.c_str()));
-      if (Threads == 0)
+      Opts.Threads = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (Opts.Threads == 0)
         return usage(ArgV[0], Emit, "--threads expects a positive count");
     } else if (Arg == "--quiet") {
       Quiet = true;
@@ -227,6 +230,33 @@ int main(int ArgC, char **ArgV) {
   if (DesignPath.empty())
     return usage(ArgV[0], Emit, "no design file");
 
+  // The collection window opens before the design is even read so the
+  // parse spans land in the trace; it closes (and the stats record is
+  // emitted) right before the verdict. Exit-2 paths below still get
+  // their trace file via the Session destructor.
+  std::optional<trace::Session> TraceSession;
+  if (Opts.Stats || !Opts.TraceOutPath.empty())
+    TraceSession.emplace(trace::SessionOptions{Opts.TraceOutPath, true});
+  // Closes the session and emits the stats record (before the verdict
+  // line, per docs/DIAGNOSTICS.md). \returns false when the trace file
+  // cannot be written.
+  auto finishTelemetry = [&]() {
+    if (!TraceSession)
+      return true;
+    support::Status Write = TraceSession->finish();
+    if (Opts.Stats) {
+      if (Emit.Fmt == Format::Json)
+        std::printf("%s\n", TraceSession->statsJson().c_str());
+      else
+        std::printf("%s", TraceSession->statsText().c_str());
+    }
+    if (Write.hasError()) {
+      Emit.emit(Write);
+      return false;
+    }
+    return true;
+  };
+
   std::optional<std::string> Text = readFile(DesignPath);
   if (!Text)
     return ioError(Emit, "cannot read '" + DesignPath + "'");
@@ -242,6 +272,7 @@ int main(int ArgC, char **ArgV) {
     auto VFile = parse::parseVerilog(*Text, DesignPath);
     if (!VFile) {
       Emit.emit(VFile.diags());
+      (void)finishTelemetry();
       return Emit.verdictError();
     }
     File.emplace();
@@ -251,24 +282,23 @@ int main(int ArgC, char **ArgV) {
     auto BFile = parse::parseBlif(*Text, DesignPath);
     if (!BFile) {
       Emit.emit(BFile.diags());
+      (void)finishTelemetry();
       return Emit.verdictError();
     }
     File = std::move(*BFile);
   }
 
-  EngineOptions EngineOpts;
-  EngineOpts.Threads = Threads;
-  SummaryEngine Engine(EngineOpts);
-  if (!CachePath.empty()) {
+  SummaryEngine Engine(Opts);
+  if (!Opts.CachePath.empty()) {
     support::Expected<size_t> Loaded =
-        Engine.loadCache(CachePath, File->Design);
+        Engine.loadCache(Opts.CachePath, File->Design);
     if (!Loaded) {
       Emit.emit(Loaded.diags());
       return 2;
     }
     if (!Quiet && Emit.Fmt == Format::Text && *Loaded)
       std::printf("cache: %zu summaries loaded from %s\n", *Loaded,
-                  CachePath.c_str());
+                  Opts.CachePath.c_str());
   }
 
   Timer T;
@@ -278,13 +308,14 @@ int main(int ArgC, char **ArgV) {
 
   if (Stage1.hasError()) {
     Emit.emit(Stage1);
+    (void)finishTelemetry();
     return Emit.verdictError();
   }
 
-  if (!CachePath.empty() &&
-      !Engine.saveCache(CachePath, File->Design, Summaries))
+  if (!Opts.CachePath.empty() &&
+      !Engine.saveCache(Opts.CachePath, File->Design, Summaries))
     std::fprintf(stderr, "warning: cannot write cache %s\n",
-                 CachePath.c_str());
+                 Opts.CachePath.c_str());
 
   if (!Quiet && Emit.Fmt == Format::Text) {
     for (ModuleId Id = 0; Id != File->Design.numModules(); ++Id) {
@@ -370,6 +401,7 @@ int main(int ArgC, char **ArgV) {
       Emit.emit(Mismatches);
       if (Emit.Fmt == Format::Text)
         std::printf("%zu ascription mismatch(es)\n", Mismatches.size());
+      (void)finishTelemetry();
       return Emit.verdictError();
     }
     if (Emit.Fmt == Format::Text)
@@ -384,6 +416,8 @@ int main(int ArgC, char **ArgV) {
       std::printf("dot written to %s\n", DotPath.c_str());
   }
 
+  if (!finishTelemetry())
+    return 2;
   Emit.verdictOk(File->Design.numModules());
   return 0;
 }
