@@ -28,6 +28,7 @@
 #include "gen/Catalog.h"
 #include "gen/Fifo.h"
 #include "gen/Opdb.h"
+#include "support/FailPoint.h"
 #include "support/Table.h"
 #include "synth/Lower.h"
 
@@ -236,6 +237,7 @@ int main(int ArgC, char **ArgV) {
   // a metrics-only session on; the delta bounds the enabled-counter
   // cost, and the disabled number is the one the budget governs.
   double SmokeOff = 0.0, SmokeOn = 0.0;
+  double FpArmed = 0.0;
   {
     Design D;
     size_t Count = 0;
@@ -275,6 +277,28 @@ int main(int ArgC, char **ArgV) {
                 Reps, SmokeOff, SmokeOn,
                 SmokeOff > 0.0 ? (SmokeOn - SmokeOff) / SmokeOff * 100.0
                                : 0.0);
+
+    // --- Failpoint overhead smoke ---------------------------------------
+    // docs/ROBUSTNESS.md budgets the disarmed WS_FAILPOINT sites on the
+    // engine's hot path (engine.cancel, engine.module.throw) at < 2% —
+    // one relaxed load + branch each, same budget as a trace counter.
+    // Arming an *irrelevant* site exercises the worst production case:
+    // the registry is armed somewhere, yet the sites the engine actually
+    // hits must stay on their disarmed fast path.
+    support::failpoint::disarmAll();
+    if (!support::failpoint::configure("bench.irrelevant=always")
+             .empty()) {
+      std::fprintf(stderr, "failpoint smoke: configure failed\n");
+      return 1;
+    }
+    FpArmed = bestOf(coldRun);
+    support::failpoint::disarmAll();
+    std::printf("\n=== Failpoint overhead smoke (cold serial, best of %d) "
+                "===\n\nall sites disarmed: %.3f s; irrelevant site "
+                "armed: %.3f s; delta %+.1f%%\n",
+                Reps, SmokeOff, FpArmed,
+                SmokeOff > 0.0 ? (FpArmed - SmokeOff) / SmokeOff * 100.0
+                               : 0.0);
   }
 
   if (!JsonOut.empty()) {
@@ -291,6 +315,10 @@ int main(int ArgC, char **ArgV) {
         .field("smoke", "trace_overhead")
         .field("disabled_s", SmokeOff)
         .field("metrics_only_s", SmokeOn);
+    Report.beginRecord()
+        .field("smoke", "failpoint_overhead")
+        .field("disarmed_s", SmokeOff)
+        .field("irrelevant_armed_s", FpArmed);
     Report.appendTraceRegistry();
     Report.writeTo(JsonOut);
   }

@@ -20,6 +20,7 @@
 #ifndef WIRESORT_ANALYSIS_CHECKOPTIONS_H
 #define WIRESORT_ANALYSIS_CHECKOPTIONS_H
 
+#include <cstdint>
 #include <string>
 
 namespace wiresort::analysis {
@@ -51,6 +52,22 @@ struct CheckOptions {
   /// Collect and render the support::trace counter/histogram registry
   /// (wiresort-check --stats).
   bool Stats = false;
+
+  /// Wall-clock budget for the whole check in milliseconds (0 = none).
+  /// The CLI turns this into one support::Deadline covering parse +
+  /// analysis; a run that exceeds it fails closed with a
+  /// WS601_CANCELLED partial-progress diag and exit code 3
+  /// (docs/ROBUSTNESS.md).
+  uint64_t TimeoutMs = 0;
+
+  /// Fault-injection schedule ("site=mode,..." — support/FailPoint.h),
+  /// normally empty. Consumed by the CLI (`--failpoints`) and the fault
+  /// soak harness; the engine itself never arms sites.
+  std::string FailpointSpec;
+
+  /// Seed for probabilistic failpoint triggers, so a (spec, seed) pair
+  /// replays byte-identically.
+  uint64_t FaultSeed = 0;
 };
 
 } // namespace wiresort::analysis

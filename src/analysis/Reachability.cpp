@@ -119,6 +119,12 @@ std::vector<WireId> CombGraph::reachableOutputPorts(WireId From) const {
 }
 
 std::map<WireId, std::vector<WireId>> CombGraph::allOutputPortSets() const {
+  // A null deadline never cancels, so the optional is always engaged.
+  return *allOutputPortSets(nullptr);
+}
+
+std::optional<std::map<WireId, std::vector<WireId>>>
+CombGraph::allOutputPortSets(const support::Deadline *DL) const {
   std::map<WireId, std::vector<WireId>> Result;
   // Inputs reaching nothing still get their (empty, i.e. to-sync) set.
   for (WireId In : M->Inputs)
@@ -136,7 +142,8 @@ std::map<WireId, std::vector<WireId>> CombGraph::allOutputPortSets() const {
        Base += ReachabilityKernel::WordBits) {
     const uint32_t Count = static_cast<uint32_t>(
         std::min<size_t>(ReachabilityKernel::WordBits, Ins.size() - Base));
-    Kernel.sweep(Ins.data() + Base, Count);
+    if (!Kernel.sweep(Ins.data() + Base, Count, DL))
+      return std::nullopt; // Deadline fired mid-module; abandon it.
     LaneSets.assign(Count, {});
     for (WireId Out : M->Outputs) {
       uint64_t Mask = Kernel.mask(Out);

@@ -89,6 +89,13 @@ public:
   /// \ref reachableOutputPorts per input.
   std::map<ir::WireId, std::vector<ir::WireId>> allOutputPortSets() const;
 
+  /// Deadline-aware form: the kernel polls \p DL between node batches
+  /// and the call returns std::nullopt when it fires mid-module
+  /// (docs/ROBUSTNESS.md) — the caller abandons the module and reports
+  /// WS601. A null \p DL never cancels and matches the plain overload.
+  std::optional<std::map<ir::WireId, std::vector<ir::WireId>>>
+  allOutputPortSets(const support::Deadline *DL) const;
+
   /// \returns a WS101_COMB_LOOP diagnostic if the module (including
   /// instance summaries) contains a combinational cycle, else
   /// std::nullopt. The witness path is cyclic — hop i feeds hop i+1 and

@@ -19,9 +19,18 @@ using namespace wiresort::ir;
 InferenceResult
 analysis::inferSummary(const Design &D, ModuleId Id,
                        const std::map<ModuleId, ModuleSummary>
-                           &SubSummaries) {
+                           &SubSummaries,
+                       const support::Deadline *DL) {
   Timer T;
   const Module &M = D.module(Id);
+  auto cancelled = [&] {
+    return support::Diag(support::DiagCode::WS601_CANCELLED,
+                         "inference of module '" + M.Name +
+                             "' cancelled by deadline")
+        .withNote("module", M.Name);
+  };
+  if (DL && DL->expired())
+    return cancelled();
   CombGraph CG = CombGraph::build(M, SubSummaries);
 
   // A module whose internals (or instance summaries) form a cycle can
@@ -35,8 +44,12 @@ analysis::inferSummary(const Design &D, ModuleId Id,
 
   // Forward pass, batched 64 input ports per machine word: ceil(K/64)
   // sweeps over the frozen CSR edge array instead of K BFS traversals
-  // (bit-identical to the per-port BFS; see docs/KERNEL.md).
-  Summary.OutputPortSets = CG.allOutputPortSets();
+  // (bit-identical to the per-port BFS; see docs/KERNEL.md). The sweeps
+  // poll the deadline; a fired one abandons the module.
+  auto Sets = CG.allOutputPortSets(DL);
+  if (!Sets)
+    return cancelled();
+  Summary.OutputPortSets = *std::move(Sets);
 
   // Output sets by inversion — no second traversal (Section 5.5.1).
   for (WireId Out : M.Outputs)

@@ -21,6 +21,7 @@
 #include "analysis/Reachability.h"
 #include "analysis/Summary.h"
 #include "ir/Design.h"
+#include "support/Deadline.h"
 #include "support/Diag.h"
 
 #include <map>
@@ -34,10 +35,15 @@ using InferenceResult = support::Expected<ModuleSummary>;
 
 /// Infers the interface summary of \p Id in \p D. Summaries for every
 /// (transitively) instantiated definition must already be present in
-/// \p SubSummaries.
+/// \p SubSummaries. An active \p DL bounds the work: the kernel sweeps
+/// poll it and a fired deadline yields a WS601_CANCELLED diagnostic
+/// naming the module instead of a summary (the SummaryEngine folds it
+/// into the run-level partial-progress report); a null \p DL (the
+/// default) never cancels.
 InferenceResult inferSummary(const ir::Design &D, ir::ModuleId Id,
                              const std::map<ir::ModuleId, ModuleSummary>
-                                 &SubSummaries);
+                                 &SubSummaries,
+                             const support::Deadline *DL = nullptr);
 
 /// Analyzes every module of \p D in dependency order, reusing each
 /// definition's summary across instantiations (the Table 3 "unique

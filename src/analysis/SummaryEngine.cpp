@@ -8,15 +8,25 @@
 
 #include "analysis/SummaryIO.h"
 #include "ir/StructuralHash.h"
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace wiresort;
 using namespace wiresort::analysis;
@@ -92,6 +102,45 @@ uint64_t summaryContentHash(const ModuleSummary &S) {
   return H;
 }
 
+/// FNV-1a 64 of \p Text — the per-record checksum of cache format v2
+/// (docs/ROBUSTNESS.md). Not cryptographic; it catches the failure mode
+/// a cache actually has (torn writes, bit rot, hand edits), cheaply.
+uint64_t recordChecksum(const std::string &Text) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// Runs inference for one module with panic containment: a throw —
+/// injected via the engine.module.throw failpoint or genuine — becomes a
+/// WS604_WORKER_PANIC diagnostic attributed to the module, instead of
+/// unwinding into the pool (worst case std::terminate).
+InferenceResult
+inferContained(const Design &D, ModuleId Id,
+               const std::map<ModuleId, ModuleSummary> &Subs,
+               const support::Deadline *DL, bool &Panicked) {
+  auto panic = [&](const char *What) {
+    Panicked = true;
+    return support::Diag(support::DiagCode::WS604_WORKER_PANIC,
+                         "worker panic while summarizing module '" +
+                             D.module(Id).Name + "'")
+        .withNote("module", D.module(Id).Name)
+        .withNote("what", What);
+  };
+  try {
+    if (WS_FAILPOINT("engine.module.throw"))
+      throw std::runtime_error("injected fault: engine.module.throw");
+    return inferSummary(D, Id, Subs, DL);
+  } catch (const std::exception &E) {
+    return panic(E.what());
+  } catch (...) {
+    return panic("unknown exception");
+  }
+}
+
 /// Scheduler state for one analyze() call. All mutable members are
 /// guarded by Mutex once the parallel phase starts; Out is pre-populated
 /// with every module id so tasks read/write disjoint mapped values
@@ -103,16 +152,26 @@ struct Run {
   SummaryCache *Cache; // Null when the cache is disabled.
   const std::vector<uint64_t> &Keys;
 
-  enum class State : uint8_t { Waiting, Done, Looped, Skipped };
+  enum class State : uint8_t {
+    Waiting,
+    Done,
+    Looped,
+    Skipped,
+    Cancelled, ///< Abandoned to the deadline (or an injected cancel).
+    Panicked,  ///< Worker threw; contained as WS604.
+  };
 
   std::vector<State> States;
   std::vector<uint32_t> DepsLeft;
   std::vector<std::vector<ModuleId>> Dependents;
-  /// Per-module loop diagnostics (empty for clean modules). Indexed by
-  /// module id, which is also the order the final list is emitted in —
-  /// the thread schedule can never reorder it.
+  /// Per-module diagnostics (loops, panics; empty for clean modules).
+  /// Indexed by module id, which is also the order the final list is
+  /// emitted in — the thread schedule can never reorder it.
   std::vector<support::DiagList> Loops;
   size_t Hits = 0, Inferred = 0, AscribedCount = 0;
+  /// Latched once the deadline fires (or engine.cancel injects); from
+  /// then on no new module starts. Guarded by Mutex.
+  bool CancelFlag = false;
 
   std::mutex Mutex;
 
@@ -129,6 +188,16 @@ struct Run {
     std::sort(Deps.begin(), Deps.end());
     Deps.erase(std::unique(Deps.begin(), Deps.end()), Deps.end());
     return Deps;
+  }
+
+  /// Polls deadline + injected cancellation, latching CancelFlag. Caller
+  /// holds Mutex.
+  bool checkCancel(const support::Deadline &DL) {
+    if (CancelFlag)
+      return true;
+    if (DL.expired() || WS_FAILPOINT("engine.cancel"))
+      CancelFlag = true;
+    return CancelFlag;
   }
 
   /// How a module was resolved without running inference.
@@ -161,9 +230,12 @@ struct Run {
     std::vector<ModuleId> Ready;
     for (ModuleId Dep : Dependents[Id]) {
       // A dependent of an unsummarizable module can never be summarized
-      // itself; the skip propagates transitively when the dependent is
-      // later "finished" as Skipped (which releases its own dependents).
-      if (S != State::Done)
+      // itself. Cancellation taints transitively as Cancelled (so the
+      // WS601 tally reflects everything the deadline cost); any other
+      // failure taints as Skipped (the root cause is already reported).
+      if (S == State::Cancelled)
+        States[Dep] = State::Cancelled;
+      else if (S != State::Done && States[Dep] != State::Cancelled)
         States[Dep] = State::Skipped;
       if (--DepsLeft[Dep] == 0)
         Ready.push_back(Dep);
@@ -180,6 +252,17 @@ support::Status
 SummaryEngine::analyze(const Design &D,
                        std::map<ModuleId, ModuleSummary> &Out,
                        const std::map<ModuleId, ModuleSummary> &Ascribed) {
+  return analyze(D, Out, Ascribed,
+                 Opts.TimeoutMs != 0
+                     ? support::Deadline::afterMs(Opts.TimeoutMs)
+                     : support::Deadline());
+}
+
+support::Status
+SummaryEngine::analyze(const Design &D,
+                       std::map<ModuleId, ModuleSummary> &Out,
+                       const std::map<ModuleId, ModuleSummary> &Ascribed,
+                       const support::Deadline &DL) {
   Timer T;
   Stats = EngineStats();
   Stats.Modules = D.numModules();
@@ -192,6 +275,8 @@ SummaryEngine::analyze(const Design &D,
   static trace::Counter &ModulesC = trace::counter("engine.modules");
   static trace::Counter &InferredC = trace::counter("engine.inferred");
   static trace::Counter &AscribedC = trace::counter("engine.ascribed");
+  static trace::Counter &CancelledC =
+      trace::counter("fault.cancelled_modules");
 
   std::optional<std::vector<ModuleId>> Order =
       D.topologicalModuleOrder();
@@ -237,13 +322,49 @@ SummaryEngine::analyze(const Design &D,
                          : std::max(1u, std::thread::hardware_concurrency());
   Stats.ThreadsUsed = Threads;
 
+  const support::Deadline *DLPtr = DL.active() ? &DL : nullptr;
+  std::vector<std::exception_ptr> Escaped;
+
+  // Folds one inference result into the scheduler. Caller holds R.Mutex;
+  // returns the dependents that became ready.
+  auto settle = [&](ModuleId Id, InferenceResult &Result,
+                    bool Panicked) -> std::vector<ModuleId> {
+    if (Result) {
+      ModuleSummary &S = *Result;
+      if (R.Cache)
+        R.Cache->insert(Keys[Id], S);
+      R.Out[Id] = std::move(S);
+      ++R.Inferred;
+      return R.finish(Id, Run::State::Done);
+    }
+    if (Panicked) {
+      R.Loops[Id] = Result.diags();
+      return R.finish(Id, Run::State::Panicked);
+    }
+    if (Result.diags().firstError().code() ==
+        support::DiagCode::WS601_CANCELLED) {
+      // Inference noticed the deadline mid-module; the module is
+      // abandoned, not failed — the one WS601 appended to the verdict
+      // covers it.
+      R.CancelFlag = true;
+      return R.finish(Id, Run::State::Cancelled);
+    }
+    R.Loops[Id] = Result.diags();
+    return R.finish(Id, Run::State::Looped);
+  };
+
   if (Threads <= 1) {
-    // Serial path: plain topological sweep, no pool, no locking. Kept
-    // separate both as the baseline the determinism suite compares
-    // against and because it is what a 1-thread engine should cost.
+    // Serial path: plain topological sweep, no pool, no locking beyond
+    // the shared helpers' discipline. Kept separate both as the baseline
+    // the determinism suite compares against and because it is what a
+    // 1-thread engine should cost.
     for (ModuleId Id : *Order) {
       if (R.States[Id] == Run::State::Skipped) {
         R.finish(Id, Run::State::Skipped); // Propagate to dependents.
+        continue;
+      }
+      if (R.States[Id] == Run::State::Cancelled || R.checkCancel(DL)) {
+        R.finish(Id, Run::State::Cancelled);
         continue;
       }
       trace::Span MSpan("engine.module", "engine");
@@ -254,30 +375,22 @@ SummaryEngine::analyze(const Design &D,
         continue;
       }
       Timer InferTimer;
-      InferenceResult Result = inferSummary(D, Id, Out);
+      bool Panicked = false;
+      InferenceResult Result =
+          inferContained(D, Id, Out, DLPtr, Panicked);
       InferUs.record(
           static_cast<uint64_t>(InferTimer.seconds() * 1e6));
-      if (!Result) {
-        MSpan.note("result", "loop");
-        R.Loops[Id] = Result.diags();
-        R.finish(Id, Run::State::Looped);
-        continue;
-      }
-      MSpan.note("result", "miss");
-      ModuleSummary &S = *Result;
-      if (R.Cache)
-        R.Cache->insert(Keys[Id], S);
-      Out[Id] = std::move(S);
-      ++R.Inferred;
-      R.finish(Id, Run::State::Done);
+      MSpan.note("result", Result ? "miss"
+                                  : (Panicked ? "panic" : "loop"));
+      settle(Id, Result, Panicked);
     }
   } else {
     ThreadPool Pool(Threads);
 
     // Submitting a module either resolves it on the spot (ascribed /
-    // cache hit / already-skipped) or hands inference to the pool; the
-    // completion path re-enters schedule() for the dependents it
-    // releases. The worklist keeps resolution iterative: a chain of a
+    // cache hit / already-skipped / cancelled) or hands inference to the
+    // pool; the completion path re-enters schedule() for the dependents
+    // it releases. The worklist keeps resolution iterative: a chain of a
     // thousand cache hits must not recurse a thousand frames deep.
     std::function<void(std::vector<ModuleId>)> schedule =
         [&](std::vector<ModuleId> Work) {
@@ -290,6 +403,13 @@ SummaryEngine::analyze(const Design &D,
               if (R.States[Id] == Run::State::Skipped) {
                 std::vector<ModuleId> Ready =
                     R.finish(Id, Run::State::Skipped);
+                Work.insert(Work.end(), Ready.begin(), Ready.end());
+                continue;
+              }
+              if (R.States[Id] == Run::State::Cancelled ||
+                  R.checkCancel(DL)) {
+                std::vector<ModuleId> Ready =
+                    R.finish(Id, Run::State::Cancelled);
                 Work.insert(Work.end(), Ready.begin(), Ready.end());
                 continue;
               }
@@ -312,30 +432,42 @@ SummaryEngine::analyze(const Design &D,
           }
           for (ModuleId Id : ToInfer)
             Pool.submit([&, Id] {
+              // The module may have been queued before a cancel latched;
+              // re-check at task start so a timed-out run drains fast.
+              {
+                std::vector<ModuleId> Ready;
+                bool CancelledHere = false;
+                {
+                  std::lock_guard<std::mutex> Lock(R.Mutex);
+                  if (R.States[Id] == Run::State::Cancelled ||
+                      R.checkCancel(DL)) {
+                    Ready = R.finish(Id, Run::State::Cancelled);
+                    CancelledHere = true;
+                  }
+                }
+                if (CancelledHere) {
+                  if (!Ready.empty())
+                    schedule(std::move(Ready));
+                  return;
+                }
+              }
               trace::Span MSpan("engine.module", "engine");
               MSpan.note("module", R.D.module(Id).Name);
               // Reads dep slots of Out; they were written before this
               // task was submitted (happens-before via R.Mutex and the
               // pool queue), and the map structure is frozen.
               Timer InferTimer;
-              InferenceResult Result = inferSummary(R.D, Id, R.Out);
+              bool Panicked = false;
+              InferenceResult Result =
+                  inferContained(R.D, Id, R.Out, DLPtr, Panicked);
               InferUs.record(
                   static_cast<uint64_t>(InferTimer.seconds() * 1e6));
-              MSpan.note("result", Result ? "miss" : "loop");
+              MSpan.note("result",
+                         Result ? "miss" : (Panicked ? "panic" : "loop"));
               std::vector<ModuleId> Ready;
               {
                 std::lock_guard<std::mutex> Lock(R.Mutex);
-                if (!Result) {
-                  R.Loops[Id] = Result.diags();
-                  Ready = R.finish(Id, Run::State::Looped);
-                } else {
-                  ModuleSummary &S = *Result;
-                  if (R.Cache)
-                    R.Cache->insert(Keys[Id], S);
-                  R.Out[Id] = std::move(S);
-                  ++R.Inferred;
-                  Ready = R.finish(Id, Run::State::Done);
-                }
+                Ready = settle(Id, Result, Panicked);
               }
               if (!Ready.empty())
                 schedule(std::move(Ready));
@@ -348,16 +480,64 @@ SummaryEngine::analyze(const Design &D,
         Roots.push_back(Id);
     schedule(std::move(Roots));
     Pool.wait();
+    Escaped = Pool.drainExceptions();
   }
 
-  // --- Verdict: every looped module's diagnostics, in module-id order —
+  // --- Verdict: every failed module's diagnostics, in module-id order —
   // --- the same list serial analyzeDesign emits, whatever the schedule.
   support::Status Verdict;
   for (ModuleId Id = 0; Id != D.numModules(); ++Id)
     Verdict.append(R.Loops[Id]);
 
-  // Unresolved slots (looped modules and their transitive dependents)
-  // must not leak placeholder summaries.
+  // Backstop: the engine contains throws per-module, so nothing should
+  // reach the pool's catch-all; if something does (a throw outside
+  // inferContained), it is still a structured error, not a terminate.
+  for (std::exception_ptr &P : Escaped) {
+    const char *What = "unknown exception";
+    try {
+      std::rethrow_exception(P);
+    } catch (const std::exception &E) {
+      What = E.what();
+      Verdict.add(support::Diag(support::DiagCode::WS604_WORKER_PANIC,
+                                "worker panic escaped containment")
+                      .withNote("what", What));
+      continue;
+    } catch (...) {
+    }
+    Verdict.add(support::Diag(support::DiagCode::WS604_WORKER_PANIC,
+                              "worker panic escaped containment")
+                    .withNote("what", What));
+  }
+
+  size_t DoneCount = 0, CancelledCount = 0, PanickedCount = 0;
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id) {
+    switch (R.States[Id]) {
+    case Run::State::Done:
+      ++DoneCount;
+      break;
+    case Run::State::Cancelled:
+      ++CancelledCount;
+      break;
+    case Run::State::Panicked:
+      ++PanickedCount;
+      break;
+    default:
+      break;
+    }
+  }
+  if (R.CancelFlag || CancelledCount != 0) {
+    CancelledC.add(CancelledCount);
+    Verdict.add(
+        support::Diag(support::DiagCode::WS601_CANCELLED,
+                      "analysis cancelled before completion")
+            .withNote("completed", std::to_string(DoneCount))
+            .withNote("cancelled", std::to_string(CancelledCount))
+            .withNote("modules", std::to_string(D.numModules())));
+  }
+
+  // Unresolved slots (failed/cancelled modules and their transitive
+  // dependents) must not leak placeholder summaries; completed modules
+  // survive even in a cancelled run (partial progress warms the cache).
   for (ModuleId Id = 0; Id != D.numModules(); ++Id)
     if (R.States[Id] != Run::State::Done)
       Out.erase(Id);
@@ -365,6 +545,8 @@ SummaryEngine::analyze(const Design &D,
   Stats.CacheHits = R.Hits;
   Stats.Inferred = R.Inferred;
   Stats.Ascribed = R.AscribedCount;
+  Stats.Cancelled = CancelledCount;
+  Stats.Panicked = PanickedCount;
   Stats.Seconds = T.seconds();
   ModulesC.add(Stats.Modules);
   InferredC.add(Stats.Inferred);
@@ -374,46 +556,183 @@ SummaryEngine::analyze(const Design &D,
 
 // --- Disk persistence -------------------------------------------------------
 
-bool SummaryEngine::saveCache(
+support::Status SummaryEngine::saveCache(
     const std::string &Path, const Design &D,
     const std::map<ModuleId, ModuleSummary> &Summaries) const {
+  static trace::Counter &RetriesC = trace::counter("fault.retries");
+
+  // Compose the whole file in memory first (format v2 —
+  // docs/ROBUSTNESS.md): a version header, one "# key <module> <cache
+  // key> <checksum>" line per record, then the SummaryIO blocks. The
+  // checksum covers the exact block text, so the loader can quarantine
+  // a damaged record without trusting anything else in the file.
   std::ostringstream OS;
-  OS << "# wiresort summary cache (SummaryIO sidecar + content keys)\n";
+  OS << "# wiresort summary cache v2\n";
+  std::string Body;
   for (const auto &[Id, S] : Summaries) {
-    (void)S;
+    std::string Block = writeSummaries(D, {{Id, S}});
     if (Id < Keys.size())
-      OS << "# key " << D.module(Id).Name << " " << std::hex << Keys[Id]
-         << std::dec << "\n";
+      OS << "# key " << D.module(Id).Name << ' ' << std::hex << Keys[Id]
+         << ' ' << recordChecksum(Block) << std::dec << '\n';
+    Body += Block;
   }
-  OS << writeSummaries(D, Summaries);
-  std::ofstream File(Path);
-  if (!File)
-    return false;
-  File << OS.str();
-  return File.good();
+  OS << Body;
+  const std::string Payload = OS.str();
+  const std::string Tmp = Path + ".tmp";
+
+  auto ioFail = [](const char *Op, const std::string &P) {
+    return support::Diag(support::DiagCode::WS602_CACHE_IO,
+                         std::string("cannot save summary cache: ") + Op +
+                             " failed",
+                         support::Severity::Warning)
+        .withNote("path", P)
+        .withNote("detail", std::strerror(errno));
+  };
+
+  // Crash-safe write: everything goes to Path+".tmp", is fsync'd, and
+  // only then renamed over Path — an interrupted save (crash, kill,
+  // injected fault) leaves the previous cache intact, never a torn
+  // file. Transient failures retry with backoff; persistent ones
+  // degrade to a warning (the verdict never depends on the cache).
+  support::Status LastFailure;
+  for (int Attempt = 0; Attempt != 3; ++Attempt) {
+    if (Attempt != 0) {
+      RetriesC.add();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1u << Attempt));
+    }
+
+    int Fd;
+    if (WS_FAILPOINT("cache.save.open")) {
+      errno = EIO;
+      Fd = -1;
+    } else {
+      Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    }
+    if (Fd < 0) {
+      LastFailure = ioFail("open", Tmp);
+      continue;
+    }
+
+    // Crash simulation: write a torn prefix and die without the rename.
+    // The recovery property (CrashRecoveryTest) is that Path still
+    // holds the previous cache — the torn bytes only ever live in .tmp.
+    if (WS_FAILPOINT("cache.save.partial")) {
+      (void)!::write(Fd, Payload.data(), Payload.size() / 2);
+      ::_exit(125);
+    }
+
+    bool WriteFailed = false;
+    size_t Off = 0;
+    while (Off != Payload.size()) {
+      if (WS_FAILPOINT("cache.save.write")) {
+        errno = EIO;
+        WriteFailed = true;
+        break;
+      }
+      ssize_t N =
+          ::write(Fd, Payload.data() + Off, Payload.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        WriteFailed = true;
+        break;
+      }
+      Off += static_cast<size_t>(N);
+    }
+    if (WriteFailed) {
+      LastFailure = ioFail("write", Tmp);
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      continue;
+    }
+
+    int FsyncRc;
+    if (WS_FAILPOINT("cache.save.fsync")) {
+      errno = EIO;
+      FsyncRc = -1;
+    } else {
+      FsyncRc = ::fsync(Fd);
+    }
+    if (FsyncRc != 0) {
+      LastFailure = ioFail("fsync", Tmp);
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      continue;
+    }
+    if (::close(Fd) != 0) {
+      LastFailure = ioFail("close", Tmp);
+      ::unlink(Tmp.c_str());
+      continue;
+    }
+
+    int RenameRc;
+    if (WS_FAILPOINT("cache.save.rename")) {
+      errno = EIO;
+      ::unlink(Tmp.c_str());
+      RenameRc = -1;
+    } else {
+      RenameRc = ::rename(Tmp.c_str(), Path.c_str());
+    }
+    if (RenameRc != 0) {
+      LastFailure = ioFail("rename", Path);
+      ::unlink(Tmp.c_str());
+      continue;
+    }
+    return {};
+  }
+  return LastFailure;
 }
 
-support::Expected<size_t> SummaryEngine::loadCache(const std::string &Path,
-                                                   const Design &D) {
+support::Expected<CacheLoadResult>
+SummaryEngine::loadCache(const std::string &Path, const Design &D) {
+  static trace::Counter &QuarantinedC =
+      trace::counter("fault.quarantined_records");
+  CacheLoadResult Res;
+
   std::ifstream File(Path);
   if (!File)
-    return size_t{0}; // Cold start: a missing sidecar is not an error.
+    return Res; // Cold start: a missing sidecar is not an error.
+  if (WS_FAILPOINT("cache.load.read")) {
+    // Injected unreadable file: degrade to a cold start with a warning,
+    // exactly like a real EIO mid-read would.
+    Res.Warnings.add(
+        support::Diag(support::DiagCode::WS602_CACHE_IO,
+                      "cannot read summary cache; starting cold",
+                      support::Severity::Warning)
+            .withNote("path", Path)
+            .withNote("detail", "injected fault: cache.load.read"));
+    return Res;
+  }
   std::stringstream SS;
   SS << File.rdbuf();
   std::string Text = SS.str();
 
-  // Keys are recorded as "# key <module-name> <hex>" comment lines,
-  // which parseSummaries skips. Collect them, and split the rest of the
-  // file into module...end blocks. Each block is then parsed on its own:
-  // a cache's job is to never block a check, so blocks that no longer
-  // resolve against this design (module renamed away, interface changed,
-  // bit-rotted text) are simply skipped — they are stale entries, and
-  // stale entries never hit. Only a file that is not sidecar-shaped at
-  // all (content outside any block, an unterminated block) is an error,
-  // since that means --cache points at something else entirely.
-  std::map<std::string, uint64_t> KeyOfName;
-  std::vector<std::string> Blocks;
-  std::string Block;
+  // Keys are recorded as "# key <module-name> <key> [<checksum>]"
+  // comment lines, which parseSummaries skips; v1 files lack the
+  // checksum. Collect them, and split the rest of the file into
+  // module...end blocks (remembering each block's start line). Each
+  // block is then vetted on its own: a cache's job is to never block a
+  // check, so a record that fails its recorded checksum or no longer
+  // parses is *quarantined* — skipped with a WS603 warning naming its
+  // sidecar line — and a record with no checksum that no longer
+  // resolves (stale v1, foreign design) is skipped silently, since
+  // stale entries never hit anyway. Only a file that is not
+  // sidecar-shaped at all (content outside any block, an unterminated
+  // block) is an error: that means --cache points at something else.
+  struct KeyRec {
+    uint64_t Key = 0;
+    bool HasCrc = false;
+    uint64_t Crc = 0;
+  };
+  std::map<std::string, KeyRec> KeyOfName;
+  struct BlockRec {
+    std::string Text;
+    std::string Name;
+    size_t StartLine = 0;
+  };
+  std::vector<BlockRec> Blocks;
+  BlockRec Block;
   bool InBlock = false;
   size_t LineNo = 0;
   std::istringstream Lines(Text);
@@ -426,23 +745,32 @@ support::Expected<size_t> SummaryEngine::loadCache(const std::string &Path,
       continue; // Blank.
     if (First[0] == '#') {
       std::string KeyWord, Name;
-      uint64_t Key;
+      KeyRec Rec;
       if (First == "#" && LS >> KeyWord && KeyWord == "key" &&
-          LS >> Name >> std::hex >> Key)
-        KeyOfName[Name] = Key;
+          LS >> Name >> std::hex >> Rec.Key) {
+        if (LS >> Rec.Crc)
+          Rec.HasCrc = true;
+        KeyOfName[Name] = Rec;
+      }
       continue;
     }
-    if (!InBlock && First != "module") {
-      return support::Diag(support::DiagCode::WS502_CACHE_FORMAT,
-                           "expected 'module', got '" + First + "'")
-          .withLoc(support::SrcLoc{Path, LineNo, 0});
+    if (!InBlock) {
+      if (First != "module") {
+        return support::Diag(support::DiagCode::WS502_CACHE_FORMAT,
+                             "expected 'module', got '" + First + "'")
+            .withLoc(support::SrcLoc{Path, LineNo, 0});
+      }
+      Block.StartLine = LineNo;
+      std::string Name;
+      LS >> Name;
+      Block.Name = Name;
     }
     InBlock = First != "end";
-    Block += Line;
-    Block += '\n';
+    Block.Text += Line;
+    Block.Text += '\n';
     if (!InBlock) {
       Blocks.push_back(std::move(Block));
-      Block.clear();
+      Block = BlockRec();
     }
   }
   if (InBlock) {
@@ -451,19 +779,45 @@ support::Expected<size_t> SummaryEngine::loadCache(const std::string &Path,
         .withLoc(support::SrcLoc{Path, 0, 0});
   }
 
-  size_t Loaded = 0;
-  for (const std::string &B : Blocks) {
-    // Stale blocks are skipped, not reported.
-    auto Parsed = parseSummaries(B, D);
+  for (const BlockRec &B : Blocks) {
+    auto KeyIt = KeyOfName.find(B.Name);
+    const KeyRec *Rec =
+        KeyIt != KeyOfName.end() ? &KeyIt->second : nullptr;
+
+    auto quarantine = [&](const std::string &Reason) {
+      ++Res.Quarantined;
+      QuarantinedC.add();
+      Res.Warnings.add(
+          support::Diag(support::DiagCode::WS603_CACHE_CORRUPT,
+                        "corrupt cache record quarantined; module will "
+                        "be re-inferred",
+                        support::Severity::Warning)
+              .withLoc(support::SrcLoc{Path, B.StartLine, 0})
+              .withNote("module", B.Name)
+              .withNote("detail", Reason));
+    };
+
+    if (Rec && Rec->HasCrc &&
+        (recordChecksum(B.Text) != Rec->Crc ||
+         WS_FAILPOINT("cache.load.corrupt"))) {
+      quarantine("checksum mismatch");
+      continue;
+    }
+
+    // A record that passes (or never carried) its checksum but fails to
+    // parse is provably *stale*, not corrupt — the bytes are exactly
+    // what the writer wrote, the design just evolved past them (module
+    // renamed away, interface changed). Stale entries never hit, so
+    // skipping silently loses nothing.
+    auto Parsed = parseSummaries(B.Text, D, Path);
     if (!Parsed)
       continue;
     for (const auto &[Id, S] : *Parsed) {
-      auto It = KeyOfName.find(D.module(Id).Name);
-      if (It == KeyOfName.end())
+      if (!Rec || D.module(Id).Name != B.Name)
         continue;
-      Cache.insert(It->second, S);
-      ++Loaded;
+      Cache.insert(Rec->Key, S);
+      ++Res.Loaded;
     }
   }
-  return Loaded;
+  return Res;
 }

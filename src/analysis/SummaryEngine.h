@@ -40,6 +40,7 @@
 #include "analysis/CheckOptions.h"
 #include "analysis/SortInference.h"
 #include "ir/Design.h"
+#include "support/Deadline.h"
 
 #include <cstdint>
 #include <map>
@@ -99,8 +100,20 @@ struct EngineStats {
   size_t CacheHits = 0;  ///< Summaries served from the cache.
   size_t Inferred = 0;   ///< Summaries computed by inferSummary.
   size_t Ascribed = 0;   ///< Summaries taken as-is from the caller.
+  size_t Cancelled = 0;  ///< Modules abandoned to a deadline (WS601).
+  size_t Panicked = 0;   ///< Modules whose worker threw (WS604).
   double Seconds = 0.0;  ///< Wall-clock time of the whole analyze().
   unsigned ThreadsUsed = 1;
+};
+
+/// What loadCache managed to recover from a sidecar. Degradation is the
+/// point: corrupt or unreadable records cost warm starts, never the
+/// run — Warnings carries the WS602/WS603 evidence (with the sidecar
+/// line of each quarantined record) for the caller to surface.
+struct CacheLoadResult {
+  size_t Loaded = 0;      ///< Summaries seeded into the in-memory cache.
+  size_t Quarantined = 0; ///< Records skipped for checksum/parse damage.
+  support::DiagList Warnings;
 };
 
 /// Scheduler + cache front end replacing serial analyzeDesign on every
@@ -121,6 +134,20 @@ public:
   analyze(const ir::Design &D, std::map<ir::ModuleId, ModuleSummary> &Out,
           const std::map<ir::ModuleId, ModuleSummary> &Ascribed = {});
 
+  /// Like analyze() but bounded by \p DL: when the deadline expires (or
+  /// its token is cancelled) no new module is started, every unfinished
+  /// module and its dependents are marked Cancelled, and the returned
+  /// status carries — after the usual per-module diagnostics — one
+  /// WS601_CANCELLED error noting how many modules completed and how
+  /// many were abandoned. Summaries of completed modules are still
+  /// delivered through \p Out (partial progress is a feature: a caller
+  /// can warm the cache even from a timed-out run). An inert deadline
+  /// behaves exactly like the two-argument overload.
+  support::Status
+  analyze(const ir::Design &D, std::map<ir::ModuleId, ModuleSummary> &Out,
+          const std::map<ir::ModuleId, ModuleSummary> &Ascribed,
+          const support::Deadline &DL);
+
   /// Counters for the most recent analyze() call.
   const EngineStats &stats() const { return Stats; }
 
@@ -132,21 +159,36 @@ public:
   uint64_t keyOf(ir::ModuleId Id) const { return Keys.at(Id); }
 
   /// Persists the last analyze()'s summaries of \p D as a SummaryIO
-  /// sidecar annotated with cache keys. \returns false on I/O failure.
-  bool saveCache(const std::string &Path, const ir::Design &D,
-                 const std::map<ir::ModuleId, ModuleSummary> &Summaries)
-      const;
+  /// sidecar annotated with cache keys and per-record checksums (format
+  /// v2, docs/ROBUSTNESS.md). The write is crash-safe: the whole file is
+  /// composed in memory, written to Path+".tmp", fsync'd, and renamed
+  /// over \p Path, so an interrupted save leaves either the old cache or
+  /// the new one — never a torn file. Transient I/O failures are retried
+  /// a bounded number of times with backoff. \returns an empty Status on
+  /// success, or a WS602_CACHE_IO warning naming the failing path and
+  /// syscall (the caller keeps its verdict; a failed save only costs the
+  /// next run its warm start).
+  support::Status
+  saveCache(const std::string &Path, const ir::Design &D,
+            const std::map<ir::ModuleId, ModuleSummary> &Summaries) const;
 
   /// Seeds the cache from a sidecar written by saveCache, resolving port
   /// names against \p D. Staleness of any kind is harmless: entries whose
   /// recorded key no longer matches the design never hit, and blocks that
-  /// no longer resolve (module renamed away, interface changed, corrupted
-  /// text) are skipped rather than loaded. \returns the number of entries
-  /// loaded, or a WS502_CACHE_FORMAT diagnostic when the file is not
-  /// sidecar-shaped at all (--cache pointed at something else). A missing
-  /// file is not an error (returns 0).
-  support::Expected<size_t> loadCache(const std::string &Path,
-                                      const ir::Design &D);
+  /// no longer resolve (module renamed away, interface changed) are
+  /// skipped rather than loaded. v2 records carry checksums; a record
+  /// whose text no longer matches its recorded checksum is quarantined —
+  /// skipped with a WS603_CACHE_CORRUPT warning naming the sidecar line
+  /// where the damaged record starts — and the run degrades to cold
+  /// inference for that module only. (A record whose checksum matches but
+  /// whose body no longer parses is provably stale, not damaged, and is
+  /// skipped silently like any v1 stale block.)
+  /// \returns the load tally plus quarantine warnings, or a
+  /// WS502_CACHE_FORMAT diagnostic when the file is not sidecar-shaped at
+  /// all (--cache pointed at something else). A missing file is not an
+  /// error (empty result).
+  support::Expected<CacheLoadResult> loadCache(const std::string &Path,
+                                               const ir::Design &D);
 
 private:
   CheckOptions Opts;

@@ -6,6 +6,7 @@
 
 #include "parse/Blif.h"
 
+#include "support/FailPoint.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -77,7 +78,8 @@ struct ModelBuilder {
 } // namespace
 
 support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
-                                             const std::string &FileName) {
+                                             const std::string &FileName,
+                                             const support::Deadline *DL) {
   using support::Diag;
   using support::DiagCode;
   using support::SrcLoc;
@@ -108,6 +110,13 @@ support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
   bool Continuing = false;
   while (std::getline(Stream, Raw)) {
     ++LineNo;
+    // Deadline poll, once per line: a BLIF line is at most a few
+    // hundred bytes of tokenizing, so this bounds a runaway input
+    // without measurable cost (the parse.cancel failpoint simulates
+    // expiry deterministically).
+    if (DL && (DL->expired() || WS_FAILPOINT("parse.cancel")))
+      return failAt(DiagCode::WS601_CANCELLED, LineNo, 0,
+                    "parse cancelled by deadline");
     // Strip comments; honor trailing-backslash continuations.
     size_t Hash = Raw.find('#');
     if (Hash != std::string::npos)

@@ -22,6 +22,7 @@
 #define WIRESORT_PARSE_BLIF_H
 
 #include "ir/Design.h"
+#include "support/Deadline.h"
 #include "support/Diag.h"
 
 #include <string>
@@ -39,8 +40,12 @@ struct BlifFile {
 /// WS201_BLIF_SYNTAX / WS202_BLIF_STRUCTURE diagnostic whose SrcLoc
 /// points at the offending token (1-based line and column in \p Text,
 /// file field set to \p FileName); the result validates on success.
+/// An active \p DL is polled once per input line; when it fires the
+/// parse stops with a WS601_CANCELLED diagnostic locating the line it
+/// stopped at (docs/ROBUSTNESS.md). A null \p DL never cancels.
 support::Expected<BlifFile> parseBlif(const std::string &Text,
-                                      const std::string &FileName = "");
+                                      const std::string &FileName = "",
+                                      const support::Deadline *DL = nullptr);
 
 /// Serializes \p Top and every definition it (transitively) instantiates.
 /// All reachable modules must be bit-level (1-bit wires) and contain only

@@ -12,6 +12,7 @@
 #include "parse/VerilogReader.h"
 
 #include "parse/VerilogLexer.h"
+#include "support/FailPoint.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -46,14 +47,18 @@ struct ModuleShell {
 
 class Parser {
 public:
-  Parser(const std::vector<Token> &Toks, const std::string &FileName)
-      : Toks(Toks), FileName(FileName) {}
+  Parser(const std::vector<Token> &Toks, const std::string &FileName,
+         const support::Deadline *DL = nullptr)
+      : Toks(Toks), FileName(FileName), DL(DL) {}
 
   support::Expected<VerilogFile> run() {
     // ---- Phase 1: interfaces and declarations. ----
-    while (at("module"))
+    while (at("module")) {
+      if (cancelled())
+        return takeDiags();
       if (!parseModuleShell())
         return takeDiags();
+    }
     if (!atEnd()) {
       failB("expected 'module', got '" + cur().Text + "'");
       return takeDiags();
@@ -67,9 +72,12 @@ public:
       IdByName[Shells[I].M.Name] = static_cast<ModuleId>(I);
 
     // ---- Phase 2: bodies. ----
-    for (ModuleShell &Shell : Shells)
+    for (ModuleShell &Shell : Shells) {
+      if (cancelled())
+        return takeDiags();
       if (!elaborateBody(Shell))
         return takeDiags();
+    }
 
     VerilogFile Result;
     for (ModuleShell &Shell : Shells)
@@ -106,6 +114,20 @@ private:
   support::DiagList takeDiags() {
     assert(Diags.hasError() && "parser failed without a diagnostic");
     return std::move(Diags);
+  }
+
+  /// Deadline poll, between module shells and bodies — a module is the
+  /// unit of parse work worth bounding. Fires on the parse.cancel
+  /// failpoint too, which simulates expiry deterministically.
+  bool cancelled() {
+    if (!DL || (!DL->expired() && !WS_FAILPOINT("parse.cancel")))
+      return false;
+    if (Diags.empty())
+      Diags.add(
+          support::Diag(support::DiagCode::WS601_CANCELLED,
+                        "parse cancelled by deadline")
+              .withLoc(support::SrcLoc{FileName, cur().Line, cur().Col}));
+    return true;
   }
 
   /// Records the first diagnostic at the current token (later failures
@@ -908,6 +930,7 @@ private:
 
   const std::vector<Token> &Toks;
   std::string FileName;
+  const support::Deadline *DL = nullptr;
   support::DiagList Diags;
   size_t Pos = 0;
   uint64_t Temp = 0;
@@ -920,7 +943,8 @@ private:
 } // namespace
 
 support::Expected<VerilogFile>
-parse::parseVerilog(const std::string &Text, const std::string &FileName) {
+parse::parseVerilog(const std::string &Text, const std::string &FileName,
+                    const support::Deadline *DL) {
   static trace::Counter &ParseBytes = trace::counter("parse.bytes");
   ParseBytes.add(Text.size());
   trace::Span ParseSpan("parse.verilog", "parse");
@@ -929,6 +953,6 @@ parse::parseVerilog(const std::string &Text, const std::string &FileName) {
   auto Toks = lexVerilog(Text, FileName);
   if (!Toks)
     return Toks.diags();
-  Parser P(*Toks, FileName);
+  Parser P(*Toks, FileName, DL);
   return P.run();
 }

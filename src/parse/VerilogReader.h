@@ -33,6 +33,7 @@
 #define WIRESORT_PARSE_VERILOGREADER_H
 
 #include "ir/Design.h"
+#include "support/Deadline.h"
 #include "support/Diag.h"
 
 #include <string>
@@ -52,8 +53,13 @@ struct VerilogFile {
 /// subset — whose SrcLoc gives the 1-based line:col (file field set to
 /// \p FileName); the result validates on success. Forward references
 /// between modules are allowed.
-support::Expected<VerilogFile> parseVerilog(const std::string &Text,
-                                            const std::string &FileName = "");
+///
+/// An active \p DL is polled between module shells and bodies; when it
+/// fires the parse stops with a WS601_CANCELLED diagnostic locating
+/// where it stopped (docs/ROBUSTNESS.md). A null \p DL never cancels.
+support::Expected<VerilogFile>
+parseVerilog(const std::string &Text, const std::string &FileName = "",
+             const support::Deadline *DL = nullptr);
 
 } // namespace wiresort::parse
 

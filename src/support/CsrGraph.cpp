@@ -6,6 +6,7 @@
 
 #include "support/CsrGraph.h"
 
+#include "support/FailPoint.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -146,12 +147,32 @@ CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
   return C;
 }
 
-void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
+bool ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count,
+                               const support::Deadline *DL) {
   assert(Count <= WordBits && "a sweep carries at most 64 source lanes");
   static trace::Counter &Sweeps = trace::counter("kernel.sweeps");
   static trace::Counter &WordsSwept =
       trace::counter("kernel.words_swept");
   Sweeps.add();
+
+  // Deadline poll, amortized: a time check per block would dominate the
+  // sweep, so with an active deadline we pay one decrement per block and
+  // read the clock (plus the kernel.cancel failpoint, which simulates
+  // expiry deterministically) every PollInterval blocks. A null DL costs
+  // one predicted branch.
+  constexpr uint32_t PollInterval = 4096;
+  uint32_t Budget = PollInterval;
+  bool Aborted = false;
+  auto poll = [&]() -> bool {
+    if (!DL || Aborted)
+      return Aborted;
+    if (--Budget != 0)
+      return false;
+    Budget = PollInterval;
+    if (DL->expired() || WS_FAILPOINT("kernel.cancel"))
+      Aborted = true;
+    return Aborted;
+  };
 
   // Sparse reset of the previous sweep's footprint: between sweeps the
   // scratch arrays are all-zero except at Dirty positions.
@@ -160,8 +181,10 @@ void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
     Seen[B] = 0;
   }
   Dirty.clear();
+  if (DL && (DL->expired() || WS_FAILPOINT("kernel.cancel")))
+    return false;
   if (Count == 0)
-    return;
+    return true;
 
   // Blocks are condensation components: plain nodes on acyclic graphs
   // (identity condensation), Tarjan components otherwise.
@@ -192,6 +215,10 @@ void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
     visit(B);
   }
   while (!Work.empty()) {
+    if (poll()) {
+      Work.clear(); // The worklist is reused; leave it empty on abort.
+      return false;
+    }
     const uint32_t B = Work.back();
     Work.pop_back();
     scatterFrom(B, visit);
@@ -213,17 +240,26 @@ void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
     if (!Acyclic) {
       // Tarjan ids are reverse-topological: walk them downward.
       for (uint32_t B = NumBlocks; B-- > 0;)
-        if (Seen[B])
+        if (Seen[B]) {
+          if (poll())
+            return false;
           propagate(B);
+        }
     } else if (G->TopoOrder.empty()) {
       // Identity order: node ids are already topological.
       for (uint32_t Node = 0; Node != NumBlocks; ++Node)
-        if (Seen[Node])
+        if (Seen[Node]) {
+          if (poll())
+            return false;
           propagate(Node);
+        }
     } else {
       for (uint32_t Node : G->TopoOrder)
-        if (Seen[Node])
+        if (Seen[Node]) {
+          if (poll())
+            return false;
           propagate(Node);
+        }
     }
   } else {
     if (!Acyclic)
@@ -234,7 +270,11 @@ void ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count) {
       std::sort(Dirty.begin(), Dirty.end(), [&](uint32_t A, uint32_t B) {
         return G->TopoPos[A] < G->TopoPos[B];
       });
-    for (uint32_t B : Dirty)
+    for (uint32_t B : Dirty) {
+      if (poll())
+        return false;
       propagate(B);
+    }
   }
+  return true;
 }

@@ -40,6 +40,7 @@
 #ifndef WIRESORT_SUPPORT_CSRGRAPH_H
 #define WIRESORT_SUPPORT_CSRGRAPH_H
 
+#include "support/Deadline.h"
 #include "support/Graph.h"
 
 #include <cassert>
@@ -158,8 +159,14 @@ public:
         Seen(G.numComponents(), 0) {}
 
   /// Computes the closure of \p Sources[0..Count) (Count <= 64),
-  /// replacing any previous sweep's results.
-  void sweep(const uint32_t *Sources, uint32_t Count);
+  /// replacing any previous sweep's results. \returns true on
+  /// completion. With an active \p DL the sweep polls it every few
+  /// thousand blocks (plus the kernel.cancel failpoint) and returns
+  /// false when it fires — the kernel's scratch stays reusable but the
+  /// current masks are meaningless and must be discarded. A null \p DL
+  /// (the default, and every pre-deadline caller) never aborts.
+  bool sweep(const uint32_t *Sources, uint32_t Count,
+             const support::Deadline *DL = nullptr);
 
   /// Post-sweep: bit k set iff Sources[k] reaches \p Node (inclusive of
   /// Node == Sources[k]).

@@ -1,0 +1,107 @@
+//===- support/Deadline.h - Deadlines and cancellation ----------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative time budget + cancellation flag for a whole check run
+/// (docs/ROBUSTNESS.md). A production checker serving interactive or
+/// CI traffic must be boundable: `wiresort-check --timeout-ms N` creates
+/// one \ref Deadline covering parse, Stage-1 inference, and the kernel
+/// sweeps, and every layer polls it at a granularity coarse enough to be
+/// free and fine enough to stop a runaway input — per line in the
+/// parsers, per module in the SummaryEngine, per node batch in
+/// ReachabilityKernel sweeps. A run that hits its deadline fails closed:
+/// a WS601_CANCELLED diagnostic reporting partial progress, exit code 3,
+/// never a hung process or a half-written artifact.
+///
+/// Deadline is a value type: copies share the cancellation flag (a
+/// shared atomic), so handing one to a worker thread and cancel()ing
+/// from the outside is safe and immediate. A default-constructed
+/// Deadline never expires and its polls cost one pointer test.
+///
+//======---------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_DEADLINE_H
+#define WIRESORT_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace wiresort::support {
+
+/// A shared "stop now" flag. Copies observe (and raise) the same flag.
+class CancellationToken {
+public:
+  CancellationToken() = default;
+
+  /// A token that can actually be cancelled (default-constructed tokens
+  /// are inert and never report cancelled).
+  static CancellationToken create() {
+    CancellationToken T;
+    T.Flag = std::make_shared<std::atomic<bool>>(false);
+    return T;
+  }
+
+  void cancel() const {
+    if (Flag)
+      Flag->store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const {
+    return Flag && Flag->load(std::memory_order_relaxed);
+  }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// An optional wall-clock budget plus a cancellation token. expired()
+/// is the one poll every cooperative layer uses; it is true once either
+/// the budget has elapsed or the token was cancelled.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires; polls are nearly free.
+  Deadline() = default;
+
+  /// Expires \p Ms milliseconds from now (0 = never, but the returned
+  /// deadline is still cancellable via its token).
+  static Deadline afterMs(uint64_t Ms) {
+    Deadline D;
+    D.Token = CancellationToken::create();
+    if (Ms != 0) {
+      D.HasLimit = true;
+      D.End = Clock::now() + std::chrono::milliseconds(Ms);
+    }
+    return D;
+  }
+
+  /// True when this deadline can ever expire (time limit or live
+  /// token) — layers may skip bookkeeping entirely for inert deadlines.
+  bool active() const { return HasLimit || Token.cancelled(); }
+
+  bool expired() const {
+    if (Token.cancelled())
+      return true;
+    return HasLimit && Clock::now() >= End;
+  }
+
+  /// The shared cancellation flag (inert for default-constructed
+  /// deadlines).
+  const CancellationToken &token() const { return Token; }
+  void cancel() const { Token.cancel(); }
+
+private:
+  CancellationToken Token;
+  Clock::time_point End{};
+  bool HasLimit = false;
+};
+
+} // namespace wiresort::support
+
+#endif // WIRESORT_SUPPORT_DEADLINE_H

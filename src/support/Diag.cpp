@@ -45,6 +45,14 @@ const char *support::diagCodeName(DiagCode Code) {
     return "WS502_CACHE_FORMAT";
   case DiagCode::WS503_USAGE:
     return "WS503_USAGE";
+  case DiagCode::WS601_CANCELLED:
+    return "WS601_CANCELLED";
+  case DiagCode::WS602_CACHE_IO:
+    return "WS602_CACHE_IO";
+  case DiagCode::WS603_CACHE_CORRUPT:
+    return "WS603_CACHE_CORRUPT";
+  case DiagCode::WS604_WORKER_PANIC:
+    return "WS604_WORKER_PANIC";
   }
   return "WS000_UNKNOWN";
 }

@@ -69,6 +69,11 @@ enum class DiagCode : uint16_t {
   WS501_IO_ERROR = 501,           ///< File unreadable/unwritable.
   WS502_CACHE_FORMAT = 502,       ///< --cache file is not a sidecar.
   WS503_USAGE = 503,              ///< Bad command line.
+  // --- 6xx: robustness (docs/ROBUSTNESS.md) ---
+  WS601_CANCELLED = 601,          ///< Run cancelled by deadline/token.
+  WS602_CACHE_IO = 602,           ///< Cache save/load I/O degraded.
+  WS603_CACHE_CORRUPT = 603,      ///< Corrupt cache record quarantined.
+  WS604_WORKER_PANIC = 604,       ///< Worker task threw; contained.
 };
 
 /// The stable spelling ("WS101_COMB_LOOP") used in JSON output.

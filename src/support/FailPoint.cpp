@@ -1,0 +1,216 @@
+//===- support/FailPoint.cpp - Fault-injection framework ------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#include "support/Trace.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace wiresort;
+using namespace wiresort::support;
+using namespace wiresort::support::failpoint;
+
+namespace {
+
+/// The process-wide site registry. Sites are heap-allocated and never
+/// freed so the references WS_FAILPOINT caches in function-local statics
+/// stay valid for the process lifetime (same discipline as the
+/// trace::counter registry).
+struct Registry {
+  std::mutex Mutex;
+  std::map<std::string, Site *> Sites;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// SplitMix64 — the same cheap, well-mixed stream the gen layer's
+/// seeded generators rely on; good enough to make prob() streams
+/// independent across sites and hit indices.
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S)
+    H = (H ^ C) * 0x100000001b3ULL;
+  return H;
+}
+
+} // namespace
+
+bool Site::fireSlow() {
+  // The hit index is claimed atomically so concurrent workers hitting
+  // the same site observe distinct indices — nth(N) fires exactly once
+  // even under a racy schedule.
+  const uint64_t Hit = Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const Mode M = static_cast<Mode>(ModeV.load(std::memory_order_relaxed));
+  bool Fire = false;
+  switch (M) {
+  case Mode::Off:
+    break;
+  case Mode::Always:
+    Fire = true;
+    break;
+  case Mode::Nth:
+    Fire = Hit == Param.load(std::memory_order_relaxed);
+    break;
+  case Mode::Prob: {
+    const uint64_t Stream =
+        splitmix64(Seed.load(std::memory_order_relaxed) ^ fnv1a(Name) ^
+                   (Hit * 0x2545f4914f6cdd1dULL));
+    Fire = Stream < Param.load(std::memory_order_relaxed);
+    break;
+  }
+  }
+  if (Fire) {
+    Fires.fetch_add(1, std::memory_order_relaxed);
+    static trace::Counter &Injected = trace::counter("fault.injected");
+    Injected.add();
+  }
+  return Fire;
+}
+
+Site &failpoint::site(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Sites.find(Name);
+  if (It == R.Sites.end())
+    It = R.Sites.emplace(Name, new Site(Name)).first;
+  return *It->second;
+}
+
+Status failpoint::configure(const std::string &Spec, uint64_t SeedV) {
+  // Parse the whole spec before touching any site: a malformed clause
+  // must not leave the process half-armed.
+  struct Clause {
+    std::string Name;
+    Site::Mode M = Site::Mode::Off;
+    uint64_t Param = 0;
+  };
+  std::vector<Clause> Clauses;
+
+  auto fail = [&](const std::string &Why) {
+    return Diag(DiagCode::WS503_USAGE,
+                "malformed --failpoints spec: " + Why)
+        .withNote("spec", Spec);
+  };
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Part = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Part.empty())
+      continue;
+    size_t Eq = Part.find('=');
+    if (Eq == std::string::npos || Eq == 0)
+      return fail("expected name=mode, got '" + Part + "'");
+    Clause C;
+    C.Name = Part.substr(0, Eq);
+    std::string ModeStr = Part.substr(Eq + 1);
+    if (ModeStr == "always") {
+      C.M = Site::Mode::Always;
+    } else if (ModeStr == "off") {
+      C.M = Site::Mode::Off;
+    } else if (ModeStr.rfind("nth(", 0) == 0 && ModeStr.back() == ')') {
+      char *EndP = nullptr;
+      std::string Num = ModeStr.substr(4, ModeStr.size() - 5);
+      unsigned long long N = std::strtoull(Num.c_str(), &EndP, 10);
+      if (Num.empty() || *EndP != '\0' || N == 0)
+        return fail("nth() expects a positive integer in '" + Part + "'");
+      C.M = Site::Mode::Nth;
+      C.Param = N;
+    } else if (ModeStr.rfind("prob(", 0) == 0 && ModeStr.back() == ')') {
+      char *EndP = nullptr;
+      std::string Num = ModeStr.substr(5, ModeStr.size() - 6);
+      double P = std::strtod(Num.c_str(), &EndP);
+      if (Num.empty() || *EndP != '\0' || !(P >= 0.0) || !(P <= 1.0))
+        return fail("prob() expects a probability in [0,1] in '" + Part +
+                    "'");
+      C.M = Site::Mode::Prob;
+      // Scale to the full 64-bit hash range; ldexp keeps P == 1.0 from
+      // overflowing to 0.
+      C.Param = P >= 1.0 ? UINT64_MAX
+                         : static_cast<uint64_t>(std::ldexp(P, 64));
+    } else {
+      return fail("unknown mode '" + ModeStr + "' in '" + Part + "'");
+    }
+    Clauses.push_back(std::move(C));
+  }
+
+  for (const Clause &C : Clauses) {
+    Site &S = site(C.Name);
+    S.Param.store(C.Param, std::memory_order_relaxed);
+    S.Seed.store(SeedV, std::memory_order_relaxed);
+    S.ModeV.store(static_cast<uint8_t>(C.M), std::memory_order_relaxed);
+    S.Armed.store(C.M != Site::Mode::Off, std::memory_order_relaxed);
+  }
+  return {};
+}
+
+Status failpoint::configureFromEnv() {
+  // Interning the fault counters here — the CLI calls this
+  // unconditionally at startup — makes `fault.*` visible at zero in
+  // every stats report, armed or not (the trace-contract stage of
+  // tools/run_tests.sh greps for them).
+  (void)trace::counter("fault.injected");
+  (void)trace::counter("fault.retries");
+  (void)trace::counter("fault.cancelled_modules");
+  (void)trace::counter("fault.quarantined_records");
+
+  const char *Spec = std::getenv("WIRESORT_FAILPOINTS");
+  if (!Spec || !*Spec)
+    return {};
+  uint64_t Seed = 0;
+  if (const char *SeedStr = std::getenv("WIRESORT_FAILPOINT_SEED"))
+    Seed = std::strtoull(SeedStr, nullptr, 10);
+  return configure(Spec, Seed);
+}
+
+void failpoint::disarmAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (auto &[Name, S] : R.Sites) {
+    S->Armed.store(false, std::memory_order_relaxed);
+    S->ModeV.store(static_cast<uint8_t>(Site::Mode::Off),
+                   std::memory_order_relaxed);
+    S->Param.store(0, std::memory_order_relaxed);
+    S->Hits.store(0, std::memory_order_relaxed);
+    S->Fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t failpoint::armedCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  size_t N = 0;
+  for (auto &[Name, S] : R.Sites)
+    if (S->Armed.load(std::memory_order_relaxed))
+      ++N;
+  return N;
+}
+
+std::vector<std::string> failpoint::siteNames() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::string> Names;
+  for (auto &[Name, S] : R.Sites)
+    Names.push_back(Name);
+  return Names;
+}

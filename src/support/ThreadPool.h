@@ -25,9 +25,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace wiresort {
@@ -95,6 +97,18 @@ public:
     AllDone.wait(Lock, [this] { return Pending == 0; });
   }
 
+  /// Exceptions that escaped tasks since the last drain, in completion
+  /// order. A throwing task on a plain std::thread would std::terminate
+  /// the process; here the worker catches it, keeps serving the queue,
+  /// and parks the std::exception_ptr for the owner to collect after
+  /// wait() — the containment contract docs/ROBUSTNESS.md describes.
+  /// (The SummaryEngine additionally catches per-module so a panic can
+  /// be *attributed*; this is the backstop for everything else.)
+  std::vector<std::exception_ptr> drainExceptions() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    return std::exchange(Escaped, {});
+  }
+
 private:
   /// Index of the calling thread within this pool, or -1 for external
   /// threads.
@@ -137,10 +151,17 @@ private:
         if (!Task && Stopping)
           return;
       }
-      Task();
+      std::exception_ptr Thrown;
+      try {
+        Task();
+      } catch (...) {
+        Thrown = std::current_exception();
+      }
       Task = nullptr; // Release captures before reporting completion.
       {
         std::unique_lock<std::mutex> Lock(Mutex);
+        if (Thrown)
+          Escaped.push_back(std::move(Thrown));
         if (--Pending == 0)
           AllDone.notify_all();
       }
@@ -158,6 +179,8 @@ private:
   size_t Pending = 0;
   size_t NextQueue = 0;
   bool Stopping = false;
+  /// Exceptions that escaped tasks, awaiting drainExceptions().
+  std::vector<std::exception_ptr> Escaped;
 };
 
 } // namespace wiresort

@@ -16,7 +16,8 @@
 ///
 ///  * \c wiresort::support — diagnostics (Diag/DiagList/Expected),
 ///    graphs (Graph, frozen CsrGraph + ReachabilityKernel), Timer,
-///    ThreadPool, ASCII Table.
+///    ThreadPool, ASCII Table, Deadline/CancellationToken and the
+///    failpoint fault-injection registry (docs/ROBUSTNESS.md).
 ///  * \c wiresort::trace — the observability layer: RAII Span timing,
 ///    the Counter/Histogram registry, and Session, the collection
 ///    window that writes Chrome trace-event JSON
@@ -42,9 +43,12 @@
 #ifndef WIRESORT_WIRESORT_H
 #define WIRESORT_WIRESORT_H
 
-// Support: diagnostics, graphs, timing, threads, tables, tracing.
+// Support: diagnostics, graphs, timing, threads, tables, tracing,
+// robustness (deadlines/cancellation + fault injection).
 #include "support/CsrGraph.h"
+#include "support/Deadline.h"
 #include "support/Diag.h"
+#include "support/FailPoint.h"
 #include "support/Graph.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"

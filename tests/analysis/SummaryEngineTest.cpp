@@ -259,12 +259,14 @@ TEST(SummaryEngineTest, SidecarRoundTripWarmsAFreshEngine) {
 
   SummaryEngine Writer;
   Summaries Out = engineAnalyzeOrDie(Writer, D);
-  ASSERT_TRUE(Writer.saveCache(Path, D, Out));
+  ASSERT_TRUE(Writer.saveCache(Path, D, Out).empty());
 
   SummaryEngine Reader;
   auto Loaded = Reader.loadCache(Path, D);
   ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
-  EXPECT_GT(*Loaded, 0u);
+  EXPECT_GT(Loaded->Loaded, 0u);
+  EXPECT_EQ(Loaded->Quarantined, 0u);
+  EXPECT_TRUE(Loaded->Warnings.empty());
 
   Summaries Warm = engineAnalyzeOrDie(Reader, D);
   EXPECT_EQ(Reader.stats().Inferred, 0u);
@@ -281,13 +283,13 @@ TEST(SummaryEngineTest, MissingAndStaleSidecarsAreHarmless) {
   auto Missing = Engine.loadCache(
       ::testing::TempDir() + "/does_not_exist.wsort", D);
   ASSERT_TRUE(Missing.hasValue()) << Missing.describe();
-  EXPECT_EQ(*Missing, 0u);
+  EXPECT_EQ(Missing->Loaded, 0u);
 
   // A sidecar written for an older body: keys no longer match, so the
   // entries load but never hit.
   std::string Path = ::testing::TempDir() + "/summary_engine_stale.wsort";
   Summaries Out = engineAnalyzeOrDie(Engine, D);
-  ASSERT_TRUE(Engine.saveCache(Path, D, Out));
+  ASSERT_TRUE(Engine.saveCache(Path, D, Out).empty());
 
   Design Edited;
   std::vector<ModuleId> Ids = buildDiamond(Edited);
@@ -313,7 +315,7 @@ TEST(SummaryEngineTest, SidecarBlocksForOtherDesignsAreSkipped) {
   SummaryEngine Writer;
   Summaries Out = engineAnalyzeOrDie(Writer, D);
   std::string Path = ::testing::TempDir() + "/summary_engine_mixed.wsort";
-  ASSERT_TRUE(Writer.saveCache(Path, D, Out));
+  ASSERT_TRUE(Writer.saveCache(Path, D, Out).empty());
   {
     std::ofstream Append(Path, std::ios::app);
     Append << "# key no_such_module 1234abcd\n"

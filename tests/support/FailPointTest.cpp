@@ -1,0 +1,185 @@
+//===- tests/support/FailPointTest.cpp - Fault-injection framework --------===//
+//
+// Part of the wiresort project. The failpoint registry's own contract
+// (docs/ROBUSTNESS.md): mode semantics (always / nth / prob / off),
+// (spec, seed) determinism for probabilistic triggers, whole-spec
+// validation before any site is armed, and the ThreadPool exception
+// containment the engine's panic handling is built on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+using namespace wiresort;
+using namespace wiresort::support;
+using namespace wiresort::support::failpoint;
+
+namespace {
+
+/// Every trial disarms on both sides so no schedule leaks into (or out
+/// of) a test — the same discipline production callers follow.
+class FailPointTest : public ::testing::Test {
+protected:
+  void SetUp() override { disarmAll(); }
+  void TearDown() override {
+    disarmAll();
+    ::unsetenv("WIRESORT_FAILPOINTS");
+    ::unsetenv("WIRESORT_FAILPOINT_SEED");
+  }
+};
+
+/// Fires \p Site N times and returns the fire pattern.
+std::vector<bool> pattern(const char *Name, int N) {
+  Site &S = site(Name);
+  std::vector<bool> P;
+  for (int I = 0; I != N; ++I)
+    P.push_back(S.shouldFire());
+  return P;
+}
+
+} // namespace
+
+TEST_F(FailPointTest, DisarmedSiteNeverFires) {
+  // The production steady state: a site nobody configured is a relaxed
+  // load + branch that always says no (and counts nothing).
+  Site &S = site("test.fp.idle");
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_FALSE(S.shouldFire());
+  EXPECT_EQ(S.hits(), 0u);
+  EXPECT_EQ(S.fires(), 0u);
+}
+
+TEST_F(FailPointTest, AlwaysFiresEveryHitAndOffNever) {
+  ASSERT_TRUE(configure("test.fp.a=always,test.fp.b=off").empty());
+  EXPECT_EQ(armedCount(), 1u);
+  for (bool Fired : pattern("test.fp.a", 5))
+    EXPECT_TRUE(Fired);
+  for (bool Fired : pattern("test.fp.b", 5))
+    EXPECT_FALSE(Fired);
+  EXPECT_EQ(site("test.fp.a").fires(), 5u);
+}
+
+TEST_F(FailPointTest, NthFiresExactlyOnceOnTheNthHit) {
+  ASSERT_TRUE(configure("test.fp.nth=nth(3)").empty());
+  std::vector<bool> P = pattern("test.fp.nth", 6);
+  EXPECT_EQ(P, (std::vector<bool>{false, false, true, false, false,
+                                  false}));
+  EXPECT_EQ(site("test.fp.nth").fires(), 1u);
+}
+
+TEST_F(FailPointTest, ProbExtremesAndSeedDeterminism) {
+  ASSERT_TRUE(configure("test.fp.p0=prob(0),test.fp.p1=prob(1)").empty());
+  for (bool Fired : pattern("test.fp.p0", 50))
+    EXPECT_FALSE(Fired);
+  for (bool Fired : pattern("test.fp.p1", 50))
+    EXPECT_TRUE(Fired);
+
+  // The same (spec, seed) pair replays byte-identically; a different
+  // seed gives a different stream (with overwhelming probability over
+  // 200 draws of p=0.5).
+  disarmAll();
+  ASSERT_TRUE(configure("test.fp.ph=prob(0.5)", 42).empty());
+  std::vector<bool> First = pattern("test.fp.ph", 200);
+  disarmAll();
+  ASSERT_TRUE(configure("test.fp.ph=prob(0.5)", 42).empty());
+  EXPECT_EQ(pattern("test.fp.ph", 200), First);
+  disarmAll();
+  ASSERT_TRUE(configure("test.fp.ph=prob(0.5)", 43).empty());
+  EXPECT_NE(pattern("test.fp.ph", 200), First);
+
+  // And the stream is not degenerate: both outcomes occur.
+  EXPECT_NE(std::count(First.begin(), First.end(), true), 0);
+  EXPECT_NE(std::count(First.begin(), First.end(), true), 200);
+}
+
+TEST_F(FailPointTest, MalformedSpecsRejectWithoutArmingAnything) {
+  for (const char *Bad :
+       {"noequals", "=always", "s=bogus", "s=nth(0)", "s=nth(x)",
+        "s=prob(2)", "s=prob(-1)", "s=prob()"}) {
+    Status St = configure(Bad);
+    ASSERT_TRUE(St.hasError()) << Bad;
+    EXPECT_EQ(St.firstError().code(), DiagCode::WS503_USAGE) << Bad;
+  }
+  // Validation is all-or-nothing: one bad clause keeps the good one
+  // from arming too.
+  Status St = configure("test.fp.good=always,test.fp.bad=bogus");
+  ASSERT_TRUE(St.hasError());
+  EXPECT_EQ(armedCount(), 0u);
+  EXPECT_FALSE(site("test.fp.good").shouldFire());
+}
+
+TEST_F(FailPointTest, ConfigureFromEnvArmsAndIsANoOpWhenUnset) {
+  ASSERT_TRUE(configureFromEnv().empty());
+  EXPECT_EQ(armedCount(), 0u);
+
+  ::setenv("WIRESORT_FAILPOINTS", "test.fp.env=nth(2)", 1);
+  ASSERT_TRUE(configureFromEnv().empty());
+  std::vector<bool> P = pattern("test.fp.env", 3);
+  EXPECT_EQ(P, (std::vector<bool>{false, true, false}));
+
+  ::setenv("WIRESORT_FAILPOINTS", "test.fp.env=nonsense", 1);
+  EXPECT_TRUE(configureFromEnv().hasError());
+}
+
+TEST_F(FailPointTest, MacroCachesTheSiteAndRegistersItsName) {
+  auto hit = [] { return WS_FAILPOINT("test.fp.macro"); };
+  EXPECT_FALSE(hit());
+  ASSERT_TRUE(configure("test.fp.macro=always").empty());
+  EXPECT_TRUE(hit());
+  std::vector<std::string> Names = siteNames();
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "test.fp.macro"),
+            Names.end());
+}
+
+TEST_F(FailPointTest, NthFiresOnceEvenUnderAConcurrentHammer) {
+  // nth(N) claims its hit index atomically: 8 workers racing 1000 hits
+  // each observe distinct indices, so exactly one fires.
+  ASSERT_TRUE(configure("test.fp.race=nth(500)").empty());
+  Site &S = site("test.fp.race");
+  std::atomic<uint64_t> Fired{0};
+  {
+    ThreadPool Pool(8);
+    for (int W = 0; W != 8; ++W)
+      Pool.submit([&] {
+        for (int I = 0; I != 1000; ++I)
+          if (S.shouldFire())
+            Fired.fetch_add(1);
+      });
+    Pool.wait();
+  }
+  EXPECT_EQ(Fired.load(), 1u);
+  EXPECT_EQ(S.hits(), 8000u);
+}
+
+TEST_F(FailPointTest, ThreadPoolContainsThrowingTasks) {
+  // The engine's last line of defense: a task that throws must park its
+  // exception for drainExceptions(), never unwind a worker (which would
+  // std::terminate), and must not poison later tasks.
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&, I] {
+      ++Ran;
+      if (I % 2 == 0)
+        throw std::runtime_error("task " + std::to_string(I));
+    });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 8);
+  std::vector<std::exception_ptr> Escaped = Pool.drainExceptions();
+  EXPECT_EQ(Escaped.size(), 4u);
+  // Draining is destructive; the pool is clean for reuse.
+  EXPECT_TRUE(Pool.drainExceptions().empty());
+  Pool.submit([&] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 9);
+  EXPECT_TRUE(Pool.drainExceptions().empty());
+}

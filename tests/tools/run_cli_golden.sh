@@ -56,6 +56,27 @@ run missing 2 no_such_file.blif --format json
 run badflag 2 loopfree.blif --format json --bogus
 run badcache 2 loopfree.blif --format json --cache bogus.wscache
 
+# Exit 3: a deadline that fires cancels the run with a WS601
+# partial-progress diag and the cancelled verdict (docs/ROBUSTNESS.md).
+# Real clocks are not byte-stable, so the engine.cancel failpoint
+# simulates the expiry deterministically.
+run timeout 3 loopfree.blif --format json --threads 1 --timeout-ms 1 \
+    --failpoints engine.cancel=always
+
+# Exit 0 despite damage: a cache record failing its v2 checksum is
+# quarantined with a WS603 warning, the module re-infers cold, and the
+# verdict is unchanged. The run then rewrites the cache (healing it), so
+# the fixture is copied to a scratch name first.
+cp corruptcache.wscache corrupt.run.wscache
+run corruptcache 0 loopfree.blif --format json --cache corrupt.run.wscache
+if cmp -s corruptcache.wscache corrupt.run.wscache; then
+  echo "FAIL corruptcache: save did not heal the damaged record" >&2
+  Failures=$((Failures + 1))
+else
+  echo "ok corruptcache healed on save"
+fi
+rm -f corrupt.run.wscache
+
 # --stats: the NDJSON stats record precedes the verdict line. Counters
 # are deterministic at --threads 1; the histogram timing fields are not,
 # so jq reduces each histogram to its count before the diff (which is

@@ -20,13 +20,22 @@
 #      riscv_soc CPU as BLIF, run `wiresort-check --trace-out --stats`
 #      over it, and jq-check the Chrome trace (ph/ts/tid on every event,
 #      monotonic timestamps, engine/kernel/parse categories, cache
-#      hit/miss attributes on engine.module spans), then run the
-#      bench_engine disabled-vs-enabled overhead smoke.
+#      hit/miss attributes on engine.module spans) and that the fault.*
+#      robustness counters are present, then run the bench_engine
+#      disabled-vs-enabled tracing and failpoint overhead smokes;
+#   6. an AddressSanitizer build of the fault-injection suites — the
+#      200-schedule fault soak (ctest label `soak`) plus the
+#      crash-recovery and failpoint unit suites (docs/ROBUSTNESS.md):
+#      injected faults walk the error/retry/quarantine paths that
+#      ordinary runs never touch, which is exactly where leaks and
+#      use-after-frees hide.
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
-#                differential soak) from the regular stage; the TSan stage
-#                always runs it, since races love randomized schedules.
+#                differential and fault soaks) from the regular stage; the
+#                TSan stage always runs the differential soak (races love
+#                randomized schedules) and the ASan stage always runs the
+#                fault soak.
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -121,8 +130,13 @@ if command -v jq >/dev/null 2>&1; then
          (unique - ["hit", "miss", "ascribed", "loop"]) == []' \
     "$TRACE" >/dev/null
   grep -q 'engine.cache_misses' "$TRACE_TMP/stats.txt"
+  # The robustness counters are interned at startup so they are visible
+  # (at zero, here) in every stats report (docs/ROBUSTNESS.md).
+  grep -q 'fault.injected' "$TRACE_TMP/stats.txt"
+  grep -q 'fault.quarantined_records' "$TRACE_TMP/stats.txt"
   echo "trace-out document passes the jq contract checks"
-  # Disabled-vs-enabled overhead smoke (the < 2% budget is asserted by
+  # Disabled-vs-enabled overhead smokes — tracing and failpoints share
+  # the same one-relaxed-load budget (the < 2% bar is asserted by
   # eye/trend tooling, not a hard gate: CI machines are noisy).
   "$BUILD/bench/bench_engine" --quick | grep -A2 "overhead smoke"
 else
@@ -130,4 +144,17 @@ else
 fi
 
 echo
-echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace)"
+echo "=== stage 6: fault-injection suites under AddressSanitizer ($ROOT/build-asan) ==="
+ASAN_BUILD="$ROOT/build-asan"
+[ -f "$ASAN_BUILD/CMakeCache.txt" ] || cmake -B "$ASAN_BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+cmake --build "$ASAN_BUILD" -j "$(nproc)" \
+  --target fault_soak_tests engine_tests support_tests
+ASAN_OPTIONS="abort_on_error=1" "$ASAN_BUILD/tests/fault_soak_tests"
+ASAN_OPTIONS="abort_on_error=1" "$ASAN_BUILD/tests/engine_tests"
+ASAN_OPTIONS="abort_on_error=1" "$ASAN_BUILD/tests/support_tests"
+
+echo
+echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace + ASan soak)"

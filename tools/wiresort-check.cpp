@@ -20,15 +20,19 @@
 //   wiresort-check design.blif --cache d.wscache   # warm-start repeats
 //   wiresort-check design.blif --trace-out t.json  # Chrome trace events
 //   wiresort-check design.blif --stats         # registry counter dump
+//   wiresort-check design.blif --timeout-ms 500    # bounded run
+//   wiresort-check design.blif --failpoints s=mode # fault injection
 //
 // Exit-code contract (docs/DIAGNOSTICS.md): 0 = well-connected and every
 // requested check passed; 1 = analysis/parse diagnostics with severity >=
-// error were emitted; 2 = usage or I/O failure (WS5xx). With
-// --format json all diagnostics go to stdout as newline-delimited JSON
-// (support::renderJson) followed by one deterministic verdict line —
-// {"verdict":"well-connected","modules":N} or
-// {"verdict":"error","errors":K} — with no timing or thread counts, so
-// the output is byte-stable for golden tests.
+// error were emitted; 2 = usage or I/O failure (WS5xx); 3 = the run was
+// cancelled by --timeout-ms (WS601_CANCELLED, with partial-progress
+// notes — docs/ROBUSTNESS.md). With --format json all diagnostics go to
+// stdout as newline-delimited JSON (support::renderJson) followed by one
+// deterministic verdict line — {"verdict":"well-connected","modules":N},
+// {"verdict":"error","errors":K}, or {"verdict":"cancelled","errors":K}
+// — with no timing or thread counts, so the output is byte-stable for
+// golden tests.
 //
 // Inference runs through analysis::SummaryEngine: independent modules of
 // the instantiation DAG are inferred concurrently, and --cache persists
@@ -95,7 +99,22 @@ struct Emitter {
       std::printf("{\"verdict\":\"error\",\"errors\":%zu}\n", Errors);
     return 1;
   }
+  /// The cancelled verdict (--timeout-ms fired); \returns exit code 3.
+  int verdictCancelled() {
+    if (Fmt == Format::Json)
+      std::printf("{\"verdict\":\"cancelled\",\"errors\":%zu}\n", Errors);
+    return 3;
+  }
 };
+
+/// True when \p Ds carries a WS601_CANCELLED diag — the run was cut
+/// short by the deadline and exits 3, not 1.
+bool wasCancelled(const support::DiagList &Ds) {
+  for (const support::Diag &D : Ds)
+    if (D.code() == support::DiagCode::WS601_CANCELLED)
+      return true;
+  return false;
+}
 
 int usage(const char *Argv0, Emitter &E, const std::string &Why) {
   E.emit(support::Diag(support::DiagCode::WS503_USAGE, Why));
@@ -103,7 +122,8 @@ int usage(const char *Argv0, Emitter &E, const std::string &Why) {
                "usage: %s <design.blif|design.v> [--summaries FILE] "
                "[--check FILE] [--dot FILE] [--format text|json] "
                "[--quiet] [--depth] [--threads N] [--cache FILE] "
-               "[--trace-out FILE] [--stats]\n",
+               "[--trace-out FILE] [--stats] [--timeout-ms N] "
+               "[--failpoints SPEC] [--fault-seed N]\n",
                Argv0);
   return 2;
 }
@@ -215,6 +235,22 @@ int main(int ArgC, char **ArgV) {
       Opts.Threads = static_cast<unsigned>(std::atoi(Value.c_str()));
       if (Opts.Threads == 0)
         return usage(ArgV[0], Emit, "--threads expects a positive count");
+    } else if (Arg == "--timeout-ms") {
+      std::string Value;
+      if (!takeValue(Value))
+        return usage(ArgV[0], Emit, "--timeout-ms expects milliseconds");
+      Opts.TimeoutMs = std::strtoull(Value.c_str(), nullptr, 10);
+      if (Opts.TimeoutMs == 0)
+        return usage(ArgV[0], Emit,
+                     "--timeout-ms expects a positive millisecond count");
+    } else if (Arg == "--failpoints") {
+      if (!takeValue(Opts.FailpointSpec))
+        return usage(ArgV[0], Emit, "--failpoints expects site=mode,...");
+    } else if (Arg == "--fault-seed") {
+      std::string Value;
+      if (!takeValue(Value))
+        return usage(ArgV[0], Emit, "--fault-seed expects a number");
+      Opts.FaultSeed = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--depth") {
@@ -229,6 +265,31 @@ int main(int ArgC, char **ArgV) {
   }
   if (DesignPath.empty())
     return usage(ArgV[0], Emit, "no design file");
+
+  // Fault injection arms before any other work so every site in the run
+  // is eligible; configureFromEnv() also interns the fault.* counters so
+  // they appear (at zero) in --stats output. Env first, then the flag,
+  // so --failpoints overrides WIRESORT_FAILPOINTS clause by clause.
+  if (support::Status Env = support::failpoint::configureFromEnv();
+      Env.hasError()) {
+    Emit.emit(Env);
+    return 2;
+  }
+  if (!Opts.FailpointSpec.empty()) {
+    support::Status Armed =
+        support::failpoint::configure(Opts.FailpointSpec, Opts.FaultSeed);
+    if (Armed.hasError()) {
+      Emit.emit(Armed);
+      return 2;
+    }
+  }
+
+  // One deadline covers parse + Stage-1 analysis (docs/ROBUSTNESS.md);
+  // inert when --timeout-ms is absent.
+  support::Deadline DL = Opts.TimeoutMs != 0
+                             ? support::Deadline::afterMs(Opts.TimeoutMs)
+                             : support::Deadline();
+  const support::Deadline *DLPtr = DL.active() ? &DL : nullptr;
 
   // The collection window opens before the design is even read so the
   // parse spans land in the trace; it closes (and the stats record is
@@ -269,53 +330,61 @@ int main(int ArgC, char **ArgV) {
         DesignPath.rfind(".sv") == DesignPath.size() - 3));
   std::optional<parse::BlifFile> File;
   if (IsVerilog) {
-    auto VFile = parse::parseVerilog(*Text, DesignPath);
+    auto VFile = parse::parseVerilog(*Text, DesignPath, DLPtr);
     if (!VFile) {
+      bool Cancelled = wasCancelled(VFile.diags());
       Emit.emit(VFile.diags());
       (void)finishTelemetry();
-      return Emit.verdictError();
+      return Cancelled ? Emit.verdictCancelled() : Emit.verdictError();
     }
     File.emplace();
     File->Design = std::move(VFile->Design);
     File->Top = VFile->Top;
   } else {
-    auto BFile = parse::parseBlif(*Text, DesignPath);
+    auto BFile = parse::parseBlif(*Text, DesignPath, DLPtr);
     if (!BFile) {
+      bool Cancelled = wasCancelled(BFile.diags());
       Emit.emit(BFile.diags());
       (void)finishTelemetry();
-      return Emit.verdictError();
+      return Cancelled ? Emit.verdictCancelled() : Emit.verdictError();
     }
     File = std::move(*BFile);
   }
 
   SummaryEngine Engine(Opts);
   if (!Opts.CachePath.empty()) {
-    support::Expected<size_t> Loaded =
+    support::Expected<CacheLoadResult> Loaded =
         Engine.loadCache(Opts.CachePath, File->Design);
     if (!Loaded) {
       Emit.emit(Loaded.diags());
       return 2;
     }
-    if (!Quiet && Emit.Fmt == Format::Text && *Loaded)
-      std::printf("cache: %zu summaries loaded from %s\n", *Loaded,
+    // Quarantined-record warnings (WS602/WS603) degrade, never fail:
+    // the damaged records re-infer cold while the rest stay warm.
+    Emit.emit(Loaded->Warnings);
+    if (!Quiet && Emit.Fmt == Format::Text && Loaded->Loaded)
+      std::printf("cache: %zu summaries loaded from %s\n", Loaded->Loaded,
                   Opts.CachePath.c_str());
   }
 
   Timer T;
   std::map<ModuleId, ModuleSummary> Summaries;
-  support::Status Stage1 = Engine.analyze(File->Design, Summaries);
+  support::Status Stage1 = Engine.analyze(File->Design, Summaries, {}, DL);
   double Ms = T.milliseconds();
 
   if (Stage1.hasError()) {
+    bool Cancelled = wasCancelled(Stage1);
     Emit.emit(Stage1);
+    // A cancelled run still persists what it finished — the next,
+    // fully-budgeted invocation starts warm (docs/ROBUSTNESS.md).
+    if (!Opts.CachePath.empty())
+      Emit.emit(Engine.saveCache(Opts.CachePath, File->Design, Summaries));
     (void)finishTelemetry();
-    return Emit.verdictError();
+    return Cancelled ? Emit.verdictCancelled() : Emit.verdictError();
   }
 
-  if (!Opts.CachePath.empty() &&
-      !Engine.saveCache(Opts.CachePath, File->Design, Summaries))
-    std::fprintf(stderr, "warning: cannot write cache %s\n",
-                 Opts.CachePath.c_str());
+  if (!Opts.CachePath.empty())
+    Emit.emit(Engine.saveCache(Opts.CachePath, File->Design, Summaries));
 
   if (!Quiet && Emit.Fmt == Format::Text) {
     for (ModuleId Id = 0; Id != File->Design.numModules(); ++Id) {
