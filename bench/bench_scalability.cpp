@@ -3,7 +3,7 @@
 // Part of the wiresort project, a reproduction of "Wire Sorts: A Language
 // Abstraction for Safe Hardware Composition" (PLDI 2021).
 //
-// Demonstrates the two asymptotic claims of Section 5.5 empirically:
+// Demonstrates the asymptotic claims of Section 5.5 empirically:
 //
 //  * 5.5.1 — module sort inference is O(|inputs| * |edges|): timing
 //    sweeps over gate count (fixed inputs) and over input count (fixed
@@ -13,16 +13,31 @@
 //    check is linear in connections; both are measured on growing
 //    forwarding-FIFO chains (every connection port-sorted, so nothing is
 //    discharged early).
+//  * Mega-scale (docs/SCALE.md) — instance-count sweeps over the
+//    gen::MegaScale presets, 60 to 1M flattened instances: wall-clock of
+//    the full pipeline under the serial engine, the in-process sharded
+//    engine, and the fork-isolated sharded engine. Every sharded run is
+//    gated on producing *identical results* to the serial one —
+//    structurallyEqual summaries, byte-identical verdict NDJSON, same
+//    Stage-3 verdict — before its timing may be reported; a divergence
+//    fails the bench.
 //
 // Also measures the ablation called out in DESIGN.md: pairwise vs SCC.
+//
+// `--json <path>` mirrors every table row into a machine-readable report
+// (BENCH_scalability.json at the repo root is a committed snapshot;
+// tools/run_bench.sh refreshes it), with the trace registry's counters
+// appended so shard.*/engine.* land next to the timings.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 
+#include "analysis/Sharded.h"
 #include "analysis/SortInference.h"
 #include "analysis/WellConnected.h"
 #include "gen/Fifo.h"
+#include "gen/MegaScale.h"
 #include "gen/Random.h"
 #include "ir/Builder.h"
 #include "support/Table.h"
@@ -36,8 +51,46 @@ using namespace wiresort::bench;
 using namespace wiresort::gen;
 using namespace wiresort::ir;
 
+namespace {
+
+/// The mega-scale identical-results gate: serial reference vs one
+/// sharded configuration. \returns false (with a stderr note) when any
+/// part of the determinism contract is violated.
+bool shardedMatchesSerial(const char *What,
+                          const support::Status &SerialVerdict,
+                          const std::map<ModuleId, ModuleSummary> &Serial,
+                          const support::Status &ShardVerdict,
+                          const std::map<ModuleId, ModuleSummary> &Shard) {
+  if (support::renderJson(SerialVerdict) !=
+      support::renderJson(ShardVerdict)) {
+    std::fprintf(stderr, "%s: verdict NDJSON diverges from serial\n", What);
+    return false;
+  }
+  if (Serial.size() != Shard.size()) {
+    std::fprintf(stderr, "%s: summary count %zu != serial %zu\n", What,
+                 Shard.size(), Serial.size());
+    return false;
+  }
+  for (const auto &[Id, S] : Serial) {
+    auto It = Shard.find(Id);
+    if (It == Shard.end() || !structurallyEqual(S, It->second)) {
+      std::fprintf(stderr, "%s: summary of module %u diverges\n", What,
+                   static_cast<unsigned>(Id));
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
 int main(int ArgC, char **ArgV) {
   bool Quick = quickMode(ArgC, ArgV);
+  const std::string JsonOut = jsonPath(ArgC, ArgV);
+  JsonReport Json;
+  // Metrics-only collection window: the shard.*/engine.* counters the
+  // sweeps below bump are appended to the JSON report at the end.
+  trace::Session Metrics(trace::SessionOptions{"", /*CollectSpans=*/false});
 
   // --- 5.5.1: inference time vs gate count --------------------------------
   std::printf("=== Section 5.5.1: inference scales with module size "
@@ -57,6 +110,11 @@ int main(int ArgC, char **ArgV) {
                 Table::secondsStr(1e6 * Run.InferSeconds /
                                       double(Run.PrimGates),
                                   3)});
+      Json.beginRecord()
+          .field("sweep", "inference_vs_gates")
+          .field("prim_gates", static_cast<uint64_t>(Run.PrimGates))
+          .field("edges", static_cast<uint64_t>(Run.Gates.Nets.size()))
+          .field("infer_seconds", Run.InferSeconds);
     }
     T.print();
     std::printf("(ms/kGate roughly flat => linear in module size)\n\n");
@@ -89,6 +147,11 @@ int main(int ArgC, char **ArgV) {
       T.addRow({std::to_string(Inputs), std::to_string(ConeLength),
                 Table::secondsStr(Ms, 3),
                 Table::secondsStr(1e3 * Ms / Inputs, 2)});
+      Json.beginRecord()
+          .field("sweep", "inference_vs_inputs")
+          .field("inputs", static_cast<uint64_t>(Inputs))
+          .field("cone_gates", static_cast<uint64_t>(ConeLength))
+          .field("infer_seconds", Ms / 1e3);
     }
     T.print();
     std::printf("(us/input roughly flat => linear in |inputs|)\n\n");
@@ -129,11 +192,119 @@ int main(int ArgC, char **ArgV) {
                 std::to_string(Circ.connections().size()),
                 Table::secondsStr(SccMs, 3), Table::secondsStr(PairMs, 3),
                 Table::speedupStr(PairMs / SccMs)});
+      Json.beginRecord()
+          .field("sweep", "check_pairwise_vs_scc")
+          .field("instances", static_cast<uint64_t>(N))
+          .field("connections",
+                 static_cast<uint64_t>(Circ.connections().size()))
+          .field("scc_seconds", SccMs / 1e3)
+          .field("pairwise_seconds", PairMs / 1e3);
     }
     T.print();
     std::printf("(pairwise/SCC ratio grows with connections: the "
                 "O(|conns|^2) worst case vs the linear production "
-                "check)\n");
+                "check)\n\n");
+  }
+
+  // --- Mega-scale: flat-instance sweeps, serial vs sharded -----------------
+  // The flat instance count is what a monolithic checker would expand;
+  // the engine's cost scales with unique modules plus hierarchy nodes.
+  // Every sharded timing below is valid only because the identical-
+  // results gate passed first.
+  std::printf("=== Mega-scale: serial vs sharded full pipeline "
+              "(docs/SCALE.md) ===\n\n");
+  {
+    Table T({"Preset", "Flat instances", "Modules", "Serial (ms)",
+             "Sharded x4 (ms)", "Fork x4 (ms)", "Stage-3 (ms)"});
+    std::vector<std::string> Presets = {"ci", "10k", "100k"};
+    if (!Quick) {
+      Presets.push_back("100k-noc");
+      Presets.push_back("100k-fabric");
+      Presets.push_back("1m");
+    }
+    for (const std::string &Name : Presets) {
+      MegaScaleParams P = *megaScalePreset(Name);
+      Design D;
+      Circuit Circ = buildMegaScaleCircuit(D, P);
+
+      // Serial reference (cache off: every run measures cold work).
+      CheckOptions SerialOpts;
+      SerialOpts.Threads = 1;
+      SerialOpts.UseCache = false;
+      SummaryEngine Serial(SerialOpts);
+      std::map<ModuleId, ModuleSummary> Reference;
+      Timer SerialT;
+      support::Status SerialVerdict = Serial.analyze(D, Reference);
+      double SerialMs = SerialT.milliseconds();
+      if (SerialVerdict.hasError())
+        return 1;
+
+      // In-process sharded, then fork-isolated sharded; both gated.
+      double ShardMs[2] = {0, 0};
+      const ShardOptions::Mode Modes[2] = {ShardOptions::Mode::InProcess,
+                                           ShardOptions::Mode::Fork};
+      const char *ModeName[2] = {"sharded x4", "fork x4"};
+      for (int M = 0; M != 2; ++M) {
+        ShardOptions SOpts;
+        SOpts.Shards = 4;
+        SOpts.ExecMode = Modes[M];
+        SOpts.Check.UseCache = false;
+        ShardedEngine Sharded(SOpts);
+        std::map<ModuleId, ModuleSummary> Out;
+        Timer ShardT;
+        support::Status Verdict = Sharded.analyze(D, Out);
+        ShardMs[M] = ShardT.milliseconds();
+        if (!shardedMatchesSerial((Name + " " + ModeName[M]).c_str(),
+                                  SerialVerdict, Reference, Verdict, Out))
+          return 1;
+      }
+
+      // Stage-3 over the top composition: SCC verdict is the reference,
+      // the sharded pairwise checker must agree.
+      Timer CheckT;
+      CircuitCheckResult Scc = checkCircuit(Circ, Reference);
+      double CheckMs = CheckT.milliseconds();
+      CircuitCheckResult Sharded3 =
+          checkCircuitSharded(Circ, Reference, 4);
+      if (Scc.WellConnected != Sharded3.WellConnected) {
+        std::fprintf(stderr, "%s: sharded Stage-3 verdict diverges\n",
+                     Name.c_str());
+        return 1;
+      }
+      if (!Scc.WellConnected)
+        return 1;
+
+      ModuleId Top = Circ.seal();
+      const uint64_t Flat = flatInstanceCount(D, Top);
+      T.addRow({Name, Table::withCommas(Flat),
+                std::to_string(D.numModules()),
+                Table::secondsStr(SerialMs, 3),
+                Table::secondsStr(ShardMs[0], 3),
+                Table::secondsStr(ShardMs[1], 3),
+                Table::secondsStr(CheckMs, 3)});
+      Json.beginRecord()
+          .field("sweep", "mega_scale")
+          .field("preset", Name)
+          .field("flat_instances", Flat)
+          .field("modules", static_cast<uint64_t>(D.numModules()))
+          .field("fingerprint", fingerprint(D, Top))
+          .field("serial_stage1_seconds", SerialMs / 1e3)
+          .field("sharded4_stage1_seconds", ShardMs[0] / 1e3)
+          .field("fork4_stage1_seconds", ShardMs[1] / 1e3)
+          .field("stage3_seconds", CheckMs / 1e3);
+    }
+    T.print();
+    std::printf("(cost tracks unique modules, not flat instances: the "
+                "paper's per-module summary factoring at 1M-instance "
+                "scale; sharded timings are gated on byte-identical "
+                "results)\n");
+  }
+
+  (void)Metrics.finish();
+  if (!JsonOut.empty()) {
+    Json.appendTraceRegistry();
+    if (Json.writeTo(JsonOut))
+      std::printf("\nJSON report written to %s\n", JsonOut.c_str());
   }
   return 0;
 }

@@ -1,0 +1,719 @@
+//===- analysis/Sharded.cpp - Multi-process sharded Stage-1 ---------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Sharded.h"
+
+#include "support/CsrGraph.h"
+#include "support/FailPoint.h"
+#include "support/Process.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unistd.h>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::ir;
+
+namespace {
+
+// --- Shared with the engine: contained inference ----------------------------
+//
+// Byte-compatible twin of SummaryEngine's containment: the WS604 record a
+// panicking worker produces here must render identically to the one the
+// in-process engine produces, or the shard-differential byte contract
+// would distinguish the paths.
+
+InferenceResult inferContained(const Design &D, ModuleId Id,
+                               const std::map<ModuleId, ModuleSummary> &Subs,
+                               const support::Deadline *DL, bool &Panicked) {
+  auto panic = [&](const char *What) {
+    Panicked = true;
+    return support::Diag(support::DiagCode::WS604_WORKER_PANIC,
+                         "worker panic while summarizing module '" +
+                             D.module(Id).Name + "'")
+        .withNote("module", D.module(Id).Name)
+        .withNote("what", What);
+  };
+  try {
+    if (WS_FAILPOINT("engine.module.throw"))
+      throw std::runtime_error("injected fault: engine.module.throw");
+    return inferSummary(D, Id, Subs, DL);
+  } catch (const std::exception &E) {
+    return panic(E.what());
+  } catch (...) {
+    return panic("unknown exception");
+  }
+}
+
+// --- Per-module outcome record ----------------------------------------------
+
+enum class ModState : uint8_t {
+  Waiting,
+  Done,
+  Looped,
+  Skipped,
+  Cancelled,
+  Panicked,
+};
+
+/// One worker's verdict on one module, produced inside the worker
+/// (thread or child process) and merged by the coordinator.
+struct ModResult {
+  ModuleId Id = InvalidId;
+  ModState State = ModState::Panicked;
+  ModuleSummary Summary; // Valid when State == Done.
+  support::DiagList Diags;
+};
+
+/// The worker loop both execution modes share: summarize the owned
+/// modules of one wave in id order, honoring deadline/cancel latches.
+/// \p Latch is the cross-shard cancel latch (null in fork mode, where
+/// each child latches privately).
+std::vector<ModResult>
+runShardWave(const Design &D, const std::vector<ModuleId> &Mine,
+             const std::map<ModuleId, ModuleSummary> &Deps,
+             const support::Deadline &DL, std::atomic<bool> *Latch) {
+  std::vector<ModResult> Results;
+  Results.reserve(Mine.size());
+  const support::Deadline *DLPtr = DL.active() ? &DL : nullptr;
+  bool LocalCancel = false;
+  for (ModuleId Id : Mine) {
+    ModResult R;
+    R.Id = Id;
+    bool Cancelled = LocalCancel || (Latch && Latch->load());
+    if (!Cancelled && (DL.expired() || WS_FAILPOINT("engine.cancel")))
+      Cancelled = true;
+    if (Cancelled) {
+      LocalCancel = true;
+      if (Latch)
+        Latch->store(true);
+      R.State = ModState::Cancelled;
+      Results.push_back(std::move(R));
+      continue;
+    }
+    bool Panicked = false;
+    InferenceResult Result = inferContained(D, Id, Deps, DLPtr, Panicked);
+    if (Result) {
+      R.State = ModState::Done;
+      R.Summary = std::move(*Result);
+    } else if (Panicked) {
+      R.State = ModState::Panicked;
+      R.Diags = Result.diags();
+    } else if (Result.diags().firstError().code() ==
+               support::DiagCode::WS601_CANCELLED) {
+      // Inference noticed the deadline mid-module: abandoned, not failed.
+      LocalCancel = true;
+      if (Latch)
+        Latch->store(true);
+      R.State = ModState::Cancelled;
+    } else {
+      R.State = ModState::Looped;
+      R.Diags = Result.diags();
+    }
+    Results.push_back(std::move(R));
+  }
+  return Results;
+}
+
+// --- Fork-mode pipe protocol ------------------------------------------------
+//
+// Line-oriented, parseable from a truncated stream:
+//
+//   mod <id> done
+//   O <port> <n> <id>...        (one line per input port's output set)
+//   I <port> <n> <id>...        (one line per output port's input set)
+//   S <port> <subsort>
+//   endmod
+//   mod <id> looped <n>         (then n encodeDiag lines)
+//   mod <id> panicked <n>       (then n encodeDiag lines)
+//   mod <id> cancelled
+//   shardend
+//
+// Anything the parser cannot account for — a record cut off mid-frame, a
+// missing shardend, garbage — makes the affected modules *unaccounted*,
+// which the coordinator fails closed as dead-worker WS604s.
+
+std::string encodeResult(const ModResult &R) {
+  std::ostringstream OS;
+  OS << "mod " << R.Id << ' ';
+  switch (R.State) {
+  case ModState::Done: {
+    OS << "done\n";
+    for (const auto &[In, Outs] : R.Summary.OutputPortSets) {
+      OS << "O " << In << ' ' << Outs.size();
+      for (WireId W : Outs)
+        OS << ' ' << W;
+      OS << '\n';
+    }
+    for (const auto &[Out, Ins] : R.Summary.InputPortSets) {
+      OS << "I " << Out << ' ' << Ins.size();
+      for (WireId W : Ins)
+        OS << ' ' << W;
+      OS << '\n';
+    }
+    for (const auto &[Port, Sub] : R.Summary.SubSorts)
+      OS << "S " << Port << ' ' << static_cast<unsigned>(Sub) << '\n';
+    OS << "endmod\n";
+    break;
+  }
+  case ModState::Looped:
+  case ModState::Panicked: {
+    OS << (R.State == ModState::Looped ? "looped " : "panicked ")
+       << R.Diags.size() << '\n';
+    for (const support::Diag &Dg : R.Diags)
+      OS << support::encodeDiag(Dg) << '\n';
+    break;
+  }
+  case ModState::Cancelled:
+    OS << "cancelled\n";
+    break;
+  default:
+    assert(false && "worker never emits Waiting/Skipped");
+  }
+  return OS.str();
+}
+
+bool parseFirstU64(std::istringstream &LS, uint64_t &Out) {
+  return static_cast<bool>(LS >> Out);
+}
+
+/// Parses a child's full pipe output. Returns only fully-framed records;
+/// a truncated tail is dropped (its modules stay unaccounted).
+/// \p CleanEnd reports whether the shardend marker arrived.
+std::vector<ModResult> parseShardOutput(const std::string &Text,
+                                        const Design &D, bool &CleanEnd) {
+  CleanEnd = false;
+  std::vector<std::string> Lines;
+  {
+    size_t I = 0;
+    while (I < Text.size()) {
+      size_t J = Text.find('\n', I);
+      if (J == std::string::npos)
+        break; // Unterminated tail line: never trust it.
+      Lines.push_back(Text.substr(I, J - I));
+      I = J + 1;
+    }
+  }
+
+  std::vector<ModResult> Records;
+  size_t I = 0;
+  while (I < Lines.size()) {
+    std::istringstream LS(Lines[I]);
+    std::string Tag;
+    LS >> Tag;
+    if (Tag == "shardend") {
+      CleanEnd = true;
+      return Records;
+    }
+    if (Tag != "mod")
+      return Records; // Protocol desync: trust nothing further.
+    uint64_t IdVal = 0;
+    std::string Kind;
+    if (!parseFirstU64(LS, IdVal) || IdVal >= D.numModules() ||
+        !(LS >> Kind))
+      return Records;
+    ModResult R;
+    R.Id = static_cast<ModuleId>(IdVal);
+    ++I;
+    if (Kind == "cancelled") {
+      R.State = ModState::Cancelled;
+      Records.push_back(std::move(R));
+      continue;
+    }
+    if (Kind == "looped" || Kind == "panicked") {
+      uint64_t N = 0;
+      if (!parseFirstU64(LS, N))
+        return Records;
+      R.State = Kind == "looped" ? ModState::Looped : ModState::Panicked;
+      for (uint64_t K = 0; K != N; ++K, ++I) {
+        if (I >= Lines.size())
+          return Records; // Cut off mid-frame.
+        std::optional<support::Diag> Dg = support::decodeDiag(Lines[I]);
+        if (!Dg)
+          return Records;
+        R.Diags.add(std::move(*Dg));
+      }
+      Records.push_back(std::move(R));
+      continue;
+    }
+    if (Kind != "done")
+      return Records;
+    R.State = ModState::Done;
+    R.Summary.Id = R.Id;
+    R.Summary.ModuleName = D.module(R.Id).Name;
+    bool Framed = false;
+    for (; I < Lines.size(); ++I) {
+      std::istringstream FS(Lines[I]);
+      std::string FTag;
+      FS >> FTag;
+      if (FTag == "endmod") {
+        Framed = true;
+        ++I;
+        break;
+      }
+      uint64_t Port = 0;
+      if (FTag == "O" || FTag == "I") {
+        uint64_t N = 0;
+        if (!parseFirstU64(FS, Port) || !parseFirstU64(FS, N))
+          return Records;
+        std::vector<WireId> Ids;
+        Ids.reserve(N);
+        for (uint64_t K = 0; K != N; ++K) {
+          uint64_t W = 0;
+          if (!parseFirstU64(FS, W))
+            return Records;
+          Ids.push_back(static_cast<WireId>(W));
+        }
+        if (FTag == "O")
+          R.Summary.OutputPortSets[static_cast<WireId>(Port)] =
+              std::move(Ids);
+        else
+          R.Summary.InputPortSets[static_cast<WireId>(Port)] =
+              std::move(Ids);
+      } else if (FTag == "S") {
+        uint64_t Sub = 0;
+        if (!parseFirstU64(FS, Port) || !parseFirstU64(FS, Sub))
+          return Records;
+        R.Summary.SubSorts[static_cast<WireId>(Port)] =
+            static_cast<SubSort>(Sub);
+      } else {
+        return Records;
+      }
+    }
+    if (!Framed)
+      return Records; // Stream died inside the summary.
+    Records.push_back(std::move(R));
+  }
+  return Records;
+}
+
+} // namespace
+
+// --- ShardedEngine ----------------------------------------------------------
+
+ShardedEngine::ShardedEngine(ShardOptions Opts) : Opts(std::move(Opts)) {
+  // The shard count is the parallelism; the per-shard engine paths run
+  // single-threaded inference loops.
+  this->Opts.Shards = std::max(1u, this->Opts.Shards);
+}
+
+support::Status
+ShardedEngine::analyze(const Design &D, std::map<ModuleId, ModuleSummary> &Out,
+                       const std::map<ModuleId, ModuleSummary> &Ascribed,
+                       const support::Deadline &DL) {
+  Timer T;
+  Stats = ShardStats();
+  Stats.Shards = Opts.Shards;
+  Stats.Modules = D.numModules();
+
+  trace::Span Span("shard.analyze", "engine");
+  Span.note("modules", static_cast<uint64_t>(D.numModules()))
+      .note("shards", static_cast<uint64_t>(Opts.Shards));
+  static trace::Counter &WavesC = trace::counter("shard.waves");
+  static trace::Counter &WorkersC = trace::counter("shard.workers_spawned");
+  static trace::Counter &DeathsC = trace::counter("shard.worker_deaths");
+  static trace::Counter &InferredC = trace::counter("shard.inferred");
+  static trace::Counter &CancelledC =
+      trace::counter("fault.cancelled_modules");
+
+  const std::vector<uint64_t> &Keys = Engine.primeKeys(D, Ascribed);
+  SummaryCache *Cache = Opts.Check.UseCache ? &Engine.cache() : nullptr;
+
+  std::optional<std::vector<ModuleId>> Order = D.topologicalModuleOrder();
+  assert(Order && "module instantiation must be acyclic");
+
+  // Wave levels: level(m) = 1 + max level over instantiated definitions.
+  std::vector<uint32_t> Level(D.numModules(), 0);
+  uint32_t MaxLevel = 0;
+  for (ModuleId Id : *Order) {
+    for (const SubInstance &Inst : D.module(Id).Instances)
+      Level[Id] = std::max(Level[Id], Level[Inst.Def] + 1);
+    MaxLevel = std::max(MaxLevel, Level[Id]);
+  }
+  std::vector<std::vector<ModuleId>> Waves(MaxLevel + 1);
+  for (ModuleId Id : *Order)
+    Waves[Level[Id]].push_back(Id);
+
+  // Dependents, for failure tainting (dedup'd like the engine's).
+  std::vector<std::vector<ModuleId>> Dependents(D.numModules());
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id) {
+    std::vector<ModuleId> Deps;
+    for (const SubInstance &Inst : D.module(Id).Instances)
+      Deps.push_back(Inst.Def);
+    std::sort(Deps.begin(), Deps.end());
+    Deps.erase(std::unique(Deps.begin(), Deps.end()), Deps.end());
+    for (ModuleId Dep : Deps)
+      Dependents[Dep].push_back(Id);
+  }
+
+  std::vector<ModState> States(D.numModules(), ModState::Waiting);
+  std::vector<support::DiagList> Loops(D.numModules());
+  Out.clear();
+  bool CancelFlag = false;
+
+  // Mirrors SummaryEngine's taint rules: dependents of a cancelled
+  // module are cancelled (the WS601 tally covers everything the deadline
+  // cost); dependents of any other failure are skipped silently.
+  auto taint = [&](ModuleId Id, ModState S) {
+    if (S == ModState::Done)
+      return;
+    for (ModuleId Dep : Dependents[Id]) {
+      if (S == ModState::Cancelled)
+        States[Dep] = ModState::Cancelled;
+      else if (States[Dep] != ModState::Cancelled)
+        States[Dep] = ModState::Skipped;
+    }
+  };
+
+  auto settle = [&](ModResult &R) {
+    States[R.Id] = R.State;
+    switch (R.State) {
+    case ModState::Done:
+      if (Cache)
+        Cache->insert(Keys[R.Id], R.Summary);
+      Out[R.Id] = std::move(R.Summary);
+      ++Stats.Inferred;
+      break;
+    case ModState::Cancelled:
+      CancelFlag = true;
+      break;
+    case ModState::Looped:
+    case ModState::Panicked:
+      Loops[R.Id] = std::move(R.Diags);
+      break;
+    default:
+      break;
+    }
+    taint(R.Id, R.State);
+  };
+
+  for (const std::vector<ModuleId> &Wave : Waves) {
+    ++Stats.Waves;
+
+    // Coordinator pass: propagate taints, resolve cheap modules, and
+    // collect the wave's real work. Order mirrors the engine: skip
+    // check, cancel check, then ascription/cache.
+    std::vector<ModuleId> Work;
+    for (ModuleId Id : Wave) {
+      if (States[Id] == ModState::Skipped ||
+          States[Id] == ModState::Cancelled) {
+        taint(Id, States[Id]);
+        continue;
+      }
+      if (CancelFlag || DL.expired() || WS_FAILPOINT("engine.cancel")) {
+        CancelFlag = true;
+        States[Id] = ModState::Cancelled;
+        taint(Id, ModState::Cancelled);
+        continue;
+      }
+      auto AscIt = Ascribed.find(Id);
+      if (AscIt != Ascribed.end()) {
+        Out[Id] = AscIt->second;
+        States[Id] = ModState::Done;
+        ++Stats.Ascribed;
+        continue;
+      }
+      if (Cache) {
+        if (auto Hit = Cache->lookup(Keys[Id], Id, D.module(Id).Name)) {
+          Out[Id] = std::move(*Hit);
+          States[Id] = ModState::Done;
+          ++Stats.CacheHits;
+          continue;
+        }
+      }
+      Work.push_back(Id);
+    }
+    if (Work.empty())
+      continue;
+
+    // Deterministic ownership: id mod shards. Work arrives in id order
+    // (waves are built from the topological order filtered by level,
+    // and ids within a level are ascending), so each shard's list is in
+    // id order too.
+    std::vector<std::vector<ModuleId>> ByShard(Opts.Shards);
+    for (ModuleId Id : Work)
+      ByShard[Id % Opts.Shards].push_back(Id);
+
+    if (Opts.ExecMode == ShardOptions::Mode::InProcess) {
+      std::vector<std::vector<ModResult>> ShardResults(Opts.Shards);
+      std::atomic<bool> Latch{CancelFlag};
+      std::vector<std::thread> Threads;
+      for (unsigned S = 0; S != Opts.Shards; ++S) {
+        if (ByShard[S].empty())
+          continue;
+        Threads.emplace_back([&, S] {
+          ShardResults[S] =
+              runShardWave(D, ByShard[S], Out, DL, &Latch);
+        });
+      }
+      for (std::thread &Th : Threads)
+        Th.join();
+      for (unsigned S = 0; S != Opts.Shards; ++S)
+        for (ModResult &R : ShardResults[S])
+          settle(R);
+    } else {
+      // Fork mode. Children are forked before any result is merged, so
+      // every child sees the same pre-wave coordinator state; pipes are
+      // drained fully at join time in shard order, which cannot
+      // deadlock (a child blocked on a full pipe simply waits until its
+      // join drains it).
+      struct Pending {
+        unsigned Shard;
+        support::ChildProcess Child;
+      };
+      std::vector<Pending> Children;
+      std::vector<unsigned> FailedToSpawn;
+      for (unsigned S = 0; S != Opts.Shards; ++S) {
+        if (ByShard[S].empty())
+          continue;
+        const std::vector<ModuleId> &Mine = ByShard[S];
+        auto Spawned = support::ChildProcess::spawn([&](int Fd) {
+          for (ModuleId Id : Mine) {
+            // The shard-soak's worker-kill site: die like a crashed or
+            // OOM-killed worker would, mid-protocol.
+            if (WS_FAILPOINT("shard.worker.kill"))
+              ::_exit(121);
+            std::vector<ModResult> One =
+                runShardWave(D, {Id}, Out, DL, nullptr);
+            if (!support::writeAll(Fd, encodeResult(One.front())))
+              ::_exit(123);
+          }
+          (void)support::writeAll(Fd, "shardend\n");
+        });
+        if (!Spawned) {
+          FailedToSpawn.push_back(S);
+          continue;
+        }
+        ++Stats.WorkersSpawned;
+        WorkersC.add();
+        Children.push_back(Pending{S, std::move(*Spawned)});
+      }
+
+      // Merge in shard order; the final diag order is by module id
+      // regardless, so join order only affects wall-clock.
+      std::vector<std::vector<ModResult>> ShardResults(Opts.Shards);
+      std::vector<bool> ShardHealthy(Opts.Shards, false);
+      std::vector<std::string> ShardDeathNote(Opts.Shards);
+      for (Pending &P : Children) {
+        support::ChildResult CR = P.Child.join();
+        bool CleanEnd = false;
+        ShardResults[P.Shard] = parseShardOutput(CR.Output, D, CleanEnd);
+        ShardHealthy[P.Shard] = CR.cleanExit() && CleanEnd;
+        if (!ShardHealthy[P.Shard]) {
+          ShardDeathNote[P.Shard] =
+              CR.Signalled ? "signal " + std::to_string(CR.Signal)
+                           : "exit " + std::to_string(CR.ExitCode);
+        }
+      }
+      for (unsigned S : FailedToSpawn)
+        ShardDeathNote[S] = "fork failed";
+
+      for (unsigned S = 0; S != Opts.Shards; ++S) {
+        if (ByShard[S].empty())
+          continue;
+        std::map<ModuleId, ModResult *> BysId;
+        for (ModResult &R : ShardResults[S])
+          BysId[R.Id] = &R;
+        bool Died = false;
+        for (ModuleId Id : ByShard[S]) {
+          auto It = BysId.find(Id);
+          if (It != BysId.end()) {
+            settle(*It->second);
+            continue;
+          }
+          // Unaccounted module of a dead/odd worker: fail closed.
+          Died = true;
+          ModResult R;
+          R.Id = Id;
+          R.State = ModState::Panicked;
+          R.Diags.add(
+              support::Diag(support::DiagCode::WS604_WORKER_PANIC,
+                            "shard worker died before summarizing "
+                            "module '" +
+                                D.module(Id).Name + "'")
+                  .withNote("module", D.module(Id).Name)
+                  .withNote("shard", std::to_string(S))
+                  .withNote("worker",
+                            ShardDeathNote[S].empty() ? "truncated output"
+                                                      : ShardDeathNote[S]));
+          settle(R);
+        }
+        if (Died || (!ShardHealthy[S] && !ByShard[S].empty())) {
+          ++Stats.WorkerDeaths;
+          DeathsC.add();
+        }
+      }
+    }
+  }
+  WavesC.add(Stats.Waves);
+  InferredC.add(Stats.Inferred);
+
+  // Slice delivery (--shard I/N): everything was computed, but only the
+  // owned modules' summaries and diagnostics leave this call.
+  const bool Slice = Opts.SliceShard >= 0;
+  auto owned = [&](ModuleId Id) {
+    return !Slice ||
+           Id % Opts.Shards == static_cast<unsigned>(Opts.SliceShard);
+  };
+  if (Slice)
+    for (auto It = Out.begin(); It != Out.end();) {
+      if (owned(It->first))
+        ++It;
+      else
+        It = Out.erase(It);
+    }
+
+  // Verdict: every failed module's diagnostics in module-id order — the
+  // exact list SummaryEngine::analyze produces.
+  support::Status Verdict;
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id)
+    if (owned(Id))
+      Verdict.append(Loops[Id]);
+
+  size_t DoneCount = 0, CancelledCount = 0, PanickedCount = 0;
+  for (ModuleId Id = 0; Id != D.numModules(); ++Id) {
+    switch (States[Id]) {
+    case ModState::Done:
+      ++DoneCount;
+      break;
+    case ModState::Cancelled:
+      ++CancelledCount;
+      break;
+    case ModState::Panicked:
+      ++PanickedCount;
+      break;
+    default:
+      break;
+    }
+  }
+  if (CancelFlag || CancelledCount != 0) {
+    CancelledC.add(CancelledCount);
+    Verdict.add(support::Diag(support::DiagCode::WS601_CANCELLED,
+                              "analysis cancelled before completion")
+                    .withNote("completed", std::to_string(DoneCount))
+                    .withNote("cancelled", std::to_string(CancelledCount))
+                    .withNote("modules", std::to_string(D.numModules())));
+  }
+
+  Stats.Cancelled = CancelledCount;
+  Stats.Panicked = PanickedCount;
+  Stats.Seconds = T.seconds();
+  return Verdict;
+}
+
+// --- Sharded Stage-3 --------------------------------------------------------
+
+CircuitCheckResult
+analysis::checkCircuitSharded(const Circuit &Circ,
+                              const std::map<ModuleId, ModuleSummary>
+                                  &Summaries,
+                              unsigned Shards) {
+  Timer T;
+  Shards = std::max(1u, Shards);
+  trace::Span CheckSpan("analysis.check_circuit", "analysis");
+  CheckSpan.note("circuit", Circ.name())
+      .note("mode", "sharded")
+      .note("shards", static_cast<uint64_t>(Shards));
+
+  CircuitCheckResult Result;
+  PortGraph PG = PortGraph::build(Circ, Summaries);
+  const auto &Conns = Circ.connections();
+  std::vector<const ModuleSummary *> InstSummary;
+  InstSummary.reserve(Circ.instances().size());
+  for (const Circuit::Instance &Inst : Circ.instances())
+    InstSummary.push_back(&Summaries.at(Inst.Def));
+
+  // Stage 2 on the coordinator (cheap: two sort lookups per connection);
+  // the expensive Stage-3 queries are what gets sharded.
+  std::vector<uint32_t> Checked;
+  std::vector<uint8_t> Failed(Conns.size(), 0);
+  for (uint32_t I = 0; I != Conns.size(); ++I) {
+    if (classifyConnection(Circ, Summaries, Conns[I]) ==
+        ConnectionSafety::SafeBySort) {
+      ++Result.SafeBySort;
+      continue;
+    }
+    ++Result.NeedsCheck;
+    Checked.push_back(I);
+  }
+
+  // Round-robin the checked connections across shard threads. Each
+  // shard runs its own bit-parallel kernel over the shared (read-only)
+  // port graph and writes only its own connections' Failed slots.
+  auto shardBody = [&](unsigned Shard) {
+    struct PairQuery {
+      uint32_t Conn;
+      uint32_t SrcNode;
+    };
+    std::vector<PairQuery> Queries;
+    for (size_t K = Shard; K < Checked.size(); K += Shards) {
+      const uint32_t I = Checked[K];
+      const Connection &C = Conns[I];
+      for (WireId W2 : InstSummary[C.To.Inst]->outputPortSet(C.To.Port))
+        Queries.push_back({I, PG.nodeOf(PortRef{C.To.Inst, W2})});
+    }
+    ReachabilityKernel Kernel(PG.csr());
+    std::vector<uint32_t> Sources;
+    for (size_t Base = 0; Base < Queries.size();
+         Base += ReachabilityKernel::WordBits) {
+      const size_t Count = std::min<size_t>(ReachabilityKernel::WordBits,
+                                            Queries.size() - Base);
+      Sources.clear();
+      for (size_t K = 0; K != Count; ++K)
+        Sources.push_back(Queries[Base + K].SrcNode);
+      Kernel.sweep(Sources.data(), static_cast<uint32_t>(Count));
+      for (size_t K = 0; K != Count; ++K) {
+        const uint32_t ConnIdx = Queries[Base + K].Conn;
+        if (Failed[ConnIdx])
+          continue;
+        const Connection &C = Conns[ConnIdx];
+        const ModuleSummary &FromSummary = *InstSummary[C.From.Inst];
+        for (WireId W1 : FromSummary.inputPortSet(C.From.Port)) {
+          if ((Kernel.mask(PG.nodeOf(PortRef{C.From.Inst, W1})) >> K) & 1) {
+            Failed[ConnIdx] = 1;
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  if (Shards == 1 || Checked.size() <= 1) {
+    shardBody(0);
+  } else {
+    std::vector<std::thread> Threads;
+    for (unsigned S = 0; S != Shards; ++S)
+      Threads.emplace_back(shardBody, S);
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
+
+  // Failure emission in connection order: byte-identical to
+  // checkCircuitPairwise whatever the shard count.
+  Result.WellConnected = true;
+  for (uint32_t I = 0; I != Conns.size(); ++I) {
+    if (!Failed[I])
+      continue;
+    Result.WellConnected = false;
+    const Connection &C = Conns[I];
+    Result.Diags.add(
+        support::Diag(support::DiagCode::WS101_COMB_LOOP,
+                      "connection is not well-connected")
+            .withHop(Circ.instances()[C.From.Inst].Name,
+                     Circ.defOf(C.From.Inst).wire(C.From.Port).Name)
+            .withHop(Circ.instances()[C.To.Inst].Name,
+                     Circ.defOf(C.To.Inst).wire(C.To.Port).Name));
+  }
+  Result.Seconds = T.seconds();
+  return Result;
+}

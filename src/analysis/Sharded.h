@@ -1,0 +1,143 @@
+//===- analysis/Sharded.h - Multi-process sharded Stage-1 -------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sharded Stage-1 inference and Stage-3 circuit checking over N workers
+/// (docs/SCALE.md). The paper's summary factoring makes the module DAG
+/// embarrassingly partitionable: a module's summary depends only on its
+/// own body plus the summaries of its instantiated definitions, so any
+/// partition that respects dependency order computes the same summaries.
+/// The ShardedEngine schedules the DAG in *waves* (topological levels);
+/// within a wave every module's dependencies are already summarized, so
+/// the wave's modules partition by the deterministic ownership rule
+///
+///   owner(module) = module-id mod shards
+///
+/// and run with zero cross-worker communication. Workers are either
+/// in-process threads (Mode::InProcess — one result buffer per shard, no
+/// shared mutable state) or fork+pipe child processes (Mode::Fork — each
+/// worker an isolated address space, results and diagnostics returned
+/// over a pipe using analysis/SummaryIO-shaped records and
+/// support::encodeDiag lines; a worker death is observed as a truncated
+/// stream and fails closed as WS604 for every module it owned).
+///
+/// Determinism contract (the ShardDifferentialTest invariant): for the
+/// same design, analyze() produces structurallyEqual summaries and
+/// byte-identical diagnostics regardless of shard count, execution mode,
+/// or cache state — the exact list SummaryEngine::analyze and serial
+/// analyzeDesign emit, diagnostics sorted by module id. saveCache through
+/// the underlying engine() writes byte-identical sidecars too, because
+/// the cache keys come from the same SummaryEngine::primeKeys pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_ANALYSIS_SHARDED_H
+#define WIRESORT_ANALYSIS_SHARDED_H
+
+#include "analysis/SummaryEngine.h"
+#include "analysis/WellConnected.h"
+
+#include <cstdint>
+#include <map>
+
+namespace wiresort::analysis {
+
+/// How sharded Stage-1 runs its workers.
+struct ShardOptions {
+  /// Worker count; 0 and 1 both mean one worker (still wave-scheduled).
+  unsigned Shards = 2;
+
+  enum class Mode : uint8_t {
+    /// One thread per shard, disjoint result buffers, merge on the
+    /// coordinating thread. The TSan-checked path.
+    InProcess,
+    /// fork+pipe child per shard: full address-space isolation, so a
+    /// crashing worker can never corrupt the coordinator. The path the
+    /// shard-level fault soak kills workers on.
+    Fork,
+  };
+  Mode ExecMode = Mode::InProcess;
+
+  /// Script-level sharding (`wiresort-check --shard I/N`): when >= 0,
+  /// analyze() still summarizes the whole design (a slice's modules need
+  /// their dependencies regardless) but *delivers* only the slice owned
+  /// by this shard — summaries of modules with id mod Shards == SliceShard
+  /// in \c Out, and only those modules' diagnostics in the verdict. A
+  /// run-wide WS601 cancellation diag is kept in every slice (fail
+  /// closed). The N slices partition the serial output exactly: merging
+  /// their diag lists by module id reproduces the serial list byte for
+  /// byte, and their summary sidecars are disjoint and jointly complete.
+  int SliceShard = -1;
+
+  /// Engine options shared with the underlying SummaryEngine: UseCache
+  /// governs the summary cache, TimeoutMs the deadline. (Threads is
+  /// ignored here — the shard count is the parallelism.)
+  CheckOptions Check;
+};
+
+/// Counters for the most recent ShardedEngine::analyze call. Mirrored
+/// into the trace registry as shard.* counters (docs/OBSERVABILITY.md).
+struct ShardStats {
+  unsigned Shards = 0;
+  size_t Modules = 0;
+  size_t Waves = 0;        ///< Topological levels scheduled.
+  size_t Inferred = 0;     ///< Summaries computed by workers.
+  size_t CacheHits = 0;    ///< Summaries served from the cache.
+  size_t Ascribed = 0;     ///< Summaries taken from the caller.
+  size_t Cancelled = 0;    ///< Modules abandoned to the deadline.
+  size_t Panicked = 0;     ///< Worker panics (incl. dead fork workers).
+  size_t WorkersSpawned = 0; ///< Fork-mode children actually forked.
+  size_t WorkerDeaths = 0; ///< Fork-mode children that died mid-wave.
+  double Seconds = 0.0;
+};
+
+/// Wave-scheduled sharded front end over SummaryEngine. One instance is
+/// reusable across designs; the summary cache persists across calls
+/// (hand the same ShardedEngine repeated designs for warm-cache runs).
+class ShardedEngine {
+public:
+  explicit ShardedEngine(ShardOptions Opts = {});
+
+  /// Sharded Stage-1 over every module of \p D: same outputs as
+  /// SummaryEngine::analyze (see the determinism contract above), with
+  /// the additional failure mode that a dead fork worker fails closed —
+  /// each module it owned is reported as a WS604 error and its
+  /// dependents are skipped, never silently trusted.
+  support::Status
+  analyze(const ir::Design &D, std::map<ir::ModuleId, ModuleSummary> &Out,
+          const std::map<ir::ModuleId, ModuleSummary> &Ascribed = {},
+          const support::Deadline &DL = {});
+
+  const ShardStats &stats() const { return Stats; }
+
+  /// The underlying engine: its cache() seeds/collects warm summaries
+  /// and its saveCache/loadCache move them through the crash-safe v2
+  /// sidecar; keys are primed by analyze() so sidecars are
+  /// byte-identical to single-process runs.
+  SummaryEngine &engine() { return Engine; }
+
+private:
+  ShardOptions Opts;
+  SummaryEngine Engine;
+  ShardStats Stats;
+};
+
+/// Stage-3 sharded circuit check: partitions the connection list of
+/// \p Circ round-robin across \p Shards worker threads, each running the
+/// Definition 3.1 pairwise check (bit-parallel kernel sweeps) over the
+/// shared port graph, and merges failures in connection order. The
+/// verdict and diagnostics are byte-identical to checkCircuitPairwise —
+/// the equivalence the scale differential suite asserts against
+/// checkCircuit as well.
+CircuitCheckResult
+checkCircuitSharded(const ir::Circuit &Circ,
+                    const std::map<ir::ModuleId, ModuleSummary> &Summaries,
+                    unsigned Shards);
+
+} // namespace wiresort::analysis
+
+#endif // WIRESORT_ANALYSIS_SHARDED_H

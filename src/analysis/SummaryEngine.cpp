@@ -248,6 +248,30 @@ struct Run {
 
 // --- SummaryEngine ----------------------------------------------------------
 
+const std::vector<uint64_t> &
+SummaryEngine::primeKeys(const Design &D,
+                         const std::map<ModuleId, ModuleSummary> &Ascribed) {
+  // Cache keys, serially in dependency order (cheap: one hash pass over
+  // the design). A module's key folds the keys of its instantiated
+  // definitions in instance order, so content addressing is transitive.
+  std::optional<std::vector<ModuleId>> Order = D.topologicalModuleOrder();
+  assert(Order && "module instantiation must be acyclic");
+  Keys.assign(D.numModules(), 0);
+  for (ModuleId Id : *Order) {
+    auto AscIt = Ascribed.find(Id);
+    if (AscIt != Ascribed.end()) {
+      Keys[Id] = hashCombine(0xa5c81bed, summaryContentHash(AscIt->second));
+      continue;
+    }
+    const Module &M = D.module(Id);
+    uint64_t Key = structuralHash(M);
+    for (const SubInstance &Inst : M.Instances)
+      Key = hashCombine(Key, Keys[Inst.Def]);
+    Keys[Id] = Key;
+  }
+  return Keys;
+}
+
 support::Status
 SummaryEngine::analyze(const Design &D,
                        std::map<ModuleId, ModuleSummary> &Out,
@@ -282,23 +306,7 @@ SummaryEngine::analyze(const Design &D,
       D.topologicalModuleOrder();
   assert(Order && "module instantiation must be acyclic");
 
-  // --- Cache keys, serially in dependency order (cheap: one hash pass
-  // --- over the design). A module's key folds the keys of its
-  // --- instantiated definitions in instance order, so content
-  // --- addressing is transitive.
-  Keys.assign(D.numModules(), 0);
-  for (ModuleId Id : *Order) {
-    auto AscIt = Ascribed.find(Id);
-    if (AscIt != Ascribed.end()) {
-      Keys[Id] = hashCombine(0xa5c81bed, summaryContentHash(AscIt->second));
-      continue;
-    }
-    const Module &M = D.module(Id);
-    uint64_t Key = structuralHash(M);
-    for (const SubInstance &Inst : M.Instances)
-      Key = hashCombine(Key, Keys[Inst.Def]);
-    Keys[Id] = Key;
-  }
+  primeKeys(D, Ascribed);
 
   // --- Scheduler state.
   Out.clear();

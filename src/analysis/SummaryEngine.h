@@ -148,6 +148,17 @@ public:
           const std::map<ir::ModuleId, ModuleSummary> &Ascribed,
           const support::Deadline &DL);
 
+  /// Computes and retains (for keyOf/saveCache) the cache key of every
+  /// module of \p D: structuralHash of the body folded with the keys of
+  /// the instantiated definitions in instance order; ascribed modules
+  /// key on their summary content instead. analyze() calls this itself;
+  /// it is public so the ShardedEngine (analysis/Sharded.h) shares the
+  /// exact same key computation — and therefore byte-identical saveCache
+  /// output — without running the in-process scheduler.
+  const std::vector<uint64_t> &
+  primeKeys(const ir::Design &D,
+            const std::map<ir::ModuleId, ModuleSummary> &Ascribed = {});
+
   /// Counters for the most recent analyze() call.
   const EngineStats &stats() const { return Stats; }
 

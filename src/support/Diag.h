@@ -264,6 +264,21 @@ std::string renderJson(const Diag &D);
 /// Newline-delimited JSON: renderJson per diag, one per line.
 std::string renderJson(const DiagList &Ds);
 
+// --- Wire transport ---------------------------------------------------------
+
+/// Lossless single-line encoding of a Diag for cross-process transport
+/// (the sharded-engine worker pipe protocol, docs/SCALE.md). Tokens are
+/// space-separated with %XX-escaping inside string fields, so the record
+/// never contains an unescaped newline and decodeDiag(encodeDiag(D)) ==
+/// D for every machine-visible field. This is a transport format, not a
+/// user contract: user-facing output always goes through renderJson.
+std::string encodeDiag(const Diag &D);
+
+/// Inverse of encodeDiag. \returns std::nullopt on any malformed input
+/// (truncated worker stream, garbage on the pipe) — callers treat that
+/// as a failed worker, never as a partial diagnostic.
+std::optional<Diag> decodeDiag(const std::string &Line);
+
 } // namespace wiresort::support
 
 #endif // WIRESORT_SUPPORT_DIAG_H

@@ -1,0 +1,139 @@
+//===- support/Process.cpp - Fork+pipe worker plumbing --------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Process.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace wiresort::support {
+
+ChildProcess::ChildProcess(ChildProcess &&O) noexcept
+    : Pid(O.Pid), ReadFd(O.ReadFd) {
+  O.Pid = -1;
+  O.ReadFd = -1;
+}
+
+ChildProcess &ChildProcess::operator=(ChildProcess &&O) noexcept {
+  if (this != &O) {
+    if (ReadFd >= 0)
+      ::close(ReadFd);
+    if (Pid > 0) {
+      int Ignored = 0;
+      ::waitpid(static_cast<pid_t>(Pid), &Ignored, 0);
+    }
+    Pid = O.Pid;
+    ReadFd = O.ReadFd;
+    O.Pid = -1;
+    O.ReadFd = -1;
+  }
+  return *this;
+}
+
+ChildProcess::~ChildProcess() {
+  if (ReadFd >= 0)
+    ::close(ReadFd);
+  if (Pid > 0) {
+    int Ignored = 0;
+    ::waitpid(static_cast<pid_t>(Pid), &Ignored, 0);
+  }
+}
+
+std::optional<ChildProcess>
+ChildProcess::spawn(const std::function<void(int WriteFd)> &Body) {
+  int Fds[2];
+  if (::pipe(Fds) != 0)
+    return std::nullopt;
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    return std::nullopt;
+  }
+
+  if (Pid == 0) {
+    // Child. A worker whose parent dies first would get SIGPIPE on its
+    // next write; let writeAll observe EPIPE and the child _exit instead.
+    ::signal(SIGPIPE, SIG_IGN);
+    ::close(Fds[0]);
+    int Code = 0;
+    try {
+      Body(Fds[1]);
+    } catch (...) {
+      Code = 124;
+    }
+    ::close(Fds[1]);
+    ::_exit(Code);
+  }
+
+  // Parent.
+  ::close(Fds[1]);
+  ChildProcess C;
+  C.Pid = Pid;
+  C.ReadFd = Fds[0];
+  return C;
+}
+
+ChildResult ChildProcess::join() {
+  ChildResult R;
+  if (Pid <= 0)
+    return R;
+
+  if (ReadFd >= 0) {
+    char Buf[1 << 16];
+    for (;;) {
+      ssize_t N = ::read(ReadFd, Buf, sizeof(Buf));
+      if (N > 0) {
+        R.Output.append(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      break; // EOF or hard error: the child is done writing either way.
+    }
+    ::close(ReadFd);
+    ReadFd = -1;
+  }
+
+  int Wstatus = 0;
+  pid_t Waited;
+  do {
+    Waited = ::waitpid(static_cast<pid_t>(Pid), &Wstatus, 0);
+  } while (Waited < 0 && errno == EINTR);
+  Pid = -1;
+
+  if (Waited > 0) {
+    if (WIFEXITED(Wstatus)) {
+      R.ExitCode = WEXITSTATUS(Wstatus);
+    } else if (WIFSIGNALED(Wstatus)) {
+      R.Signalled = true;
+      R.Signal = WTERMSIG(Wstatus);
+    }
+  }
+  return R;
+}
+
+bool writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+} // namespace wiresort::support

@@ -1,0 +1,91 @@
+//===- support/Process.h - Fork+pipe worker plumbing ------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fork+pipe plumbing for process-isolated workers, used by the
+/// analysis::ShardedEngine to run Stage-1 shards in separate address
+/// spaces (docs/SCALE.md). A worker is a callback run in a forked child
+/// with a write end of a pipe; the parent collects the child's entire
+/// output and its exit status. The protocol on the pipe is the caller's
+/// business — this layer only guarantees that
+///
+///  * a child that dies mid-write (crash, _exit, kill) is observed as a
+///    truncated stream plus a non-zero/signalled exit, never a hang;
+///  * the parent never deadlocks against pipe backpressure as long as it
+///    joins children in the order their output is wanted (each join
+///    drains its pipe completely before waiting on the pid);
+///  * a worker never unwinds into the parent's stack: the callback runs
+///    inside the child only, and the child always leaves via _exit.
+///
+/// Fork safety: spawn() must be called while the process is
+/// single-threaded or at a point where no lock the child could need is
+/// held by another thread. The ShardedEngine forks its wave workers
+/// before creating any thread of its own, which is the intended usage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_PROCESS_H
+#define WIRESORT_SUPPORT_PROCESS_H
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace wiresort::support {
+
+/// What a joined child left behind.
+struct ChildResult {
+  /// Exit code when the child exited normally; -1 when signalled.
+  int ExitCode = -1;
+  /// True when the child was terminated by a signal (the signal number
+  /// is in \ref Signal).
+  bool Signalled = false;
+  int Signal = 0;
+  /// Everything the child wrote to its pipe before exiting. A child
+  /// that died mid-protocol yields a truncated (possibly empty) string;
+  /// the caller's protocol parser is expected to treat that as a failed
+  /// worker, not trust partial output.
+  std::string Output;
+
+  bool cleanExit() const { return !Signalled && ExitCode == 0; }
+};
+
+/// A forked worker with a one-way pipe back to the parent.
+class ChildProcess {
+public:
+  ChildProcess() = default;
+  ChildProcess(ChildProcess &&O) noexcept;
+  ChildProcess &operator=(ChildProcess &&O) noexcept;
+  ChildProcess(const ChildProcess &) = delete;
+  ChildProcess &operator=(const ChildProcess &) = delete;
+  ~ChildProcess();
+
+  /// Forks a child that runs \p Body(WriteFd) and then _exit(0)s. The
+  /// callback must never return control to the caller's stack in the
+  /// child: if Body throws, the child _exit(124)s. \returns std::nullopt
+  /// when fork(2) itself fails (the caller degrades to in-process
+  /// execution).
+  static std::optional<ChildProcess>
+  spawn(const std::function<void(int WriteFd)> &Body);
+
+  /// Drains the pipe to EOF, then reaps the child. Safe to call once.
+  ChildResult join();
+
+  bool valid() const { return Pid > 0; }
+
+private:
+  long Pid = -1;
+  int ReadFd = -1;
+};
+
+/// Writes all of \p Data to \p Fd, retrying on EINTR/short writes.
+/// \returns false on any other error (e.g. the parent closed its end).
+bool writeAll(int Fd, const std::string &Data);
+
+} // namespace wiresort::support
+
+#endif // WIRESORT_SUPPORT_PROCESS_H

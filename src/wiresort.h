@@ -50,6 +50,7 @@
 #include "support/Diag.h"
 #include "support/FailPoint.h"
 #include "support/Graph.h"
+#include "support/Process.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -69,6 +70,7 @@
 #include "analysis/Dot.h"
 #include "analysis/Incremental.h"
 #include "analysis/MemoryChecks.h"
+#include "analysis/Sharded.h"
 #include "analysis/SortInference.h"
 #include "analysis/SummaryEngine.h"
 #include "analysis/SummaryIO.h"
@@ -94,6 +96,7 @@
 #include "gen/Catalog.h"
 #include "gen/Fifo.h"
 #include "gen/LoopInjector.h"
+#include "gen/MegaScale.h"
 #include "gen/Opdb.h"
 #include "gen/Random.h"
 #include "gen/ShiftReg.h"

@@ -1,0 +1,207 @@
+//===- tests/property/ShardDifferentialTest.cpp - Shards vs serial --------===//
+//
+// Part of the wiresort project. The sharding determinism contract
+// (analysis/Sharded.h, docs/SCALE.md), enforced over 120 seeded
+// mega-scale designs — loop-free and loop-injected, all three
+// topologies, both execution modes:
+//
+//  * Stage 1 — ShardedEngine::analyze at every shard count in
+//    {1, 2, 4, 8}, in-process threads and fork+pipe children alike,
+//    produces byte-identical verdict NDJSON, structurallyEqual summary
+//    maps, and byte-identical saveCache sidecars to the serial
+//    SummaryEngine reference. Loop-injected trials push WS101
+//    diagnostics (witness hops included) through the fork pipe's
+//    encodeDiag transport, so the byte claim covers the diag codec too.
+//  * Warm cache — a second analyze on the same ShardedEngine serves
+//    every module from cache and must not move a byte.
+//  * Stage 3 — checkCircuitSharded at every shard count emits verdicts
+//    and diagnostics byte-identical to checkCircuitPairwise, and agrees
+//    with the SCC production checker's verdict.
+//
+// A 1-shard run and an 8-shard fork run share nothing but the
+// coordinator logic, so byte equality here is evidence the partitioning
+// itself — not scheduling luck — determines the output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Sharded.h"
+
+#include "analysis/SummaryEngine.h"
+#include "analysis/WellConnected.h"
+#include "gen/MegaScale.h"
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+namespace {
+
+using Summaries = std::map<ModuleId, ModuleSummary>;
+
+/// Seed -> mega-scale parameters: rotates topology, CI-sized grids, a
+/// quarter of the trials loop-injected (their WS101 diags must survive
+/// the fork pipe byte-for-byte).
+MegaScaleParams paramsFor(uint32_t Seed) {
+  MegaScaleParams P;
+  P.Topo = Seed % 3 == 0   ? MegaScaleParams::Topology::TileGrid
+           : Seed % 3 == 1 ? MegaScaleParams::Topology::NocMesh
+                           : MegaScaleParams::Topology::FifoFabric;
+  P.GridX = 1 + Seed % 3;
+  P.GridY = 1 + (Seed / 3) % 2;
+  P.TilesPerCluster = 1 + Seed % 4;
+  P.PayloadPerTile = 2 + Seed % 5;
+  P.TileVariants = 1 + Seed % 3;
+  P.ClusterVariants = 1 + Seed % 2;
+  P.Width = static_cast<uint16_t>(4 + 4 * (Seed % 3));
+  P.Seed = 0x5eed0000ull + Seed;
+  P.InjectLoop = Seed % 4 == 3;
+  P.LoopRingLength = 2 + Seed % 4;
+  return P;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void expectSameSummaries(const Summaries &Ref, const Summaries &Got,
+                         const std::string &Trial) {
+  ASSERT_EQ(Ref.size(), Got.size()) << Trial;
+  for (const auto &[Id, S] : Ref) {
+    auto It = Got.find(Id);
+    ASSERT_TRUE(It != Got.end()) << Trial << " module " << Id;
+    EXPECT_TRUE(structurallyEqual(S, It->second))
+        << Trial << " module " << Id;
+  }
+}
+
+class ShardTrial : public ::testing::TestWithParam<uint32_t> {};
+class ShardCheckTrial : public ::testing::TestWithParam<uint32_t> {};
+
+} // namespace
+
+TEST_P(ShardTrial, EveryShardCountAndModeMatchesSerialByteForByte) {
+  const uint32_t Seed = GetParam();
+  const MegaScaleParams P = paramsFor(Seed);
+
+  Design D;
+  buildMegaScale(D, P);
+
+  // Serial reference: the SummaryEngine (cache on, one thread), its
+  // verdict bytes, and its sidecar bytes.
+  CheckOptions RefOpts;
+  RefOpts.Threads = 1;
+  SummaryEngine Ref(RefOpts);
+  Summaries RefOut;
+  support::Status RefVerdict = Ref.analyze(D, RefOut);
+  const std::string RefJson = support::renderJson(RefVerdict);
+  EXPECT_EQ(RefVerdict.hasError(), P.InjectLoop)
+      << "seed " << Seed << "\n"
+      << RefVerdict.describe();
+
+  const std::string RefCachePath = ::testing::TempDir() +
+                                   "/shard_diff_ref_" +
+                                   std::to_string(Seed) + ".wscache";
+  std::remove(RefCachePath.c_str());
+  ASSERT_TRUE(Ref.saveCache(RefCachePath, D, RefOut).empty())
+      << "seed " << Seed;
+  const std::string RefCacheBytes = slurp(RefCachePath);
+  ASSERT_FALSE(RefCacheBytes.empty()) << "seed " << Seed;
+
+  const std::string ShardCachePath = ::testing::TempDir() +
+                                     "/shard_diff_" +
+                                     std::to_string(Seed) + ".wscache";
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    for (ShardOptions::Mode Mode : {ShardOptions::Mode::InProcess,
+                                    ShardOptions::Mode::Fork}) {
+      const std::string Trial =
+          "seed " + std::to_string(Seed) + " shards " +
+          std::to_string(Shards) +
+          (Mode == ShardOptions::Mode::Fork ? " fork" : " threads");
+      ShardOptions SOpts;
+      SOpts.Shards = Shards;
+      SOpts.ExecMode = Mode;
+      ShardedEngine Sharded(SOpts);
+      Summaries Out;
+      support::Status Verdict = Sharded.analyze(D, Out);
+      EXPECT_EQ(support::renderJson(Verdict), RefJson) << Trial;
+      expectSameSummaries(RefOut, Out, Trial);
+
+      // The sidecar a sharded run persists is the one the serial run
+      // persists — same keys (primeKeys), same records, same bytes.
+      std::remove(ShardCachePath.c_str());
+      ASSERT_TRUE(
+          Sharded.engine().saveCache(ShardCachePath, D, Out).empty())
+          << Trial;
+      EXPECT_EQ(slurp(ShardCachePath), RefCacheBytes) << Trial;
+
+      // Warm re-run on the same engine: all cache hits, zero drift.
+      if (Shards == 4 && Mode == ShardOptions::Mode::InProcess) {
+        Summaries Warm;
+        support::Status WarmVerdict = Sharded.analyze(D, Warm);
+        EXPECT_EQ(support::renderJson(WarmVerdict), RefJson)
+            << Trial << " warm";
+        expectSameSummaries(RefOut, Warm, Trial + " warm");
+        if (!RefVerdict.hasError()) {
+          EXPECT_EQ(Sharded.stats().CacheHits, RefOut.size())
+              << Trial << " warm";
+        }
+      }
+    }
+  }
+  std::remove(RefCachePath.c_str());
+  std::remove(ShardCachePath.c_str());
+}
+
+// The acceptance bar: >= 100 seeded designs. 120 seeds x 3 topologies
+// rotation, 30 of them loop-injected. Labeled `slow`/`scale` in
+// tests/CMakeLists.txt.
+INSTANTIATE_TEST_SUITE_P(MegaScaleDesigns, ShardTrial,
+                         ::testing::Range<uint32_t>(0, 120));
+
+TEST_P(ShardCheckTrial, ShardedStage3MatchesPairwiseByteForByte) {
+  const uint32_t Seed = 9000 + GetParam();
+  MegaScaleParams P = paramsFor(GetParam());
+  P.Seed = Seed;
+  // Half the trials ring-injected so Stage 3 has real from-port ->
+  // to-port work (clean mega designs discharge everything by sort).
+  P.InjectLoop = GetParam() % 2 == 1;
+
+  Design D;
+  Circuit Circ = buildMegaScaleCircuit(D, P);
+  SummaryEngine Engine;
+  Summaries Out;
+  ASSERT_FALSE(Engine.analyze(D, Out).hasError()) << "seed " << Seed;
+
+  CircuitCheckResult Pairwise = checkCircuitPairwise(Circ, Out);
+  CircuitCheckResult Scc = checkCircuit(Circ, Out);
+  EXPECT_EQ(Pairwise.WellConnected, Scc.WellConnected) << "seed " << Seed;
+  EXPECT_EQ(Pairwise.WellConnected, !P.InjectLoop) << "seed " << Seed;
+
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    CircuitCheckResult Sharded = checkCircuitSharded(Circ, Out, Shards);
+    EXPECT_EQ(Sharded.WellConnected, Pairwise.WellConnected)
+        << "seed " << Seed << " shards " << Shards;
+    EXPECT_EQ(support::renderJson(Sharded.Diags),
+              support::renderJson(Pairwise.Diags))
+        << "seed " << Seed << " shards " << Shards;
+    EXPECT_EQ(Sharded.SafeBySort, Pairwise.SafeBySort)
+        << "seed " << Seed << " shards " << Shards;
+    EXPECT_EQ(Sharded.NeedsCheck, Pairwise.NeedsCheck)
+        << "seed " << Seed << " shards " << Shards;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MegaScaleCircuits, ShardCheckTrial,
+                         ::testing::Range<uint32_t>(0, 40));

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Refreshes the committed benchmark reports (docs/SCALE.md). Runs the
+# scalability sweep — gate-count/input-width curves, pairwise vs SCC,
+# and the mega-scale presets through serial, 4-shard-thread, and
+# 4-shard-fork Stage 1 plus SCC vs sharded Stage 3 — and writes its
+# --json report over BENCH_scalability.json at the repo root. Every
+# timing in the report is gated on a results-identical check against
+# the serial reference, so a committed report is also a passed
+# equivalence run.
+#
+# Usage: tools/run_bench.sh [--quick]
+#   --quick  CI-sized sweep (small presets only); the committed report
+#            should come from a full run on a quiet machine.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD="$ROOT/build"
+
+QUICK=""
+for Arg in "$@"; do
+  case "$Arg" in
+  --quick) QUICK="--quick" ;;
+  *)
+    echo "unknown argument: $Arg" >&2
+    exit 2
+    ;;
+  esac
+done
+
+[ -f "$BUILD/CMakeCache.txt" ] || cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$(nproc)" --target bench_scalability
+
+# shellcheck disable=SC2086 # QUICK is intentionally word-split.
+"$BUILD/bench/bench_scalability" $QUICK --json "$ROOT/BENCH_scalability.json"
+echo "wrote $ROOT/BENCH_scalability.json"

@@ -28,7 +28,12 @@
 #      crash-recovery and failpoint unit suites (docs/ROBUSTNESS.md):
 #      injected faults walk the error/retry/quarantine paths that
 #      ordinary runs never touch, which is exactly where leaks and
-#      use-after-frees hide.
+#      use-after-frees hide;
+#   7. the scale tier (docs/SCALE.md): the shard-differential,
+#      metamorphic, and generator-determinism suites (ctest label
+#      `scale`), a TSan rerun of the in-process shard paths, and a jq
+#      byte-comparison of serial vs `--shards 4` vs merged `--shard i/4`
+#      wiresort-check NDJSON on the golden fixtures.
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
@@ -157,4 +162,46 @@ ASAN_OPTIONS="abort_on_error=1" "$ASAN_BUILD/tests/engine_tests"
 ASAN_OPTIONS="abort_on_error=1" "$ASAN_BUILD/tests/support_tests"
 
 echo
-echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace + ASan soak)"
+echo "=== stage 7: scale tier — sharding determinism (docs/SCALE.md) ==="
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target shard_differential_tests metamorphic_tests \
+  gen_determinism_tests wiresort-check wiresort-mega
+(cd "$BUILD" && ctest --output-on-failure -L scale)
+# The in-process shard coordinator (waves of worker threads merging into
+# per-shard buffers) is a concurrency claim like the engine's: rerun it
+# under TSan. Fork-mode trials ride along; TSan tolerates fork+pipe.
+cmake --build "$TSAN_BUILD" -j "$(nproc)" --target shard_differential_tests
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/shard_differential_tests"
+if command -v jq >/dev/null 2>&1; then
+  SCALE_TMP=$(mktemp -d)
+  # Keep stage 5's temp dir in the cleanup when both stages ran.
+  trap 'rm -rf "${TRACE_TMP:-}" "$SCALE_TMP"' EXIT
+  CHECK="$BUILD/tools/wiresort-check"
+  FIXTURES="$ROOT/tests/tools"
+  for Fixture in loopfree.blif loopy.blif; do
+    # Serial vs one fork-sharded invocation: byte-identical NDJSON.
+    (cd "$FIXTURES" && "$CHECK" "$Fixture" --format json) \
+      >"$SCALE_TMP/serial.json" || [ $? -eq 1 ]
+    (cd "$FIXTURES" && "$CHECK" "$Fixture" --format json --shards 4) \
+      >"$SCALE_TMP/sharded.json" || [ $? -eq 1 ]
+    cmp "$SCALE_TMP/serial.json" "$SCALE_TMP/sharded.json"
+    # Four scripted slices: their diag lines (everything except the
+    # per-slice verdict line) must merge to exactly the serial diags.
+    : >"$SCALE_TMP/slices.json"
+    for I in 0 1 2 3; do
+      (cd "$FIXTURES" && "$CHECK" "$Fixture" --format json --shard $I/4) \
+        >>"$SCALE_TMP/slices.json" || [ $? -eq 1 ]
+    done
+    grep -v '"verdict"' "$SCALE_TMP/slices.json" | sort \
+      >"$SCALE_TMP/slices_sorted.json" || true
+    grep -v '"verdict"' "$SCALE_TMP/serial.json" | sort \
+      >"$SCALE_TMP/serial_sorted.json" || true
+    cmp "$SCALE_TMP/serial_sorted.json" "$SCALE_TMP/slices_sorted.json"
+  done
+  echo "serial, --shards 4, and merged --shard i/4 NDJSON agree byte-for-byte"
+else
+  echo "jq not found; skipping the CLI byte-comparison"
+fi
+
+echo
+echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace + ASan soak + scale)"

@@ -17,6 +17,9 @@
 //   wiresort-check design.blif --quiet         # verdict only
 //   wiresort-check design.blif --depth         # timing extension
 //   wiresort-check design.blif --threads 8     # parallel inference
+//   wiresort-check design.blif --shards 4      # fork-isolated workers
+//   wiresort-check design.blif --shard 1/4     # one slice of a scripted
+//                                              # N-way partition
 //   wiresort-check design.blif --cache d.wscache   # warm-start repeats
 //   wiresort-check design.blif --trace-out t.json  # Chrome trace events
 //   wiresort-check design.blif --stats         # registry counter dump
@@ -38,6 +41,16 @@
 // the instantiation DAG are inferred concurrently, and --cache persists
 // the content-addressed summary cache so an unchanged module costs a
 // hash lookup on the next invocation (docs/ENGINE.md).
+//
+// Sharding (docs/SCALE.md): --shards N routes Stage-1 through the
+// ShardedEngine's fork+pipe workers — N isolated child processes per
+// wave, byte-identical diagnostics and cache sidecars to the serial run,
+// and a crashed worker fails closed as WS604. --shard I/N instead runs
+// *one slice* of a script-level partition: this invocation reports only
+// the diagnostics and summaries of modules with id mod N == I, so N
+// invocations (launched by make -j, a cluster, ...) jointly reproduce
+// the serial output exactly — merge the N diag streams by module id and
+// concatenate the N --summaries sidecars.
 //
 //===----------------------------------------------------------------------===//
 
@@ -121,7 +134,8 @@ int usage(const char *Argv0, Emitter &E, const std::string &Why) {
   std::fprintf(stderr,
                "usage: %s <design.blif|design.v> [--summaries FILE] "
                "[--check FILE] [--dot FILE] [--format text|json] "
-               "[--quiet] [--depth] [--threads N] [--cache FILE] "
+               "[--quiet] [--depth] [--threads N] [--shards N] "
+               "[--shard I/N] [--cache FILE] "
                "[--trace-out FILE] [--stats] [--timeout-ms N] "
                "[--failpoints SPEC] [--fault-seed N]\n",
                Argv0);
@@ -158,8 +172,13 @@ checkDeclared(const Design &D,
               const std::map<ModuleId, ModuleSummary> &Computed) {
   support::DiagList Mismatches;
   for (const auto &[Id, Decl] : Declared) {
+    // A --shard slice computes only its owned modules; declared entries
+    // for the other slices are theirs to check.
+    auto CompIt = Computed.find(Id);
+    if (CompIt == Computed.end())
+      continue;
     const Module &M = D.module(Id);
-    const ModuleSummary &Comp = Computed.at(Id);
+    const ModuleSummary &Comp = CompIt->second;
     auto report = [&](WireId Port, const char *What) {
       Mismatches.add(
           support::Diag(support::DiagCode::WS102_ASCRIPTION_MISMATCH,
@@ -191,6 +210,9 @@ int main(int ArgC, char **ArgV) {
   Emitter Emit;
   bool Quiet = false;
   bool ShowDepth = false;
+  // Sharding: --shards N (fork workers) or --shard I/N (slice mode).
+  unsigned Shards = 0;
+  unsigned SliceShard = 0, SliceOf = 0;
   for (int I = 1; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
     auto takeValue = [&](std::string &Slot) {
@@ -235,6 +257,28 @@ int main(int ArgC, char **ArgV) {
       Opts.Threads = static_cast<unsigned>(std::atoi(Value.c_str()));
       if (Opts.Threads == 0)
         return usage(ArgV[0], Emit, "--threads expects a positive count");
+    } else if (Arg == "--shards") {
+      std::string Value;
+      if (!takeValue(Value))
+        return usage(ArgV[0], Emit, "--shards expects a worker count");
+      Shards = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (Shards == 0)
+        return usage(ArgV[0], Emit,
+                     "--shards expects a positive worker count");
+    } else if (Arg == "--shard") {
+      std::string Value;
+      if (!takeValue(Value))
+        return usage(ArgV[0], Emit, "--shard expects I/N");
+      const char *Text = Value.c_str();
+      char *End = nullptr;
+      SliceShard = static_cast<unsigned>(std::strtoul(Text, &End, 10));
+      if (End == Text || *End != '/')
+        return usage(ArgV[0], Emit,
+                     "--shard expects I/N (e.g. --shard 0/4)");
+      SliceOf = static_cast<unsigned>(std::strtoul(End + 1, nullptr, 10));
+      if (SliceOf == 0 || SliceShard >= SliceOf)
+        return usage(ArgV[0], Emit,
+                     "--shard I/N needs 0 <= I < N");
     } else if (Arg == "--timeout-ms") {
       std::string Value;
       if (!takeValue(Value))
@@ -265,6 +309,9 @@ int main(int ArgC, char **ArgV) {
   }
   if (DesignPath.empty())
     return usage(ArgV[0], Emit, "no design file");
+  if (Shards != 0 && SliceOf != 0)
+    return usage(ArgV[0], Emit,
+                 "--shards and --shard are mutually exclusive");
 
   // Fault injection arms before any other work so every site in the run
   // is eligible; configureFromEnv() also interns the fault.* counters so
@@ -351,7 +398,28 @@ int main(int ArgC, char **ArgV) {
     File = std::move(*BFile);
   }
 
-  SummaryEngine Engine(Opts);
+  // One engine serves every mode: plain runs own it directly, sharded
+  // and slice runs own it through the ShardedEngine front end (whose
+  // cache and keys are the inner engine's, so --cache behaves
+  // identically in all three).
+  std::optional<ShardedEngine> Sharded;
+  std::optional<SummaryEngine> Plain;
+  if (Shards != 0 || SliceOf != 0) {
+    ShardOptions SOpts;
+    SOpts.Shards = Shards != 0 ? Shards : SliceOf;
+    // --shards asks for isolation: fork workers. --shard I/N is itself
+    // one process of a scripted fleet; it runs in-process.
+    SOpts.ExecMode = Shards != 0 ? ShardOptions::Mode::Fork
+                                 : ShardOptions::Mode::InProcess;
+    if (SliceOf != 0)
+      SOpts.SliceShard = static_cast<int>(SliceShard);
+    SOpts.Check = Opts;
+    Sharded.emplace(SOpts);
+  } else {
+    Plain.emplace(Opts);
+  }
+  SummaryEngine &Engine = Sharded ? Sharded->engine() : *Plain;
+
   if (!Opts.CachePath.empty()) {
     support::Expected<CacheLoadResult> Loaded =
         Engine.loadCache(Opts.CachePath, File->Design);
@@ -369,7 +437,9 @@ int main(int ArgC, char **ArgV) {
 
   Timer T;
   std::map<ModuleId, ModuleSummary> Summaries;
-  support::Status Stage1 = Engine.analyze(File->Design, Summaries, {}, DL);
+  support::Status Stage1 =
+      Sharded ? Sharded->analyze(File->Design, Summaries, {}, DL)
+              : Engine.analyze(File->Design, Summaries, {}, DL);
   double Ms = T.milliseconds();
 
   if (Stage1.hasError()) {
@@ -388,8 +458,13 @@ int main(int ArgC, char **ArgV) {
 
   if (!Quiet && Emit.Fmt == Format::Text) {
     for (ModuleId Id = 0; Id != File->Design.numModules(); ++Id) {
+      // Slice mode delivers only the owned modules' summaries; the
+      // table shows exactly those.
+      auto SliceIt = Summaries.find(Id);
+      if (SliceIt == Summaries.end())
+        continue;
       const Module &M = File->Design.module(Id);
-      const ModuleSummary &S = Summaries.at(Id);
+      const ModuleSummary &S = SliceIt->second;
       std::printf("module %s (%zu gates, %zu regs, %zu instances)\n",
                   M.Name.c_str(), M.Nets.size(), M.Registers.size(),
                   M.Instances.size());
@@ -416,14 +491,28 @@ int main(int ArgC, char **ArgV) {
     }
   }
   if (Emit.Fmt == Format::Text) {
-    const EngineStats &Stats = Engine.stats();
-    std::printf("well-connected: %zu module(s) analyzed in %.2f ms "
-                "(%u thread(s), %zu inferred, %zu cache hit(s))\n",
-                File->Design.numModules(), Ms, Stats.ThreadsUsed,
-                Stats.Inferred, Stats.CacheHits);
+    if (Sharded) {
+      const ShardStats &Stats = Sharded->stats();
+      std::printf("well-connected: %zu module(s) analyzed in %.2f ms "
+                  "(%u shard(s), %zu wave(s), %zu inferred, "
+                  "%zu cache hit(s))\n",
+                  Summaries.size(), Ms, Stats.Shards, Stats.Waves,
+                  Stats.Inferred, Stats.CacheHits);
+    } else {
+      const EngineStats &Stats = Engine.stats();
+      std::printf("well-connected: %zu module(s) analyzed in %.2f ms "
+                  "(%u thread(s), %zu inferred, %zu cache hit(s))\n",
+                  File->Design.numModules(), Ms, Stats.ThreadsUsed,
+                  Stats.Inferred, Stats.CacheHits);
+    }
   }
 
   if (ShowDepth && Emit.Fmt == Format::Text) {
+    if (Summaries.size() != File->Design.numModules()) {
+      std::fprintf(stderr, "error: --depth needs the whole design's "
+                           "summaries (not a --shard slice)\n");
+      return 2;
+    }
     auto Depths = inferAllDepths(File->Design, Summaries);
     if (!Depths) {
       std::fprintf(stderr, "error: depth analysis needs an acyclic "
@@ -478,6 +567,9 @@ int main(int ArgC, char **ArgV) {
   }
 
   if (!DotPath.empty()) {
+    if (!Summaries.count(File->Top))
+      return ioError(Emit, "--dot needs the top module's summary (not "
+                           "delivered by this --shard slice)");
     const Module &Top = File->Design.module(File->Top);
     if (!writeFile(DotPath, moduleDot(Top, Summaries.at(File->Top))))
       return ioError(Emit, "cannot write '" + DotPath + "'");
@@ -487,6 +579,8 @@ int main(int ArgC, char **ArgV) {
 
   if (!finishTelemetry())
     return 2;
-  Emit.verdictOk(File->Design.numModules());
+  // Summaries.size() == numModules except in slice mode, where the
+  // verdict counts the delivered slice.
+  Emit.verdictOk(Summaries.size());
   return 0;
 }

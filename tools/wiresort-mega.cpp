@@ -1,0 +1,240 @@
+//===- tools/wiresort-mega.cpp - Mega-scale generate-and-check driver -----===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// Generates a gen::MegaScale design from a named preset (or explicit
+// parameters) and runs the full paper pipeline over it: Stage-1 summary
+// inference (serial, threaded, or fork-sharded) followed by the Stage-3
+// circuit check of the top-level composition. This is the end-to-end
+// witness that designs of 100k..1M flattened instances check in seconds
+// (docs/SCALE.md), and the cross-process oracle the generator-determinism
+// suite shells out to (--fingerprint).
+//
+//   wiresort-mega 100k                       # generate + check, verdict
+//   wiresort-mega 100k --shards 8            # fork-sharded Stage-1 +
+//                                            # sharded Stage-3
+//   wiresort-mega ci --seed 7 --fingerprint  # digest only, no analysis
+//   wiresort-mega ci-loop --json             # stable JSON verdict line
+//   wiresort-mega 1m --threads 8 --quiet
+//
+// Exit-code contract (matches wiresort-check, docs/DIAGNOSTICS.md):
+// 0 = well-connected, 1 = loop diagnostics, 2 = usage error, 3 =
+// cancelled by --timeout-ms. --json emits NDJSON diagnostics followed by
+// one deterministic verdict line carrying the design's fingerprint and
+// flat instance count — byte-stable across shard counts and processes,
+// which the scale stage of tools/run_tests.sh diff-compares.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wiresort.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+using namespace wiresort;
+using namespace wiresort::analysis;
+using namespace wiresort::gen;
+using namespace wiresort::ir;
+
+namespace {
+
+int usage(const std::string &Why) {
+  std::fprintf(stderr, "error: %s\n", Why.c_str());
+  std::fprintf(
+      stderr,
+      "usage: wiresort-mega <preset> [--seed N] [--inject-loop]\n"
+      "                     [--fingerprint] [--json] [--quiet]\n"
+      "                     [--threads N] [--shards N] [--timeout-ms N]\n"
+      "presets: ci ci-loop ci-noc ci-fabric 10k 100k 100k-noc "
+      "100k-fabric 1m\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  std::string PresetName;
+  std::optional<uint64_t> SeedOverride;
+  bool InjectLoop = false;
+  bool FingerprintOnly = false;
+  bool Json = false;
+  bool Quiet = false;
+  unsigned Threads = 0;
+  unsigned Shards = 0;
+  uint64_t TimeoutMs = 0;
+
+  for (int I = 1; I < ArgC; ++I) {
+    std::string Arg = ArgV[I];
+    auto takeValue = [&](uint64_t &Slot) {
+      if (I + 1 >= ArgC)
+        return false;
+      Slot = std::strtoull(ArgV[++I], nullptr, 10);
+      return true;
+    };
+    if (Arg == "--seed") {
+      uint64_t V = 0;
+      if (!takeValue(V))
+        return usage("--seed expects a number");
+      SeedOverride = V;
+    } else if (Arg == "--inject-loop") {
+      InjectLoop = true;
+    } else if (Arg == "--fingerprint") {
+      FingerprintOnly = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--threads") {
+      uint64_t V = 0;
+      if (!takeValue(V) || V == 0)
+        return usage("--threads expects a positive count");
+      Threads = static_cast<unsigned>(V);
+    } else if (Arg == "--shards") {
+      uint64_t V = 0;
+      if (!takeValue(V) || V == 0)
+        return usage("--shards expects a positive worker count");
+      Shards = static_cast<unsigned>(V);
+    } else if (Arg == "--timeout-ms") {
+      if (!takeValue(TimeoutMs) || TimeoutMs == 0)
+        return usage("--timeout-ms expects positive milliseconds");
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage("unknown option '" + Arg + "'");
+    } else if (PresetName.empty()) {
+      PresetName = Arg;
+    } else {
+      return usage("more than one preset");
+    }
+  }
+  if (PresetName.empty())
+    return usage("no preset named");
+  std::optional<MegaScaleParams> Preset = megaScalePreset(PresetName);
+  if (!Preset)
+    return usage("unknown preset '" + PresetName + "'");
+  MegaScaleParams P = *Preset;
+  if (SeedOverride)
+    P.Seed = *SeedOverride;
+  if (InjectLoop)
+    P.InjectLoop = true;
+
+  // Stage 3 wants the unsealed top circuit; sealing afterwards gives the
+  // fingerprint/flat-count pass its top module id. Both views describe
+  // the same construction.
+  Design D;
+  Circuit Circ = buildMegaScaleCircuit(D, P);
+
+  if (FingerprintOnly) {
+    ModuleId Top = Circ.seal();
+    const std::string FP = fingerprint(D, Top);
+    const uint64_t Flat = flatInstanceCount(D, Top);
+    if (Json)
+      std::printf("{\"preset\":\"%s\",\"seed\":%llu,\"fingerprint\":"
+                  "\"%s\",\"flatInstances\":%llu,\"modules\":%zu}\n",
+                  PresetName.c_str(),
+                  static_cast<unsigned long long>(P.Seed), FP.c_str(),
+                  static_cast<unsigned long long>(Flat),
+                  static_cast<size_t>(D.numModules()));
+    else
+      std::printf("%s %llu %zu\n", FP.c_str(),
+                  static_cast<unsigned long long>(Flat),
+                  static_cast<size_t>(D.numModules()));
+    return 0;
+  }
+
+  support::Deadline DL = TimeoutMs != 0
+                             ? support::Deadline::afterMs(TimeoutMs)
+                             : support::Deadline();
+
+  // Stage 1 over the module library (the top circuit is not sealed yet,
+  // so this summarizes exactly the instantiated definitions).
+  CheckOptions Opts;
+  if (Threads != 0)
+    Opts.Threads = Threads;
+  std::map<ModuleId, ModuleSummary> Summaries;
+  support::Status Stage1;
+  size_t Inferred = 0, CacheHits = 0;
+  std::optional<ShardedEngine> ShardedE;
+  std::optional<SummaryEngine> PlainE;
+  if (Shards != 0) {
+    ShardOptions SOpts;
+    SOpts.Shards = Shards;
+    SOpts.ExecMode = ShardOptions::Mode::Fork;
+    SOpts.Check = Opts;
+    ShardedE.emplace(SOpts);
+    Stage1 = ShardedE->analyze(D, Summaries, {}, DL);
+    Inferred = ShardedE->stats().Inferred;
+    CacheHits = ShardedE->stats().CacheHits;
+  } else {
+    PlainE.emplace(Opts);
+    Stage1 = PlainE->analyze(D, Summaries, {}, DL);
+    Inferred = PlainE->stats().Inferred;
+    CacheHits = PlainE->stats().CacheHits;
+  }
+
+  auto emitDiags = [&](const support::DiagList &Ds) {
+    for (const support::Diag &Dg : Ds) {
+      if (Json)
+        std::printf("%s\n", support::renderJson(Dg).c_str());
+      else
+        std::fprintf(stderr, "%s\n",
+                     support::renderText(Dg, nullptr).c_str());
+    }
+  };
+
+  size_t Errors = 0;
+  bool Cancelled = false;
+  for (const support::Diag &Dg : Stage1) {
+    if (Dg.severity() == support::Severity::Error)
+      ++Errors;
+    if (Dg.code() == support::DiagCode::WS601_CANCELLED)
+      Cancelled = true;
+  }
+  emitDiags(Stage1);
+
+  // Stage 3 over the top-level composition, only when every definition
+  // summarized (a Stage-1 loop already decides the verdict).
+  CircuitCheckResult Check;
+  if (!Stage1.hasError()) {
+    Check = Shards != 0 ? checkCircuitSharded(Circ, Summaries, Shards)
+                        : checkCircuit(Circ, Summaries);
+    for (const support::Diag &Dg : Check.Diags)
+      if (Dg.severity() == support::Severity::Error)
+        ++Errors;
+    emitDiags(Check.Diags);
+  }
+
+  // Seal for the size/fingerprint report; analysis is already done.
+  ModuleId Top = Circ.seal();
+  const uint64_t Flat = flatInstanceCount(D, Top);
+  const std::string FP = fingerprint(D, Top);
+  const bool Ok = !Stage1.hasError() && Check.WellConnected;
+
+  if (Json) {
+    std::printf("{\"verdict\":\"%s\",\"preset\":\"%s\",\"seed\":%llu,"
+                "\"modules\":%zu,\"flatInstances\":%llu,"
+                "\"fingerprint\":\"%s\",\"errors\":%zu}\n",
+                Cancelled ? "cancelled" : (Ok ? "well-connected" : "error"),
+                PresetName.c_str(),
+                static_cast<unsigned long long>(P.Seed),
+                static_cast<size_t>(D.numModules()),
+                static_cast<unsigned long long>(Flat), FP.c_str(), Errors);
+  } else if (!Quiet) {
+    std::printf("%s: preset %s seed %llu: %llu flat instance(s), "
+                "%zu unique module(s), fingerprint %s\n",
+                Cancelled ? "cancelled" : (Ok ? "well-connected" : "LOOPED"),
+                PresetName.c_str(),
+                static_cast<unsigned long long>(P.Seed),
+                static_cast<unsigned long long>(Flat),
+                static_cast<size_t>(D.numModules()), FP.c_str());
+    if (Ok)
+      std::printf("stage 1: %zu inferred, %zu cache hit(s); stage 3: "
+                  "%zu safe by sort, %zu checked\n",
+                  Inferred, CacheHits, Check.SafeBySort, Check.NeedsCheck);
+  }
+  if (Cancelled)
+    return 3;
+  return Ok ? 0 : 1;
+}
