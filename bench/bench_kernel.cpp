@@ -16,13 +16,24 @@
 //  * kernel — one ForwardOnly CSR freeze (Kahn orders the graph and
 //    settles the loop verdict; docs/KERNEL.md) shared by
 //    CombGraph::findCombLoop and the bit-parallel closure
-//    (CombGraph::allOutputPortSets, 64 input ports per machine word).
+//    (CombGraph::allOutputPortSets, up to 512 input ports per sweep).
 //
-// Both paths must produce identical loop verdicts and port sets; the
-// bench refuses to report numbers otherwise. Sub-millisecond modules are
-// re-run enough times for the clock to resolve. `--json <path>` mirrors
-// the rows into a machine-readable report (CI writes BENCH_kernel.json)
-// so the perf trajectory of the kernel is diffable across commits.
+// Kernel rows carry a per-phase breakdown (freeze / frontier discovery /
+// OR-sweep) read from the kernel.* trace histograms, so a regression is
+// attributable to a phase, not just a module.
+//
+// A second section sweeps the flat instance-adjacency graph of the
+// gen::MegaScale presets — ~100k nodes for the `100k` preset — once per
+// available sweep ISA (scalar / AVX2 / AVX-512, forced via
+// support/Simd.h) against a scalar single-lane-word baseline. Every ISA
+// variant must reproduce the baseline's reachability bitset bit for bit
+// before its timing is reported; tools/run_bench.sh commits the JSON as
+// BENCH_kernel.json (reading guide: docs/SCALE.md).
+//
+// Both Stage-1 paths must produce identical loop verdicts and port sets;
+// the bench refuses to report numbers otherwise. Sub-millisecond modules
+// are re-run enough times for the clock to resolve. `--json <path>`
+// mirrors the rows into a machine-readable report.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +42,9 @@
 #include "analysis/Reachability.h"
 #include "gen/Catalog.h"
 #include "gen/Fifo.h"
+#include "gen/MegaScale.h"
+#include "support/CsrGraph.h"
+#include "support/Simd.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 #include "synth/Lower.h"
@@ -47,12 +61,42 @@ using namespace wiresort::ir;
 
 namespace {
 
+/// Sums of the kernel's per-phase timing histograms (docs/KERNEL.md) at
+/// one instant; subtract two snapshots to attribute a timed region.
+struct PhaseSums {
+  uint64_t FreezeUs = 0;
+  uint64_t FrontierUs = 0;
+  uint64_t SweepUs = 0;
+};
+
+PhaseSums phaseSums() {
+  PhaseSums P;
+  for (const trace::HistogramSnapshot &H : trace::histogramSnapshot()) {
+    if (H.Name == "kernel.freeze_us")
+      P.FreezeUs = H.Sum;
+    else if (H.Name == "kernel.frontier_us")
+      P.FrontierUs = H.Sum;
+    else if (H.Name == "kernel.sweep_us")
+      P.SweepUs = H.Sum;
+  }
+  return P;
+}
+
+PhaseSums operator-(const PhaseSums &A, const PhaseSums &B) {
+  return {A.FreezeUs - B.FreezeUs, A.FrontierUs - B.FrontierUs,
+          A.SweepUs - B.SweepUs};
+}
+
 struct KernelRun {
   size_t Gates = 0;
   size_t Inputs = 0;
   size_t Outputs = 0;
   double SerialSeconds = 0.0;
   double KernelSeconds = 0.0;
+  /// Per-rep kernel-phase attribution, microseconds.
+  double FreezeUs = 0.0;
+  double FrontierUs = 0.0;
+  double SweepUs = 0.0;
   bool Identical = false;
 };
 
@@ -123,6 +167,7 @@ KernelRun runModule(const Module &M) {
     (void)serialStage1(Gates, CG, Loop);
     Run.SerialSeconds += T.seconds();
   }
+  const PhaseSums Before = phaseSums();
   for (int R = 0; R != Reps; ++R) {
     CombGraph CG = CombGraph::build(Gates, NoSubs);
     T.restart();
@@ -130,9 +175,20 @@ KernelRun runModule(const Module &M) {
     (void)CG.allOutputPortSets();
     Run.KernelSeconds += T.seconds();
   }
+  const PhaseSums Phase = phaseSums() - Before;
   Run.SerialSeconds /= Reps;
   Run.KernelSeconds /= Reps;
+  Run.FreezeUs = double(Phase.FreezeUs) / Reps;
+  Run.FrontierUs = double(Phase.FrontierUs) / Reps;
+  Run.SweepUs = double(Phase.SweepUs) / Reps;
   return Run;
+}
+
+std::string phaseStr(const KernelRun &R) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%.0f/%.0f/%.0f", R.FreezeUs, R.FrontierUs,
+                R.SweepUs);
+  return Buf;
 }
 
 void addRow(Table &T, JsonReport &Json, const std::string &Name,
@@ -140,7 +196,7 @@ void addRow(Table &T, JsonReport &Json, const std::string &Name,
   T.addRow({Name, Table::withCommas(R.Gates),
             std::to_string(R.Inputs) + "/" + std::to_string(R.Outputs),
             Table::secondsStr(R.SerialSeconds, 6),
-            Table::secondsStr(R.KernelSeconds, 6),
+            Table::secondsStr(R.KernelSeconds, 6), phaseStr(R),
             Table::speedupStr(R.SerialSeconds / R.KernelSeconds)});
   Json.beginRecord()
       .field("module", Name)
@@ -149,7 +205,209 @@ void addRow(Table &T, JsonReport &Json, const std::string &Name,
       .field("outputs", static_cast<uint64_t>(R.Outputs))
       .field("serial_stage1_seconds", R.SerialSeconds)
       .field("kernel_stage1_seconds", R.KernelSeconds)
+      .field("kernel_freeze_us", R.FreezeUs)
+      .field("kernel_frontier_us", R.FrontierUs)
+      .field("kernel_sweep_us", R.SweepUs)
       .field("speedup", R.SerialSeconds / R.KernelSeconds);
+}
+
+// --- MegaScale flat-graph ISA sweep ----------------------------------------
+
+/// The flat instance-adjacency graph of a (sealed) hierarchical design:
+/// one node per flat instance (plus the top), an edge from each instance
+/// to every direct sub-instance, and a driver->sink edge for every local
+/// wire shared by two sibling instances' port bindings, replicated at
+/// every level of the expansion. For the MegaScale presets this
+/// reproduces the stitched grid/torus/chain at full flat scale — the
+/// graph shape the kernel meets when a composition is checked whole.
+Graph flatInstanceGraph(const Design &D, ModuleId Top,
+                        std::vector<uint32_t> &ByDepth) {
+  const uint32_t N = static_cast<uint32_t>(1 + flatInstanceCount(D, Top));
+  Graph G(N);
+  uint32_t Next = 0;
+  std::vector<std::vector<uint32_t>> Levels;
+
+  struct Rec {
+    const Design &D;
+    Graph &G;
+    uint32_t &Next;
+    std::vector<std::vector<uint32_t>> &Levels;
+    void operator()(ModuleId Id, uint32_t Self, uint32_t Depth) const {
+      const Module &M = D.module(Id);
+      if (Levels.size() <= Depth)
+        Levels.resize(Depth + 1);
+      Levels[Depth].push_back(Self);
+      // Local wire -> driving child node; sinks resolved in a second
+      // pass so binding order cannot matter.
+      std::map<WireId, uint32_t> Driver;
+      std::vector<std::pair<WireId, uint32_t>> Sinks;
+      for (const SubInstance &Sub : M.Instances) {
+        const uint32_t Child = ++Next;
+        G.addEdge(Self, Child);
+        const Module &Def = D.module(Sub.Def);
+        for (const auto &[Port, Local] : Sub.Bindings) {
+          if (Def.isOutput(Port))
+            Driver.emplace(Local, Child);
+          else
+            Sinks.emplace_back(Local, Child);
+        }
+        (*this)(Sub.Def, Child, Depth + 1);
+      }
+      for (const auto &[Local, Sink] : Sinks) {
+        auto It = Driver.find(Local);
+        if (It != Driver.end() && It->second != Sink)
+          G.addEdge(It->second, Sink);
+      }
+    }
+  };
+  Rec{D, G, Next, Levels}(Top, 0, 0);
+  ByDepth.clear();
+  for (const std::vector<uint32_t> &L : Levels)
+    ByDepth.insert(ByDepth.end(), L.begin(), L.end());
+  return G;
+}
+
+struct MegaSweepResult {
+  double SweepSeconds = 0.0; // full 512-source closure, per rep
+  double FreezeUs = 0.0;
+  double FrontierUs = 0.0;
+  double SweepPhaseUs = 0.0;
+  /// Chunk-major reachability bits: Bits[Chunk][Node bit lane] flattened,
+  /// the canonical form two ISA runs are compared on.
+  std::vector<uint64_t> Bits;
+};
+
+/// Sweeps \p Sources (chunked to the kernel's lane count) over \p Csr
+/// under the *currently forced* ISA/lane configuration and returns
+/// timing plus the full reachability bitset.
+MegaSweepResult megaSweep(const CsrGraph &Csr,
+                          const std::vector<uint32_t> &Sources,
+                          uint32_t LaneWords, int Reps) {
+  MegaSweepResult R;
+  ReachabilityKernel Kernel(Csr, LaneWords);
+  const uint32_t Lanes = Kernel.laneCount();
+
+  const PhaseSums Before = phaseSums();
+  Timer T;
+  for (int Rep = 0; Rep != Reps; ++Rep)
+    for (size_t Base = 0; Base < Sources.size(); Base += Lanes) {
+      const uint32_t Count = static_cast<uint32_t>(
+          std::min<size_t>(Lanes, Sources.size() - Base));
+      Kernel.sweep(Sources.data() + Base, Count);
+    }
+  R.SweepSeconds = T.seconds() / Reps;
+  const PhaseSums Phase = phaseSums() - Before;
+
+  // Untimed verification pass: record the bits in source-chunk-of-64
+  // major order so any (ISA, LaneWords) run yields the same canonical
+  // vector for the identity gate.
+  for (size_t Base = 0; Base < Sources.size(); Base += Lanes) {
+    const uint32_t Count = static_cast<uint32_t>(
+        std::min<size_t>(Lanes, Sources.size() - Base));
+    Kernel.sweep(Sources.data() + Base, Count);
+    for (uint32_t Word = 0; Word != (Count + 63) / 64; ++Word)
+      for (uint32_t Node = 0; Node != Csr.numNodes(); ++Node)
+        R.Bits.push_back(Kernel.row(Node)[Word]);
+  }
+  R.FreezeUs = double(Phase.FreezeUs) / Reps;
+  R.FrontierUs = double(Phase.FrontierUs) / Reps;
+  R.SweepPhaseUs = double(Phase.SweepUs) / Reps;
+  return R;
+}
+
+bool megaScaleSection(Table &T, JsonReport &Json, bool Quick) {
+  const std::vector<std::string> Presets =
+      Quick ? std::vector<std::string>{"ci"}
+            : std::vector<std::string>{"ci", "10k", "100k"};
+  for (const std::string &Name : Presets) {
+    MegaScaleParams P = *megaScalePreset(Name);
+    Design D;
+    MegaScaleDesign Mega = buildMegaScale(D, P);
+    std::vector<uint32_t> ByDepth;
+    Graph G = flatInstanceGraph(D, Mega.Top, ByDepth);
+    const CsrGraph Csr = CsrGraph::freeze(G, CsrGraph::ForwardOnly);
+
+    // 512 sources, shallowest instances first: the composition roots
+    // (top, clusters, then tiles), whose closures share the stitched
+    // grid and everything under it. That is the shape the multi-word
+    // rows exist for — many sources over one downstream cone, the
+    // whole-composition analogue of a module's input ports — where
+    // single-word sweeps re-traverse the shared cone once per 64-source
+    // chunk. Deep payload leaves have tiny disjoint closures and would
+    // measure pure row-width overhead instead.
+    const uint32_t N = G.numNodes();
+    const uint32_t Want = std::min<uint32_t>(N, 512);
+    std::vector<uint32_t> Sources(ByDepth.begin(), ByDepth.begin() + Want);
+
+    // Scalar single-word baseline: the pre-vectorization kernel shape —
+    // eight 64-lane sweeps instead of one 512-lane sweep.
+    if (!simd::setActiveIsa(simd::KernelIsa::Scalar)) {
+      std::fprintf(stderr, "scalar sweep variant unavailable?\n");
+      return false;
+    }
+    int Reps = 1;
+    {
+      Timer Cal;
+      MegaSweepResult Once = megaSweep(Csr, Sources, 1, 1);
+      (void)Once;
+      Reps = static_cast<int>(
+          std::clamp(0.5 / std::max(Cal.seconds(), 1e-6), 1.0, 100.0));
+    }
+    const MegaSweepResult Base = megaSweep(Csr, Sources, 1, Reps);
+    T.addRow({Name, Table::withCommas(N), Table::withCommas(G.numEdges()),
+              "scalar", "1", Table::secondsStr(Base.SweepSeconds, 6),
+              Table::speedupStr(1.0)});
+    Json.beginRecord()
+        .field("sweep", "mega_scale_isa")
+        .field("preset", Name)
+        .field("nodes", static_cast<uint64_t>(N))
+        .field("edges", static_cast<uint64_t>(G.numEdges()))
+        .field("isa", "scalar")
+        .field("lane_words", static_cast<uint64_t>(1))
+        .field("sources", static_cast<uint64_t>(Want))
+        .field("sweep_seconds", Base.SweepSeconds)
+        .field("kernel_frontier_us", Base.FrontierUs)
+        .field("kernel_sweep_us", Base.SweepPhaseUs)
+        .field("speedup_vs_scalar_l1", 1.0)
+        .field("identical", "baseline");
+
+    // Every available ISA at the full 8-word row. Timings are reported
+    // only after the bitset matches the baseline exactly.
+    const uint32_t Wide = ReachabilityKernel::laneWordsFor(Sources.size());
+    for (simd::KernelIsa Isa : {simd::KernelIsa::Scalar, simd::KernelIsa::Avx2,
+                                simd::KernelIsa::Avx512}) {
+      if (!simd::isaSupported(Isa) || !simd::setActiveIsa(Isa))
+        continue;
+      const MegaSweepResult R = megaSweep(Csr, Sources, Wide, Reps);
+      if (R.Bits != Base.Bits) {
+        std::fprintf(stderr,
+                     "%s: %s L%u bitset diverges from the scalar baseline!\n",
+                     Name.c_str(), simd::isaName(Isa), Wide);
+        return false;
+      }
+      const double Speedup = Base.SweepSeconds / R.SweepSeconds;
+      T.addRow({Name, Table::withCommas(N), Table::withCommas(G.numEdges()),
+                simd::isaName(Isa), std::to_string(Wide),
+                Table::secondsStr(R.SweepSeconds, 6),
+                Table::speedupStr(Speedup)});
+      Json.beginRecord()
+          .field("sweep", "mega_scale_isa")
+          .field("preset", Name)
+          .field("nodes", static_cast<uint64_t>(N))
+          .field("edges", static_cast<uint64_t>(G.numEdges()))
+          .field("isa", simd::isaName(Isa))
+          .field("lane_words", static_cast<uint64_t>(Wide))
+          .field("sources", static_cast<uint64_t>(Want))
+          .field("sweep_seconds", R.SweepSeconds)
+          .field("kernel_frontier_us", R.FrontierUs)
+          .field("kernel_sweep_us", R.SweepPhaseUs)
+          .field("speedup_vs_scalar_l1", Speedup)
+          .field("identical", "true");
+    }
+  }
+  // Leave the process on its natural dispatch choice.
+  simd::setActiveIsa(simd::bestSupportedIsa());
+  return true;
 }
 
 } // namespace
@@ -158,13 +416,20 @@ int main(int ArgC, char **ArgV) {
   const bool Quick = quickMode(ArgC, ArgV);
   const std::string JsonOut = jsonPath(ArgC, ArgV);
 
+  // Metrics-only session so the kernel.* histograms collect for the
+  // per-phase columns without span bookkeeping in the timed regions.
+  trace::SessionOptions MetricsOpts;
+  MetricsOpts.CollectSpans = false;
+  trace::Session Metrics(MetricsOpts);
+
   std::printf("=== Stage-1 reachability: serial (findCycle + per-port BFS) "
               "vs bit-parallel CSR kernel ===\n"
               "(gate-level modules, cold per run; both paths verified "
-              "identical before any row is reported)\n\n");
+              "identical before any row is reported; phases are freeze/"
+              "frontier/sweep microseconds per run)\n\n");
 
   Table T({"Module", "Prim gates", "In/Out ports", "Serial Stage-1 (s)",
-           "Kernel Stage-1 (s)", "Speedup"});
+           "Kernel Stage-1 (s)", "Phases f/fr/s (us)", "Speedup"});
   JsonReport Json;
 
   auto report = [&](const std::string &Name, const Module &M) {
@@ -187,7 +452,7 @@ int main(int ArgC, char **ArgV) {
 
   // Wide combinational modules: >=64 input bits whose closures span most
   // of the gate network, so the serial path pays |inputs| full BFS
-  // traversals where the kernel pays ceil(|inputs|/64) sweeps. This is
+  // traversals where the kernel pays ceil(|inputs|/512) sweeps. This is
   // the workload the bit-parallel kernel exists for.
   struct WideEntry {
     std::string Name;
@@ -222,6 +487,19 @@ int main(int ArgC, char **ArgV) {
 
   T.print();
 
+  // MegaScale flat-graph closure under every available sweep ISA: one
+  // ~100k-node graph, 512 sources, scalar/L1 baseline vs forced-ISA
+  // 8-word rows, all gated on bitset identity (docs/SCALE.md).
+  std::printf("\n=== MegaScale flat-graph 512-source closure by sweep ISA "
+              "===\n(speedups are against the scalar 1-lane-word baseline; "
+              "every row's bitset verified identical to it)\n\n");
+  Table MegaT({"Preset", "Nodes", "Edges", "ISA", "Lane words", "Closure (s)",
+               "Speedup"});
+  if (!megaScaleSection(MegaT, Json, Quick))
+    return 1;
+  MegaT.print();
+
+  (void)Metrics.finish();
   if (!JsonOut.empty() && Json.writeTo(JsonOut))
     std::printf("\nJSON report written to %s\n", JsonOut.c_str());
   return 0;

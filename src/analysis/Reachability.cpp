@@ -132,26 +132,41 @@ CombGraph::allOutputPortSets(const support::Deadline *DL) const {
   if (M->Inputs.empty() || M->Outputs.empty())
     return Result;
 
-  ReachabilityKernel Kernel(frozen());
   const std::vector<WireId> &Ins = M->Inputs;
+  // One sweep-scratch arena per thread: SummaryEngine workers call in
+  // once per module, and reusing the arena across modules makes
+  // steady-state inference allocation-free here. Lane width scales to
+  // the input count (up to 512 sources per sweep), so a wide module
+  // pays ceil(K/512) sweeps instead of ceil(K/64).
+  static thread_local ReachabilityKernel::Scratch SweepScratch;
+  ReachabilityKernel Kernel(frozen(), SweepScratch,
+                            ReachabilityKernel::laneWordsFor(Ins.size()));
+  const uint32_t Lanes = Kernel.laneCount();
+  const uint32_t LaneWords = Kernel.laneWords();
   // Decode each sweep's masks into flat per-lane vectors and move them
   // into the map once per input — a map lookup per (input, output) pair
   // would dominate small modules.
   std::vector<std::vector<WireId>> LaneSets;
-  for (size_t Base = 0; Base < Ins.size();
-       Base += ReachabilityKernel::WordBits) {
-    const uint32_t Count = static_cast<uint32_t>(
-        std::min<size_t>(ReachabilityKernel::WordBits, Ins.size() - Base));
+  for (size_t Base = 0; Base < Ins.size(); Base += Lanes) {
+    const uint32_t Count =
+        static_cast<uint32_t>(std::min<size_t>(Lanes, Ins.size() - Base));
     if (!Kernel.sweep(Ins.data() + Base, Count, DL))
       return std::nullopt; // Deadline fired mid-module; abandon it.
     LaneSets.assign(Count, {});
     for (WireId Out : M->Outputs) {
-      uint64_t Mask = Kernel.mask(Out);
-      while (Mask) {
-        const uint32_t K = static_cast<uint32_t>(std::countr_zero(Mask));
-        Mask &= Mask - 1;
-        if (Ins[Base + K] != Out)
-          LaneSets[K].push_back(Out);
+      // Hoist the row pointer: one position lookup per output, not one
+      // per (output, lane-word) pair.
+      const uint64_t *Row = Kernel.row(Out);
+      for (uint32_t Word = 0; Word != LaneWords; ++Word) {
+        uint64_t Mask = Row[Word];
+        const uint32_t LaneBase = Word * ReachabilityKernel::WordBits;
+        while (Mask) {
+          const uint32_t K =
+              LaneBase + static_cast<uint32_t>(std::countr_zero(Mask));
+          Mask &= Mask - 1;
+          if (Ins[Base + K] != Out)
+            LaneSets[K].push_back(Out);
+        }
       }
     }
     for (uint32_t K = 0; K != Count; ++K) {

@@ -662,28 +662,55 @@ analysis::checkCircuitSharded(const Circuit &Circ,
       for (WireId W2 : InstSummary[C.To.Inst]->outputPortSet(C.To.Port))
         Queries.push_back({I, PG.nodeOf(PortRef{C.To.Inst, W2})});
     }
-    ReachabilityKernel Kernel(PG.csr());
+    // Worker threads are short-lived, so the scratch arena lives in the
+    // thread_local slot and survives across shard invocations on pool
+    // threads; lane width scales to this shard's query count.
+    static thread_local ReachabilityKernel::Scratch SweepScratch;
+    ReachabilityKernel Kernel(
+        PG.csr(), SweepScratch,
+        ReachabilityKernel::laneWordsFor(Queries.size()));
+    const uint32_t Lanes = Kernel.laneCount();
     std::vector<uint32_t> Sources;
-    for (size_t Base = 0; Base < Queries.size();
-         Base += ReachabilityKernel::WordBits) {
-      const size_t Count = std::min<size_t>(ReachabilityKernel::WordBits,
-                                            Queries.size() - Base);
+    for (size_t Base = 0; Base < Queries.size(); Base += Lanes) {
+      const size_t Count = std::min<size_t>(Lanes, Queries.size() - Base);
       Sources.clear();
       for (size_t K = 0; K != Count; ++K)
         Sources.push_back(Queries[Base + K].SrcNode);
       Kernel.sweep(Sources.data(), static_cast<uint32_t>(Count));
-      for (size_t K = 0; K != Count; ++K) {
-        const uint32_t ConnIdx = Queries[Base + K].Conn;
-        if (Failed[ConnIdx])
+      // Same run-grouped decode as checkCircuitPairwise: queries for a
+      // connection are contiguous, so the w1 row lookups hoist out of
+      // the per-lane loop and runs are tested with word masks.
+      for (size_t RunLo = 0; RunLo != Count;) {
+        const uint32_t ConnIdx = Queries[Base + RunLo].Conn;
+        size_t RunHi = RunLo + 1;
+        while (RunHi != Count && Queries[Base + RunHi].Conn == ConnIdx)
+          ++RunHi;
+        if (Failed[ConnIdx]) {
+          RunLo = RunHi;
           continue;
+        }
         const Connection &C = Conns[ConnIdx];
         const ModuleSummary &FromSummary = *InstSummary[C.From.Inst];
         for (WireId W1 : FromSummary.inputPortSet(C.From.Port)) {
-          if ((Kernel.mask(PG.nodeOf(PortRef{C.From.Inst, W1})) >> K) & 1) {
+          const uint64_t *Row =
+              Kernel.row(PG.nodeOf(PortRef{C.From.Inst, W1}));
+          const uint32_t WordBits = ReachabilityKernel::WordBits;
+          bool Hit = false;
+          for (size_t Word = RunLo / WordBits;
+               Word != (RunHi + WordBits - 1) / WordBits && !Hit; ++Word) {
+            uint64_t Keep = ~uint64_t{0};
+            if (Word == RunLo / WordBits)
+              Keep &= ~uint64_t{0} << (RunLo % WordBits);
+            if (Word == (RunHi - 1) / WordBits && RunHi % WordBits != 0)
+              Keep &= ~uint64_t{0} >> (WordBits - RunHi % WordBits);
+            Hit = (Row[Word] & Keep) != 0;
+          }
+          if (Hit) {
             Failed[ConnIdx] = 1;
             break;
           }
         }
+        RunLo = RunHi;
       }
     }
   };

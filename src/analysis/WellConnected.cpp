@@ -214,21 +214,25 @@ bool analysis::isWellConnectedPair(const PortGraph &PG, const Circuit &Circ,
   const std::vector<WireId> &W1s = FromSummary.inputPortSet(C.From.Port);
   if (W2s.empty() || W1s.empty())
     return true;
-  ReachabilityKernel Kernel(PG.csr());
+  static thread_local ReachabilityKernel::Scratch SweepScratch;
+  ReachabilityKernel Kernel(PG.csr(), SweepScratch,
+                            ReachabilityKernel::laneWordsFor(W2s.size()));
+  const uint32_t Lanes = Kernel.laneCount();
+  const uint32_t LaneWords = Kernel.laneWords();
   std::vector<uint32_t> Sources;
-  Sources.reserve(std::min<size_t>(ReachabilityKernel::WordBits,
-                                   W2s.size()));
-  for (size_t Base = 0; Base < W2s.size();
-       Base += ReachabilityKernel::WordBits) {
-    const size_t Count =
-        std::min<size_t>(ReachabilityKernel::WordBits, W2s.size() - Base);
+  Sources.reserve(std::min<size_t>(Lanes, W2s.size()));
+  for (size_t Base = 0; Base < W2s.size(); Base += Lanes) {
+    const size_t Count = std::min<size_t>(Lanes, W2s.size() - Base);
     Sources.clear();
     for (size_t K = 0; K != Count; ++K)
       Sources.push_back(PG.nodeOf(PortRef{C.To.Inst, W2s[Base + K]}));
     Kernel.sweep(Sources.data(), static_cast<uint32_t>(Count));
-    for (WireId W1 : W1s)
-      if (Kernel.mask(PG.nodeOf(PortRef{C.From.Inst, W1})) != 0)
-        return false;
+    for (WireId W1 : W1s) {
+      const uint64_t *Row = Kernel.row(PG.nodeOf(PortRef{C.From.Inst, W1}));
+      for (uint32_t Word = 0; Word != LaneWords; ++Word)
+        if (Row[Word] != 0)
+          return false;
+    }
   }
   return true;
 }
@@ -269,28 +273,52 @@ analysis::checkCircuitPairwise(const Circuit &Circ,
   safeBySortCounter().add(Result.SafeBySort);
   needsCheckCounter().add(Result.NeedsCheck);
 
-  ReachabilityKernel Kernel(PG.csr());
+  static thread_local ReachabilityKernel::Scratch SweepScratch;
+  ReachabilityKernel Kernel(PG.csr(), SweepScratch,
+                            ReachabilityKernel::laneWordsFor(Queries.size()));
+  const uint32_t Lanes = Kernel.laneCount();
   std::vector<uint32_t> Sources;
-  for (size_t Base = 0; Base < Queries.size();
-       Base += ReachabilityKernel::WordBits) {
-    const size_t Count =
-        std::min<size_t>(ReachabilityKernel::WordBits, Queries.size() - Base);
+  for (size_t Base = 0; Base < Queries.size(); Base += Lanes) {
+    const size_t Count = std::min<size_t>(Lanes, Queries.size() - Base);
     Sources.clear();
     for (size_t K = 0; K != Count; ++K)
       Sources.push_back(Queries[Base + K].SrcNode);
     Kernel.sweep(Sources.data(), static_cast<uint32_t>(Count));
-    for (size_t K = 0; K != Count; ++K) {
-      const uint32_t ConnIdx = Queries[Base + K].Conn;
-      if (Failed[ConnIdx])
+    // Queries for one connection are contiguous, so decode by runs of
+    // equal Conn: the (w1 node, kernel row) lookups hoist out of the
+    // per-lane loop, and a whole run's lanes are tested against each w1
+    // row with word masks instead of per-bit probes.
+    for (size_t RunLo = 0; RunLo != Count;) {
+      const uint32_t ConnIdx = Queries[Base + RunLo].Conn;
+      size_t RunHi = RunLo + 1;
+      while (RunHi != Count && Queries[Base + RunHi].Conn == ConnIdx)
+        ++RunHi;
+      if (Failed[ConnIdx]) {
+        RunLo = RunHi;
         continue;
+      }
       const Connection &C = Conns[ConnIdx];
       const ModuleSummary &FromSummary = *InstSummary[C.From.Inst];
       for (WireId W1 : FromSummary.inputPortSet(C.From.Port)) {
-        if ((Kernel.mask(PG.nodeOf(PortRef{C.From.Inst, W1})) >> K) & 1) {
+        const uint64_t *Row =
+            Kernel.row(PG.nodeOf(PortRef{C.From.Inst, W1}));
+        const uint32_t WordBits = ReachabilityKernel::WordBits;
+        bool Hit = false;
+        for (size_t Word = RunLo / WordBits;
+             Word != (RunHi + WordBits - 1) / WordBits && !Hit; ++Word) {
+          uint64_t Keep = ~uint64_t{0};
+          if (Word == RunLo / WordBits)
+            Keep &= ~uint64_t{0} << (RunLo % WordBits);
+          if (Word == (RunHi - 1) / WordBits && RunHi % WordBits != 0)
+            Keep &= ~uint64_t{0} >> (WordBits - RunHi % WordBits);
+          Hit = (Row[Word] & Keep) != 0;
+        }
+        if (Hit) {
           Failed[ConnIdx] = 1;
           break;
         }
       }
+      RunLo = RunHi;
     }
   }
 

@@ -81,9 +81,19 @@ DefPool buildPool(Design &D, const MegaScaleParams &P) {
 /// consumer is "rx.data_i" one level up, "t0.rx.data_i" two levels up.
 void link(Circuit &C, InstId From, const std::string &FromPfx, InstId To,
           const std::string &ToPfx) {
-  C.connect(From, FromPfx + "data_o", To, ToPfx + "data_i");
-  C.connect(From, FromPfx + "v_o", To, ToPfx + "v_i");
-  C.connect(To, ToPfx + "ready_o", From, FromPfx + "yumi_i");
+  // Reused buffers: the top-level stitch of a 1M-instance grid runs this
+  // thousands of times, and operator+ temporaries were visible in the
+  // construction profile next to Circuit's (now hash-indexed) lookups.
+  thread_local std::string A, B;
+  auto port = [](std::string &Buf, const std::string &Pfx,
+                 const char *Suffix) -> const std::string & {
+    Buf.assign(Pfx);
+    Buf += Suffix;
+    return Buf;
+  };
+  C.connect(From, port(A, FromPfx, "data_o"), To, port(B, ToPfx, "data_i"));
+  C.connect(From, port(A, FromPfx, "v_o"), To, port(B, ToPfx, "v_i"));
+  C.connect(To, port(A, ToPfx, "ready_o"), From, port(B, FromPfx, "yumi_i"));
 }
 
 /// tile = rx FIFO -> tx reg-slice through-path + K open payload

@@ -14,8 +14,26 @@ using namespace wiresort;
 using namespace wiresort::ir;
 
 V Builder::fresh(uint16_t Width, const char *Hint) {
-  std::string Name = std::string(Hint) + "$" + std::to_string(NextTmp++);
-  return V{M.addWire(std::move(Name), WireKind::Basic, Width), Width};
+  return V{M.addWire(freshName(Hint), WireKind::Basic, Width), Width};
+}
+
+std::string Builder::freshName(std::string_view Hint) {
+  // Composed in a reused member buffer: one allocation (the copy into
+  // the Wire) per wire instead of a chain of concatenation temporaries
+  // — Builder::fresh runs once per net, millions of times for
+  // generator-scale designs.
+  NameBuf.assign(Hint);
+  NameBuf += '$';
+  char Digits[20];
+  char *End = Digits + sizeof(Digits);
+  char *At = End;
+  uint64_t N = NextTmp++;
+  do {
+    *--At = static_cast<char>('0' + N % 10);
+    N /= 10;
+  } while (N != 0);
+  NameBuf.append(At, End);
+  return NameBuf;
 }
 
 V Builder::input(const std::string &Name, uint16_t Width) {
@@ -32,8 +50,8 @@ V Builder::output(const std::string &Name, V Src) {
 V Builder::lit(uint64_t Value, uint16_t Width) {
   assert(Width >= 1 && Width <= 64 && "literal width out of range");
   uint64_t Mask = Width == 64 ? ~0ull : ((1ull << Width) - 1);
-  WireId Id = M.addWire("const$" + std::to_string(NextTmp++), WireKind::Const,
-                        Width, Value & Mask);
+  WireId Id =
+      M.addWire(freshName("const"), WireKind::Const, Width, Value & Mask);
   return V{Id, Width};
 }
 
@@ -299,9 +317,13 @@ Builder::instantiate(const Design &D, ModuleId Def,
     Inst.Bindings.emplace_back(In, It->second.Id);
   }
   std::map<std::string, V> Outs;
+  std::string HintBuf;
+  HintBuf.reserve(InstName.size() + 16);
   for (WireId Out : DefM.Outputs) {
-    V Local = fresh(DefM.Wires[Out].Width,
-                    (InstName + "." + DefM.Wires[Out].Name).c_str());
+    HintBuf = InstName;
+    HintBuf += '.';
+    HintBuf += DefM.Wires[Out].Name;
+    V Local = fresh(DefM.Wires[Out].Width, HintBuf.c_str());
     Inst.Bindings.emplace_back(Out, Local.Id);
     Outs.emplace(DefM.Wires[Out].Name, Local);
   }

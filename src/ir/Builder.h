@@ -24,6 +24,7 @@
 #include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wiresort::ir {
@@ -157,10 +158,13 @@ public:
 
 private:
   V fresh(uint16_t Width, const char *Hint);
+  /// "hint$N" composed into \ref NameBuf (reused across calls).
+  std::string freshName(std::string_view Hint);
   V binary(Op Operation, V A, V B, uint16_t OutWidth);
 
   Module M;
   uint64_t NextTmp = 0;
+  std::string NameBuf;
 };
 
 } // namespace wiresort::ir

@@ -7,7 +7,6 @@
 #include "ir/Circuit.h"
 
 #include <cassert>
-#include <map>
 
 using namespace wiresort;
 using namespace wiresort::ir;
@@ -18,12 +17,37 @@ InstId Circuit::addInstance(ModuleId Def, std::string InstName) {
   return static_cast<InstId>(Insts.size() - 1);
 }
 
+const std::unordered_map<std::string_view, WireId> &
+Circuit::portsOf(ModuleId Def) {
+  if (!Ports)
+    Ports = std::make_unique<PortIndex>();
+  auto [It, Fresh] = Ports->ByDef.try_emplace(Def);
+  if (Fresh) {
+    const Module &DefM = D->module(Def);
+    It->second.reserve(DefM.numPorts());
+    for (WireId Port : DefM.Inputs)
+      It->second.emplace(Ports->Names.intern(DefM.wire(Port).Name), Port);
+    for (WireId Port : DefM.Outputs)
+      It->second.emplace(Ports->Names.intern(DefM.wire(Port).Name), Port);
+  }
+  return It->second;
+}
+
 void Circuit::connect(InstId From, const std::string &OutPort, InstId To,
                       const std::string &InPort) {
-  WireId Out = defOf(From).findPort(OutPort);
-  WireId In = defOf(To).findPort(InPort);
-  assert(Out != InvalidId && "unknown output port name");
-  assert(In != InvalidId && "unknown input port name");
+  assert(From < Insts.size() && To < Insts.size());
+  // MegaScale generators resolve millions of port names through here:
+  // the interned per-definition index makes each one a hash probe, and
+  // definitions repeat across instances so the index amortizes to a few
+  // entries per distinct module.
+  const auto &FromPorts = portsOf(Insts[From].Def);
+  const auto &ToPorts = portsOf(Insts[To].Def);
+  auto OutIt = FromPorts.find(std::string_view(OutPort));
+  auto InIt = ToPorts.find(std::string_view(InPort));
+  assert(OutIt != FromPorts.end() && "unknown output port name");
+  assert(InIt != ToPorts.end() && "unknown input port name");
+  WireId Out = OutIt == FromPorts.end() ? InvalidId : OutIt->second;
+  WireId In = InIt == ToPorts.end() ? InvalidId : InIt->second;
   connectPorts(PortRef{From, Out}, PortRef{To, In});
 }
 
@@ -35,61 +59,76 @@ void Circuit::connectPorts(PortRef From, PortRef To) {
   assert(ToDef.isInput(To.Port) && "connection target must be input");
   assert(FromDef.wire(From.Port).Width == ToDef.wire(To.Port).Width &&
          "connection width mismatch");
-  for (const Connection &C : Conns)
-    assert(!(C.To == To) && "input port already driven");
+  (void)FromDef;
+  (void)ToDef;
+  const bool Fresh = DrivenInputs.insert(portKey(To)).second;
+  assert(Fresh && "input port already driven");
+  (void)Fresh;
   Conns.push_back(Connection{From, To});
 }
 
 bool Circuit::isComplete() const {
+  // One pass over the connections (output endpoints into a set; input
+  // endpoints are already tracked by DrivenInputs), then one pass over
+  // the ports — instead of rescanning Conns per port.
+  std::unordered_set<uint64_t> DrivingOutputs;
+  DrivingOutputs.reserve(Conns.size());
+  for (const Connection &C : Conns)
+    DrivingOutputs.insert(portKey(C.From));
   for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
     const Module &Def = defOf(Inst);
-    for (WireId Port : Def.Inputs) {
-      bool Found = false;
-      for (const Connection &C : Conns)
-        Found |= C.To == PortRef{Inst, Port};
-      if (!Found)
+    for (WireId Port : Def.Inputs)
+      if (!DrivenInputs.count(portKey(PortRef{Inst, Port})))
         return false;
-    }
-    for (WireId Port : Def.Outputs) {
-      bool Found = false;
-      for (const Connection &C : Conns)
-        Found |= C.From == PortRef{Inst, Port};
-      if (!Found)
+    for (WireId Port : Def.Outputs)
+      if (!DrivingOutputs.count(portKey(PortRef{Inst, Port})))
         return false;
-    }
   }
   return true;
 }
 
 std::string Circuit::portLabel(PortRef Ref) const {
-  return Insts[Ref.Inst].Name + "." + defOf(Ref.Inst).wire(Ref.Port).Name;
+  const std::string &Inst = Insts[Ref.Inst].Name;
+  const std::string &Port = defOf(Ref.Inst).wire(Ref.Port).Name;
+  std::string Label;
+  Label.reserve(Inst.size() + 1 + Port.size());
+  Label += Inst;
+  Label += '.';
+  Label += Port;
+  return Label;
 }
 
 ModuleId Circuit::seal() {
   Module Top(Name);
 
   // One local wire per driving output port (fan-out shares the wire).
-  std::map<std::pair<InstId, WireId>, WireId> OutWire;
+  // Flat-keyed hash maps: the old std::map paid a node allocation plus
+  // O(log n) pointer chases per endpoint, which dominated sealing
+  // mega-scale circuits.
+  std::unordered_map<uint64_t, WireId> OutWire;
+  OutWire.reserve(Conns.size());
   for (const Connection &C : Conns) {
-    auto Key = std::make_pair(C.From.Inst, C.From.Port);
+    const uint64_t Key = portKey(C.From);
     if (!OutWire.count(Key)) {
       const Wire &PortWire = defOf(C.From.Inst).wire(C.From.Port);
-      OutWire[Key] = Top.addWire(portLabel(C.From), WireKind::Basic,
-                                 PortWire.Width);
+      OutWire.emplace(Key, Top.addWire(portLabel(C.From), WireKind::Basic,
+                                       PortWire.Width));
     }
   }
 
-  std::map<std::pair<InstId, WireId>, WireId> InWire;
+  std::unordered_map<uint64_t, WireId> InWire;
+  InWire.reserve(Conns.size());
   for (const Connection &C : Conns)
-    InWire[{C.To.Inst, C.To.Port}] = OutWire[{C.From.Inst, C.From.Port}];
+    InWire.emplace(portKey(C.To), OutWire.find(portKey(C.From))->second);
 
   for (InstId Inst = 0; Inst != Insts.size(); ++Inst) {
     const Module &Def = defOf(Inst);
     SubInstance Sub;
     Sub.Def = Insts[Inst].Def;
     Sub.Name = Insts[Inst].Name;
+    Sub.Bindings.reserve(Def.numPorts());
     for (WireId Port : Def.Inputs) {
-      auto It = InWire.find({Inst, Port});
+      auto It = InWire.find(portKey(PortRef{Inst, Port}));
       WireId Local;
       if (It != InWire.end()) {
         Local = It->second;
@@ -100,7 +139,7 @@ ModuleId Circuit::seal() {
       Sub.Bindings.emplace_back(Port, Local);
     }
     for (WireId Port : Def.Outputs) {
-      auto It = OutWire.find({Inst, Port});
+      auto It = OutWire.find(portKey(PortRef{Inst, Port}));
       WireId Local;
       if (It != OutWire.end()) {
         Local = It->second;

@@ -20,9 +20,14 @@
 #define WIRESORT_IR_CIRCUIT_H
 
 #include "ir/Design.h"
+#include "support/Arena.h"
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace wiresort::ir {
@@ -96,10 +101,34 @@ public:
   ModuleId seal();
 
 private:
+  /// Lazy per-definition port-name index: one hash lookup per \ref
+  /// connect instead of a linear findPort scan of the definition's
+  /// ports. Keys are interned into the circuit's arena — NOT views into
+  /// Module wire names, whose SSO buffers move when the Design's module
+  /// vector grows (seal() grows it) — so they stay stable for the
+  /// index's lifetime.
+  struct PortIndex {
+    support::Arena Arena;
+    support::StringInterner Names{Arena};
+    std::unordered_map<ModuleId, std::unordered_map<std::string_view, WireId>>
+        ByDef;
+  };
+  const std::unordered_map<std::string_view, WireId> &portsOf(ModuleId Def);
+
+  static uint64_t portKey(PortRef Ref) {
+    return (uint64_t(Ref.Inst) << 32) | Ref.Port;
+  }
+
   Design *D;
   std::string Name;
   std::vector<Instance> Insts;
   std::vector<Connection> Conns;
+  std::unique_ptr<PortIndex> Ports;
+  /// Input ports already driven by a connection — O(1) duplicate-driver
+  /// rejection (the old per-connect scan of Conns made debug builds of
+  /// million-connection circuits quadratic) and the fast half of
+  /// \ref isComplete.
+  std::unordered_set<uint64_t> DrivenInputs;
 };
 
 } // namespace wiresort::ir

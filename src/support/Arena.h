@@ -1,0 +1,179 @@
+//===- support/Arena.h - Bump allocator + string interning ------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator and an arena-backed string interner for
+/// construction-heavy paths (see docs/KERNEL.md, "Arena-backed IR
+/// construction").
+///
+/// Building a million-instance `gen::MegaScale` design is dominated by
+/// small, never-individually-freed allocations: port-name strings,
+/// instance labels, per-connection temporaries. \ref Arena trades
+/// individual deallocation away for pointer-bump allocation out of
+/// geometrically growing chunks; everything dies together when the
+/// arena does. \ref StringInterner layers name deduplication on top:
+/// interning copies the bytes into the arena once and returns a
+/// std::string_view that is STABLE FOR THE ARENA'S LIFETIME — unlike
+/// views into `ir::Module` wire names, whose SSO buffers move when
+/// module vectors grow.
+///
+/// Lifetime rules (the contract consumers must follow):
+///  - Memory from \ref Arena::allocate is valid until the arena is
+///    destroyed or \ref Arena::reset is called. There is no free().
+///  - \ref Arena::reset recycles the first chunk and drops the rest; it
+///    invalidates every outstanding pointer AND every interned view of
+///    any StringInterner built on the arena (the interner must be
+///    cleared with it — StringInterner::clear does both).
+///  - Neither class is thread-safe; share per-thread or externally
+///    synchronized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_ARENA_H
+#define WIRESORT_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+namespace wiresort::support {
+
+/// A chunked bump allocator. Allocation is a pointer bump in the common
+/// case; exhausted chunks are retired and a new one (doubling up to
+/// \ref MaxChunkBytes) is carved. Oversized requests get a dedicated
+/// chunk without disturbing the current bump cursor.
+class Arena {
+public:
+  static constexpr size_t MinChunkBytes = 1 << 16; // 64 KiB
+  static constexpr size_t MaxChunkBytes = 1 << 20; // 1 MiB
+
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Bump-allocates \p Size bytes at \p Align (a power of two).
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    uintptr_t At = (Cursor + (Align - 1)) & ~uintptr_t(Align - 1);
+    if (At + Size > End) {
+      grow(Size, Align);
+      At = (Cursor + (Align - 1)) & ~uintptr_t(Align - 1);
+    }
+    Cursor = At + Size;
+    Used += Size;
+    return reinterpret_cast<void *>(At);
+  }
+
+  /// Typed array allocation. T must be trivially destructible — the
+  /// arena never runs destructors.
+  template <typename T> T *allocateArray(size_t Count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T *>(allocate(Count * sizeof(T), alignof(T)));
+  }
+
+  /// Copies \p Text into the arena; the returned view is stable until
+  /// destruction/reset. A terminating NUL is appended (not included in
+  /// the view) so the result is also usable as a C string.
+  std::string_view copyString(std::string_view Text) {
+    char *Mem = allocateArray<char>(Text.size() + 1);
+    std::memcpy(Mem, Text.data(), Text.size());
+    Mem[Text.size()] = '\0';
+    return {Mem, Text.size()};
+  }
+
+  /// Bytes handed out by \ref allocate since construction/reset
+  /// (excludes alignment padding and chunk slack).
+  size_t bytesUsed() const { return Used; }
+  /// Bytes reserved from the system across all live chunks.
+  size_t bytesReserved() const { return Reserved; }
+
+  /// Invalidates ALL outstanding allocations. Keeps the first chunk for
+  /// reuse (so a build-check-reset loop stops re-touching the system
+  /// allocator) and releases the rest.
+  void reset() {
+    if (Chunks.size() > 1)
+      Chunks.resize(1);
+    if (!Chunks.empty()) {
+      Cursor = reinterpret_cast<uintptr_t>(Chunks.front().Mem.get());
+      End = Cursor + Chunks.front().Size;
+      Reserved = Chunks.front().Size;
+    } else {
+      Cursor = End = 0;
+      Reserved = 0;
+    }
+    Used = 0;
+  }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Size;
+  };
+
+  void grow(size_t Size, size_t Align) {
+    size_t Next = Chunks.empty() ? MinChunkBytes : LastChunkBytes * 2;
+    if (Next > MaxChunkBytes)
+      Next = MaxChunkBytes;
+    LastChunkBytes = Next;
+    // Oversized requests get a chunk of their own size; the doubling
+    // schedule above is unaffected. Remaining slack in the old chunk is
+    // abandoned — bounded by one chunk per grow, which the geometric
+    // schedule keeps a small fraction of total footprint.
+    if (Next < Size + Align)
+      Next = Size + Align;
+    Chunks.push_back({std::make_unique<char[]>(Next), Next});
+    Reserved += Next;
+    Cursor = reinterpret_cast<uintptr_t>(Chunks.back().Mem.get());
+    End = Cursor + Next;
+  }
+
+  std::vector<Chunk> Chunks;
+  uintptr_t Cursor = 0, End = 0;
+  size_t Used = 0, Reserved = 0;
+  size_t LastChunkBytes = 0;
+};
+
+/// Arena-backed string deduplication. intern() returns one stable view
+/// per distinct string; repeated interning of the same name (MegaScale
+/// creates "data_o" a million times) costs a hash lookup, not a copy.
+class StringInterner {
+public:
+  explicit StringInterner(Arena &A) : A(A) {}
+
+  /// Returns the canonical arena-backed view for \p Text, copying it in
+  /// on first sight. Stable until \ref clear or arena reset.
+  std::string_view intern(std::string_view Text) {
+    auto It = Table.find(Text);
+    if (It != Table.end())
+      return *It;
+    std::string_view Stable = A.copyString(Text);
+    Table.insert(Stable);
+    return Stable;
+  }
+
+  size_t size() const { return Table.size(); }
+
+  /// Forgets every interned string. Must accompany (and precede reuse
+  /// after) Arena::reset — the views in the table dangle once the arena
+  /// recycles its chunks.
+  void clear() { Table.clear(); }
+
+private:
+  Arena &A;
+  std::unordered_set<std::string_view> Table;
+};
+
+} // namespace wiresort::support
+
+#endif // WIRESORT_SUPPORT_ARENA_H

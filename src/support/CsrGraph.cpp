@@ -7,19 +7,23 @@
 #include "support/CsrGraph.h"
 
 #include "support/FailPoint.h"
+#include "support/Simd.h"
+#include "support/SimdSweep.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
-#include <functional>
 
 using namespace wiresort;
 
-CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
+CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs, Layout L) {
   static trace::Counter &Freezes = trace::counter("kernel.freezes");
   static trace::Counter &Repairs =
       trace::counter("kernel.freeze_repairs");
+  static trace::Histogram &FreezeUs = trace::histogram("kernel.freeze_us");
   trace::Span FreezeSpan("kernel.freeze", "kernel");
+  const bool Timed = trace::countersEnabled();
+  const uint64_t T0 = Timed ? trace::detail::nowNs() : 0;
   Freezes.add();
   CsrGraph C;
   const size_t N = G.numNodes();
@@ -57,11 +61,15 @@ CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
 
   // Synthesized netlists create wires in dependency order, so comb edges
   // usually ascend — node ids then ARE a topological order, the graph is
-  // proven acyclic by the fill pass above, and TopoOrder/TopoPos stay
-  // empty (identity). Every cycle must contain a descending edge, so an
-  // all-ascending graph needs no further proof.
-  if (DescTargets.empty())
+  // proven acyclic by the fill pass above, and the kernel layout is the
+  // identity: the forward CSR doubles as the kernel CSR at zero cost.
+  // Every cycle must contain a descending edge, so an all-ascending
+  // graph needs no further proof.
+  if (DescTargets.empty()) {
+    if (Timed)
+      FreezeUs.record((trace::detail::nowNs() - T0) / 1000);
     return C;
+  }
   // Descending edges defeated the identity-order proof; every one is a
   // repair the near-sorted pass (or Tarjan fallback) must absorb.
   Repairs.add(DescTargets.size());
@@ -76,6 +84,7 @@ CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
   // acyclicity — on a netlist with a handful of late-bound output wires
   // this replaces a full Kahn pass with work proportional to |R|.
   bool Cyclic = false;
+  std::vector<uint32_t> TopoOrder;
   {
     std::vector<uint8_t> InR(N, 0);
     std::vector<uint32_t> RNodes, Work;
@@ -116,21 +125,51 @@ CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
     Cyclic = ROrder.size() != RNodes.size();
 
     if (!Cyclic) {
-      C.TopoOrder.reserve(N);
+      // A valid topological order, used below as the kernel layout's
+      // level-computation schedule.
+      TopoOrder.reserve(N);
       for (uint32_t Node = 0; Node != N; ++Node)
         if (!InR[Node])
-          C.TopoOrder.push_back(Node);
-      C.TopoOrder.insert(C.TopoOrder.end(), ROrder.begin(), ROrder.end());
-      C.TopoPos.resize(N);
-      for (uint32_t At = 0; At != N; ++At)
-        C.TopoPos[C.TopoOrder[At]] = At;
-      return C;
+          TopoOrder.push_back(Node);
+      TopoOrder.insert(TopoOrder.end(), ROrder.begin(), ROrder.end());
     }
   }
 
+  if (!Cyclic) {
+    if (L == Plain) {
+      C.KernelLayoutOk = false;
+      if (Timed)
+        FreezeUs.record((trace::detail::nowNs() - T0) / 1000);
+      return C;
+    }
+    // Blocked kernel layout, acyclic repaired case. The repair order is
+    // already a valid total order (every edge position-ascending): non-R
+    // nodes keep ascending netlist ids — the order they were created in,
+    // so row/col accesses stay as sequential as the identity case — and
+    // the repair set is appended topologically. Using it directly keeps
+    // the layout pass at one O(N + E) kernel-CSR fill; a longest-path
+    // level sort buys nothing the sweep can measure and costs ~5x the
+    // rest of freeze on register-dominated graphs.
+    C.KernelPos.resize(N);
+    for (uint32_t P = 0; P != N; ++P)
+      C.KernelPos[TopoOrder[P]] = P;
+    C.KernelRow.reserve(N + 1);
+    C.KernelRow.push_back(0);
+    C.KernelCol.resize(C.FwdCol.size());
+    for (uint32_t P = 0, At = 0; P != N; ++P) {
+      const uint32_t Node = TopoOrder[P];
+      for (uint32_t Idx = C.FwdRow[Node]; Idx != C.FwdRow[Node + 1]; ++Idx)
+        C.KernelCol[At++] = C.KernelPos[C.FwdCol[Idx]];
+      C.KernelRow.push_back(At);
+    }
+    if (Timed)
+      FreezeUs.record((trace::detail::nowNs() - T0) / 1000);
+    return C;
+  }
+
   // Cyclic: condense once with Tarjan. Component ids come out in reverse
-  // topological order of the condensation — exactly the sweep order —
-  // and the member nodes are grouped for mask scatter.
+  // topological order of the condensation, and the member nodes are
+  // grouped for the kernel-layout pass and witness decoding.
   C.Acyclic = false;
   C.Comp = G.tarjanScc(C.NumComps);
   C.CompRow.assign(C.NumComps + 1, 0);
@@ -144,137 +183,198 @@ CsrGraph CsrGraph::freeze(const Graph &G, Edges Dirs) {
     for (uint32_t Node = 0; Node != N; ++Node)
       C.CompNodes[Next[C.Comp[Node]]++] = Node;
   }
+  if (L == Plain) {
+    C.KernelLayoutOk = false;
+    if (Timed)
+      FreezeUs.record((trace::detail::nowNs() - T0) / 1000);
+    return C;
+  }
+
+  // Blocked kernel layout, cyclic case: position = reversed Tarjan id
+  // (Tarjan ids are reverse-topological, so reversing makes every
+  // cross-component edge position-ascending). The kernel CSR collapses
+  // each SCC to one row — intra-block edges dropped, parallel
+  // cross-block edges deduplicated with a stamp — so sweeps never
+  // re-walk componentNodes or re-OR a successor per member edge.
+  C.KernelPos.resize(C.NumComps);
+  for (uint32_t CompId = 0; CompId != C.NumComps; ++CompId)
+    C.KernelPos[CompId] = C.NumComps - 1 - CompId;
+  C.KernelRow.reserve(C.NumComps + 1);
+  C.KernelRow.push_back(0);
+  std::vector<uint32_t> Stamp(C.NumComps, UINT32_MAX);
+  for (uint32_t P = 0; P != C.NumComps; ++P) {
+    const uint32_t CompId = C.NumComps - 1 - P;
+    for (uint32_t Node : C.componentNodes(CompId))
+      for (uint32_t Idx = C.FwdRow[Node]; Idx != C.FwdRow[Node + 1]; ++Idx) {
+        const uint32_t Q = C.KernelPos[C.Comp[C.FwdCol[Idx]]];
+        if (Q != P && Stamp[Q] != P) {
+          Stamp[Q] = P;
+          C.KernelCol.push_back(Q);
+        }
+      }
+    C.KernelRow.push_back(static_cast<uint32_t>(C.KernelCol.size()));
+  }
+  if (Timed)
+    FreezeUs.record((trace::detail::nowNs() - T0) / 1000);
   return C;
+}
+
+ReachabilityKernel::ReachabilityKernel(const CsrGraph &G, Scratch &S,
+                                       uint32_t LaneWords)
+    : G(&G), S(&S), L(LaneWords), NumBlocks(G.numComponents()) {
+  assert(G.hasKernelLayout() &&
+         "kernel requires a freeze with Layout::Kernel");
+  assert((LaneWords == 1 || LaneWords == 2 || LaneWords == 4 ||
+          LaneWords == 8) &&
+         "lane rows are 1, 2, 4 or 8 words");
+  // assign() reuses capacity: with a per-thread Scratch this is a
+  // memset, not a malloc, for every module after the largest.
+  S.Mask.assign(std::size_t(NumBlocks) * L, 0);
+  S.Frontier.assign((NumBlocks + 63) / 64, 0);
+  S.Dirty.clear();
+  S.Work.clear();
+}
+
+uint32_t ReachabilityKernel::laneWordsFor(size_t SourceCount) {
+  uint32_t Words = static_cast<uint32_t>((SourceCount + WordBits - 1) /
+                                         WordBits);
+  if (Words <= 1)
+    Words = 1;
+  else if (Words <= 2)
+    Words = 2;
+  else if (Words <= 4)
+    Words = 4;
+  else
+    Words = 8;
+  const uint32_t Cap = simd::maxLaneWords();
+  return Words < Cap ? Words : Cap;
 }
 
 bool ReachabilityKernel::sweep(const uint32_t *Sources, uint32_t Count,
                                const support::Deadline *DL) {
-  assert(Count <= WordBits && "a sweep carries at most 64 source lanes");
+  assert(Count <= laneCount() &&
+         "a sweep carries at most laneWords()*64 source lanes");
   static trace::Counter &Sweeps = trace::counter("kernel.sweeps");
   static trace::Counter &WordsSwept =
       trace::counter("kernel.words_swept");
+  static trace::Counter &FrontierBlocks =
+      trace::counter("kernel.frontier_blocks");
+  static trace::Counter &DensePasses =
+      trace::counter("kernel.sweeps_dense");
+  static trace::Counter &SparsePasses =
+      trace::counter("kernel.sweeps_sparse");
+  static trace::Histogram &FrontierUs =
+      trace::histogram("kernel.frontier_us");
+  static trace::Histogram &SweepUs = trace::histogram("kernel.sweep_us");
   Sweeps.add();
+  const bool Timed = trace::countersEnabled();
 
   // Deadline poll, amortized: a time check per block would dominate the
   // sweep, so with an active deadline we pay one decrement per block and
   // read the clock (plus the kernel.cancel failpoint, which simulates
-  // expiry deterministically) every PollInterval blocks. A null DL costs
+  // expiry deterministically) every PollGrain blocks. A null DL costs
   // one predicted branch.
-  constexpr uint32_t PollInterval = 4096;
-  uint32_t Budget = PollInterval;
-  bool Aborted = false;
-  auto poll = [&]() -> bool {
-    if (!DL || Aborted)
-      return Aborted;
-    if (--Budget != 0)
-      return false;
-    Budget = PollInterval;
-    if (DL->expired() || WS_FAILPOINT("kernel.cancel"))
-      Aborted = true;
-    return Aborted;
+  constexpr uint32_t PollGrain = simd::SweepArgs::PollGrain;
+  struct PollState {
+    const support::Deadline *DL;
+    bool Aborted = false;
+  } PS{DL};
+  // Capture-free so it doubles as the SweepArgs::Poll function pointer.
+  constexpr auto pollNow = [](void *Ctx) -> bool {
+    auto *P = static_cast<PollState *>(Ctx);
+    if (!P->Aborted && (P->DL->expired() || WS_FAILPOINT("kernel.cancel")))
+      P->Aborted = true;
+    return P->Aborted;
   };
 
   // Sparse reset of the previous sweep's footprint: between sweeps the
-  // scratch arrays are all-zero except at Dirty positions.
-  for (uint32_t B : Dirty) {
-    BlockMask[B] = 0;
-    Seen[B] = 0;
+  // lane rows and the frontier bitmap are all-zero except at Dirty
+  // positions.
+  for (uint32_t P : S->Dirty) {
+    uint64_t *Row = S->Mask.data() + std::size_t(P) * L;
+    for (uint32_t I = 0; I != L; ++I)
+      Row[I] = 0;
+    S->Frontier[P / 64] &= ~(uint64_t{1} << (P % 64));
   }
-  Dirty.clear();
+  S->Dirty.clear();
   if (DL && (DL->expired() || WS_FAILPOINT("kernel.cancel")))
     return false;
   if (Count == 0)
     return true;
 
-  // Blocks are condensation components: plain nodes on acyclic graphs
-  // (identity condensation), Tarjan components otherwise.
-  const bool Acyclic = G->isAcyclic();
-  auto scatterFrom = [&](uint32_t Block, auto &&Touch) {
-    if (Acyclic) {
-      for (uint32_t Succ : G->successors(Block))
-        Touch(Succ);
-    } else {
-      for (uint32_t Node : G->componentNodes(Block))
-        for (uint32_t Succ : G->successors(Node))
-          Touch(G->Comp[Succ]);
-    }
-  };
-
-  // Phase 1: seed the lane bits and discover every block reachable from
-  // the sources. Dirty doubles as the reset list for the next sweep.
-  auto visit = [&](uint32_t B) {
-    if (!Seen[B]) {
-      Seen[B] = 1;
-      Dirty.push_back(B);
-      Work.push_back(B);
+  // Phase 1 (frontier): seed the lane bits and discover every block
+  // reachable from the sources, entirely in kernel position space over
+  // the blocked CSR. Dirty doubles as the reset list for the next
+  // sweep; the bitmap is the dense pass's iteration order.
+  const uint64_t TF0 = Timed ? trace::detail::nowNs() : 0;
+  const uint32_t *Row = G->kernelRowData();
+  const uint32_t *Col = G->kernelColData();
+  uint64_t *Mask = S->Mask.data();
+  auto visit = [&](uint32_t P) {
+    uint64_t &W = S->Frontier[P / 64];
+    const uint64_t Bit = uint64_t{1} << (P % 64);
+    if (!(W & Bit)) {
+      W |= Bit;
+      S->Dirty.push_back(P);
+      S->Work.push_back(P);
     }
   };
   for (uint32_t K = 0; K != Count; ++K) {
-    const uint32_t B = G->componentOf(Sources[K]);
-    BlockMask[B] |= uint64_t{1} << K;
-    visit(B);
+    const uint32_t P = posOf(Sources[K]);
+    Mask[std::size_t(P) * L + K / WordBits] |= uint64_t{1}
+                                               << (K % WordBits);
+    visit(P);
   }
-  while (!Work.empty()) {
-    if (poll()) {
-      Work.clear(); // The worklist is reused; leave it empty on abort.
-      return false;
-    }
-    const uint32_t B = Work.back();
-    Work.pop_back();
-    scatterFrom(B, visit);
-  }
-  // One 64-lane mask word per discovered block is what phase 2 settles.
-  WordsSwept.add(Dirty.size());
-
-  // Phase 2: propagate lane masks over exactly the discovered blocks in
-  // topological order (predecessors first), so one scatter pass settles
-  // the closure. When the sources reach most of the graph a linear scan
-  // of the full order beats sorting the discovery list; when they reach
-  // a sliver, sorting the sliver wins.
-  const uint32_t NumBlocks = G->numComponents();
-  auto propagate = [&](uint32_t B) {
-    const uint64_t Mask = BlockMask[B];
-    scatterFrom(B, [&](uint32_t Succ) { BlockMask[Succ] |= Mask; });
-  };
-  if (Dirty.size() >= NumBlocks / 8) {
-    if (!Acyclic) {
-      // Tarjan ids are reverse-topological: walk them downward.
-      for (uint32_t B = NumBlocks; B-- > 0;)
-        if (Seen[B]) {
-          if (poll())
-            return false;
-          propagate(B);
-        }
-    } else if (G->TopoOrder.empty()) {
-      // Identity order: node ids are already topological.
-      for (uint32_t Node = 0; Node != NumBlocks; ++Node)
-        if (Seen[Node]) {
-          if (poll())
-            return false;
-          propagate(Node);
-        }
-    } else {
-      for (uint32_t Node : G->TopoOrder)
-        if (Seen[Node]) {
-          if (poll())
-            return false;
-          propagate(Node);
-        }
-    }
-  } else {
-    if (!Acyclic)
-      std::sort(Dirty.begin(), Dirty.end(), std::greater<uint32_t>());
-    else if (G->TopoPos.empty())
-      std::sort(Dirty.begin(), Dirty.end());
-    else
-      std::sort(Dirty.begin(), Dirty.end(), [&](uint32_t A, uint32_t B) {
-        return G->TopoPos[A] < G->TopoPos[B];
-      });
-    for (uint32_t B : Dirty) {
-      if (poll())
+  uint32_t Budget = PollGrain;
+  while (!S->Work.empty()) {
+    if (DL && --Budget == 0) {
+      Budget = PollGrain;
+      if (pollNow(&PS)) {
+        S->Work.clear(); // The worklist is reused; leave it empty on abort.
         return false;
-      propagate(B);
+      }
     }
+    const uint32_t P = S->Work.back();
+    S->Work.pop_back();
+    for (uint32_t Idx = Row[P]; Idx != Row[P + 1]; ++Idx)
+      visit(Col[Idx]);
   }
-  return true;
+  FrontierBlocks.add(S->Dirty.size());
+  // One L-word lane row per discovered block is what phase 2 settles.
+  WordsSwept.add(S->Dirty.size() * L);
+  if (Timed) {
+    const uint64_t TF1 = trace::detail::nowNs();
+    FrontierUs.record((TF1 - TF0) / 1000);
+  }
+
+  // Phase 2 (sweep): propagate lane rows over exactly the discovered
+  // positions in ascending (= topological) position order through the
+  // runtime-dispatched ISA variant. When the sources reach most of the
+  // graph, scanning the frontier bitmap beats sorting the discovery
+  // list; when they reach a sliver, sorting the sliver wins.
+  const uint64_t TS0 = Timed ? trace::detail::nowNs() : 0;
+  simd::SweepArgs A;
+  A.Row = Row;
+  A.Col = Col;
+  A.Mask = Mask;
+  A.Frontier = S->Frontier.data();
+  A.Dirty = S->Dirty.data();
+  A.DirtyCount = static_cast<uint32_t>(S->Dirty.size());
+  A.NumBlocks = NumBlocks;
+  A.LaneWords = L;
+  A.Poll = DL ? +pollNow : static_cast<bool (*)(void *)>(nullptr);
+  A.PollCtx = &PS;
+  const simd::SweepOps &Ops = simd::sweepOps();
+  bool Ok;
+  if (S->Dirty.size() >= NumBlocks / 8) {
+    DensePasses.add();
+    Ok = Ops.Dense(A);
+  } else {
+    SparsePasses.add();
+    std::sort(S->Dirty.begin(), S->Dirty.end());
+    Ok = Ops.Sparse(A);
+  }
+  if (Timed && Ok)
+    SweepUs.record((trace::detail::nowNs() - TS0) / 1000);
+  return Ok;
 }

@@ -21,19 +21,31 @@
 /// repaired locally by topologically ordering just their downstream
 /// closure, which also settles acyclicity. Only genuinely cyclic graphs
 /// pay for a Tarjan pass, whose SCC ids come out reverse-topological.
-/// Either way, every later closure query walks the condensation in
-/// topological order for free, and \ref isAcyclic doubles as a
-/// combinational-loop verdict.
+///
+/// Freezing also settles the KERNEL LAYOUT: a second CSR over "sweep
+/// positions" — condensation blocks renumbered so that every edge goes
+/// from a lower position to a higher one, level-grouped and sorted by
+/// out-degree within a level for cache locality. The permutation is
+/// applied and inverted internally (\ref ReachabilityKernel maps public
+/// node ids through it on seed and lookup), so NO public id ever
+/// changes. On the common all-ascending acyclic graph the layout is the
+/// identity and aliases the forward CSR at zero cost; graphs that
+/// needed repair or condensation materialize it. Consumers that never
+/// sweep can opt out with \ref Plain.
 ///
 /// \ref ReachabilityKernel answers "which of these K sources reach node
-/// n?" for up to 64 sources per sweep: one machine word per condensation
-/// block, seeded with the sources' bits and OR-folded over successors in
-/// one topological pass. A module with K inputs costs ceil(K/64) sweeps
-/// instead of K BFS traversals. Sweeps are sparse — only blocks actually
-/// reachable from the chunk's sources are visited, and scratch is reset
-/// through a dirty list — so a sweep over a register-dominated graph
-/// costs the size of the reached region, not of the whole module. No
-/// per-source allocation anywhere.
+/// n?" for up to 512 sources per sweep: an L-word lane row (L = 1, 2, 4
+/// or 8 uint64_t, fixed per kernel) per block in one flat row-major
+/// scratch arena, seeded with the sources' bits and OR-folded over
+/// successors in one topological pass. The OR inner loops are
+/// runtime-dispatched to scalar/AVX2/AVX-512 variants via
+/// support/Simd.h. Sweeps are sparse — only blocks actually reachable
+/// from the chunk's sources are visited, tracked in a frontier bitmap
+/// plus a dirty list that doubles as the sparse reset set — so a sweep
+/// over a register-dominated graph costs the size of the reached
+/// region, not of the whole module. No per-source allocation anywhere,
+/// and scratch can be shared across kernels (one \ref
+/// ReachabilityKernel::Scratch per thread, not per module).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +56,7 @@
 #include "support/Graph.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -65,10 +78,19 @@ public:
   /// checkers) skip it.
   enum Edges { ForwardOnly, ForwardAndReverse };
 
+  /// Whether \ref freeze materializes the kernel (sweep) layout. The
+  /// identity layout of an all-ascending acyclic graph is free either
+  /// way; \ref Plain only skips the blocked reordering for graphs that
+  /// needed repair or condensation — for consumers that freeze purely
+  /// for \ref isAcyclic / adjacency and never construct a
+  /// \ref ReachabilityKernel.
+  enum Layout { Kernel, Plain };
+
   CsrGraph() = default;
 
   /// Packs \p G into CSR form and orders it.
-  static CsrGraph freeze(const Graph &G, Edges Dirs = ForwardAndReverse);
+  static CsrGraph freeze(const Graph &G, Edges Dirs = ForwardAndReverse,
+                         Layout L = Kernel);
 
   size_t numNodes() const { return FwdRow.empty() ? 0 : FwdRow.size() - 1; }
 
@@ -113,78 +135,166 @@ public:
     return {CompNodes.data() + CompRow[C], CompNodes.data() + CompRow[C + 1]};
   }
 
+  /// True iff this freeze carries a sweep layout (always, unless frozen
+  /// with \ref Plain on a graph that needed reordering).
+  bool hasKernelLayout() const { return KernelLayoutOk; }
+
+  /// Condensation block \p Block's sweep position (identity unless the
+  /// layout was materialized). Only meaningful under \ref
+  /// hasKernelLayout; node ids map via componentOf first.
+  uint32_t kernelPos(uint32_t Block) const {
+    return KernelPos.empty() ? Block : KernelPos[Block];
+  }
+
 private:
   // Forward and reverse CSR: Row has numNodes()+1 offsets into Col.
   std::vector<uint32_t> FwdRow, FwdCol;
   std::vector<uint32_t> RevRow, RevCol;
   bool Acyclic = true;
-  /// Acyclic only: nodes in topological order, and each node's position
-  /// in that order (the sweep's sort key). Both stay EMPTY when node ids
-  /// are already topological (every edge ascends) — the common shape for
-  /// synthesized netlists, whose wires are created in dependency order —
-  /// in which case the identity order is used. With descending edges the
-  /// order is materialized by the repair pass in \ref freeze.
-  std::vector<uint32_t> TopoOrder, TopoPos;
   /// Cyclic only: node -> component, plus nodes grouped by component.
   std::vector<uint32_t> Comp;
   std::vector<uint32_t> CompRow, CompNodes;
   uint32_t NumComps = 0;
+
+  /// Kernel (sweep) layout: a CSR over sweep positions, where position
+  /// p holds condensation block KernelPos^-1(p) and every edge goes to
+  /// a strictly greater position. All three stay EMPTY for the identity
+  /// layout (all-ascending acyclic graphs: node ids are already
+  /// topological, so the forward CSR doubles as the kernel CSR at zero
+  /// cost). Materialized layouts group blocks by dependency level and
+  /// sort each level by descending out-degree — high-fanout rows front
+  /// their level so their lane rows are still cache-hot when their many
+  /// successors OR them in. Intra-block (same-SCC) edges are dropped
+  /// and cross-block parallel edges deduplicated during
+  /// materialization, so cyclic sweeps never touch componentNodes.
+  std::vector<uint32_t> KernelPos;
+  std::vector<uint32_t> KernelRow, KernelCol;
+  bool KernelLayoutOk = true;
+
+  const uint32_t *kernelRowData() const {
+    return KernelRow.empty() ? FwdRow.data() : KernelRow.data();
+  }
+  const uint32_t *kernelColData() const {
+    return KernelRow.empty() ? FwdCol.data() : KernelCol.data();
+  }
 
   friend class ReachabilityKernel;
 };
 
 /// Bit-parallel multi-source reachability over a frozen \ref CsrGraph.
 ///
-/// One \ref sweep computes the forward closure of up to 64 source nodes
-/// simultaneously: afterwards, bit k of \ref mask(n) is set iff
-/// Sources[k] reaches n — with the same convention as
-/// Graph::reachableFrom, so a source always reaches itself. Callers with
-/// more than 64 sources block them into chunks and sweep per chunk.
+/// One \ref sweep computes the forward closure of up to laneCount()
+/// source nodes simultaneously: afterwards, lane k of \p Node's row
+/// (\ref bit, or \ref mask / \ref row for word access) is set iff
+/// Sources[k] reaches \p Node — with the same convention as
+/// Graph::reachableFrom, so a source always reaches itself. Callers
+/// with more sources block them into chunks and sweep per chunk; \ref
+/// laneWordsFor picks the widest sensible row for a source count.
 ///
-/// Scratch (one uint64_t lane word and one visited byte per condensation
-/// block) is allocated once per kernel; each sweep discovers the blocks
-/// reachable from its sources, propagates lane masks over exactly those
-/// in topological order, and sparsely resets them on the next sweep via
-/// a dirty list. The kernel is exact on cyclic graphs: masks live on the
+/// Scratch lives in a \ref Scratch arena — one lane row per
+/// condensation block in a single flat row-major array, a frontier
+/// bitmap, and the dirty/worklist vectors — either owned by the kernel
+/// or borrowed from the caller so repeated kernel constructions (one
+/// per module in Stage-1 inference) reuse one allocation per thread.
+/// Each sweep discovers the blocks reachable from its sources,
+/// propagates lane rows over exactly those in topological (kernel
+/// position) order through the runtime-dispatched simd::sweepOps inner
+/// loops, and sparsely resets them on the next sweep via the dirty
+/// list. The kernel is exact on cyclic graphs: rows live on the
 /// condensation, so every member of an SCC shares its component's
 /// closure.
 class ReachabilityKernel {
 public:
-  /// Sources per sweep — one bit lane per machine-word bit.
+  /// Lanes per row word.
   static constexpr uint32_t WordBits = 64;
+  /// Widest supported row: 8 words = 512 source lanes.
+  static constexpr uint32_t MaxLaneWords = 8;
 
-  /// \p G must outlive the kernel.
-  explicit ReachabilityKernel(const CsrGraph &G)
-      : G(&G), BlockMask(G.numComponents(), 0),
-        Seen(G.numComponents(), 0) {}
+  /// Reusable sweep scratch. Kernel-independent storage: construct one
+  /// per thread and pass it to every kernel that thread builds — each
+  /// kernel re-prepares (and right-sizes) it without shrinking
+  /// capacity, so steady-state Stage-1 inference performs no scratch
+  /// allocation at all. A Scratch may back only one live kernel at a
+  /// time.
+  struct Scratch {
+    Scratch() = default;
+    Scratch(const Scratch &) = delete;
+    Scratch &operator=(const Scratch &) = delete;
 
-  /// Computes the closure of \p Sources[0..Count) (Count <= 64),
-  /// replacing any previous sweep's results. \returns true on
-  /// completion. With an active \p DL the sweep polls it every few
-  /// thousand blocks (plus the kernel.cancel failpoint) and returns
+  private:
+    friend class ReachabilityKernel;
+    /// Lane rows, NumBlocks x LaneWords row-major.
+    std::vector<uint64_t> Mask;
+    /// Discovery bitmap, one bit per block.
+    std::vector<uint64_t> Frontier;
+    /// Blocks touched by the previous sweep: the sparse reset set.
+    std::vector<uint32_t> Dirty;
+    /// Discovery worklist, reused across sweeps.
+    std::vector<uint32_t> Work;
+  };
+
+  /// Self-contained kernel with \p LaneWords-word rows (1, 2, 4 or 8).
+  /// \p G must outlive the kernel and carry a kernel layout.
+  explicit ReachabilityKernel(const CsrGraph &G, uint32_t LaneWords = 1)
+      : ReachabilityKernel(G, OwnScratch, LaneWords) {}
+
+  /// Kernel borrowing \p S (see \ref Scratch). \p G and \p S must
+  /// outlive the kernel.
+  ReachabilityKernel(const CsrGraph &G, Scratch &S, uint32_t LaneWords = 1);
+
+  ReachabilityKernel(const ReachabilityKernel &) = delete;
+  ReachabilityKernel &operator=(const ReachabilityKernel &) = delete;
+
+  /// The widest useful row for sweeping \p SourceCount sources:
+  /// ceil(SourceCount/64) rounded up to {1,2,4,8}, capped by
+  /// simd::maxLaneWords(). More words than sources waste OR bandwidth;
+  /// fewer cost extra sweeps.
+  static uint32_t laneWordsFor(size_t SourceCount);
+
+  uint32_t laneWords() const { return L; }
+  /// Sources per sweep: laneWords() * 64.
+  uint32_t laneCount() const { return L * WordBits; }
+
+  /// Computes the closure of \p Sources[0..Count) (Count <=
+  /// laneCount()), replacing any previous sweep's results. \returns
+  /// true on completion. With an active \p DL the sweep polls it every
+  /// few thousand blocks (plus the kernel.cancel failpoint) and returns
   /// false when it fires — the kernel's scratch stays reusable but the
-  /// current masks are meaningless and must be discarded. A null \p DL
+  /// current rows are meaningless and must be discarded. A null \p DL
   /// (the default, and every pre-deadline caller) never aborts.
   bool sweep(const uint32_t *Sources, uint32_t Count,
              const support::Deadline *DL = nullptr);
 
-  /// Post-sweep: bit k set iff Sources[k] reaches \p Node (inclusive of
-  /// Node == Sources[k]).
-  uint64_t mask(uint32_t Node) const {
-    return BlockMask[G->componentOf(Node)];
+  /// Post-sweep: \p Node's lane row, laneWords() words. Lane k (bit
+  /// k%64 of word k/64) is set iff Sources[k] reaches \p Node
+  /// (inclusive of Node == Sources[k]). The pointer is stable for the
+  /// kernel's lifetime — hoist it out of per-lane decode loops instead
+  /// of re-deriving it per bit test.
+  const uint64_t *row(uint32_t Node) const {
+    return S->Mask.data() + std::size_t(posOf(Node)) * L;
+  }
+
+  /// Post-sweep: lanes 0..63 of \p Node's row. The whole row when
+  /// laneWords() == 1 (the historical single-word interface).
+  uint64_t mask(uint32_t Node) const { return row(Node)[0]; }
+
+  /// Post-sweep: does Sources[Lane] reach \p Node?
+  bool bit(uint32_t Node, uint32_t Lane) const {
+    return (row(Node)[Lane / WordBits] >> (Lane % WordBits)) & 1;
   }
 
 private:
+  uint32_t posOf(uint32_t Node) const {
+    return G->kernelPos(G->componentOf(Node));
+  }
+
   const CsrGraph *G;
-  /// One lane word per condensation block, all-zero between sweeps
-  /// except at Dirty positions.
-  std::vector<uint64_t> BlockMask;
-  /// Discovery marks for the current sweep, reset through Dirty.
-  std::vector<uint8_t> Seen;
-  /// Blocks touched by the previous sweep: the sparse reset set.
-  std::vector<uint32_t> Dirty;
-  /// Discovery worklist, reused across sweeps.
-  std::vector<uint32_t> Work;
+  Scratch *S;
+  uint32_t L;
+  uint32_t NumBlocks;
+  /// Backing store for the self-contained constructor; unused (empty)
+  /// when scratch is borrowed.
+  Scratch OwnScratch;
 };
 
 } // namespace wiresort

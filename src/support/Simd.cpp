@@ -1,0 +1,150 @@
+//===- support/Simd.cpp - Runtime kernel ISA dispatch ---------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Simd.h"
+
+#include "support/SimdSweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+using namespace wiresort;
+using namespace wiresort::simd;
+
+const char *simd::isaName(KernelIsa Isa) {
+  switch (Isa) {
+  case KernelIsa::Scalar:
+    return "scalar";
+  case KernelIsa::Avx2:
+    return "avx2";
+  case KernelIsa::Avx512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+bool simd::isaSupported(KernelIsa Isa) {
+  switch (Isa) {
+  case KernelIsa::Scalar:
+    return true;
+  case KernelIsa::Avx2:
+#if defined(WIRESORT_HAVE_AVX2_SWEEP) &&                                       \
+    (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+  case KernelIsa::Avx512:
+#if defined(WIRESORT_HAVE_AVX512_SWEEP) &&                                     \
+    (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx512f");
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+KernelIsa simd::bestSupportedIsa() {
+  if (isaSupported(KernelIsa::Avx512))
+    return KernelIsa::Avx512;
+  if (isaSupported(KernelIsa::Avx2))
+    return KernelIsa::Avx2;
+  return KernelIsa::Scalar;
+}
+
+namespace {
+
+/// 255 = not yet resolved. Plain relaxed atomics: a racing first call
+/// resolves the same value twice, which is harmless.
+std::atomic<uint8_t> ActiveIsaV{255};
+std::atomic<uint32_t> MaxLaneWordsV{0};
+
+KernelIsa resolveIsaFromEnv() {
+  const char *Env = std::getenv("WIRESORT_KERNEL_ISA");
+  KernelIsa Want = bestSupportedIsa();
+  if (Env != nullptr) {
+    if (std::strcmp(Env, "scalar") == 0)
+      Want = KernelIsa::Scalar;
+    else if (std::strcmp(Env, "avx2") == 0)
+      Want = KernelIsa::Avx2;
+    else if (std::strcmp(Env, "avx512") == 0)
+      Want = KernelIsa::Avx512;
+    // Unknown spellings keep the CPUID default.
+  }
+  // Clamp an over-wide request down to what this host can execute, so a
+  // CI matrix pinning WIRESORT_KERNEL_ISA=avx512 degrades instead of
+  // crashing on an AVX2-only machine.
+  while (Want != KernelIsa::Scalar && !isaSupported(Want))
+    Want = static_cast<KernelIsa>(static_cast<uint8_t>(Want) - 1);
+  return Want;
+}
+
+uint32_t resolveLanesFromEnv() {
+  if (const char *Env = std::getenv("WIRESORT_KERNEL_LANES")) {
+    const long V = std::strtol(Env, nullptr, 10);
+    if (V == 1 || V == 2 || V == 4 || V == 8)
+      return static_cast<uint32_t>(V);
+  }
+  return 8;
+}
+
+} // namespace
+
+KernelIsa simd::activeIsa() {
+  uint8_t V = ActiveIsaV.load(std::memory_order_relaxed);
+  if (V == 255) {
+    V = static_cast<uint8_t>(resolveIsaFromEnv());
+    ActiveIsaV.store(V, std::memory_order_relaxed);
+  }
+  return static_cast<KernelIsa>(V);
+}
+
+bool simd::setActiveIsa(KernelIsa Isa) {
+  if (!isaSupported(Isa))
+    return false;
+  ActiveIsaV.store(static_cast<uint8_t>(Isa), std::memory_order_relaxed);
+  return true;
+}
+
+uint32_t simd::maxLaneWords() {
+  uint32_t V = MaxLaneWordsV.load(std::memory_order_relaxed);
+  if (V == 0) {
+    V = resolveLanesFromEnv();
+    MaxLaneWordsV.store(V, std::memory_order_relaxed);
+  }
+  return V;
+}
+
+bool simd::setMaxLaneWords(uint32_t LaneWords) {
+  if (LaneWords != 1 && LaneWords != 2 && LaneWords != 4 && LaneWords != 8)
+    return false;
+  MaxLaneWordsV.store(LaneWords, std::memory_order_relaxed);
+  return true;
+}
+
+const SweepOps &simd::sweepOpsFor(KernelIsa Isa) {
+  switch (Isa) {
+  case KernelIsa::Avx512:
+#ifdef WIRESORT_HAVE_AVX512_SWEEP
+    if (isaSupported(KernelIsa::Avx512))
+      return avx512SweepOps();
+#endif
+    [[fallthrough]];
+  case KernelIsa::Avx2:
+#ifdef WIRESORT_HAVE_AVX2_SWEEP
+    if (isaSupported(KernelIsa::Avx2))
+      return avx2SweepOps();
+#endif
+    [[fallthrough]];
+  case KernelIsa::Scalar:
+    break;
+  }
+  return scalarSweepOps();
+}
+
+const SweepOps &simd::sweepOps() { return sweepOpsFor(activeIsa()); }

@@ -1,0 +1,74 @@
+//===- support/Simd.h - Runtime kernel ISA dispatch -------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime ISA selection for the reachability kernel's OR-sweep inner
+/// loops (see docs/KERNEL.md).
+///
+/// The sweep loops exist in up to three variants — portable scalar,
+/// AVX2, and AVX-512 — compiled into dedicated translation units with
+/// per-file target flags so the rest of the binary stays baseline-ISA.
+/// The active variant is chosen once, at first use, from CPUID
+/// (\ref bestSupportedIsa) unless overridden by the
+/// `WIRESORT_KERNEL_ISA={scalar,avx2,avx512}` environment variable; an
+/// unsupported override silently clamps down to the best supported ISA
+/// so a pinned CI matrix never crashes on an older host. Tests and
+/// benches switch variants in-process via \ref setActiveIsa.
+///
+/// Lane width is controlled independently: \ref maxLaneWords caps how
+/// many 64-bit lane words a kernel row may carry (1/2/4/8, i.e. up to
+/// 512 sources per sweep), defaulting to 8 and overridable with
+/// `WIRESORT_KERNEL_LANES` or \ref setMaxLaneWords. ISA and lane width
+/// are orthogonal: every ISA variant handles every lane width, so
+/// forcing `scalar` still exercises multi-word rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_SIMD_H
+#define WIRESORT_SUPPORT_SIMD_H
+
+#include <cstdint>
+
+namespace wiresort::simd {
+
+/// The instruction-set variants the sweep loops are compiled for.
+/// Ordering is meaningful: higher enumerators are wider ISAs, and an
+/// unsupported request clamps downward.
+enum class KernelIsa : uint8_t { Scalar = 0, Avx2 = 1, Avx512 = 2 };
+
+/// Stable lowercase name ("scalar", "avx2", "avx512") — the same
+/// spelling `WIRESORT_KERNEL_ISA` accepts and reports/benches print.
+const char *isaName(KernelIsa Isa);
+
+/// True iff \p Isa's sweep variant was both compiled in and is
+/// executable on this CPU. Scalar is always supported.
+bool isaSupported(KernelIsa Isa);
+
+/// The widest supported ISA on this host (CPUID-probed once).
+KernelIsa bestSupportedIsa();
+
+/// The ISA the kernel dispatches to. Resolved once on first call:
+/// `WIRESORT_KERNEL_ISA` if set (clamped to supported), else
+/// \ref bestSupportedIsa. Thread-safe.
+KernelIsa activeIsa();
+
+/// Test/bench hook: force the active ISA in-process. \returns false
+/// (and changes nothing) if \p Isa is not supported on this host.
+bool setActiveIsa(KernelIsa Isa);
+
+/// Upper bound on lane words per kernel row (1, 2, 4, or 8). Resolved
+/// once on first call from `WIRESORT_KERNEL_LANES` (invalid values are
+/// ignored), defaulting to 8.
+uint32_t maxLaneWords();
+
+/// Test/bench hook: cap lane words in-process. Values other than
+/// 1/2/4/8 are rejected. \returns false if rejected.
+bool setMaxLaneWords(uint32_t LaneWords);
+
+} // namespace wiresort::simd
+
+#endif // WIRESORT_SUPPORT_SIMD_H

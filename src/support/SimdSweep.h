@@ -1,0 +1,100 @@
+//===- support/SimdSweep.h - Per-ISA OR-sweep entry points ------*- C++ -*-===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The function-pointer boundary between \ref ReachabilityKernel and
+/// its per-ISA OR-sweep inner loops.
+///
+/// Dispatch granularity is a whole propagation phase, not an edge: the
+/// kernel resolves one \ref SweepOps table per sweep (via \ref
+/// sweepOps) and the chosen variant then runs the entire dense or
+/// sparse pass with no further indirect calls, so the indirect-call
+/// cost is amortized over the whole frontier. Each variant lives in its
+/// own translation unit (SimdSweepScalar.cpp / SimdSweepAvx2.cpp /
+/// SimdSweepAvx512.cpp) compiled with per-file target flags, all three
+/// including SimdSweepImpl.h under a distinct namespace — the simdjson
+/// pattern — so the binary carries every variant and picks at runtime.
+///
+/// The arguments describe the kernel-space view of a sweep (see
+/// docs/KERNEL.md): a blocked CSR whose positions are already
+/// topological (every edge goes from a lower position to a higher one),
+/// a flat row-major lane-mask arena, and the discovery footprint as
+/// both a bitmap (dense phase) and a sorted position list (sparse
+/// phase). Implementations must preserve the kernel's cancellation
+/// contract: call \ref SweepArgs::Poll every \ref SweepArgs::PollGrain
+/// processed blocks and abandon the pass (returning false) when it
+/// answers true.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_SIMDSWEEP_H
+#define WIRESORT_SUPPORT_SIMDSWEEP_H
+
+#include "support/Simd.h"
+
+#include <cstdint>
+
+namespace wiresort::simd {
+
+/// One propagation pass, described in kernel position space.
+struct SweepArgs {
+  /// Blocked CSR: Row has NumBlocks+1 offsets into Col; row P lists the
+  /// successor positions of position P, all strictly greater than P.
+  const uint32_t *Row;
+  const uint32_t *Col;
+  /// Lane-mask arena: NumBlocks rows of LaneWords uint64_t each,
+  /// row-major. Position P's row starts at Mask[P * LaneWords].
+  uint64_t *Mask;
+  /// Discovery bitmap, (NumBlocks+63)/64 words: bit P set iff position
+  /// P was discovered. Read by the dense pass.
+  const uint64_t *Frontier;
+  /// Discovered positions sorted ascending (= topologically). Read by
+  /// the sparse pass.
+  const uint32_t *Dirty;
+  uint32_t DirtyCount;
+  uint32_t NumBlocks;
+  /// Lane words per row: 1, 2, 4, or 8.
+  uint32_t LaneWords;
+  /// Cancellation poll; may be null. Called with \ref PollCtx every
+  /// \ref PollGrain processed blocks; true means abort the pass.
+  bool (*Poll)(void *Ctx);
+  void *PollCtx;
+
+  /// How many blocks a variant may process between Poll calls — the
+  /// kernel's deadline granularity (docs/ROBUSTNESS.md).
+  static constexpr uint32_t PollGrain = 4096;
+};
+
+/// One ISA variant's entry points. Both return false iff aborted by
+/// Poll (masks are then meaningless; scratch stays reusable).
+struct SweepOps {
+  bool (*Dense)(const SweepArgs &Args);
+  bool (*Sparse)(const SweepArgs &Args);
+  /// \ref isaName of the variant, for reports.
+  const char *Name;
+};
+
+/// The variant for \ref activeIsa().
+const SweepOps &sweepOps();
+
+/// The variant for a specific ISA; clamps down (avx512 -> avx2 ->
+/// scalar) if \p Isa was not compiled in or is not executable here.
+const SweepOps &sweepOpsFor(KernelIsa Isa);
+
+/// Per-TU tables. scalarSweepOps always exists; the vector tables are
+/// compiled only when the toolchain accepts the target flags (CMake
+/// defines WIRESORT_HAVE_{AVX2,AVX512}_SWEEP accordingly).
+const SweepOps &scalarSweepOps();
+#ifdef WIRESORT_HAVE_AVX2_SWEEP
+const SweepOps &avx2SweepOps();
+#endif
+#ifdef WIRESORT_HAVE_AVX512_SWEEP
+const SweepOps &avx512SweepOps();
+#endif
+
+} // namespace wiresort::simd
+
+#endif // WIRESORT_SUPPORT_SIMDSWEEP_H

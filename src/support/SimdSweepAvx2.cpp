@@ -1,0 +1,20 @@
+//===- support/SimdSweepAvx2.cpp - AVX2 OR-sweep variant ------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+//
+// AVX2 instantiation of the sweep loops. This file is compiled with
+// -mavx2 (per-file, set in src/support/CMakeLists.txt) and only when
+// the toolchain accepts that flag; nothing outside this TU may call
+// into it without a CPUID check — simd::sweepOpsFor guarantees that.
+//
+//===----------------------------------------------------------------------===//
+
+#define WS_SIMD_NAMESPACE avx2_impl
+#define WS_SIMD_ISA_NAME "avx2"
+#include "support/SimdSweepImpl.h"
+
+const wiresort::simd::SweepOps &wiresort::simd::avx2SweepOps() {
+  return avx2_impl::Ops;
+}

@@ -1,0 +1,20 @@
+//===- support/SimdSweepAvx512.cpp - AVX-512 OR-sweep variant -------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+//
+// AVX-512F instantiation of the sweep loops (an 8-word lane row is one
+// zmm register). Compiled with -mavx512f per-file and only when the
+// toolchain accepts that flag; reached only through simd::sweepOpsFor's
+// CPUID gate.
+//
+//===----------------------------------------------------------------------===//
+
+#define WS_SIMD_NAMESPACE avx512_impl
+#define WS_SIMD_ISA_NAME "avx512"
+#include "support/SimdSweepImpl.h"
+
+const wiresort::simd::SweepOps &wiresort::simd::avx512SweepOps() {
+  return avx512_impl::Ops;
+}

@@ -1,0 +1,164 @@
+//===- support/SimdSweepImpl.h - Shared OR-sweep loop bodies ----*- C++ -*-===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The one definition of the dense and sparse OR-sweep loops, included
+// by each per-ISA translation unit under its own namespace:
+//
+//   #define WS_SIMD_NAMESPACE avx2
+//   #define WS_SIMD_ISA_NAME "avx2"
+//   #include "support/SimdSweepImpl.h"
+//
+// The including TU is compiled with that ISA's target flags, so the
+// compiler's __AVX2__/__AVX512F__ predefines select the widest OR-store
+// the flags allow — the same source specializes differently per TU, and
+// the distinct namespaces keep the three instantiations ODR-separate.
+// No header guard: this file is designed to be included once per TU,
+// and never by anything except the SimdSweep*.cpp variants.
+//
+//===----------------------------------------------------------------------===//
+
+#if !defined(WS_SIMD_NAMESPACE) || !defined(WS_SIMD_ISA_NAME)
+#error "SimdSweepImpl.h must be included with WS_SIMD_NAMESPACE/WS_SIMD_ISA_NAME defined"
+#endif
+
+#include "support/SimdSweep.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace wiresort::simd {
+namespace WS_SIMD_NAMESPACE {
+namespace {
+
+/// OR position P's lane row into each of its successors' rows. The
+/// source row is loaded into registers once; kernel CSR guarantees
+/// every successor position is strictly greater than P, so the source
+/// row is never one of the destinations and the loads can be hoisted.
+template <unsigned L>
+inline void propagateBlock(uint64_t *Mask, const uint32_t *Row,
+                           const uint32_t *Col, uint32_t P) {
+  const uint64_t *Src = Mask + std::size_t(P) * L;
+  const uint32_t Begin = Row[P], End = Row[P + 1];
+  if (Begin == End)
+    return;
+#if defined(__AVX512F__)
+  if constexpr (L == 8) {
+    const __m512i S = _mm512_loadu_si512(static_cast<const void *>(Src));
+    for (uint32_t Idx = Begin; Idx != End; ++Idx) {
+      uint64_t *D = Mask + std::size_t(Col[Idx]) * L;
+      _mm512_storeu_si512(
+          static_cast<void *>(D),
+          _mm512_or_si512(_mm512_loadu_si512(static_cast<const void *>(D)),
+                          S));
+    }
+    return;
+  }
+#endif
+#if defined(__AVX2__)
+  if constexpr (L >= 4) {
+    const __m256i S0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src));
+    __m256i S1{};
+    if constexpr (L == 8)
+      S1 = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + 4));
+    for (uint32_t Idx = Begin; Idx != End; ++Idx) {
+      uint64_t *D = Mask + std::size_t(Col[Idx]) * L;
+      __m256i *D0 = reinterpret_cast<__m256i *>(D);
+      _mm256_storeu_si256(D0, _mm256_or_si256(_mm256_loadu_si256(D0), S0));
+      if constexpr (L == 8) {
+        __m256i *D1 = reinterpret_cast<__m256i *>(D + 4);
+        _mm256_storeu_si256(D1, _mm256_or_si256(_mm256_loadu_si256(D1), S1));
+      }
+    }
+    return;
+  }
+#endif
+  uint64_t S[L];
+  for (unsigned I = 0; I != L; ++I)
+    S[I] = Src[I];
+  for (uint32_t Idx = Begin; Idx != End; ++Idx) {
+    uint64_t *D = Mask + std::size_t(Col[Idx]) * L;
+    for (unsigned I = 0; I != L; ++I)
+      D[I] |= S[I];
+  }
+}
+
+/// Dense pass: walk the frontier bitmap word by word, peeling set bits
+/// with countr_zero. Bitmap order IS topological order (kernel
+/// positions ascend topologically), so one pass settles the closure.
+template <unsigned L> bool denseSweep(const SweepArgs &A) {
+  uint32_t Budget = SweepArgs::PollGrain;
+  const uint32_t NumWords = (A.NumBlocks + 63) / 64;
+  for (uint32_t W = 0; W != NumWords; ++W) {
+    uint64_t Bits = A.Frontier[W];
+    while (Bits != 0) {
+      const uint32_t P = W * 64 + static_cast<uint32_t>(std::countr_zero(Bits));
+      Bits &= Bits - 1;
+      if (A.Poll && --Budget == 0) {
+        Budget = SweepArgs::PollGrain;
+        if (A.Poll(A.PollCtx))
+          return false;
+      }
+      propagateBlock<L>(A.Mask, A.Row, A.Col, P);
+    }
+  }
+  return true;
+}
+
+/// Sparse pass: the discovered positions, pre-sorted ascending (=
+/// topologically) by the kernel.
+template <unsigned L> bool sparseSweep(const SweepArgs &A) {
+  uint32_t Budget = SweepArgs::PollGrain;
+  for (uint32_t At = 0; At != A.DirtyCount; ++At) {
+    if (A.Poll && --Budget == 0) {
+      Budget = SweepArgs::PollGrain;
+      if (A.Poll(A.PollCtx))
+        return false;
+    }
+    propagateBlock<L>(A.Mask, A.Row, A.Col, A.Dirty[At]);
+  }
+  return true;
+}
+
+bool dense(const SweepArgs &A) {
+  switch (A.LaneWords) {
+  case 1:
+    return denseSweep<1>(A);
+  case 2:
+    return denseSweep<2>(A);
+  case 4:
+    return denseSweep<4>(A);
+  default:
+    return denseSweep<8>(A);
+  }
+}
+
+bool sparse(const SweepArgs &A) {
+  switch (A.LaneWords) {
+  case 1:
+    return sparseSweep<1>(A);
+  case 2:
+    return sparseSweep<2>(A);
+  case 4:
+    return sparseSweep<4>(A);
+  default:
+    return sparseSweep<8>(A);
+  }
+}
+
+const SweepOps Ops = {&dense, &sparse, WS_SIMD_ISA_NAME};
+
+} // namespace
+} // namespace WS_SIMD_NAMESPACE
+} // namespace wiresort::simd
+
+#undef WS_SIMD_NAMESPACE
+#undef WS_SIMD_ISA_NAME

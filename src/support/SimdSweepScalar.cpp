@@ -1,0 +1,19 @@
+//===- support/SimdSweepScalar.cpp - Portable OR-sweep variant ------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Baseline-ISA instantiation of the sweep loops: compiled with the
+// project's default flags, so the unrolled scalar OR path is the widest
+// this TU ever emits. Always present; the dispatch fallback.
+//
+//===----------------------------------------------------------------------===//
+
+#define WS_SIMD_NAMESPACE scalar_impl
+#define WS_SIMD_ISA_NAME "scalar"
+#include "support/SimdSweepImpl.h"
+
+const wiresort::simd::SweepOps &wiresort::simd::scalarSweepOps() {
+  return scalar_impl::Ops;
+}

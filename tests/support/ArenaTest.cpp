@@ -1,0 +1,125 @@
+//===- tests/support/ArenaTest.cpp - Bump arena + interner tests ----------===//
+//
+// Part of the wiresort project. Pins the support/Arena.h contract the
+// arena-backed IR construction paths rely on: bump allocation with
+// alignment, NUL-terminated copyString views that stay stable across
+// chunk growth, reset() recycling, and StringInterner deduplication.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace wiresort::support;
+
+TEST(ArenaTest, AllocateRespectsAlignment) {
+  Arena A;
+  // Deliberately misalign the cursor with a 1-byte allocation first.
+  A.allocate(1, 1);
+  for (size_t Align : {1u, 2u, 8u, 64u, 256u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u) << "align " << Align;
+  }
+  EXPECT_GE(A.bytesUsed(), 1u + 5 * 3);
+  EXPECT_GE(A.bytesReserved(), A.bytesUsed());
+}
+
+TEST(ArenaTest, AllocateArrayIsTypedAndWritable) {
+  Arena A;
+  uint64_t *Words = A.allocateArray<uint64_t>(1000);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Words) % alignof(uint64_t), 0u);
+  for (size_t I = 0; I != 1000; ++I)
+    Words[I] = I * I;
+  for (size_t I = 0; I != 1000; ++I)
+    EXPECT_EQ(Words[I], I * I);
+}
+
+TEST(ArenaTest, CopyStringIsNulTerminatedAndStableAcrossGrowth) {
+  Arena A;
+  std::string_view First = A.copyString("rx.data_i");
+  EXPECT_EQ(First, "rx.data_i");
+  EXPECT_EQ(First.data()[First.size()], '\0'); // usable as a C string
+  // Force many chunk retirements; the early view must not move.
+  const char *FirstData = First.data();
+  std::vector<std::string_view> Views;
+  for (int I = 0; I != 5000; ++I)
+    Views.push_back(A.copyString(std::string(100, 'a' + I % 26)));
+  EXPECT_EQ(First.data(), FirstData);
+  EXPECT_EQ(First, "rx.data_i");
+  for (int I = 0; I != 5000; ++I)
+    EXPECT_EQ(Views[I], std::string(100, 'a' + I % 26)) << I;
+  EXPECT_GT(A.bytesReserved(), Arena::MinChunkBytes);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena A;
+  // Larger than MaxChunkBytes: must still succeed, in one piece.
+  const size_t Big = Arena::MaxChunkBytes + 4096;
+  char *P = A.allocateArray<char>(Big);
+  std::memset(P, 0x5a, Big);
+  EXPECT_EQ(P[0], 0x5a);
+  EXPECT_EQ(P[Big - 1], 0x5a);
+  // The bump cursor still works for small follow-ups.
+  std::string_view After = A.copyString("after");
+  EXPECT_EQ(After, "after");
+}
+
+TEST(ArenaTest, ResetRecyclesFirstChunk) {
+  Arena A;
+  A.copyString("warm");
+  const size_t ReservedWarm = A.bytesReserved();
+  for (int I = 0; I != 3000; ++I)
+    A.copyString(std::string(200, 'x'));
+  EXPECT_GT(A.bytesReserved(), ReservedWarm);
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  EXPECT_EQ(A.bytesReserved(), ReservedWarm); // back to one chunk
+  // Allocation works again from the recycled chunk.
+  EXPECT_EQ(A.copyString("again"), "again");
+  EXPECT_EQ(A.bytesUsed(), 6u); // five chars + NUL
+}
+
+TEST(StringInternerTest, InternDeduplicatesToOneStableView) {
+  Arena A;
+  StringInterner Names(A);
+  std::string_view V1 = Names.intern("data_o");
+  std::string_view V2 = Names.intern(std::string("data_") + "o");
+  EXPECT_EQ(V1, "data_o");
+  EXPECT_EQ(V1.data(), V2.data()); // same arena bytes, not just equal
+  EXPECT_EQ(Names.size(), 1u);
+  std::string_view Other = Names.intern("ready_o");
+  EXPECT_NE(Other.data(), V1.data());
+  EXPECT_EQ(Names.size(), 2u);
+  const size_t UsedAfterTwo = A.bytesUsed();
+  for (int I = 0; I != 1000; ++I)
+    Names.intern("data_o"); // repeats must not copy again
+  EXPECT_EQ(A.bytesUsed(), UsedAfterTwo);
+}
+
+TEST(StringInternerTest, ViewsStableAcrossManyInterns) {
+  Arena A;
+  StringInterner Names(A);
+  std::string_view Early = Names.intern("v_i");
+  const char *EarlyData = Early.data();
+  for (int I = 0; I != 20000; ++I)
+    Names.intern("port$" + std::to_string(I));
+  EXPECT_EQ(Names.intern("v_i").data(), EarlyData);
+  EXPECT_EQ(Names.size(), 20001u);
+}
+
+TEST(StringInternerTest, ClearForgetsWithArenaReset) {
+  Arena A;
+  StringInterner Names(A);
+  Names.intern("yumi_i");
+  Names.clear();
+  A.reset();
+  EXPECT_EQ(Names.size(), 0u);
+  // Reuse after the paired clear+reset is clean.
+  EXPECT_EQ(Names.intern("yumi_i"), "yumi_i");
+  EXPECT_EQ(Names.size(), 1u);
+}

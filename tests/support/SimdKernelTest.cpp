@@ -1,0 +1,292 @@
+//===- tests/support/SimdKernelTest.cpp - Cross-ISA kernel differential ---===//
+//
+// Part of the wiresort project. The reachability kernel's OR-sweep inner
+// loops exist in up to three ISA variants (scalar / AVX2 / AVX-512,
+// runtime-dispatched via support/Simd.h); this suite pins every variant
+// available on the host to the exact same bitsets. 200 seeded graphs are
+// swept under each ISA and compared word for word against the scalar
+// reference, the wide-lane decode is anchored to the per-source BFS
+// oracle, and the lane-chunking boundaries around 1/2/8-word rows
+// (63/64/65/127/128/129/511/512/513 sources) are exercised explicitly.
+//
+// tools/run_tests.sh reruns this binary with WIRESORT_KERNEL_ISA=scalar
+// forced and again under sanitizers, so keep it self-contained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CsrGraph.h"
+#include "support/Simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+using namespace wiresort;
+
+namespace {
+
+/// Restores the process-wide ISA/lane overrides on scope exit so a
+/// failing assertion cannot leak a forced ISA into later tests.
+struct DispatchGuard {
+  simd::KernelIsa SavedIsa = simd::activeIsa();
+  uint32_t SavedLanes = simd::maxLaneWords();
+  ~DispatchGuard() {
+    simd::setActiveIsa(SavedIsa);
+    simd::setMaxLaneWords(SavedLanes);
+  }
+};
+
+std::vector<simd::KernelIsa> availableIsas() {
+  std::vector<simd::KernelIsa> Isas;
+  for (simd::KernelIsa Isa : {simd::KernelIsa::Scalar, simd::KernelIsa::Avx2,
+                              simd::KernelIsa::Avx512})
+    if (simd::isaSupported(Isa))
+      Isas.push_back(Isa);
+  return Isas;
+}
+
+/// Sweeps \p Sources in laneCount()-sized chunks under the currently
+/// active ISA and flattens every node's row from every chunk into one
+/// vector — a canonical form two ISA runs can be compared on verbatim.
+std::vector<uint64_t> sweepBitset(const CsrGraph &Csr,
+                                  const std::vector<uint32_t> &Sources,
+                                  uint32_t LaneWords) {
+  ReachabilityKernel Kernel(Csr, LaneWords);
+  std::vector<uint64_t> Out;
+  for (size_t Base = 0; Base < Sources.size(); Base += Kernel.laneCount()) {
+    const uint32_t Count = static_cast<uint32_t>(
+        std::min<size_t>(Kernel.laneCount(), Sources.size() - Base));
+    EXPECT_TRUE(Kernel.sweep(Sources.data() + Base, Count));
+    for (uint32_t Node = 0; Node != Csr.numNodes(); ++Node) {
+      const uint64_t *Row = Kernel.row(Node);
+      Out.insert(Out.end(), Row, Row + Kernel.laneWords());
+    }
+  }
+  return Out;
+}
+
+Graph randomGraph(std::mt19937 &Rng, bool Dag) {
+  std::uniform_int_distribution<uint32_t> NodeCount(1, 120);
+  const uint32_t N = NodeCount(Rng);
+  Graph G(N);
+  std::uniform_int_distribution<uint32_t> Node(0, N - 1);
+  std::uniform_int_distribution<uint32_t> EdgeCount(0, 3 * N);
+  std::vector<uint32_t> Pos(N);
+  std::iota(Pos.begin(), Pos.end(), 0);
+  std::shuffle(Pos.begin(), Pos.end(), Rng);
+  for (uint32_t I = 0, E = EdgeCount(Rng); I != E; ++I) {
+    uint32_t From = Node(Rng), To = Node(Rng);
+    if (Dag) {
+      if (Pos[From] == Pos[To])
+        continue;
+      if (Pos[From] > Pos[To])
+        std::swap(From, To);
+    }
+    G.addEdge(From, To);
+  }
+  return G;
+}
+
+std::vector<uint32_t> allNodes(const Graph &G) {
+  std::vector<uint32_t> Nodes(G.numNodes());
+  std::iota(Nodes.begin(), Nodes.end(), 0);
+  return Nodes;
+}
+
+} // namespace
+
+TEST(SimdKernelTest, DispatchReportsScalarAlwaysSupported) {
+  EXPECT_TRUE(simd::isaSupported(simd::KernelIsa::Scalar));
+  // The best ISA is itself supported and at least as wide as scalar.
+  EXPECT_TRUE(simd::isaSupported(simd::bestSupportedIsa()));
+  EXPECT_GE(static_cast<int>(simd::bestSupportedIsa()),
+            static_cast<int>(simd::KernelIsa::Scalar));
+  // Names are the stable spellings WIRESORT_KERNEL_ISA accepts.
+  EXPECT_STREQ(simd::isaName(simd::KernelIsa::Scalar), "scalar");
+  EXPECT_STREQ(simd::isaName(simd::KernelIsa::Avx2), "avx2");
+  EXPECT_STREQ(simd::isaName(simd::KernelIsa::Avx512), "avx512");
+}
+
+TEST(SimdKernelTest, SetActiveIsaRejectsUnsupportedAndRoundTrips) {
+  DispatchGuard Guard;
+  for (simd::KernelIsa Isa : availableIsas()) {
+    ASSERT_TRUE(simd::setActiveIsa(Isa));
+    EXPECT_EQ(simd::activeIsa(), Isa);
+  }
+  if (!simd::isaSupported(simd::KernelIsa::Avx512)) {
+    simd::KernelIsa Before = simd::activeIsa();
+    EXPECT_FALSE(simd::setActiveIsa(simd::KernelIsa::Avx512));
+    EXPECT_EQ(simd::activeIsa(), Before);
+  }
+}
+
+TEST(SimdKernelTest, SetMaxLaneWordsRejectsNonPowerRows) {
+  DispatchGuard Guard;
+  for (uint32_t Bad : {0u, 3u, 5u, 6u, 7u, 9u, 16u})
+    EXPECT_FALSE(simd::setMaxLaneWords(Bad));
+  for (uint32_t Good : {1u, 2u, 4u, 8u}) {
+    ASSERT_TRUE(simd::setMaxLaneWords(Good));
+    EXPECT_EQ(simd::maxLaneWords(), Good);
+  }
+}
+
+TEST(SimdKernelTest, LaneWordsForRespectsCap) {
+  DispatchGuard Guard;
+  ASSERT_TRUE(simd::setMaxLaneWords(8));
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(1), 1u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(64), 1u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(65), 2u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(128), 2u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(129), 4u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(256), 4u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(257), 8u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(512), 8u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(100000), 8u);
+  ASSERT_TRUE(simd::setMaxLaneWords(2));
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(513), 2u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(65), 2u);
+  EXPECT_EQ(ReachabilityKernel::laneWordsFor(64), 1u);
+}
+
+TEST(SimdKernelTest, CrossIsaIdenticalBitsets) {
+  // 200 seeded graphs (alternating DAG / cyclic), each swept with the
+  // widest row its node count warrants under every available ISA. Every
+  // variant must produce the scalar bitset bit for bit — the acceptance
+  // gate that lets bench_kernel trust the vectorized loops.
+  DispatchGuard Guard;
+  const std::vector<simd::KernelIsa> Isas = availableIsas();
+  std::mt19937 Rng(7001);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Graph G = randomGraph(Rng, Trial % 2 == 0);
+    const CsrGraph Csr = CsrGraph::freeze(G);
+    const std::vector<uint32_t> Sources = allNodes(G);
+    const uint32_t LaneWords = ReachabilityKernel::laneWordsFor(Sources.size());
+
+    ASSERT_TRUE(simd::setActiveIsa(simd::KernelIsa::Scalar));
+    const std::vector<uint64_t> Reference =
+        sweepBitset(Csr, Sources, LaneWords);
+    for (simd::KernelIsa Isa : Isas) {
+      if (Isa == simd::KernelIsa::Scalar)
+        continue;
+      ASSERT_TRUE(simd::setActiveIsa(Isa));
+      EXPECT_EQ(sweepBitset(Csr, Sources, LaneWords), Reference)
+          << "trial " << Trial << " isa " << simd::isaName(Isa);
+    }
+  }
+}
+
+TEST(SimdKernelTest, WideLanesMatchPerSourceBfs) {
+  // Anchor the multi-word decode itself (not just cross-ISA identity):
+  // with >64 sources in one sweep, bit(Node, Lane) must equal the BFS
+  // oracle for every (source, node) pair, under every available ISA.
+  DispatchGuard Guard;
+  std::mt19937 Rng(7002);
+  for (int Trial = 0; Trial != 8; ++Trial) {
+    Graph G(100);
+    std::uniform_int_distribution<uint32_t> Node(0, 99);
+    for (int E = 0; E != 250; ++E)
+      G.addEdge(Node(Rng), Node(Rng));
+    const CsrGraph Csr = CsrGraph::freeze(G);
+    const std::vector<uint32_t> Sources = allNodes(G);
+    const uint32_t LaneWords = ReachabilityKernel::laneWordsFor(Sources.size());
+    ASSERT_GT(LaneWords, 1u);
+    for (simd::KernelIsa Isa : availableIsas()) {
+      ASSERT_TRUE(simd::setActiveIsa(Isa));
+      ReachabilityKernel Kernel(Csr, LaneWords);
+      ASSERT_GE(Kernel.laneCount(), Sources.size());
+      ASSERT_TRUE(Kernel.sweep(Sources.data(),
+                               static_cast<uint32_t>(Sources.size())));
+      for (uint32_t Lane = 0; Lane != Sources.size(); ++Lane) {
+        const std::vector<bool> Oracle = G.reachableFrom(Sources[Lane]);
+        for (uint32_t N = 0; N != G.numNodes(); ++N)
+          EXPECT_EQ(Kernel.bit(N, Lane), Oracle[N])
+              << "isa " << simd::isaName(Isa) << " lane " << Lane << " node "
+              << N;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ChunkBoundarySourceCountsAllIsas) {
+  // Source counts straddling every row-width boundary: 63/64/65 (one
+  // word), 127/128/129 (two words -> four), and 511/512/513 (the
+  // 8-word, 512-lane ceiling — 513 forces a second chunked sweep).
+  // Layered fan graphs give every source a distinct closure so lane
+  // mix-ups cannot cancel. Scalar is BFS-anchored; wider ISAs must be
+  // bitset-identical to scalar.
+  DispatchGuard Guard;
+  for (uint32_t NumSources :
+       {63u, 64u, 65u, 127u, 128u, 129u, 511u, 512u, 513u}) {
+    const uint32_t N = NumSources + 40;
+    Graph G(N);
+    std::mt19937 Rng(NumSources);
+    std::uniform_int_distribution<uint32_t> Sink(NumSources, N - 1);
+    for (uint32_t S = 0; S != NumSources; ++S) {
+      G.addEdge(S, Sink(Rng));
+      G.addEdge(S, Sink(Rng));
+    }
+    for (uint32_t Node = NumSources; Node + 1 != N; ++Node)
+      if (Rng() % 2)
+        G.addEdge(Node, Node + 1);
+    const CsrGraph Csr = CsrGraph::freeze(G);
+    std::vector<uint32_t> Sources(NumSources);
+    std::iota(Sources.begin(), Sources.end(), 0);
+    const uint32_t LaneWords = ReachabilityKernel::laneWordsFor(NumSources);
+
+    ASSERT_TRUE(simd::setActiveIsa(simd::KernelIsa::Scalar));
+    const std::vector<uint64_t> Reference =
+        sweepBitset(Csr, Sources, LaneWords);
+
+    // BFS-anchor a sample of lanes in the scalar reference: first, last,
+    // and the word-boundary lanes of the final sweep.
+    {
+      ReachabilityKernel Kernel(Csr, LaneWords);
+      const uint32_t LastBase =
+          (NumSources - 1) / Kernel.laneCount() * Kernel.laneCount();
+      const uint32_t Count = NumSources - LastBase;
+      ASSERT_TRUE(Kernel.sweep(Sources.data() + LastBase, Count));
+      for (uint32_t Lane : {0u, Count / 2, Count - 1}) {
+        const std::vector<bool> Oracle =
+            G.reachableFrom(Sources[LastBase + Lane]);
+        for (uint32_t Node = 0; Node != N; ++Node)
+          EXPECT_EQ(Kernel.bit(Node, Lane), Oracle[Node])
+              << NumSources << " sources, lane " << Lane << " node " << Node;
+      }
+    }
+
+    for (simd::KernelIsa Isa : availableIsas()) {
+      ASSERT_TRUE(simd::setActiveIsa(Isa));
+      EXPECT_EQ(sweepBitset(Csr, Sources, LaneWords), Reference)
+          << NumSources << " sources under " << simd::isaName(Isa);
+    }
+  }
+}
+
+TEST(SimdKernelTest, NarrowRowsUnderEveryIsa) {
+  // L in {1,2,4,8} crossed with every ISA on one fixed graph: the
+  // dispatch switch in the sweep variants has a case per row width, and
+  // each must agree with the others about lanes they share.
+  DispatchGuard Guard;
+  std::mt19937 Rng(7003);
+  Graph G = randomGraph(Rng, false);
+  const CsrGraph Csr = CsrGraph::freeze(G);
+  const std::vector<uint32_t> Sources = allNodes(G);
+  const size_t Lanes = std::min<size_t>(Sources.size(), 64);
+
+  ASSERT_TRUE(simd::setActiveIsa(simd::KernelIsa::Scalar));
+  ReachabilityKernel Ref(Csr, 1);
+  ASSERT_TRUE(Ref.sweep(Sources.data(), static_cast<uint32_t>(Lanes)));
+  for (uint32_t LaneWords : {1u, 2u, 4u, 8u})
+    for (simd::KernelIsa Isa : availableIsas()) {
+      ASSERT_TRUE(simd::setActiveIsa(Isa));
+      ReachabilityKernel Kernel(Csr, LaneWords);
+      ASSERT_TRUE(Kernel.sweep(Sources.data(), static_cast<uint32_t>(Lanes)));
+      for (uint32_t Node = 0; Node != G.numNodes(); ++Node)
+        EXPECT_EQ(Kernel.mask(Node), Ref.mask(Node))
+            << "L=" << LaneWords << " isa " << simd::isaName(Isa) << " node "
+            << Node;
+    }
+}

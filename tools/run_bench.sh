@@ -1,15 +1,21 @@
 #!/bin/sh
-# Refreshes the committed benchmark reports (docs/SCALE.md). Runs the
-# scalability sweep — gate-count/input-width curves, pairwise vs SCC,
-# and the mega-scale presets through serial, 4-shard-thread, and
-# 4-shard-fork Stage 1 plus SCC vs sharded Stage 3 — and writes its
-# --json report over BENCH_scalability.json at the repo root. Every
-# timing in the report is gated on a results-identical check against
-# the serial reference, so a committed report is also a passed
-# equivalence run.
+# Refreshes the committed benchmark reports (docs/SCALE.md). Runs:
+#
+#  * bench_scalability — gate-count/input-width curves, pairwise vs SCC,
+#    and the mega-scale presets through serial, 4-shard-thread, and
+#    4-shard-fork Stage 1 plus SCC vs sharded Stage 3 — written over
+#    BENCH_scalability.json at the repo root;
+#  * bench_kernel — serial-vs-kernel Stage-1 rows with per-phase
+#    (freeze/frontier/sweep) attribution, plus the MegaScale flat-graph
+#    512-source closure under every available sweep ISA against the
+#    scalar 1-lane-word baseline — written over BENCH_kernel.json.
+#
+# Every timing in both reports is gated on a results-identical check
+# (serial reference / scalar-baseline bitset), so a committed report is
+# also a passed equivalence run.
 #
 # Usage: tools/run_bench.sh [--quick]
-#   --quick  CI-sized sweep (small presets only); the committed report
+#   --quick  CI-sized sweep (small presets only); the committed reports
 #            should come from a full run on a quiet machine.
 set -eu
 
@@ -28,8 +34,13 @@ for Arg in "$@"; do
 done
 
 [ -f "$BUILD/CMakeCache.txt" ] || cmake -B "$BUILD" -S "$ROOT"
-cmake --build "$BUILD" -j "$(nproc)" --target bench_scalability
+cmake --build "$BUILD" -j "$(nproc)" --target bench_scalability \
+  --target bench_kernel
 
 # shellcheck disable=SC2086 # QUICK is intentionally word-split.
 "$BUILD/bench/bench_scalability" $QUICK --json "$ROOT/BENCH_scalability.json"
 echo "wrote $ROOT/BENCH_scalability.json"
+
+# shellcheck disable=SC2086
+"$BUILD/bench/bench_kernel" $QUICK --json "$ROOT/BENCH_kernel.json"
+echo "wrote $ROOT/BENCH_kernel.json"
