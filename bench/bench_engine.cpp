@@ -25,6 +25,7 @@
 #include "bench/BenchUtil.h"
 
 #include "analysis/SummaryEngine.h"
+#include "analysis/SummaryIO.h"
 #include "gen/Catalog.h"
 #include "gen/Fifo.h"
 #include "gen/Opdb.h"
@@ -224,6 +225,118 @@ int main(int ArgC, char **ArgV) {
                 S.CacheHits, S.Modules);
   }
 
+  // --- Cold cache-load: legacy text sidecar vs wire format --------------
+  // Every warm start begins by deserializing the summary store
+  // (docs/FORMATS.md). The wire format exists to make that cheap:
+  // measured here as best-of-N decodes of the same summaries in both
+  // encodings, each rep gated on reconstructing structurallyEqual
+  // summaries (a faster-but-wrong load may not report a number), plus
+  // the full loadCache path on a v3 cache file.
+  double TextLoadS = 0.0, BinaryLoadS = 0.0, CacheLoadS = 0.0;
+  uint64_t TextBytes = 0, BinaryBytes = 0;
+  size_t LoadModules = 0;
+  {
+    Design D;
+    for (uint16_t DepthLog2 : {6, 8, 10, 12}) {
+      if (Quick && DepthLog2 > 8)
+        break;
+      Design Tmp;
+      ModuleId Id = Tmp.addModule(
+          gen::makeFifo({64, DepthLog2, /*Forwarding=*/true}));
+      D.addModule(synth::lower(Tmp, Id));
+    }
+    CheckOptions O;
+    O.Threads = 1;
+    SummaryEngine Engine(O);
+    std::map<ModuleId, ModuleSummary> Out;
+    if (Engine.analyze(D, Out).hasError()) {
+      std::printf("cold-load family: unexpected loop\n");
+      return 1;
+    }
+    LoadModules = Out.size();
+    const std::string Text = writeSummaries(D, Out);
+    const std::string Binary = writeSummariesBinary(D, Out);
+    TextBytes = Text.size();
+    BinaryBytes = Binary.size();
+
+    auto sameAsOut = [&](const std::map<ModuleId, ModuleSummary> &Got) {
+      if (Got.size() != Out.size())
+        return false;
+      for (const auto &[Id, S] : Out) {
+        auto It = Got.find(Id);
+        if (It == Got.end() || !structurallyEqual(S, It->second))
+          return false;
+      }
+      return true;
+    };
+    const int LoadReps = Quick ? 3 : 5;
+    bool LoadOk = true;
+    auto bestLoad = [&](auto &&Run) {
+      double Best = -1.0;
+      for (int I = 0; I != LoadReps; ++I) {
+        double S = Run();
+        if (S < 0.0) {
+          LoadOk = false;
+          return -1.0;
+        }
+        Best = Best < 0.0 ? S : std::min(Best, S);
+      }
+      return Best;
+    };
+    TextLoadS = bestLoad([&] {
+      Timer T2;
+      auto Parsed = parseSummaries(Text, D);
+      double S = T2.seconds();
+      return Parsed.hasValue() && sameAsOut(*Parsed) ? S : -1.0;
+    });
+    BinaryLoadS = bestLoad([&] {
+      Timer T2;
+      auto Decoded = readSummariesBinary(Binary, D);
+      double S = T2.seconds();
+      return Decoded.hasValue() && sameAsOut(*Decoded) ? S : -1.0;
+    });
+    const std::string CachePath = "bench_engine_coldload.wscache";
+    if (!Engine.saveCache(CachePath, D, Out).empty()) {
+      std::printf("cold-load family: saveCache failed\n");
+      return 1;
+    }
+    uint64_t CacheBytes = 0;
+    if (std::FILE *F = std::fopen(CachePath.c_str(), "rb")) {
+      std::fseek(F, 0, SEEK_END);
+      CacheBytes = static_cast<uint64_t>(std::ftell(F));
+      std::fclose(F);
+    }
+    CacheLoadS = bestLoad([&] {
+      SummaryEngine Fresh(O);
+      Timer T2;
+      auto Loaded = Fresh.loadCache(CachePath, D);
+      double S = T2.seconds();
+      return Loaded.hasValue() && Loaded->Loaded == Out.size() &&
+                     Loaded->Warnings.empty()
+                 ? S
+                 : -1.0;
+    });
+    std::remove(CachePath.c_str());
+    if (!LoadOk) {
+      std::printf("cold-load family: decode diverged from reference!\n");
+      return 1;
+    }
+    std::printf("\n=== Cold summary load: text sidecar vs wire format "
+                "(best of %d, results-identical gated) ===\n\n",
+                LoadReps);
+    Table LoadT({"Encoding", "Bytes", "Load (ms)", "Speedup vs text"});
+    LoadT.addRow({"text sidecar", Table::withCommas(TextBytes),
+                  Table::secondsStr(TextLoadS * 1e3, 3),
+                  Table::speedupStr(1.0)});
+    LoadT.addRow({"wire binary", Table::withCommas(BinaryBytes),
+                  Table::secondsStr(BinaryLoadS * 1e3, 3),
+                  Table::speedupStr(TextLoadS / BinaryLoadS)});
+    LoadT.addRow({"loadCache (v3 file)", Table::withCommas(CacheBytes),
+                  Table::secondsStr(CacheLoadS * 1e3, 3),
+                  Table::speedupStr(TextLoadS / CacheLoadS)});
+    LoadT.print();
+  }
+
   // Close the --json session before the overhead smoke opens its own
   // (at most one trace::Session may be live). finish() leaves the
   // registry values in place for the report below.
@@ -311,6 +424,14 @@ int main(int ArgC, char **ArgV) {
           .field("parallel_cold_s", R.ParallelCold)
           .field("warm_s", R.Warm)
           .field("warm_hits", static_cast<uint64_t>(R.WarmHits));
+    Report.beginRecord()
+        .field("load", "summary_sidecar")
+        .field("modules", static_cast<uint64_t>(LoadModules))
+        .field("text_bytes", TextBytes)
+        .field("binary_bytes", BinaryBytes)
+        .field("text_load_s", TextLoadS)
+        .field("binary_load_s", BinaryLoadS)
+        .field("cache_load_s", CacheLoadS);
     Report.beginRecord()
         .field("smoke", "trace_overhead")
         .field("disabled_s", SmokeOff)

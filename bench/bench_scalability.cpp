@@ -35,6 +35,7 @@
 
 #include "analysis/Sharded.h"
 #include "analysis/SortInference.h"
+#include "analysis/SummaryIO.h"
 #include "analysis/WellConnected.h"
 #include "gen/Fifo.h"
 #include "gen/MegaScale.h"
@@ -298,6 +299,107 @@ int main(int ArgC, char **ArgV) {
                 "paper's per-module summary factoring at 1M-instance "
                 "scale; sharded timings are gated on byte-identical "
                 "results)\n");
+  }
+
+  // --- Shard-pipe throughput: framed wire records over a byte stream -------
+  // The fork workers stream their results to the coordinator as wire
+  // records flushed one at a time (docs/FORMATS.md, shard framing). This
+  // sweep isolates the codec cost from fork/scheduling noise: encode a
+  // mega-scale preset's summaries record by record — Writer::take() after
+  // every record, exactly the pipe's flush pattern — then drain the
+  // concatenated stream with a Reader, gated on decoding structurally
+  // equal summaries.
+  std::printf("\n=== Shard-pipe throughput: wire record codec "
+              "(docs/FORMATS.md) ===\n\n");
+  {
+    MegaScaleParams P = *megaScalePreset(Quick ? "ci" : "10k");
+    Design D;
+    buildMegaScale(D, P);
+    CheckOptions SerialOpts;
+    SerialOpts.Threads = 1;
+    SummaryEngine Serial(SerialOpts);
+    std::map<ModuleId, ModuleSummary> Out;
+    if (Serial.analyze(D, Out).hasError())
+      return 1;
+
+    const int Reps = Quick ? 3 : 5;
+    double EncodeS = -1.0, DecodeS = -1.0;
+    std::string Stream;
+    for (int Rep = 0; Rep != Reps; ++Rep) {
+      Timer T2;
+      support::wire::Writer W;
+      W.beginStream(support::wire::StreamKind::Shard, 1);
+      std::string Bytes = W.take();
+      for (const auto &[Id, S] : Out) {
+        W.beginRecord(support::wire::RecordKind::ModuleSummary);
+        analysis::detail::encodeSummaryBody(W, D.module(Id), S);
+        W.endRecord();
+        Bytes += W.take(); // One flush per record, as the pipe does.
+      }
+      W.finish();
+      Bytes += W.take();
+      double S = T2.seconds();
+      EncodeS = EncodeS < 0.0 ? S : std::min(EncodeS, S);
+      Stream = std::move(Bytes);
+    }
+    for (int Rep = 0; Rep != Reps; ++Rep) {
+      std::map<ModuleId, ModuleSummary> Decoded;
+      Timer T2;
+      support::wire::Reader R(Stream);
+      if (!R.readHeader())
+        return 1;
+      support::wire::Reader::Record Rec;
+      for (;;) {
+        support::wire::Reader::Item It = R.next(Rec);
+        if (It == support::wire::Reader::Item::End)
+          break;
+        if (It != support::wire::Reader::Item::Record) {
+          std::fprintf(stderr, "pipe throughput: damaged stream\n");
+          return 1;
+        }
+        if (Rec.Kind != support::wire::RecordKind::ModuleSummary)
+          continue;
+        support::wire::Reader::Cursor C(Rec, R);
+        ModuleSummary S;
+        std::string Why;
+        if (!analysis::detail::decodeSummaryBody(C, D, S, Why)) {
+          std::fprintf(stderr, "pipe throughput: %s\n", Why.c_str());
+          return 1;
+        }
+        Decoded[S.Id] = std::move(S);
+      }
+      double S = T2.seconds();
+      // Identical-results gate: a fast decode that loses information
+      // may not report a number.
+      if (Decoded.size() != Out.size())
+        return 1;
+      for (const auto &[Id, Ref] : Out)
+        if (!structurallyEqual(Ref, Decoded.at(Id)))
+          return 1;
+      DecodeS = DecodeS < 0.0 ? S : std::min(DecodeS, S);
+    }
+
+    const double Mb = double(Stream.size()) / 1e6;
+    Table T({"Direction", "Records", "Bytes", "Best (ms)", "MB/s"});
+    T.addRow({"encode (worker side)", Table::withCommas(Out.size()),
+              Table::withCommas(Stream.size()),
+              Table::secondsStr(EncodeS * 1e3, 3),
+              Table::secondsStr(Mb / EncodeS, 1)});
+    T.addRow({"decode (coordinator side)", Table::withCommas(Out.size()),
+              Table::withCommas(Stream.size()),
+              Table::secondsStr(DecodeS * 1e3, 3),
+              Table::secondsStr(Mb / DecodeS, 1)});
+    T.print();
+    std::printf("(best of %d, gated on structurallyEqual round-trip)\n",
+                Reps);
+    Json.beginRecord()
+        .field("sweep", "wire_pipe_throughput")
+        .field("records", static_cast<uint64_t>(Out.size()))
+        .field("bytes", static_cast<uint64_t>(Stream.size()))
+        .field("encode_seconds", EncodeS)
+        .field("decode_seconds", DecodeS)
+        .field("encode_mb_s", Mb / EncodeS)
+        .field("decode_mb_s", Mb / DecodeS);
   }
 
   (void)Metrics.finish();

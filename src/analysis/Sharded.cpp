@@ -11,11 +11,11 @@
 #include "support/Process.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "support/Wire.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <unistd.h>
@@ -127,174 +127,181 @@ runShardWave(const Design &D, const std::vector<ModuleId> &Mine,
 
 // --- Fork-mode pipe protocol ------------------------------------------------
 //
-// Line-oriented, parseable from a truncated stream:
+// Wire records over the fd (wire format v1, StreamKind::Shard —
+// docs/FORMATS.md). The stream is pure framed bytes — liftable onto a
+// socket unchanged — written incrementally, one flush per module:
 //
-//   mod <id> done
-//   O <port> <n> <id>...        (one line per input port's output set)
-//   I <port> <n> <id>...        (one line per output port's input set)
-//   S <port> <subsort>
-//   endmod
-//   mod <id> looped <n>         (then n encodeDiag lines)
-//   mod <id> panicked <n>       (then n encodeDiag lines)
-//   mod <id> cancelled
-//   shardend
+//   header | StreamBegin(Shard, v1)
+//   ShardModule: id varint | state byte | body
+//     Done:             OutputPortSets, InputPortSets, SubSorts (ids
+//                       are wire ids — both ends hold the same design)
+//     Looped/Panicked:  diag count | wire::putDiag payloads
+//     Cancelled:        (empty)
+//   StreamEnd
 //
-// Anything the parser cannot account for — a record cut off mid-frame, a
-// missing shardend, garbage — makes the affected modules *unaccounted*,
-// which the coordinator fails closed as dead-worker WS604s.
+// Anything the reader cannot account for — a record cut off mid-frame, a
+// checksum mismatch, a missing StreamEnd — makes the affected modules
+// *unaccounted*, which the coordinator fails closed as dead-worker
+// WS604s.
 
-std::string encodeResult(const ModResult &R) {
-  std::ostringstream OS;
-  OS << "mod " << R.Id << ' ';
+constexpr uint64_t ShardPayloadVersion = 1;
+
+void encodeResult(support::wire::Writer &W, const ModResult &R) {
+  using support::wire::RecordKind;
+  W.beginRecord(RecordKind::ShardModule);
+  W.putVarint(R.Id);
+  W.putByte(static_cast<uint8_t>(R.State));
   switch (R.State) {
   case ModState::Done: {
-    OS << "done\n";
+    W.putVarint(R.Summary.OutputPortSets.size());
     for (const auto &[In, Outs] : R.Summary.OutputPortSets) {
-      OS << "O " << In << ' ' << Outs.size();
-      for (WireId W : Outs)
-        OS << ' ' << W;
-      OS << '\n';
+      W.putVarint(In);
+      W.putVarint(Outs.size());
+      for (WireId Member : Outs)
+        W.putVarint(Member);
     }
+    W.putVarint(R.Summary.InputPortSets.size());
     for (const auto &[Out, Ins] : R.Summary.InputPortSets) {
-      OS << "I " << Out << ' ' << Ins.size();
-      for (WireId W : Ins)
-        OS << ' ' << W;
-      OS << '\n';
+      W.putVarint(Out);
+      W.putVarint(Ins.size());
+      for (WireId Member : Ins)
+        W.putVarint(Member);
     }
-    for (const auto &[Port, Sub] : R.Summary.SubSorts)
-      OS << "S " << Port << ' ' << static_cast<unsigned>(Sub) << '\n';
-    OS << "endmod\n";
+    W.putVarint(R.Summary.SubSorts.size());
+    for (const auto &[Port, Sub] : R.Summary.SubSorts) {
+      W.putVarint(Port);
+      W.putByte(static_cast<uint8_t>(Sub));
+    }
     break;
   }
   case ModState::Looped:
   case ModState::Panicked: {
-    OS << (R.State == ModState::Looped ? "looped " : "panicked ")
-       << R.Diags.size() << '\n';
+    W.putVarint(R.Diags.size());
     for (const support::Diag &Dg : R.Diags)
-      OS << support::encodeDiag(Dg) << '\n';
+      support::wire::putDiag(W, Dg);
     break;
   }
   case ModState::Cancelled:
-    OS << "cancelled\n";
     break;
   default:
     assert(false && "worker never emits Waiting/Skipped");
   }
-  return OS.str();
+  W.endRecord();
 }
 
-bool parseFirstU64(std::istringstream &LS, uint64_t &Out) {
-  return static_cast<bool>(LS >> Out);
+/// Decodes one ShardModule payload. \returns false on anything
+/// malformed — the caller drops the record and everything after it.
+bool decodeResult(support::wire::Reader::Cursor &C, const Design &D,
+                  ModResult &R) {
+  uint64_t IdVal = 0;
+  uint8_t StateByte = 0;
+  if (!C.getVarint(IdVal) || IdVal >= D.numModules() ||
+      !C.getByte(StateByte))
+    return false;
+  ModState State = static_cast<ModState>(StateByte);
+  if (State != ModState::Done && State != ModState::Looped &&
+      State != ModState::Cancelled && State != ModState::Panicked)
+    return false;
+  R.Id = static_cast<ModuleId>(IdVal);
+  R.State = State;
+  if (State == ModState::Cancelled)
+    return C.atEnd();
+  if (State == ModState::Looped || State == ModState::Panicked) {
+    uint64_t N = 0;
+    if (!C.getVarint(N))
+      return false;
+    for (uint64_t K = 0; K != N; ++K) {
+      support::Diag Dg;
+      if (!support::wire::getDiag(C, Dg))
+        return false;
+      R.Diags.add(std::move(Dg));
+    }
+    return C.atEnd();
+  }
+  R.Summary.Id = R.Id;
+  R.Summary.ModuleName = D.module(R.Id).Name;
+  auto readSets = [&](std::map<WireId, std::vector<WireId>> &Sets) {
+    uint64_t Count = 0;
+    if (!C.getVarint(Count))
+      return false;
+    for (uint64_t K = 0; K != Count; ++K) {
+      uint64_t Port = 0, N = 0;
+      if (!C.getVarint(Port) || !C.getVarint(N))
+        return false;
+      std::vector<WireId> Ids;
+      Ids.reserve(N);
+      for (uint64_t J = 0; J != N; ++J) {
+        uint64_t Member = 0;
+        if (!C.getVarint(Member))
+          return false;
+        Ids.push_back(static_cast<WireId>(Member));
+      }
+      Sets[static_cast<WireId>(Port)] = std::move(Ids);
+    }
+    return true;
+  };
+  if (!readSets(R.Summary.OutputPortSets) ||
+      !readSets(R.Summary.InputPortSets))
+    return false;
+  uint64_t SubCount = 0;
+  if (!C.getVarint(SubCount))
+    return false;
+  for (uint64_t K = 0; K != SubCount; ++K) {
+    uint64_t Port = 0;
+    uint8_t Sub = 0;
+    if (!C.getVarint(Port) || !C.getByte(Sub) || Sub > 2)
+      return false;
+    R.Summary.SubSorts[static_cast<WireId>(Port)] =
+        static_cast<SubSort>(Sub);
+  }
+  return C.atEnd();
 }
 
 /// Parses a child's full pipe output. Returns only fully-framed records;
-/// a truncated tail is dropped (its modules stay unaccounted).
-/// \p CleanEnd reports whether the shardend marker arrived.
+/// a truncated or damaged tail is dropped (its modules stay
+/// unaccounted). \p CleanEnd reports whether the StreamEnd arrived.
 std::vector<ModResult> parseShardOutput(const std::string &Text,
                                         const Design &D, bool &CleanEnd) {
+  using support::wire::Reader;
+  using support::wire::RecordKind;
   CleanEnd = false;
-  std::vector<std::string> Lines;
-  {
-    size_t I = 0;
-    while (I < Text.size()) {
-      size_t J = Text.find('\n', I);
-      if (J == std::string::npos)
-        break; // Unterminated tail line: never trust it.
-      Lines.push_back(Text.substr(I, J - I));
-      I = J + 1;
-    }
-  }
-
   std::vector<ModResult> Records;
-  size_t I = 0;
-  while (I < Lines.size()) {
-    std::istringstream LS(Lines[I]);
-    std::string Tag;
-    LS >> Tag;
-    if (Tag == "shardend") {
-      CleanEnd = true;
+  Reader R(Text);
+  if (!R.readHeader())
+    return Records;
+  bool SawBegin = false;
+  for (;;) {
+    Reader::Record Rec;
+    switch (R.next(Rec)) {
+    case Reader::Item::End:
+      CleanEnd = SawBegin;
       return Records;
+    case Reader::Item::Exhausted:
+    case Reader::Item::Truncated:
+    case Reader::Item::Corrupt:
+      return Records; // Worker died mid-stream: trust nothing further.
+    case Reader::Item::Record:
+      break;
     }
-    if (Tag != "mod")
-      return Records; // Protocol desync: trust nothing further.
-    uint64_t IdVal = 0;
-    std::string Kind;
-    if (!parseFirstU64(LS, IdVal) || IdVal >= D.numModules() ||
-        !(LS >> Kind))
-      return Records;
-    ModResult R;
-    R.Id = static_cast<ModuleId>(IdVal);
-    ++I;
-    if (Kind == "cancelled") {
-      R.State = ModState::Cancelled;
-      Records.push_back(std::move(R));
+    Reader::Cursor C(Rec, R);
+    if (Rec.Kind == RecordKind::StreamBegin) {
+      uint8_t Kind = 0;
+      uint64_t Version = 0;
+      if (!C.getByte(Kind) ||
+          Kind !=
+              static_cast<uint8_t>(support::wire::StreamKind::Shard) ||
+          !C.getVarint(Version) || Version > ShardPayloadVersion)
+        return Records;
+      SawBegin = true;
       continue;
     }
-    if (Kind == "looped" || Kind == "panicked") {
-      uint64_t N = 0;
-      if (!parseFirstU64(LS, N))
-        return Records;
-      R.State = Kind == "looped" ? ModState::Looped : ModState::Panicked;
-      for (uint64_t K = 0; K != N; ++K, ++I) {
-        if (I >= Lines.size())
-          return Records; // Cut off mid-frame.
-        std::optional<support::Diag> Dg = support::decodeDiag(Lines[I]);
-        if (!Dg)
-          return Records;
-        R.Diags.add(std::move(*Dg));
-      }
-      Records.push_back(std::move(R));
-      continue;
-    }
-    if (Kind != "done")
+    if (Rec.Kind != RecordKind::ShardModule)
+      continue; // Forward compat: skip unknown-but-intact records.
+    ModResult Res;
+    if (!SawBegin || !decodeResult(C, D, Res))
       return Records;
-    R.State = ModState::Done;
-    R.Summary.Id = R.Id;
-    R.Summary.ModuleName = D.module(R.Id).Name;
-    bool Framed = false;
-    for (; I < Lines.size(); ++I) {
-      std::istringstream FS(Lines[I]);
-      std::string FTag;
-      FS >> FTag;
-      if (FTag == "endmod") {
-        Framed = true;
-        ++I;
-        break;
-      }
-      uint64_t Port = 0;
-      if (FTag == "O" || FTag == "I") {
-        uint64_t N = 0;
-        if (!parseFirstU64(FS, Port) || !parseFirstU64(FS, N))
-          return Records;
-        std::vector<WireId> Ids;
-        Ids.reserve(N);
-        for (uint64_t K = 0; K != N; ++K) {
-          uint64_t W = 0;
-          if (!parseFirstU64(FS, W))
-            return Records;
-          Ids.push_back(static_cast<WireId>(W));
-        }
-        if (FTag == "O")
-          R.Summary.OutputPortSets[static_cast<WireId>(Port)] =
-              std::move(Ids);
-        else
-          R.Summary.InputPortSets[static_cast<WireId>(Port)] =
-              std::move(Ids);
-      } else if (FTag == "S") {
-        uint64_t Sub = 0;
-        if (!parseFirstU64(FS, Port) || !parseFirstU64(FS, Sub))
-          return Records;
-        R.Summary.SubSorts[static_cast<WireId>(Port)] =
-            static_cast<SubSort>(Sub);
-      } else {
-        return Records;
-      }
-    }
-    if (!Framed)
-      return Records; // Stream died inside the summary.
-    Records.push_back(std::move(R));
+    Records.push_back(std::move(Res));
   }
-  return Records;
 }
 
 } // namespace
@@ -478,6 +485,14 @@ ShardedEngine::analyze(const Design &D, std::map<ModuleId, ModuleSummary> &Out,
           continue;
         const std::vector<ModuleId> &Mine = ByShard[S];
         auto Spawned = support::ChildProcess::spawn([&](int Fd) {
+          // One Writer per worker stream: the header + StreamBegin go
+          // out first, then one flush per module (take() drains the
+          // framed bytes; string interning persists across flushes).
+          support::wire::Writer W;
+          W.beginStream(support::wire::StreamKind::Shard,
+                        ShardPayloadVersion);
+          if (!support::writeAll(Fd, W.take()))
+            ::_exit(123);
           for (ModuleId Id : Mine) {
             // The shard-soak's worker-kill site: die like a crashed or
             // OOM-killed worker would, mid-protocol.
@@ -485,10 +500,12 @@ ShardedEngine::analyze(const Design &D, std::map<ModuleId, ModuleSummary> &Out,
               ::_exit(121);
             std::vector<ModResult> One =
                 runShardWave(D, {Id}, Out, DL, nullptr);
-            if (!support::writeAll(Fd, encodeResult(One.front())))
+            encodeResult(W, One.front());
+            if (!support::writeAll(Fd, W.take()))
               ::_exit(123);
           }
-          (void)support::writeAll(Fd, "shardend\n");
+          W.finish();
+          (void)support::writeAll(Fd, W.take());
         });
         if (!Spawned) {
           FailedToSpawn.push_back(S);

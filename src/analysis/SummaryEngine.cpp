@@ -564,28 +564,43 @@ SummaryEngine::analyze(const Design &D,
 
 // --- Disk persistence -------------------------------------------------------
 
-support::Status SummaryEngine::saveCache(
-    const std::string &Path, const Design &D,
-    const std::map<ModuleId, ModuleSummary> &Summaries) const {
-  static trace::Counter &RetriesC = trace::counter("fault.retries");
+namespace {
 
-  // Compose the whole file in memory first (format v2 —
-  // docs/ROBUSTNESS.md): a version header, one "# key <module> <cache
-  // key> <checksum>" line per record, then the SummaryIO blocks. The
-  // checksum covers the exact block text, so the loader can quarantine
-  // a damaged record without trusting anything else in the file.
-  std::ostringstream OS;
-  OS << "# wiresort summary cache v2\n";
-  std::string Body;
-  for (const auto &[Id, S] : Summaries) {
-    std::string Block = writeSummaries(D, {{Id, S}});
-    if (Id < Keys.size())
-      OS << "# key " << D.module(Id).Name << ' ' << std::hex << Keys[Id]
-         << ' ' << recordChecksum(Block) << std::dec << '\n';
-    Body += Block;
+/// Cache payload schema version carried by the StreamBegin record.
+/// v1/v2 were the text sidecar formats; v3 is the first binary one.
+constexpr uint64_t CachePayloadVersion = 3;
+
+/// Composes a cache-v3 wire stream: StreamBegin(Cache, 3), then one
+/// CacheEntry record (8-byte key + name-based summary body) per entry,
+/// then StreamEnd. The framing's FNV-1a record checksums replace the
+/// v2 "# key" checksum lines.
+std::string
+composeCachePayload(const Design &D,
+                    const std::vector<std::pair<uint64_t,
+                                                const ModuleSummary *>>
+                        &Entries) {
+  support::wire::Writer W;
+  W.beginStream(support::wire::StreamKind::Cache, CachePayloadVersion);
+  for (const auto &[Key, S] : Entries) {
+    W.beginRecord(support::wire::RecordKind::CacheEntry);
+    W.putFixed64(Key);
+    analysis::detail::encodeSummaryBody(W, D.module(S->Id), *S);
+    W.endRecord();
   }
-  OS << Body;
-  const std::string Payload = OS.str();
+  W.finish();
+  return W.take();
+}
+
+/// The crash-safe atomic write shared by saveCache and the v2→v3
+/// migration: compose in memory, write Path+".tmp", fsync, rename.
+/// \p PartialSite is the torn-write crash failpoint for this caller
+/// ("cache.save.partial" / "cache.migrate.partial") — it writes half
+/// the payload and dies without the rename, so Path keeps its previous
+/// content (CrashRecoveryTest's property).
+support::Status atomicWriteCache(const std::string &Path,
+                                 const std::string &Payload,
+                                 const char *PartialSite) {
+  static trace::Counter &RetriesC = trace::counter("fault.retries");
   const std::string Tmp = Path + ".tmp";
 
   auto ioFail = [](const char *Op, const std::string &P) {
@@ -597,11 +612,8 @@ support::Status SummaryEngine::saveCache(
         .withNote("detail", std::strerror(errno));
   };
 
-  // Crash-safe write: everything goes to Path+".tmp", is fsync'd, and
-  // only then renamed over Path — an interrupted save (crash, kill,
-  // injected fault) leaves the previous cache intact, never a torn
-  // file. Transient failures retry with backoff; persistent ones
-  // degrade to a warning (the verdict never depends on the cache).
+  // Transient failures retry with backoff; persistent ones degrade to a
+  // warning (the verdict never depends on the cache).
   support::Status LastFailure;
   for (int Attempt = 0; Attempt != 3; ++Attempt) {
     if (Attempt != 0) {
@@ -625,7 +637,7 @@ support::Status SummaryEngine::saveCache(
     // Crash simulation: write a torn prefix and die without the rename.
     // The recovery property (CrashRecoveryTest) is that Path still
     // holds the previous cache — the torn bytes only ever live in .tmp.
-    if (WS_FAILPOINT("cache.save.partial")) {
+    if (support::failpoint::site(PartialSite).shouldFire()) {
       (void)!::write(Fd, Payload.data(), Payload.size() / 2);
       ::_exit(125);
     }
@@ -692,6 +704,20 @@ support::Status SummaryEngine::saveCache(
   return LastFailure;
 }
 
+} // namespace
+
+support::Status SummaryEngine::saveCache(
+    const std::string &Path, const Design &D,
+    const std::map<ModuleId, ModuleSummary> &Summaries) const {
+  std::vector<std::pair<uint64_t, const ModuleSummary *>> Entries;
+  Entries.reserve(Summaries.size());
+  for (const auto &[Id, S] : Summaries)
+    if (Id < Keys.size())
+      Entries.emplace_back(Keys[Id], &S);
+  return atomicWriteCache(Path, composeCachePayload(D, Entries),
+                          "cache.save.partial");
+}
+
 support::Expected<CacheLoadResult>
 SummaryEngine::loadCache(const std::string &Path, const Design &D) {
   static trace::Counter &QuarantinedC =
@@ -716,6 +742,93 @@ SummaryEngine::loadCache(const std::string &Path, const Design &D) {
   SS << File.rdbuf();
   std::string Text = SS.str();
 
+  // --- Binary path (cache v3, the current format) ---------------------
+  // The sniff byte distinguishes a wire stream from sidecar text
+  // unambiguously: 0xD7 can never start a text cache. Framing damage
+  // (bad checksum, truncation) quarantines the rest of the stream — a
+  // length prefix after a corrupt frame cannot be trusted, so unlike
+  // the line-oriented v2 loader there is no per-record resync.
+  if (isWireData(Text)) {
+    support::wire::Reader R(Text);
+    std::string Why;
+    auto formatError = [&](const std::string &Msg) {
+      return support::Diag(support::DiagCode::WS502_CACHE_FORMAT, Msg)
+          .withLoc(support::SrcLoc{Path, 0, 0});
+    };
+    if (!R.readHeader(&Why))
+      return formatError("not a loadable summary cache: " + Why);
+
+    auto quarantineRest = [&](size_t Offset, const std::string &Reason) {
+      ++Res.Quarantined;
+      QuarantinedC.add();
+      Res.Warnings.add(
+          support::Diag(support::DiagCode::WS603_CACHE_CORRUPT,
+                        "corrupt cache stream quarantined from damaged "
+                        "record onward; affected modules will be "
+                        "re-inferred",
+                        support::Severity::Warning)
+              .withLoc(support::SrcLoc{Path, 0, 0})
+              .withNote("offset", std::to_string(Offset))
+              .withNote("detail", Reason));
+    };
+
+    bool SawBegin = false;
+    for (;;) {
+      support::wire::Reader::Record Rec;
+      switch (R.next(Rec)) {
+      case support::wire::Reader::Item::End:
+        return Res;
+      case support::wire::Reader::Item::Exhausted:
+        quarantineRest(Rec.Offset, "stream truncated before StreamEnd");
+        return Res;
+      case support::wire::Reader::Item::Truncated:
+        quarantineRest(Rec.Offset, "record truncated");
+        return Res;
+      case support::wire::Reader::Item::Corrupt:
+        quarantineRest(Rec.Offset, "record checksum mismatch");
+        return Res;
+      case support::wire::Reader::Item::Record:
+        break;
+      }
+      if (Rec.Kind == support::wire::RecordKind::StreamBegin) {
+        support::wire::Reader::Cursor C(Rec, R);
+        uint8_t Kind = 0;
+        uint64_t Version = 0;
+        if (!C.getByte(Kind) || !C.getVarint(Version) ||
+            Kind != static_cast<uint8_t>(support::wire::StreamKind::Cache))
+          return formatError(
+              "not a summary cache stream (wrong stream kind)");
+        if (Version > CachePayloadVersion)
+          return formatError("cache format version " +
+                             std::to_string(Version) +
+                             " is newer than this build understands");
+        SawBegin = true;
+        continue;
+      }
+      if (Rec.Kind != support::wire::RecordKind::CacheEntry)
+        continue; // Forward compat: skip record kinds we don't know.
+      if (!SawBegin)
+        return formatError("cache record before StreamBegin");
+      if (WS_FAILPOINT("cache.load.corrupt")) {
+        quarantineRest(Rec.Offset, "injected fault: cache.load.corrupt");
+        return Res;
+      }
+      support::wire::Reader::Cursor C(Rec, R);
+      uint64_t Key = 0;
+      ModuleSummary S;
+      std::string DecodeWhy;
+      // The record passed its checksum, so a body that no longer
+      // resolves is provably *stale*, not corrupt — the design evolved
+      // past it (module renamed away, interface changed). Stale entries
+      // never hit, so skipping silently loses nothing.
+      if (!C.getFixed64(Key) || !detail::decodeSummaryBody(C, D, S, DecodeWhy))
+        continue;
+      Cache.insert(Key, S);
+      ++Res.Loaded;
+    }
+  }
+
+  // --- Text path (formats v1/v2, read-and-migrate) --------------------
   // Keys are recorded as "# key <module-name> <key> [<checksum>]"
   // comment lines, which parseSummaries skips; v1 files lack the
   // checksum. Collect them, and split the rest of the file into
@@ -787,6 +900,7 @@ SummaryEngine::loadCache(const std::string &Path, const Design &D) {
         .withLoc(support::SrcLoc{Path, 0, 0});
   }
 
+  std::vector<std::pair<uint64_t, ModuleSummary>> Migrated;
   for (const BlockRec &B : Blocks) {
     auto KeyIt = KeyOfName.find(B.Name);
     const KeyRec *Rec =
@@ -825,6 +939,34 @@ SummaryEngine::loadCache(const std::string &Path, const Design &D) {
         continue;
       Cache.insert(Rec->Key, S);
       ++Res.Loaded;
+      Migrated.emplace_back(Rec->Key, S);
+    }
+  }
+
+  // A legacy text cache that loaded cleanly is upgraded in place, so
+  // the v3 fast path serves every subsequent run. The write goes
+  // through the same compose/tmp/fsync/rename machinery as saveCache —
+  // a crash mid-migration (cache.migrate.partial) leaves the v2 file
+  // byte-identical, and the next run simply migrates again
+  // (CrashRecoveryTest). A failed write degrades to the usual WS602
+  // warning: migration, like every cache operation, never blocks a
+  // check.
+  if (!Text.empty()) {
+    std::vector<std::pair<uint64_t, const ModuleSummary *>> Entries;
+    Entries.reserve(Migrated.size());
+    for (const auto &[Key, S] : Migrated)
+      Entries.emplace_back(Key, &S);
+    support::Status W = atomicWriteCache(
+        Path, composeCachePayload(D, Entries), "cache.migrate.partial");
+    if (!W.empty()) {
+      Res.Warnings.append(W);
+    } else {
+      Res.Warnings.add(
+          support::Diag(support::DiagCode::WS605_CACHE_MIGRATED,
+                        "summary cache migrated to format v3",
+                        support::Severity::Note)
+              .withNote("path", Path)
+              .withNote("records", std::to_string(Migrated.size())));
     }
   }
   return Res;

@@ -82,12 +82,6 @@ private:
   size_t Misses = 0;
 };
 
-/// Deprecated shim for the pre-CheckOptions spelling; the engine now
-/// consumes analysis::CheckOptions (analysis/CheckOptions.h), which
-/// carries the same Threads/UseCache fields. Kept for one PR.
-using EngineOptions
-    [[deprecated("use analysis::CheckOptions instead")]] = CheckOptions;
-
 /// Per-call counters for the most recent analyze(). The same values are
 /// mirrored into the support::trace registry (counters "engine.modules",
 /// "engine.cache_hits", "engine.inferred", "engine.ascribed", and the
@@ -169,35 +163,42 @@ public:
   /// Cache key of module \p Id computed by the last analyze() call.
   uint64_t keyOf(ir::ModuleId Id) const { return Keys.at(Id); }
 
-  /// Persists the last analyze()'s summaries of \p D as a SummaryIO
-  /// sidecar annotated with cache keys and per-record checksums (format
-  /// v2, docs/ROBUSTNESS.md). The write is crash-safe: the whole file is
-  /// composed in memory, written to Path+".tmp", fsync'd, and renamed
-  /// over \p Path, so an interrupted save leaves either the old cache or
-  /// the new one — never a torn file. Transient I/O failures are retried
-  /// a bounded number of times with backoff. \returns an empty Status on
-  /// success, or a WS602_CACHE_IO warning naming the failing path and
-  /// syscall (the caller keeps its verdict; a failed save only costs the
-  /// next run its warm start).
+  /// Persists the last analyze()'s summaries of \p D as a cache-v3 wire
+  /// stream (docs/FORMATS.md): one CacheEntry record per module carrying
+  /// its cache key and name-based summary body, every record
+  /// length-prefixed and FNV-1a-checksummed by the framing. The write is
+  /// crash-safe: the whole stream is composed in memory, written to
+  /// Path+".tmp", fsync'd, and renamed over \p Path, so an interrupted
+  /// save leaves either the old cache or the new one — never a torn
+  /// file. Transient I/O failures are retried a bounded number of times
+  /// with backoff. \returns an empty Status on success, or a
+  /// WS602_CACHE_IO warning naming the failing path and syscall (the
+  /// caller keeps its verdict; a failed save only costs the next run its
+  /// warm start).
   support::Status
   saveCache(const std::string &Path, const ir::Design &D,
             const std::map<ir::ModuleId, ModuleSummary> &Summaries) const;
 
   /// Seeds the cache from a sidecar written by saveCache, resolving port
-  /// names against \p D. Staleness of any kind is harmless: entries whose
-  /// recorded key no longer matches the design never hit, and blocks that
-  /// no longer resolve (module renamed away, interface changed) are
-  /// skipped rather than loaded. v2 records carry checksums; a record
-  /// whose text no longer matches its recorded checksum is quarantined —
-  /// skipped with a WS603_CACHE_CORRUPT warning naming the sidecar line
-  /// where the damaged record starts — and the run degrades to cold
-  /// inference for that module only. (A record whose checksum matches but
-  /// whose body no longer parses is provably stale, not damaged, and is
-  /// skipped silently like any v1 stale block.)
-  /// \returns the load tally plus quarantine warnings, or a
-  /// WS502_CACHE_FORMAT diagnostic when the file is not sidecar-shaped at
-  /// all (--cache pointed at something else). A missing file is not an
-  /// error (empty result).
+  /// names against \p D. The first byte is sniffed: a wire stream loads
+  /// through the cache-v3 reader, anything else through the legacy
+  /// v1/v2 text parser. Staleness of any kind is harmless: entries whose
+  /// recorded key no longer matches the design never hit, and records
+  /// that no longer resolve (module renamed away, interface changed) are
+  /// skipped rather than loaded. Damage is quarantined, never fatal: a
+  /// v2 record failing its recorded checksum is skipped with a
+  /// WS603_CACHE_CORRUPT warning; a v3 record failing its framing
+  /// checksum (or truncating) quarantines the rest of the stream (the
+  /// length prefix after a corrupt frame cannot be trusted) with one
+  /// WS603 warning naming the byte offset — either way the run degrades
+  /// to cold inference for the affected modules only. A legacy text
+  /// cache that loads cleanly is migrated to v3 in place via the same
+  /// crash-safe atomic write as saveCache, announced by a
+  /// WS605_CACHE_MIGRATED note.
+  /// \returns the load tally plus warnings, or a WS502_CACHE_FORMAT
+  /// diagnostic when the file is neither a cache stream nor
+  /// sidecar-shaped text (--cache pointed at something else). A missing
+  /// file is not an error (empty result).
   support::Expected<CacheLoadResult> loadCache(const std::string &Path,
                                                const ir::Design &D);
 

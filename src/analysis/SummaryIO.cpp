@@ -6,6 +6,8 @@
 
 #include "analysis/SummaryIO.h"
 
+#include "support/Wire.h"
+
 #include <algorithm>
 #include <optional>
 #include <sstream>
@@ -37,6 +39,40 @@ void writePortSet(std::ostringstream &OS, const Module &M,
     OS << M.wire(Set[I]).Name;
   }
   OS << '}';
+}
+
+/// The direction cross-check both parsers share: every port must be
+/// declared, output-port sets must name outputs only, and the declared
+/// input-port set of each output must equal the inversion of the
+/// input-side declarations. \returns a message on inconsistency.
+std::optional<std::string> checkSummaryConsistency(const Module &M,
+                                                   const ModuleSummary &S) {
+  std::map<WireId, std::vector<WireId>> Inverted;
+  for (WireId Out : M.Outputs)
+    Inverted[Out] = {};
+  for (const auto &[In, Outs] : S.OutputPortSets)
+    for (WireId Out : Outs) {
+      if (!Inverted.count(Out))
+        return "module '" + M.Name +
+               "': output-port-set names non-output wire";
+      Inverted[Out].push_back(In);
+    }
+  for (auto &[Out, Ins] : Inverted)
+    std::sort(Ins.begin(), Ins.end());
+  for (WireId Out : M.Outputs) {
+    auto It = S.InputPortSets.find(Out);
+    if (It == S.InputPortSets.end())
+      return "module '" + M.Name + "': output '" + M.wire(Out).Name +
+             "' missing";
+    if (It->second != Inverted[Out])
+      return "module '" + M.Name + "': output '" + M.wire(Out).Name +
+             "' set inconsistent with input declarations";
+  }
+  for (WireId In : M.Inputs)
+    if (!S.OutputPortSets.count(In))
+      return "module '" + M.Name + "': input '" + M.wire(In).Name +
+             "' missing";
+  return std::nullopt;
 }
 
 } // namespace
@@ -92,34 +128,8 @@ analysis::parseSummaries(const std::string &Text, const Design &D,
   auto finishModule = [&]() -> std::optional<std::string> {
     if (!M)
       return std::nullopt;
-    // Invert the input-side sets to fill any output sets not declared,
-    // and cross-check declared output sets.
-    std::map<WireId, std::vector<WireId>> Inverted;
-    for (WireId Out : M->Outputs)
-      Inverted[Out] = {};
-    for (const auto &[In, Outs] : Cur.OutputPortSets)
-      for (WireId Out : Outs) {
-        if (!Inverted.count(Out))
-          return "module '" + M->Name +
-                 "': output-port-set names non-output wire";
-        Inverted[Out].push_back(In);
-      }
-    for (auto &[Out, Ins] : Inverted)
-      std::sort(Ins.begin(), Ins.end());
-    for (WireId Out : M->Outputs) {
-      auto It = Cur.InputPortSets.find(Out);
-      if (It == Cur.InputPortSets.end())
-        return "module '" + M->Name + "': output '" +
-               M->wire(Out).Name + "' missing";
-      if (It->second != Inverted[Out])
-        return "module '" + M->Name + "': output '" +
-               M->wire(Out).Name +
-               "' set inconsistent with input declarations";
-    }
-    for (WireId In : M->Inputs)
-      if (!Cur.OutputPortSets.count(In))
-        return "module '" + M->Name + "': input '" + M->wire(In).Name +
-               "' missing";
+    if (auto Err = checkSummaryConsistency(*M, Cur))
+      return Err;
     Result[CurId] = std::move(Cur);
     M = nullptr;
     return std::nullopt;
@@ -239,4 +249,250 @@ analysis::parseSummaries(const std::string &Text, const Design &D,
   if (M)
     return fail("missing final 'end'");
   return Result;
+}
+
+// --- Binary format (wire format v1 — docs/FORMATS.md) -----------------------
+//
+// A ModuleSummary record is name-based like the text format, so binary
+// sidecars survive wire-id renumbering too:
+//
+//   name str | nIn varint | per input: name str, tag byte (0 = port-set
+//   sort, 1 = sync sort), then set (count + member strs) or subsort
+//   byte | nOut varint | per output: same shape
+//
+// The same body encodes CacheEntry payloads (after the 8-byte key) —
+// one codec for sidecar, cache, and any future socket transport.
+
+namespace {
+
+constexpr uint64_t SummariesPayloadVersion = 1;
+
+} // namespace
+
+namespace wiresort::analysis::detail {
+
+void encodeSummaryBody(support::wire::Writer &W, const Module &M,
+                       const ModuleSummary &S) {
+  W.putString(M.Name);
+  W.putVarint(M.Inputs.size());
+  for (WireId In : M.Inputs) {
+    W.putString(M.wire(In).Name);
+    if (S.sortOf(In) == Sort::ToPort) {
+      W.putByte(0);
+      const std::vector<WireId> &Set = S.outputPortSet(In);
+      W.putVarint(Set.size());
+      for (WireId Member : Set)
+        W.putString(M.wire(Member).Name);
+    } else {
+      W.putByte(1);
+      W.putByte(static_cast<uint8_t>(S.subSortOf(In)));
+    }
+  }
+  W.putVarint(M.Outputs.size());
+  for (WireId Out : M.Outputs) {
+    W.putString(M.wire(Out).Name);
+    if (S.sortOf(Out) == Sort::FromPort) {
+      W.putByte(0);
+      const std::vector<WireId> &Set = S.inputPortSet(Out);
+      W.putVarint(Set.size());
+      for (WireId Member : Set)
+        W.putString(M.wire(Member).Name);
+    } else {
+      W.putByte(1);
+      W.putByte(static_cast<uint8_t>(S.subSortOf(Out)));
+    }
+  }
+}
+
+bool decodeSummaryBody(support::wire::Reader::Cursor &C, const Design &D,
+                       ModuleSummary &Out, std::string &Why) {
+  std::string_view Name;
+  if (!C.getString(Name)) {
+    Why = "truncated module name";
+    return false;
+  }
+  ModuleId Id = D.findModule(std::string(Name));
+  if (Id == InvalidId) {
+    Why = "unknown module '" + std::string(Name) + "'";
+    return false;
+  }
+  const Module &M = D.module(Id);
+  Out = ModuleSummary();
+  Out.Id = Id;
+  Out.ModuleName = std::string(Name);
+
+  auto decodePort = [&](bool IsInput) -> bool {
+    std::string_view PortName;
+    uint8_t Tag = 0;
+    if (!C.getString(PortName) || !C.getByte(Tag) || Tag > 1) {
+      Why = "malformed port entry";
+      return false;
+    }
+    WireId Port = M.findPort(std::string(PortName));
+    if (Port == InvalidId || M.isInput(Port) != IsInput) {
+      Why = "module '" + M.Name + "' has no matching port '" +
+            std::string(PortName) + "'";
+      return false;
+    }
+    SubSort Sub = SubSort::None;
+    std::vector<WireId> Set;
+    if (Tag == 0) {
+      uint64_t Count = 0;
+      if (!C.getVarint(Count)) {
+        Why = "truncated port set";
+        return false;
+      }
+      if (Count == 0) {
+        Why = "port-set sort needs a nonempty port set";
+        return false;
+      }
+      Set.reserve(Count);
+      for (uint64_t I = 0; I != Count; ++I) {
+        std::string_view Member;
+        if (!C.getString(Member)) {
+          Why = "truncated port set";
+          return false;
+        }
+        WireId W = M.findPort(std::string(Member));
+        if (W == InvalidId) {
+          Why = "unknown port '" + std::string(Member) + "' in set";
+          return false;
+        }
+        Set.push_back(W);
+      }
+      std::sort(Set.begin(), Set.end());
+      Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+    } else {
+      uint8_t SubByte = 0;
+      if (!C.getByte(SubByte) || SubByte > 2) {
+        Why = "malformed subsort";
+        return false;
+      }
+      Sub = static_cast<SubSort>(SubByte);
+      if (Sub == SubSort::None)
+        Sub = SubSort::Indirect; // Sync sorts default like the text form.
+    }
+    if (IsInput) {
+      Out.OutputPortSets[Port] = std::move(Set);
+      Out.SubSorts[Port] = Tag == 0 ? SubSort::None : Sub;
+    } else {
+      Out.InputPortSets[Port] = std::move(Set);
+      Out.SubSorts[Port] = Tag == 0 ? SubSort::None : Sub;
+    }
+    return true;
+  };
+
+  uint64_t NIn = 0;
+  if (!C.getVarint(NIn) || NIn != M.Inputs.size()) {
+    Why = "module '" + M.Name + "': input count mismatch";
+    return false;
+  }
+  for (uint64_t I = 0; I != NIn; ++I)
+    if (!decodePort(true))
+      return false;
+  uint64_t NOut = 0;
+  if (!C.getVarint(NOut) || NOut != M.Outputs.size()) {
+    Why = "module '" + M.Name + "': output count mismatch";
+    return false;
+  }
+  for (uint64_t I = 0; I != NOut; ++I)
+    if (!decodePort(false))
+      return false;
+
+  if (auto Err = checkSummaryConsistency(M, Out)) {
+    Why = *Err;
+    return false;
+  }
+  return true;
+}
+
+} // namespace wiresort::analysis::detail
+
+bool analysis::isWireData(const std::string &Bytes) {
+  return !Bytes.empty() &&
+         static_cast<unsigned char>(Bytes[0]) == support::wire::SniffByte;
+}
+
+std::string
+analysis::writeSummariesBinary(const Design &D,
+                               const std::map<ModuleId, ModuleSummary>
+                                   &Summaries) {
+  support::wire::Writer W;
+  W.beginStream(support::wire::StreamKind::Summaries,
+                SummariesPayloadVersion);
+  for (const auto &[Id, S] : Summaries) {
+    W.beginRecord(support::wire::RecordKind::ModuleSummary);
+    detail::encodeSummaryBody(W, D.module(Id), S);
+    W.endRecord();
+  }
+  W.finish();
+  return W.take();
+}
+
+support::Expected<std::map<ModuleId, ModuleSummary>>
+analysis::readSummariesBinary(const std::string &Bytes, const Design &D,
+                              const std::string &FileName) {
+  using support::wire::Reader;
+  auto fail = [&](const std::string &Msg, size_t Offset) {
+    return support::Diag(support::DiagCode::WS221_SUMMARY_SYNTAX, Msg)
+        .withLoc(support::SrcLoc{FileName, 0, 0})
+        .withNote("offset", std::to_string(Offset));
+  };
+
+  Reader R(Bytes);
+  std::string Why;
+  if (!R.readHeader(&Why))
+    return fail(Why, 0);
+
+  std::map<ModuleId, ModuleSummary> Result;
+  bool SawBegin = false;
+  for (;;) {
+    Reader::Record Rec;
+    switch (R.next(Rec)) {
+    case Reader::Item::End:
+      return Result;
+    case Reader::Item::Exhausted:
+      return fail("summary stream ends without a StreamEnd record "
+                  "(truncated)",
+                  Bytes.size());
+    case Reader::Item::Truncated:
+      return fail("summary stream truncated mid-record", Bytes.size());
+    case Reader::Item::Corrupt:
+      return fail("summary record failed its checksum", Bytes.size());
+    case Reader::Item::Record:
+      break;
+    }
+    Reader::Cursor C(Rec, R);
+    if (Rec.Kind == support::wire::RecordKind::StreamBegin) {
+      uint8_t Kind = 0;
+      uint64_t Version = 0;
+      if (!C.getByte(Kind) ||
+          Kind != static_cast<uint8_t>(
+                      support::wire::StreamKind::Summaries) ||
+          !C.getVarint(Version))
+        return fail("not a summary stream", Rec.Offset);
+      if (Version > SummariesPayloadVersion)
+        return fail("summary payload version " + std::to_string(Version) +
+                        " is newer than this build understands",
+                    Rec.Offset);
+      SawBegin = true;
+      continue;
+    }
+    if (Rec.Kind != support::wire::RecordKind::ModuleSummary)
+      continue; // Forward compat: skip unknown-but-intact records.
+    if (!SawBegin)
+      return fail("module record before StreamBegin", Rec.Offset);
+    ModuleSummary S;
+    if (!detail::decodeSummaryBody(C, D, S, Why))
+      return fail(Why, Rec.Offset);
+    Result[S.Id] = std::move(S);
+  }
+}
+
+support::Expected<std::map<ModuleId, ModuleSummary>>
+analysis::readSummariesAny(const std::string &Bytes, const Design &D,
+                           const std::string &FileName) {
+  if (isWireData(Bytes))
+    return readSummariesBinary(Bytes, D, FileName);
+  return parseSummaries(Bytes, D, FileName);
 }

@@ -53,6 +53,8 @@ const char *support::diagCodeName(DiagCode Code) {
     return "WS603_CACHE_CORRUPT";
   case DiagCode::WS604_WORKER_PANIC:
     return "WS604_WORKER_PANIC";
+  case DiagCode::WS605_CACHE_MIGRATED:
+    return "WS605_CACHE_MIGRATED";
   }
   return "WS000_UNKNOWN";
 }
@@ -307,179 +309,4 @@ std::string support::renderJson(const DiagList &Ds) {
     Out += '\n';
   }
   return Out;
-}
-
-// --- Wire transport ---------------------------------------------------------
-//
-// encodeDiag / decodeDiag: "WSDIAG v1 <code> <sev> msg <esc> [loc <file>
-// <line> <col>] {hop <inst> <port>} {note <key> <val>}", every string
-// token %XX-escaped so it contains no space, percent, or control byte.
-// An empty string travels as the sentinel token "%00".
-
-namespace {
-
-std::string escapeToken(const std::string &S) {
-  static const char *Hex = "0123456789ABCDEF";
-  if (S.empty())
-    return "%00";
-  std::string Out;
-  Out.reserve(S.size());
-  for (unsigned char C : S) {
-    if (C == '%' || C == ' ' || C < 0x20) {
-      Out += '%';
-      Out += Hex[C >> 4];
-      Out += Hex[C & 0xf];
-    } else {
-      Out += static_cast<char>(C);
-    }
-  }
-  return Out;
-}
-
-int hexVal(char C) {
-  if (C >= '0' && C <= '9')
-    return C - '0';
-  if (C >= 'A' && C <= 'F')
-    return C - 'A' + 10;
-  if (C >= 'a' && C <= 'f')
-    return C - 'a' + 10;
-  return -1;
-}
-
-bool unescapeToken(const std::string &Tok, std::string &Out) {
-  Out.clear();
-  if (Tok == "%00")
-    return true;
-  for (size_t I = 0; I != Tok.size(); ++I) {
-    if (Tok[I] != '%') {
-      Out += Tok[I];
-      continue;
-    }
-    if (I + 2 >= Tok.size())
-      return false;
-    int Hi = hexVal(Tok[I + 1]);
-    int Lo = hexVal(Tok[I + 2]);
-    if (Hi < 0 || Lo < 0)
-      return false;
-    Out += static_cast<char>((Hi << 4) | Lo);
-    I += 2;
-  }
-  return true;
-}
-
-bool parseU64(const std::string &Tok, uint64_t &Out) {
-  if (Tok.empty())
-    return false;
-  Out = 0;
-  for (char C : Tok) {
-    if (C < '0' || C > '9')
-      return false;
-    Out = Out * 10 + static_cast<uint64_t>(C - '0');
-  }
-  return true;
-}
-
-std::vector<std::string> splitTokens(const std::string &Line) {
-  std::vector<std::string> Toks;
-  size_t I = 0;
-  while (I < Line.size()) {
-    size_t J = Line.find(' ', I);
-    if (J == std::string::npos)
-      J = Line.size();
-    if (J > I)
-      Toks.push_back(Line.substr(I, J - I));
-    I = J + 1;
-  }
-  return Toks;
-}
-
-} // namespace
-
-std::string support::encodeDiag(const Diag &D) {
-  std::string Out = "WSDIAG v1 ";
-  Out += std::to_string(static_cast<unsigned>(D.code()));
-  Out += ' ';
-  Out += std::to_string(static_cast<unsigned>(D.severity()));
-  Out += " msg ";
-  Out += escapeToken(D.message());
-  if (D.loc()) {
-    Out += " loc ";
-    Out += escapeToken(D.loc()->File);
-    Out += ' ';
-    Out += std::to_string(D.loc()->Line);
-    Out += ' ';
-    Out += std::to_string(D.loc()->Col);
-  }
-  for (const WitnessHop &H : D.witness()) {
-    Out += " hop ";
-    Out += escapeToken(H.Instance);
-    Out += ' ';
-    Out += escapeToken(H.Port);
-  }
-  for (const auto &[Key, Value] : D.notes()) {
-    Out += " note ";
-    Out += escapeToken(Key);
-    Out += ' ';
-    Out += escapeToken(Value);
-  }
-  return Out;
-}
-
-std::optional<Diag> support::decodeDiag(const std::string &Line) {
-  std::vector<std::string> Toks = splitTokens(Line);
-  if (Toks.size() < 6 || Toks[0] != "WSDIAG" || Toks[1] != "v1" ||
-      Toks[4] != "msg")
-    return std::nullopt;
-
-  uint64_t CodeVal = 0, SevVal = 0;
-  if (!parseU64(Toks[2], CodeVal) || CodeVal > 0xffff ||
-      !parseU64(Toks[3], SevVal) || SevVal > 2)
-    return std::nullopt;
-  std::string Message;
-  if (!unescapeToken(Toks[5], Message))
-    return std::nullopt;
-
-  Diag D(static_cast<DiagCode>(CodeVal), std::move(Message),
-         static_cast<Severity>(SevVal));
-
-  size_t I = 6;
-  while (I < Toks.size()) {
-    const std::string &Kind = Toks[I];
-    if (Kind == "loc") {
-      if (I + 3 >= Toks.size())
-        return std::nullopt;
-      std::string File;
-      uint64_t LineNo = 0, ColNo = 0;
-      if (!unescapeToken(Toks[I + 1], File) ||
-          !parseU64(Toks[I + 2], LineNo) || !parseU64(Toks[I + 3], ColNo))
-        return std::nullopt;
-      SrcLoc Loc;
-      Loc.File = std::move(File);
-      Loc.Line = LineNo;
-      Loc.Col = ColNo;
-      D = std::move(D).withLoc(std::move(Loc));
-      I += 4;
-    } else if (Kind == "hop") {
-      if (I + 2 >= Toks.size())
-        return std::nullopt;
-      std::string Inst, Port;
-      if (!unescapeToken(Toks[I + 1], Inst) ||
-          !unescapeToken(Toks[I + 2], Port))
-        return std::nullopt;
-      D.addHop(std::move(Inst), std::move(Port));
-      I += 3;
-    } else if (Kind == "note") {
-      if (I + 2 >= Toks.size())
-        return std::nullopt;
-      std::string Key, Value;
-      if (!unescapeToken(Toks[I + 1], Key) ||
-          !unescapeToken(Toks[I + 2], Value))
-        return std::nullopt;
-      D = std::move(D).withNote(std::move(Key), std::move(Value));
-      I += 3;
-    } else {
-      return std::nullopt;
-    }
-  }
-  return D;
 }

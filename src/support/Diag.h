@@ -74,6 +74,7 @@ enum class DiagCode : uint16_t {
   WS602_CACHE_IO = 602,           ///< Cache save/load I/O degraded.
   WS603_CACHE_CORRUPT = 603,      ///< Corrupt cache record quarantined.
   WS604_WORKER_PANIC = 604,       ///< Worker task threw; contained.
+  WS605_CACHE_MIGRATED = 605,     ///< Cache sidecar upgraded in place.
 };
 
 /// The stable spelling ("WS101_COMB_LOOP") used in JSON output.
@@ -264,20 +265,9 @@ std::string renderJson(const Diag &D);
 /// Newline-delimited JSON: renderJson per diag, one per line.
 std::string renderJson(const DiagList &Ds);
 
-// --- Wire transport ---------------------------------------------------------
-
-/// Lossless single-line encoding of a Diag for cross-process transport
-/// (the sharded-engine worker pipe protocol, docs/SCALE.md). Tokens are
-/// space-separated with %XX-escaping inside string fields, so the record
-/// never contains an unescaped newline and decodeDiag(encodeDiag(D)) ==
-/// D for every machine-visible field. This is a transport format, not a
-/// user contract: user-facing output always goes through renderJson.
-std::string encodeDiag(const Diag &D);
-
-/// Inverse of encodeDiag. \returns std::nullopt on any malformed input
-/// (truncated worker stream, garbage on the pipe) — callers treat that
-/// as a failed worker, never as a partial diagnostic.
-std::optional<Diag> decodeDiag(const std::string &Line);
+// Cross-process Diag transport lives in support/Wire.h (wire::putDiag /
+// wire::getDiag): diagnostics travel as checksummed binary wire records
+// on the shard pipe, not as ad-hoc escaped text lines.
 
 } // namespace wiresort::support
 

@@ -1,0 +1,235 @@
+//===- support/Wire.h - Versioned binary record streams ---------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one binary serialization layer (wire format v1 — docs/FORMATS.md).
+/// Summaries cross three boundaries: the `.wsort` sidecar a vendor ships
+/// with opaque IP (Section 4), the on-disk summary cache, and the
+/// fork+pipe shard transport. Before this layer each had its own ad-hoc
+/// text encoding; all three now read and write length-prefixed, versioned,
+/// per-record-checksummed binary records through \ref Writer / \ref
+/// Reader, so a summary stream is one format whether it lives in a file,
+/// a cache, or a pipe — and can later move onto a socket unchanged.
+///
+/// Stream shape:
+///
+///   magic "\xD7WSB" | format version byte | record...
+///
+/// Every record is `kind(1) | payload-length(varint) | payload |
+/// fnv1a64(kind+payload, 8 bytes LE)` — the same FNV-1a checksum cache
+/// format v2 used per record, now enforced by the framing itself. Ints
+/// travel as LEB128-style varints; strings are interned: the writer
+/// assigns each distinct string an id (backed by \ref StringInterner on a
+/// \ref Arena) and flushes newly seen strings in StringTable records
+/// ahead of the record that references them, so streams stay valid under
+/// incremental flushing (the shard pipe writes record by record).
+///
+/// The first payload byte of a stream is \ref SniffByte (0xD7): no text
+/// sidecar can start with it (they begin '#', 'm', or whitespace), so
+/// readers sniff one byte to dispatch text vs binary.
+///
+/// Failure model: the reader never throws and never trusts a damaged
+/// frame. Truncation, checksum mismatch, bogus varints, and out-of-range
+/// string ids all surface as \ref Reader::Item::Truncated / Corrupt;
+/// callers fail closed (quarantine the record, drop the worker's tail,
+/// re-infer). Unknown record kinds with intact frames are returned to the
+/// caller, which may skip them — that is the forward-compat rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_WIRE_H
+#define WIRESORT_SUPPORT_WIRE_H
+
+#include "support/Arena.h"
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wiresort::support::wire {
+
+/// First byte of every wire stream; >= 0x80 so no ASCII text file can
+/// collide. Readers sniff this byte to dispatch text vs binary.
+constexpr unsigned char SniffByte = 0xD7;
+/// Full magic: SniffByte then "WSB".
+constexpr char Magic[4] = {char(0xD7), 'W', 'S', 'B'};
+/// Container format version written after the magic. Bumped only when
+/// the *framing* changes; payload schemas version via StreamBegin.
+constexpr uint8_t FormatVersion = 1;
+
+/// Typed record kinds. Values are part of the on-disk/on-pipe contract
+/// (docs/FORMATS.md); never renumber.
+enum class RecordKind : uint8_t {
+  StringTable = 1,   ///< Newly interned strings (id order).
+  StreamBegin = 2,   ///< Stream kind + payload schema version.
+  ModuleSummary = 3, ///< Name-based module summary (sidecars).
+  Diag = 4,          ///< One standalone diagnostic.
+  CacheEntry = 5,    ///< Cache key + name-based module summary.
+  StreamEnd = 6,     ///< Record count; a stream without one is truncated.
+  ShardModule = 7,   ///< Shard transport per-module outcome (id-based).
+};
+
+/// StreamBegin payload: what producer wrote this stream. Lets a cache
+/// reader reject a summary sidecar handed to --cache and vice versa.
+enum class StreamKind : uint8_t {
+  Summaries = 1, ///< `.wsort` binary sidecar (SummaryIO).
+  Cache = 2,     ///< Summary-cache sidecar (cache format v3).
+  Shard = 3,     ///< Fork-worker pipe stream (docs/SCALE.md).
+};
+
+/// FNV-1a 64 over \p Data folded into \p Seed — the per-record checksum
+/// (same constants as cache format v2, which this framing supersedes).
+uint64_t fnv1a(std::string_view Data,
+               uint64_t Seed = 1469598103934665603ull);
+
+/// Interns the `wire.*` trace counters so they are visible — at zero —
+/// in every stats report (the same startup contract as the `fault.*`
+/// counters; docs/OBSERVABILITY.md).
+void internCounters();
+
+/// Builds a wire stream incrementally. beginRecord/put*/endRecord per
+/// record; take() drains the bytes framed so far (the shard workers
+/// write the pipe record by record), finish() closes the stream with a
+/// StreamEnd carrying the record count.
+class Writer {
+public:
+  Writer();
+
+  /// Interns \p S for this stream, assigning an id on first sight. New
+  /// strings are flushed in a StringTable record by the enclosing
+  /// endRecord(), always ahead of the record that references them.
+  uint32_t intern(std::string_view S);
+
+  void beginRecord(RecordKind K);
+  void putVarint(uint64_t V);
+  void putByte(uint8_t B);
+  void putFixed64(uint64_t V);
+  /// putVarint(intern(S)).
+  void putString(std::string_view S);
+  void endRecord();
+
+  /// Convenience: StreamBegin record announcing \p K at \p Version.
+  void beginStream(StreamKind K, uint64_t Version);
+  /// Closes the stream: one StreamEnd record carrying the count of
+  /// records framed before it.
+  void finish();
+
+  /// Drains and returns everything framed so far (header included on
+  /// first call). The writer remains usable; interning state persists.
+  std::string take();
+  /// All framed bytes when the stream is built in one piece.
+  const std::string &bytes() const { return Out; }
+
+  size_t recordsWritten() const { return Records; }
+
+private:
+  void frame(RecordKind K, const std::string &Payload);
+  void flushStrings();
+
+  std::string Out;
+  std::string Payload;
+  Arena StringArena;
+  StringInterner Interner{StringArena};
+  std::unordered_map<std::string_view, uint32_t> IdOf;
+  std::vector<std::string_view> Pending;
+  RecordKind CurKind = RecordKind::StringTable;
+  bool InRecord = false;
+  size_t Records = 0;
+};
+
+/// Iterates the records of a wire stream without ever trusting a
+/// damaged frame. Zero-copy: payload and string views point into the
+/// caller's buffer, which must outlive the reader.
+class Reader {
+public:
+  explicit Reader(std::string_view Bytes) : Data(Bytes) {}
+
+  /// Validates magic + container version. On failure \p Why (when
+  /// non-null) names the problem ("bad magic", "unsupported wire format
+  /// version N").
+  bool readHeader(std::string *Why = nullptr);
+
+  struct Record {
+    RecordKind Kind = RecordKind::StringTable;
+    std::string_view Payload;
+    /// Byte offset of the record's kind byte, for quarantine reports.
+    size_t Offset = 0;
+  };
+
+  enum class Item : uint8_t {
+    Record,    ///< \p R holds the next non-bookkeeping record.
+    End,       ///< StreamEnd seen (clean end of stream).
+    Exhausted, ///< Bytes ran out exactly between records (no StreamEnd).
+    Truncated, ///< Bytes ran out inside a frame.
+    Corrupt,   ///< Checksum mismatch or malformed frame.
+  };
+
+  /// Advances to the next record, consuming StringTable records
+  /// internally (extending the string table). Anything but Item::Record
+  /// ends iteration; Truncated/Corrupt mean the rest of the stream is
+  /// untrustworthy.
+  Item next(Record &R);
+
+  /// The string interned under \p Id, or std::nullopt when out of range
+  /// (a damaged or misordered stream).
+  std::string_view string(uint64_t Id) const {
+    return Id < Strings.size() ? Strings[Id] : std::string_view();
+  }
+  bool hasString(uint64_t Id) const { return Id < Strings.size(); }
+
+  size_t recordsRead() const { return Records; }
+
+  /// Cursor over one record's payload. All get* return false on
+  /// truncation or malformed data, after which the cursor stays failed.
+  class Cursor {
+  public:
+    Cursor(const Record &R, const Reader &Owner)
+        : Data(R.Payload), Owner(Owner) {}
+
+    bool getVarint(uint64_t &V);
+    bool getByte(uint8_t &B);
+    bool getFixed64(uint64_t &V);
+    /// Reads a varint string id and resolves it via the owner's table.
+    bool getString(std::string_view &S);
+    bool atEnd() const { return Pos == Data.size() && !Failed; }
+    bool failed() const { return Failed; }
+
+  private:
+    std::string_view Data;
+    const Reader &Owner;
+    size_t Pos = 0;
+    bool Failed = false;
+  };
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+  std::vector<std::string_view> Strings;
+  size_t Records = 0;
+};
+
+// --- Diag payload codec -----------------------------------------------------
+//
+// The lossless cross-process Diag transport (replacing the old
+// encodeDiag/decodeDiag text lines): strings travel through the
+// stream's intern table, everything else as varints. Used inline in
+// ShardModule payloads and for standalone Diag records.
+
+/// Appends \p D to the writer's current record payload.
+void putDiag(Writer &W, const Diag &D);
+
+/// Decodes one diag from \p C (inverse of putDiag). \returns false on
+/// any malformed input — callers treat that as a failed worker, never
+/// as a partial diagnostic.
+bool getDiag(Reader::Cursor &C, Diag &D);
+
+} // namespace wiresort::support::wire
+
+#endif // WIRESORT_SUPPORT_WIRE_H

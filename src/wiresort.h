@@ -55,6 +55,7 @@
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "support/Wire.h"
 
 // IR: the netlist object model.
 #include "ir/Builder.h"

@@ -12,6 +12,7 @@
 
 #include "analysis/SummaryEngine.h"
 
+#include "analysis/SummaryIO.h"
 #include "gen/Fifo.h"
 #include "ir/Builder.h"
 #include "ir/Circuit.h"
@@ -123,6 +124,112 @@ TEST(CrashRecoveryTest, InterruptedSaveLeavesThePreviousCacheIntact) {
   EXPECT_EQ(Fresh.stats().Inferred, 0u);
   EXPECT_EQ(Fresh.stats().CacheHits, D.numModules());
   ASSERT_EQ(Warm.size(), Out.size());
+  for (const auto &[Id, S] : Out)
+    EXPECT_TRUE(structurallyEqual(S, Warm.at(Id))) << "module " << Id;
+  std::remove(Path.c_str());
+}
+
+namespace {
+
+/// A legacy text cache (format v2) for \p Out, keyed by \p Engine's
+/// computed keys — what a pre-v3 build would have left on disk.
+std::string composeV2Cache(const SummaryEngine &Engine, const Design &D,
+                           const Summaries &Out) {
+  std::ostringstream OS;
+  OS << "# wiresort summary cache v2\n";
+  std::string Body;
+  for (const auto &[Id, S] : Out) {
+    OS << "# key " << D.module(Id).Name << ' ' << std::hex
+       << Engine.keyOf(Id) << std::dec << '\n';
+    Body += writeSummaries(D, {{Id, S}});
+  }
+  return OS.str() + Body;
+}
+
+/// Runs loadCache in a forked child with cache.migrate.partial armed:
+/// the v2 text loads, then the in-place upgrade tears mid-write and
+/// _exit(125)s before the rename. \returns the child's exit status.
+int crashMidMigrate(const std::string &Path, const Design &D) {
+  pid_t Pid = ::fork();
+  if (Pid == 0) {
+    support::failpoint::disarmAll();
+    if (support::failpoint::configure("cache.migrate.partial=always")
+            .hasError())
+      ::_exit(110);
+    SummaryEngine Child;
+    (void)Child.loadCache(Path, D); // _exit(125)s inside.
+    ::_exit(111); // The failpoint did not fire: fail the test.
+  }
+  int Status = 0;
+  ::waitpid(Pid, &Status, 0);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+} // namespace
+
+TEST(CrashRecoveryTest, InterruptedMigrationLeavesTheV2CacheUntouched) {
+  // v2 -> v3 migration shares saveCache's atomicity: a crash mid-upgrade
+  // (cache.migrate.partial) must leave the legacy text file
+  // byte-identical — the next run loads it again, migrates again, and
+  // heals.
+  Design D;
+  buildPair(D);
+  std::string Path = ::testing::TempDir() + "/crash_migrate.wscache";
+  std::string Tmp = Path + ".tmp";
+  std::remove(Path.c_str());
+  std::remove(Tmp.c_str());
+
+  CheckOptions Serial;
+  Serial.Threads = 1;
+  SummaryEngine Engine(Serial);
+  Summaries Out;
+  ASSERT_FALSE(Engine.analyze(D, Out).hasError());
+  const std::string V2 = composeV2Cache(Engine, D, Out);
+  {
+    std::ofstream OutFile(Path);
+    OutFile << V2;
+  }
+
+  ASSERT_EQ(crashMidMigrate(Path, D), 125);
+
+  // The v2 file survived the crash byte for byte; the torn half-stream
+  // only ever lived in .tmp.
+  std::optional<std::string> After = slurp(Path);
+  ASSERT_TRUE(After.has_value());
+  EXPECT_EQ(*After, V2);
+  std::optional<std::string> Torn = slurp(Tmp);
+  ASSERT_TRUE(Torn.has_value()) << "crash did not happen mid-write";
+  std::remove(Tmp.c_str());
+
+  // The next run heals: the text loads in full, the migration succeeds
+  // (WS605 note), and the file on disk is now a v3 wire stream.
+  SummaryEngine Healer(Serial);
+  auto Loaded = Healer.loadCache(Path, D);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
+  EXPECT_EQ(Loaded->Loaded, Out.size());
+  EXPECT_EQ(Loaded->Quarantined, 0u);
+  bool SawMigrated = false;
+  for (const support::Diag &Dg : Loaded->Warnings)
+    SawMigrated |=
+        Dg.code() == support::DiagCode::WS605_CACHE_MIGRATED;
+  EXPECT_TRUE(SawMigrated) << Loaded->Warnings.describe();
+  std::optional<std::string> Healed = slurp(Path);
+  ASSERT_TRUE(Healed.has_value());
+  ASSERT_FALSE(Healed->empty());
+  EXPECT_EQ(static_cast<unsigned char>((*Healed)[0]), 0xD7u);
+
+  // And the migrated cache is as warm as the original: a fresh engine
+  // loads it (no migration note this time) and re-infers nothing.
+  SummaryEngine Fresh(Serial);
+  auto Reloaded = Fresh.loadCache(Path, D);
+  ASSERT_TRUE(Reloaded.hasValue()) << Reloaded.describe();
+  EXPECT_EQ(Reloaded->Loaded, Out.size());
+  EXPECT_TRUE(Reloaded->Warnings.empty())
+      << Reloaded->Warnings.describe();
+  Summaries Warm;
+  EXPECT_FALSE(Fresh.analyze(D, Warm).hasError());
+  EXPECT_EQ(Fresh.stats().Inferred, 0u);
+  EXPECT_EQ(Fresh.stats().CacheHits, D.numModules());
   for (const auto &[Id, S] : Out)
     EXPECT_TRUE(structurallyEqual(S, Warm.at(Id))) << "module " << Id;
   std::remove(Path.c_str());

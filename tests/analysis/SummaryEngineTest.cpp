@@ -12,6 +12,7 @@
 #include "analysis/SummaryEngine.h"
 
 #include "analysis/SortInference.h"
+#include "analysis/SummaryIO.h"
 #include "gen/Fifo.h"
 #include "gen/LoopInjector.h"
 #include "ir/Builder.h"
@@ -308,27 +309,88 @@ TEST(SummaryEngineTest, MissingAndStaleSidecarsAreHarmless) {
 
 TEST(SummaryEngineTest, SidecarBlocksForOtherDesignsAreSkipped) {
   // A cache shared across projects (or surviving a module rename) holds
-  // blocks this design cannot resolve; they are stale entries to skip,
-  // never a reason to fail the check.
+  // records this design cannot resolve; they are stale entries to skip,
+  // never a reason to fail the check. Exercised in the legacy text
+  // format — a foreign block spliced into a v2 file — since a v2 cache
+  // can reach loadCache from any older build.
   Design D;
   buildDiamond(D);
   SummaryEngine Writer;
   Summaries Out = engineAnalyzeOrDie(Writer, D);
   std::string Path = ::testing::TempDir() + "/summary_engine_mixed.wsort";
-  ASSERT_TRUE(Writer.saveCache(Path, D, Out).empty());
   {
-    std::ofstream Append(Path, std::ios::app);
-    Append << "# key no_such_module 1234abcd\n"
-           << "module no_such_module\n"
-           << "  input ghost to-sync\n"
-           << "end\n";
+    std::ofstream V2(Path);
+    V2 << "# wiresort summary cache v2\n";
+    for (const auto &[Id, S] : Out)
+      V2 << "# key " << D.module(Id).Name << ' ' << std::hex
+         << Writer.keyOf(Id) << std::dec << '\n';
+    V2 << "# key no_such_module 1234abcd\n";
+    for (const auto &[Id, S] : Out)
+      V2 << writeSummaries(D, {{Id, S}});
+    V2 << "module no_such_module\n"
+       << "  input ghost to-sync\n"
+       << "end\n";
   }
 
   SummaryEngine Reader;
   auto Loaded = Reader.loadCache(Path, D);
   ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
+  EXPECT_EQ(Loaded->Loaded, Out.size());
+  EXPECT_EQ(Loaded->Quarantined, 0u);
   Summaries Warm = engineAnalyzeOrDie(Reader, D);
   EXPECT_EQ(Reader.stats().Inferred, 0u);
+  expectAllEqual(Out, Warm);
+  std::remove(Path.c_str());
+}
+
+TEST(SummaryEngineTest, StaleBinaryCacheEntriesAreSkippedSilently) {
+  // The v3 equivalent of cross-design staleness: a cache saved against
+  // one design, loaded against a design missing those modules. Every
+  // record passes its framing checksum but fails to resolve — provably
+  // stale, skipped without a warning.
+  Design A;
+  buildDiamond(A);
+  SummaryEngine Writer;
+  Summaries Out = engineAnalyzeOrDie(Writer, A);
+  std::string Path = ::testing::TempDir() + "/summary_engine_stale.wsort";
+  ASSERT_TRUE(Writer.saveCache(Path, A, Out).empty());
+
+  Design B; // Same leaf, no diamond: only the fifo records resolve.
+  B.addModule(gen::makeFifo({8, 2, /*Forwarding=*/true}));
+  SummaryEngine Reader;
+  auto Loaded = Reader.loadCache(Path, B);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
+  EXPECT_EQ(Loaded->Loaded, 1u); // The shared fifo module.
+  EXPECT_EQ(Loaded->Quarantined, 0u);
+  EXPECT_TRUE(Loaded->Warnings.empty()) << Loaded->Warnings.describe();
+  std::remove(Path.c_str());
+}
+
+TEST(SummaryEngineTest, SavedCacheIsAWireStreamAndReloadsWarm) {
+  // The disk round trip in the current (v3) format: saveCache writes a
+  // sniffable wire stream, a fresh engine reloads every record with no
+  // warnings, and the warm run re-infers nothing.
+  Design D;
+  buildDiamond(D);
+  SummaryEngine Writer;
+  Summaries Out = engineAnalyzeOrDie(Writer, D);
+  std::string Path = ::testing::TempDir() + "/summary_engine_v3.wsort";
+  ASSERT_TRUE(Writer.saveCache(Path, D, Out).empty());
+  {
+    std::ifstream In(Path, std::ios::binary);
+    char First = 0;
+    ASSERT_TRUE(In.get(First));
+    EXPECT_EQ(static_cast<unsigned char>(First), 0xD7u);
+  }
+
+  SummaryEngine Reader;
+  auto Loaded = Reader.loadCache(Path, D);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.describe();
+  EXPECT_EQ(Loaded->Loaded, Out.size());
+  EXPECT_TRUE(Loaded->Warnings.empty()) << Loaded->Warnings.describe();
+  Summaries Warm = engineAnalyzeOrDie(Reader, D);
+  EXPECT_EQ(Reader.stats().Inferred, 0u);
+  EXPECT_EQ(Reader.stats().CacheHits, D.numModules());
   expectAllEqual(Out, Warm);
   std::remove(Path.c_str());
 }

@@ -8,10 +8,12 @@
 //  * Stage 1 — ShardedEngine::analyze at every shard count in
 //    {1, 2, 4, 8}, in-process threads and fork+pipe children alike,
 //    produces byte-identical verdict NDJSON, structurallyEqual summary
-//    maps, and byte-identical saveCache sidecars to the serial
-//    SummaryEngine reference. Loop-injected trials push WS101
-//    diagnostics (witness hops included) through the fork pipe's
-//    encodeDiag transport, so the byte claim covers the diag codec too.
+//    maps, and byte-identical saveCache sidecars — and byte-identical
+//    binary summary sidecars — to the serial SummaryEngine reference.
+//    Loop-injected trials push WS101 diagnostics (witness hops
+//    included) through the fork pipe's framed wire records
+//    (support/Wire.h putDiag/getDiag), so the byte claim covers the
+//    diag codec too.
 //  * Warm cache — a second analyze on the same ShardedEngine serves
 //    every module from cache and must not move a byte.
 //  * Stage 3 — checkCircuitSharded at every shard count emits verdicts
@@ -27,6 +29,7 @@
 #include "analysis/Sharded.h"
 
 #include "analysis/SummaryEngine.h"
+#include "analysis/SummaryIO.h"
 #include "analysis/WellConnected.h"
 #include "gen/MegaScale.h"
 #include "support/Diag.h"
@@ -119,6 +122,21 @@ TEST_P(ShardTrial, EveryShardCountAndModeMatchesSerialByteForByte) {
   const std::string RefCacheBytes = slurp(RefCachePath);
   ASSERT_FALSE(RefCacheBytes.empty()) << "seed " << Seed;
 
+  // Binary-roundtrip differential: the wire-format sidecar of the
+  // serial summaries decodes back to the same summaries, and its bytes
+  // are the reference every sharded run must reproduce below.
+  const std::string RefBinary = writeSummariesBinary(D, RefOut);
+  {
+    auto Decoded = readSummariesBinary(RefBinary, D);
+    ASSERT_TRUE(Decoded.hasValue())
+        << "seed " << Seed << "\n"
+        << Decoded.describe();
+    expectSameSummaries(RefOut, *Decoded,
+                        "seed " + std::to_string(Seed) + " binary");
+    EXPECT_EQ(writeSummaries(D, *Decoded), writeSummaries(D, RefOut))
+        << "seed " << Seed;
+  }
+
   const std::string ShardCachePath = ::testing::TempDir() +
                                      "/shard_diff_" +
                                      std::to_string(Seed) + ".wscache";
@@ -145,6 +163,10 @@ TEST_P(ShardTrial, EveryShardCountAndModeMatchesSerialByteForByte) {
           Sharded.engine().saveCache(ShardCachePath, D, Out).empty())
           << Trial;
       EXPECT_EQ(slurp(ShardCachePath), RefCacheBytes) << Trial;
+
+      // Same byte-identity for the binary summary sidecar: shard
+      // count and mode must not move a byte of the wire stream.
+      EXPECT_EQ(writeSummariesBinary(D, Out), RefBinary) << Trial;
 
       // Warm re-run on the same engine: all cache hits, zero drift.
       if (Shards == 4 && Mode == ShardOptions::Mode::InProcess) {

@@ -8,7 +8,11 @@
 #  * bench_kernel — serial-vs-kernel Stage-1 rows with per-phase
 #    (freeze/frontier/sweep) attribution, plus the MegaScale flat-graph
 #    512-source closure under every available sweep ISA against the
-#    scalar 1-lane-word baseline — written over BENCH_kernel.json.
+#    scalar 1-lane-word baseline — written over BENCH_kernel.json;
+#  * bench_engine — serial/parallel/warm engine curves, the cold
+#    summary-load comparison (text sidecar vs wire binary vs loadCache
+#    on a v3 cache file), and the trace/failpoint overhead smokes —
+#    written over BENCH_engine.json.
 #
 # Every timing in both reports is gated on a results-identical check
 # (serial reference / scalar-baseline bitset), so a committed report is
@@ -35,7 +39,7 @@ done
 
 [ -f "$BUILD/CMakeCache.txt" ] || cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j "$(nproc)" --target bench_scalability \
-  --target bench_kernel
+  --target bench_kernel --target bench_engine
 
 # shellcheck disable=SC2086 # QUICK is intentionally word-split.
 "$BUILD/bench/bench_scalability" $QUICK --json "$ROOT/BENCH_scalability.json"
@@ -44,3 +48,7 @@ echo "wrote $ROOT/BENCH_scalability.json"
 # shellcheck disable=SC2086
 "$BUILD/bench/bench_kernel" $QUICK --json "$ROOT/BENCH_kernel.json"
 echo "wrote $ROOT/BENCH_kernel.json"
+
+# shellcheck disable=SC2086
+"$BUILD/bench/bench_engine" $QUICK --json "$ROOT/BENCH_engine.json"
+echo "wrote $ROOT/BENCH_engine.json"

@@ -40,7 +40,12 @@
 #      metamorphic, and generator-determinism suites (ctest label
 #      `scale`), a TSan rerun of the in-process shard paths, and a jq
 #      byte-comparison of serial vs `--shards 4` vs merged `--shard i/4`
-#      wiresort-check NDJSON on the golden fixtures.
+#      wiresort-check NDJSON on the golden fixtures;
+#   8. the wire-format contract (docs/FORMATS.md): on the golden
+#      fixtures, text -> binary -> text summary conversion must
+#      round-trip byte-identically, repeated binary writes must be
+#      byte-stable, and the binary sidecar a 4-shard fork run writes
+#      must be byte-identical to the serial one.
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
@@ -153,6 +158,11 @@ if command -v jq >/dev/null 2>&1; then
   # (at zero, here) in every stats report (docs/ROBUSTNESS.md).
   grep -q 'fault.injected' "$TRACE_TMP/stats.txt"
   grep -q 'fault.quarantined_records' "$TRACE_TMP/stats.txt"
+  # Likewise the wire codec counters (docs/FORMATS.md): interned at
+  # startup, so present even in a run that never touched binary data.
+  grep -q 'wire.records_written' "$TRACE_TMP/stats.txt"
+  grep -q 'wire.records_read' "$TRACE_TMP/stats.txt"
+  grep -q 'wire.checksum_failures' "$TRACE_TMP/stats.txt"
   echo "trace-out document passes the jq contract checks"
   # Disabled-vs-enabled overhead smokes — tracing and failpoints share
   # the same one-relaxed-load budget (the < 2% bar is asserted by
@@ -223,4 +233,37 @@ else
 fi
 
 echo
-echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace + ASan soak + scale)"
+echo "=== stage 8: wire-format round-trip contract (docs/FORMATS.md) ==="
+WIRE_TMP=$(mktemp -d)
+trap 'rm -rf "${TRACE_TMP:-}" "${SCALE_TMP:-}" "$WIRE_TMP"' EXIT
+CHECK="$BUILD/tools/wiresort-check"
+# Loop-free fixtures only: a WS101 verdict writes no sidecar. The CLI
+# golden fixture plus the 12-module Section 5.3 CPU netlist.
+cp "$ROOT/tests/tools/loopfree.blif" "$WIRE_TMP/loopfree.blif"
+"$BUILD/examples/riscv_soc" --emit-blif "$WIRE_TMP/soc.blif" >/dev/null
+for Fixture in loopfree.blif soc.blif; do
+  F="$WIRE_TMP/$Fixture"
+  # A text sidecar, converted text -> binary -> text, must come back
+  # byte-identical — the two formats carry the same information.
+  "$CHECK" "$F" --quiet \
+    --summaries "$WIRE_TMP/text1.wsort" --summary-format text >/dev/null
+  "$CHECK" "$F" --quiet --convert-summaries "$WIRE_TMP/text1.wsort" \
+    --summaries "$WIRE_TMP/bin.wsort" --summary-format binary >/dev/null
+  "$CHECK" "$F" --quiet --convert-summaries "$WIRE_TMP/bin.wsort" \
+    --summaries "$WIRE_TMP/text2.wsort" --summary-format text >/dev/null
+  cmp "$WIRE_TMP/text1.wsort" "$WIRE_TMP/text2.wsort"
+  # Binary writes are deterministic: a direct binary sidecar matches
+  # the converted one byte for byte, serial or 4-shard fork alike.
+  "$CHECK" "$F" --quiet \
+    --summaries "$WIRE_TMP/bin_direct.wsort" --summary-format binary \
+    >/dev/null
+  cmp "$WIRE_TMP/bin.wsort" "$WIRE_TMP/bin_direct.wsort"
+  "$CHECK" "$F" --quiet --shards 4 \
+    --summaries "$WIRE_TMP/bin_sharded.wsort" --summary-format binary \
+    >/dev/null
+  cmp "$WIRE_TMP/bin_direct.wsort" "$WIRE_TMP/bin_sharded.wsort"
+done
+echo "text <-> binary summaries round-trip; serial and sharded binary sidecars agree byte-for-byte"
+
+echo
+echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace + ASan soak + scale + wire)"

@@ -133,6 +133,7 @@ int usage(const char *Argv0, Emitter &E, const std::string &Why) {
   E.emit(support::Diag(support::DiagCode::WS503_USAGE, Why));
   std::fprintf(stderr,
                "usage: %s <design.blif|design.v> [--summaries FILE] "
+               "[--summary-format text|binary] [--convert-summaries FILE] "
                "[--check FILE] [--dot FILE] [--format text|json] "
                "[--quiet] [--depth] [--threads N] [--shards N] "
                "[--shard I/N] [--cache FILE] "
@@ -205,11 +206,12 @@ checkDeclared(const Design &D,
 } // namespace
 
 int main(int ArgC, char **ArgV) {
-  std::string DesignPath, SummariesOut, CheckPath, DotPath;
+  std::string DesignPath, SummariesOut, CheckPath, DotPath, ConvertIn;
   CheckOptions Opts;
   Emitter Emit;
   bool Quiet = false;
   bool ShowDepth = false;
+  bool BinarySummaries = false;
   // Sharding: --shards N (fork workers) or --shard I/N (slice mode).
   unsigned Shards = 0;
   unsigned SliceShard = 0, SliceOf = 0;
@@ -224,6 +226,21 @@ int main(int ArgC, char **ArgV) {
     if (Arg == "--summaries") {
       if (!takeValue(SummariesOut))
         return usage(ArgV[0], Emit, "--summaries expects a file");
+    } else if (Arg == "--summary-format") {
+      std::string Value;
+      if (!takeValue(Value))
+        return usage(ArgV[0], Emit,
+                     "--summary-format expects text or binary");
+      if (Value == "binary")
+        BinarySummaries = true;
+      else if (Value == "text")
+        BinarySummaries = false;
+      else
+        return usage(ArgV[0], Emit, "unknown --summary-format '" + Value +
+                                        "' (text|binary)");
+    } else if (Arg == "--convert-summaries") {
+      if (!takeValue(ConvertIn))
+        return usage(ArgV[0], Emit, "--convert-summaries expects a file");
     } else if (Arg == "--check") {
       if (!takeValue(CheckPath))
         return usage(ArgV[0], Emit, "--check expects a file");
@@ -312,6 +329,10 @@ int main(int ArgC, char **ArgV) {
   if (Shards != 0 && SliceOf != 0)
     return usage(ArgV[0], Emit,
                  "--shards and --shard are mutually exclusive");
+  if (!ConvertIn.empty() && SummariesOut.empty())
+    return usage(ArgV[0], Emit,
+                 "--convert-summaries needs --summaries FILE for the "
+                 "output");
 
   // Fault injection arms before any other work so every site in the run
   // is eligible; configureFromEnv() also interns the fault.* counters so
@@ -322,6 +343,9 @@ int main(int ArgC, char **ArgV) {
     Emit.emit(Env);
     return 2;
   }
+  // Same contract for the wire.* serialization counters: interned at
+  // startup so --stats reports them at zero even on all-text runs.
+  support::wire::internCounters();
   if (!Opts.FailpointSpec.empty()) {
     support::Status Armed =
         support::failpoint::configure(Opts.FailpointSpec, Opts.FaultSeed);
@@ -396,6 +420,33 @@ int main(int ArgC, char **ArgV) {
       return Cancelled ? Emit.verdictCancelled() : Emit.verdictError();
     }
     File = std::move(*BFile);
+  }
+
+  // --convert-summaries: re-serialize an existing sidecar (either
+  // format, sniffed) in the --summary-format encoding and exit. Port
+  // names resolve against the design, so this doubles as a validation
+  // pass; the run_tests round-trip stage leans on text → binary → text
+  // being byte-identical.
+  if (!ConvertIn.empty()) {
+    std::optional<std::string> InBytes = readFile(ConvertIn);
+    if (!InBytes)
+      return ioError(Emit, "cannot read '" + ConvertIn + "'");
+    auto Converted = readSummariesAny(*InBytes, File->Design, ConvertIn);
+    if (!Converted) {
+      Emit.SourceText = nullptr;
+      Emit.emit(Converted.diags());
+      return Emit.verdictError();
+    }
+    const std::string Out =
+        BinarySummaries ? writeSummariesBinary(File->Design, *Converted)
+                        : writeSummaries(File->Design, *Converted);
+    if (!writeFile(SummariesOut, Out))
+      return ioError(Emit, "cannot write '" + SummariesOut + "'");
+    if (!finishTelemetry())
+      return 2;
+    if (Emit.Fmt == Format::Text)
+      std::printf("summaries converted to %s\n", SummariesOut.c_str());
+    return 0;
   }
 
   // One engine serves every mode: plain runs own it directly, sharded
@@ -533,8 +584,10 @@ int main(int ArgC, char **ArgV) {
   }
 
   if (!SummariesOut.empty()) {
-    if (!writeFile(SummariesOut,
-                   writeSummaries(File->Design, Summaries)))
+    const std::string Out =
+        BinarySummaries ? writeSummariesBinary(File->Design, Summaries)
+                        : writeSummaries(File->Design, Summaries);
+    if (!writeFile(SummariesOut, Out))
       return ioError(Emit, "cannot write '" + SummariesOut + "'");
     if (Emit.Fmt == Format::Text)
       std::printf("summaries written to %s\n", SummariesOut.c_str());
@@ -545,7 +598,7 @@ int main(int ArgC, char **ArgV) {
     if (!Declared)
       return ioError(Emit, "cannot read '" + CheckPath + "'");
     auto DeclaredSummaries =
-        parseSummaries(*Declared, File->Design, CheckPath);
+        readSummariesAny(*Declared, File->Design, CheckPath);
     if (!DeclaredSummaries) {
       // The sidecar, not the design, is the malformed text here; skip
       // the caret echo rather than point it into the wrong buffer.
