@@ -249,7 +249,7 @@ int main(int ArgC, char **ArgV) {
         ShardOptions SOpts;
         SOpts.Shards = 4;
         SOpts.ExecMode = Modes[M];
-        SOpts.Check.UseCache = false;
+        SOpts.Engine.UseCache = false;
         ShardedEngine Sharded(SOpts);
         std::map<ModuleId, ModuleSummary> Out;
         Timer ShardT;

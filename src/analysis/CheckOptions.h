@@ -1,4 +1,4 @@
-//===- analysis/CheckOptions.h - The one options struct ---------*- C++ -*-===//
+//===- analysis/CheckOptions.h - Engine vs per-request knobs ----*- C++ -*-===//
 //
 // Part of the wiresort project, a reproduction of "Wire Sorts: A Language
 // Abstraction for Safe Hardware Composition" (PLDI 2021).
@@ -6,14 +6,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The single knob surface for running a wire-sort check. Before this
-/// header the knobs were scattered: EngineOptions{Threads,UseCache} on
-/// the engine, a cache-path argument threaded by hand, and ad-hoc
-/// --threads/--cache/--format parsing in the CLI. CheckOptions collapses
-/// them so the engine, wiresort-check, and the benchmark harnesses all
-/// consume one struct — each layer reads the fields that concern it and
-/// ignores the rest (the engine does not open files; the CLI owns
-/// CachePath/TraceOutPath I/O).
+/// The knob surface for running wire-sort checks, split along the
+/// residency boundary the serving layer introduced (docs/SERVING.md):
+///
+///  * \ref EngineConfig — knobs that configure a *resident engine*
+///    (worker threads, whether the content-addressed summary cache is
+///    consulted). A long-lived SummaryEngine is built from one of these
+///    and then serves many requests.
+///  * \ref RequestOptions — knobs that vary *per request* (deadline,
+///    output format, cache sidecar path, tracing, fault schedule). A
+///    resident engine can serve many differently-configured requests
+///    concurrently without copying or re-creating engine state.
+///
+/// \ref CheckOptions, the previous single flat struct, is kept for one
+/// release as a deprecated aggregate of both halves (the same grace
+/// period the PR-4 `EngineOptions` alias got before PR 8 removed it):
+/// every pre-split call site keeps compiling, and engine()/request()
+/// project out the halves for code migrating to the new surface.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,24 +34,34 @@
 
 namespace wiresort::analysis {
 
-/// Options for one end-to-end check (Stage-1 inference + reporting).
-struct CheckOptions {
+/// Diagnostic/verdict rendering (docs/DIAGNOSTICS.md).
+enum class Format { Text, Json };
+
+/// Configuration of a (possibly resident) SummaryEngine: state that is
+/// fixed for the engine's lifetime and shared by every request it
+/// serves. See docs/ENGINE.md and docs/SERVING.md.
+struct EngineConfig {
   /// Worker threads for SummaryEngine; 0 = hardware concurrency,
-  /// 1 = serial (no pool).
+  /// 1 = serial (no pool). A resident service usually runs each request
+  /// at 1 and gets its parallelism from concurrent requests instead.
   unsigned Threads = 0;
 
   /// When false, every analyze() call re-infers everything (the
   /// in-memory summary cache is neither consulted nor populated) — the
   /// differential-testing baseline.
   bool UseCache = true;
+};
 
+/// Options for one check request. A resident engine serves many of
+/// these, each with its own deadline/format/fault schedule, without
+/// copying engine state.
+struct RequestOptions {
   /// Persistent summary-cache sidecar ("" = in-memory only). Consumed
-  /// by the CLI/benches via SummaryEngine::loadCache/saveCache; the
+  /// by the driver/CLI via SummaryEngine::loadCache/saveCache; the
   /// engine itself never opens it implicitly.
   std::string CachePath;
 
   /// Diagnostic/verdict rendering (docs/DIAGNOSTICS.md).
-  enum class Format { Text, Json };
   Format OutputFormat = Format::Text;
 
   /// Chrome trace-event JSON destination for a trace::Session ("" = no
@@ -53,21 +72,52 @@ struct CheckOptions {
   /// (wiresort-check --stats).
   bool Stats = false;
 
-  /// Wall-clock budget for the whole check in milliseconds (0 = none).
-  /// The CLI turns this into one support::Deadline covering parse +
-  /// analysis; a run that exceeds it fails closed with a
+  /// Wall-clock budget for this request in milliseconds (0 = none).
+  /// The driver turns this into one support::Deadline covering parse +
+  /// analysis; a request that exceeds it fails closed with a
   /// WS601_CANCELLED partial-progress diag and exit code 3
   /// (docs/ROBUSTNESS.md).
   uint64_t TimeoutMs = 0;
 
   /// Fault-injection schedule ("site=mode,..." — support/FailPoint.h),
-  /// normally empty. Consumed by the CLI (`--failpoints`) and the fault
-  /// soak harness; the engine itself never arms sites.
+  /// normally empty. NOTE: the failpoint registry is process-wide, so
+  /// in a resident service a request's schedule is visible to requests
+  /// running concurrently with it (docs/SERVING.md degradation matrix).
   std::string FailpointSpec;
 
   /// Seed for probabilistic failpoint triggers, so a (spec, seed) pair
   /// replays byte-identically.
   uint64_t FaultSeed = 0;
+};
+
+/// Deprecated aggregate of EngineConfig + RequestOptions, kept for one
+/// release so pre-split call sites keep compiling. New code should pass
+/// EngineConfig to engines and RequestOptions to the driver; this shim
+/// (like the PR-4 `EngineOptions` alias before it) will be removed.
+struct CheckOptions {
+  using Format = ::wiresort::analysis::Format;
+
+  // EngineConfig half.
+  unsigned Threads = 0;
+  bool UseCache = true;
+
+  // RequestOptions half.
+  std::string CachePath;
+  Format OutputFormat = Format::Text;
+  std::string TraceOutPath;
+  bool Stats = false;
+  uint64_t TimeoutMs = 0;
+  std::string FailpointSpec;
+  uint64_t FaultSeed = 0;
+
+  /// The engine-facing half.
+  EngineConfig engine() const { return {Threads, UseCache}; }
+
+  /// The per-request half.
+  RequestOptions request() const {
+    return {CachePath, OutputFormat, TraceOutPath, Stats,
+            TimeoutMs, FailpointSpec, FaultSeed};
+  }
 };
 
 } // namespace wiresort::analysis

@@ -308,7 +308,8 @@ std::vector<ModResult> parseShardOutput(const std::string &Text,
 
 // --- ShardedEngine ----------------------------------------------------------
 
-ShardedEngine::ShardedEngine(ShardOptions Opts) : Opts(std::move(Opts)) {
+ShardedEngine::ShardedEngine(ShardOptions Opts)
+    : Opts(std::move(Opts)), Engine(this->Opts.Engine) {
   // The shard count is the parallelism; the per-shard engine paths run
   // single-threaded inference loops.
   this->Opts.Shards = std::max(1u, this->Opts.Shards);
@@ -334,7 +335,7 @@ ShardedEngine::analyze(const Design &D, std::map<ModuleId, ModuleSummary> &Out,
       trace::counter("fault.cancelled_modules");
 
   const std::vector<uint64_t> &Keys = Engine.primeKeys(D, Ascribed);
-  SummaryCache *Cache = Opts.Check.UseCache ? &Engine.cache() : nullptr;
+  SummaryCache *Cache = Opts.Engine.UseCache ? &Engine.cache() : nullptr;
 
   std::optional<std::vector<ModuleId>> Order = D.topologicalModuleOrder();
   assert(Order && "module instantiation must be acyclic");

@@ -73,10 +73,10 @@ struct ShardOptions {
   /// byte, and their summary sidecars are disjoint and jointly complete.
   int SliceShard = -1;
 
-  /// Engine options shared with the underlying SummaryEngine: UseCache
-  /// governs the summary cache, TimeoutMs the deadline. (Threads is
-  /// ignored here — the shard count is the parallelism.)
-  CheckOptions Check;
+  /// Configuration of the underlying SummaryEngine: UseCache governs
+  /// the summary cache. (Threads is ignored here — the shard count is
+  /// the parallelism; deadlines come in per analyze() call.)
+  EngineConfig Engine;
 };
 
 /// Counters for the most recent ShardedEngine::analyze call. Mirrored

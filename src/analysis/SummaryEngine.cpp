@@ -248,15 +248,15 @@ struct Run {
 
 // --- SummaryEngine ----------------------------------------------------------
 
-const std::vector<uint64_t> &
-SummaryEngine::primeKeys(const Design &D,
-                         const std::map<ModuleId, ModuleSummary> &Ascribed) {
+std::vector<uint64_t>
+SummaryEngine::computeKeys(const Design &D,
+                           const std::map<ModuleId, ModuleSummary> &Ascribed) {
   // Cache keys, serially in dependency order (cheap: one hash pass over
   // the design). A module's key folds the keys of its instantiated
   // definitions in instance order, so content addressing is transitive.
   std::optional<std::vector<ModuleId>> Order = D.topologicalModuleOrder();
   assert(Order && "module instantiation must be acyclic");
-  Keys.assign(D.numModules(), 0);
+  std::vector<uint64_t> Keys(D.numModules(), 0);
   for (ModuleId Id : *Order) {
     auto AscIt = Ascribed.find(Id);
     if (AscIt != Ascribed.end()) {
@@ -272,13 +272,20 @@ SummaryEngine::primeKeys(const Design &D,
   return Keys;
 }
 
+const std::vector<uint64_t> &
+SummaryEngine::primeKeys(const Design &D,
+                         const std::map<ModuleId, ModuleSummary> &Ascribed) {
+  Keys = computeKeys(D, Ascribed);
+  return Keys;
+}
+
 support::Status
 SummaryEngine::analyze(const Design &D,
                        std::map<ModuleId, ModuleSummary> &Out,
                        const std::map<ModuleId, ModuleSummary> &Ascribed) {
   return analyze(D, Out, Ascribed,
-                 Opts.TimeoutMs != 0
-                     ? support::Deadline::afterMs(Opts.TimeoutMs)
+                 LegacyTimeoutMs != 0
+                     ? support::Deadline::afterMs(LegacyTimeoutMs)
                      : support::Deadline());
 }
 
@@ -287,7 +294,23 @@ SummaryEngine::analyze(const Design &D,
                        std::map<ModuleId, ModuleSummary> &Out,
                        const std::map<ModuleId, ModuleSummary> &Ascribed,
                        const support::Deadline &DL) {
+  AnalyzeOutcome Outcome;
+  support::Status Verdict = analyzeShared(D, Out, Ascribed, DL, Outcome);
+  Stats = Outcome.Stats;
+  Keys = std::move(Outcome.Keys);
+  return Verdict;
+}
+
+support::Status
+SummaryEngine::analyzeShared(const Design &D,
+                             std::map<ModuleId, ModuleSummary> &Out,
+                             const std::map<ModuleId, ModuleSummary> &Ascribed,
+                             const support::Deadline &DL,
+                             AnalyzeOutcome &Outcome) {
   Timer T;
+  // Everything below writes through these aliases; no engine member is
+  // touched except the thread-safe Cache, keeping this path re-entrant.
+  EngineStats &Stats = Outcome.Stats;
   Stats = EngineStats();
   Stats.Modules = D.numModules();
 
@@ -306,14 +329,15 @@ SummaryEngine::analyze(const Design &D,
       D.topologicalModuleOrder();
   assert(Order && "module instantiation must be acyclic");
 
-  primeKeys(D, Ascribed);
+  Outcome.Keys = computeKeys(D, Ascribed);
+  const std::vector<uint64_t> &Keys = Outcome.Keys;
 
   // --- Scheduler state.
   Out.clear();
   for (ModuleId Id = 0; Id != D.numModules(); ++Id)
     Out[Id]; // Pre-insert every slot: map structure stays frozen below.
 
-  Run R(D, Ascribed, Out, Opts.UseCache ? &Cache : nullptr, Keys);
+  Run R(D, Ascribed, Out, Cfg.UseCache ? &Cache : nullptr, Keys);
   R.States.assign(D.numModules(), Run::State::Waiting);
   R.DepsLeft.assign(D.numModules(), 0);
   R.Dependents.assign(D.numModules(), {});
@@ -325,8 +349,8 @@ SummaryEngine::analyze(const Design &D,
       R.Dependents[Dep].push_back(Id);
   }
 
-  unsigned Threads = Opts.Threads != 0
-                         ? Opts.Threads
+  unsigned Threads = Cfg.Threads != 0
+                         ? Cfg.Threads
                          : std::max(1u, std::thread::hardware_concurrency());
   Stats.ThreadsUsed = Threads;
 
@@ -709,6 +733,13 @@ support::Status atomicWriteCache(const std::string &Path,
 support::Status SummaryEngine::saveCache(
     const std::string &Path, const Design &D,
     const std::map<ModuleId, ModuleSummary> &Summaries) const {
+  return saveCache(Path, D, Summaries, Keys);
+}
+
+support::Status SummaryEngine::saveCache(
+    const std::string &Path, const Design &D,
+    const std::map<ModuleId, ModuleSummary> &Summaries,
+    const std::vector<uint64_t> &Keys) const {
   std::vector<std::pair<uint64_t, const ModuleSummary *>> Entries;
   Entries.reserve(Summaries.size());
   for (const auto &[Id, S] : Summaries)

@@ -100,6 +100,16 @@ struct EngineStats {
   unsigned ThreadsUsed = 1;
 };
 
+/// Everything one analyze pass produced besides the summaries
+/// themselves: its counters and the per-module cache keys of the design
+/// it ran over. analyzeShared() fills one of these per call instead of
+/// mutating engine members, which is what lets a resident engine serve
+/// concurrent requests (docs/SERVING.md).
+struct AnalyzeOutcome {
+  EngineStats Stats;
+  std::vector<uint64_t> Keys;
+};
+
 /// What loadCache managed to recover from a sidecar. Degradation is the
 /// point: corrupt or unreadable records cost warm starts, never the
 /// run — Warnings carries the WS602/WS603 evidence (with the sidecar
@@ -114,7 +124,18 @@ struct CacheLoadResult {
 /// production path (wiresort-check, circuit checking, the benches).
 class SummaryEngine {
 public:
-  explicit SummaryEngine(CheckOptions Opts = {}) : Opts(std::move(Opts)) {}
+  SummaryEngine() = default;
+  explicit SummaryEngine(EngineConfig Cfg) : Cfg(Cfg) {}
+
+  /// Deprecated: construct from the flat pre-split options aggregate.
+  /// Takes the engine-facing half; TimeoutMs is honored by the
+  /// three-argument analyze() for compatibility. Goes away with
+  /// CheckOptions itself.
+  explicit SummaryEngine(const CheckOptions &Opts)
+      : Cfg(Opts.engine()), LegacyTimeoutMs(Opts.TimeoutMs) {}
+
+  /// Engine configuration this instance was built with.
+  const EngineConfig &config() const { return Cfg; }
 
   /// Analyzes every module of \p D, filling \p Out (cleared first) with a
   /// summary per module exactly as serial analyzeDesign would. Modules
@@ -141,6 +162,30 @@ public:
   analyze(const ir::Design &D, std::map<ir::ModuleId, ModuleSummary> &Out,
           const std::map<ir::ModuleId, ModuleSummary> &Ascribed,
           const support::Deadline &DL);
+
+  /// The re-entrant core of analyze(): identical semantics, but every
+  /// per-call artifact (stats, cache keys) is written into \p Outcome
+  /// instead of engine members, and the only shared state touched is the
+  /// SummaryCache, which is thread-safe. Any number of threads may call
+  /// analyzeShared() on the same engine concurrently — the resident
+  /// service (src/driver/) runs every request through this entry point.
+  /// The member-mutating analyze() overloads are thin wrappers that copy
+  /// the outcome back into stats()/keyOf()/saveCache() state and remain
+  /// single-caller-at-a-time.
+  support::Status
+  analyzeShared(const ir::Design &D,
+                std::map<ir::ModuleId, ModuleSummary> &Out,
+                const std::map<ir::ModuleId, ModuleSummary> &Ascribed,
+                const support::Deadline &DL, AnalyzeOutcome &Outcome);
+
+  /// Pure key computation: structuralHash of each module body folded
+  /// with the keys of its instantiated definitions in instance order
+  /// (ascribed modules key on summary content). The one key function
+  /// shared — by construction, not convention — between analyze paths,
+  /// the ShardedEngine, and saveCache.
+  static std::vector<uint64_t>
+  computeKeys(const ir::Design &D,
+              const std::map<ir::ModuleId, ModuleSummary> &Ascribed = {});
 
   /// Computes and retains (for keyOf/saveCache) the cache key of every
   /// module of \p D: structuralHash of the body folded with the keys of
@@ -179,6 +224,14 @@ public:
   saveCache(const std::string &Path, const ir::Design &D,
             const std::map<ir::ModuleId, ModuleSummary> &Summaries) const;
 
+  /// Re-entrant saveCache: identical stream bytes, but the per-module
+  /// \p Keys come from the caller (an AnalyzeOutcome from analyzeShared)
+  /// instead of the engine's last-analyze members.
+  support::Status
+  saveCache(const std::string &Path, const ir::Design &D,
+            const std::map<ir::ModuleId, ModuleSummary> &Summaries,
+            const std::vector<uint64_t> &Keys) const;
+
   /// Seeds the cache from a sidecar written by saveCache, resolving port
   /// names against \p D. The first byte is sniffed: a wire stream loads
   /// through the cache-v3 reader, anything else through the legacy
@@ -203,7 +256,10 @@ public:
                                                const ir::Design &D);
 
 private:
-  CheckOptions Opts;
+  EngineConfig Cfg;
+  /// Timeout carried over from a deprecated CheckOptions construction;
+  /// honored only by the three-argument analyze(). Dies with the shim.
+  uint64_t LegacyTimeoutMs = 0;
   SummaryCache Cache;
   EngineStats Stats;
   /// Per-module cache keys of the last analyzed design.

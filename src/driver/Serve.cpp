@@ -1,0 +1,423 @@
+//===- driver/Serve.cpp - The resident check service ----------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serve.h"
+
+#include "support/FailPoint.h"
+#include "support/Wire.h"
+
+#include <csignal>
+
+using namespace wiresort;
+using namespace wiresort::driver;
+using namespace wiresort::support;
+
+namespace {
+
+/// Serve payload schema version carried by the StreamBegin record
+/// (docs/SERVING.md). The framing versions separately (wire format v1).
+constexpr uint64_t ServePayloadVersion = 1;
+
+/// Request flag bits (one byte on the wire).
+enum : uint8_t {
+  FlagQuiet = 1 << 0,
+  FlagShowDepth = 1 << 1,
+  FlagBinarySummaries = 1 << 2,
+  FlagInlineText = 1 << 3,
+  FlagInlineCheckText = 1 << 4,
+  FlagStats = 1 << 5,
+};
+
+/// Extracts the one payload record of kind \p Want from a serve stream,
+/// enforcing the fail-closed rules shared by both directions: correct
+/// StreamBegin, exactly one payload record, a clean StreamEnd, and no
+/// framing damage anywhere. \returns false with \p Why otherwise.
+bool readServeStream(wire::RecordKind Want, wire::Reader &R,
+                     wire::Reader::Record &Payload, std::string &Why) {
+  if (!R.readHeader(&Why))
+    return false;
+  bool SawBegin = false, SawPayload = false;
+  for (;;) {
+    wire::Reader::Record Rec;
+    switch (R.next(Rec)) {
+    case wire::Reader::Item::End:
+      if (!SawPayload)
+        Why = "stream ended without a payload record";
+      return SawPayload;
+    case wire::Reader::Item::Exhausted:
+      Why = "stream truncated before StreamEnd";
+      return false;
+    case wire::Reader::Item::Truncated:
+      Why = "record truncated";
+      return false;
+    case wire::Reader::Item::Corrupt:
+      Why = "record checksum mismatch";
+      return false;
+    case wire::Reader::Item::Record:
+      break;
+    }
+    if (Rec.Kind == wire::RecordKind::StreamBegin) {
+      wire::Reader::Cursor C(Rec, R);
+      uint8_t Kind = 0;
+      uint64_t Version = 0;
+      if (!C.getByte(Kind) || !C.getVarint(Version) ||
+          Kind != static_cast<uint8_t>(wire::StreamKind::Serve)) {
+        Why = "not a serve stream (wrong stream kind)";
+        return false;
+      }
+      if (Version > ServePayloadVersion) {
+        Why = "serve protocol version " + std::to_string(Version) +
+              " is newer than this build understands";
+        return false;
+      }
+      SawBegin = true;
+      continue;
+    }
+    if (Rec.Kind != Want)
+      continue; // Forward compat: skip record kinds we don't know.
+    if (!SawBegin) {
+      Why = "payload record before StreamBegin";
+      return false;
+    }
+    if (SawPayload) {
+      Why = "more than one payload record";
+      return false;
+    }
+    SawPayload = true;
+    Payload = Rec;
+  }
+}
+
+} // namespace
+
+// --- Codecs -----------------------------------------------------------------
+
+std::string driver::encodeRequest(Method M, const CheckRequest &R) {
+  wire::Writer W;
+  W.beginStream(wire::StreamKind::Serve, ServePayloadVersion);
+  W.beginRecord(wire::RecordKind::ServeRequest);
+  W.putByte(static_cast<uint8_t>(M));
+  W.putByte(static_cast<uint8_t>(R.Req.OutputFormat));
+  uint8_t Flags = 0;
+  if (R.Quiet)
+    Flags |= FlagQuiet;
+  if (R.ShowDepth)
+    Flags |= FlagShowDepth;
+  if (R.BinarySummaries)
+    Flags |= FlagBinarySummaries;
+  if (R.HasInlineText)
+    Flags |= FlagInlineText;
+  if (R.HasInlineCheckText)
+    Flags |= FlagInlineCheckText;
+  if (R.Req.Stats)
+    Flags |= FlagStats;
+  W.putByte(Flags);
+  W.putVarint(R.Req.TimeoutMs);
+  W.putVarint(R.Req.FaultSeed);
+  W.putVarint(R.Shards);
+  W.putVarint(R.SliceShard);
+  W.putVarint(R.SliceOf);
+  W.putString(R.DesignPath);
+  W.putString(R.DesignName);
+  W.putString(R.Req.CachePath);
+  W.putString(R.Req.TraceOutPath);
+  W.putString(R.Req.FailpointSpec);
+  W.putString(R.SummariesOut);
+  W.putString(R.CheckPath);
+  W.putString(R.DotPath);
+  W.putString(R.ConvertIn);
+  W.putBytes(R.DesignText);
+  W.putBytes(R.CheckText);
+  W.endRecord();
+  W.finish();
+  return W.take();
+}
+
+bool driver::decodeRequest(std::string_view Bytes, Method &M, CheckRequest &R,
+                           std::string &Why) {
+  wire::Reader Reader(Bytes);
+  wire::Reader::Record Rec;
+  if (!readServeStream(wire::RecordKind::ServeRequest, Reader, Rec, Why))
+    return false;
+  wire::Reader::Cursor C(Rec, Reader);
+  uint8_t Meth = 0, Fmt = 0, Flags = 0;
+  uint64_t TimeoutMs = 0, Seed = 0, Shards = 0, SliceShard = 0, SliceOf = 0;
+  std::string_view DesignPath, DesignName, CachePath, TraceOut, Failpoints,
+      SummariesOut, CheckPath, DotPath, ConvertIn, DesignText, CheckText;
+  if (!C.getByte(Meth) || !C.getByte(Fmt) || !C.getByte(Flags) ||
+      !C.getVarint(TimeoutMs) || !C.getVarint(Seed) || !C.getVarint(Shards) ||
+      !C.getVarint(SliceShard) || !C.getVarint(SliceOf) ||
+      !C.getString(DesignPath) || !C.getString(DesignName) ||
+      !C.getString(CachePath) || !C.getString(TraceOut) ||
+      !C.getString(Failpoints) || !C.getString(SummariesOut) ||
+      !C.getString(CheckPath) || !C.getString(DotPath) ||
+      !C.getString(ConvertIn) || !C.getBytes(DesignText) ||
+      !C.getBytes(CheckText)) {
+    Why = "malformed request record";
+    return false;
+  }
+  if (Meth < static_cast<uint8_t>(Method::Check) ||
+      Meth > static_cast<uint8_t>(Method::Shutdown)) {
+    Why = "unknown method " + std::to_string(Meth);
+    return false;
+  }
+  if (Fmt > static_cast<uint8_t>(analysis::Format::Json)) {
+    Why = "unknown output format " + std::to_string(Fmt);
+    return false;
+  }
+  M = static_cast<Method>(Meth);
+  R = CheckRequest();
+  R.Req.OutputFormat = static_cast<analysis::Format>(Fmt);
+  R.Quiet = Flags & FlagQuiet;
+  R.ShowDepth = Flags & FlagShowDepth;
+  R.BinarySummaries = Flags & FlagBinarySummaries;
+  R.HasInlineText = Flags & FlagInlineText;
+  R.HasInlineCheckText = Flags & FlagInlineCheckText;
+  R.Req.Stats = Flags & FlagStats;
+  R.Req.TimeoutMs = TimeoutMs;
+  R.Req.FaultSeed = Seed;
+  R.Shards = static_cast<unsigned>(Shards);
+  R.SliceShard = static_cast<unsigned>(SliceShard);
+  R.SliceOf = static_cast<unsigned>(SliceOf);
+  R.DesignPath = std::string(DesignPath);
+  R.DesignName = std::string(DesignName);
+  R.Req.CachePath = std::string(CachePath);
+  R.Req.TraceOutPath = std::string(TraceOut);
+  R.Req.FailpointSpec = std::string(Failpoints);
+  R.SummariesOut = std::string(SummariesOut);
+  R.CheckPath = std::string(CheckPath);
+  R.DotPath = std::string(DotPath);
+  R.ConvertIn = std::string(ConvertIn);
+  R.DesignText = std::string(DesignText);
+  R.CheckText = std::string(CheckText);
+  return true;
+}
+
+std::string driver::encodeResponse(const CheckResult &Res, bool Rejected) {
+  wire::Writer W;
+  W.beginStream(wire::StreamKind::Serve, ServePayloadVersion);
+  W.beginRecord(wire::RecordKind::ServeResponse);
+  W.putByte(Rejected ? 1 : 0);
+  W.putVarint(static_cast<uint64_t>(Res.ExitCode));
+  W.putVarint(Res.Errors);
+  W.putVarint(Res.Modules);
+  W.putByte(Res.Cancelled ? 1 : 0);
+  W.putBytes(Res.Out);
+  W.putBytes(Res.Err);
+  W.endRecord();
+  W.finish();
+  return W.take();
+}
+
+bool driver::decodeResponse(std::string_view Bytes, Response &Out,
+                            std::string &Why) {
+  wire::Reader Reader(Bytes);
+  wire::Reader::Record Rec;
+  if (!readServeStream(wire::RecordKind::ServeResponse, Reader, Rec, Why))
+    return false;
+  wire::Reader::Cursor C(Rec, Reader);
+  uint8_t Status = 0, Cancelled = 0;
+  uint64_t Exit = 0, Errors = 0, Modules = 0;
+  std::string_view Stdout, Stderr;
+  if (!C.getByte(Status) || !C.getVarint(Exit) || !C.getVarint(Errors) ||
+      !C.getVarint(Modules) || !C.getByte(Cancelled) ||
+      !C.getBytes(Stdout) || !C.getBytes(Stderr)) {
+    Why = "malformed response record";
+    return false;
+  }
+  Out.Ok = true;
+  Out.Rejected = Status != 0;
+  Out.ExitCode = static_cast<int>(Exit);
+  Out.Errors = Errors;
+  Out.Modules = Modules;
+  Out.Cancelled = Cancelled != 0;
+  Out.Out = std::string(Stdout);
+  Out.Err = std::string(Stderr);
+  return true;
+}
+
+// --- Server -----------------------------------------------------------------
+
+Server::Server(ServeOptions Opts)
+    : Opts(std::move(Opts)), Service(this->Opts.Engine) {}
+
+Server::~Server() {
+  stop();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  // ThreadPool's destructor drains queued connections before joining.
+  Pool.reset();
+  Listener.close();
+}
+
+support::Status Server::start() {
+  // A client that hangs up mid-response turns our write into EPIPE, not
+  // process death. Process-wide, like every SIG_IGN; the CLI tools never
+  // rely on SIGPIPE either.
+  std::signal(SIGPIPE, SIG_IGN);
+  auto L = sock::Listener::open(Opts.SocketPath);
+  if (!L)
+    return L.diags();
+  Listener = std::move(*L);
+  Pool.emplace(Opts.Workers);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  Started = true;
+  return {};
+}
+
+void Server::acceptLoop() {
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    int Fd = Listener.acceptOnce(StopFlag);
+    if (Fd < 0)
+      break; // Stopped, or the listener went bad: either way, stop.
+    Conns.fetch_add(1);
+    Pool->submit([this, Fd] { serveConnection(Fd); });
+  }
+}
+
+void Server::serveConnection(int Fd) {
+  auto Request = sock::readAll(Fd);
+  if (!Request) {
+    // Client died mid-request (the soak's kill-mid-request case): there
+    // is nobody to answer, so just release the fd.
+    sock::closeFd(Fd);
+    return;
+  }
+  std::string ResponseBytes = handle(*Request);
+  // Serving-layer fault sites (docs/SERVING.md degradation matrix): a
+  // dropped or truncated response must fail *closed* on the client —
+  // transport damage, exit 2 — never decode as a verdict.
+  if (WS_FAILPOINT("serve.response.drop")) {
+    sock::closeFd(Fd);
+    return;
+  }
+  if (WS_FAILPOINT("serve.response.truncate")) {
+    (void)sock::writeAll(
+        Fd, std::string_view(ResponseBytes).substr(0, ResponseBytes.size() / 2));
+    sock::closeFd(Fd);
+    return;
+  }
+  (void)sock::writeAll(Fd, ResponseBytes); // EPIPE = client gone; fine.
+  sock::closeFd(Fd);
+}
+
+std::string Server::handle(std::string_view RequestBytes) {
+  auto reject = [](const std::string &Why) {
+    CheckResult Res;
+    Res.ExitCode = 2;
+    Res.Errors = 1;
+    Res.Err = "wiresort-served: request rejected: " + Why + "\n";
+    return encodeResponse(Res, /*Rejected=*/true);
+  };
+  if (RequestBytes.size() > Opts.MaxRequestBytes)
+    return reject("request exceeds " + std::to_string(Opts.MaxRequestBytes) +
+                  " bytes");
+
+  Method M = Method::Check;
+  CheckRequest R;
+  std::string Why;
+  if (!decodeRequest(RequestBytes, M, R, Why))
+    return reject(Why);
+
+  switch (M) {
+  case Method::Check:
+  case Method::Ascribe: {
+    // Fork-mode shard workers are unsafe in a threaded process
+    // (support/Process.h); requests degrade to in-process shards,
+    // byte-identically (analysis/Sharded.h determinism contract).
+    R.AllowFork = false;
+    CheckResult Res = Service.run(R);
+    return encodeResponse(Res, /*Rejected=*/false);
+  }
+  case Method::Stats: {
+    CheckResult Res;
+    analysis::SummaryCache &Cache = Service.engine().cache();
+    Res.Out = "{\"type\":\"served-stats\",\"requests\":" +
+              std::to_string(Service.requestsServed()) +
+              ",\"connections\":" + std::to_string(Conns.load()) +
+              ",\"cache_entries\":" + std::to_string(Cache.size()) +
+              ",\"cache_hits\":" + std::to_string(Cache.hits()) +
+              ",\"cache_misses\":" + std::to_string(Cache.misses()) +
+              ",\"parse_entries\":" +
+              std::to_string(Service.parseCache().size()) +
+              ",\"parse_hits\":" +
+              std::to_string(Service.parseCache().hits()) +
+              ",\"parse_misses\":" +
+              std::to_string(Service.parseCache().misses()) +
+              ",\"workers\":" +
+              std::to_string(Pool ? Pool->numThreads() : 0) + "}\n";
+    return encodeResponse(Res, /*Rejected=*/false);
+  }
+  case Method::Shutdown: {
+    // Flag first, respond second: the accept loop stops while this
+    // worker still writes the acknowledgement; in-flight requests
+    // drain before wait() returns.
+    stop();
+    CheckResult Res;
+    Res.Out = "wiresort-served: shutting down\n";
+    return encodeResponse(Res, /*Rejected=*/false);
+  }
+  }
+  return reject("unreachable method");
+}
+
+void Server::stop() {
+  StopFlag.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(StopMutex);
+  StopCv.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> Lock(StopMutex);
+    StopCv.wait(Lock, [this] {
+      return StopFlag.load(std::memory_order_acquire);
+    });
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (Pool)
+    Pool->wait(); // Drain in-flight connections.
+  Listener.close(); // Close + unlink: a clean exit leaves no socket file.
+}
+
+// --- Client -----------------------------------------------------------------
+
+Response driver::requestOnce(const std::string &SocketPath, Method M,
+                             const CheckRequest &R) {
+  Response Out;
+  auto Fd = sock::connectTo(SocketPath);
+  if (!Fd) {
+    Out.Transport.append(Fd.diags());
+    return Out;
+  }
+  std::string RequestBytes = encodeRequest(M, R);
+  if (support::Status W = sock::writeAll(*Fd, RequestBytes); W.hasError()) {
+    Out.Transport.append(W);
+    sock::closeFd(*Fd);
+    return Out;
+  }
+  sock::shutdownWrite(*Fd);
+  auto ResponseBytes = sock::readAll(*Fd);
+  sock::closeFd(*Fd);
+  if (!ResponseBytes) {
+    Out.Transport.append(ResponseBytes.diags());
+    return Out;
+  }
+  std::string Why;
+  if (!decodeResponse(*ResponseBytes, Out, Why)) {
+    // Fail closed: a torn/tampered response is transport damage with
+    // the evidence attached, never a verdict.
+    Out.Ok = false;
+    Out.Transport.add(
+        support::Diag(support::DiagCode::WS501_IO_ERROR,
+                      "malformed response from wiresort-served")
+            .withNote("path", SocketPath)
+            .withNote("detail", Why));
+    return Out;
+  }
+  return Out;
+}

@@ -1,0 +1,165 @@
+//===- driver/Serve.h - The resident check service --------------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer (docs/SERVING.md): a long-lived Server keeps one
+/// CheckService — and therefore one SummaryEngine and its
+/// content-addressed summary cache — resident, and serves `check` /
+/// `ascribe` / `stats` / `shutdown` requests over a Unix-domain socket.
+/// Connections multiplex onto a support::ThreadPool; each request runs
+/// under its own support::Deadline (the request's TimeoutMs) through
+/// CheckService::run, so a re-submitted edited design re-infers only
+/// the modules whose structural content actually changed.
+///
+/// Protocol (one request per connection):
+///
+///   client:  wire stream [StreamBegin(Serve,1) | ServeRequest |
+///            StreamEnd], then shutdown(SHUT_WR)
+///   server:  wire stream [StreamBegin(Serve,1) | ServeResponse |
+///            StreamEnd], then close
+///
+/// Half-close is the message delimiter; the wire framing supplies
+/// per-record checksums, so a torn or tampered message fails closed on
+/// either side (the client reports transport damage and exits 2, never
+/// trusts a partial verdict). Responses to `check`/`ascribe` carry the
+/// byte-exact stdout/stderr of `wiresort-check` on the same inputs —
+/// identity by construction, both sides run driver::CheckService.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_DRIVER_SERVE_H
+#define WIRESORT_DRIVER_SERVE_H
+
+#include "driver/Check.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace wiresort::driver {
+
+/// Request methods. Values are wire contract (docs/SERVING.md); never
+/// renumber.
+enum class Method : uint8_t {
+  Check = 1,    ///< Run a check; respond with the CLI's bytes.
+  Ascribe = 2,  ///< Check + inline declared-summary sidecar compare.
+  Stats = 3,    ///< One NDJSON record of daemon/service counters.
+  Shutdown = 4, ///< Acknowledge, then stop accepting and drain.
+};
+
+struct ServeOptions {
+  /// Unix-domain socket path (sun_path-limited, ~107 bytes).
+  std::string SocketPath;
+  /// Resident-engine knobs. Per docs/SERVING.md the daemon gets its
+  /// parallelism from concurrent requests, so Threads=1 per request is
+  /// the intended configuration.
+  analysis::EngineConfig Engine{1, true};
+  /// Connection worker threads; 0 picks hardware concurrency.
+  unsigned Workers = 0;
+  /// Requests larger than this are rejected (status byte 1, exit 2)
+  /// instead of parsed — the only bound a local trusted socket needs.
+  uint64_t MaxRequestBytes = 256ull << 20;
+};
+
+/// A decoded response (client side). Transport trouble — can't connect,
+/// torn stream, checksum mismatch — surfaces as Ok=false with the
+/// evidence in Transport, and callers fail closed: exit 2, never a
+/// guessed verdict.
+struct Response {
+  bool Ok = false;
+  support::DiagList Transport;
+  /// True when the server said "malformed/oversized request" instead of
+  /// running one (the status-byte-1 path).
+  bool Rejected = false;
+  int ExitCode = 2;
+  size_t Errors = 0;
+  size_t Modules = 0;
+  bool Cancelled = false;
+  std::string Out;
+  std::string Err;
+};
+
+/// The daemon core, embeddable in-process (the serving tests run it on
+/// a scratch socket inside the test binary — same code path as the
+/// wiresort-served tool).
+class Server {
+public:
+  explicit Server(ServeOptions Opts);
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+  /// stop()s and joins; safe if never started.
+  ~Server();
+
+  /// Opens the listener and starts the accept thread + worker pool.
+  /// \returns WS501 evidence when the socket cannot be bound.
+  support::Status start();
+
+  /// Blocks until a shutdown request arrives (or stop() is called),
+  /// then drains in-flight connections and closes/unlinks the socket.
+  void wait();
+
+  /// Initiates shutdown from outside the protocol (signal handlers,
+  /// tests). Idempotent.
+  void stop();
+
+  const std::string &socketPath() const { return Opts.SocketPath; }
+  CheckService &service() { return Service; }
+  size_t connectionsServed() const { return Conns.load(); }
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+  /// Decode + dispatch one request; \returns the response stream bytes.
+  std::string handle(std::string_view RequestBytes);
+
+  ServeOptions Opts;
+  CheckService Service;
+  support::sock::Listener Listener;
+  std::optional<ThreadPool> Pool;
+  std::thread Acceptor;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<size_t> Conns{0};
+  std::mutex StopMutex;
+  std::condition_variable StopCv;
+  bool Started = false;
+};
+
+/// One client request: connect, send, half-close, read to EOF, decode —
+/// fail closed on any transport or framing damage. \p M selects the
+/// method; \p R is consulted for Check/Ascribe (ignored for
+/// Stats/Shutdown).
+Response requestOnce(const std::string &SocketPath, Method M,
+                     const CheckRequest &R = {});
+
+// --- Wire codecs (exposed for the serving tests) ----------------------------
+
+/// Composes the complete request stream for \p M / \p R.
+std::string encodeRequest(Method M, const CheckRequest &R);
+
+/// Decodes a request stream. \returns false (with \p Why) on any
+/// framing or schema damage — the server rejects, never guesses.
+bool decodeRequest(std::string_view Bytes, Method &M, CheckRequest &R,
+                   std::string &Why);
+
+/// Composes the complete response stream. \p Rejected is the
+/// status-byte-1 "request never ran" path.
+std::string encodeResponse(const CheckResult &Res, bool Rejected);
+
+/// Decodes a response stream into \p Out. \returns false (with \p Why)
+/// on framing or schema damage; \p Out is then unusable.
+bool decodeResponse(std::string_view Bytes, Response &Out, std::string &Why);
+
+} // namespace wiresort::driver
+
+#endif // WIRESORT_DRIVER_SERVE_H

@@ -8,12 +8,17 @@
 
 #include "support/FailPoint.h"
 #include "support/Trace.h"
+#include "support/Wire.h"
 
 #include <cassert>
 #include <cctype>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 using namespace wiresort;
@@ -75,48 +80,32 @@ struct ModelBuilder {
   }
 };
 
-} // namespace
-
-support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
-                                             const std::string &FileName,
-                                             const support::Deadline *DL) {
-  using support::Diag;
-  using support::DiagCode;
-  using support::SrcLoc;
-
-  static trace::Counter &ParseBytes = trace::counter("parse.bytes");
-  ParseBytes.add(Text.size());
-  trace::Span ParseSpan("parse.blif", "parse");
-  ParseSpan.note("file", FileName)
-      .note("bytes", static_cast<uint64_t>(Text.size()));
-
+/// Pass 1 as a resumable line consumer, so the plain path (one machine
+/// over the whole file) and the chunk-cache path (one machine per
+/// uncached `.model` chunk) run exactly the same transitions. Chunk
+/// boundaries only ever fall on non-continued `.model` lines, where the
+/// machine is in its initial inter-model state — which is what makes a
+/// fresh Pass1 per chunk equivalent to the single pass.
+struct Pass1 {
+  const std::string &FileName;
   std::vector<ModelBuilder> Models;
   ModelBuilder *Cur = nullptr;
   // Pending .names cover collection.
   Net *PendingLut = nullptr;
-
-  auto failAt = [&](DiagCode Code, size_t Line, size_t Col,
-                    const std::string &Msg) {
-    return Diag(Code, Msg).withLoc(SrcLoc{FileName, Line, Col});
-  };
-  auto failTok = [&](const BlifTok &T, const std::string &Msg) {
-    return failAt(DiagCode::WS201_BLIF_SYNTAX, T.Line, T.Col, Msg);
-  };
-
-  std::istringstream Stream(Text);
-  std::string Raw;
-  size_t LineNo = 0;
   std::vector<BlifTok> Tok;
   bool Continuing = false;
-  while (std::getline(Stream, Raw)) {
-    ++LineNo;
-    // Deadline poll, once per line: a BLIF line is at most a few
-    // hundred bytes of tokenizing, so this bounds a runaway input
-    // without measurable cost (the parse.cancel failpoint simulates
-    // expiry deterministically).
-    if (DL && (DL->expired() || WS_FAILPOINT("parse.cancel")))
-      return failAt(DiagCode::WS601_CANCELLED, LineNo, 0,
-                    "parse cancelled by deadline");
+  std::optional<support::Diag> Err;
+
+  explicit Pass1(const std::string &FileName) : FileName(FileName) {}
+
+  bool fail(const BlifTok &T, const std::string &Msg) {
+    Err = support::Diag(support::DiagCode::WS201_BLIF_SYNTAX, Msg)
+              .withLoc(support::SrcLoc{FileName, T.Line, T.Col});
+    return false;
+  }
+
+  /// Consumes one raw input line; false means Err is set.
+  bool line(std::string Raw, size_t LineNo) {
     // Strip comments; honor trailing-backslash continuations.
     size_t Hash = Raw.find('#');
     if (Hash != std::string::npos)
@@ -129,30 +118,29 @@ support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
     tokenizeInto(Raw, LineNo, Tok);
     Continuing = Continue;
     if (Continuing)
-      continue;
+      return true;
     if (Tok.empty())
-      continue;
+      return true;
 
     const std::string &Cmd = Tok[0].Text;
     if (Cmd == ".model") {
       if (Tok.size() != 2)
-        return failTok(Tok[0], ".model expects a name");
+        return fail(Tok[0], ".model expects a name");
       Models.emplace_back();
       Cur = &Models.back();
       Cur->M.Name = Tok[1].Text;
       Cur->Line = Tok[0].Line;
       Cur->Col = Tok[0].Col;
       PendingLut = nullptr;
-      continue;
+      return true;
     }
     if (!Cur)
-      return failTok(Tok[0], "directive before .model");
+      return fail(Tok[0], "directive before .model");
 
     if (Cmd == ".inputs") {
       for (size_t I = 1; I != Tok.size(); ++I) {
         if (Cur->ByName.count(Tok[I].Text))
-          return failTok(Tok[I],
-                         "duplicate signal '" + Tok[I].Text + "'");
+          return fail(Tok[I], "duplicate signal '" + Tok[I].Text + "'");
         WireId W = Cur->M.addInput(Tok[I].Text, 1);
         Cur->ByName[Tok[I].Text] = W;
       }
@@ -160,36 +148,34 @@ support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
     } else if (Cmd == ".outputs") {
       for (size_t I = 1; I != Tok.size(); ++I) {
         if (Cur->ByName.count(Tok[I].Text))
-          return failTok(Tok[I],
-                         "duplicate signal '" + Tok[I].Text + "'");
+          return fail(Tok[I], "duplicate signal '" + Tok[I].Text + "'");
         WireId W = Cur->M.addOutput(Tok[I].Text, 1);
         Cur->ByName[Tok[I].Text] = W;
       }
       PendingLut = nullptr;
     } else if (Cmd == ".names") {
       if (Tok.size() < 2)
-        return failTok(Tok[0], ".names expects at least an output");
+        return fail(Tok[0], ".names expects at least an output");
       std::vector<WireId> Ins;
       for (size_t I = 1; I + 1 < Tok.size(); ++I)
         Ins.push_back(Cur->wireFor(Tok[I].Text));
       WireId Out = Cur->wireFor(Tok.back().Text);
       if (Cur->Driven.count(Out))
-        return failTok(Tok.back(),
-                       "signal '" + Tok.back().Text + "' driven twice");
+        return fail(Tok.back(),
+                    "signal '" + Tok.back().Text + "' driven twice");
       Cur->Driven.insert(Out);
       NetId Id = Cur->M.addNet(Op::Lut, std::move(Ins), Out);
       PendingLut = &Cur->M.Nets[Id];
     } else if (Cmd == ".latch") {
       if (Tok.size() < 3)
-        return failTok(Tok[0], ".latch expects input and output");
+        return fail(Tok[0], ".latch expects input and output");
       WireId D = Cur->wireFor(Tok[1].Text);
       WireId Q = Cur->wireFor(Tok[2].Text);
       if (Cur->Driven.count(Q))
-        return failTok(Tok[2],
-                       "signal '" + Tok[2].Text + "' driven twice");
+        return fail(Tok[2], "signal '" + Tok[2].Text + "' driven twice");
       Cur->Driven.insert(Q);
       if (Cur->M.Wires[Q].Kind == WireKind::Input)
-        return failTok(Tok[2], "latch drives input '" + Tok[2].Text + "'");
+        return fail(Tok[2], "latch drives input '" + Tok[2].Text + "'");
       if (Cur->M.Wires[Q].Kind == WireKind::Output) {
         // Latched output port: latch into an internal reg wire and
         // buffer it out to the port.
@@ -209,7 +195,7 @@ support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
       PendingLut = nullptr;
     } else if (Cmd == ".subckt") {
       if (Tok.size() < 2)
-        return failTok(Tok[0], ".subckt expects a model name");
+        return fail(Tok[0], ".subckt expects a model name");
       SubcktRec Rec;
       Rec.DefName = Tok[1].Text;
       Rec.Line = Tok[0].Line;
@@ -217,8 +203,8 @@ support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
       for (size_t I = 2; I != Tok.size(); ++I) {
         size_t EqPos = Tok[I].Text.find('=');
         if (EqPos == std::string::npos)
-          return failTok(Tok[I],
-                         "malformed formal=actual '" + Tok[I].Text + "'");
+          return fail(Tok[I],
+                      "malformed formal=actual '" + Tok[I].Text + "'");
         Rec.Pairs.emplace_back(Tok[I].Text.substr(0, EqPos),
                                Tok[I].Text.substr(EqPos + 1));
       }
@@ -229,18 +215,216 @@ support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
     } else if (Cmd[0] != '.') {
       // A cover row for the pending .names.
       if (!PendingLut)
-        return failTok(Tok[0], "cover row outside .names");
+        return fail(Tok[0], "cover row outside .names");
       std::string Plane = Tok.size() == 2 ? Tok[0].Text : "";
       std::string Output = Tok.size() == 2 ? Tok[1].Text : Tok[0].Text;
       if (Output != "0" && Output != "1")
-        return failTok(Tok.back(), "cover output must be 0 or 1");
+        return fail(Tok.back(), "cover output must be 0 or 1");
       if (Plane.size() != PendingLut->Inputs.size())
-        return failTok(Tok[0], "cover row arity mismatch");
+        return fail(Tok[0], "cover row arity mismatch");
       PendingLut->Cover.push_back(Plane + Output);
     } else {
       // Unsupported directives (.clock, .exdc, ...) are rejected loudly:
       // silently skipping them could change semantics.
-      return failTok(Tok[0], "unsupported directive '" + Cmd + "'");
+      return fail(Tok[0], "unsupported directive '" + Cmd + "'");
+    }
+    return true;
+  }
+};
+
+/// One cached `.model` chunk: its exact bytes (the key check — a hash
+/// collision must cost a re-parse, never a wrong design), the line it
+/// was first parsed at, and the pristine pass-1 result. Pass 2 mutates
+/// working copies; entries stay untouched.
+struct CacheEntry {
+  std::string Bytes;
+  size_t StartLine = 1;
+  std::vector<ModelBuilder> Models;
+};
+
+/// One text region [Begin, End) starting at 1-based StartLine.
+struct ChunkRef {
+  size_t Begin = 0;
+  size_t End = 0;
+  size_t StartLine = 1;
+};
+
+/// Splits \p Text at non-continued `.model` lines. Mirrors exactly the
+/// comment-strip and backslash-continuation rules of Pass1::line, so a
+/// boundary never lands inside a logical line.
+std::vector<ChunkRef> splitModelChunks(const std::string &Text) {
+  std::vector<ChunkRef> Out;
+  size_t Pos = 0, LineNo = 1;
+  size_t CurBegin = 0, CurLine = 1;
+  bool PrevContinues = false;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    size_t Stop = Eol == std::string::npos ? Text.size() : Eol;
+    std::string_view Line(Text.data() + Pos, Stop - Pos);
+    size_t Hash = Line.find('#');
+    if (Hash != std::string_view::npos)
+      Line = Line.substr(0, Hash);
+    size_t P = 0;
+    while (P < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[P])))
+      ++P;
+    bool IsModel =
+        Line.size() - P >= 6 && Line.compare(P, 6, ".model") == 0 &&
+        (P + 6 == Line.size() ||
+         std::isspace(static_cast<unsigned char>(Line[P + 6])));
+    if (IsModel && !PrevContinues && Pos != CurBegin) {
+      Out.push_back({CurBegin, Pos, CurLine});
+      CurBegin = Pos;
+      CurLine = LineNo;
+    }
+    PrevContinues = !Line.empty() && Line.back() == '\\';
+    Pos = Stop + 1;
+    ++LineNo;
+  }
+  Out.push_back({CurBegin, Text.size(), CurLine});
+  return Out;
+}
+
+} // namespace
+
+struct parse::BlifParseCache::Impl {
+  const size_t MaxEntries;
+  mutable std::mutex Mu;
+  std::map<uint64_t, std::shared_ptr<const CacheEntry>> ByKey;
+  size_t HitCount = 0, MissCount = 0;
+
+  explicit Impl(size_t MaxEntries) : MaxEntries(MaxEntries ? MaxEntries : 1) {}
+
+  std::shared_ptr<const CacheEntry> find(uint64_t Key,
+                                         std::string_view Bytes) {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = ByKey.find(Key);
+    if (It != ByKey.end() && It->second->Bytes == Bytes) {
+      ++HitCount;
+      return It->second;
+    }
+    ++MissCount;
+    return nullptr;
+  }
+
+  void insert(uint64_t Key, std::shared_ptr<const CacheEntry> E) {
+    std::lock_guard<std::mutex> L(Mu);
+    // Wholesale flush when full: a bound without bookkeeping. The cost
+    // of overflowing is one cold re-parse, never a wrong result.
+    if (ByKey.size() >= MaxEntries)
+      ByKey.clear();
+    ByKey[Key] = std::move(E);
+  }
+};
+
+parse::BlifParseCache::BlifParseCache(size_t MaxEntries)
+    : I(std::make_unique<Impl>(MaxEntries)) {}
+parse::BlifParseCache::~BlifParseCache() = default;
+
+size_t parse::BlifParseCache::size() const {
+  std::lock_guard<std::mutex> L(I->Mu);
+  return I->ByKey.size();
+}
+size_t parse::BlifParseCache::hits() const {
+  std::lock_guard<std::mutex> L(I->Mu);
+  return I->HitCount;
+}
+size_t parse::BlifParseCache::misses() const {
+  std::lock_guard<std::mutex> L(I->Mu);
+  return I->MissCount;
+}
+
+support::Expected<BlifFile> parse::parseBlif(const std::string &Text,
+                                             const std::string &FileName,
+                                             const support::Deadline *DL,
+                                             BlifParseCache *Cache) {
+  using support::Diag;
+  using support::DiagCode;
+  using support::SrcLoc;
+
+  static trace::Counter &ParseBytes = trace::counter("parse.bytes");
+  static trace::Counter &ChunkHits = trace::counter("parse.chunk.hits");
+  static trace::Counter &ChunkMisses = trace::counter("parse.chunk.misses");
+  ParseBytes.add(Text.size());
+  trace::Span ParseSpan("parse.blif", "parse");
+  ParseSpan.note("file", FileName)
+      .note("bytes", static_cast<uint64_t>(Text.size()));
+
+  auto failAt = [&](DiagCode Code, size_t Line, size_t Col,
+                    const std::string &Msg) {
+    return Diag(Code, Msg).withLoc(SrcLoc{FileName, Line, Col});
+  };
+
+  // Feeds Text[Begin, End) to \p P line by line, numbering from
+  // StartLine. The deadline poll is once per line: a BLIF line is at
+  // most a few hundred bytes of tokenizing, so this bounds a runaway
+  // input without measurable cost (the parse.cancel failpoint simulates
+  // expiry deterministically).
+  auto eachLine = [&](size_t Begin, size_t End, size_t StartLine,
+                      Pass1 &P) -> std::optional<Diag> {
+    size_t Pos = Begin, LineNo = StartLine - 1;
+    while (Pos < End) {
+      size_t Eol = Text.find('\n', Pos);
+      size_t Stop = Eol == std::string::npos || Eol >= End ? End : Eol;
+      ++LineNo;
+      if (DL && (DL->expired() || WS_FAILPOINT("parse.cancel")))
+        return failAt(DiagCode::WS601_CANCELLED, LineNo, 0,
+                      "parse cancelled by deadline");
+      if (!P.line(Text.substr(Pos, Stop - Pos), LineNo))
+        return *P.Err;
+      Pos = Stop + 1;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<ModelBuilder> Models;
+  if (!Cache) {
+    Pass1 P(FileName);
+    if (auto E = eachLine(0, Text.size(), 1, P))
+      return *E;
+    Models = std::move(P.Models);
+  } else {
+    for (const ChunkRef &C : splitModelChunks(Text)) {
+      std::string_view Bytes(Text.data() + C.Begin, C.End - C.Begin);
+      uint64_t Key = support::wire::fnv1a(Bytes);
+      if (auto E = Cache->I->find(Key, Bytes)) {
+        // Replay: copy the pristine models, rebasing source lines to
+        // where the chunk sits in *this* file so any later resolution
+        // diagnostic is byte-identical to an uncached parse.
+        ChunkHits.add(1);
+        ptrdiff_t Delta = static_cast<ptrdiff_t>(C.StartLine) -
+                          static_cast<ptrdiff_t>(E->StartLine);
+        for (const ModelBuilder &MB : E->Models) {
+          // Pass 2 only touches ByName/Driven/Subckts of models that
+          // instantiate something; for leaf models the Module copy is
+          // all a replay needs, and skipping the per-wire map/set
+          // copies is most of the warm-path win.
+          Models.emplace_back();
+          ModelBuilder &W = Models.back();
+          W.M = MB.M;
+          W.Line = MB.Line + Delta;
+          W.Col = MB.Col;
+          if (!MB.Subckts.empty()) {
+            W.ByName = MB.ByName;
+            W.Driven = MB.Driven;
+            W.Subckts = MB.Subckts;
+            for (SubcktRec &Rec : W.Subckts)
+              Rec.Line += Delta;
+          }
+        }
+        continue;
+      }
+      ChunkMisses.add(1);
+      Pass1 P(FileName);
+      if (auto E = eachLine(C.Begin, C.End, C.StartLine, P))
+        return *E;
+      auto Entry = std::make_shared<CacheEntry>();
+      Entry->Bytes = std::string(Bytes);
+      Entry->StartLine = C.StartLine;
+      Entry->Models = P.Models; // pristine copy, pre-pass-2
+      Cache->I->insert(Key, std::move(Entry));
+      for (ModelBuilder &MB : P.Models)
+        Models.push_back(std::move(MB));
     }
   }
 

@@ -25,6 +25,8 @@
 #include "support/Deadline.h"
 #include "support/Diag.h"
 
+#include <cstddef>
+#include <memory>
 #include <string>
 
 namespace wiresort::parse {
@@ -36,6 +38,40 @@ struct BlifFile {
   ir::ModuleId Top = ir::InvalidId;
 };
 
+/// Content-keyed cache of parsed `.model` chunks, the parse half of the
+/// serving layer's residency (docs/SERVING.md). When passed to
+/// parseBlif, the text is split at `.model` boundaries and each chunk
+/// is keyed by its exact bytes: a hit replays the stored parse (with
+/// source lines rebased to the chunk's position in the new file, so
+/// diagnostics stay byte-identical to an uncached parse), a miss
+/// parses normally and populates the cache. A warm re-parse of an
+/// edited file therefore re-tokenizes only the edited models — the
+/// same dirtied-only contract the summary cache gives Stage 1.
+///
+/// Thread-safe: concurrent parseBlif calls may share one cache.
+/// Bounded: when the entry count passes MaxEntries the cache is
+/// cleared wholesale (a flush costs one cold parse, never a verdict).
+class BlifParseCache {
+public:
+  explicit BlifParseCache(size_t MaxEntries = 4096);
+  ~BlifParseCache();
+  BlifParseCache(const BlifParseCache &) = delete;
+  BlifParseCache &operator=(const BlifParseCache &) = delete;
+
+  /// Cached chunks / chunk lookups that replayed / that parsed.
+  size_t size() const;
+  size_t hits() const;
+  size_t misses() const;
+
+  struct Impl;
+
+private:
+  friend support::Expected<BlifFile>
+  parseBlif(const std::string &, const std::string &,
+            const support::Deadline *, BlifParseCache *);
+  std::unique_ptr<Impl> I;
+};
+
 /// Parses BLIF text. On malformed input the result carries a
 /// WS201_BLIF_SYNTAX / WS202_BLIF_STRUCTURE diagnostic whose SrcLoc
 /// points at the offending token (1-based line and column in \p Text,
@@ -43,9 +79,13 @@ struct BlifFile {
 /// An active \p DL is polled once per input line; when it fires the
 /// parse stops with a WS601_CANCELLED diagnostic locating the line it
 /// stopped at (docs/ROBUSTNESS.md). A null \p DL never cancels.
+/// A non-null \p Cache reuses previously parsed `.model` chunks by
+/// content — same result, same diagnostics, same bytes out, only the
+/// tokenizing skipped (see BlifParseCache).
 support::Expected<BlifFile> parseBlif(const std::string &Text,
                                       const std::string &FileName = "",
-                                      const support::Deadline *DL = nullptr);
+                                      const support::Deadline *DL = nullptr,
+                                      BlifParseCache *Cache = nullptr);
 
 /// Serializes \p Top and every definition it (transitively) instantiates.
 /// All reachable modules must be bit-level (1-bit wires) and contain only

@@ -1,0 +1,171 @@
+//===- support/Socket.cpp - Unix-domain socket plumbing -------------------===//
+//
+// Part of the wiresort project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace wiresort::support;
+using namespace wiresort::support::sock;
+
+namespace {
+
+Diag ioFail(const char *Op, const std::string &Path) {
+  return Diag(DiagCode::WS501_IO_ERROR,
+              std::string("socket ") + Op + " failed")
+      .withNote("path", Path)
+      .withNote("detail", std::strerror(errno));
+}
+
+/// Fills \p Addr for \p Path; false when the path overflows sun_path.
+bool makeAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+Listener::Listener(Listener &&O) noexcept
+    : Fd(std::exchange(O.Fd, -1)), Path(std::move(O.Path)) {
+  O.Path.clear();
+}
+
+Listener &Listener::operator=(Listener &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = std::exchange(O.Fd, -1);
+    Path = std::move(O.Path);
+    O.Path.clear();
+  }
+  return *this;
+}
+
+Expected<Listener> Listener::open(const std::string &Path, int Backlog) {
+  sockaddr_un Addr;
+  if (!makeAddr(Path, Addr)) {
+    errno = ENAMETOOLONG;
+    return ioFail("bind", Path);
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return ioFail("socket", Path);
+  // A stale socket file from a crashed previous daemon would fail the
+  // bind with EADDRINUSE even though nobody is listening; restarting
+  // over it is the expected recovery, so unlink first.
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Diag D = ioFail("bind", Path);
+    ::close(Fd);
+    return D;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Diag D = ioFail("listen", Path);
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return D;
+  }
+  Listener L;
+  L.Fd = Fd;
+  L.Path = Path;
+  return L;
+}
+
+int Listener::acceptOnce(const std::atomic<bool> &Stop) {
+  while (Fd >= 0 && !Stop.load(std::memory_order_acquire)) {
+    pollfd P{Fd, POLLIN, 0};
+    int N = ::poll(&P, 1, /*timeout-ms=*/100);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      continue; // Poll tick: re-check Stop.
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn >= 0)
+      return Conn;
+    if (errno == EINTR || errno == ECONNABORTED)
+      continue;
+    return -1;
+  }
+  return -1;
+}
+
+void Listener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!Path.empty()) {
+    ::unlink(Path.c_str());
+    Path.clear();
+  }
+}
+
+Expected<int> sock::connectTo(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!makeAddr(Path, Addr)) {
+    errno = ENAMETOOLONG;
+    return ioFail("connect", Path);
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return ioFail("socket", Path);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Diag D = ioFail("connect", Path);
+    ::close(Fd);
+    return D;
+  }
+  return Fd;
+}
+
+Status sock::writeAll(int Fd, std::string_view Bytes) {
+  size_t Off = 0;
+  while (Off != Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return ioFail("write", "<socket>");
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return {};
+}
+
+Expected<std::string> sock::readAll(int Fd) {
+  std::string Out;
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return ioFail("read", "<socket>");
+    }
+    if (N == 0)
+      return Out;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+void sock::shutdownWrite(int Fd) { ::shutdown(Fd, SHUT_WR); }
+
+void sock::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}

@@ -1,0 +1,96 @@
+//===- support/Socket.h - Unix-domain socket plumbing -----------*- C++ -*-===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fd-level plumbing under the serving layer (docs/SERVING.md): a
+/// Unix-domain stream listener with a stoppable accept loop, a client
+/// connect, and the read-to-EOF / write-everything helpers both sides
+/// frame wire streams over. The same lift support/Process.h gave
+/// fork+pipe, applied to sockets — byte transport only; framing,
+/// checksums, and trust live one layer up in support/Wire.h (a socket
+/// peer is as untrusted as a half-dead fork worker, and the reader's
+/// fail-closed rules already cover both).
+///
+/// Everything reports through support::Diag (WS501_IO_ERROR with the
+/// failing syscall and errno text); nothing here throws or retries —
+/// policy belongs to the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WIRESORT_SUPPORT_SOCKET_H
+#define WIRESORT_SUPPORT_SOCKET_H
+
+#include "support/Diag.h"
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace wiresort::support::sock {
+
+/// A bound, listening Unix-domain stream socket. Owns both the fd and
+/// the filesystem name: close() (or destruction) closes the fd and
+/// unlinks the socket path, so a cleanly shut down server leaves no
+/// droppings (the run_tests serving stage asserts exactly that).
+class Listener {
+public:
+  Listener() = default;
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+  Listener(Listener &&O) noexcept;
+  Listener &operator=(Listener &&O) noexcept;
+  ~Listener() { close(); }
+
+  /// Binds and listens on \p Path (an existing stale socket file is
+  /// unlinked first — the daemon-restart case). Unix-domain socket
+  /// paths are length-limited by sun_path (~107 bytes); longer paths
+  /// fail with a diagnostic, not truncation.
+  static Expected<Listener> open(const std::string &Path, int Backlog = 16);
+
+  /// Waits for one connection, polling every ~100 ms so \p Stop is
+  /// honored promptly. \returns the accepted fd, or -1 once \p Stop is
+  /// set or the listener goes bad (the two cases a server loop treats
+  /// identically: stop accepting).
+  int acceptOnce(const std::atomic<bool> &Stop);
+
+  /// Closes the fd and unlinks the socket path. Idempotent.
+  void close();
+
+  bool valid() const { return Fd >= 0; }
+  const std::string &path() const { return Path; }
+
+private:
+  int Fd = -1;
+  std::string Path;
+};
+
+/// Connects to the Unix-domain socket at \p Path. \returns the fd, or a
+/// WS501 diagnostic (server not up, path too long, ...).
+Expected<int> connectTo(const std::string &Path);
+
+/// Writes all of \p Bytes to \p Fd, retrying short writes and EINTR.
+/// \returns an empty status or one WS501 diagnostic. A peer that hangs
+/// up mid-write surfaces as EPIPE here (callers must ignore SIGPIPE —
+/// the daemon and client mains do).
+Status writeAll(int Fd, std::string_view Bytes);
+
+/// Reads \p Fd to EOF. Half-close is the request delimiter on both
+/// sides of the serving protocol: the writer shutdownWrite()s when done
+/// and the reader reads until EOF, so no length prefix is needed ahead
+/// of the wire stream's own framing.
+Expected<std::string> readAll(int Fd);
+
+/// shutdown(SHUT_WR): signals end-of-message while leaving the read
+/// half open for the response.
+void shutdownWrite(int Fd);
+
+/// close() wrapper (EINTR-safe, ignores errors — used on the way out).
+void closeFd(int Fd);
+
+} // namespace wiresort::support::sock
+
+#endif // WIRESORT_SUPPORT_SOCKET_H

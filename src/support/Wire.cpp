@@ -122,6 +122,11 @@ void Writer::putFixed64(uint64_t V) { appendFixed64(Payload, V); }
 
 void Writer::putString(std::string_view S) { putVarint(intern(S)); }
 
+void Writer::putBytes(std::string_view Bytes) {
+  putVarint(Bytes.size());
+  Payload.append(Bytes.data(), Bytes.size());
+}
+
 void Writer::flushStrings() {
   if (Pending.empty())
     return;
@@ -286,6 +291,17 @@ bool Reader::Cursor::getString(std::string_view &S) {
     return false;
   }
   S = Owner.string(Id);
+  return true;
+}
+
+bool Reader::Cursor::getBytes(std::string_view &S) {
+  uint64_t Len = 0;
+  if (!getVarint(Len) || Data.size() - Pos < Len) {
+    Failed = true;
+    return false;
+  }
+  S = Data.substr(Pos, Len);
+  Pos += Len;
   return true;
 }
 

@@ -74,6 +74,8 @@ enum class RecordKind : uint8_t {
   CacheEntry = 5,    ///< Cache key + name-based module summary.
   StreamEnd = 6,     ///< Record count; a stream without one is truncated.
   ShardModule = 7,   ///< Shard transport per-module outcome (id-based).
+  ServeRequest = 8,  ///< One daemon request (docs/SERVING.md).
+  ServeResponse = 9, ///< One daemon response (docs/SERVING.md).
 };
 
 /// StreamBegin payload: what producer wrote this stream. Lets a cache
@@ -82,6 +84,7 @@ enum class StreamKind : uint8_t {
   Summaries = 1, ///< `.wsort` binary sidecar (SummaryIO).
   Cache = 2,     ///< Summary-cache sidecar (cache format v3).
   Shard = 3,     ///< Fork-worker pipe stream (docs/SCALE.md).
+  Serve = 4,     ///< Check-service socket stream (docs/SERVING.md).
 };
 
 /// FNV-1a 64 over \p Data folded into \p Seed — the per-record checksum
@@ -113,6 +116,10 @@ public:
   void putFixed64(uint64_t V);
   /// putVarint(intern(S)).
   void putString(std::string_view S);
+  /// Length-prefixed raw bytes, *not* interned: the transport for bulk
+  /// one-off payloads (a request's design text, a response's stdout
+  /// stream) where interning would only copy them a second time.
+  void putBytes(std::string_view Bytes);
   void endRecord();
 
   /// Convenience: StreamBegin record announcing \p K at \p Version.
@@ -198,6 +205,9 @@ public:
     bool getFixed64(uint64_t &V);
     /// Reads a varint string id and resolves it via the owner's table.
     bool getString(std::string_view &S);
+    /// Reads length-prefixed raw bytes (inverse of Writer::putBytes);
+    /// \p S views into the record payload.
+    bool getBytes(std::string_view &S);
     bool atEnd() const { return Pos == Data.size() && !Failed; }
     bool failed() const { return Failed; }
 

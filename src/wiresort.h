@@ -29,6 +29,9 @@
 ///    options struct), Stage-2/3 circuit checking, ascription,
 ///    incremental re-checking, sidecar I/O, depth/memory extensions,
 ///    Graphviz export.
+///  * \c wiresort::driver — the CheckRequest/CheckResult check facade
+///    (CheckService) and the resident serving layer (Server,
+///    requestOnce — docs/SERVING.md).
 ///  * \c wiresort::parse — BLIF and structural-Verilog front ends.
 ///  * \c wiresort::synth — hierarchical lowering, flattening, cycle
 ///    detection, peephole cleanup.
@@ -51,6 +54,7 @@
 #include "support/FailPoint.h"
 #include "support/Graph.h"
 #include "support/Process.h"
+#include "support/Socket.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -76,6 +80,13 @@
 #include "analysis/SummaryEngine.h"
 #include "analysis/SummaryIO.h"
 #include "analysis/WellConnected.h"
+
+// Driver: the CheckRequest -> CheckResult facade every client (CLI,
+// daemon, benches) runs checks through, and the serving layer that
+// keeps one CheckService resident behind a Unix-domain socket
+// (docs/SERVING.md).
+#include "driver/Check.h"
+#include "driver/Serve.h"
 
 // Front ends (and the matching exporters).
 #include "parse/Blif.h"

@@ -1,0 +1,386 @@
+//===- tests/driver/DriverTest.cpp - The check facade + serving layer -----===//
+//
+// Part of the wiresort project. The driver acceptance bar
+// (docs/SERVING.md):
+//
+//  * resident (CheckService) and one-shot (runCheck) serve byte-identical
+//    Out/Err for the same request — the CLI/daemon identity is a library
+//    property, not a process-level accident;
+//  * a warm re-check of an edited design re-infers only the modules whose
+//    structural content (or sub-summary keys) changed;
+//  * caret echoes are keyed per request/file: concurrent residents never
+//    echo one request's source under another request's diagnostic;
+//  * the serve codecs round-trip every request field and fail *closed* on
+//    any framing damage — a torn or bit-flipped message is never
+//    half-decoded into a verdict;
+//  * an in-process Server speaks the full protocol end to end: golden
+//    check bytes, stats, rejection of garbage, response-drop/truncate
+//    fault sites, clean shutdown with the socket file unlinked.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Check.h"
+#include "driver/Serve.h"
+
+#include "support/FailPoint.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+
+using namespace wiresort;
+using namespace wiresort::driver;
+
+namespace {
+
+const char *LoopFree = ".model passthrough\n"
+                       ".inputs a\n"
+                       ".outputs y\n"
+                       ".names a y\n"
+                       "1 1\n"
+                       ".end\n";
+
+const char *Loopy = ".model loopy\n"
+                    ".inputs a\n"
+                    ".outputs y\n"
+                    ".names a x w\n"
+                    "11 1\n"
+                    ".names w x\n"
+                    "1 1\n"
+                    ".names w y\n"
+                    "1 1\n"
+                    ".end\n";
+
+/// Three-module hierarchy for the warm-re-check test: top composes two
+/// *structurally distinct* leaves (identical bodies would share one
+/// cache key), so editing leaf2 dirties exactly {leaf2, top} (top's
+/// cache key folds its children's keys) while leaf1 stays a cache hit.
+std::string hierarchy(const char *Leaf2Body) {
+  return std::string(".model top\n"
+                     ".inputs a\n.outputs y\n"
+                     ".subckt leaf1 a=a y=t\n"
+                     ".subckt leaf2 a=t y=y\n"
+                     ".end\n"
+                     ".model leaf1\n"
+                     ".inputs a\n.outputs y\n"
+                     ".names a y\n1 1\n.end\n"
+                     ".model leaf2\n"
+                     ".inputs a\n.outputs y\n") +
+         Leaf2Body + ".end\n";
+}
+
+CheckRequest inlineRequest(const char *Text, const std::string &Name,
+                           analysis::Format Fmt = analysis::Format::Json) {
+  CheckRequest R;
+  R.DesignText = Text;
+  R.HasInlineText = true;
+  R.DesignName = Name;
+  R.Req.OutputFormat = Fmt;
+  return R;
+}
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out << Text;
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+TEST(Driver, ResidentMatchesOneShotByteForByte) {
+  for (const char *Text : {LoopFree, Loopy}) {
+    CheckRequest R = inlineRequest(Text, "design.blif");
+    CheckResult Cold = runCheck(R);
+    CheckService Resident;
+    CheckResult First = Resident.run(R);
+    CheckResult Second = Resident.run(R);
+    EXPECT_EQ(Cold.ExitCode, First.ExitCode);
+    EXPECT_EQ(Cold.Out, First.Out);
+    EXPECT_EQ(Cold.Err, First.Err);
+    // The warm repeat serves every summary from the resident cache and
+    // still produces the same bytes (docs/ENGINE.md determinism).
+    EXPECT_EQ(Cold.Out, Second.Out);
+    EXPECT_EQ(Cold.Err, Second.Err);
+    if (Second.ExitCode == 0) {
+      EXPECT_EQ(Second.Stats.CacheHits, Second.Stats.Modules);
+      EXPECT_EQ(Second.Stats.Inferred, 0u);
+    }
+  }
+}
+
+TEST(Driver, WarmRecheckReinfersOnlyDirtyModules) {
+  CheckService Resident;
+  std::string V1 = hierarchy(".names a t\n0 1\n.names t y\n0 1\n");
+  CheckResult First = Resident.run(
+      inlineRequest(V1.c_str(), "hier.blif"));
+  ASSERT_EQ(First.ExitCode, 0) << First.Out << First.Err;
+  EXPECT_EQ(First.Stats.Inferred, 3u);
+
+  // Collapse leaf2's double inverter to a single one: leaf2's body hash
+  // moves, so top's key (which folds leaf2's summary key) moves too;
+  // leaf1 is untouched.
+  std::string V2 = hierarchy(".names a y\n0 1\n");
+  CheckResult Edited = Resident.run(
+      inlineRequest(V2.c_str(), "hier.blif"));
+  ASSERT_EQ(Edited.ExitCode, 0) << Edited.Out << Edited.Err;
+  EXPECT_EQ(Edited.Stats.CacheHits, 1u);
+  EXPECT_EQ(Edited.Stats.Inferred, 2u);
+}
+
+TEST(Driver, ParseResidencySkipsUnchangedChunks) {
+  // The parse half of the residency contract (docs/SERVING.md): a warm
+  // re-check of an edited file re-tokenizes only the edited `.model`
+  // chunk, everything else replays from the content-keyed parse cache —
+  // and the bytes out still match a cold one-shot exactly.
+  CheckService Resident;
+  std::string V1 = hierarchy(".names a t\n0 1\n.names t y\n0 1\n");
+  ASSERT_EQ(Resident.run(inlineRequest(V1.c_str(), "hier.blif")).ExitCode,
+            0);
+  EXPECT_EQ(Resident.parseCache().hits(), 0u);
+  EXPECT_EQ(Resident.parseCache().misses(), 3u); // top, leaf1, leaf2
+
+  std::string V2 = hierarchy(".names a y\n0 1\n");
+  CheckResult Edited =
+      Resident.run(inlineRequest(V2.c_str(), "hier.blif"));
+  ASSERT_EQ(Edited.ExitCode, 0) << Edited.Out << Edited.Err;
+  EXPECT_EQ(Resident.parseCache().hits(), 2u);  // top + leaf1 replay
+  EXPECT_EQ(Resident.parseCache().misses(), 4u); // + edited leaf2
+
+  CheckResult Cold = runCheck(inlineRequest(V2.c_str(), "hier.blif"));
+  EXPECT_EQ(Cold.ExitCode, Edited.ExitCode);
+  EXPECT_EQ(Cold.Out, Edited.Out);
+  EXPECT_EQ(Cold.Err, Edited.Err);
+}
+
+TEST(Driver, CaretEchoKeyedPerRequestFile) {
+  // Two different malformed sources through one resident service: each
+  // text-mode render must echo *its own* line under the caret. (The old
+  // CLI kept one process-global source string, which a resident service
+  // would have echoed under every request's diagnostics.)
+  CheckService Resident;
+  CheckResult A = Resident.run(inlineRequest(
+      ".model a\n.inputs a a\n.end\n", "a.blif", analysis::Format::Text));
+  CheckResult B = Resident.run(inlineRequest(
+      ".model b\n.inputs q q\n.end\n", "b.blif", analysis::Format::Text));
+  EXPECT_EQ(A.ExitCode, 1);
+  EXPECT_EQ(B.ExitCode, 1);
+  EXPECT_NE(A.Err.find("a.blif:2"), std::string::npos) << A.Err;
+  EXPECT_NE(A.Err.find(".inputs a a"), std::string::npos) << A.Err;
+  EXPECT_EQ(A.Err.find(".inputs q q"), std::string::npos) << A.Err;
+  EXPECT_NE(B.Err.find("b.blif:2"), std::string::npos) << B.Err;
+  EXPECT_NE(B.Err.find(".inputs q q"), std::string::npos) << B.Err;
+  EXPECT_EQ(B.Err.find(".inputs a a"), std::string::npos) << B.Err;
+}
+
+TEST(Driver, InlineAscriptionSidecarMatchesDiskSidecar) {
+  // The daemon's `ascribe` method ships the declared-summary sidecar
+  // inline; the CLI reads it from disk. Same bytes both ways.
+  const char *Sidecar = "module passthrough\n"
+                        "  input a to-sync\n"
+                        "  output y from-sync\n"
+                        "end\n";
+  std::string Dir = ::testing::TempDir();
+  writeFile(Dir + "/decl.wsort", Sidecar);
+
+  CheckRequest Disk = inlineRequest(LoopFree, "design.blif");
+  Disk.CheckPath = Dir + "/decl.wsort";
+  CheckResult FromDisk = runCheck(Disk);
+
+  CheckRequest Inline = Disk;
+  Inline.CheckText = Sidecar;
+  Inline.HasInlineCheckText = true;
+  CheckResult FromInline = runCheck(Inline);
+
+  EXPECT_EQ(FromDisk.ExitCode, 1);
+  EXPECT_EQ(FromDisk.ExitCode, FromInline.ExitCode);
+  EXPECT_EQ(FromDisk.Out, FromInline.Out);
+  EXPECT_EQ(FromDisk.Err, FromInline.Err);
+  EXPECT_NE(FromDisk.Out.find("WS102_ASCRIPTION_MISMATCH"),
+            std::string::npos)
+      << FromDisk.Out;
+}
+
+TEST(Serve, CodecRoundTripsEveryRequestField) {
+  CheckRequest R;
+  R.DesignPath = "designs/top.blif";
+  R.DesignText = std::string("raw\0bytes\n", 10); // NUL-safe transport.
+  R.HasInlineText = true;
+  R.DesignName = "top.blif";
+  R.Req.CachePath = "warm.wscache";
+  R.Req.OutputFormat = analysis::Format::Json;
+  R.Req.TraceOutPath = "trace.json";
+  R.Req.Stats = true;
+  R.Req.TimeoutMs = 1234;
+  R.Req.FailpointSpec = "engine.cancel=nth(3)";
+  R.Req.FaultSeed = 99;
+  R.SummariesOut = "out.wsort";
+  R.CheckPath = "decl.wsort";
+  R.DotPath = "top.dot";
+  R.ConvertIn = "old.wsort";
+  R.BinarySummaries = true;
+  R.CheckText = "module top\nend\n";
+  R.HasInlineCheckText = true;
+  R.Quiet = true;
+  R.ShowDepth = true;
+  R.Shards = 4;
+  R.SliceShard = 1;
+  R.SliceOf = 8;
+
+  std::string Bytes = encodeRequest(Method::Ascribe, R);
+  Method M = Method::Check;
+  CheckRequest D;
+  std::string Why;
+  ASSERT_TRUE(decodeRequest(Bytes, M, D, Why)) << Why;
+  EXPECT_EQ(M, Method::Ascribe);
+  EXPECT_EQ(D.DesignPath, R.DesignPath);
+  EXPECT_EQ(D.DesignText, R.DesignText);
+  EXPECT_EQ(D.HasInlineText, R.HasInlineText);
+  EXPECT_EQ(D.DesignName, R.DesignName);
+  EXPECT_EQ(D.Req.CachePath, R.Req.CachePath);
+  EXPECT_EQ(D.Req.OutputFormat, R.Req.OutputFormat);
+  EXPECT_EQ(D.Req.TraceOutPath, R.Req.TraceOutPath);
+  EXPECT_EQ(D.Req.Stats, R.Req.Stats);
+  EXPECT_EQ(D.Req.TimeoutMs, R.Req.TimeoutMs);
+  EXPECT_EQ(D.Req.FailpointSpec, R.Req.FailpointSpec);
+  EXPECT_EQ(D.Req.FaultSeed, R.Req.FaultSeed);
+  EXPECT_EQ(D.SummariesOut, R.SummariesOut);
+  EXPECT_EQ(D.CheckPath, R.CheckPath);
+  EXPECT_EQ(D.DotPath, R.DotPath);
+  EXPECT_EQ(D.ConvertIn, R.ConvertIn);
+  EXPECT_EQ(D.BinarySummaries, R.BinarySummaries);
+  EXPECT_EQ(D.CheckText, R.CheckText);
+  EXPECT_EQ(D.HasInlineCheckText, R.HasInlineCheckText);
+  EXPECT_EQ(D.Quiet, R.Quiet);
+  EXPECT_EQ(D.ShowDepth, R.ShowDepth);
+  EXPECT_EQ(D.Shards, R.Shards);
+  EXPECT_EQ(D.SliceShard, R.SliceShard);
+  EXPECT_EQ(D.SliceOf, R.SliceOf);
+  // The daemon decides fork policy; it never travels on the wire.
+  EXPECT_TRUE(D.AllowFork);
+}
+
+TEST(Serve, CodecFailsClosedOnFramingDamage) {
+  CheckRequest R = inlineRequest(LoopFree, "design.blif");
+  std::string Bytes = encodeRequest(Method::Check, R);
+  Method M;
+  CheckRequest D;
+  std::string Why;
+
+  // Truncation at every prefix length: never a successful decode.
+  for (size_t Len : {size_t(0), size_t(3), Bytes.size() / 2,
+                     Bytes.size() - 1})
+    EXPECT_FALSE(decodeRequest(Bytes.substr(0, Len), M, D, Why))
+        << "decoded a " << Len << "-byte prefix";
+
+  // A flipped byte anywhere in the payload region trips the record
+  // checksum (the first 5 bytes are magic+version, which readHeader
+  // rejects on its own).
+  std::string Flipped = Bytes;
+  Flipped[Bytes.size() / 2] ^= 0x40;
+  EXPECT_FALSE(decodeRequest(Flipped, M, D, Why));
+
+  // Same discipline on the response side.
+  CheckResult Res;
+  Res.ExitCode = 1;
+  Res.Out = "{\"verdict\":\"error\",\"errors\":1}\n";
+  std::string RespBytes = encodeResponse(Res, false);
+  Response Resp;
+  EXPECT_FALSE(decodeResponse(RespBytes.substr(0, RespBytes.size() - 2),
+                              Resp, Why));
+  std::string RespFlipped = RespBytes;
+  RespFlipped[RespBytes.size() / 2] ^= 0x01;
+  EXPECT_FALSE(decodeResponse(RespFlipped, Resp, Why));
+  // And the two directions don't cross-decode.
+  EXPECT_FALSE(decodeResponse(Bytes, Resp, Why));
+  EXPECT_FALSE(decodeRequest(RespBytes, M, D, Why));
+
+  ASSERT_TRUE(decodeResponse(RespBytes, Resp, Why)) << Why;
+  EXPECT_EQ(Resp.ExitCode, 1);
+  EXPECT_EQ(Resp.Out, Res.Out);
+}
+
+TEST(Serve, ServerEndToEndGoldenStatsShutdown) {
+  ServeOptions Opts;
+  Opts.SocketPath = ::testing::TempDir() + "/served_e2e.sock";
+  Opts.Workers = 2;
+  Server S(Opts);
+  ASSERT_FALSE(S.start().hasError());
+
+  CheckRequest R = inlineRequest(LoopFree, "design.blif");
+  Response Check = requestOnce(Opts.SocketPath, Method::Check, R);
+  ASSERT_TRUE(Check.Ok) << support::renderText(Check.Transport);
+  CheckResult Cli = runCheck(R);
+  EXPECT_EQ(Check.ExitCode, Cli.ExitCode);
+  EXPECT_EQ(Check.Out, Cli.Out);
+  EXPECT_EQ(Check.Err, Cli.Err);
+
+  Response Stats = requestOnce(Opts.SocketPath, Method::Stats);
+  ASSERT_TRUE(Stats.Ok) << support::renderText(Stats.Transport);
+  EXPECT_EQ(Stats.ExitCode, 0);
+  EXPECT_NE(Stats.Out.find("\"type\":\"served-stats\""), std::string::npos)
+      << Stats.Out;
+  EXPECT_NE(Stats.Out.find("\"requests\":1"), std::string::npos)
+      << Stats.Out;
+
+  // Raw garbage on the socket: rejected (status byte 1, exit 2), the
+  // connection is answered, the server stays up.
+  {
+    auto Fd = support::sock::connectTo(Opts.SocketPath);
+    ASSERT_TRUE(bool(Fd));
+    ASSERT_FALSE(support::sock::writeAll(*Fd, "not a wire stream")
+                     .hasError());
+    support::sock::shutdownWrite(*Fd);
+    auto Raw = support::sock::readAll(*Fd);
+    support::sock::closeFd(*Fd);
+    ASSERT_TRUE(bool(Raw));
+    Response Rej;
+    std::string Why;
+    ASSERT_TRUE(decodeResponse(*Raw, Rej, Why)) << Why;
+    EXPECT_TRUE(Rej.Rejected);
+    EXPECT_EQ(Rej.ExitCode, 2);
+    EXPECT_NE(Rej.Err.find("request rejected"), std::string::npos)
+        << Rej.Err;
+  }
+
+  Response Bye = requestOnce(Opts.SocketPath, Method::Shutdown);
+  ASSERT_TRUE(Bye.Ok) << support::renderText(Bye.Transport);
+  S.wait();
+  // Clean shutdown leaves no socket file (tools/run_tests.sh stage 9
+  // asserts the same from the outside).
+  struct stat St;
+  EXPECT_NE(::stat(Opts.SocketPath.c_str(), &St), 0);
+}
+
+TEST(Serve, ResponseDropAndTruncateFaultsFailClosed) {
+  ServeOptions Opts;
+  Opts.SocketPath = ::testing::TempDir() + "/served_fault.sock";
+  Server S(Opts);
+  ASSERT_FALSE(S.start().hasError());
+  CheckRequest R = inlineRequest(LoopFree, "design.blif");
+
+  // Dropped response: the client reads EOF, decodes nothing, and
+  // reports transport damage — exit-2 territory, never a verdict.
+  ASSERT_FALSE(support::failpoint::configure("serve.response.drop=nth(1)", 0)
+                   .hasError());
+  Response Dropped = requestOnce(Opts.SocketPath, Method::Check, R);
+  EXPECT_FALSE(Dropped.Ok);
+  EXPECT_TRUE(Dropped.Transport.hasError());
+
+  // Truncated response: half a wire stream trips the framing checksum.
+  ASSERT_FALSE(
+      support::failpoint::configure("serve.response.truncate=nth(1)", 0)
+          .hasError());
+  Response Torn = requestOnce(Opts.SocketPath, Method::Check, R);
+  EXPECT_FALSE(Torn.Ok);
+  EXPECT_TRUE(Torn.Transport.hasError());
+
+  support::failpoint::disarmAll();
+  Response Fine = requestOnce(Opts.SocketPath, Method::Check, R);
+  EXPECT_TRUE(Fine.Ok) << support::renderText(Fine.Transport);
+  EXPECT_EQ(Fine.ExitCode, 0);
+  S.stop();
+  S.wait();
+}
+
+} // namespace

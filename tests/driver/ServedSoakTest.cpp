@@ -1,0 +1,217 @@
+//===- tests/driver/ServedSoakTest.cpp - Concurrent serving soak ----------===//
+//
+// Part of the wiresort project. The request-level concurrency
+// acceptance bar (docs/SERVING.md), extending the FaultSoakTest pattern
+// from one engine to a whole resident service: many client threads
+// hammer one in-process Server with a deterministic mix of clean
+// checks, error designs, per-request deadlines, and failpoint
+// schedules (including the serving layer's own response-drop/truncate
+// sites). The invariants, by running rather than argument:
+//
+//  * every response either decodes cleanly with a contract exit code
+//    (0/1/2/3) or surfaces as transport damage (the drop/truncate
+//    faults) — never a half-decoded verdict;
+//  * the failpoint registry being process-global degrades *visibly*
+//    (a neighbor's schedule may cancel your request: WS601, exit 3 —
+//    fail closed) but never corrupts: no crash, no hang, no wrong-shape
+//    output;
+//  * after the storm, a disarmed golden request is byte-identical to a
+//    cold wiresort-check run, and shutdown drains in-flight requests
+//    and unlinks the socket.
+//
+// Runs under TSan in tools/run_tests.sh stage 9 — the resident cache,
+// telemetry mutex, and connection pool are concurrency claims.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Check.h"
+#include "driver/Serve.h"
+
+#include "support/FailPoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+using namespace wiresort;
+using namespace wiresort::driver;
+
+namespace {
+
+const char *LoopFree = ".model passthrough\n"
+                       ".inputs a\n"
+                       ".outputs y\n"
+                       ".names a y\n"
+                       "1 1\n"
+                       ".end\n";
+
+const char *Loopy = ".model loopy\n"
+                    ".inputs a\n"
+                    ".outputs y\n"
+                    ".names a x w\n"
+                    "11 1\n"
+                    ".names w x\n"
+                    "1 1\n"
+                    ".names w y\n"
+                    "1 1\n"
+                    ".end\n";
+
+const char *Malformed = ".model broken\n"
+                        ".inputs a a\n"
+                        ".end\n";
+
+CheckRequest inlineRequest(const char *Text, const std::string &Name) {
+  CheckRequest R;
+  R.DesignText = Text;
+  R.HasInlineText = true;
+  R.DesignName = Name;
+  R.Req.OutputFormat = analysis::Format::Json;
+  return R;
+}
+
+TEST(ServedSoak, ConcurrentHammerWithFaultSchedules) {
+  ServeOptions Opts;
+  Opts.SocketPath = ::testing::TempDir() + "/served_soak.sock";
+  Opts.Workers = 4;
+  Server S(Opts);
+  ASSERT_FALSE(S.start().hasError());
+
+  constexpr unsigned Threads = 6;
+  constexpr unsigned PerThread = 24;
+  std::atomic<size_t> Decoded{0}, Transport{0}, BadShape{0};
+  std::atomic<size_t> ExitSeen[4] = {{0}, {0}, {0}, {0}};
+
+  auto client = [&](unsigned Tid) {
+    for (unsigned I = 0; I < PerThread; ++I) {
+      unsigned Variant = (Tid * 7 + I) % 6;
+      CheckRequest R;
+      switch (Variant) {
+      case 0:
+      case 1:
+        R = inlineRequest(LoopFree, "soak_ok.blif");
+        break;
+      case 2:
+        R = inlineRequest(Loopy, "soak_loopy.blif");
+        break;
+      case 3:
+        R = inlineRequest(Malformed, "soak_broken.blif");
+        break;
+      case 4:
+        // A deadline plus a one-shot cancel fault: this request — or,
+        // the registry being process-global, a concurrent neighbor —
+        // fails closed with WS601/exit 3.
+        R = inlineRequest(LoopFree, "soak_cancel.blif");
+        R.Req.TimeoutMs = 10000;
+        R.Req.FailpointSpec = "engine.cancel=nth(2)";
+        R.Req.FaultSeed = Tid * 1000 + I;
+        break;
+      case 5:
+        // Serving-layer fault: one response gets dropped or torn; the
+        // *client* side must fail closed (transport damage, no verdict).
+        R = inlineRequest(LoopFree, "soak_drop.blif");
+        R.Req.FailpointSpec = (I % 2) ? "serve.response.drop=nth(1)"
+                                      : "serve.response.truncate=nth(1)";
+        break;
+      }
+      Response Res = requestOnce(Opts.SocketPath, Method::Check, R);
+      if (!Res.Ok) {
+        // Only acceptable as transport damage with evidence attached.
+        if (!Res.Transport.hasError())
+          BadShape.fetch_add(1);
+        Transport.fetch_add(1);
+        continue;
+      }
+      Decoded.fetch_add(1);
+      if (Res.ExitCode < 0 || Res.ExitCode > 3) {
+        BadShape.fetch_add(1);
+        continue;
+      }
+      ExitSeen[Res.ExitCode].fetch_add(1);
+      // Shape invariant: every decoded JSON-mode response that ran ends
+      // in exactly one verdict line; rejected ones carry Err instead.
+      if (!Res.Rejected &&
+          Res.Out.find("\"verdict\":") == std::string::npos &&
+          Res.ExitCode != 2)
+        BadShape.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> Clients;
+  for (unsigned T = 0; T < Threads; ++T)
+    Clients.emplace_back(client, T);
+  for (std::thread &T : Clients)
+    T.join();
+
+  EXPECT_EQ(BadShape.load(), 0u);
+  EXPECT_GT(Decoded.load(), 0u);
+  // The clean variants dominate the mix, so well-connected and
+  // error-diagnosed runs must both have happened.
+  EXPECT_GT(ExitSeen[0].load(), 0u);
+  EXPECT_GT(ExitSeen[1].load(), 0u);
+  EXPECT_EQ(Decoded.load() + Transport.load(),
+            size_t(Threads) * PerThread);
+
+  // After the storm: disarm the (process-global, and therefore still
+  // armed) schedules and demand byte-identity with a cold CLI-style run.
+  support::failpoint::disarmAll();
+  CheckRequest Golden = inlineRequest(LoopFree, "soak_ok.blif");
+  Response Warm = requestOnce(Opts.SocketPath, Method::Check, Golden);
+  ASSERT_TRUE(Warm.Ok) << support::renderText(Warm.Transport);
+  CheckResult Cold = runCheck(Golden);
+  EXPECT_EQ(Warm.ExitCode, Cold.ExitCode);
+  EXPECT_EQ(Warm.Out, Cold.Out);
+  EXPECT_EQ(Warm.Err, Cold.Err);
+
+  Response Stats = requestOnce(Opts.SocketPath, Method::Stats);
+  ASSERT_TRUE(Stats.Ok);
+  EXPECT_NE(Stats.Out.find("\"type\":\"served-stats\""), std::string::npos);
+
+  Response Bye = requestOnce(Opts.SocketPath, Method::Shutdown);
+  ASSERT_TRUE(Bye.Ok) << support::renderText(Bye.Transport);
+  S.wait();
+  struct stat St;
+  EXPECT_NE(::stat(Opts.SocketPath.c_str(), &St), 0);
+}
+
+TEST(ServedSoak, ResidentCacheStaysWarmAcrossConcurrentClients) {
+  ServeOptions Opts;
+  Opts.SocketPath = ::testing::TempDir() + "/served_warm.sock";
+  Opts.Workers = 4;
+  Server S(Opts);
+  ASSERT_FALSE(S.start().hasError());
+
+  // Prime, then hammer the same design from many threads: every
+  // follow-up is a full cache hit, and all responses are byte-equal.
+  CheckRequest R = inlineRequest(LoopFree, "warm.blif");
+  Response First = requestOnce(Opts.SocketPath, Method::Check, R);
+  ASSERT_TRUE(First.Ok) << support::renderText(First.Transport);
+  ASSERT_EQ(First.ExitCode, 0);
+
+  std::atomic<size_t> Mismatches{0};
+  std::vector<std::thread> Clients;
+  for (unsigned T = 0; T < 4; ++T)
+    Clients.emplace_back([&] {
+      for (unsigned I = 0; I < 16; ++I) {
+        Response Res = requestOnce(Opts.SocketPath, Method::Check, R);
+        if (!Res.Ok || Res.Out != First.Out || Res.Err != First.Err ||
+            Res.ExitCode != 0)
+          Mismatches.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+
+  // The service saw every request; the engine inferred the design once.
+  EXPECT_EQ(S.service().requestsServed(), 1u + 4 * 16);
+  EXPECT_EQ(S.service().engine().cache().size(), 1u);
+
+  S.stop();
+  S.wait();
+}
+
+} // namespace

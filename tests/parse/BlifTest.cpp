@@ -217,3 +217,123 @@ TEST(BlifTest, ImportedDesignIsAnalyzable) {
   EXPECT_EQ(Out.at(File->Top).sortOf(M.findPort("v_i")), Sort::ToPort);
   EXPECT_EQ(Out.at(File->Top).sortOf(M.findPort("v_o")), Sort::FromPort);
 }
+
+TEST(BlifTest, ParseCacheReplaysByteIdentically) {
+  const char *Text = ".model top\n"
+                     ".inputs x\n.outputs y\n"
+                     ".subckt inv a=x y=mid\n"
+                     ".subckt inv a=mid y=y\n"
+                     ".end\n"
+                     ".model inv\n"
+                     ".inputs a\n.outputs y\n"
+                     ".names a y\n0 1\n.end\n";
+  BlifParseCache Cache;
+  auto First = parseBlif(Text, "c.blif", nullptr, &Cache);
+  ASSERT_TRUE(First.hasValue()) << First.describe();
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 2u); // top chunk + inv chunk
+  EXPECT_EQ(Cache.size(), 2u);
+
+  auto Second = parseBlif(Text, "c.blif", nullptr, &Cache);
+  ASSERT_TRUE(Second.hasValue()) << Second.describe();
+  EXPECT_EQ(Cache.hits(), 2u);
+  EXPECT_EQ(Cache.misses(), 2u);
+
+  // The replayed design is the parsed design, byte for byte.
+  EXPECT_EQ(writeBlif(First->Design, First->Top),
+            writeBlif(Second->Design, Second->Top));
+  // And identical to a cache-free parse.
+  auto Plain = parseBlif(Text, "c.blif");
+  ASSERT_TRUE(Plain.hasValue());
+  EXPECT_EQ(writeBlif(Plain->Design, Plain->Top),
+            writeBlif(Second->Design, Second->Top));
+}
+
+TEST(BlifTest, ParseCacheReparsesOnlyEditedChunk) {
+  auto design = [](const char *LeafBody) {
+    return std::string(".model top\n.inputs x\n.outputs y\n"
+                       ".subckt leaf a=x y=y\n.end\n"
+                       ".model leaf\n.inputs a\n.outputs y\n") +
+           LeafBody + ".end\n";
+  };
+  BlifParseCache Cache;
+  std::string V1 = design(".names a y\n1 1\n");
+  ASSERT_TRUE(parseBlif(V1, "e.blif", nullptr, &Cache).hasValue());
+  ASSERT_EQ(Cache.misses(), 2u);
+
+  // Edit the leaf body: top replays, only the leaf chunk re-parses.
+  std::string V2 = design(".names a y\n0 1\n");
+  auto File = parseBlif(V2, "e.blif", nullptr, &Cache);
+  ASSERT_TRUE(File.hasValue()) << File.describe();
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 3u);
+  auto Plain = parseBlif(V2, "e.blif");
+  ASSERT_TRUE(Plain.hasValue());
+  EXPECT_EQ(writeBlif(Plain->Design, Plain->Top),
+            writeBlif(File->Design, File->Top));
+}
+
+TEST(BlifTest, ParseCacheRebasesDiagnosticLines) {
+  // A cached chunk replayed at a different file position must report
+  // resolution diagnostics at its *new* lines — byte-identical to an
+  // uncached parse of the shifted file.
+  const char *Body = ".model top\n.inputs x\n.outputs y\n"
+                     ".subckt nosuch a=x y=y\n.end\n";
+  BlifParseCache Cache;
+  auto First = parseBlif(Body, "r.blif", nullptr, &Cache);
+  ASSERT_FALSE(First.hasValue());
+  ASSERT_TRUE(First.diags().firstError().loc().has_value());
+  EXPECT_EQ(First.diags().firstError().loc()->Line, 4u);
+
+  // Two comment lines above shift the (unchanged, cache-hot) chunk.
+  std::string Shifted = std::string("# pad\n# pad\n") + Body;
+  auto Second = parseBlif(Shifted, "r.blif", nullptr, &Cache);
+  ASSERT_FALSE(Second.hasValue());
+  EXPECT_GE(Cache.hits(), 1u);
+  ASSERT_TRUE(Second.diags().firstError().loc().has_value());
+  EXPECT_EQ(Second.diags().firstError().loc()->Line, 6u);
+  auto Plain = parseBlif(Shifted, "r.blif");
+  EXPECT_EQ(Plain.describe(), Second.describe());
+}
+
+TEST(BlifTest, ParseCacheHonorsContinuationAcrossModelBoundary) {
+  // A backslash continuation immediately before a `.model` line glues
+  // the two physical lines into one logical line, so it is NOT a chunk
+  // boundary; cached and plain parses must agree exactly. (Here the
+  // glued line drags `.model m2` into a .names token list, which the
+  // parser accepts as wire names — one model either way.)
+  const char *Text = ".model m1\n"
+                     ".inputs a b\n.outputs y\n"
+                     ".names a b y \\\n"
+                     ".model m2\n"
+                     "11-- 1\n"
+                     ".end\n";
+  auto Plain = parseBlif(Text, "g.blif");
+  BlifParseCache Cache;
+  auto Cached = parseBlif(Text, "g.blif", nullptr, &Cache);
+  auto Replayed = parseBlif(Text, "g.blif", nullptr, &Cache);
+  ASSERT_EQ(Plain.hasValue(), Cached.hasValue());
+  ASSERT_EQ(Plain.hasValue(), Replayed.hasValue());
+  if (Plain.hasValue()) {
+    EXPECT_EQ(Plain->Design.numModules(), 1u);
+    EXPECT_EQ(writeBlif(Plain->Design, Plain->Top),
+              writeBlif(Replayed->Design, Replayed->Top));
+  } else {
+    EXPECT_EQ(Plain.describe(), Cached.describe());
+    EXPECT_EQ(Plain.describe(), Replayed.describe());
+  }
+}
+
+TEST(BlifTest, ParseCacheFlushesWhenFull) {
+  // Overflow clears wholesale; correctness is unaffected — the next
+  // parse is simply cold.
+  BlifParseCache Cache(/*MaxEntries=*/1);
+  const char *A = ".model a\n.inputs i\n.outputs o\n.names i o\n1 1\n.end\n";
+  const char *B = ".model b\n.inputs i\n.outputs o\n.names i o\n0 1\n.end\n";
+  ASSERT_TRUE(parseBlif(A, "a.blif", nullptr, &Cache).hasValue());
+  ASSERT_TRUE(parseBlif(B, "b.blif", nullptr, &Cache).hasValue());
+  EXPECT_LE(Cache.size(), 1u);
+  auto Again = parseBlif(A, "a.blif", nullptr, &Cache);
+  ASSERT_TRUE(Again.hasValue()) << Again.describe();
+  EXPECT_EQ(Again->Design.module(Again->Top).Name, "a");
+}

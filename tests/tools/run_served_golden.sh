@@ -1,0 +1,101 @@
+#!/bin/sh
+# Golden session for the resident check service (docs/SERVING.md): start
+# wiresort-served on a scratch socket, replay the CLI golden corpus
+# through wiresort-client, and byte-compare each response's stdout and
+# exit code against a fresh serial `wiresort-check --format json` run on
+# the same inputs — the daemon's identity-by-construction claim, checked
+# from the outside. Then stats, shutdown, and the no-droppings check:
+# the daemon must exit 0 and unlink its socket file.
+#
+# Usage: run_served_golden.sh <wiresort-served> <wiresort-client> \
+#            <wiresort-check> <fixture-dir>
+set -u
+
+SERVED=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+CLIENT=$(cd "$(dirname "$2")" && pwd)/$(basename "$2")
+CHECK=$(cd "$(dirname "$3")" && pwd)/$(basename "$3")
+FIXTURES=$4
+cd "$FIXTURES" || exit 2
+
+SCRATCH=$(mktemp -d "${TMPDIR:-/tmp}/served_golden.XXXXXX")
+SOCK=$SCRATCH/served.sock
+trap 'kill $SERVED_PID 2>/dev/null; rm -rf "$SCRATCH"' EXIT
+
+"$SERVED" --socket "$SOCK" --workers 2 > "$SCRATCH/served.log" 2>&1 &
+SERVED_PID=$!
+
+# Wait for the listening line (the daemon prints it once bound).
+Tries=0
+while ! grep -q "listening on" "$SCRATCH/served.log" 2>/dev/null; do
+  Tries=$((Tries + 1))
+  if [ "$Tries" -gt 100 ]; then
+    echo "FAIL: daemon never started" >&2
+    cat "$SCRATCH/served.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+
+Failures=0
+
+# run <name> <arg...>: the same request through the daemon and through a
+# cold serial CLI process; stdout and exit must match byte for byte.
+run() {
+  Name=$1
+  shift
+  "$CLIENT" --socket "$SOCK" "$@" > "$SCRATCH/client.out" 2>/dev/null
+  ClientExit=$?
+  "$CHECK" "$@" > "$SCRATCH/cli.out" 2>/dev/null
+  CliExit=$?
+  if [ "$ClientExit" -ne "$CliExit" ]; then
+    echo "FAIL $Name: client exit $ClientExit, cli exit $CliExit" >&2
+    Failures=$((Failures + 1))
+    return
+  fi
+  if ! diff -u "$SCRATCH/cli.out" "$SCRATCH/client.out" >&2; then
+    echo "FAIL $Name: daemon stdout differs from serial CLI" >&2
+    Failures=$((Failures + 1))
+    return
+  fi
+  echo "ok $Name (exit $ClientExit, bytes identical)"
+}
+
+run loopfree loopfree.blif --format json
+run loopy loopy.blif --format json
+run malformed malformed.blif --format json
+run badascribe badascribe.blif --format json --check badascribe.wsort
+# Warm repeat: the resident cache serves every summary; bytes unchanged.
+run loopfree_warm loopfree.blif --format json
+# Text mode has no timing in diagnostics-only runs, so it goldens too.
+run malformed_text malformed.blif
+
+# Daemon counters: one NDJSON record, requests counted.
+if "$CLIENT" --socket "$SOCK" --stats | grep -q '"type":"served-stats"'; then
+  echo "ok stats"
+else
+  echo "FAIL stats: no served-stats record" >&2
+  Failures=$((Failures + 1))
+fi
+
+# Clean shutdown: exit 0, no socket file left behind.
+"$CLIENT" --socket "$SOCK" --shutdown > /dev/null
+wait $SERVED_PID
+ServedExit=$?
+SERVED_PID=""
+trap 'rm -rf "$SCRATCH"' EXIT
+if [ "$ServedExit" -ne 0 ]; then
+  echo "FAIL shutdown: daemon exit $ServedExit" >&2
+  cat "$SCRATCH/served.log" >&2
+  Failures=$((Failures + 1))
+elif [ -e "$SOCK" ]; then
+  echo "FAIL shutdown: socket file leaked at $SOCK" >&2
+  Failures=$((Failures + 1))
+else
+  echo "ok shutdown (exit 0, socket unlinked)"
+fi
+
+if [ "$Failures" -ne 0 ]; then
+  echo "$Failures serving golden case(s) failed" >&2
+  exit 1
+fi
+echo "all serving golden cases passed"

@@ -11,7 +11,11 @@
 #    scalar 1-lane-word baseline — written over BENCH_kernel.json;
 #  * bench_engine — serial/parallel/warm engine curves, the cold
 #    summary-load comparison (text sidecar vs wire binary vs loadCache
-#    on a v3 cache file), and the trace/failpoint overhead smokes —
+#    on a v3 cache file), the resident-service-vs-cold-process check
+#    latency table (1/8/64 repeat requests on a mega preset, with the
+#    >= 5x warm-edited-re-check gate on the full 100k preset —
+#    docs/SERVING.md; WIRESORT_CHECK is exported below so the cold side
+#    is a real process spawn), and the trace/failpoint overhead smokes —
 #    written over BENCH_engine.json.
 #
 # Every timing in both reports is gated on a results-identical check
@@ -39,7 +43,12 @@ done
 
 [ -f "$BUILD/CMakeCache.txt" ] || cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j "$(nproc)" --target bench_scalability \
-  --target bench_kernel --target bench_engine
+  --target bench_kernel --target bench_engine --target wiresort-check
+
+# bench_engine's serving table spawns this binary for its cold side, so
+# the resident-vs-cold comparison includes real process startup.
+WIRESORT_CHECK="$BUILD/tools/wiresort-check"
+export WIRESORT_CHECK
 
 # shellcheck disable=SC2086 # QUICK is intentionally word-split.
 "$BUILD/bench/bench_scalability" $QUICK --json "$ROOT/BENCH_scalability.json"

@@ -46,6 +46,14 @@
 #      round-trip byte-identically, repeated binary writes must be
 #      byte-stable, and the binary sidecar a 4-shard fork run writes
 #      must be byte-identical to the serial one.
+#   9. the serving tier (docs/SERVING.md): the `served`-labelled suites
+#      (driver facade + in-process server + concurrent soak) rerun
+#      under TSan — the resident cache, telemetry mutex, and connection
+#      pool are concurrency claims — followed by an out-of-process
+#      golden session: start wiresort-served on a scratch socket, replay
+#      the golden corpus through wiresort-client, byte-compare every
+#      response against a cold serial wiresort-check run, and assert a
+#      clean shutdown that leaks neither the socket file nor temp files.
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
@@ -266,4 +274,33 @@ done
 echo "text <-> binary summaries round-trip; serial and sharded binary sidecars agree byte-for-byte"
 
 echo
-echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace + ASan soak + scale + wire)"
+echo "=== stage 9: serving tier — resident daemon (docs/SERVING.md) ==="
+# The served-labelled suites already ran in stage 1's default tier; here
+# they rerun under ThreadSanitizer, because one resident CheckService
+# handling concurrent requests (shared summary cache, serialized
+# telemetry window, pooled connections) is a concurrency claim.
+cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+  --target driver_tests served_soak_tests
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/driver_tests"
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/served_soak_tests"
+# Out-of-process golden session: daemon up, golden corpus through the
+# client byte-compared against serial CLI runs, clean shutdown with no
+# leaked socket. (The script itself asserts the unlink; we re-assert
+# from out here that its scratch dir is gone too.)
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target wiresort-served wiresort-client wiresort-check
+SERVED_SOCKS_BEFORE=$(find "${TMPDIR:-/tmp}" -maxdepth 1 \
+  -name 'served_golden.*' 2>/dev/null | wc -l)
+sh "$ROOT/tests/tools/run_served_golden.sh" \
+  "$BUILD/tools/wiresort-served" "$BUILD/tools/wiresort-client" \
+  "$BUILD/tools/wiresort-check" "$ROOT/tests/tools"
+SERVED_SOCKS_AFTER=$(find "${TMPDIR:-/tmp}" -maxdepth 1 \
+  -name 'served_golden.*' 2>/dev/null | wc -l)
+if [ "$SERVED_SOCKS_AFTER" -gt "$SERVED_SOCKS_BEFORE" ]; then
+  echo "FAIL: serving golden session leaked scratch dirs" >&2
+  exit 1
+fi
+echo "resident daemon matches serial CLI byte-for-byte and shuts down clean"
+
+echo
+echo "all suites passed (regular + TSan + UBSan + CLI smoke + trace + ASan soak + scale + wire + serving)"

@@ -1,44 +1,30 @@
-//===- tools/wiresort-check.cpp - The wiresort command-line tool ----------===//
+//===- tools/wiresort-client.cpp - Client for the resident daemon ---------===//
 //
 // Part of the wiresort project, a reproduction of "Wire Sorts: A Language
 // Abstraction for Safe Hardware Composition" (PLDI 2021).
 //
-// A Yosys-pass-style command-line front end — and, since the serving
-// layer landed, a *thin client* of the library-level check facade
-// (src/driver/Check.h): main() only parses flags into a
-// driver::CheckRequest, runs it one-shot through driver::runCheck, and
-// replays the result's stdout/stderr bytes. The daemon
-// (tools/wiresort-served.cpp) serves the very same facade resident, so
-// its responses are byte-identical to this tool by construction
-// (docs/SERVING.md).
+// The socket-side twin of wiresort-check (docs/SERVING.md): same check
+// flags, but instead of running the driver in-process it ships the
+// request to a running wiresort-served daemon and replays the
+// response's stdout/stderr bytes — which are byte-identical to what
+// `wiresort-check` would print for the same inputs, because both sides
+// run driver::CheckService (tools/run_served_golden.sh asserts that,
+// byte for byte).
 //
-//   wiresort-check design.blif                 # sorts + verdict
-//   wiresort-check design.blif --format json   # NDJSON diags + verdict
-//   wiresort-check design.blif --summaries out.wsort
-//   wiresort-check design.blif --check out.wsort   # ascription check
-//   wiresort-check design.blif --dot out.dot   # top module, colored
-//   wiresort-check design.blif --quiet         # verdict only
-//   wiresort-check design.blif --depth         # timing extension
-//   wiresort-check design.blif --threads 8     # parallel inference
-//   wiresort-check design.blif --shards 4      # fork-isolated workers
-//   wiresort-check design.blif --shard 1/4     # one slice of a scripted
-//                                              # N-way partition
-//   wiresort-check design.blif --cache d.wscache   # warm-start repeats
-//   wiresort-check design.blif --trace-out t.json  # Chrome trace events
-//   wiresort-check design.blif --stats         # registry counter dump
-//   wiresort-check design.blif --timeout-ms 500    # bounded run
-//   wiresort-check design.blif --failpoints s=mode # fault injection
+//   wiresort-client --socket /tmp/ws.sock design.blif --format json
+//   wiresort-client --socket /tmp/ws.sock design.blif --check decl.wsort
+//   wiresort-client --socket /tmp/ws.sock --stats     # daemon counters
+//   wiresort-client --socket /tmp/ws.sock --shutdown  # drain and stop
 //
-// Exit-code contract (docs/DIAGNOSTICS.md): 0 = well-connected and every
-// requested check passed; 1 = analysis/parse diagnostics with severity >=
-// error were emitted; 2 = usage or I/O failure (WS5xx); 3 = the run was
-// cancelled by --timeout-ms (WS601_CANCELLED, with partial-progress
-// notes — docs/ROBUSTNESS.md). With --format json all diagnostics go to
-// stdout as newline-delimited JSON (support::renderJson) followed by one
-// deterministic verdict line — {"verdict":"well-connected","modules":N},
-// {"verdict":"error","errors":K}, or {"verdict":"cancelled","errors":K}
-// — with no timing or thread counts, so the output is byte-stable for
-// golden tests.
+// The design file (and any --check sidecar) is read *locally* and
+// shipped inline with its path as the diagnostic name, so the daemon
+// never depends on sharing a working directory with the client, and
+// caret echoes still point at the right file.
+//
+// Exit codes: the server-side check's own contract (0/1/2/3 —
+// docs/DIAGNOSTICS.md) passed through verbatim; 2 for transport damage
+// (can't connect, torn or checksum-failed response — the client fails
+// closed and never guesses a verdict).
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +33,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 using namespace wiresort;
@@ -54,9 +42,6 @@ using namespace wiresort::analysis;
 
 namespace {
 
-/// Pre-run diagnostics (usage, failpoint-spec trouble) still honor the
-/// format parsed so far: JSON renderings go to stdout like every other
-/// machine-readable diag, text to stderr.
 void emitEarly(Format Fmt, const support::Diag &D) {
   if (Fmt == Format::Json)
     std::printf("%s\n", support::renderJson(D).c_str());
@@ -72,22 +57,33 @@ void emitEarly(Format Fmt, const support::Status &Ds) {
 int usage(const char *Argv0, Format Fmt, const std::string &Why) {
   emitEarly(Fmt, support::Diag(support::DiagCode::WS503_USAGE, Why));
   std::fprintf(stderr,
-               "usage: %s <design.blif|design.v> [--summaries FILE] "
-               "[--summary-format text|binary] [--convert-summaries FILE] "
+               "usage: %s --socket PATH <design.blif|design.v> "
+               "[--summaries FILE] [--summary-format text|binary] "
                "[--check FILE] [--dot FILE] [--format text|json] "
-               "[--quiet] [--depth] [--threads N] [--shards N] "
-               "[--shard I/N] [--cache FILE] "
-               "[--trace-out FILE] [--stats] [--timeout-ms N] "
-               "[--failpoints SPEC] [--fault-seed N]\n",
-               Argv0);
+               "[--quiet] [--depth] [--shards N] [--shard I/N] "
+               "[--cache FILE] [--trace-out FILE] [--stats-line] "
+               "[--timeout-ms N] [--failpoints SPEC] [--fault-seed N]\n"
+               "       %s --socket PATH --stats | --shutdown\n",
+               Argv0, Argv0);
   return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  Out = Ss.str();
+  return true;
 }
 
 } // namespace
 
 int main(int ArgC, char **ArgV) {
   driver::CheckRequest R;
-  EngineConfig Cfg;
+  std::string SocketPath;
+  bool WantStats = false, WantShutdown = false;
   for (int I = 1; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
     auto takeValue = [&](std::string &Slot) {
@@ -97,11 +93,18 @@ int main(int ArgC, char **ArgV) {
       return true;
     };
     Format Fmt = R.Req.OutputFormat;
-    if (Arg == "--summaries") {
+    std::string Value;
+    if (Arg == "--socket") {
+      if (!takeValue(SocketPath))
+        return usage(ArgV[0], Fmt, "--socket expects a path");
+    } else if (Arg == "--stats") {
+      WantStats = true;
+    } else if (Arg == "--shutdown") {
+      WantShutdown = true;
+    } else if (Arg == "--summaries") {
       if (!takeValue(R.SummariesOut))
         return usage(ArgV[0], Fmt, "--summaries expects a file");
     } else if (Arg == "--summary-format") {
-      std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--summary-format expects text or binary");
       if (Value == "binary")
@@ -111,9 +114,6 @@ int main(int ArgC, char **ArgV) {
       else
         return usage(ArgV[0], Fmt, "unknown --summary-format '" + Value +
                                        "' (text|binary)");
-    } else if (Arg == "--convert-summaries") {
-      if (!takeValue(R.ConvertIn))
-        return usage(ArgV[0], Fmt, "--convert-summaries expects a file");
     } else if (Arg == "--check") {
       if (!takeValue(R.CheckPath))
         return usage(ArgV[0], Fmt, "--check expects a file");
@@ -126,10 +126,9 @@ int main(int ArgC, char **ArgV) {
     } else if (Arg == "--trace-out") {
       if (!takeValue(R.Req.TraceOutPath))
         return usage(ArgV[0], Fmt, "--trace-out expects a file");
-    } else if (Arg == "--stats") {
+    } else if (Arg == "--stats-line") {
       R.Req.Stats = true;
     } else if (Arg == "--format") {
-      std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--format expects text or json");
       if (Value == "json")
@@ -139,22 +138,13 @@ int main(int ArgC, char **ArgV) {
       else
         return usage(ArgV[0], Fmt,
                      "unknown --format '" + Value + "' (text|json)");
-    } else if (Arg == "--threads") {
-      std::string Value;
-      if (!takeValue(Value))
-        return usage(ArgV[0], Fmt, "--threads expects a count");
-      Cfg.Threads = static_cast<unsigned>(std::atoi(Value.c_str()));
-      if (Cfg.Threads == 0)
-        return usage(ArgV[0], Fmt, "--threads expects a positive count");
     } else if (Arg == "--shards") {
-      std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--shards expects a worker count");
       R.Shards = static_cast<unsigned>(std::atoi(Value.c_str()));
       if (R.Shards == 0)
         return usage(ArgV[0], Fmt, "--shards expects a positive worker count");
     } else if (Arg == "--shard") {
-      std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--shard expects I/N");
       const char *Text = Value.c_str();
@@ -166,7 +156,6 @@ int main(int ArgC, char **ArgV) {
       if (R.SliceOf == 0 || R.SliceShard >= R.SliceOf)
         return usage(ArgV[0], Fmt, "--shard I/N needs 0 <= I < N");
     } else if (Arg == "--timeout-ms") {
-      std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--timeout-ms expects milliseconds");
       R.Req.TimeoutMs = std::strtoull(Value.c_str(), nullptr, 10);
@@ -177,7 +166,6 @@ int main(int ArgC, char **ArgV) {
       if (!takeValue(R.Req.FailpointSpec))
         return usage(ArgV[0], Fmt, "--failpoints expects site=mode,...");
     } else if (Arg == "--fault-seed") {
-      std::string Value;
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--fault-seed expects a number");
       R.Req.FaultSeed = std::strtoull(Value.c_str(), nullptr, 10);
@@ -194,32 +182,51 @@ int main(int ArgC, char **ArgV) {
     }
   }
   const Format Fmt = R.Req.OutputFormat;
-  if (R.DesignPath.empty())
-    return usage(ArgV[0], Fmt, "no design file");
-  if (R.Shards != 0 && R.SliceOf != 0)
-    return usage(ArgV[0], Fmt, "--shards and --shard are mutually exclusive");
-  if (!R.ConvertIn.empty() && R.SummariesOut.empty())
-    return usage(ArgV[0], Fmt,
-                 "--convert-summaries needs --summaries FILE for the output");
+  if (SocketPath.empty())
+    return usage(ArgV[0], Fmt, "no --socket path");
+  if (WantStats && WantShutdown)
+    return usage(ArgV[0], Fmt, "--stats and --shutdown are mutually exclusive");
 
-  // Environment-driven fault injection arms before the driver runs so
-  // every site is eligible; configureFromEnv() also interns the fault.*
-  // counters so they appear (at zero) in --stats output. Env first,
-  // then the flag (inside the driver), so --failpoints overrides
-  // WIRESORT_FAILPOINTS clause by clause.
-  if (support::Status Env = support::failpoint::configureFromEnv();
-      Env.hasError()) {
-    emitEarly(Fmt, Env);
+  driver::Method M = driver::Method::Check;
+  if (WantStats || WantShutdown) {
+    if (!R.DesignPath.empty())
+      return usage(ArgV[0], Fmt,
+                   WantStats ? "--stats takes no design file"
+                             : "--shutdown takes no design file");
+    M = WantStats ? driver::Method::Stats : driver::Method::Shutdown;
+  } else {
+    if (R.DesignPath.empty())
+      return usage(ArgV[0], Fmt, "no design file");
+    if (R.Shards != 0 && R.SliceOf != 0)
+      return usage(ArgV[0], Fmt, "--shards and --shard are mutually exclusive");
+    // Ship the sources inline, named by their paths: the daemon needs
+    // no shared cwd, and diagnostics (caret echoes included) come back
+    // byte-identical to a local wiresort-check run on the same files.
+    if (!readFile(R.DesignPath, R.DesignText)) {
+      emitEarly(Fmt, support::Diag(support::DiagCode::WS501_IO_ERROR,
+                                   "cannot read design file")
+                         .withNote("path", R.DesignPath));
+      return 2;
+    }
+    R.HasInlineText = true;
+    R.DesignName = R.DesignPath;
+    if (!R.CheckPath.empty()) {
+      if (!readFile(R.CheckPath, R.CheckText)) {
+        emitEarly(Fmt, support::Diag(support::DiagCode::WS501_IO_ERROR,
+                                     "cannot read declared-summary file")
+                           .withNote("path", R.CheckPath));
+        return 2;
+      }
+      R.HasInlineCheckText = true;
+      M = driver::Method::Ascribe;
+    }
+  }
+
+  driver::Response Res = driver::requestOnce(SocketPath, M, R);
+  if (!Res.Ok) {
+    emitEarly(Fmt, Res.Transport);
     return 2;
   }
-  // Same contract for the wire.* serialization counters: interned at
-  // startup so --stats reports them at zero even on all-text runs.
-  support::wire::internCounters();
-
-  // A CLI invocation is the one-shot, fork-allowed corner of the
-  // request space; everything else about the run — parse dispatch,
-  // engine setup, cache I/O, verdicts — happens in the shared driver.
-  driver::CheckResult Res = driver::runCheck(R, Cfg);
   if (!Res.Out.empty())
     std::fwrite(Res.Out.data(), 1, Res.Out.size(), stdout);
   if (!Res.Err.empty())

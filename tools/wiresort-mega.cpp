@@ -162,7 +162,7 @@ int main(int ArgC, char **ArgV) {
     ShardOptions SOpts;
     SOpts.Shards = Shards;
     SOpts.ExecMode = ShardOptions::Mode::Fork;
-    SOpts.Check = Opts;
+    SOpts.Engine = Opts.engine();
     ShardedE.emplace(SOpts);
     Stage1 = ShardedE->analyze(D, Summaries, {}, DL);
     Inferred = ShardedE->stats().Inferred;

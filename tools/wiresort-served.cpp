@@ -1,0 +1,116 @@
+//===- tools/wiresort-served.cpp - The resident check daemon --------------===//
+//
+// Part of the wiresort project, a reproduction of "Wire Sorts: A Language
+// Abstraction for Safe Hardware Composition" (PLDI 2021).
+//
+// The daemon shell around driver::Server (docs/SERVING.md): keeps one
+// CheckService — parsed designs' summaries and the content-addressed
+// summary cache — resident across requests, so a re-submitted edited
+// design re-infers only the modules whose structural content changed.
+// Requests arrive over a Unix-domain socket and multiplex onto a
+// support::ThreadPool; each runs under its own request deadline.
+//
+//   wiresort-served --socket /tmp/ws.sock              # serve until
+//                                                      # a shutdown request
+//   wiresort-served --socket /tmp/ws.sock --workers 4  # connection pool
+//   wiresort-served --socket /tmp/ws.sock --threads 2  # per-request engine
+//   wiresort-served --socket /tmp/ws.sock --no-cache   # cold every time
+//
+// Prints one "listening on PATH" line to stdout once the socket is
+// bound (scripts wait for it), then blocks until a `shutdown` request —
+// at which point in-flight requests drain and the socket file is
+// unlinked, leaving no droppings (tools/run_tests.sh stage 9 asserts
+// that). Exit codes: 0 clean shutdown, 2 startup failure (WS5xx).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wiresort.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace wiresort;
+
+namespace {
+
+int usage(const char *Argv0, const std::string &Why) {
+  std::fprintf(stderr, "%s\n",
+               support::renderText(
+                   support::Diag(support::DiagCode::WS503_USAGE, Why), nullptr)
+                   .c_str());
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--workers N] [--threads N] "
+               "[--no-cache] [--max-request-bytes N]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  driver::ServeOptions Opts;
+  for (int I = 1; I < ArgC; ++I) {
+    std::string Arg = ArgV[I];
+    auto takeValue = [&](std::string &Slot) {
+      if (I + 1 >= ArgC)
+        return false;
+      Slot = ArgV[++I];
+      return true;
+    };
+    std::string Value;
+    if (Arg == "--socket") {
+      if (!takeValue(Opts.SocketPath))
+        return usage(ArgV[0], "--socket expects a path");
+    } else if (Arg == "--workers") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], "--workers expects a count");
+      Opts.Workers = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (Arg == "--threads") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], "--threads expects a count");
+      Opts.Engine.Threads =
+          static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (Opts.Engine.Threads == 0)
+        return usage(ArgV[0], "--threads expects a positive count");
+    } else if (Arg == "--no-cache") {
+      Opts.Engine.UseCache = false;
+    } else if (Arg == "--max-request-bytes") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], "--max-request-bytes expects a byte count");
+      Opts.MaxRequestBytes = std::strtoull(Value.c_str(), nullptr, 10);
+      if (Opts.MaxRequestBytes == 0)
+        return usage(ArgV[0], "--max-request-bytes expects a positive count");
+    } else {
+      return usage(ArgV[0], "unknown option '" + Arg + "'");
+    }
+  }
+  if (Opts.SocketPath.empty())
+    return usage(ArgV[0], "no --socket path");
+
+  // Same startup contract as wiresort-check: env-armed failpoints (the
+  // serving soak schedules serve.response.* this way) and the wire.*
+  // counters interned so stats report them at zero.
+  if (support::Status Env = support::failpoint::configureFromEnv();
+      Env.hasError()) {
+    for (const support::Diag &D : Env)
+      std::fprintf(stderr, "%s\n", support::renderText(D, nullptr).c_str());
+    return 2;
+  }
+  support::wire::internCounters();
+
+  driver::Server Server(std::move(Opts));
+  if (support::Status S = Server.start(); S.hasError()) {
+    for (const support::Diag &D : S)
+      std::fprintf(stderr, "%s\n", support::renderText(D, nullptr).c_str());
+    return 2;
+  }
+  std::printf("wiresort-served: listening on %s\n",
+              Server.socketPath().c_str());
+  std::fflush(stdout); // Scripts block on this line; don't buffer it.
+  Server.wait();
+  std::printf("wiresort-served: %zu connections served, shut down cleanly\n",
+              Server.connectionsServed());
+  return 0;
+}
