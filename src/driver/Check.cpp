@@ -226,10 +226,12 @@ CheckResult CheckService::run(const CheckRequest &R) {
   }
 
   // One deadline covers parse + Stage-1 analysis (docs/ROBUSTNESS.md);
-  // inert when no timeout was requested.
-  support::Deadline DL = R.Req.TimeoutMs != 0
-                             ? support::Deadline::afterMs(R.Req.TimeoutMs)
-                             : support::Deadline();
+  // inert when neither a timeout nor an external cancel (the serving
+  // layer's drain token) was requested.
+  support::Deadline DL =
+      (R.Req.TimeoutMs != 0 || R.Cancel.cancellable())
+          ? support::Deadline::afterMs(R.Req.TimeoutMs, R.Cancel)
+          : support::Deadline();
   const support::Deadline *DLPtr = DL.active() ? &DL : nullptr;
 
   // The collection window opens before the design is even read so the

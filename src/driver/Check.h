@@ -42,6 +42,7 @@
 #include "analysis/CheckOptions.h"
 #include "analysis/SummaryEngine.h"
 #include "parse/Blif.h"
+#include "support/Deadline.h"
 
 #include <atomic>
 #include <cstdint>
@@ -69,6 +70,13 @@ struct CheckRequest {
   /// The per-request knobs (deadline, format, cache sidecar, tracing,
   /// fault schedule) — see analysis/CheckOptions.h.
   analysis::RequestOptions Req;
+
+  /// External cancellation, observed alongside Req.TimeoutMs by the
+  /// run's cooperative deadline. Not a wire field: the serving layer
+  /// threads its drain-kill token through here so a bounded drain can
+  /// cancel in-flight requests (they fail closed — WS601, exit 3). An
+  /// inert (default) token costs nothing.
+  support::CancellationToken Cancel;
 
   /// Artifact paths; empty = not requested. Mirrors the CLI flags.
   std::string SummariesOut;  ///< --summaries FILE

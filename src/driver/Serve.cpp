@@ -7,9 +7,13 @@
 #include "driver/Serve.h"
 
 #include "support/FailPoint.h"
+#include "support/Trace.h"
 #include "support/Wire.h"
 
+#include <algorithm>
+#include <chrono>
 #include <csignal>
+#include <thread>
 
 using namespace wiresort;
 using namespace wiresort::driver;
@@ -19,6 +23,8 @@ namespace {
 
 /// Serve payload schema version carried by the StreamBegin record
 /// (docs/SERVING.md). The framing versions separately (wire format v1).
+/// Still 1: the status byte grew values additively (Busy/TimedOut) and
+/// old decoders fail closed on them, which is the contract.
 constexpr uint64_t ServePayloadVersion = 1;
 
 /// Request flag bits (one byte on the wire).
@@ -30,6 +36,26 @@ enum : uint8_t {
   FlagInlineCheckText = 1 << 4,
   FlagStats = 1 << 5,
 };
+
+// Overload counters (docs/OBSERVABILITY.md). Like every trace counter
+// they only accumulate inside a collection session; the Server keeps
+// its own atomics for health/stats reporting.
+trace::Counter &admittedC() {
+  static trace::Counter &C = trace::counter("serve.admitted");
+  return C;
+}
+trace::Counter &shedC() {
+  static trace::Counter &C = trace::counter("serve.shed");
+  return C;
+}
+trace::Counter &timedOutC() {
+  static trace::Counter &C = trace::counter("serve.timed_out");
+  return C;
+}
+trace::Histogram &queueDepthH() {
+  static trace::Histogram &H = trace::histogram("serve.queue_depth");
+  return H;
+}
 
 /// Extracts the one payload record of kind \p Want from a serve stream,
 /// enforcing the fail-closed rules shared by both directions: correct
@@ -89,6 +115,15 @@ bool readServeStream(wire::RecordKind Want, wire::Reader &R,
     SawPayload = true;
     Payload = Rec;
   }
+}
+
+/// A canned non-Ok response stream: exit 2, one stderr line.
+std::string cannedResponse(RespStatus Status, const std::string &Line) {
+  CheckResult Res;
+  Res.ExitCode = 2;
+  Res.Errors = 1;
+  Res.Err = "wiresort-served: " + Line + "\n";
+  return encodeResponse(Res, Status);
 }
 
 } // namespace
@@ -160,7 +195,7 @@ bool driver::decodeRequest(std::string_view Bytes, Method &M, CheckRequest &R,
     return false;
   }
   if (Meth < static_cast<uint8_t>(Method::Check) ||
-      Meth > static_cast<uint8_t>(Method::Shutdown)) {
+      Meth > static_cast<uint8_t>(Method::Health)) {
     Why = "unknown method " + std::to_string(Meth);
     return false;
   }
@@ -196,11 +231,11 @@ bool driver::decodeRequest(std::string_view Bytes, Method &M, CheckRequest &R,
   return true;
 }
 
-std::string driver::encodeResponse(const CheckResult &Res, bool Rejected) {
+std::string driver::encodeResponse(const CheckResult &Res, RespStatus Status) {
   wire::Writer W;
   W.beginStream(wire::StreamKind::Serve, ServePayloadVersion);
   W.beginRecord(wire::RecordKind::ServeResponse);
-  W.putByte(Rejected ? 1 : 0);
+  W.putByte(static_cast<uint8_t>(Status));
   W.putVarint(static_cast<uint64_t>(Res.ExitCode));
   W.putVarint(Res.Errors);
   W.putVarint(Res.Modules);
@@ -228,8 +263,16 @@ bool driver::decodeResponse(std::string_view Bytes, Response &Out,
     Why = "malformed response record";
     return false;
   }
+  if (Status > static_cast<uint8_t>(RespStatus::TimedOut)) {
+    // Fail closed on status bytes from the future: a verdict whose
+    // disposition we can't name is no verdict.
+    Why = "unknown response status " + std::to_string(Status);
+    return false;
+  }
   Out.Ok = true;
-  Out.Rejected = Status != 0;
+  Out.Rejected = Status == static_cast<uint8_t>(RespStatus::Rejected);
+  Out.Busy = Status == static_cast<uint8_t>(RespStatus::Busy);
+  Out.TimedOut = Status == static_cast<uint8_t>(RespStatus::TimedOut);
   Out.ExitCode = static_cast<int>(Exit);
   Out.Errors = Errors;
   Out.Modules = Modules;
@@ -274,34 +317,120 @@ void Server::acceptLoop() {
     if (Fd < 0)
       break; // Stopped, or the listener went bad: either way, stop.
     Conns.fetch_add(1);
-    Pool->submit([this, Fd] { serveConnection(Fd); });
+    size_t Depth = InFlight.load(std::memory_order_relaxed);
+    // Admission control: past the bound, shed *before* reading the
+    // request — a tiny canned Busy write the kernel buffers whole, so
+    // even a dead-slow shed client cannot pin this thread for long.
+    bool Full = Opts.MaxPending != 0 && Depth >= Opts.MaxPending;
+    if (Full || WS_FAILPOINT("serve.admit.full")) {
+      Shed.fetch_add(1);
+      shedC().add();
+      Deadline WDL = Deadline::afterMs(
+          std::min<uint64_t>(Opts.WriteTimeoutMs ? Opts.WriteTimeoutMs : 1000,
+                             1000));
+      (void)sock::writeAll(Fd, cannedResponse(RespStatus::Busy,
+                                              "busy: admission queue full"),
+                           &WDL);
+      // Lingering close: we answered without reading the request, and
+      // close-with-unread-bytes resets the peer before it can read the
+      // Busy verdict we just buffered. Drain (bounded) until the client
+      // half-closes, then close.
+      sock::shutdownWrite(Fd);
+      sock::discardUntilEof(Fd, &WDL);
+      sock::closeFd(Fd);
+      continue;
+    }
+    Admitted.fetch_add(1);
+    admittedC().add();
+    queueDepthH().record(Depth);
+    InFlight.fetch_add(1);
+    // Work admitted before draining began is what drain() waits on;
+    // connections accepted *during* drain (health probes, and work that
+    // will be answered Busy) must not extend the drain.
+    bool Work = !Draining.load(std::memory_order_acquire);
+    if (Work)
+      InFlightWork.fetch_add(1);
+    Pool->submit([this, Fd, Work] { serveConnection(Fd, Work); });
   }
 }
 
-void Server::serveConnection(int Fd) {
-  auto Request = sock::readAll(Fd);
+void Server::serveConnection(int Fd, bool Work) {
+  // Always run the read under a live-token deadline: ReadTimeoutMs
+  // bounds real stalls, and the serve.read.stall failpoint cancels the
+  // token to make "the peer stalled" a deterministic, instant event
+  // instead of a slept-through timeout.
+  Deadline ReadDL = Deadline::afterMs(Opts.ReadTimeoutMs);
+  if (WS_FAILPOINT("serve.read.stall"))
+    ReadDL.cancel();
+  auto Request = sock::readAll(Fd, &ReadDL, Opts.MaxRequestBytes);
+  Deadline WriteDL = Deadline::afterMs(Opts.WriteTimeoutMs);
   if (!Request) {
-    // Client died mid-request (the soak's kill-mid-request case): there
-    // is nobody to answer, so just release the fd.
+    bool TimedOut =
+        Request.diags().hasError() &&
+        Request.diags().firstError().code() == DiagCode::WS606_TRANSPORT_TIMEOUT;
+    if (TimedOut) {
+      // Slow loris: reclaim the worker, tell the peer (it may still be
+      // alive and reading), count it.
+      TimedOutC.fetch_add(1);
+      timedOutC().add();
+      (void)sock::writeAll(
+          Fd, cannedResponse(RespStatus::TimedOut, "request read timed out"),
+          &WriteDL);
+      // The request was *not* consumed to EOF (that's why we're here);
+      // linger so the close does not reset away the TimedOut verdict.
+      sock::shutdownWrite(Fd);
+      sock::discardUntilEof(Fd, &WriteDL);
+    }
+    // Otherwise the client died mid-request (the soak's
+    // kill-mid-request case): there is nobody to answer.
     sock::closeFd(Fd);
+    InFlight.fetch_sub(1);
+    if (Work)
+      InFlightWork.fetch_sub(1);
     return;
   }
   std::string ResponseBytes = handle(*Request);
+  // A worker wedged after the work is done (the serve.drain.hang site)
+  // must not outlive a bounded drain: it parks until the drain kill
+  // token or stop() releases it.
+  if (WS_FAILPOINT("serve.drain.hang"))
+    while (!DrainKill.cancelled() &&
+           !StopFlag.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
   // Serving-layer fault sites (docs/SERVING.md degradation matrix): a
   // dropped or truncated response must fail *closed* on the client —
   // transport damage, exit 2 — never decode as a verdict.
   if (WS_FAILPOINT("serve.response.drop")) {
     sock::closeFd(Fd);
-    return;
-  }
-  if (WS_FAILPOINT("serve.response.truncate")) {
+  } else if (WS_FAILPOINT("serve.response.truncate")) {
     (void)sock::writeAll(
-        Fd, std::string_view(ResponseBytes).substr(0, ResponseBytes.size() / 2));
+        Fd, std::string_view(ResponseBytes).substr(0, ResponseBytes.size() / 2),
+        &WriteDL);
     sock::closeFd(Fd);
-    return;
+  } else {
+    // EPIPE = client gone; a WS606 here = client stopped reading: either
+    // way the worker is reclaimed.
+    (void)sock::writeAll(Fd, ResponseBytes, &WriteDL);
+    // An oversize request was cut off at cap + 1, so its remainder is
+    // still inbound; drain it (bounded) so the close does not reset
+    // away the Rejected verdict. Fully-consumed requests hit EOF on the
+    // first discard read — free.
+    sock::shutdownWrite(Fd);
+    sock::discardUntilEof(Fd, &WriteDL);
+    sock::closeFd(Fd);
   }
-  (void)sock::writeAll(Fd, ResponseBytes); // EPIPE = client gone; fine.
-  sock::closeFd(Fd);
+  InFlight.fetch_sub(1);
+  if (Work)
+    InFlightWork.fetch_sub(1);
+}
+
+std::string Server::healthJson() const {
+  return std::string("{\"type\":\"served-health\",\"state\":\"") +
+         (Draining.load() ? "draining" : "ready") +
+         "\",\"in_flight\":" + std::to_string(InFlight.load()) +
+         ",\"admitted\":" + std::to_string(Admitted.load()) +
+         ",\"shed\":" + std::to_string(Shed.load()) +
+         ",\"timed_out\":" + std::to_string(TimedOutC.load()) + "}\n";
 }
 
 std::string Server::handle(std::string_view RequestBytes) {
@@ -310,8 +439,11 @@ std::string Server::handle(std::string_view RequestBytes) {
     Res.ExitCode = 2;
     Res.Errors = 1;
     Res.Err = "wiresort-served: request rejected: " + Why + "\n";
-    return encodeResponse(Res, /*Rejected=*/true);
+    return encodeResponse(Res, RespStatus::Rejected);
   };
+  // The transport reader stops at MaxRequestBytes + 1, so an oversize
+  // request reaches here as exactly cap + 1 buffered bytes — same
+  // verdict bytes as before the cap existed, bounded memory now.
   if (RequestBytes.size() > Opts.MaxRequestBytes)
     return reject("request exceeds " + std::to_string(Opts.MaxRequestBytes) +
                   " bytes");
@@ -322,6 +454,23 @@ std::string Server::handle(std::string_view RequestBytes) {
   if (!decodeRequest(RequestBytes, M, R, Why))
     return reject(Why);
 
+  // Health answers in every state — it is how operators watch a drain.
+  if (M == Method::Health) {
+    CheckResult Res;
+    Res.Out = healthJson();
+    return encodeResponse(Res, RespStatus::Ok);
+  }
+  // A draining server sheds work instead of starting what it might have
+  // to cancel; Busy is retryable, and the restarted daemon (or a
+  // sibling) will take the retry.
+  if (Draining.load(std::memory_order_acquire) && M != Method::Stats) {
+    CheckResult Res;
+    Res.ExitCode = 2;
+    Res.Errors = 1;
+    Res.Err = "wiresort-served: busy: draining\n";
+    return encodeResponse(Res, RespStatus::Busy);
+  }
+
   switch (M) {
   case Method::Check:
   case Method::Ascribe: {
@@ -329,8 +478,11 @@ std::string Server::handle(std::string_view RequestBytes) {
     // (support/Process.h); requests degrade to in-process shards,
     // byte-identically (analysis/Sharded.h determinism contract).
     R.AllowFork = false;
+    // Thread the drain kill through the run: a bounded drain cancels
+    // stragglers cooperatively (WS601, exit 3, fail closed).
+    R.Cancel = DrainKill;
     CheckResult Res = Service.run(R);
-    return encodeResponse(Res, /*Rejected=*/false);
+    return encodeResponse(Res, RespStatus::Ok);
   }
   case Method::Stats: {
     CheckResult Res;
@@ -347,9 +499,13 @@ std::string Server::handle(std::string_view RequestBytes) {
               std::to_string(Service.parseCache().hits()) +
               ",\"parse_misses\":" +
               std::to_string(Service.parseCache().misses()) +
+              ",\"admitted\":" + std::to_string(Admitted.load()) +
+              ",\"shed\":" + std::to_string(Shed.load()) +
+              ",\"timed_out\":" + std::to_string(TimedOutC.load()) +
+              ",\"draining\":" + (Draining.load() ? "true" : "false") +
               ",\"workers\":" +
               std::to_string(Pool ? Pool->numThreads() : 0) + "}\n";
-    return encodeResponse(Res, /*Rejected=*/false);
+    return encodeResponse(Res, RespStatus::Ok);
   }
   case Method::Shutdown: {
     // Flag first, respond second: the accept loop stops while this
@@ -358,8 +514,10 @@ std::string Server::handle(std::string_view RequestBytes) {
     stop();
     CheckResult Res;
     Res.Out = "wiresort-served: shutting down\n";
-    return encodeResponse(Res, /*Rejected=*/false);
+    return encodeResponse(Res, RespStatus::Ok);
   }
+  case Method::Health:
+    break; // Handled above.
   }
   return reject("unreachable method");
 }
@@ -368,6 +526,30 @@ void Server::stop() {
   StopFlag.store(true, std::memory_order_release);
   std::lock_guard<std::mutex> Lock(StopMutex);
   StopCv.notify_all();
+}
+
+void Server::drain() {
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return; // Already draining (second SIGTERM): the first drain wins.
+  using Clock = std::chrono::steady_clock;
+  auto SpinUntil = [this](Clock::time_point End) {
+    while (InFlightWork.load(std::memory_order_acquire) != 0 &&
+           Clock::now() < End)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  // Phase 1: polite — let in-flight work finish on its own.
+  SpinUntil(Clock::now() + std::chrono::milliseconds(Opts.DrainDeadlineMs));
+  if (InFlightWork.load(std::memory_order_acquire) != 0) {
+    // Phase 2: firm — cancel stragglers through the engine's
+    // cooperative deadline (they exit 3, WS601) and give them a short
+    // grace to unwind; the whole drain stays bounded either way.
+    DrainKill.cancel();
+    SpinUntil(Clock::now() +
+              std::chrono::milliseconds(
+                  std::min<uint64_t>(Opts.DrainDeadlineMs, 1000)));
+  }
+  stop();
 }
 
 void Server::wait() {
@@ -379,36 +561,56 @@ void Server::wait() {
   }
   if (Acceptor.joinable())
     Acceptor.join();
+  // Workers still parked on the drain-hang site must see the kill token
+  // even when stop() was reached without drain() (protocol shutdown).
+  DrainKill.cancel();
   if (Pool)
     Pool->wait(); // Drain in-flight connections.
   Listener.close(); // Close + unlink: a clean exit leaves no socket file.
 }
 
+void driver::internServeCounters() {
+  admittedC();
+  shedC();
+  timedOutC();
+  queueDepthH();
+}
+
 // --- Client -----------------------------------------------------------------
 
 Response driver::requestOnce(const std::string &SocketPath, Method M,
-                             const CheckRequest &R) {
+                             const CheckRequest &R,
+                             uint64_t TransportTimeoutMs) {
   Response Out;
   auto Fd = sock::connectTo(SocketPath);
   if (!Fd) {
     Out.Transport.append(Fd.diags());
     return Out;
   }
+  Deadline DL = TransportTimeoutMs != 0
+                    ? Deadline::afterMs(TransportTimeoutMs)
+                    : Deadline();
+  const Deadline *DLPtr = DL.active() ? &DL : nullptr;
   std::string RequestBytes = encodeRequest(M, R);
-  if (support::Status W = sock::writeAll(*Fd, RequestBytes); W.hasError()) {
-    Out.Transport.append(W);
-    sock::closeFd(*Fd);
-    return Out;
-  }
+  support::Status W = sock::writeAll(*Fd, RequestBytes, DLPtr);
   sock::shutdownWrite(*Fd);
-  auto ResponseBytes = sock::readAll(*Fd);
+  // Read even after a broken write: a server that shed (Busy) or
+  // rejected early closes without reading our whole request, but its
+  // response is already buffered on our side — Unix sockets deliver it
+  // despite the EPIPE — and that response, not the pipe error, is the
+  // actionable verdict.
+  auto ResponseBytes = sock::readAll(*Fd, DLPtr);
   sock::closeFd(*Fd);
-  if (!ResponseBytes) {
-    Out.Transport.append(ResponseBytes.diags());
-    return Out;
-  }
   std::string Why;
-  if (!decodeResponse(*ResponseBytes, Out, Why)) {
+  if (ResponseBytes && !ResponseBytes->empty() &&
+      decodeResponse(*ResponseBytes, Out, Why))
+    return Out;
+  if (W.hasError()) {
+    Out.Ok = false;
+    Out.Transport.append(W);
+  } else if (!ResponseBytes) {
+    Out.Transport.append(ResponseBytes.diags());
+  } else {
     // Fail closed: a torn/tampered response is transport damage with
     // the evidence attached, never a verdict.
     Out.Ok = false;
@@ -416,8 +618,34 @@ Response driver::requestOnce(const std::string &SocketPath, Method M,
         support::Diag(support::DiagCode::WS501_IO_ERROR,
                       "malformed response from wiresort-served")
             .withNote("path", SocketPath)
-            .withNote("detail", Why));
-    return Out;
+            .withNote("detail", Why.empty() ? "empty response" : Why));
   }
+  if (Out.Transport.hasError() &&
+      Out.Transport.firstError().code() == DiagCode::WS606_TRANSPORT_TIMEOUT)
+    Out.TimedOut = true;
   return Out;
+}
+
+Response driver::requestWithRetry(const std::string &SocketPath, Method M,
+                                  const CheckRequest &R,
+                                  const sock::RetryPolicy &P,
+                                  uint64_t TransportTimeoutMs) {
+  unsigned Attempts = std::max(P.MaxAttempts, 1u);
+  uint64_t SleepMs = 0;
+  for (unsigned A = 0;; ++A) {
+    Response Out = requestOnce(SocketPath, M, R, TransportTimeoutMs);
+    bool Retryable = false;
+    if (Out.Ok) {
+      // Busy is the server's explicit "come back later".
+      Retryable = Out.Busy;
+    } else if (Out.Transport.hasError()) {
+      // Same transient set as dialWithRetry: the daemon is restarting.
+      std::string E = Out.Transport.firstError().note("errno");
+      Retryable = E == "ECONNREFUSED" || E == "ENOENT";
+    }
+    if (!Retryable || A + 1 >= Attempts)
+      return Out;
+    SleepMs = sock::nextBackoffMs(P, SleepMs, A);
+    std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+  }
 }

@@ -12,6 +12,7 @@
 
 #include <cassert>
 #include <cctype>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -290,7 +291,17 @@ std::vector<ChunkRef> splitModelChunks(const std::string &Text) {
 struct parse::BlifParseCache::Impl {
   const size_t MaxEntries;
   mutable std::mutex Mu;
-  std::map<uint64_t, std::shared_ptr<const CacheEntry>> ByKey;
+  /// Recency order, most recent at the front; the map holds each key's
+  /// position so a hit's promotion and an eviction are both O(1) —
+  /// overflowing the bound costs one cold parse of the *coldest* chunk,
+  /// not (as the old wholesale flush did) of every chunk a long-lived
+  /// daemon had warmed.
+  std::list<uint64_t> Recency;
+  struct Slot {
+    std::shared_ptr<const CacheEntry> Entry;
+    std::list<uint64_t>::iterator Pos;
+  };
+  std::map<uint64_t, Slot> ByKey;
   size_t HitCount = 0, MissCount = 0;
 
   explicit Impl(size_t MaxEntries) : MaxEntries(MaxEntries ? MaxEntries : 1) {}
@@ -299,9 +310,12 @@ struct parse::BlifParseCache::Impl {
                                          std::string_view Bytes) {
     std::lock_guard<std::mutex> L(Mu);
     auto It = ByKey.find(Key);
-    if (It != ByKey.end() && It->second->Bytes == Bytes) {
+    // Exact-bytes guard: a hash collision must cost a re-parse, never a
+    // wrong design.
+    if (It != ByKey.end() && It->second.Entry->Bytes == Bytes) {
       ++HitCount;
-      return It->second;
+      Recency.splice(Recency.begin(), Recency, It->second.Pos);
+      return It->second.Entry;
     }
     ++MissCount;
     return nullptr;
@@ -309,11 +323,20 @@ struct parse::BlifParseCache::Impl {
 
   void insert(uint64_t Key, std::shared_ptr<const CacheEntry> E) {
     std::lock_guard<std::mutex> L(Mu);
-    // Wholesale flush when full: a bound without bookkeeping. The cost
-    // of overflowing is one cold re-parse, never a wrong result.
-    if (ByKey.size() >= MaxEntries)
-      ByKey.clear();
-    ByKey[Key] = std::move(E);
+    auto It = ByKey.find(Key);
+    if (It != ByKey.end()) {
+      // Collision overwrite (or a racing duplicate parse): keep one
+      // slot, refresh the bytes, promote.
+      It->second.Entry = std::move(E);
+      Recency.splice(Recency.begin(), Recency, It->second.Pos);
+      return;
+    }
+    while (ByKey.size() >= MaxEntries && !Recency.empty()) {
+      ByKey.erase(Recency.back());
+      Recency.pop_back();
+    }
+    Recency.push_front(Key);
+    ByKey.emplace(Key, Slot{std::move(E), Recency.begin()});
   }
 };
 

@@ -49,8 +49,10 @@ struct BlifFile {
 /// same dirtied-only contract the summary cache gives Stage 1.
 ///
 /// Thread-safe: concurrent parseBlif calls may share one cache.
-/// Bounded: when the entry count passes MaxEntries the cache is
-/// cleared wholesale (a flush costs one cold parse, never a verdict).
+/// Bounded: past MaxEntries the least-recently-used chunks are evicted
+/// one at a time, so a daemon's warm working set survives an overflow —
+/// eviction costs one cold parse of the coldest chunk, never a verdict
+/// and never (as the old wholesale flush did) the whole cache.
 class BlifParseCache {
 public:
   explicit BlifParseCache(size_t MaxEntries = 4096);

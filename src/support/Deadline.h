@@ -54,6 +54,9 @@ public:
   bool cancelled() const {
     return Flag && Flag->load(std::memory_order_relaxed);
   }
+  /// True for tokens from create(): cancel() can actually raise the
+  /// flag. Default-constructed tokens are inert and report false.
+  bool cancellable() const { return Flag != nullptr; }
 
 private:
   std::shared_ptr<std::atomic<bool>> Flag;
@@ -72,8 +75,16 @@ public:
   /// Expires \p Ms milliseconds from now (0 = never, but the returned
   /// deadline is still cancellable via its token).
   static Deadline afterMs(uint64_t Ms) {
+    return afterMs(Ms, CancellationToken::create());
+  }
+
+  /// Same, but observing (and sharing) an external token — the serving
+  /// layer's drain path hands every in-flight request the server-wide
+  /// kill token this way, so a bounded drain can cancel stragglers. An
+  /// inert \p T is upgraded to a live one.
+  static Deadline afterMs(uint64_t Ms, CancellationToken T) {
     Deadline D;
-    D.Token = CancellationToken::create();
+    D.Token = T.cancellable() ? std::move(T) : CancellationToken::create();
     if (Ms != 0) {
       D.HasLimit = true;
       D.End = Clock::now() + std::chrono::milliseconds(Ms);
@@ -83,7 +94,7 @@ public:
 
   /// True when this deadline can ever expire (time limit or live
   /// token) — layers may skip bookkeeping entirely for inert deadlines.
-  bool active() const { return HasLimit || Token.cancelled(); }
+  bool active() const { return HasLimit || Token.cancellable(); }
 
   bool expired() const {
     if (Token.cancelled())

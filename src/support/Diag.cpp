@@ -55,6 +55,10 @@ const char *support::diagCodeName(DiagCode Code) {
     return "WS604_WORKER_PANIC";
   case DiagCode::WS605_CACHE_MIGRATED:
     return "WS605_CACHE_MIGRATED";
+  case DiagCode::WS606_TRANSPORT_TIMEOUT:
+    return "WS606_TRANSPORT_TIMEOUT";
+  case DiagCode::WS607_SERVER_BUSY:
+    return "WS607_SERVER_BUSY";
   }
   return "WS000_UNKNOWN";
 }

@@ -75,6 +75,8 @@ enum class DiagCode : uint16_t {
   WS603_CACHE_CORRUPT = 603,      ///< Corrupt cache record quarantined.
   WS604_WORKER_PANIC = 604,       ///< Worker task threw; contained.
   WS605_CACHE_MIGRATED = 605,     ///< Cache sidecar upgraded in place.
+  WS606_TRANSPORT_TIMEOUT = 606,  ///< Socket read/write deadline expired.
+  WS607_SERVER_BUSY = 607,        ///< Admission queue full; retryable.
 };
 
 /// The stable spelling ("WS101_COMB_LOOP") used in JSON output.

@@ -6,8 +6,13 @@
 
 #include "support/Socket.h"
 
+#include "support/FailPoint.h"
+
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <poll.h>
@@ -20,11 +25,44 @@ using namespace wiresort::support::sock;
 
 namespace {
 
+/// The symbolic spelling of \p Err for the handful of errnos callers key
+/// behavior on (the client maps ECONNREFUSED vs ENOENT to distinct exit
+/// codes). Everything else falls back to the number — strerror text is
+/// locale-shaped and unfit for machine contracts.
+std::string errnoName(int Err) {
+  switch (Err) {
+  case ECONNREFUSED:
+    return "ECONNREFUSED";
+  case ENOENT:
+    return "ENOENT";
+  case ENAMETOOLONG:
+    return "ENAMETOOLONG";
+  case EPIPE:
+    return "EPIPE";
+  case ECONNRESET:
+    return "ECONNRESET";
+  case EACCES:
+    return "EACCES";
+  case EAGAIN:
+    return "EAGAIN";
+  default:
+    return "errno:" + std::to_string(Err);
+  }
+}
+
 Diag ioFail(const char *Op, const std::string &Path) {
+  int Err = errno;
   return Diag(DiagCode::WS501_IO_ERROR,
               std::string("socket ") + Op + " failed")
       .withNote("path", Path)
-      .withNote("detail", std::strerror(errno));
+      .withNote("detail", std::strerror(Err))
+      .withNote("errno", errnoName(Err));
+}
+
+Diag timeoutFail(const char *Op, size_t BytesSoFar) {
+  return Diag(DiagCode::WS606_TRANSPORT_TIMEOUT,
+              std::string("socket ") + Op + " deadline expired")
+      .withNote("bytes", std::to_string(BytesSoFar));
 }
 
 /// Fills \p Addr for \p Path; false when the path overflows sun_path.
@@ -35,6 +73,35 @@ bool makeAddr(const std::string &Path, sockaddr_un &Addr) {
   Addr.sun_family = AF_UNIX;
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
   return true;
+}
+
+/// Blocks until \p Fd is ready for \p Events, the deadline fires, or an
+/// unrecoverable poll error. Polls in <=100 ms ticks so a cancel() on
+/// the deadline's token is honored promptly even under a long budget.
+/// \returns 1 ready, 0 deadline expired, -1 poll error (errno set).
+int pollUntil(int Fd, short Events, const Deadline *DL) {
+  for (;;) {
+    if (DL && DL->expired())
+      return 0;
+    pollfd P{Fd, Events, 0};
+    int N = ::poll(&P, 1, /*timeout-ms=*/100);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N > 0)
+      return 1;
+  }
+}
+
+/// splitmix64: the same tiny deterministic mixer the failpoint machinery
+/// uses, so a (Seed, Attempt) pair always draws the same jitter.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
 }
 
 } // namespace
@@ -122,6 +189,10 @@ Expected<int> sock::connectTo(const std::string &Path) {
     errno = ENAMETOOLONG;
     return ioFail("connect", Path);
   }
+  if (WS_FAILPOINT("client.connect.refuse")) {
+    errno = ECONNREFUSED;
+    return ioFail("connect", Path);
+  }
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
     return ioFail("socket", Path);
@@ -133,9 +204,52 @@ Expected<int> sock::connectTo(const std::string &Path) {
   return Fd;
 }
 
-Status sock::writeAll(int Fd, std::string_view Bytes) {
+uint64_t sock::nextBackoffMs(const RetryPolicy &P, uint64_t PrevMs,
+                             unsigned Attempt) {
+  uint64_t Base = std::max<uint64_t>(P.BaseMs, 1);
+  uint64_t Cap = std::max<uint64_t>(P.CapMs, Base);
+  // Decorrelated jitter: uniform(Base, 3 * previous), clamped to the
+  // cap. First retry (PrevMs == 0) starts from the base exactly.
+  uint64_t Hi = std::max<uint64_t>(Base, 3 * std::min(PrevMs, Cap));
+  uint64_t Span = Hi - Base + 1;
+  uint64_t Draw = mix64(P.Seed ^ (0x5e'72'76'65ull + Attempt)) % Span;
+  return std::min(Cap, Base + Draw);
+}
+
+Expected<int> sock::dialWithRetry(const std::string &Path,
+                                  const RetryPolicy &P) {
+  unsigned Attempts = std::max(P.MaxAttempts, 1u);
+  uint64_t SleepMs = 0;
+  for (unsigned A = 0;; ++A) {
+    Expected<int> Fd = connectTo(Path);
+    if (Fd)
+      return Fd;
+    // Only "daemon not there yet" is worth retrying; everything else
+    // (permissions, oversize path) is permanent.
+    std::string Err = Fd.diags().firstError().note("errno");
+    bool Retryable = Err == "ECONNREFUSED" || Err == "ENOENT";
+    if (!Retryable || A + 1 >= Attempts) {
+      DiagList Out = Fd.diags();
+      Diag Last = Out[0];
+      Out[0] = std::move(Last).withNote("attempts", std::to_string(A + 1));
+      return Out;
+    }
+    SleepMs = nextBackoffMs(P, SleepMs, A);
+    std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+  }
+}
+
+Status sock::writeAll(int Fd, std::string_view Bytes, const Deadline *DL) {
+  bool Bounded = DL && DL->active();
   size_t Off = 0;
   while (Off != Bytes.size()) {
+    if (Bounded) {
+      int Ready = pollUntil(Fd, POLLOUT, DL);
+      if (Ready == 0)
+        return timeoutFail("write", Off);
+      if (Ready < 0)
+        return ioFail("write", "<socket>");
+    }
     ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
     if (N < 0) {
       if (errno == EINTR)
@@ -147,11 +261,30 @@ Status sock::writeAll(int Fd, std::string_view Bytes) {
   return {};
 }
 
-Expected<std::string> sock::readAll(int Fd) {
+Expected<std::string> sock::readAll(int Fd, const Deadline *DL,
+                                    uint64_t MaxBytes) {
+  bool Bounded = DL && DL->active();
   std::string Out;
   char Buf[64 * 1024];
   for (;;) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    // Never buffer more than MaxBytes + 1: the extra byte is the
+    // oversize witness, and reading stops there — a 10 GiB request
+    // costs the server cap + 1 bytes of memory, not 10 GiB.
+    size_t Want = sizeof(Buf);
+    if (MaxBytes) {
+      uint64_t Room = MaxBytes + 1 - Out.size();
+      if (Room == 0)
+        return Out;
+      Want = static_cast<size_t>(std::min<uint64_t>(Want, Room));
+    }
+    if (Bounded) {
+      int Ready = pollUntil(Fd, POLLIN, DL);
+      if (Ready == 0)
+        return timeoutFail("read", Out.size());
+      if (Ready < 0)
+        return ioFail("read", "<socket>");
+    }
+    ssize_t N = ::read(Fd, Buf, Want);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -164,6 +297,20 @@ Expected<std::string> sock::readAll(int Fd) {
 }
 
 void sock::shutdownWrite(int Fd) { ::shutdown(Fd, SHUT_WR); }
+
+void sock::discardUntilEof(int Fd, const Deadline *DL) {
+  bool Bounded = DL && DL->active();
+  char Buf[64 * 1024];
+  for (;;) {
+    if (Bounded && pollUntil(Fd, POLLIN, DL) != 1)
+      return; // Deadline expired or poll error: give up on lingering.
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return; // EOF or error: the peer is done (or gone) either way.
+  }
+}
 
 void sock::closeFd(int Fd) {
   if (Fd >= 0)

@@ -8,25 +8,38 @@
 /// \file
 /// The fd-level plumbing under the serving layer (docs/SERVING.md): a
 /// Unix-domain stream listener with a stoppable accept loop, a client
-/// connect, and the read-to-EOF / write-everything helpers both sides
-/// frame wire streams over. The same lift support/Process.h gave
-/// fork+pipe, applied to sockets — byte transport only; framing,
-/// checksums, and trust live one layer up in support/Wire.h (a socket
-/// peer is as untrusted as a half-dead fork worker, and the reader's
-/// fail-closed rules already cover both).
+/// connect (plus a backoff-retrying variant), and the read-to-EOF /
+/// write-everything helpers both sides frame wire streams over. The
+/// same lift support/Process.h gave fork+pipe, applied to sockets —
+/// byte transport only; framing, checksums, and trust live one layer up
+/// in support/Wire.h (a socket peer is as untrusted as a half-dead fork
+/// worker, and the reader's fail-closed rules already cover both).
+///
+/// Overload safety is transport policy, so it lives here too
+/// (docs/SERVING.md degradation matrix): readAll/writeAll take an
+/// optional support::Deadline — polled, so a peer that stalls mid-frame
+/// costs the configured budget, never a wedged thread — and readAll
+/// takes a byte cap so an oversize message is cut off after cap+1
+/// buffered bytes instead of being swallowed whole before anyone looks
+/// at its size.
 ///
 /// Everything reports through support::Diag (WS501_IO_ERROR with the
-/// failing syscall and errno text); nothing here throws or retries —
-/// policy belongs to the caller.
+/// failing syscall, errno text, and a symbolic `errno` note callers can
+/// key exit codes on; WS606_TRANSPORT_TIMEOUT when a deadline fires);
+/// nothing here throws. The only retry policy in this file is the one
+/// explicitly asked for via dialWithRetry — the plain helpers never
+/// retry beyond EINTR.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WIRESORT_SUPPORT_SOCKET_H
 #define WIRESORT_SUPPORT_SOCKET_H
 
+#include "support/Deadline.h"
 #include "support/Diag.h"
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -69,24 +82,83 @@ private:
 };
 
 /// Connects to the Unix-domain socket at \p Path. \returns the fd, or a
-/// WS501 diagnostic (server not up, path too long, ...).
+/// WS501 diagnostic (server not up, path too long, ...) whose `errno`
+/// note carries the symbolic name (ECONNREFUSED, ENOENT, ...) so
+/// callers can tell a daemon that died from a socket path that never
+/// existed.
 Expected<int> connectTo(const std::string &Path);
 
+/// Backoff policy for dialWithRetry (and the serving layer's
+/// request-level retries): exponential growth with decorrelated jitter
+/// — sleep = min(CapMs, uniform(BaseMs, 3 * previous sleep)) — which
+/// spreads a thundering herd of restarting clients without
+/// synchronizing them. \c Seed makes the jitter stream deterministic
+/// (the soak tier seeds it from WIRESORT_FAILPOINT_SEED); two clients
+/// with different seeds draw different schedules.
+struct RetryPolicy {
+  unsigned MaxAttempts = 5; ///< Total tries, including the first.
+  uint64_t BaseMs = 10;     ///< Floor of every backoff sleep.
+  uint64_t CapMs = 2000;    ///< Ceiling of every backoff sleep.
+  uint64_t Seed = 0;        ///< Jitter stream seed (deterministic).
+};
+
+/// The next decorrelated-jitter delay: min(Cap, uniform(Base, 3 *
+/// \p PrevMs)) drawn deterministically from (Seed, Attempt). \p PrevMs
+/// of 0 (the first retry) yields BaseMs exactly. Exposed so the serving
+/// layer's busy-retry loop shares one schedule shape with dialWithRetry.
+uint64_t nextBackoffMs(const RetryPolicy &P, uint64_t PrevMs,
+                       unsigned Attempt);
+
+/// connectTo with retry: connection-refused and socket-file-not-found
+/// (the daemon is restarting, or systemd has not re-created the path
+/// yet) are retried per \p P; anything else — permission, path too long
+/// — fails immediately, because retrying cannot fix it. The
+/// `client.connect.refuse` failpoint simulates a refused connect ahead
+/// of the syscall, so the retry path is testable against a healthy
+/// daemon. \returns the fd, or the *last* attempt's diagnostic with an
+/// `attempts` note appended.
+Expected<int> dialWithRetry(const std::string &Path, const RetryPolicy &P);
+
 /// Writes all of \p Bytes to \p Fd, retrying short writes and EINTR.
-/// \returns an empty status or one WS501 diagnostic. A peer that hangs
-/// up mid-write surfaces as EPIPE here (callers must ignore SIGPIPE —
-/// the daemon and client mains do).
-Status writeAll(int Fd, std::string_view Bytes);
+/// \returns an empty status or one diagnostic. A peer that hangs up
+/// mid-write surfaces as EPIPE here (callers must ignore SIGPIPE — the
+/// daemon and client mains do). An active \p DL bounds the whole write:
+/// the fd is polled for writability in ~100 ms ticks and a deadline
+/// that fires mid-write returns WS606_TRANSPORT_TIMEOUT with the byte
+/// offset reached — the slow-reader twin of the slow-writer guard on
+/// readAll.
+Status writeAll(int Fd, std::string_view Bytes,
+                const Deadline *DL = nullptr);
 
 /// Reads \p Fd to EOF. Half-close is the request delimiter on both
 /// sides of the serving protocol: the writer shutdownWrite()s when done
 /// and the reader reads until EOF, so no length prefix is needed ahead
 /// of the wire stream's own framing.
-Expected<std::string> readAll(int Fd);
+///
+/// An active \p DL bounds the whole read (poll in ~100 ms ticks); a
+/// stalled peer — the slow-loris case — gets WS606_TRANSPORT_TIMEOUT
+/// with the bytes buffered so far, never a worker pinned forever.
+///
+/// A nonzero \p MaxBytes caps buffering: reading stops after at most
+/// MaxBytes + 1 bytes (the +1 is the witness that the peer had more)
+/// and returns them *successfully* — oversize is the caller's verdict
+/// to make (`Out.size() > MaxBytes`), on a bounded buffer, not after
+/// swallowing an arbitrarily large message whole.
+Expected<std::string> readAll(int Fd, const Deadline *DL = nullptr,
+                              uint64_t MaxBytes = 0);
 
 /// shutdown(SHUT_WR): signals end-of-message while leaving the read
 /// half open for the response.
 void shutdownWrite(int Fd);
+
+/// Reads and discards from \p Fd until EOF, a read error, or deadline
+/// expiry — the lingering-close half of answering a request without
+/// consuming it. AF_UNIX turns close-with-unread-bytes into ECONNRESET
+/// on the peer, which destroys a response the peer had already
+/// buffered; a server that sheds, rejects oversize, or times out a
+/// request must drain the remainder (bounded by \p DL) before close so
+/// the fail-closed verdict it wrote actually arrives.
+void discardUntilEof(int Fd, const Deadline *DL = nullptr);
 
 /// close() wrapper (EINTR-safe, ignores errors — used on the way out).
 void closeFd(int Fd);

@@ -284,7 +284,7 @@ TEST(Serve, CodecFailsClosedOnFramingDamage) {
   CheckResult Res;
   Res.ExitCode = 1;
   Res.Out = "{\"verdict\":\"error\",\"errors\":1}\n";
-  std::string RespBytes = encodeResponse(Res, false);
+  std::string RespBytes = encodeResponse(Res, RespStatus::Ok);
   Response Resp;
   EXPECT_FALSE(decodeResponse(RespBytes.substr(0, RespBytes.size() - 2),
                               Resp, Why));

@@ -324,16 +324,35 @@ TEST(BlifTest, ParseCacheHonorsContinuationAcrossModelBoundary) {
   }
 }
 
-TEST(BlifTest, ParseCacheFlushesWhenFull) {
-  // Overflow clears wholesale; correctness is unaffected — the next
-  // parse is simply cold.
-  BlifParseCache Cache(/*MaxEntries=*/1);
+TEST(BlifTest, ParseCacheEvictsLeastRecentlyUsedNotWholesale) {
+  // Overflow evicts the coldest chunk only; the warm working set
+  // survives (the daemon-residency point of the LRU — a wholesale
+  // flush would cold-parse everything after one overflow).
+  BlifParseCache Cache(/*MaxEntries=*/2);
   const char *A = ".model a\n.inputs i\n.outputs o\n.names i o\n1 1\n.end\n";
   const char *B = ".model b\n.inputs i\n.outputs o\n.names i o\n0 1\n.end\n";
+  const char *C = ".model c\n.inputs i\n.outputs o\n.names i o\n- 1\n.end\n";
   ASSERT_TRUE(parseBlif(A, "a.blif", nullptr, &Cache).hasValue());
   ASSERT_TRUE(parseBlif(B, "b.blif", nullptr, &Cache).hasValue());
-  EXPECT_LE(Cache.size(), 1u);
-  auto Again = parseBlif(A, "a.blif", nullptr, &Cache);
-  ASSERT_TRUE(Again.hasValue()) << Again.describe();
-  EXPECT_EQ(Again->Design.module(Again->Top).Name, "a");
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.misses(), 2u);
+
+  // Touch A so B becomes the least recently used...
+  ASSERT_TRUE(parseBlif(A, "a.blif", nullptr, &Cache).hasValue());
+  EXPECT_EQ(Cache.hits(), 1u);
+  // ...then overflow with C: exactly one chunk (B) is evicted.
+  ASSERT_TRUE(parseBlif(C, "c.blif", nullptr, &Cache).hasValue());
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.misses(), 3u);
+
+  // A stayed warm across the overflow; B re-parses cold; both correct.
+  auto AgainA = parseBlif(A, "a.blif", nullptr, &Cache);
+  ASSERT_TRUE(AgainA.hasValue()) << AgainA.describe();
+  EXPECT_EQ(Cache.hits(), 2u);
+  EXPECT_EQ(AgainA->Design.module(AgainA->Top).Name, "a");
+  auto AgainB = parseBlif(B, "b.blif", nullptr, &Cache);
+  ASSERT_TRUE(AgainB.hasValue()) << AgainB.describe();
+  EXPECT_EQ(Cache.misses(), 4u);
+  EXPECT_EQ(AgainB->Design.module(AgainB->Top).Name, "b");
+  EXPECT_EQ(Cache.size(), 2u);
 }

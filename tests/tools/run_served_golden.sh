@@ -77,6 +77,14 @@ else
   Failures=$((Failures + 1))
 fi
 
+# Health probe: answered in every state; a serving daemon reports ready.
+if "$CLIENT" --socket "$SOCK" --health | grep -q '"state":"ready"'; then
+  echo "ok health (ready)"
+else
+  echo "FAIL health: no ready served-health record" >&2
+  Failures=$((Failures + 1))
+fi
+
 # Clean shutdown: exit 0, no socket file left behind.
 "$CLIENT" --socket "$SOCK" --shutdown > /dev/null
 wait $SERVED_PID
@@ -92,6 +100,42 @@ elif [ -e "$SOCK" ]; then
   Failures=$((Failures + 1))
 else
   echo "ok shutdown (exit 0, socket unlinked)"
+fi
+
+# Graceful drain (docs/SERVING.md): a second daemon instance, stopped
+# with SIGTERM instead of the protocol shutdown, must drain within its
+# deadline, exit 0, and unlink its socket — the systemd-stop path.
+DRAINSOCK=$SCRATCH/drain.sock
+"$SERVED" --socket "$DRAINSOCK" --workers 2 --drain-ms 2000 \
+  > "$SCRATCH/drain.log" 2>&1 &
+DRAIN_PID=$!
+Tries=0
+while ! grep -q "listening on" "$SCRATCH/drain.log" 2>/dev/null; do
+  Tries=$((Tries + 1))
+  if [ "$Tries" -gt 100 ]; then
+    echo "FAIL drain: second daemon never started" >&2
+    kill "$DRAIN_PID" 2>/dev/null
+    exit 1
+  fi
+  sleep 0.05
+done
+"$CLIENT" --socket "$DRAINSOCK" loopfree.blif --format json > /dev/null
+kill -TERM "$DRAIN_PID"
+wait "$DRAIN_PID"
+DrainExit=$?
+if [ "$DrainExit" -ne 0 ]; then
+  echo "FAIL drain: daemon exit $DrainExit after SIGTERM" >&2
+  cat "$SCRATCH/drain.log" >&2
+  Failures=$((Failures + 1))
+elif [ -e "$DRAINSOCK" ]; then
+  echo "FAIL drain: socket file leaked at $DRAINSOCK" >&2
+  Failures=$((Failures + 1))
+elif ! grep -q "draining on signal" "$SCRATCH/drain.log"; then
+  echo "FAIL drain: no draining line in the log" >&2
+  cat "$SCRATCH/drain.log" >&2
+  Failures=$((Failures + 1))
+else
+  echo "ok drain (SIGTERM, exit 0, socket unlinked)"
 fi
 
 if [ "$Failures" -ne 0 ]; then

@@ -26,8 +26,9 @@
 #      over it, and jq-check the Chrome trace (ph/ts/tid on every event,
 #      monotonic timestamps, engine/kernel/parse categories, cache
 #      hit/miss attributes on engine.module spans) and that the fault.*
-#      robustness counters are present, then run the bench_engine
-#      disabled-vs-enabled tracing and failpoint overhead smokes;
+#      robustness and serve.* overload counters are present, then run
+#      the bench_engine disabled-vs-enabled tracing and failpoint
+#      overhead smokes;
 #   6. an AddressSanitizer build of the fault-injection suites — the
 #      200-schedule fault soak (ctest label `soak`) plus the
 #      crash-recovery and failpoint unit suites (docs/ROBUSTNESS.md):
@@ -47,13 +48,17 @@
 #      byte-stable, and the binary sidecar a 4-shard fork run writes
 #      must be byte-identical to the serial one.
 #   9. the serving tier (docs/SERVING.md): the `served`-labelled suites
-#      (driver facade + in-process server + concurrent soak) rerun
-#      under TSan — the resident cache, telemetry mutex, and connection
-#      pool are concurrency claims — followed by an out-of-process
-#      golden session: start wiresort-served on a scratch socket, replay
-#      the golden corpus through wiresort-client, byte-compare every
-#      response against a cold serial wiresort-check run, and assert a
-#      clean shutdown that leaks neither the socket file nor temp files.
+#      (driver facade + in-process server + concurrent soak + the
+#      overload-safety suite) rerun under TSan — the resident cache,
+#      telemetry mutex, and connection pool are concurrency claims —
+#      and the two serving soaks rerun under ASan (overload paths move
+#      buffers across threads under fault schedules), followed by an
+#      out-of-process golden session: start wiresort-served on a
+#      scratch socket, replay the golden corpus through wiresort-client,
+#      byte-compare every response against a cold serial wiresort-check
+#      run, probe health, stop a second instance with SIGTERM (the
+#      graceful-drain path), and assert clean shutdowns that leak
+#      neither socket files nor temp files.
 #
 # Usage: tools/run_tests.sh [--skip-slow]
 #   --skip-slow  excludes the ctest label `slow` (the 200-seed
@@ -171,6 +176,12 @@ if command -v jq >/dev/null 2>&1; then
   grep -q 'wire.records_written' "$TRACE_TMP/stats.txt"
   grep -q 'wire.records_read' "$TRACE_TMP/stats.txt"
   grep -q 'wire.checksum_failures' "$TRACE_TMP/stats.txt"
+  # And the serving layer's overload counters (docs/SERVING.md): zero on
+  # a CLI run by construction — nothing serves — but always enumerated.
+  grep -q 'serve.admitted' "$TRACE_TMP/stats.txt"
+  grep -q 'serve.shed' "$TRACE_TMP/stats.txt"
+  grep -q 'serve.timed_out' "$TRACE_TMP/stats.txt"
+  grep -q 'serve.queue_depth' "$TRACE_TMP/stats.txt"
   echo "trace-out document passes the jq contract checks"
   # Disabled-vs-enabled overhead smokes — tracing and failpoints share
   # the same one-relaxed-load budget (the < 2% bar is asserted by
@@ -280,9 +291,18 @@ echo "=== stage 9: serving tier — resident daemon (docs/SERVING.md) ==="
 # handling concurrent requests (shared summary cache, serialized
 # telemetry window, pooled connections) is a concurrency claim.
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-  --target driver_tests served_soak_tests
+  --target driver_tests served_soak_tests served_robustness_tests
 TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/driver_tests"
 TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/served_soak_tests"
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/served_robustness_tests"
+# The serving soaks again under AddressSanitizer (stage 6 built the
+# build tree): the overload paths shuttle request/response buffers
+# across threads under fault schedules — exactly where a lifetime bug
+# would hide from the default build.
+cmake --build "$ASAN_BUILD" -j "$(nproc)" \
+  --target served_soak_tests served_robustness_tests
+ASAN_OPTIONS="abort_on_error=1" "$ASAN_BUILD/tests/served_soak_tests"
+ASAN_OPTIONS="abort_on_error=1" "$ASAN_BUILD/tests/served_robustness_tests"
 # Out-of-process golden session: daemon up, golden corpus through the
 # client byte-compared against serial CLI runs, clean shutdown with no
 # leaked socket. (The script itself asserts the unlink; we re-assert

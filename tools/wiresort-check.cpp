@@ -212,9 +212,11 @@ int main(int ArgC, char **ArgV) {
     emitEarly(Fmt, Env);
     return 2;
   }
-  // Same contract for the wire.* serialization counters: interned at
-  // startup so --stats reports them at zero even on all-text runs.
+  // Same contract for the wire.* serialization counters and the
+  // serving layer's serve.* overload counters: interned at startup so
+  // --stats enumerates them at zero even on all-text, non-served runs.
   support::wire::internCounters();
+  driver::internServeCounters();
 
   // A CLI invocation is the one-shot, fork-allowed corner of the
   // request space; everything else about the run — parse dispatch,

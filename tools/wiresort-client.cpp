@@ -14,17 +14,30 @@
 //   wiresort-client --socket /tmp/ws.sock design.blif --format json
 //   wiresort-client --socket /tmp/ws.sock design.blif --check decl.wsort
 //   wiresort-client --socket /tmp/ws.sock --stats     # daemon counters
+//   wiresort-client --socket /tmp/ws.sock --health    # ready | draining
 //   wiresort-client --socket /tmp/ws.sock --shutdown  # drain and stop
+//   wiresort-client --socket /tmp/ws.sock design.blif --retries 5
 //
 // The design file (and any --check sidecar) is read *locally* and
 // shipped inline with its path as the diagnostic name, so the daemon
 // never depends on sharing a working directory with the client, and
 // caret echoes still point at the right file.
 //
-// Exit codes: the server-side check's own contract (0/1/2/3 —
-// docs/DIAGNOSTICS.md) passed through verbatim; 2 for transport damage
-// (can't connect, torn or checksum-failed response — the client fails
-// closed and never guesses a verdict).
+// Transient trouble is retryable: --retries N re-dials a refused or
+// missing socket and resends Busy-shed requests under decorrelated-
+// jitter backoff (--retry-base-ms floors the sleeps; the jitter stream
+// seeds from WIRESORT_FAILPOINT_SEED, so soak schedules replay).
+// --transport-timeout-ms bounds the client-side socket I/O.
+//
+// Exit codes (docs/DIAGNOSTICS.md): the server-side check's own
+// contract (0/1/2/3) passed through verbatim; then the transport
+// dispositions, each distinguishable to scripts:
+//   2  transport damage (torn/checksum-failed response) or a rejected
+//      request — the client fails closed and never guesses a verdict
+//   4  connection refused after all retries (daemon not listening)
+//   5  socket path does not exist (stale path / daemon never started)
+//   6  transport timeout (WS606: server read/write or client deadline)
+//   7  server still Busy after all retries (shed or draining)
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,8 +75,9 @@ int usage(const char *Argv0, Format Fmt, const std::string &Why) {
                "[--check FILE] [--dot FILE] [--format text|json] "
                "[--quiet] [--depth] [--shards N] [--shard I/N] "
                "[--cache FILE] [--trace-out FILE] [--stats-line] "
-               "[--timeout-ms N] [--failpoints SPEC] [--fault-seed N]\n"
-               "       %s --socket PATH --stats | --shutdown\n",
+               "[--timeout-ms N] [--failpoints SPEC] [--fault-seed N] "
+               "[--retries N] [--retry-base-ms N] [--transport-timeout-ms N]\n"
+               "       %s --socket PATH --stats | --health | --shutdown\n",
                Argv0, Argv0);
   return 2;
 }
@@ -83,7 +97,9 @@ bool readFile(const std::string &Path, std::string &Out) {
 int main(int ArgC, char **ArgV) {
   driver::CheckRequest R;
   std::string SocketPath;
-  bool WantStats = false, WantShutdown = false;
+  bool WantStats = false, WantShutdown = false, WantHealth = false;
+  unsigned Retries = 0;
+  uint64_t RetryBaseMs = 10, TransportTimeoutMs = 0;
   for (int I = 1; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
     auto takeValue = [&](std::string &Slot) {
@@ -101,6 +117,27 @@ int main(int ArgC, char **ArgV) {
       WantStats = true;
     } else if (Arg == "--shutdown") {
       WantShutdown = true;
+    } else if (Arg == "--health") {
+      WantHealth = true;
+    } else if (Arg == "--retries") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], Fmt, "--retries expects a count");
+      Retries = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (Arg == "--retry-base-ms") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], Fmt, "--retry-base-ms expects milliseconds");
+      RetryBaseMs = std::strtoull(Value.c_str(), nullptr, 10);
+      if (RetryBaseMs == 0)
+        return usage(ArgV[0], Fmt,
+                     "--retry-base-ms expects a positive millisecond count");
+    } else if (Arg == "--transport-timeout-ms") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], Fmt,
+                     "--transport-timeout-ms expects milliseconds");
+      TransportTimeoutMs = std::strtoull(Value.c_str(), nullptr, 10);
+      if (TransportTimeoutMs == 0)
+        return usage(ArgV[0], Fmt,
+                     "--transport-timeout-ms expects a positive count");
     } else if (Arg == "--summaries") {
       if (!takeValue(R.SummariesOut))
         return usage(ArgV[0], Fmt, "--summaries expects a file");
@@ -184,16 +221,20 @@ int main(int ArgC, char **ArgV) {
   const Format Fmt = R.Req.OutputFormat;
   if (SocketPath.empty())
     return usage(ArgV[0], Fmt, "no --socket path");
-  if (WantStats && WantShutdown)
-    return usage(ArgV[0], Fmt, "--stats and --shutdown are mutually exclusive");
+  if ((WantStats ? 1 : 0) + (WantShutdown ? 1 : 0) + (WantHealth ? 1 : 0) > 1)
+    return usage(ArgV[0], Fmt,
+                 "--stats, --health, and --shutdown are mutually exclusive");
 
   driver::Method M = driver::Method::Check;
-  if (WantStats || WantShutdown) {
+  if (WantStats || WantShutdown || WantHealth) {
     if (!R.DesignPath.empty())
       return usage(ArgV[0], Fmt,
-                   WantStats ? "--stats takes no design file"
-                             : "--shutdown takes no design file");
-    M = WantStats ? driver::Method::Stats : driver::Method::Shutdown;
+                   WantStats    ? "--stats takes no design file"
+                   : WantHealth ? "--health takes no design file"
+                                : "--shutdown takes no design file");
+    M = WantStats    ? driver::Method::Stats
+        : WantHealth ? driver::Method::Health
+                     : driver::Method::Shutdown;
   } else {
     if (R.DesignPath.empty())
       return usage(ArgV[0], Fmt, "no design file");
@@ -222,14 +263,52 @@ int main(int ArgC, char **ArgV) {
     }
   }
 
-  driver::Response Res = driver::requestOnce(SocketPath, M, R);
+  // The client-side failpoints (client.connect.refuse) arm from the
+  // environment, the same contract as the daemon and CLI.
+  if (support::Status Env = support::failpoint::configureFromEnv();
+      Env.hasError()) {
+    emitEarly(Fmt, Env);
+    return 2;
+  }
+
+  support::sock::RetryPolicy Policy;
+  Policy.MaxAttempts = Retries + 1;
+  Policy.BaseMs = RetryBaseMs;
+  if (const char *SeedEnv = std::getenv("WIRESORT_FAILPOINT_SEED"))
+    Policy.Seed = std::strtoull(SeedEnv, nullptr, 10);
+
+  driver::Response Res =
+      driver::requestWithRetry(SocketPath, M, R, Policy, TransportTimeoutMs);
   if (!Res.Ok) {
+    // Fail closed, but say *how* it failed: scripts key restart logic
+    // on these codes, and the WS-coded diags carry the errno evidence.
     emitEarly(Fmt, Res.Transport);
+    if (Res.TimedOut)
+      return 6;
+    std::string Errno = Res.Transport.hasError()
+                            ? Res.Transport.firstError().note("errno")
+                            : "";
+    if (Errno == "ECONNREFUSED")
+      return 4;
+    if (Errno == "ENOENT")
+      return 5;
     return 2;
   }
   if (!Res.Out.empty())
     std::fwrite(Res.Out.data(), 1, Res.Out.size(), stdout);
   if (!Res.Err.empty())
     std::fwrite(Res.Err.data(), 1, Res.Err.size(), stderr);
+  if (Res.Busy) {
+    // Retries exhausted against a shedding/draining server: the canned
+    // server line already went to stderr above; add the WS-coded diag
+    // scripts key on, with the retry evidence.
+    emitEarly(Fmt,
+              support::Diag(support::DiagCode::WS607_SERVER_BUSY,
+                            "server busy after all retries")
+                  .withNote("attempts", std::to_string(Policy.MaxAttempts)));
+    return 7;
+  }
+  if (Res.TimedOut)
+    return 6; // The server's transport deadline fired on our request.
   return Res.ExitCode;
 }

@@ -15,21 +15,29 @@
 //   wiresort-served --socket /tmp/ws.sock --workers 4  # connection pool
 //   wiresort-served --socket /tmp/ws.sock --threads 2  # per-request engine
 //   wiresort-served --socket /tmp/ws.sock --no-cache   # cold every time
+//   wiresort-served --socket /tmp/ws.sock --max-pending 8 --drain-ms 2000
 //
 // Prints one "listening on PATH" line to stdout once the socket is
-// bound (scripts wait for it), then blocks until a `shutdown` request —
-// at which point in-flight requests drain and the socket file is
-// unlinked, leaving no droppings (tools/run_tests.sh stage 9 asserts
-// that). Exit codes: 0 clean shutdown, 2 startup failure (WS5xx).
+// bound (scripts wait for it), then blocks until a `shutdown` request
+// or a SIGTERM/SIGINT — the signal path drains gracefully: stop
+// admitting work (new requests get retryable Busy), let in-flight
+// requests finish under --drain-ms, cancel stragglers through the
+// cooperative deadline, then unlink the socket, leaving no droppings
+// (tools/run_tests.sh asserts that). Exit codes: 0 clean shutdown or
+// drain, 2 startup failure (WS5xx).
 //
 //===----------------------------------------------------------------------===//
 
 #include "wiresort.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 using namespace wiresort;
 
@@ -42,10 +50,17 @@ int usage(const char *Argv0, const std::string &Why) {
                    .c_str());
   std::fprintf(stderr,
                "usage: %s --socket PATH [--workers N] [--threads N] "
-               "[--no-cache] [--max-request-bytes N]\n",
+               "[--no-cache] [--max-request-bytes N] [--max-pending N] "
+               "[--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]\n",
                Argv0);
   return 2;
 }
+
+/// Which signal asked for a graceful drain (0 = none yet). A handler
+/// may only touch lock-free atomics; the main loop does the draining.
+std::atomic<int> DrainSignal{0};
+
+void onDrainSignal(int Sig) { DrainSignal.store(Sig); }
 
 } // namespace
 
@@ -82,6 +97,25 @@ int main(int ArgC, char **ArgV) {
       Opts.MaxRequestBytes = std::strtoull(Value.c_str(), nullptr, 10);
       if (Opts.MaxRequestBytes == 0)
         return usage(ArgV[0], "--max-request-bytes expects a positive count");
+    } else if (Arg == "--max-pending") {
+      // 0 = unbounded (the pre-admission-control behavior).
+      if (!takeValue(Value))
+        return usage(ArgV[0], "--max-pending expects a count");
+      Opts.MaxPending = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (Arg == "--read-timeout-ms") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], "--read-timeout-ms expects milliseconds");
+      Opts.ReadTimeoutMs = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--write-timeout-ms") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], "--write-timeout-ms expects milliseconds");
+      Opts.WriteTimeoutMs = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--drain-ms") {
+      if (!takeValue(Value))
+        return usage(ArgV[0], "--drain-ms expects milliseconds");
+      Opts.DrainDeadlineMs = std::strtoull(Value.c_str(), nullptr, 10);
+      if (Opts.DrainDeadlineMs == 0)
+        return usage(ArgV[0], "--drain-ms expects a positive count");
     } else {
       return usage(ArgV[0], "unknown option '" + Arg + "'");
     }
@@ -90,8 +124,8 @@ int main(int ArgC, char **ArgV) {
     return usage(ArgV[0], "no --socket path");
 
   // Same startup contract as wiresort-check: env-armed failpoints (the
-  // serving soak schedules serve.response.* this way) and the wire.*
-  // counters interned so stats report them at zero.
+  // serving soak schedules serve.* sites this way) and the wire.* +
+  // serve.* counters interned so stats report them at zero.
   if (support::Status Env = support::failpoint::configureFromEnv();
       Env.hasError()) {
     for (const support::Diag &D : Env)
@@ -99,6 +133,7 @@ int main(int ArgC, char **ArgV) {
     return 2;
   }
   support::wire::internCounters();
+  driver::internServeCounters();
 
   driver::Server Server(std::move(Opts));
   if (support::Status S = Server.start(); S.hasError()) {
@@ -106,9 +141,23 @@ int main(int ArgC, char **ArgV) {
       std::fprintf(stderr, "%s\n", support::renderText(D, nullptr).c_str());
     return 2;
   }
+  // Graceful drain on the operator signals; must be installed after
+  // start() (which sets SIGPIPE ignore process-wide).
+  std::signal(SIGTERM, onDrainSignal);
+  std::signal(SIGINT, onDrainSignal);
   std::printf("wiresort-served: listening on %s\n",
               Server.socketPath().c_str());
   std::fflush(stdout); // Scripts block on this line; don't buffer it.
+  // Watch for either stop cause: a protocol shutdown request flips the
+  // server's own flag; a signal lands in DrainSignal and the drain runs
+  // here on the main thread, never in the handler.
+  while (!Server.stopRequested() && DrainSignal.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  if (int Sig = DrainSignal.load(); Sig != 0 && !Server.stopRequested()) {
+    std::printf("wiresort-served: draining on signal %d\n", Sig);
+    std::fflush(stdout);
+    Server.drain();
+  }
   Server.wait();
   std::printf("wiresort-served: %zu connections served, shut down cleanly\n",
               Server.connectionsServed());
