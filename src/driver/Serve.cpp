@@ -325,9 +325,15 @@ void Server::acceptLoop() {
     if (Full || WS_FAILPOINT("serve.admit.full")) {
       Shed.fetch_add(1);
       shedC().add();
+      // The shed write+linger runs on this (the acceptor) thread, and
+      // shedding happens exactly when admission is hot — so its budget
+      // must be tight, or each stalled shed client serializes accept()
+      // behind it and the overload protection becomes the bottleneck.
+      // 100ms is plenty: the canned response is ~100 bytes the kernel
+      // buffers whole; only the lingering drain ever waits.
       Deadline WDL = Deadline::afterMs(
-          std::min<uint64_t>(Opts.WriteTimeoutMs ? Opts.WriteTimeoutMs : 1000,
-                             1000));
+          std::min<uint64_t>(Opts.WriteTimeoutMs ? Opts.WriteTimeoutMs : 100,
+                             100));
       (void)sock::writeAll(Fd, cannedResponse(RespStatus::Busy,
                                               "busy: admission queue full"),
                            &WDL);
@@ -363,23 +369,24 @@ void Server::serveConnection(int Fd, bool Work) {
   if (WS_FAILPOINT("serve.read.stall"))
     ReadDL.cancel();
   auto Request = sock::readAll(Fd, &ReadDL, Opts.MaxRequestBytes);
-  Deadline WriteDL = Deadline::afterMs(Opts.WriteTimeoutMs);
   if (!Request) {
     bool TimedOut =
         Request.diags().hasError() &&
         Request.diags().firstError().code() == DiagCode::WS606_TRANSPORT_TIMEOUT;
     if (TimedOut) {
       // Slow loris: reclaim the worker, tell the peer (it may still be
-      // alive and reading), count it.
+      // alive and reading), count it. The canned reply gets its own
+      // write deadline, starting now.
       TimedOutC.fetch_add(1);
       timedOutC().add();
+      Deadline ReplyDL = Deadline::afterMs(Opts.WriteTimeoutMs);
       (void)sock::writeAll(
           Fd, cannedResponse(RespStatus::TimedOut, "request read timed out"),
-          &WriteDL);
+          &ReplyDL);
       // The request was *not* consumed to EOF (that's why we're here);
       // linger so the close does not reset away the TimedOut verdict.
       sock::shutdownWrite(Fd);
-      sock::discardUntilEof(Fd, &WriteDL);
+      sock::discardUntilEof(Fd, &ReplyDL);
     }
     // Otherwise the client died mid-request (the soak's
     // kill-mid-request case): there is nobody to answer.
@@ -397,6 +404,12 @@ void Server::serveConnection(int Fd, bool Work) {
     while (!DrainKill.cancelled() &&
            !StopFlag.load(std::memory_order_acquire))
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // WriteTimeoutMs bounds only the response write, so it starts *after*
+  // handle() returns: a legitimate request whose compute outlasts the
+  // write budget must not reach writeAll with an already-expired
+  // deadline (that would silently discard the response and hand the
+  // client a non-retryable empty read).
+  Deadline WriteDL = Deadline::afterMs(Opts.WriteTimeoutMs);
   // Serving-layer fault sites (docs/SERVING.md degradation matrix): a
   // dropped or truncated response must fail *closed* on the client —
   // transport damage, exit 2 — never decode as a verdict.
@@ -462,8 +475,12 @@ std::string Server::handle(std::string_view RequestBytes) {
   }
   // A draining server sheds work instead of starting what it might have
   // to cancel; Busy is retryable, and the restarted daemon (or a
-  // sibling) will take the retry.
-  if (Draining.load(std::memory_order_acquire) && M != Method::Stats) {
+  // sibling) will take the retry. Stats still reports, and Shutdown is
+  // acknowledged Ok — the daemon *is* stopping, so answering Busy would
+  // send `wiresort-client --shutdown` into pointless retries (exit 7)
+  // against a dying server.
+  if (Draining.load(std::memory_order_acquire) && M != Method::Stats &&
+      M != Method::Shutdown) {
     CheckResult Res;
     Res.ExitCode = 2;
     Res.Errors = 1;

@@ -269,13 +269,16 @@ Expected<std::string> sock::readAll(int Fd, const Deadline *DL,
   for (;;) {
     // Never buffer more than MaxBytes + 1: the extra byte is the
     // oversize witness, and reading stops there — a 10 GiB request
-    // costs the server cap + 1 bytes of memory, not 10 GiB.
+    // costs the server cap + 1 bytes of memory, not 10 GiB. The + 1 is
+    // saturating: MaxBytes == UINT64_MAX must not wrap the budget to 0
+    // and turn every request into an instant empty read.
     size_t Want = sizeof(Buf);
     if (MaxBytes) {
-      uint64_t Room = MaxBytes + 1 - Out.size();
-      if (Room == 0)
+      uint64_t Budget =
+          MaxBytes < UINT64_MAX ? MaxBytes + 1 : UINT64_MAX;
+      if (Out.size() >= Budget)
         return Out;
-      Want = static_cast<size_t>(std::min<uint64_t>(Want, Room));
+      Want = static_cast<size_t>(std::min<uint64_t>(Want, Budget - Out.size()));
     }
     if (Bounded) {
       int Ready = pollUntil(Fd, POLLIN, DL);

@@ -83,6 +83,25 @@ TEST(ServedRobustness, ReadAllBuffersAtMostCapPlusOneByte) {
   sock::closeFd(Fds[1]);
 }
 
+TEST(ServedRobustness, ReadAllUnboundedCapDoesNotWrapToZero) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // MaxBytes == UINT64_MAX (--max-request-bytes at the type maximum):
+  // the cap + 1 witness budget must saturate, not wrap to 0 — a wrapped
+  // budget returns an instant empty "success" and every request decodes
+  // as malformed.
+  std::thread Writer([&] {
+    ASSERT_FALSE(sock::writeAll(Fds[1], "hello").hasError());
+    sock::shutdownWrite(Fds[1]);
+  });
+  auto Got = sock::readAll(Fds[0], nullptr, UINT64_MAX);
+  ASSERT_TRUE(Got.hasValue()) << Got.describe();
+  EXPECT_EQ(*Got, "hello");
+  Writer.join();
+  sock::closeFd(Fds[0]);
+  sock::closeFd(Fds[1]);
+}
+
 TEST(ServedRobustness, ReadAllDeadlineExpiresOnStalledPeer) {
   int Fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
@@ -332,6 +351,70 @@ TEST(ServedRobustness, GracefulDrainBoundedWithHealthAnswering) {
   S.wait();
   struct stat St;
   EXPECT_NE(::stat(Opts.SocketPath.c_str(), &St), 0);
+}
+
+TEST(ServedRobustness, SlowComputeStillGetsItsResponseWritten) {
+  ServeOptions Opts;
+  Opts.SocketPath = ::testing::TempDir() + "/robust_slow_write.sock";
+  Opts.WriteTimeoutMs = 100;
+  Server S(Opts);
+  ASSERT_FALSE(S.start().hasError());
+
+  // Park the worker *after* its handle() finishes, for longer than the
+  // write budget (the serve.drain.hang site, released by stop()). The
+  // write deadline must start when the response is ready, not when the
+  // request arrived — otherwise any compute that outlasts
+  // WriteTimeoutMs reaches writeAll already expired, the response is
+  // silently discarded, and the client sees a non-retryable empty read.
+  ArmedSchedule Arm("serve.drain.hang=nth(1)");
+  std::thread Client([&] {
+    Response Res = requestOnce(Opts.SocketPath, Method::Check,
+                               inlineRequest(LoopFree, "slow.blif"));
+    EXPECT_TRUE(Res.Ok) << support::renderText(Res.Transport);
+    EXPECT_EQ(Res.ExitCode, 0);
+  });
+  // Let the request be admitted, handled, and parked well past the
+  // 100ms write budget before releasing it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  S.stop();
+  Client.join();
+  S.wait();
+}
+
+TEST(ServedRobustness, ShutdownAcknowledgedDuringDrain) {
+  ServeOptions Opts;
+  Opts.SocketPath = ::testing::TempDir() + "/robust_drain_shutdown.sock";
+  Opts.Workers = 2;
+  Opts.DrainDeadlineMs = 2000;
+  Server S(Opts);
+  ASSERT_FALSE(S.start().hasError());
+
+  // Park one worker so the drain stays in its polite phase while we
+  // probe it.
+  ArmedSchedule Arm("serve.drain.hang=nth(1)");
+  std::thread Hung([&] {
+    Response Res = requestOnce(Opts.SocketPath, Method::Check,
+                               inlineRequest(LoopFree, "hang.blif"));
+    EXPECT_TRUE(Res.Ok) << support::renderText(Res.Transport);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::thread Drainer([&] { S.drain(); });
+  while (!S.draining())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Shutdown against a draining daemon is acknowledged Ok, not shed
+  // Busy: the daemon *is* stopping, and a Busy answer would send
+  // `wiresort-client --shutdown` into retries and a lying exit 7.
+  Response Sd = requestOnce(Opts.SocketPath, Method::Shutdown);
+  ASSERT_TRUE(Sd.Ok) << support::renderText(Sd.Transport);
+  EXPECT_FALSE(Sd.Busy);
+  EXPECT_EQ(Sd.ExitCode, 0);
+  EXPECT_NE(Sd.Out.find("shutting down"), std::string::npos);
+
+  Drainer.join();
+  Hung.join();
+  EXPECT_TRUE(S.stopRequested());
+  S.wait();
 }
 
 // --- The 200-schedule overload soak -----------------------------------------

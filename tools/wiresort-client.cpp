@@ -43,6 +43,7 @@
 
 #include "wiresort.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -122,7 +123,17 @@ int main(int ArgC, char **ArgV) {
     } else if (Arg == "--retries") {
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--retries expects a count");
-      Retries = static_cast<unsigned>(std::atoi(Value.c_str()));
+      // strtoull silently negates "-1" into ~4 billion attempts, so
+      // reject a leading sign and trailing junk explicitly; cap the
+      // count so a typo cannot spell an effectively-infinite loop.
+      const char *Text = Value.c_str();
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Text, &End, 10);
+      if (End == Text || *End != '\0' ||
+          !std::isdigit(static_cast<unsigned char>(Value[0])) || N > 1000)
+        return usage(ArgV[0], Fmt,
+                     "--retries expects a count between 0 and 1000");
+      Retries = static_cast<unsigned>(N);
     } else if (Arg == "--retry-base-ms") {
       if (!takeValue(Value))
         return usage(ArgV[0], Fmt, "--retry-base-ms expects milliseconds");
